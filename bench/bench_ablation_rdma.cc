@@ -1,0 +1,92 @@
+// Ablation: §III-E bulk-transfer strategies.
+//
+// The paper's hybrid (pre-registered RDMA sink + one memcpy) vs the two
+// alternatives it rejects: registering an RDMA memory region per transfer
+// (registration dominates) and fragmenting page data into VERB-sized
+// control messages. Also quantifies the pre-mapped send/receive buffer
+// pools vs per-message DMA mapping.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/virtual_clock.h"
+#include "net/fabric.h"
+
+namespace {
+
+dex::VirtNs measure_bulk(dex::net::FabricMode::BulkPath path,
+                         std::size_t pages) {
+  using namespace dex;
+  net::FabricOptions options;
+  options.num_nodes = 2;
+  options.mode.bulk_path = path;
+  net::Fabric fabric(options);
+
+  std::vector<std::uint8_t> src(kPageSize, 0x77), dst(kPageSize);
+  VirtualClock clock;
+  ScopedClockBinding bind(&clock);
+  for (std::size_t i = 0; i < pages; ++i) {
+    fabric.bulk_transfer(0, 1, src.data(), src.size(), dst.data());
+  }
+  return clock.now() / pages;
+}
+
+dex::VirtNs measure_small(bool pools, int messages) {
+  using namespace dex;
+  net::FabricOptions options;
+  options.num_nodes = 2;
+  options.mode.use_buffer_pools = pools;
+  net::Fabric fabric(options);
+  fabric.register_handler(net::MsgType::kDelegateFutex,
+                          [](const net::Message&) {
+                            net::Message reply;
+                            reply.type = net::MsgType::kDelegateFutex;
+                            return reply;
+                          });
+  VirtualClock clock;
+  ScopedClockBinding bind(&clock);
+  net::Message msg;
+  msg.type = net::MsgType::kDelegateFutex;
+  msg.dst = 1;
+  msg.set_payload(std::uint64_t{1});
+  for (int i = 0; i < messages; ++i) (void)fabric.call(0, msg);
+  return clock.now() / static_cast<VirtNs>(messages);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dex;
+  using namespace dex::bench;
+  constexpr std::size_t kPages = 1000;
+
+  print_header("Ablation: SIII-E bulk page-transfer paths (4 KB x 1000)");
+  std::printf("%-38s %16s\n", "strategy", "per page (us)");
+  print_rule(58);
+  std::printf("%-38s %16s\n", "RDMA sink + copy (DeX hybrid)",
+              us(measure_bulk(net::FabricMode::BulkPath::kRdmaSink, kPages))
+                  .c_str());
+  std::printf(
+      "%-38s %16s\n", "per-transfer RDMA registration",
+      us(measure_bulk(net::FabricMode::BulkPath::kRdmaPerPageReg, kPages))
+          .c_str());
+  std::printf(
+      "%-38s %16s\n", "fragmented over VERB",
+      us(measure_bulk(net::FabricMode::BulkPath::kVerbFragmented, kPages))
+          .c_str());
+
+  std::printf("\n");
+  print_header("Ablation: SIII-E pooled vs per-message DMA-mapped buffers");
+  std::printf("%-38s %16s\n", "mode", "round trip (us)");
+  print_rule(58);
+  std::printf("%-38s %16s\n", "pre-mapped buffer pools (DeX)",
+              us(measure_small(true, 2000)).c_str());
+  std::printf("%-38s %16s\n", "DMA map per message",
+              us(measure_small(false, 2000)).c_str());
+
+  std::printf(
+      "\nThe hybrid avoids the ~45 us per-page registration and the "
+      "per-fragment VERB\noverheads at the cost of one local memcpy "
+      "(SIII-E).\n");
+  return 0;
+}

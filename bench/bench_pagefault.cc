@@ -1,0 +1,145 @@
+// §V-D page-fault handling microbenchmark.
+//
+// The paper forks two threads, migrates one, and has both continually
+// update one global variable, forcing the consistency protocol to shuffle
+// the page for exclusive ownership. It observes:
+//   - the messaging layer takes a constant ~13.6 us to retrieve a 4 KB page,
+//   - 27.5% of faults complete in ~19.3 us (uncontended),
+//   - contended faults that lose the race and retry average ~158.8 us,
+// i.e. a bimodal fault-latency distribution.
+//
+// We measure the two modes separately so each is statistically clean on
+// any host: an uncontended sweep over cold remote pages, and a
+// many-thread ping-pong on one word that forces directory-entry races and
+// retries (with only two threads a single-core host serializes the
+// transactions and the contended path never triggers).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/api.h"
+
+namespace {
+
+dex::LatencyHistogram* fault_histogram(dex::Process& process) {
+  return &process.dsm().stats().fault_latency;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dex;
+  using namespace dex::bench;
+
+  print_header("SV-D: page-fault handling");
+
+  // ---- mode 1: uncontended faults (write upgrade revoking one reader,
+  // the common case in the paper's ping-pong) ----
+  {
+    ClusterConfig cluster_config;
+    cluster_config.num_nodes = 3;
+    Cluster cluster(cluster_config);
+    auto process = cluster.create_process(ProcessOptions{});
+    constexpr std::size_t kPages = 2000;
+    GArray<std::uint64_t> data(*process, kPages * kPageSize / 8, "cold");
+    for (std::size_t i = 0; i < data.size(); i += 512) data.set(i, i);
+
+    // A reader on node 2 replicates every page first, so each write fault
+    // below must invalidate one remote copy — the fault shape the paper's
+    // 19.3 us corresponds to.
+    DexThread reader = process->spawn([&] {
+      migrate(2);
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < data.size(); i += 512) sum += data.get(i);
+      (void)sum;
+      migrate_back();
+    });
+    reader.join();
+
+    fault_histogram(*process)->reset();
+    DexThread t = process->spawn([&] {
+      migrate(1);
+      for (std::size_t i = 0; i < data.size(); i += 512) {
+        data.set(i, i + 1);  // one write fault per page, one revocation
+      }
+      migrate_back();
+    });
+    t.join();
+
+    auto* hist = fault_histogram(*process);
+    std::printf("uncontended: %llu faults, mean %s us, p50 %s us, p95 %s us"
+                "  (paper: ~19.3 us)\n",
+                static_cast<unsigned long long>(hist->count()),
+                us(static_cast<VirtNs>(hist->mean())).c_str(),
+                us(hist->percentile(0.5)).c_str(),
+                us(hist->percentile(0.95)).c_str());
+
+    const auto& cost = cluster.cost();
+    const VirtNs retrieval =
+        cost.verb_msg_ns(sizeof(net::PageRequestPayload) +
+                         net::Message::kHeaderBytes) +
+        cost.directory_service_ns +
+        cost.verb_msg_ns(sizeof(net::PageGrantPayload) +
+                         net::Message::kHeaderBytes) +
+        cost.rdma_payload_ns(kPageSize);
+    std::printf("4 KB page retrieval (wire path): %s us  (paper: 13.6 us)\n",
+                us(retrieval).c_str());
+  }
+
+  // ---- mode 2: contended ping-pong on one word ----
+  {
+    ClusterConfig cluster_config;
+    cluster_config.num_nodes = 2;
+    Cluster cluster(cluster_config);
+    auto process = cluster.create_process(ProcessOptions{});
+    GCounter shared(*process, "pingpong");
+    constexpr int kThreadsPerNode = 8;
+    constexpr int kUpdates = 400;
+
+    fault_histogram(*process)->reset();
+    {
+      ScopedPacing pace(1.0);
+      std::vector<DexThread> threads;
+      for (int t = 0; t < 2 * kThreadsPerNode; ++t) {
+        threads.push_back(process->spawn([&, t] {
+          migrate(t % 2);
+          for (int i = 0; i < kUpdates; ++i) {
+            shared.fetch_add(1);
+            compute(3000);
+          }
+          migrate_back();
+        }));
+      }
+      for (auto& t : threads) t.join();
+    }
+
+    auto* hist = fault_histogram(*process);
+    auto& stats = process->dsm().stats();
+    std::printf(
+        "\ncontended:   %llu faults, %llu retries, %llu invalidations, "
+        "final count %llu (%s)\n",
+        static_cast<unsigned long long>(hist->count()),
+        static_cast<unsigned long long>(stats.retries.load()),
+        static_cast<unsigned long long>(stats.invalidations.load()),
+        static_cast<unsigned long long>(shared.load()),
+        shared.load() == 2ull * kThreadsPerNode * kUpdates ? "correct"
+                                                           : "WRONG");
+    std::printf("             mean %s us, p50 %s us, p95 %s us, max %s us"
+                "  (paper: ~158.8 us with retries)\n",
+                us(static_cast<VirtNs>(hist->mean())).c_str(),
+                us(hist->percentile(0.5)).c_str(),
+                us(hist->percentile(0.95)).c_str(),
+                us(hist->max()).c_str());
+    std::printf("             distribution modes:");
+    for (const auto mode : hist->modes(0.02)) {
+      std::printf(" ~%s us", us(mode).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper SV-D: bimodal fault handling — ~19.3 us uncontended vs "
+      "~158.8 us when a node\nloses the race on a busy directory entry and "
+      "retries after backoff.\n");
+  return 0;
+}

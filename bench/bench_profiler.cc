@@ -1,0 +1,47 @@
+// §IV / §V-C: the profiling-driven optimization workflow.
+//
+// Runs GRP and KMN with fault tracing enabled, Initial vs Optimized, and
+// prints what the paper's tool would show a developer: the hottest fault
+// sites, the false-sharing suspect pages (with the objects and sites
+// involved), and how the optimizations change the fault profile.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "prof/analysis.h"
+
+int main() {
+  using namespace dex;
+  using namespace dex::bench;
+
+  for (const char* name : {"GRP", "KMN"}) {
+    apps::App* app = apps::find_app(name);
+    for (const apps::Variant variant :
+         {apps::Variant::kInitial, apps::Variant::kOptimized}) {
+      apps::RunConfig config;
+      config.nodes = 4;
+      config.threads_per_node = 4;
+      config.variant = variant;
+      config.scale = bench_scale(name) * 0.25;
+      config.trace_faults = true;
+      const apps::RunResult result = apps::run_app(*app, config);
+
+      char title[128];
+      std::snprintf(title, sizeof(title),
+                    "%s (%s): %zu traced fault events, %s us, verified=%s",
+                    name, apps::to_string(variant), result.trace.size(),
+                    us(result.elapsed_ns).c_str(),
+                    result.verified ? "yes" : "NO");
+      print_header(title);
+
+      prof::TraceAnalysis analysis(result.trace);
+      std::printf("%s\n", analysis.format_report(6).c_str());
+    }
+  }
+
+  std::printf(
+      "Expected: the Initial profiles surface grp:scan_loop / "
+      "kmn:assign_loop hammering the\nshared counter/accumulator pages "
+      "(CONTENDED, many nodes); the Optimized profiles show\nthose pages "
+      "gone from the false-sharing list and far fewer write faults.\n");
+  return 0;
+}

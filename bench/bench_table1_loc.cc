@@ -1,0 +1,45 @@
+// Table I: "Complexity to apply DeX to existing applications."
+//
+// Prints, per application, the multithreading implementation, the LoC the
+// paper reports for the initial conversion and for the optimized version,
+// and the corresponding hand-counted LoC of this repository's variants
+// (the lines that differ between the pristine algorithm and each variant:
+// migration calls, placement changes, staging code).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace dex;
+  using namespace dex::bench;
+
+  print_header(
+      "Table I: complexity to apply DeX to existing applications (LoC)");
+  std::printf("%-6s %-12s %8s | %14s %14s | %14s %14s\n", "App", "Impl",
+              "Regions", "paper initial", "paper optim.", "ours initial",
+              "ours optim.");
+  print_rule(96);
+
+  int paper_initial_total = 0, paper_opt_total = 0;
+  int ours_initial_total = 0, ours_opt_total = 0;
+  for (apps::App* app : apps::all_apps()) {
+    const apps::LocInfo loc = app->loc();
+    std::printf("%-6s %-12s %8d | %14d %14d | %14d %14d\n",
+                app->name().c_str(), loc.multithread_impl, loc.regions,
+                loc.paper_initial, loc.paper_optimized, loc.ours_initial,
+                loc.ours_optimized);
+    paper_initial_total += loc.paper_initial;
+    paper_opt_total += loc.paper_optimized;
+    ours_initial_total += loc.ours_initial;
+    ours_opt_total += loc.ours_optimized;
+  }
+  print_rule(96);
+  std::printf("%-6s %-12s %8s | %14d %14d | %14d %14d\n", "total", "", "",
+              paper_initial_total, paper_opt_total, ours_initial_total,
+              ours_opt_total);
+  std::printf(
+      "\nPaper: ~110 LoC added / 42 removed for all initial ports (~1.1%% "
+      "of app code),\n246 LoC modified for all optimizations; we match the "
+      "per-app order of magnitude.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared helpers for the reproduction benches: fixed-width table printing
+// and the standard experiment configurations.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+
+namespace dex::bench {
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+/// Formats virtual nanoseconds as microseconds with one decimal.
+inline std::string us(VirtNs ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+/// Node counts used throughout Figure 2 (the paper sweeps 1..8; we sample
+/// the powers of two plus 6 to keep the default run fast).
+inline const std::vector<int>& fig2_node_counts() {
+  static const std::vector<int> counts = {1, 2, 4, 8};
+  return counts;
+}
+
+/// Per-app workload scales for the benches: sized so the full Figure 2
+/// sweep completes in minutes while keeping every app's characteristic
+/// traffic pattern.
+inline double bench_scale(const std::string& app) {
+  if (app == "GRP") return 4.00;   // 16 MB text
+  if (app == "KMN") return 5.00;   // 500k points
+  if (app == "BT") return 0.70;    // ~50^3 grid
+  if (app == "EP") return 8.00;    // ~2M pairs
+  if (app == "FT") return 1.00;    // 64^3 grid
+  if (app == "BLK") return 1.00;   // 64k options
+  if (app == "BFS") return 2.00;   // 2^17 vertices
+  if (app == "BP") return 1.00;    // sized against the LLC model (§V-B)
+  return 1.0;
+}
+
+}  // namespace dex::bench

@@ -1,0 +1,108 @@
+// The §IV profiling workflow, end to end.
+//
+// Deliberately builds a program with a false-sharing bug: per-thread
+// accumulator slots packed on one shared page, updated from every node.
+// Step 1 runs it with fault tracing and prints the profiler report — the
+// contended page tops the false-sharing list with the culprit site.
+// Step 2 applies the §IV-B fix (page-aligned per-thread slots) and shows
+// the faults collapse and virtual time improve.
+//
+//   $ ./profiling_tour [nodes]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/api.h"
+#include "prof/analysis.h"
+
+namespace {
+
+struct Outcome {
+  dex::VirtNs elapsed;
+  std::size_t fault_events;
+  std::vector<dex::prof::FaultEvent> trace;
+};
+
+Outcome run(int nodes, bool aligned) {
+  dex::ClusterConfig cluster_config;
+  cluster_config.num_nodes = nodes;
+  dex::Cluster cluster(cluster_config);
+  auto process = cluster.create_process(dex::ProcessOptions{});
+  process->trace().enable();
+
+  constexpr int kThreadsPerNode = 2;
+  constexpr int kRounds = 400;
+  const int nthreads = nodes * kThreadsPerNode;
+
+  // The accumulators: packed (buggy) vs one page each (fixed).
+  std::vector<dex::GAddr> slots;
+  if (aligned) {
+    for (int t = 0; t < nthreads; ++t) {
+      slots.push_back(
+          process->g_memalign(dex::kPageSize, 8, "accumulators"));
+    }
+  } else {
+    const dex::GAddr base = process->g_malloc(
+        8 * static_cast<std::size_t>(nthreads), "accumulators");
+    for (int t = 0; t < nthreads; ++t) {
+      slots.push_back(base + 8 * static_cast<std::uint64_t>(t));
+    }
+  }
+
+  const dex::VirtNs t0 = dex::now();
+  std::vector<dex::DexThread> workers;
+  {
+    dex::ScopedPacing pace(1.0);
+    for (int tid = 0; tid < nthreads; ++tid) {
+      workers.push_back(process->spawn([&, tid] {
+        dex::migrate(tid / kThreadsPerNode);
+        dex::ScopedSite site("tour:accumulate");
+        for (int r = 0; r < kRounds; ++r) {
+          process->atomic_fetch_add(slots[static_cast<std::size_t>(tid)],
+                                    1);
+          dex::compute(3000);
+        }
+        dex::migrate_back();
+      }));
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  Outcome outcome;
+  outcome.elapsed = dex::now() - t0;
+  outcome.trace = process->trace().snapshot();
+  outcome.fault_events = outcome.trace.size();
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  std::printf("== step 1: run the buggy version under the profiler ==\n");
+  const Outcome buggy = run(nodes, /*aligned=*/false);
+  dex::prof::TraceAnalysis analysis(buggy.trace);
+  std::printf("%s\n", analysis.format_report(4).c_str());
+
+  std::printf(
+      "The false-sharing list points at the 'accumulators' page written "
+      "from every node\nby tour:accumulate. Applying the SIV-B fix "
+      "(posix_memalign one slot per page)...\n\n");
+
+  std::printf("== step 2: the fixed version ==\n");
+  const Outcome fixed = run(nodes, /*aligned=*/true);
+  dex::prof::TraceAnalysis fixed_analysis(fixed.trace);
+  std::printf("%s\n", fixed_analysis.format_report(4).c_str());
+
+  std::printf("== result ==\n");
+  std::printf("  buggy : %8.1f us, %zu traced faults\n",
+              static_cast<double>(buggy.elapsed) / 1000.0,
+              buggy.fault_events);
+  std::printf("  fixed : %8.1f us, %zu traced faults (%.1fx faster)\n",
+              static_cast<double>(fixed.elapsed) / 1000.0,
+              fixed.fault_events,
+              static_cast<double>(buggy.elapsed) /
+                  static_cast<double>(fixed.elapsed));
+  return fixed.elapsed < buggy.elapsed ? 0 : 1;
+}

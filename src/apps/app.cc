@@ -1,0 +1,52 @@
+#include "apps/app.h"
+
+#include "common/assert.h"
+
+namespace dex::apps {
+
+// Defined in the per-application translation units.
+App* grp_app();
+App* kmn_app();
+App* bt_app();
+App* ep_app();
+App* ft_app();
+App* blk_app();
+App* bfs_app();
+App* bp_app();
+
+const std::vector<App*>& all_apps() {
+  static const std::vector<App*> apps = {
+      grp_app(), kmn_app(), bt_app(), ep_app(),
+      ft_app(),  blk_app(), bfs_app(), bp_app(),
+  };
+  return apps;
+}
+
+App* find_app(const std::string& name) {
+  for (App* app : all_apps()) {
+    if (app->name() == name) return app;
+  }
+  return nullptr;
+}
+
+RunResult run_app(App& app, const RunConfig& config,
+                  const core::ClusterConfig& base) {
+  core::ClusterConfig cluster_config = base;
+  cluster_config.num_nodes = config.nodes;
+  core::Cluster cluster(cluster_config);
+  return app.run(cluster, config);
+}
+
+void snapshot_stats(core::Process& process, RunResult& result) {
+  auto& stats = process.dsm().stats();
+  result.faults = stats.total_faults();
+  result.remote_faults = stats.remote_faults.load();
+  result.invalidations = stats.invalidations.load();
+  result.retries = stats.retries.load();
+  result.messages = process.cluster().fabric().total_messages();
+  if (process.trace().enabled()) {
+    result.trace = process.trace().snapshot();
+  }
+}
+
+}  // namespace dex::apps

@@ -1,0 +1,136 @@
+// Application framework for the paper's eight evaluation workloads (§V).
+//
+// Every application implements two variants of the same computation:
+//   kInitial   — the paper's "Initial" port: migration calls inserted, no
+//                other changes; keeps the original false-sharing patterns
+//                (packed thread-argument pages, contended global counters
+//                and flags, unaligned partitions).
+//   kOptimized — the §IV/§V-C optimizations applied: page-aligned per-node
+//                data (posix_memalign), read-only globals isolated on their
+//                own pages, locally staged flag/counter updates.
+// Both variants must produce the same verified result.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+
+namespace dex::apps {
+
+enum class Variant { kInitial, kOptimized };
+
+inline const char* to_string(Variant v) {
+  return v == Variant::kInitial ? "initial" : "optimized";
+}
+
+struct RunConfig {
+  int nodes = 1;
+  int threads_per_node = 8;
+  Variant variant = Variant::kInitial;
+  /// Workload scale factor (1.0 = the library's default size; benches use
+  /// smaller values to keep the full Figure 2 sweep fast).
+  double scale = 1.0;
+  /// false = the single-machine baseline: no migration, everything at the
+  /// origin. With nodes=1 this is the Figure 2 normalization denominator.
+  bool migrate = true;
+  std::uint64_t seed = 42;
+  /// Enable page-fault tracing for this run (profiling workflow, §IV-A).
+  bool trace_faults = false;
+  /// Real-seconds-per-virtual-second coupling during the measured phase
+  /// (see vclock::set_pacing): keeps thread interleavings virtual-time
+  /// faithful so contention (page ping-pong) materializes as it would on
+  /// the paper's cluster. 0 disables (fast, for correctness-only tests).
+  double pacing = 0.05;
+};
+
+struct RunResult {
+  VirtNs elapsed_ns = 0;   // virtual time of the measured compute phase
+  std::uint64_t checksum = 0;
+  bool verified = false;   // matches the sequential reference
+  // Protocol statistics snapshot for the run.
+  std::uint64_t faults = 0;
+  std::uint64_t remote_faults = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t messages = 0;
+  std::vector<prof::FaultEvent> trace;  // when trace_faults was set
+};
+
+/// Conversion-effort record (Table I). `paper_*` are the paper's reported
+/// line counts; `ours_*` are hand-counted from this repo's variants (the
+/// lines that differ between the pristine algorithm and each variant).
+struct LocInfo {
+  const char* multithread_impl;  // "Pthread" / "OpenMP (n)"
+  int regions;                   // OpenMP parallel regions converted
+  int paper_initial;             // LoC changed for the initial port
+  int paper_optimized;           // additional LoC for the optimized port
+  int ours_initial;
+  int ours_optimized;
+};
+
+class App {
+ public:
+  virtual ~App() = default;
+  virtual std::string name() const = 0;         // e.g. "GRP"
+  virtual std::string description() const = 0;
+  virtual LocInfo loc() const = 0;
+  /// Memory-streaming intensity for the bandwidth model (§V-B's BP is the
+  /// heavy one). May depend on the per-node working set.
+  virtual double stream_intensity(const RunConfig& config) const {
+    (void)config;
+    return 0.15;
+  }
+  virtual RunResult run(core::Cluster& cluster, const RunConfig& config) = 0;
+};
+
+/// Registry of the eight paper applications, in Table I order:
+/// GRP, KMN, BT, EP, FT, BLK, BFS, BP.
+const std::vector<App*>& all_apps();
+App* find_app(const std::string& name);
+
+/// Convenience: builds a cluster sized for `config` and runs the app.
+RunResult run_app(App& app, const RunConfig& config,
+                  const core::ClusterConfig& base = {});
+
+/// Fills the protocol-statistics fields of `result` from `process`.
+void snapshot_stats(core::Process& process, RunResult& result);
+
+/// Per-thread argument blocks with variant-dependent placement: packed on
+/// one page (Initial: the pthread_create-args false-sharing pattern) or
+/// one page per thread (Optimized).
+class ArgsBlock {
+ public:
+  ArgsBlock() = default;
+  ArgsBlock(core::Process& process, int nthreads, std::size_t bytes_each,
+            Variant variant, const std::string& tag)
+      : process_(&process),
+        stride_(variant == Variant::kOptimized
+                    ? (bytes_each + kPageSize - 1) & ~(kPageSize - 1)
+                    : bytes_each) {
+    base_ = process.mmap(static_cast<std::uint64_t>(nthreads) * stride_,
+                         mem::kProtReadWrite, tag);
+    DEX_CHECK(base_ != kNullGAddr);
+  }
+
+  GAddr slot(int tid) const {
+    return base_ + static_cast<std::uint64_t>(tid) * stride_;
+  }
+  template <typename T>
+  T get(int tid) const {
+    return process_->load<T>(slot(tid));
+  }
+  template <typename T>
+  void set(int tid, const T& value) {
+    process_->store<T>(slot(tid), value);
+  }
+
+ private:
+  core::Process* process_ = nullptr;
+  GAddr base_ = kNullGAddr;
+  std::uint64_t stride_ = 0;
+};
+
+}  // namespace dex::apps

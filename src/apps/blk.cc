@@ -1,0 +1,177 @@
+// BLK — PARSEC blackscholes (pthread variant, 'native'-style input).
+//
+// Prices a portfolio of European options with the Black-Scholes
+// closed-form solution, repeatedly (PARSEC runs NUM_RUNS=100 passes; we
+// scale that down). Option data is read-only after setup and partitions
+// are disjoint, so the paper finds BLK scale-ready: the Initial port
+// already scales. The Optimized port page-aligns the per-thread argument
+// blocks and partition boundaries, trimming residual boundary sharing.
+#include <cmath>
+#include <vector>
+
+#include "apps/app.h"
+#include "common/rand.h"
+#include "core/parallel.h"
+
+namespace dex::apps {
+namespace {
+
+constexpr int kPasses = 4;
+constexpr double kOptionNs = 220.0;  // CNDF-based pricing per option
+
+struct OptionData {
+  double spot, strike, rate, volatility, time;
+  std::int32_t type;  // 0 = call, 1 = put
+  std::int32_t pad;
+};
+
+struct BlkArgs {
+  std::uint64_t begin;
+  std::uint64_t end;
+};
+
+double cndf(double x) {
+  const double sign = x < 0 ? -1.0 : 1.0;
+  x = std::fabs(x) * M_SQRT1_2;
+  const double t = 1.0 / (1.0 + 0.3275911 * x);
+  const double y =
+      1.0 - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t -
+              0.284496736) *
+                 t +
+             0.254829592) *
+                t * std::exp(-x * x);
+  return 0.5 * (1.0 + sign * y);
+}
+
+double price_option(const OptionData& o) {
+  const double sqrt_t = std::sqrt(o.time);
+  const double d1 =
+      (std::log(o.spot / o.strike) +
+       (o.rate + 0.5 * o.volatility * o.volatility) * o.time) /
+      (o.volatility * sqrt_t);
+  const double d2 = d1 - o.volatility * sqrt_t;
+  const double call = o.spot * cndf(d1) -
+                      o.strike * std::exp(-o.rate * o.time) * cndf(d2);
+  if (o.type == 0) return call;
+  // put via parity
+  return call - o.spot + o.strike * std::exp(-o.rate * o.time);
+}
+
+class BlkApp final : public App {
+ public:
+  std::string name() const override { return "BLK"; }
+  std::string description() const override {
+    return "PARSEC blackscholes option pricing";
+  }
+  LocInfo loc() const override {
+    return LocInfo{"Pthread", 0, /*paper_initial=*/2, /*paper_optimized=*/12,
+                   /*ours_initial=*/2, /*ours_optimized=*/10};
+  }
+  double stream_intensity(const RunConfig&) const override { return 0.10; }
+
+  RunResult run(core::Cluster& cluster, const RunConfig& config) override {
+    const auto num_options =
+        static_cast<std::size_t>(config.scale * 65536.0);
+
+    std::vector<OptionData> host(num_options);
+    Xoshiro256 rng(config.seed);
+    for (auto& o : host) {
+      o.spot = 10.0 + rng.next_double() * 90.0;
+      o.strike = 10.0 + rng.next_double() * 90.0;
+      o.rate = 0.01 + rng.next_double() * 0.09;
+      o.volatility = 0.05 + rng.next_double() * 0.55;
+      o.time = 0.1 + rng.next_double() * 2.9;
+      o.type = static_cast<std::int32_t>(rng.next_below(2));
+      o.pad = 0;
+    }
+
+    ProcessOptions popt;
+    popt.stream_intensity = stream_intensity(config);
+    auto process = cluster.create_process(popt);
+    if (config.trace_faults) process->trace().enable();
+
+    GArray<OptionData> options(*process, num_options, "blk:options");
+    options.write_block(0, num_options, host.data());
+    GArray<double> prices(*process, num_options, "blk:prices");
+
+    core::TeamOptions topt;
+    topt.nodes = config.nodes;
+    topt.threads_per_node = config.threads_per_node;
+    topt.migrate = config.migrate;
+    const int nthreads = topt.total_threads();
+
+    ArgsBlock args(*process, nthreads, sizeof(BlkArgs), config.variant,
+                   "blk:args");
+    {
+      std::uint64_t chunk =
+          (num_options + static_cast<std::size_t>(nthreads) - 1) /
+          static_cast<std::size_t>(nthreads);
+      if (config.variant == Variant::kOptimized) {
+        // Page-align partition boundaries (prices: 512 doubles per page).
+        constexpr std::uint64_t kPerPage = kPageSize / sizeof(double);
+        chunk = (chunk + kPerPage - 1) / kPerPage * kPerPage;
+      }
+      for (int tid = 0; tid < nthreads; ++tid) {
+        BlkArgs a;
+        a.begin = std::min<std::uint64_t>(
+            chunk * static_cast<std::uint64_t>(tid), num_options);
+        a.end = std::min<std::uint64_t>(a.begin + chunk, num_options);
+        args.set(tid, a);
+      }
+    }
+
+    // ---- measured phase: one pthread region over all passes ----
+    ScopedPacing pace_scope(config.pacing);
+    const VirtNs t0 = dex::now();
+    run_team(*process, topt, [&](int tid, int) {
+      ScopedSite site("blk:price_loop");
+      const BlkArgs a = args.get<BlkArgs>(tid);
+      std::vector<OptionData> batch(512);
+      std::vector<double> out(512);
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (std::uint64_t base = a.begin; base < a.end;
+             base += batch.size()) {
+          const std::size_t n =
+              std::min<std::uint64_t>(batch.size(), a.end - base);
+          options.read_block(base, n, batch.data());
+          for (std::size_t i = 0; i < n; ++i) {
+            out[i] = price_option(batch[i]);
+          }
+          dex::compute(
+              static_cast<VirtNs>(kOptionNs * static_cast<double>(n)));
+          prices.write_block(base, n, out.data());
+        }
+      }
+    });
+    const VirtNs elapsed = dex::now() - t0;
+
+    // ---- verification ----
+    std::uint64_t checksum = 0, expect = 0;
+    std::vector<double> got(num_options);
+    prices.read_block(0, num_options, got.data());
+    for (std::size_t i = 0; i < num_options; ++i) {
+      std::uint64_t bits_got, bits_ref;
+      const double ref = price_option(host[i]);
+      std::memcpy(&bits_got, &got[i], 8);
+      std::memcpy(&bits_ref, &ref, 8);
+      checksum = (checksum ^ bits_got) * 1099511628211ULL;
+      expect = (expect ^ bits_ref) * 1099511628211ULL;
+    }
+
+    RunResult result;
+    result.elapsed_ns = elapsed;
+    result.checksum = checksum;
+    result.verified = checksum == expect;
+    snapshot_stats(*process, result);
+    return result;
+  }
+};
+
+}  // namespace
+
+App* blk_app() {
+  static BlkApp app;
+  return &app;
+}
+
+}  // namespace dex::apps

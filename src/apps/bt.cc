@@ -1,0 +1,563 @@
+// BT — NPB Block-Tridiagonal pseudo-application (reduced form).
+//
+// The real BT iterates: compute the right-hand side with 3-D stencils, then
+// perform line solves along x, y and z, then add the correction to the
+// solution. We keep exactly that structure — 15 OpenMP parallel regions per
+// iteration (the count the paper converts, Table I) with BT's
+// characteristic access patterns:
+//   - rhs stencils and x/y line solves parallelize over k-slabs,
+//   - the z line solve parallelizes over j (the recurrence runs along k),
+//     so its partition *differs* from the others and data reshuffles
+//     between nodes every iteration — the reason BT stresses the DSM.
+// The per-cell arithmetic is a simplified (scalar, 5-component) stand-in
+// for the 5x5 block operations; its virtual cost models the real flop
+// count. Both variants and the sequential reference run the same code, so
+// results are bit-identical and verification is exact.
+//
+// Initial port: the region parameters live on the master's "stack page"
+// which the master also scribbles on before every region (the
+// pthread_create/OpenMP shared-variable pattern of §IV-B), and the k-slab
+// partition boundaries are not page aligned, so neighboring threads on
+// different nodes write-share boundary pages.
+// Optimized: parameters are passed in page-aligned per-thread args, planes
+// are padded to page boundaries so slab boundaries never share a page.
+#include <cstring>
+#include <vector>
+
+#include "apps/app.h"
+#include "core/parallel.h"
+
+namespace dex::apps {
+namespace {
+
+constexpr int kComponents = 5;
+constexpr double kCellNsPerRegion = 150.0;  // ~5x5 block ops per cell
+constexpr int kIterations = 3;
+
+/// Row = all i cells of one (k, j) line: S * 5 doubles, contiguous.
+template <typename Grid>
+void read_row(const Grid& g, int k, int j, double* out) {
+  g.read(g.row_index(k, j), g.row_elems(), out);
+}
+template <typename Grid>
+void write_row(Grid& g, int k, int j, const double* in) {
+  g.write(g.row_index(k, j), g.row_elems(), in);
+}
+
+struct GridShape {
+  int S = 0;                        // cells per dimension
+  std::size_t plane_stride = 0;     // elements between k-planes
+
+  std::size_t row_elems() const {
+    return static_cast<std::size_t>(S) * kComponents;
+  }
+  std::size_t row_index(int k, int j) const {
+    return static_cast<std::size_t>(k) * plane_stride +
+           static_cast<std::size_t>(j) * row_elems();
+  }
+  std::size_t total_elems() const {
+    return static_cast<std::size_t>(S) * plane_stride;
+  }
+};
+
+/// Host-side grid for the sequential reference.
+struct HostGrid : GridShape {
+  std::vector<double> v;
+  void read(std::size_t at, std::size_t n, double* out) const {
+    std::memcpy(out, v.data() + at, n * sizeof(double));
+  }
+  void write(std::size_t at, std::size_t n, const double* in) {
+    std::memcpy(v.data() + at, in, n * sizeof(double));
+  }
+};
+
+/// Distributed grid. Writes carry the region's per-cell flop cost so
+/// compute time accrues as the sweep progresses (each region writes every
+/// owned row exactly once), keeping cross-thread interleavings — and the
+/// boundary false sharing they produce — spread over the region.
+struct DexGrid : GridShape {
+  GArray<double>* arr = nullptr;
+  void read(std::size_t at, std::size_t n, double* out) const {
+    arr->read_block(at, n, out);
+  }
+  void write(std::size_t at, std::size_t n, const double* in) {
+    dex::compute(static_cast<VirtNs>(
+        kCellNsPerRegion * static_cast<double>(n) / kComponents));
+    arr->write_block(at, n, in);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The 15 regions. Each is parameterized by the slab/stripe [lo, hi) the
+// calling thread owns; `u` and `rhs` are grids of the same shape.
+// ---------------------------------------------------------------------------
+
+/// Region 1 (txinvr): rhs = u * 0.95, k-partition.
+template <typename G>
+void region_txinvr(const G& u, G& rhs, int klo, int khi) {
+  std::vector<double> row(u.row_elems());
+  for (int k = klo; k < khi; ++k) {
+    for (int j = 0; j < u.S; ++j) {
+      read_row(u, k, j, row.data());
+      for (auto& x : row) x *= 0.95;
+      write_row(rhs, k, j, row.data());
+    }
+  }
+}
+
+/// Regions 2-4 (rhs stencils along k, j, i), k-partition. The k stencil
+/// reads neighbor planes — the halo exchange.
+template <typename G>
+void region_rhs_k(const G& u, G& rhs, int klo, int khi) {
+  std::vector<double> row(u.row_elems()), lo(u.row_elems()),
+      hi(u.row_elems()), r(u.row_elems());
+  for (int k = klo; k < khi; ++k) {
+    const int km = k > 0 ? k - 1 : k;
+    const int kp = k < u.S - 1 ? k + 1 : k;
+    for (int j = 0; j < u.S; ++j) {
+      read_row(u, k, j, row.data());
+      read_row(u, km, j, lo.data());
+      read_row(u, kp, j, hi.data());
+      read_row(rhs, k, j, r.data());
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        r[i] += 0.1 * (lo[i] + hi[i] - 2.0 * row[i]);
+      }
+      write_row(rhs, k, j, r.data());
+    }
+  }
+}
+
+template <typename G>
+void region_rhs_j(const G& u, G& rhs, int klo, int khi) {
+  std::vector<double> row(u.row_elems()), lo(u.row_elems()),
+      hi(u.row_elems()), r(u.row_elems());
+  for (int k = klo; k < khi; ++k) {
+    for (int j = 0; j < u.S; ++j) {
+      const int jm = j > 0 ? j - 1 : j;
+      const int jp = j < u.S - 1 ? j + 1 : j;
+      read_row(u, k, j, row.data());
+      read_row(u, k, jm, lo.data());
+      read_row(u, k, jp, hi.data());
+      read_row(rhs, k, j, r.data());
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        r[i] += 0.1 * (lo[i] + hi[i] - 2.0 * row[i]);
+      }
+      write_row(rhs, k, j, r.data());
+    }
+  }
+}
+
+template <typename G>
+void region_rhs_i(const G& u, G& rhs, int klo, int khi) {
+  std::vector<double> row(u.row_elems()), r(u.row_elems());
+  for (int k = klo; k < khi; ++k) {
+    for (int j = 0; j < u.S; ++j) {
+      read_row(u, k, j, row.data());
+      read_row(rhs, k, j, r.data());
+      for (int i = 0; i < u.S; ++i) {
+        const int im = i > 0 ? i - 1 : i;
+        const int ip = i < u.S - 1 ? i + 1 : i;
+        for (int m = 0; m < kComponents; ++m) {
+          const std::size_t c =
+              static_cast<std::size_t>(i) * kComponents +
+              static_cast<std::size_t>(m);
+          const std::size_t cm =
+              static_cast<std::size_t>(im) * kComponents +
+              static_cast<std::size_t>(m);
+          const std::size_t cp =
+              static_cast<std::size_t>(ip) * kComponents +
+              static_cast<std::size_t>(m);
+          r[c] += 0.1 * (row[cm] + row[cp] - 2.0 * row[c]);
+        }
+      }
+      write_row(rhs, k, j, r.data());
+    }
+  }
+}
+
+/// x-solve (3 sub-regions): forward/backward recurrence along i, then fold
+/// into u. k-partition; fully slab-local.
+template <typename G>
+void region_x_forward(G& rhs, int klo, int khi) {
+  std::vector<double> r(rhs.row_elems());
+  for (int k = klo; k < khi; ++k) {
+    for (int j = 0; j < rhs.S; ++j) {
+      read_row(rhs, k, j, r.data());
+      for (int i = 1; i < rhs.S; ++i) {
+        for (int m = 0; m < kComponents; ++m) {
+          const std::size_t c =
+              static_cast<std::size_t>(i) * kComponents +
+              static_cast<std::size_t>(m);
+          r[c] += 0.25 * r[c - kComponents];
+        }
+      }
+      write_row(rhs, k, j, r.data());
+    }
+  }
+}
+
+template <typename G>
+void region_x_backward(G& rhs, int klo, int khi) {
+  std::vector<double> r(rhs.row_elems());
+  for (int k = klo; k < khi; ++k) {
+    for (int j = 0; j < rhs.S; ++j) {
+      read_row(rhs, k, j, r.data());
+      for (int i = rhs.S - 2; i >= 0; --i) {
+        for (int m = 0; m < kComponents; ++m) {
+          const std::size_t c =
+              static_cast<std::size_t>(i) * kComponents +
+              static_cast<std::size_t>(m);
+          r[c] += 0.25 * r[c + kComponents];
+        }
+      }
+      write_row(rhs, k, j, r.data());
+    }
+  }
+}
+
+template <typename G>
+void region_fold(const G& rhs, G& u, int klo, int khi) {
+  std::vector<double> row(u.row_elems()), r(u.row_elems());
+  for (int k = klo; k < khi; ++k) {
+    for (int j = 0; j < u.S; ++j) {
+      read_row(u, k, j, row.data());
+      read_row(rhs, k, j, r.data());
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        row[i] = row[i] * 0.99 + r[i] * 0.005;
+      }
+      write_row(u, k, j, row.data());
+    }
+  }
+}
+
+/// y-solve recurrences along j; k-partition, slab-local.
+template <typename G>
+void region_y_forward(G& rhs, int klo, int khi) {
+  std::vector<double> prev(rhs.row_elems()), cur(rhs.row_elems());
+  for (int k = klo; k < khi; ++k) {
+    read_row(rhs, k, 0, prev.data());
+    for (int j = 1; j < rhs.S; ++j) {
+      read_row(rhs, k, j, cur.data());
+      for (std::size_t i = 0; i < cur.size(); ++i) cur[i] += 0.25 * prev[i];
+      write_row(rhs, k, j, cur.data());
+      std::swap(prev, cur);
+    }
+  }
+}
+
+template <typename G>
+void region_y_backward(G& rhs, int klo, int khi) {
+  std::vector<double> prev(rhs.row_elems()), cur(rhs.row_elems());
+  for (int k = klo; k < khi; ++k) {
+    read_row(rhs, k, rhs.S - 1, prev.data());
+    for (int j = rhs.S - 2; j >= 0; --j) {
+      read_row(rhs, k, j, cur.data());
+      for (std::size_t i = 0; i < cur.size(); ++i) cur[i] += 0.25 * prev[i];
+      write_row(rhs, k, j, cur.data());
+      std::swap(prev, cur);
+    }
+  }
+}
+
+/// z-solve recurrences along k; parallelized over j (different partition!),
+/// so each thread touches every k-plane in its j-stripe.
+template <typename G>
+void region_z_forward(G& rhs, int jlo, int jhi) {
+  std::vector<double> prev(rhs.row_elems()), cur(rhs.row_elems());
+  for (int j = jlo; j < jhi; ++j) {
+    read_row(rhs, 0, j, prev.data());
+    for (int k = 1; k < rhs.S; ++k) {
+      read_row(rhs, k, j, cur.data());
+      for (std::size_t i = 0; i < cur.size(); ++i) cur[i] += 0.25 * prev[i];
+      write_row(rhs, k, j, cur.data());
+      std::swap(prev, cur);
+    }
+  }
+}
+
+template <typename G>
+void region_z_backward(G& rhs, int jlo, int jhi) {
+  std::vector<double> prev(rhs.row_elems()), cur(rhs.row_elems());
+  for (int j = jlo; j < jhi; ++j) {
+    read_row(rhs, rhs.S - 1, j, prev.data());
+    for (int k = rhs.S - 2; k >= 0; --k) {
+      read_row(rhs, k, j, cur.data());
+      for (std::size_t i = 0; i < cur.size(); ++i) cur[i] += 0.25 * prev[i];
+      write_row(rhs, k, j, cur.data());
+      std::swap(prev, cur);
+    }
+  }
+}
+
+template <typename G>
+void region_fold_j(const G& rhs, G& u, int jlo, int jhi) {
+  std::vector<double> row(u.row_elems()), r(u.row_elems());
+  for (int j = jlo; j < jhi; ++j) {
+    for (int k = 0; k < u.S; ++k) {
+      read_row(u, k, j, row.data());
+      read_row(rhs, k, j, r.data());
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        row[i] = row[i] * 0.99 + r[i] * 0.005;
+      }
+      write_row(u, k, j, row.data());
+    }
+  }
+}
+
+/// Region 15 (add): u += rhs * 0.01, k-partition.
+template <typename G>
+void region_add(const G& rhs, G& u, int klo, int khi) {
+  std::vector<double> row(u.row_elems()), r(u.row_elems());
+  for (int k = klo; k < khi; ++k) {
+    for (int j = 0; j < u.S; ++j) {
+      read_row(u, k, j, row.data());
+      read_row(rhs, k, j, r.data());
+      for (std::size_t i = 0; i < row.size(); ++i) row[i] += 0.01 * r[i];
+      write_row(u, k, j, row.data());
+    }
+  }
+}
+
+/// Runs one full iteration (15 regions) sequentially on host grids — the
+/// verification reference.
+void reference_iteration(HostGrid& u, HostGrid& rhs) {
+  const int S = u.S;
+  region_txinvr(u, rhs, 0, S);
+  region_rhs_k(u, rhs, 0, S);
+  region_rhs_j(u, rhs, 0, S);
+  region_rhs_i(u, rhs, 0, S);
+  region_x_forward(rhs, 0, S);
+  region_x_backward(rhs, 0, S);
+  region_fold(rhs, u, 0, S);
+  region_y_forward(rhs, 0, S);
+  region_y_backward(rhs, 0, S);
+  region_fold(rhs, u, 0, S);
+  region_z_forward(rhs, 0, S);
+  region_z_backward(rhs, 0, S);
+  region_fold_j(rhs, u, 0, S);
+  region_add(rhs, u, 0, S);
+  region_txinvr(u, rhs, 0, S);  // 15th: prime rhs for the next iteration
+}
+
+std::uint64_t checksum_grid(const GridShape& shape,
+                            const std::function<double(std::size_t)>& at) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int k = 0; k < shape.S; ++k) {
+    const std::size_t base = shape.row_index(k, 0);
+    for (std::size_t e = 0; e < shape.row_elems() *
+                                     static_cast<std::size_t>(shape.S);
+         e += 97) {
+      std::uint64_t bits;
+      const double v = at(base + e);
+      std::memcpy(&bits, &v, 8);
+      h = (h ^ bits) * 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+class BtApp final : public App {
+ public:
+  std::string name() const override { return "BT"; }
+  std::string description() const override {
+    return "NPB BT: stencil RHS + x/y/z line solves";
+  }
+  LocInfo loc() const override {
+    return LocInfo{"OpenMP (15)", 15, /*paper_initial=*/44,
+                   /*paper_optimized=*/60, /*ours_initial=*/30,
+                   /*ours_optimized=*/36};
+  }
+  double stream_intensity(const RunConfig&) const override { return 0.35; }
+
+  RunResult run(core::Cluster& cluster, const RunConfig& config) override {
+    // scale multiplies the cell count; S is the cube root.
+    const int S = std::max(
+        8, static_cast<int>(std::lround(56.0 * std::cbrt(config.scale))));
+
+    ProcessOptions popt;
+    popt.stream_intensity = stream_intensity(config);
+    auto process = cluster.create_process(popt);
+    if (config.trace_faults) process->trace().enable();
+
+    // Plane stride: exact (Initial — slab boundaries share pages) or
+    // padded to page multiples (Optimized §IV-B alignment).
+    GridShape shape;
+    shape.S = S;
+    const std::size_t exact =
+        static_cast<std::size_t>(S) * static_cast<std::size_t>(S) *
+        kComponents;
+    if (config.variant == Variant::kOptimized) {
+      const std::size_t per_page = kPageSize / sizeof(double);
+      shape.plane_stride = (exact + per_page - 1) / per_page * per_page;
+    } else {
+      shape.plane_stride = exact;
+    }
+
+    GArray<double> gu(*process, shape.total_elems(), "bt:u");
+    GArray<double> grhs(*process, shape.total_elems(), "bt:rhs");
+
+    // Deterministic initial condition.
+    HostGrid ref_u;
+    static_cast<GridShape&>(ref_u) = shape;
+    ref_u.v.assign(shape.total_elems(), 0.0);
+    for (int k = 0; k < S; ++k) {
+      for (int j = 0; j < S; ++j) {
+        for (int i = 0; i < S * kComponents; ++i) {
+          ref_u.v[shape.row_index(k, j) + static_cast<std::size_t>(i)] =
+              0.01 * (k + 1) + 0.001 * (j + 1) + 0.0001 * (i + 1);
+        }
+      }
+    }
+    gu.write_block(0, shape.total_elems(), ref_u.v.data());
+
+    HostGrid ref_rhs;
+    static_cast<GridShape&>(ref_rhs) = shape;
+    ref_rhs.v.assign(shape.total_elems(), 0.0);
+
+    DexGrid u;
+    static_cast<GridShape&>(u) = shape;
+    u.arr = &gu;
+    DexGrid rhs;
+    static_cast<GridShape&>(rhs) = shape;
+    rhs.arr = &grhs;
+
+    // The master's "stack page": region parameters that children read. In
+    // the Initial port the master also writes scratch values to the same
+    // page before every region (the §IV-B stack-sharing pattern).
+    struct StackArgs {
+      std::int32_t S;
+      std::int32_t iteration;
+    };
+    GVar<StackArgs> stack_args(*process, "bt:stack_args",
+                               config.variant == Variant::kOptimized);
+    GCounter master_scratch(*process, "bt:master_scratch");
+    stack_args.store(StackArgs{S, 0});
+
+    core::TeamOptions topt;
+    topt.nodes = config.nodes;
+    topt.threads_per_node = config.threads_per_node;
+    topt.migrate = config.migrate;
+    core::Team team(*process, topt);
+    const int nthreads = topt.total_threads();
+
+    auto kslab = [&](int tid, int* lo, int* hi) {
+      const int chunk = (S + nthreads - 1) / nthreads;
+      *lo = std::min(S, tid * chunk);
+      *hi = std::min(S, *lo + chunk);
+    };
+
+    auto run_bt_region = [&](const char* site_name,
+                             const std::function<void(int lo, int hi)>& fn,
+                             bool j_partition) {
+      if (config.variant == Variant::kInitial) {
+        // Master updates its stack right before forking the region,
+        // invalidating every node's copy of the shared-args page.
+        master_scratch.fetch_add(1);
+        stack_args.store(StackArgs{S, 0});
+      }
+      team.run_region([&](int tid, int) {
+        ScopedSite site(site_name);
+        // Children read the region parameters from the master's stack.
+        const StackArgs a = stack_args.load();
+        (void)a;
+        int lo, hi;
+        if (j_partition) {
+          kslab(tid, &lo, &hi);  // stripes over j have the same shape
+        } else {
+          kslab(tid, &lo, &hi);
+        }
+        fn(lo, hi);
+        if (config.variant == Variant::kInitial) {
+          // SIV-C's correlated-fault pattern, as profiled in the NPB apps:
+          // the sweep re-reads loop-range globals that share a page with a
+          // residual counter other threads keep updating, so every re-read
+          // faults and every update invalidates all readers.
+          ScopedSite scratch_site("bt:param_reread");
+          const int rows = (hi - lo) * S;
+          for (int r = 0; r < rows; ++r) {
+            master_scratch.fetch_add(1);
+            (void)stack_args.load();
+          }
+        }
+      });
+    };
+
+    // ---- measured phase ----
+    ScopedPacing pace_scope(config.pacing);
+    const VirtNs t0 = dex::now();
+    for (int iter = 0; iter < kIterations; ++iter) {
+      run_bt_region("bt:txinvr",
+                    [&](int lo, int hi) { region_txinvr(u, rhs, lo, hi); },
+                    false);
+      run_bt_region("bt:rhs_k",
+                    [&](int lo, int hi) { region_rhs_k(u, rhs, lo, hi); },
+                    false);
+      run_bt_region("bt:rhs_j",
+                    [&](int lo, int hi) { region_rhs_j(u, rhs, lo, hi); },
+                    false);
+      run_bt_region("bt:rhs_i",
+                    [&](int lo, int hi) { region_rhs_i(u, rhs, lo, hi); },
+                    false);
+      run_bt_region("bt:x_fwd",
+                    [&](int lo, int hi) { region_x_forward(rhs, lo, hi); },
+                    false);
+      run_bt_region("bt:x_back",
+                    [&](int lo, int hi) { region_x_backward(rhs, lo, hi); },
+                    false);
+      run_bt_region("bt:x_fold",
+                    [&](int lo, int hi) { region_fold(rhs, u, lo, hi); },
+                    false);
+      run_bt_region("bt:y_fwd",
+                    [&](int lo, int hi) { region_y_forward(rhs, lo, hi); },
+                    false);
+      run_bt_region("bt:y_back",
+                    [&](int lo, int hi) { region_y_backward(rhs, lo, hi); },
+                    false);
+      run_bt_region("bt:y_fold",
+                    [&](int lo, int hi) { region_fold(rhs, u, lo, hi); },
+                    false);
+      run_bt_region("bt:z_fwd",
+                    [&](int lo, int hi) { region_z_forward(rhs, lo, hi); },
+                    true);
+      run_bt_region("bt:z_back",
+                    [&](int lo, int hi) { region_z_backward(rhs, lo, hi); },
+                    true);
+      run_bt_region("bt:z_fold",
+                    [&](int lo, int hi) { region_fold_j(rhs, u, lo, hi); },
+                    true);
+      run_bt_region("bt:add",
+                    [&](int lo, int hi) { region_add(rhs, u, lo, hi); },
+                    false);
+      run_bt_region("bt:reprime",
+                    [&](int lo, int hi) { region_txinvr(u, rhs, lo, hi); },
+                    false);
+    }
+    const VirtNs elapsed = dex::now() - t0;
+
+    // ---- verification ----
+    for (int iter = 0; iter < kIterations; ++iter) {
+      reference_iteration(ref_u, ref_rhs);
+    }
+    std::vector<double> got(shape.total_elems());
+    gu.read_block(0, shape.total_elems(), got.data());
+
+    RunResult result;
+    result.elapsed_ns = elapsed;
+    result.checksum = checksum_grid(
+        shape, [&](std::size_t e) { return got[e]; });
+    const std::uint64_t expect = checksum_grid(
+        shape, [&](std::size_t e) { return ref_u.v[e]; });
+    result.verified = result.checksum == expect;
+    snapshot_stats(*process, result);
+    return result;
+  }
+};
+
+}  // namespace
+
+App* bt_app() {
+  static BtApp app;
+  return &app;
+}
+
+}  // namespace dex::apps

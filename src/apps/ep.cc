@@ -1,0 +1,181 @@
+// EP — NPB "Embarrassingly Parallel" kernel (§V, NPB category).
+//
+// Generates pairs of uniform deviates with the NPB randlc recurrence,
+// accepts pairs inside the unit circle, forms Gaussian deviates
+// (Marsaglia), counts them per concentric annulus q[0..9] and sums them.
+// Each thread jumps its RNG to its batch offsets, so the result is
+// independent of the partition — the reference is the same stream run
+// sequentially.
+//
+// EP has one OpenMP parallel region; the paper converts it with 2 LoC and
+// it scales immediately. The Initial port still pays for the paper's NPB
+// finding: read-only loop parameters co-located on a page with a
+// frequently written global (a progress counter), so parameter re-reads
+// keep getting invalidated. The Optimized port isolates the read-only
+// parameters on their own page and drops the shared progress updates.
+#include <cmath>
+#include <vector>
+
+#include "apps/app.h"
+#include "common/rand.h"
+#include "core/parallel.h"
+
+namespace dex::apps {
+namespace {
+
+constexpr int kAnnuli = 10;
+constexpr int kBatches = 256;
+constexpr double kPairNs = 60.0;  // randlc + log/sqrt per generated pair
+
+struct EpParams {
+  std::uint64_t total_pairs;
+  std::uint64_t pairs_per_batch;
+  double seed;
+};
+
+struct EpAccum {
+  std::uint64_t q[kAnnuli] = {};
+  std::uint64_t sx_fix = 0;  // fixed-point sums (exact, order-independent)
+  std::uint64_t sy_fix = 0;
+};
+
+constexpr double kFix = 1048576.0;
+std::uint64_t to_fix(double v) {
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(v * kFix));
+}
+
+/// Generates one batch; accumulates into `acc`.
+void run_batch(const EpParams& params, std::uint64_t batch, EpAccum& acc) {
+  NpbRand rng(params.seed);
+  rng.skip(2 * params.pairs_per_batch * batch);
+  for (std::uint64_t i = 0; i < params.pairs_per_batch; ++i) {
+    const double x = 2.0 * rng.next() - 1.0;
+    const double y = 2.0 * rng.next() - 1.0;
+    const double t = x * x + y * y;
+    if (t > 1.0) continue;
+    const double f = std::sqrt(-2.0 * std::log(t) / t);
+    const double gx = x * f;
+    const double gy = y * f;
+    const double m = std::max(std::fabs(gx), std::fabs(gy));
+    const int annulus = std::min(kAnnuli - 1, static_cast<int>(m));
+    ++acc.q[annulus];
+    acc.sx_fix += to_fix(gx);
+    acc.sy_fix += to_fix(gy);
+  }
+}
+
+std::uint64_t checksum_of(const EpAccum& acc) {
+  std::uint64_t checksum = acc.sx_fix * 31 + acc.sy_fix;
+  for (const std::uint64_t q : acc.q) checksum = checksum * 1000003 + q;
+  return checksum;
+}
+
+class EpApp final : public App {
+ public:
+  std::string name() const override { return "EP"; }
+  std::string description() const override {
+    return "NPB EP: Gaussian deviates by acceptance-rejection";
+  }
+  LocInfo loc() const override {
+    return LocInfo{"OpenMP (1)", 1, /*paper_initial=*/2,
+                   /*paper_optimized=*/10, /*ours_initial=*/2,
+                   /*ours_optimized=*/8};
+  }
+  double stream_intensity(const RunConfig&) const override { return 0.05; }
+
+  RunResult run(core::Cluster& cluster, const RunConfig& config) override {
+    EpParams params;
+    params.pairs_per_batch = std::max<std::uint64_t>(
+        16, static_cast<std::uint64_t>(config.scale * 262144.0) / kBatches);
+    params.total_pairs = params.pairs_per_batch * kBatches;
+    params.seed = 271828183.0;
+
+    ProcessOptions popt;
+    popt.stream_intensity = stream_intensity(config);
+    auto process = cluster.create_process(popt);
+    if (config.trace_faults) process->trace().enable();
+
+    // Parameter placement is the whole Initial-vs-Optimized story here.
+    // Initial: params share a heap page with the progress counter below.
+    // Optimized: params isolated on a read-only-in-practice page.
+    GVar<EpParams> gparams(*process, "ep:params",
+                           config.variant == Variant::kOptimized);
+    gparams.store(params);
+    GCounter progress(*process, "ep:progress");
+
+    GArray<std::uint64_t> gq(*process, kAnnuli, "ep:q");
+    GCounter gsx(*process, "ep:sx");
+    GCounter gsy(*process, "ep:sy");
+
+    core::TeamOptions topt;
+    topt.nodes = config.nodes;
+    topt.threads_per_node = config.threads_per_node;
+    topt.migrate = config.migrate;
+    core::Team team(*process, topt);
+    const int nthreads = topt.total_threads();
+
+    ScopedPacing pace_scope(config.pacing);
+    const VirtNs t0 = dex::now();
+    team.run_region([&](int tid, int) {
+      EpAccum local;
+      for (int batch = tid; batch < kBatches; batch += nthreads) {
+        // NPB-style: re-read the loop parameters per batch (the original
+        // reads its global problem constants inside the loop).
+        EpParams p;
+        {
+          ScopedSite site("ep:read_params");
+          p = gparams.load();
+        }
+        if (config.variant == Variant::kInitial) {
+          // Original: tick a shared progress counter — which lives on the
+          // same page as the parameters, invalidating every reader.
+          ScopedSite site("ep:progress_tick");
+          progress.fetch_add(1);
+        }
+        run_batch(p, static_cast<std::uint64_t>(batch), local);
+        dex::compute(static_cast<VirtNs>(
+            kPairNs * static_cast<double>(p.pairs_per_batch)));
+      }
+      // Both variants merge once at the end (as NPB EP does).
+      ScopedSite site("ep:merge");
+      for (int a = 0; a < kAnnuli; ++a) {
+        if (local.q[a] != 0) {
+          process->atomic_fetch_add(gq.addr(static_cast<std::size_t>(a)),
+                                    local.q[a]);
+        }
+      }
+      gsx.fetch_add(local.sx_fix);
+      gsy.fetch_add(local.sy_fix);
+    });
+    const VirtNs elapsed = dex::now() - t0;
+
+    // ---- verification: same stream, sequential ----
+    EpAccum reference;
+    for (std::uint64_t b = 0; b < kBatches; ++b) {
+      run_batch(params, b, reference);
+    }
+    EpAccum measured;
+    for (int a = 0; a < kAnnuli; ++a) {
+      measured.q[a] = process->atomic_load(gq.addr(
+          static_cast<std::size_t>(a)));
+    }
+    measured.sx_fix = gsx.load();
+    measured.sy_fix = gsy.load();
+
+    RunResult result;
+    result.elapsed_ns = elapsed;
+    result.checksum = checksum_of(measured);
+    result.verified = result.checksum == checksum_of(reference);
+    snapshot_stats(*process, result);
+    return result;
+  }
+};
+
+}  // namespace
+
+App* ep_app() {
+  static EpApp app;
+  return &app;
+}
+
+}  // namespace dex::apps

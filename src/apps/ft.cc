@@ -1,0 +1,413 @@
+// FT — NPB 3-D FFT kernel (reduced form).
+//
+// The paper converts FT's 7 OpenMP parallel regions. We keep the structure:
+// two setup regions (index map, initial conditions) and, per iteration,
+// evolve + three 1-D FFT passes (cffts1/2/3) + a checksum reduction. The
+// FFTs along i and j are local to the k-slab partition; the FFT along k is
+// parallelized over j, so every thread gathers rows from every k-plane —
+// the all-to-all "transpose" traffic that makes FT the worst case for
+// page-granularity DSM (it stays below single-machine performance in the
+// paper even after optimization).
+//
+// The per-line transform is a real iterative radix-2 complex FFT, so the
+// distributed result is verified bit-for-bit against a sequential run.
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "apps/app.h"
+#include "core/parallel.h"
+
+namespace dex::apps {
+namespace {
+
+constexpr double kFftNsPerElem = 25.0;  // per element per 1-D FFT pass
+constexpr int kIterations = 3;
+constexpr double kFix = 1048576.0;
+
+/// In-place iterative radix-2 FFT over `n` complex values (interleaved
+/// re/im). n must be a power of two. Deterministic operation order.
+void fft_line(double* data, int n) {
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(data[2 * i], data[2 * j]);
+      std::swap(data[2 * i + 1], data[2 * j + 1]);
+    }
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * M_PI / len;
+    const double wr = std::cos(angle), wi = std::sin(angle);
+    for (int i = 0; i < n; i += len) {
+      double cr = 1.0, ci = 0.0;
+      for (int k = 0; k < len / 2; ++k) {
+        const int a = 2 * (i + k), b = 2 * (i + k + len / 2);
+        const double tr = data[b] * cr - data[b + 1] * ci;
+        const double ti = data[b] * ci + data[b + 1] * cr;
+        data[b] = data[a] - tr;
+        data[b + 1] = data[a + 1] - ti;
+        data[a] += tr;
+        data[a + 1] += ti;
+        const double ncr = cr * wr - ci * wi;
+        ci = cr * wi + ci * wr;
+        cr = ncr;
+      }
+    }
+  }
+}
+
+struct FtShape {
+  int S = 0;
+  std::size_t plane_stride = 0;  // doubles between k-planes
+  std::size_t row_elems() const {
+    return static_cast<std::size_t>(S) * 2;
+  }
+  std::size_t row_index(int k, int j) const {
+    return static_cast<std::size_t>(k) * plane_stride +
+           static_cast<std::size_t>(j) * row_elems();
+  }
+  std::size_t total() const {
+    return static_cast<std::size_t>(S) * plane_stride;
+  }
+};
+
+class FtApp final : public App {
+ public:
+  std::string name() const override { return "FT"; }
+  std::string description() const override {
+    return "NPB FT: 3-D FFT with all-to-all z pass";
+  }
+  LocInfo loc() const override {
+    return LocInfo{"OpenMP (7)", 7, /*paper_initial=*/21,
+                   /*paper_optimized=*/30, /*ours_initial=*/16,
+                   /*ours_optimized=*/20};
+  }
+  double stream_intensity(const RunConfig&) const override { return 0.45; }
+
+  RunResult run(core::Cluster& cluster, const RunConfig& config) override {
+    int S = 16;
+    while (2 * S <= static_cast<int>(64.0 * std::cbrt(config.scale))) {
+      S *= 2;
+    }
+
+    ProcessOptions popt;
+    popt.stream_intensity = stream_intensity(config);
+    auto process = cluster.create_process(popt);
+    if (config.trace_faults) process->trace().enable();
+
+    FtShape shape;
+    shape.S = S;
+    const std::size_t exact = static_cast<std::size_t>(S) * S * 2;
+    if (config.variant == Variant::kOptimized) {
+      const std::size_t per_page = kPageSize / sizeof(double);
+      shape.plane_stride = (exact + per_page - 1) / per_page * per_page;
+    } else {
+      shape.plane_stride = exact;
+    }
+
+    GArray<double> gdata(*process, shape.total(), "ft:data");
+    GCounter gchecksum(*process, "ft:checksum");
+
+    core::TeamOptions topt;
+    topt.nodes = config.nodes;
+    topt.threads_per_node = config.threads_per_node;
+    topt.migrate = config.migrate;
+    core::Team team(*process, topt);
+    const int nthreads = topt.total_threads();
+
+    auto slab = [&](int tid, int* lo, int* hi) {
+      const int chunk = (S + nthreads - 1) / nthreads;
+      *lo = std::min(S, tid * chunk);
+      *hi = std::min(S, *lo + chunk);
+    };
+
+    // Reference state, evolved in lockstep by the same region functions.
+    std::vector<double> ref(shape.total(), 0.0);
+
+    auto initial_value = [S](int k, int j, int i, int comp) {
+      return 0.001 * ((k * S + j) * S + i + 1) + 0.0005 * comp;
+    };
+
+    // ---- setup regions (2 of the 7 converted regions) ----
+    team.run_region([&](int tid, int) {
+      ScopedSite site("ft:indexmap");
+      int lo, hi;
+      slab(tid, &lo, &hi);
+      dex::compute(static_cast<VirtNs>(
+          10.0 * S * S * (hi - lo)));  // index-map arithmetic
+    });
+    team.run_region([&](int tid, int) {
+      ScopedSite site("ft:init_conditions");
+      int lo, hi;
+      slab(tid, &lo, &hi);
+      std::vector<double> row(shape.row_elems());
+      for (int k = lo; k < hi; ++k) {
+        for (int j = 0; j < S; ++j) {
+          for (int i = 0; i < S; ++i) {
+            row[2 * static_cast<std::size_t>(i)] = initial_value(k, j, i, 0);
+            row[2 * static_cast<std::size_t>(i) + 1] =
+                initial_value(k, j, i, 1);
+          }
+          gdata.write_block(shape.row_index(k, j), shape.row_elems(),
+                            row.data());
+        }
+      }
+    });
+    for (int k = 0; k < S; ++k) {
+      for (int j = 0; j < S; ++j) {
+        for (int i = 0; i < S; ++i) {
+          ref[shape.row_index(k, j) + 2 * static_cast<std::size_t>(i)] =
+              initial_value(k, j, i, 0);
+          ref[shape.row_index(k, j) + 2 * static_cast<std::size_t>(i) + 1] =
+              initial_value(k, j, i, 1);
+        }
+      }
+    }
+
+    const VirtNs fft_cost_per_thread = static_cast<VirtNs>(
+        kFftNsPerElem * static_cast<double>(S) * S * S /
+        static_cast<double>(nthreads));
+
+    std::uint64_t reference_checksum_acc = 0;
+
+    // ---- measured phase ----
+    ScopedPacing pace_scope(config.pacing);
+    const VirtNs t0 = dex::now();
+    for (int iter = 0; iter < kIterations; ++iter) {
+      // Region: evolve (scale by a per-cell factor), k-partition.
+      team.run_region([&](int tid, int) {
+        ScopedSite site("ft:evolve");
+        int lo, hi;
+        slab(tid, &lo, &hi);
+        std::vector<double> row(shape.row_elems());
+        for (int k = lo; k < hi; ++k) {
+          for (int j = 0; j < S; ++j) {
+            gdata.read_block(shape.row_index(k, j), shape.row_elems(),
+                             row.data());
+            for (auto& x : row) x *= 0.9995;
+            dex::compute(static_cast<VirtNs>(kFftNsPerElem / 4 * S));
+            gdata.write_block(shape.row_index(k, j), shape.row_elems(),
+                              row.data());
+          }
+        }
+      });
+
+      // Region cffts1: FFT along i — rows are contiguous, slab-local.
+      team.run_region([&](int tid, int) {
+        ScopedSite site("ft:cffts1");
+        int lo, hi;
+        slab(tid, &lo, &hi);
+        std::vector<double> row(shape.row_elems());
+        for (int k = lo; k < hi; ++k) {
+          for (int j = 0; j < S; ++j) {
+            gdata.read_block(shape.row_index(k, j), shape.row_elems(),
+                             row.data());
+            fft_line(row.data(), S);
+            dex::compute(static_cast<VirtNs>(kFftNsPerElem * S));
+            gdata.write_block(shape.row_index(k, j), shape.row_elems(),
+                              row.data());
+          }
+        }
+      });
+
+      // Region cffts2: FFT along j — whole plane staged locally, slab-local.
+      team.run_region([&](int tid, int) {
+        ScopedSite site("ft:cffts2");
+        int lo, hi;
+        slab(tid, &lo, &hi);
+        std::vector<double> plane(static_cast<std::size_t>(S) *
+                                  shape.row_elems());
+        std::vector<double> line(shape.row_elems());
+        for (int k = lo; k < hi; ++k) {
+          for (int j = 0; j < S; ++j) {
+            gdata.read_block(shape.row_index(k, j), shape.row_elems(),
+                             plane.data() +
+                                 static_cast<std::size_t>(j) *
+                                     shape.row_elems());
+          }
+          for (int i = 0; i < S; ++i) {
+            for (int j = 0; j < S; ++j) {
+              line[2 * static_cast<std::size_t>(j)] =
+                  plane[static_cast<std::size_t>(j) * shape.row_elems() +
+                        2 * static_cast<std::size_t>(i)];
+              line[2 * static_cast<std::size_t>(j) + 1] =
+                  plane[static_cast<std::size_t>(j) * shape.row_elems() +
+                        2 * static_cast<std::size_t>(i) + 1];
+            }
+            fft_line(line.data(), S);
+            for (int j = 0; j < S; ++j) {
+              plane[static_cast<std::size_t>(j) * shape.row_elems() +
+                    2 * static_cast<std::size_t>(i)] =
+                  line[2 * static_cast<std::size_t>(j)];
+              plane[static_cast<std::size_t>(j) * shape.row_elems() +
+                    2 * static_cast<std::size_t>(i) + 1] =
+                  line[2 * static_cast<std::size_t>(j) + 1];
+            }
+          }
+          for (int j = 0; j < S; ++j) {
+            dex::compute(static_cast<VirtNs>(kFftNsPerElem * S));
+            gdata.write_block(shape.row_index(k, j), shape.row_elems(),
+                              plane.data() +
+                                  static_cast<std::size_t>(j) *
+                                      shape.row_elems());
+          }
+        }
+      });
+
+      // Region cffts3: FFT along k — j-partition; gathers one row from
+      // EVERY k-plane per (j, column): the all-to-all transpose.
+      team.run_region([&](int tid, int) {
+        ScopedSite site("ft:cffts3");
+        int lo, hi;
+        slab(tid, &lo, &hi);  // reused as the j-stripe
+        std::vector<double> stack(static_cast<std::size_t>(S) *
+                                  shape.row_elems());
+        std::vector<double> line(shape.row_elems());
+        for (int j = lo; j < hi; ++j) {
+          for (int k = 0; k < S; ++k) {
+            gdata.read_block(shape.row_index(k, j), shape.row_elems(),
+                             stack.data() +
+                                 static_cast<std::size_t>(k) *
+                                     shape.row_elems());
+          }
+          for (int i = 0; i < S; ++i) {
+            for (int k = 0; k < S; ++k) {
+              line[2 * static_cast<std::size_t>(k)] =
+                  stack[static_cast<std::size_t>(k) * shape.row_elems() +
+                        2 * static_cast<std::size_t>(i)];
+              line[2 * static_cast<std::size_t>(k) + 1] =
+                  stack[static_cast<std::size_t>(k) * shape.row_elems() +
+                        2 * static_cast<std::size_t>(i) + 1];
+            }
+            fft_line(line.data(), S);
+            for (int k = 0; k < S; ++k) {
+              stack[static_cast<std::size_t>(k) * shape.row_elems() +
+                    2 * static_cast<std::size_t>(i)] =
+                  line[2 * static_cast<std::size_t>(k)];
+              stack[static_cast<std::size_t>(k) * shape.row_elems() +
+                    2 * static_cast<std::size_t>(i) + 1] =
+                  line[2 * static_cast<std::size_t>(k) + 1];
+            }
+          }
+          for (int k = 0; k < S; ++k) {
+            dex::compute(static_cast<VirtNs>(kFftNsPerElem * S));
+            gdata.write_block(shape.row_index(k, j), shape.row_elems(),
+                              stack.data() +
+                                  static_cast<std::size_t>(k) *
+                                      shape.row_elems());
+          }
+        }
+      });
+
+      // Region: checksum reduction. Initial flushes per plane; Optimized
+      // stages per thread (§V-C's staged global updates).
+      team.run_region([&](int tid, int) {
+        ScopedSite site("ft:checksum");
+        int lo, hi;
+        slab(tid, &lo, &hi);
+        std::vector<double> row(shape.row_elems());
+        std::uint64_t local = 0;
+        for (int k = lo; k < hi; ++k) {
+          std::uint64_t plane_sum = 0;
+          for (int j = 0; j < S; ++j) {
+            gdata.read_block(shape.row_index(k, j), shape.row_elems(),
+                             row.data());
+            for (std::size_t i = 0; i < row.size(); i += 16) {
+              plane_sum += static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(row[i] * kFix));
+            }
+          }
+          if (config.variant == Variant::kInitial) {
+            gchecksum.fetch_add(plane_sum);  // shared counter per plane
+          } else {
+            local += plane_sum;
+          }
+        }
+        if (config.variant == Variant::kOptimized && local != 0) {
+          gchecksum.fetch_add(local);
+        }
+        dex::compute(fft_cost_per_thread / 8);
+      });
+    }
+    const VirtNs elapsed = dex::now() - t0;
+
+    // ---- sequential reference (same region math, same order per line) ----
+    for (int iter = 0; iter < kIterations; ++iter) {
+      for (auto& x : ref) {
+        // evolve applies only to populated elements; padding stays zero and
+        // scaling zero is zero, so scaling everything is equivalent.
+        x *= 0.9995;
+      }
+      std::vector<double> line(shape.row_elems());
+      for (int k = 0; k < S; ++k) {  // cffts1
+        for (int j = 0; j < S; ++j) {
+          fft_line(ref.data() + shape.row_index(k, j), S);
+        }
+      }
+      for (int k = 0; k < S; ++k) {  // cffts2
+        for (int i = 0; i < S; ++i) {
+          for (int j = 0; j < S; ++j) {
+            line[2 * static_cast<std::size_t>(j)] =
+                ref[shape.row_index(k, j) + 2 * static_cast<std::size_t>(i)];
+            line[2 * static_cast<std::size_t>(j) + 1] =
+                ref[shape.row_index(k, j) + 2 * static_cast<std::size_t>(i) +
+                    1];
+          }
+          fft_line(line.data(), S);
+          for (int j = 0; j < S; ++j) {
+            ref[shape.row_index(k, j) + 2 * static_cast<std::size_t>(i)] =
+                line[2 * static_cast<std::size_t>(j)];
+            ref[shape.row_index(k, j) + 2 * static_cast<std::size_t>(i) +
+                1] = line[2 * static_cast<std::size_t>(j) + 1];
+          }
+        }
+      }
+      for (int j = 0; j < S; ++j) {  // cffts3
+        for (int i = 0; i < S; ++i) {
+          for (int k = 0; k < S; ++k) {
+            line[2 * static_cast<std::size_t>(k)] =
+                ref[shape.row_index(k, j) + 2 * static_cast<std::size_t>(i)];
+            line[2 * static_cast<std::size_t>(k) + 1] =
+                ref[shape.row_index(k, j) + 2 * static_cast<std::size_t>(i) +
+                    1];
+          }
+          fft_line(line.data(), S);
+          for (int k = 0; k < S; ++k) {
+            ref[shape.row_index(k, j) + 2 * static_cast<std::size_t>(i)] =
+                line[2 * static_cast<std::size_t>(k)];
+            ref[shape.row_index(k, j) + 2 * static_cast<std::size_t>(i) +
+                1] = line[2 * static_cast<std::size_t>(k) + 1];
+          }
+        }
+      }
+      for (int k = 0; k < S; ++k) {  // checksum
+        for (int j = 0; j < S; ++j) {
+          const std::size_t base = shape.row_index(k, j);
+          for (std::size_t i = 0; i < shape.row_elems(); i += 16) {
+            reference_checksum_acc += static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(ref[base + i] * kFix));
+          }
+        }
+      }
+    }
+
+    RunResult result;
+    result.elapsed_ns = elapsed;
+    result.checksum = gchecksum.load();
+    result.verified = result.checksum == reference_checksum_acc;
+    snapshot_stats(*process, result);
+    return result;
+  }
+};
+
+}  // namespace
+
+App* ft_app() {
+  static FtApp app;
+  return &app;
+}
+
+}  // namespace dex::apps

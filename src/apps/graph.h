@@ -1,0 +1,52 @@
+// Shared graph substrate for the Polymer applications (BFS, BP).
+//
+// The paper synthesizes its graph with the Ligra R-MAT generator using the
+// Graph500 parameters (a=0.57, b=0.19); we do the same (common/rmat.h) and
+// place the CSR in distributed memory: offsets and targets are read-only
+// after construction, so they replicate on demand across nodes.
+#pragma once
+
+#include "apps/app.h"
+#include "common/rmat.h"
+
+namespace dex::apps {
+
+struct DexGraph {
+  std::uint32_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  GArray<std::uint64_t> offsets;  // V + 1
+  GArray<std::uint32_t> targets;  // E
+
+  static DexGraph build(core::Process& process, const Csr& csr) {
+    DexGraph g;
+    g.num_vertices = csr.num_vertices;
+    g.num_edges = csr.num_edges();
+    g.offsets = GArray<std::uint64_t>(process, csr.offsets.size(),
+                                      "graph:offsets");
+    g.offsets.write_block(0, csr.offsets.size(), csr.offsets.data());
+    g.targets = GArray<std::uint32_t>(process, csr.targets.size(),
+                                      "graph:targets");
+    g.targets.write_block(0, csr.targets.size(), csr.targets.data());
+    return g;
+  }
+};
+
+/// Deterministic R-MAT graph at the paper's Graph500 parameters, sized by
+/// `scale_factor` (1.0 = the library default).
+inline Csr make_polymer_graph(double scale_factor, std::uint64_t seed,
+                              std::uint64_t edge_factor = 8) {
+  RmatParams params;
+  params.scale = 12;
+  double budget = scale_factor * 16.0;  // vertices = budget * 2^12
+  while (budget >= 2.0 && params.scale < 24) {
+    ++params.scale;
+    budget /= 2.0;
+  }
+  params.edge_factor = edge_factor;
+  params.seed = seed;
+  const auto edges = generate_rmat(params);
+  return build_csr(std::uint32_t{1} << params.scale, edges,
+                   /*symmetrize=*/true);
+}
+
+}  // namespace dex::apps

@@ -1,0 +1,28 @@
+// DeX invariant checks. These are protocol invariants (directory state,
+// buffer-pool lifecycle, ...) whose violation means a bug in DeX itself, so
+// they stay on in release builds, like BUG_ON in the kernel the paper
+// modifies.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dex::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "DEX_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? ": " : "", msg);
+  std::abort();
+}
+}  // namespace dex::detail
+
+#define DEX_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) ::dex::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DEX_CHECK_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::dex::detail::check_failed(#expr, __FILE__, __LINE__, (msg));     \
+  } while (0)

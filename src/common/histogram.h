@@ -1,0 +1,143 @@
+// Log-bucketed latency histogram + simple scalar statistics. Used by the
+// messaging layer, the fault handler and the benchmarks to report latency
+// distributions (the §V-D fault microbenchmark reports a bimodal one).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dex {
+
+/// Thread-safe histogram over [1ns, ~18e18ns) with 4 sub-buckets per
+/// power of two (~19% relative bucket error).
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kBuckets = 64 * kSubBuckets;
+
+  void record(std::uint64_t ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_[bucket_for(ns)];
+    ++count_;
+    sum_ += ns;
+    min_ = std::min(min_, ns);
+    max_ = std::max(max_, ns);
+  }
+
+  std::uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  double mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+  std::uint64_t min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0 : min_;
+  }
+
+  std::uint64_t max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_;
+  }
+
+  /// Approximate quantile (bucket upper bound), q in [0, 1].
+  std::uint64_t percentile(double q) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == 0) return 0;
+    const auto target =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= target) return bucket_upper(i);
+    }
+    return max_;
+  }
+
+  /// Returns the bucket upper bounds of local maxima with at least
+  /// `min_share` of the samples — used to detect bimodal distributions.
+  std::vector<std::uint64_t> modes(double min_share = 0.05) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::uint64_t> result;
+    if (count_ == 0) return result;
+    const auto threshold = static_cast<std::uint64_t>(
+        min_share * static_cast<double>(count_));
+    for (int i = 0; i < kBuckets; ++i) {
+      if (counts_[i] < std::max<std::uint64_t>(threshold, 1)) continue;
+      const std::uint64_t left = i > 0 ? counts_[i - 1] : 0;
+      const std::uint64_t right = i + 1 < kBuckets ? counts_[i + 1] : 0;
+      if (counts_[i] >= left && counts_[i] >= right) {
+        result.push_back(bucket_upper(i));
+      }
+    }
+    return result;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+  }
+
+ private:
+  static int bucket_for(std::uint64_t ns) {
+    if (ns == 0) return 0;
+    const int log2 = 63 - __builtin_clzll(ns);
+    int sub = 0;
+    if (log2 >= 2) {
+      sub = static_cast<int>((ns >> (log2 - 2)) & 3);
+    }
+    const int idx = log2 * kSubBuckets + sub;
+    return std::min(idx, kBuckets - 1);
+  }
+
+  static std::uint64_t bucket_upper(int idx) {
+    const int log2 = idx / kSubBuckets;
+    const int sub = idx % kSubBuckets;
+    if (log2 < 2) return std::uint64_t{1} << (log2 + 1);
+    return (std::uint64_t{4} + sub + 1) << (log2 - 2);
+  }
+
+  mutable std::mutex mu_;
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+/// Running mean / stddev over doubles (Welford).
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace dex

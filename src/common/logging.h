@@ -1,0 +1,67 @@
+// Minimal leveled logger. DeX is a library: logging defaults to warnings
+// only, and everything funnels through one sink so tests can capture it.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace dex {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, const std::string& msg) {
+    if (level < level_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(stderr, "[dex:%s] %s\n", name(level), msg.c_str());
+  }
+
+ private:
+  static const char* name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().log(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dex
+
+#define DEX_LOG_DEBUG ::dex::detail::LogLine(::dex::LogLevel::kDebug)
+#define DEX_LOG_INFO ::dex::detail::LogLine(::dex::LogLevel::kInfo)
+#define DEX_LOG_WARN ::dex::detail::LogLine(::dex::LogLevel::kWarn)
+#define DEX_LOG_ERROR ::dex::detail::LogLine(::dex::LogLevel::kError)

@@ -1,0 +1,128 @@
+// A fixed-depth radix tree keyed by 64-bit integers, modeled on the Linux
+// kernel radix tree the paper uses to index per-page ownership information
+// by virtual page address (§III-B). Six bits per level over the page-index
+// space; leaves hold T values allocated on first touch.
+//
+// Concurrency contract: `lookup` is safe concurrently with other lookups.
+// `get_or_create`, `erase` and iteration require external synchronization
+// (the directory shards accesses by page, see mem/directory.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace dex {
+
+template <typename T>
+class RadixTree {
+ public:
+  static constexpr int kBitsPerLevel = 6;
+  static constexpr int kFanout = 1 << kBitsPerLevel;  // 64
+  // 9 levels * 6 bits = 54 bits of key space: covers any page index of a
+  // 64-bit address space (64 - 12 = 52 bits needed).
+  static constexpr int kLevels = 9;
+
+  RadixTree() = default;
+  RadixTree(const RadixTree&) = delete;
+  RadixTree& operator=(const RadixTree&) = delete;
+  RadixTree(RadixTree&&) = default;
+  RadixTree& operator=(RadixTree&&) = default;
+
+  /// Returns the value for `key`, or nullptr when absent.
+  T* lookup(std::uint64_t key) const {
+    const Node* node = root_.get();
+    for (int level = kLevels - 1; level > 0 && node != nullptr; --level) {
+      node = node->children[slot(key, level)].get();
+    }
+    if (node == nullptr) return nullptr;
+    auto& leaf = node->values[slot(key, 0)];
+    return leaf ? leaf.get() : nullptr;
+  }
+
+  /// Returns the value for `key`, default-constructing it (and any interior
+  /// nodes) on first access.
+  template <typename... Args>
+  T& get_or_create(std::uint64_t key, Args&&... args) {
+    if (!root_) root_ = std::make_unique<Node>();
+    Node* node = root_.get();
+    for (int level = kLevels - 1; level > 0; --level) {
+      auto& child = node->children[slot(key, level)];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    auto& leaf = node->values[slot(key, 0)];
+    if (!leaf) {
+      leaf = std::make_unique<T>(std::forward<Args>(args)...);
+      ++size_;
+    }
+    return *leaf;
+  }
+
+  /// Removes `key` if present. Interior nodes are kept (freed on destroy);
+  /// the kernel tree behaves likewise unless explicitly shrunk.
+  bool erase(std::uint64_t key) {
+    Node* node = root_.get();
+    for (int level = kLevels - 1; level > 0 && node != nullptr; --level) {
+      node = node->children[slot(key, level)].get();
+    }
+    if (node == nullptr) return false;
+    auto& leaf = node->values[slot(key, 0)];
+    if (!leaf) return false;
+    leaf.reset();
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// In-order traversal; `fn(key, value)`.
+  void for_each(const std::function<void(std::uint64_t, T&)>& fn) const {
+    if (root_) walk(root_.get(), kLevels - 1, 0, fn);
+  }
+
+  void clear() {
+    root_.reset();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    // Interior levels use `children`; the leaf level uses `values`.
+    std::array<std::unique_ptr<Node>, kFanout> children{};
+    std::array<std::unique_ptr<T>, kFanout> values{};
+  };
+
+  static int slot(std::uint64_t key, int level) {
+    return static_cast<int>((key >> (level * kBitsPerLevel)) & (kFanout - 1));
+  }
+
+  void walk(const Node* node, int level, std::uint64_t prefix,
+            const std::function<void(std::uint64_t, T&)>& fn) const {
+    if (level == 0) {
+      for (int i = 0; i < kFanout; ++i) {
+        if (node->values[i]) {
+          fn(prefix << kBitsPerLevel | static_cast<unsigned>(i),
+             *node->values[i]);
+        }
+      }
+      return;
+    }
+    for (int i = 0; i < kFanout; ++i) {
+      if (node->children[i]) {
+        walk(node->children[i].get(), level - 1,
+             prefix << kBitsPerLevel | static_cast<unsigned>(i), fn);
+      }
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dex

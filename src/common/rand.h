@@ -1,0 +1,124 @@
+// Deterministic PRNGs used by workload generators and benchmarks.
+// SplitMix64 for seeding, xoshiro256** for streams, plus the NPB linear
+// congruential generator required by the EP kernel so its statistics match
+// the benchmark specification.
+#pragma once
+
+#include <cstdint>
+
+namespace dex {
+
+/// SplitMix64: good avalanche, one 64-bit state word. Used for seeding.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast general-purpose generator for workload synthesis.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias for small bounds.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// The NAS Parallel Benchmarks `randlc` generator: x_{k+1} = a*x_k mod 2^46.
+/// EP's acceptance statistics (counts per annulus) depend on this exact
+/// recurrence, so we implement it bit-faithfully.
+class NpbRand {
+ public:
+  static constexpr double kA = 1220703125.0;  // 5^13
+
+  explicit NpbRand(double seed = 271828183.0) : x_(seed) {}
+
+  /// Returns a uniform double in (0, 1) and advances the state.
+  double next() {
+    // Break a and x into two 23-bit halves and carry out the 46-bit
+    // multiply exactly in doubles, as the NPB reference does.
+    constexpr double r23 = 0x1.0p-23, t23 = 0x1.0p23;
+    constexpr double r46 = 0x1.0p-46, t46 = 0x1.0p46;
+    const double a1 = static_cast<double>(static_cast<long long>(r23 * kA));
+    const double a2 = kA - t23 * a1;
+    const double x1 = static_cast<double>(static_cast<long long>(r23 * x_));
+    const double x2 = x_ - t23 * x1;
+    double t1 = a1 * x2 + a2 * x1;
+    const double t2 = static_cast<double>(static_cast<long long>(r23 * t1));
+    const double z = t1 - t23 * t2;
+    t1 = t23 * z + a2 * x2;
+    const double t3 = static_cast<double>(static_cast<long long>(r46 * t1));
+    x_ = t1 - t46 * t3;
+    return r46 * x_;
+  }
+
+  /// Advances the seed by `n` steps in O(log n) (NPB's ipow46 idiom),
+  /// letting each EP worker jump directly to its batch offset.
+  void skip(std::uint64_t n) {
+    double a = kA;
+    while (n != 0) {
+      if (n & 1) x_ = mul46(a, x_);
+      a = mul46(a, a);
+      n >>= 1;
+    }
+  }
+
+  double state() const { return x_; }
+
+ private:
+  static double mul46(double a, double b) {
+    constexpr double r23 = 0x1.0p-23, t23 = 0x1.0p23;
+    constexpr double r46 = 0x1.0p-46, t46 = 0x1.0p46;
+    const double a1 = static_cast<double>(static_cast<long long>(r23 * a));
+    const double a2 = a - t23 * a1;
+    const double b1 = static_cast<double>(static_cast<long long>(r23 * b));
+    const double b2 = b - t23 * b1;
+    double t1 = a1 * b2 + a2 * b1;
+    const double t2 = static_cast<double>(static_cast<long long>(r23 * t1));
+    const double z = t1 - t23 * t2;
+    t1 = t23 * z + a2 * b2;
+    const double t3 = static_cast<double>(static_cast<long long>(r46 * t1));
+    return t1 - t46 * t3;
+  }
+
+  double x_;
+};
+
+}  // namespace dex

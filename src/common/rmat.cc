@@ -1,0 +1,94 @@
+#include "common/rmat.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace dex {
+
+std::vector<Edge> generate_rmat(const RmatParams& params) {
+  DEX_CHECK(params.scale > 0 && params.scale < 32);
+  const std::uint64_t n = std::uint64_t{1} << params.scale;
+  const std::uint64_t m = params.edge_factor * n;
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+
+  Xoshiro256 rng(params.seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t src = 0, dst = 0;
+    for (std::uint32_t bit = 0; bit < params.scale; ++bit) {
+      const double r = rng.next_double();
+      src <<= 1;
+      dst <<= 1;
+      if (r < params.a) {
+        // top-left quadrant: neither bit set
+      } else if (r < ab) {
+        dst |= 1;
+      } else if (r < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    edges.push_back(Edge{static_cast<std::uint32_t>(src),
+                         static_cast<std::uint32_t>(dst)});
+  }
+
+  if (params.permute_vertices) {
+    std::vector<std::uint32_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (std::uint64_t i = n - 1; i > 0; --i) {
+      const std::uint64_t j = rng.next_below(i + 1);
+      std::swap(perm[i], perm[j]);
+    }
+    for (auto& edge : edges) {
+      edge.src = perm[edge.src];
+      edge.dst = perm[edge.dst];
+    }
+  }
+  return edges;
+}
+
+Csr build_csr(std::uint32_t num_vertices, const std::vector<Edge>& edges,
+              bool symmetrize) {
+  Csr csr;
+  csr.num_vertices = num_vertices;
+  csr.offsets.assign(num_vertices + 1, 0);
+
+  auto count_edge = [&](std::uint32_t src, std::uint32_t dst) {
+    if (src == dst) return;  // drop self loops
+    ++csr.offsets[src + 1];
+  };
+  for (const auto& e : edges) {
+    DEX_CHECK(e.src < num_vertices && e.dst < num_vertices);
+    count_edge(e.src, e.dst);
+    if (symmetrize) count_edge(e.dst, e.src);
+  }
+  std::partial_sum(csr.offsets.begin(), csr.offsets.end(),
+                   csr.offsets.begin());
+  csr.targets.resize(csr.offsets.back());
+
+  std::vector<std::uint64_t> cursor(csr.offsets.begin(),
+                                    csr.offsets.end() - 1);
+  auto place_edge = [&](std::uint32_t src, std::uint32_t dst) {
+    if (src == dst) return;
+    csr.targets[cursor[src]++] = dst;
+  };
+  for (const auto& e : edges) {
+    place_edge(e.src, e.dst);
+    if (symmetrize) place_edge(e.dst, e.src);
+  }
+  // Sorted adjacency lists give deterministic traversal order.
+  for (std::uint32_t v = 0; v < num_vertices; ++v) {
+    std::sort(csr.targets.begin() + static_cast<std::ptrdiff_t>(csr.offsets[v]),
+              csr.targets.begin() +
+                  static_cast<std::ptrdiff_t>(csr.offsets[v + 1]));
+  }
+  return csr;
+}
+
+}  // namespace dex

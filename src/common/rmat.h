@@ -1,0 +1,52 @@
+// R-MAT graph generator (Chakrabarti et al.) with the Graph500 parameters
+// the paper uses for the Polymer BFS/BP workloads: a=0.57, b=c=0.19,
+// d=0.05. Produces a deterministic edge list for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rand.h"
+
+namespace dex {
+
+struct RmatParams {
+  std::uint32_t scale = 16;          // 2^scale vertices
+  std::uint64_t edge_factor = 4;     // edges = edge_factor * vertices
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  std::uint64_t seed = 0x5eed;
+  bool permute_vertices = true;      // Graph500 shuffles vertex labels
+};
+
+struct Edge {
+  std::uint32_t src;
+  std::uint32_t dst;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Generates `edge_factor * 2^scale` directed edges. Self-loops and
+/// duplicates are kept (as in Graph500 kernel 1 input); CSR construction
+// deduplicates where needed.
+std::vector<Edge> generate_rmat(const RmatParams& params);
+
+/// Compressed sparse row representation built from an edge list.
+struct Csr {
+  std::uint32_t num_vertices = 0;
+  std::vector<std::uint64_t> offsets;  // size num_vertices + 1
+  std::vector<std::uint32_t> targets;  // size num_edges
+
+  std::uint64_t num_edges() const { return targets.size(); }
+  std::uint64_t degree(std::uint32_t v) const {
+    return offsets[v + 1] - offsets[v];
+  }
+};
+
+/// Builds a CSR. When `symmetrize` is set every edge is inserted in both
+/// directions (Polymer's BFS/BP run on undirected views). Self loops are
+/// dropped; parallel edges are kept.
+Csr build_csr(std::uint32_t num_vertices, const std::vector<Edge>& edges,
+              bool symmetrize);
+
+}  // namespace dex

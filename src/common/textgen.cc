@@ -1,0 +1,58 @@
+#include "common/textgen.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+#include "common/rand.h"
+
+namespace dex {
+
+namespace {
+constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ \n\t.,";
+constexpr std::size_t kAlphabetSize = sizeof(kAlphabet) - 1;
+}  // namespace
+
+GeneratedText generate_text(const TextGenParams& params) {
+  DEX_CHECK(!params.keys.empty());
+  GeneratedText out;
+  out.data.resize(params.bytes);
+  Xoshiro256 rng(params.seed);
+
+  // Filler drawn from uppercase letters + whitespace: keys are lowercase, so
+  // filler can never accidentally form a key or create an overlap.
+  for (auto& c : out.data) {
+    c = kAlphabet[rng.next_below(kAlphabetSize)];
+  }
+
+  out.key_counts.assign(params.keys.size(), 0);
+  std::size_t pos = params.plant_interval / 2;
+  std::size_t which = 0;
+  while (pos < params.bytes) {
+    const std::string& key = params.keys[which % params.keys.size()];
+    if (pos + key.size() <= params.bytes) {
+      std::memcpy(out.data.data() + pos, key.data(), key.size());
+      ++out.key_counts[which % params.keys.size()];
+    }
+    ++which;
+    // Jitter the interval a little so matches don't align with page
+    // boundaries in a degenerate way.
+    pos += params.plant_interval - 16 + rng.next_below(32);
+  }
+  return out;
+}
+
+std::uint64_t count_occurrences(const char* data, std::size_t len,
+                                const std::string& key) {
+  if (key.empty() || len < key.size()) return 0;
+  std::uint64_t count = 0;
+  const std::size_t limit = len - key.size();
+  for (std::size_t i = 0; i <= limit; ++i) {
+    if (data[i] == key[0] &&
+        std::memcmp(data + i, key.data(), key.size()) == 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace dex

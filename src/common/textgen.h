@@ -1,0 +1,35 @@
+// Synthetic "Wikipedia-like" text generator for the GRP (string match)
+// workload. The paper scans 8 GB of Wikipedia text for four keys of 7-10
+// bytes; we generate deterministic filler text with keys planted at a known
+// rate so the expected match counts are exactly computable for verification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dex {
+
+struct TextGenParams {
+  std::size_t bytes = 1 << 20;
+  std::vector<std::string> keys = {"popcorn", "infiniband", "migration",
+                                   "coherence"};
+  /// A key is planted roughly every `plant_interval` bytes, round-robin.
+  std::size_t plant_interval = 512;
+  std::uint64_t seed = 42;
+};
+
+struct GeneratedText {
+  std::vector<char> data;
+  /// Exact number of occurrences of each key, in params order.
+  std::vector<std::uint64_t> key_counts;
+};
+
+GeneratedText generate_text(const TextGenParams& params);
+
+/// Reference scalar matcher used to validate the distributed GRP result:
+/// counts (possibly overlapping) occurrences of `key` in `data`.
+std::uint64_t count_occurrences(const char* data, std::size_t len,
+                                const std::string& key);
+
+}  // namespace dex

@@ -1,0 +1,159 @@
+#include "common/time_gate.h"
+
+#include <thread>
+
+namespace dex {
+
+TimeGate& TimeGate::instance() {
+  static TimeGate gate;
+  return gate;
+}
+
+void TimeGate::enable(VirtNs window_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  window_ = window_ns;
+  members_.clear();
+  last_min_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TimeGate::disable() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_.store(false, std::memory_order_relaxed);
+    members_.clear();
+  }
+  cv_.notify_all();
+}
+
+VirtNs TimeGate::min_runnable_locked() const {
+  VirtNs min = ~VirtNs{0};
+  for (const auto& [clock, member] : members_) {
+    if (member.blocked > 0) continue;
+    const VirtNs now = clock->now();
+    if (now < min) min = now;
+  }
+  return min;
+}
+
+void TimeGate::throttle(VirtualClock* clock) {
+  bool yield_cpu = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!enabled()) return;
+  members_.try_emplace(clock);
+  // Wake waiters only when the minimum rose: most advances are by
+  // non-minimum threads and cannot unblock anyone. Track decreases too
+  // (a thread can unblock with an old, low clock), or the watermark goes
+  // stale and rising passes stop notifying — a lost-wakeup deadlock.
+  const VirtNs min = min_runnable_locked();
+  if (min != last_min_) {
+    const bool rose = min > last_min_;
+    last_min_ = min;
+    if (rose) {
+      log_locked('N', clock, min);
+      cv_.notify_all();
+      // The minimum thread never waits below, so on a host with few cores
+      // it would keep the CPU and run arbitrarily far ahead in *real* time
+      // while the threads it just woke starve on the run queue. Handing
+      // the CPU over keeps real interleaving at batch granularity.
+      yield_cpu = waiting_ > 0;
+    }
+  }
+  log_locked('T', clock, min);
+  ++waiting_;
+  cv_.wait(lock, [&] {
+    if (!enabled()) return true;
+    // Re-find each evaluation: the map may rehash while we wait.
+    auto it = members_.find(clock);
+    if (it == members_.end()) return true;
+    // Gate-excluded threads (sleeping in the simulation, possibly holding
+    // locks others need) never stall here.
+    if (it->second.blocked > 0) return true;
+    const VirtNs current_min = min_runnable_locked();
+    return clock->now() <= current_min + window_;
+  });
+  --waiting_;
+  log_locked('W', clock, min_runnable_locked());
+  lock.unlock();
+  if (yield_cpu) std::this_thread::yield();
+}
+
+void TimeGate::add(VirtualClock* clock) {
+  if (!enabled()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    members_.try_emplace(clock);
+    last_min_ = min_runnable_locked();
+  }
+  cv_.notify_all();
+}
+
+void TimeGate::block(VirtualClock* clock, const char* site) {
+  if (!enabled()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto member = members_.try_emplace(clock).first;
+    ++member->second.blocked;
+    member->second.block_site = site;
+    last_min_ = min_runnable_locked();
+    log_locked('B', clock, last_min_);
+  }
+  // This clock no longer bounds the minimum: others may proceed.
+  cv_.notify_all();
+}
+
+void TimeGate::unblock(VirtualClock* clock) {
+  if (!enabled()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = members_.find(clock);
+    if (it == members_.end()) return;
+    if (it->second.blocked > 0) --it->second.blocked;
+    // The watermark must follow the minimum DOWN here: an unblocked thread
+    // can re-enter with an old, low clock, and if last_min_ stays high the
+    // subsequent rise back past sleeping waiters looks like "no change"
+    // and never notifies them (lost-wakeup deadlock).
+    last_min_ = min_runnable_locked();
+    log_locked('U', clock, last_min_);
+  }
+  cv_.notify_all();
+}
+
+std::string TimeGate::debug_dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "TimeGate waiting=" + std::to_string(waiting_) +
+                    " enabled=" +
+                    std::to_string(enabled_.load()) +
+                    " window=" + std::to_string(window_) +
+                    " last_min=" + std::to_string(last_min_) + "\n";
+  for (const auto& [clock, member] : members_) {
+    out += "  clock " + std::to_string(reinterpret_cast<std::uintptr_t>(clock) % 100000) +
+           " now=" + std::to_string(clock->now()) +
+           " blocked=" + std::to_string(member.blocked) +
+           (member.blocked > 0 && member.block_site
+                ? std::string(" site=") + member.block_site
+                : "") + "\n";
+  }
+  out += "recent events (oldest first):\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[(event_pos_ + i) % events_.size()];
+    if (e.kind == 0) continue;
+    out += std::string("  ") + e.kind + " clock=" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(e.clock) % 100000) +
+           " now=" + std::to_string(e.clock_now) +
+           " min=" + std::to_string(e.min) + "\n";
+  }
+  return out;
+}
+
+void TimeGate::leave(VirtualClock* clock) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    members_.erase(clock);
+    last_min_ = min_runnable_locked();
+    log_locked('L', clock, last_min_);
+  }
+  cv_.notify_all();
+}
+
+}  // namespace dex

@@ -1,0 +1,110 @@
+// Conservative virtual-time coupling of threads (a windowed PDES gate).
+//
+// Why: the simulation runs real OS threads but reports virtual time. On a
+// host with few cores (or a fast host), real execution order diverges
+// wildly from virtual order, and contention phenomena the paper measures —
+// page ping-pong, §V-D retry storms — never materialize. The TimeGate
+// restores fidelity: while enabled, a thread whose virtual clock is more
+// than `window` ahead of the slowest *runnable* coupled thread blocks until
+// the others catch up, so cross-thread interleavings happen in virtual-time
+// order regardless of host parallelism.
+//
+// Threads that block in the simulation (futex wait, barrier dock, join,
+// pool exhaustion, fault followers) must be excluded while blocked — their
+// clocks stand still and would wedge the gate; they mark themselves with
+// ScopedGateBlock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <array>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "common/virtual_clock.h"
+
+namespace dex {
+
+class TimeGate {
+ public:
+  static TimeGate& instance();
+
+  /// Enables coupling with the given lookahead window. Clears membership.
+  void enable(VirtNs window_ns);
+  void disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by a coupled thread after advancing its clock; blocks while the
+  /// clock is more than the window ahead of the slowest runnable member.
+  /// Registers the clock on first use.
+  void throttle(VirtualClock* clock);
+
+  /// Eagerly registers a clock (no blocking). Parents call this for a
+  /// child *before* starting it, so an early-scheduled sibling can never
+  /// burst ahead of threads that have not run yet.
+  void add(VirtualClock* clock);
+
+  /// Excludes/includes a clock while its thread blocks in the simulation.
+  void block(VirtualClock* clock, const char* site = "?");
+  void unblock(VirtualClock* clock);
+
+  /// Permanently removes a clock (thread exit).
+  void leave(VirtualClock* clock);
+
+  /// Human-readable snapshot of gate state (debugging stalled runs).
+  std::string debug_dump() const;
+
+ private:
+  struct Member {
+    int blocked = 0;  // nesting depth of ScopedGateBlock
+    const char* block_site = nullptr;
+  };
+
+  /// Minimum clock over runnable members; UINT64_MAX when none.
+  VirtNs min_runnable_locked() const;
+
+  struct Event {
+    char kind;          // T=throttle-enter, W=wake-pass, B=block, U=unblock,
+                        // L=leave, N=notify
+    const VirtualClock* clock;
+    VirtNs clock_now;
+    VirtNs min;
+  };
+  void log_locked(char kind, const VirtualClock* clock, VirtNs min) {
+    events_[event_pos_++ % events_.size()] = Event{kind, clock,
+                                                   clock ? clock->now() : 0,
+                                                   min};
+  }
+  std::array<Event, 64> events_{};
+  std::size_t event_pos_ = 0;
+
+  std::atomic<bool> enabled_{false};
+  VirtNs window_ = 50000;
+  VirtNs last_min_ = 0;
+  int waiting_ = 0;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<VirtualClock*, Member> members_;
+};
+
+/// RAII: marks the calling thread's clock blocked for the gate while the
+/// thread waits on a host synchronization primitive.
+class ScopedGateBlock {
+ public:
+  explicit ScopedGateBlock(const char* site = "?")
+      : clock_(vclock::current()) {
+    TimeGate::instance().block(clock_, site);
+  }
+  ~ScopedGateBlock() { TimeGate::instance().unblock(clock_); }
+  ScopedGateBlock(const ScopedGateBlock&) = delete;
+  ScopedGateBlock& operator=(const ScopedGateBlock&) = delete;
+
+ private:
+  VirtualClock* clock_;
+};
+
+}  // namespace dex

@@ -1,0 +1,51 @@
+// Fundamental types shared by every DeX module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dex {
+
+/// Identifies a (simulated) machine in the rack. The paper evaluates eight
+/// nodes; we support arbitrary counts but default configs mirror the paper.
+using NodeId = int;
+
+/// Identifies a DeX thread within a process. Thread 0 is the main thread.
+using TaskId = int;
+
+/// A virtual address in the distributed (per-process) address space.
+/// Global addresses are plain integers: the software MMU translates them to
+/// node-local frames, exactly as hardware translates VAs through page tables.
+using GAddr = std::uint64_t;
+
+/// Virtual nanoseconds. All performance numbers DeX reports are measured on
+/// per-thread virtual clocks charged by the calibrated cost model.
+using VirtNs = std::uint64_t;
+
+inline constexpr std::size_t kPageShift = 12;
+inline constexpr std::size_t kPageSize = std::size_t{1} << kPageShift;  // 4 KB
+inline constexpr GAddr kPageMask = ~GAddr{kPageSize - 1};
+
+inline constexpr GAddr page_base(GAddr a) { return a & kPageMask; }
+inline constexpr std::uint64_t page_index(GAddr a) { return a >> kPageShift; }
+inline constexpr std::size_t page_offset(GAddr a) {
+  return static_cast<std::size_t>(a & (kPageSize - 1));
+}
+
+/// Null / invalid global address. Address 0 is never mapped (like a real VM
+/// layout keeping the zero page unmapped to catch null dereferences).
+inline constexpr GAddr kNullGAddr = 0;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Access type of a memory operation / page fault.
+enum class Access : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+
+inline const char* to_string(Access a) {
+  return a == Access::kRead ? "read" : "write";
+}
+
+}  // namespace dex

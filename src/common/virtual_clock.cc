@@ -1,0 +1,49 @@
+#include "common/virtual_clock.h"
+
+#include "common/time_gate.h"
+
+namespace dex {
+
+namespace vclock {
+
+namespace {
+thread_local VirtualClock fallback_clock;
+thread_local VirtualClock* current_clock = nullptr;
+
+/// Batch threshold: consult the gate once at least this much virtual time
+/// accumulated, so tiny charges don't each pay a mutex round trip.
+constexpr VirtNs kGateBatchNs = 5000;
+thread_local VirtNs gate_debt = 0;
+}  // namespace
+
+VirtualClock* current() {
+  return current_clock != nullptr ? current_clock : &fallback_clock;
+}
+
+void set_current(VirtualClock* clock) { current_clock = clock; }
+
+bool coupling_enabled() { return TimeGate::instance().enabled(); }
+
+void gate_check(VirtNs delta) {
+  gate_debt += delta;
+  if (gate_debt < kGateBatchNs) return;
+  gate_debt = 0;
+  TimeGate::instance().throttle(current());
+}
+
+void gate_observe() {
+  gate_debt = 0;
+  TimeGate::instance().throttle(current());
+}
+
+}  // namespace vclock
+
+ScopedPacing::ScopedPacing(double ratio) : enabled_(ratio > 0.0) {
+  if (enabled_) TimeGate::instance().enable(/*window_ns=*/8000);
+}
+
+ScopedPacing::~ScopedPacing() {
+  if (enabled_) TimeGate::instance().disable();
+}
+
+}  // namespace dex

@@ -1,0 +1,112 @@
+// Per-thread virtual time.
+//
+// DeX's performance results are reported in *virtual nanoseconds*: each
+// thread owns a clock; compute charges modeled time, protocol operations
+// charge the calibrated fabric cost model (net/cost_model.h), and
+// synchronization events join clocks with `max`. This reproduces the shape
+// of the paper's wall-clock measurements independent of the host machine:
+// a thread's finishing time is the length of its longest dependency chain
+// of compute + communication, exactly as on the real cluster.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dex {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(VirtNs start) : ns_(start) {}
+
+  VirtNs now() const { return ns_.load(std::memory_order_relaxed); }
+
+  void advance(VirtNs delta) {
+    ns_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Happens-before edge from an event that completed at virtual time `ts`
+  /// (barrier release, futex wake, message receipt): local time becomes at
+  /// least `ts`. Returns how far the clock moved (0 if `ts` is in the
+  /// past).
+  VirtNs observe(VirtNs ts) {
+    VirtNs cur = ns_.load(std::memory_order_relaxed);
+    while (cur < ts) {
+      if (ns_.compare_exchange_weak(cur, ts, std::memory_order_relaxed)) {
+        return ts - cur;
+      }
+    }
+    return 0;
+  }
+
+  void reset(VirtNs t = 0) { ns_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<VirtNs> ns_{0};
+};
+
+/// Thread-local binding of the current DeX thread's clock. Threads outside
+/// the DeX runtime (unit tests poking modules directly) get a private
+/// fallback clock so charging never needs a null check.
+namespace vclock {
+
+VirtualClock* current();
+void set_current(VirtualClock* clock);
+
+/// Time coupling (see common/time_gate.h): while enabled, threads advance
+/// their virtual clocks in bounded lockstep, so cross-thread interleavings
+/// — and therefore contention phenomena like page ping-pong — occur in
+/// virtual-time order rather than host-execution order. Disabled by
+/// default; experiments enable it via ScopedPacing.
+bool coupling_enabled();
+void gate_check(VirtNs delta);   // internal: batch + throttle
+void gate_observe();             // internal: unbatched throttle
+
+inline VirtNs now() { return current()->now(); }
+inline void advance(VirtNs delta) {
+  current()->advance(delta);
+  if (coupling_enabled()) gate_check(delta);
+}
+inline void observe(VirtNs ts) {
+  // A forward jump can silently raise the gate's runnable minimum; it must
+  // go through the gate (which notifies waiters whose turn has come and
+  // throttles the jumper if it leapt ahead). Skipping this was a
+  // lost-wakeup deadlock.
+  if (current()->observe(ts) > 0 && coupling_enabled()) gate_observe();
+}
+
+}  // namespace vclock
+
+/// RAII time-coupling scope (global; one experiment at a time). A ratio of
+/// 0 leaves coupling off (correctness-only tests run at full speed); any
+/// positive value enables the gate with the default lookahead window.
+class ScopedPacing {
+ public:
+  explicit ScopedPacing(double ratio);
+  ~ScopedPacing();
+  ScopedPacing(const ScopedPacing&) = delete;
+  ScopedPacing& operator=(const ScopedPacing&) = delete;
+
+ private:
+  bool enabled_;
+};
+
+/// RAII binder used by the runtime when entering a DeX thread body.
+class ScopedClockBinding {
+ public:
+  explicit ScopedClockBinding(VirtualClock* clock)
+      : previous_(vclock::current()) {
+    vclock::set_current(clock);
+  }
+  ~ScopedClockBinding() { vclock::set_current(previous_); }
+  ScopedClockBinding(const ScopedClockBinding&) = delete;
+  ScopedClockBinding& operator=(const ScopedClockBinding&) = delete;
+
+ private:
+  VirtualClock* previous_;
+};
+
+}  // namespace dex

@@ -1,0 +1,166 @@
+// The DeX public API.
+//
+// This is the surface an application developer sees. Converting a
+// single-machine program is the paper's two-line recipe:
+//
+//     dex::migrate(node);        // at the start of the parallel region
+//     ...existing code...
+//     dex::migrate_back();       // at its end
+//
+// plus ordinary allocation and data access through the distributed address
+// space (GArray/GVar below stand in for the raw loads and stores a real MMU
+// would let the unmodified code perform).
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "common/virtual_clock.h"
+#include "core/cluster.h"
+#include "core/context.h"
+#include "core/parallel.h"
+#include "core/process.h"
+#include "core/sync.h"
+#include "mem/dsm.h"
+#include "prof/analysis.h"
+#include "prof/trace.h"
+
+namespace dex {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::DexBarrier;
+using core::DexCondVar;
+using core::DexLockGuard;
+using core::DexMutex;
+using core::DexThread;
+using core::MigrationRecord;
+using core::parallel_for;
+using core::Process;
+using core::ProcessOptions;
+using core::run_team;
+using core::TeamOptions;
+using mem::kProtRead;
+using mem::kProtReadWrite;
+using mem::kProtWrite;
+using mem::SegfaultError;
+using prof::ScopedSite;
+
+/// The calling DeX thread's current node (the origin for non-DeX threads).
+inline NodeId current_node() { return core::tls_context().node; }
+inline TaskId current_task() { return core::tls_context().task; }
+inline Process* current_process() { return core::tls_context().process; }
+
+/// Migrates the calling thread to `node` (§III-A). A no-op if already
+/// there. Must be called from a DeX thread.
+inline void migrate(NodeId node) {
+  core::tls_context().process->migrate(node);
+}
+
+/// Returns the calling thread to its origin node.
+inline void migrate_back() { core::tls_context().process->migrate_back(); }
+
+/// Charges `ns` of modeled CPU work to the calling thread's virtual clock.
+/// Applications express their compute cost through this (the simulator's
+/// stand-in for actually burning cycles on the paper's Xeons).
+inline void compute(VirtNs ns) { vclock::advance(ns); }
+
+/// Current virtual time of the calling thread.
+inline VirtNs now() { return vclock::now(); }
+
+/// A typed array in the distributed address space. Every element access
+/// goes through the software MMU (page-permission check, fault handling,
+/// coherence), so arrays behave like ordinary memory on the paper's system.
+template <typename T>
+class GArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  GArray() = default;
+  GArray(Process& process, std::size_t count, const std::string& tag)
+      : process_(&process), count_(count) {
+    base_ = process.mmap(count * sizeof(T), kProtReadWrite, tag);
+    DEX_CHECK_MSG(base_ != kNullGAddr, "GArray mmap failed");
+  }
+  /// Adopts an existing mapping (e.g. a g_malloc'd region).
+  GArray(Process& process, GAddr base, std::size_t count)
+      : process_(&process), base_(base), count_(count) {}
+
+  std::size_t size() const { return count_; }
+  GAddr addr(std::size_t i = 0) const { return base_ + i * sizeof(T); }
+
+  T get(std::size_t i) const { return process_->load<T>(addr(i)); }
+  void set(std::size_t i, const T& value) {
+    process_->store<T>(addr(i), value);
+  }
+
+  /// Bulk accessors: one fault per page instead of per element — the same
+  /// behaviour real loads/stores have once a page is mapped.
+  void read_block(std::size_t i, std::size_t n, T* out) const {
+    process_->read(addr(i), out, n * sizeof(T));
+  }
+  void write_block(std::size_t i, std::size_t n, const T* in) {
+    process_->write(addr(i), in, n * sizeof(T));
+  }
+
+  void fill(const T& value) {
+    for (std::size_t i = 0; i < count_; ++i) set(i, value);
+  }
+
+ private:
+  Process* process_ = nullptr;
+  GAddr base_ = kNullGAddr;
+  std::size_t count_ = 0;
+};
+
+/// A single typed variable in distributed memory. `isolated` gives it a
+/// private page (the §IV-B padding/alignment fix); otherwise it is packed
+/// into the shared heap arena like an ordinary global.
+template <typename T>
+class GVar {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  GVar() = default;
+  GVar(Process& process, const std::string& tag, bool isolated = false)
+      : process_(&process) {
+    addr_ = isolated ? process.g_memalign(kPageSize, sizeof(T), tag)
+                     : process.g_malloc(sizeof(T), tag);
+    DEX_CHECK(addr_ != kNullGAddr);
+  }
+
+  GAddr addr() const { return addr_; }
+  T load() const { return process_->load<T>(addr_); }
+  void store(const T& value) { process_->store<T>(addr_, value); }
+
+ private:
+  Process* process_ = nullptr;
+  GAddr addr_ = kNullGAddr;
+};
+
+/// 64-bit shared counter/flag with atomic RMW (global variables like GRP's
+/// match counter or KMN's convergence flag).
+class GCounter {
+ public:
+  GCounter() = default;
+  GCounter(Process& process, const std::string& tag, bool isolated = false)
+      : process_(&process) {
+    addr_ = isolated ? process.g_memalign(kPageSize, 8, tag)
+                     : process.g_malloc(8, tag);
+    DEX_CHECK(addr_ != kNullGAddr);
+    process.atomic_store(addr_, 0);
+  }
+
+  GAddr addr() const { return addr_; }
+  std::uint64_t load() const { return process_->atomic_load(addr_); }
+  void store(std::uint64_t v) { process_->atomic_store(addr_, v); }
+  std::uint64_t fetch_add(std::uint64_t delta) {
+    return process_->atomic_fetch_add(addr_, delta);
+  }
+
+ private:
+  Process* process_ = nullptr;
+  GAddr addr_ = kNullGAddr;
+};
+
+}  // namespace dex

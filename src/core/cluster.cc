@@ -1,0 +1,100 @@
+#include "core/cluster.h"
+
+#include "common/assert.h"
+#include "core/process.h"
+
+namespace dex::core {
+
+using net::Message;
+using net::MsgType;
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  DEX_CHECK(config.num_nodes >= 1 && config.num_nodes <= mem::kMaxNodes);
+  net::FabricOptions options;
+  options.num_nodes = config.num_nodes;
+  options.cost = config.cost;
+  options.mode = config.mode;
+  options.connection = config.connection;
+  fabric_ = std::make_unique<net::Fabric>(options);
+  install_handlers();
+}
+
+Cluster::~Cluster() = default;
+
+std::unique_ptr<Process> Cluster::create_process(
+    const ProcessOptions& options) {
+  std::uint64_t id;
+  {
+    std::unique_lock lock(processes_mu_);
+    id = next_process_id_++;
+  }
+  auto process = std::make_unique<Process>(*this, id, options);
+  register_process(process.get());
+  return process;
+}
+
+void Cluster::register_process(Process* process) {
+  std::unique_lock lock(processes_mu_);
+  processes_[process->id()] = process;
+}
+
+void Cluster::unregister_process(std::uint64_t id) {
+  std::unique_lock lock(processes_mu_);
+  processes_.erase(id);
+}
+
+Process* Cluster::find_process(std::uint64_t id) const {
+  std::shared_lock lock(processes_mu_);
+  auto it = processes_.find(id);
+  DEX_CHECK_MSG(it != processes_.end(), "message for unknown process");
+  return it->second;
+}
+
+void Cluster::install_handlers() {
+  // Every DeX payload leads with the 64-bit process id; the dispatcher
+  // demultiplexes on it, like the kernel's per-process message routing.
+  auto pid_of = [](const Message& msg) {
+    return msg.payload_as<std::uint64_t>();
+  };
+
+  fabric_->register_handler(
+      MsgType::kPageRequestRead, [this, pid_of](const Message& msg) {
+        return find_process(pid_of(msg))->dsm().handle_page_request(
+            msg, Access::kRead);
+      });
+  fabric_->register_handler(
+      MsgType::kPageRequestWrite, [this, pid_of](const Message& msg) {
+        return find_process(pid_of(msg))->dsm().handle_page_request(
+            msg, Access::kWrite);
+      });
+  fabric_->register_handler(
+      MsgType::kRevokeOwnership, [this, pid_of](const Message& msg) {
+        return find_process(pid_of(msg))->dsm().handle_revoke(msg);
+      });
+  fabric_->register_handler(
+      MsgType::kVmaInfoRequest, [this, pid_of](const Message& msg) {
+        return find_process(pid_of(msg))->dsm().handle_vma_request(msg);
+      });
+  fabric_->register_handler(
+      MsgType::kVmaUpdate, [this, pid_of](const Message& msg) {
+        return find_process(pid_of(msg))->dsm().handle_vma_update(msg);
+      });
+  fabric_->register_handler(
+      MsgType::kMigrateThread, [this, pid_of](const Message& msg) {
+        return find_process(pid_of(msg))->handle_migrate(msg);
+      });
+  fabric_->register_handler(
+      MsgType::kMigrateBack, [this, pid_of](const Message& msg) {
+        return find_process(pid_of(msg))->handle_migrate_back(msg);
+      });
+  fabric_->register_handler(
+      MsgType::kDelegateFutex, [this, pid_of](const Message& msg) {
+        return find_process(pid_of(msg))->handle_delegate_futex(msg);
+      });
+  fabric_->register_handler(
+      MsgType::kDelegateVmaOp, [this, pid_of](const Message& msg) {
+        return find_process(pid_of(msg))->handle_delegate_vma(msg);
+      });
+}
+
+}  // namespace dex::core

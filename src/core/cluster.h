@@ -1,0 +1,78 @@
+// The simulated rack: N nodes with per-node core counts, the InfiniBand
+// fabric connecting them, the per-node load accounting for the bandwidth
+// model, and the registry that routes fabric messages to processes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "mem/dsm.h"
+#include "net/fabric.h"
+
+namespace dex::core {
+
+class Process;
+struct ProcessOptions;
+
+struct ClusterConfig {
+  /// The paper evaluates 1..8 nodes.
+  int num_nodes = 2;
+  /// Physical cores per node (8 in the paper; hyper-threads unused).
+  int cores_per_node = 8;
+  net::CostModel cost;
+  net::FabricMode mode;
+  net::ConnectionConfig connection;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_nodes() const { return config_.num_nodes; }
+  int cores_per_node() const { return config_.cores_per_node; }
+  int total_cores() const { return num_nodes() * cores_per_node(); }
+  const net::CostModel& cost() const { return fabric_->cost(); }
+  net::Fabric& fabric() { return *fabric_; }
+  mem::NodeLoad& node_load() { return node_load_; }
+
+  /// Creates a distributed process on this cluster.
+  std::unique_ptr<Process> create_process(const ProcessOptions& options);
+
+  /// The node currently running the fewest DeX threads — the target the
+  /// §III-A "scheduler-initiated migration" extension balances toward.
+  NodeId least_loaded_node() const {
+    NodeId best = 0;
+    int best_load = node_load_.on(0);
+    for (NodeId n = 1; n < config_.num_nodes; ++n) {
+      const int load = node_load_.on(n);
+      if (load < best_load) {
+        best = n;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+
+ private:
+  friend class Process;
+  void register_process(Process* process);
+  void unregister_process(std::uint64_t id);
+  Process* find_process(std::uint64_t id) const;
+  void install_handlers();
+
+  ClusterConfig config_;
+  std::unique_ptr<net::Fabric> fabric_;
+  mem::NodeLoad node_load_;
+
+  mutable std::shared_mutex processes_mu_;
+  std::unordered_map<std::uint64_t, Process*> processes_;
+  std::uint64_t next_process_id_ = 1;
+};
+
+}  // namespace dex::core

@@ -1,0 +1,10 @@
+#include "core/context.h"
+
+namespace dex::core {
+
+ThreadContext& tls_context() {
+  thread_local ThreadContext ctx;
+  return ctx;
+}
+
+}  // namespace dex::core

@@ -1,0 +1,45 @@
+// Thread-local execution context of a DeX thread.
+//
+// In the kernel, a migrated thread's identity (its pt_regs, mm, node) is
+// carried by task_struct; here every OS thread participating in a DeX
+// process carries a ThreadContext: which process it belongs to, which node
+// it is currently executing on, its task id, and its virtual clock. The
+// public API reads this context implicitly, so application code looks like
+// ordinary shared-memory code plus migrate() calls.
+#pragma once
+
+#include "common/types.h"
+#include "common/virtual_clock.h"
+
+namespace dex::core {
+
+class Process;
+
+struct ThreadContext {
+  Process* process = nullptr;
+  NodeId node = 0;
+  TaskId task = 0;
+  VirtualClock* clock = nullptr;
+};
+
+/// Returns the calling thread's context (null fields when the thread is not
+/// part of a DeX process).
+ThreadContext& tls_context();
+
+/// RAII: binds `ctx` (and its clock) to the calling OS thread.
+class ScopedContext {
+ public:
+  explicit ScopedContext(const ThreadContext& ctx)
+      : saved_(tls_context()), clock_binding_(ctx.clock) {
+    tls_context() = ctx;
+  }
+  ~ScopedContext() { tls_context() = saved_; }
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  ThreadContext saved_;
+  ScopedClockBinding clock_binding_;
+};
+
+}  // namespace dex::core

@@ -1,0 +1,54 @@
+#include "core/futex.h"
+
+#include "common/time_gate.h"
+#include "common/virtual_clock.h"
+#include "mem/dsm.h"
+
+namespace dex::core {
+
+FutexTable::WaitResult FutexTable::wait(mem::Dsm& dsm, NodeId origin,
+                                        TaskId task, GAddr addr,
+                                        std::uint64_t expected) {
+  // The whole wait is gate-excluded: the thread is about to sleep, and the
+  // table lock can be held across protocol traffic by other waiters.
+  ScopedGateBlock gate_block("futex_wait");
+  std::unique_lock<std::mutex> lock(mu_);
+  // Re-check the futex word under the table lock (lost-wakeup protection).
+  // The DSM read can trigger protocol traffic; it never re-enters the futex
+  // table, so lock ordering is safe.
+  const std::uint64_t current = dsm.atomic_load_u64(origin, task, addr);
+  if (current != expected) return WaitResult::kValueChanged;
+
+  Queue& queue = queues_[addr];
+  Waiter self;
+  queue.waiters.push_back(&self);
+  ++queue.sleepers;
+  ++total_waits_;
+  queue.cv.wait(lock, [&self] { return self.woken; });
+  --queue.sleepers;
+  vclock::observe(self.wake_ts);
+  // wake() already unlinked us; drop the queue once fully drained.
+  if (queue.waiters.empty() && queue.sleepers == 0) queues_.erase(addr);
+  return WaitResult::kWoken;
+}
+
+int FutexTable::wake(GAddr addr, int count, VirtNs waker_ts) {
+  ScopedGateBlock gate_block("futex_wake");
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_wakes_;
+  auto it = queues_.find(addr);
+  if (it == queues_.end()) return 0;
+  Queue& queue = it->second;
+  int woken = 0;
+  while (woken < count && !queue.waiters.empty()) {
+    Waiter* waiter = queue.waiters.front();
+    queue.waiters.pop_front();
+    waiter->woken = true;
+    waiter->wake_ts = waker_ts;
+    ++woken;
+  }
+  if (woken > 0) queue.cv.notify_all();
+  return woken;
+}
+
+}  // namespace dex::core

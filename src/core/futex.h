@@ -1,0 +1,77 @@
+// The origin-side futex implementation (§III-A work delegation).
+//
+// Linux thread-synchronization primitives bottom out in futex(2); DeX
+// forwards futex calls from remote threads to the origin, where the
+// existing (here: this) implementation runs unmodified. The table keys wait
+// queues by futex word address; `wait` re-checks the word *while holding
+// the table lock* to close the lost-wakeup window, exactly as the kernel
+// does with the hash-bucket lock.
+//
+// Wakers deposit their virtual timestamp in the queue; woken waiters
+// observe it, giving synchronization the happens-before clock join.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+
+#include "common/types.h"
+
+namespace dex::mem {
+class Dsm;
+}
+
+namespace dex::core {
+
+class FutexTable {
+ public:
+  /// Result of a wait call.
+  enum class WaitResult {
+    kWoken,         // a waker released us
+    kValueChanged,  // *addr != expected at enqueue time (EAGAIN)
+  };
+
+  /// Blocks until woken, provided the 64-bit word at `addr` still equals
+  /// `expected` when the queue is locked. Reads the word through the DSM at
+  /// the origin node (futexes execute at the origin).
+  WaitResult wait(mem::Dsm& dsm, NodeId origin, TaskId task, GAddr addr,
+                  std::uint64_t expected);
+
+  /// Wakes up to `count` waiters on `addr`; returns the number woken.
+  /// `waker_ts` is the waker's virtual time, observed by each woken waiter.
+  int wake(GAddr addr, int count, VirtNs waker_ts);
+
+  std::uint64_t total_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_waits_;
+  }
+  std::uint64_t total_wakes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_wakes_;
+  }
+
+ private:
+  /// One enqueued waiter. Wake targets *specific currently-enqueued*
+  /// waiters (as the kernel futex does); a token/counter scheme would let
+  /// a later waiter on the same address steal an earlier waiter's wake.
+  struct Waiter {
+    bool woken = false;
+    VirtNs wake_ts = 0;
+  };
+  struct Queue {
+    std::condition_variable cv;
+    std::list<Waiter*> waiters;
+    /// Threads physically blocked in cv.wait; the queue may only be erased
+    /// when none remain (the cv must outlive its sleepers).
+    int sleepers = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<GAddr, Queue> queues_;
+  std::uint64_t total_waits_ = 0;
+  std::uint64_t total_wakes_ = 0;
+};
+
+}  // namespace dex::core

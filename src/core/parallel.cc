@@ -1,0 +1,160 @@
+#include "core/parallel.h"
+
+#include <vector>
+
+#include "common/assert.h"
+#include "common/time_gate.h"
+#include "common/virtual_clock.h"
+
+namespace dex::core {
+
+VirtNs run_team(Process& process, const TeamOptions& options,
+                const std::function<void(int tid, int nthreads)>& body) {
+  DEX_CHECK(options.nodes >= 1 && options.threads_per_node >= 1);
+  const int nthreads = options.total_threads();
+  const VirtNs start = vclock::now();
+
+  std::vector<DexThread> workers;
+  workers.reserve(static_cast<std::size_t>(nthreads));
+  for (int tid = 0; tid < nthreads; ++tid) {
+    const NodeId node = options.node_of(tid);
+    workers.push_back(process.spawn([&process, &options, &body, tid,
+                                     nthreads, node] {
+      if (options.migrate && node != tls_context().node) {
+        process.migrate(node);
+      }
+      body(tid, nthreads);
+      if (options.migrate) process.migrate_back();
+    }));
+  }
+
+  VirtNs finish = start;
+  for (auto& worker : workers) {
+    worker.join();
+    finish = std::max(finish, worker.final_clock());
+  }
+  return finish - start;
+}
+
+VirtNs parallel_for(
+    Process& process, const TeamOptions& options, std::uint64_t begin,
+    std::uint64_t end,
+    const std::function<void(std::uint64_t lo, std::uint64_t hi, int tid)>&
+        body) {
+  const std::uint64_t n = end > begin ? end - begin : 0;
+  const auto nthreads = static_cast<std::uint64_t>(options.total_threads());
+  return run_team(process, options, [&](int tid, int total) {
+    (void)total;
+    const std::uint64_t chunk = (n + nthreads - 1) / nthreads;
+    const std::uint64_t lo = begin + chunk * static_cast<std::uint64_t>(tid);
+    const std::uint64_t hi = std::min(end, lo + chunk);
+    if (lo < hi) body(lo, hi, tid);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Team
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Dispatch cost of waking a docked OpenMP worker for a region.
+constexpr VirtNs kRegionDispatchNs = 1500;
+}  // namespace
+
+Team::Team(Process& process, const TeamOptions& options)
+    : process_(process), options_(options) {
+  const int n = options.total_threads();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int tid = 0; tid < n; ++tid) {
+    workers_.push_back(process_.spawn([this, tid] { worker_loop(tid); }));
+  }
+}
+
+Team::~Team() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void Team::worker_loop(int tid) {
+  const NodeId node = options_.node_of(tid);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int, int)>* body = nullptr;
+    VirtNs start_ts = 0;
+    {
+      ScopedGateBlock gate_block("team_dock");
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return generation_ > seen_generation; });
+      seen_generation = generation_;
+      if (shutdown_) return;
+      body = body_;
+      start_ts = region_start_ts_;
+    }
+    // The worker resumes at the region's fork point.
+    vclock::observe(start_ts);
+    vclock::advance(kRegionDispatchNs);
+
+    if (options_.migrate && node != tls_context().node) {
+      process_.migrate(node);
+    }
+    (*body)(tid, options_.total_threads());
+    if (options_.migrate) process_.migrate_back();
+
+    region_end_ts_.observe(vclock::now());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++done_count_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+VirtNs Team::run_region(const std::function<void(int, int)>& body) {
+  const VirtNs start = vclock::now();
+  // The pool may have been spawned before the time gate was enabled
+  // (teams outlive experiment scopes): (re-)register every worker so none
+  // can burst ahead while its siblings are still waking up.
+  for (auto& worker : workers_) {
+    TimeGate::instance().add(worker.clock());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    region_start_ts_ = start;
+    region_end_ts_.reset(start);
+    done_count_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  {
+    ScopedGateBlock gate_block("team_join");
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [&] { return done_count_ == options_.total_threads(); });
+  }
+  // Join: the master resumes when the slowest worker is done.
+  vclock::observe(region_end_ts_.now());
+  return vclock::now() - start;
+}
+
+VirtNs Team::for_region(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<void(std::uint64_t lo, std::uint64_t hi, int tid)>&
+        body) {
+  const std::uint64_t n = end > begin ? end - begin : 0;
+  const auto nthreads = static_cast<std::uint64_t>(options_.total_threads());
+  return run_region([&](int tid, int total) {
+    (void)total;
+    const std::uint64_t chunk = (n + nthreads - 1) / nthreads;
+    const std::uint64_t lo = begin + chunk * static_cast<std::uint64_t>(tid);
+    const std::uint64_t hi = std::min(end, lo + chunk);
+    if (lo < hi) body(lo, hi, tid);
+  });
+}
+
+}  // namespace dex::core

@@ -1,0 +1,99 @@
+// Fork/join parallel regions.
+//
+// This is the shape the paper converts applications into: "each worker
+// thread relocates itself to an assigned node at the beginning of the
+// multi-threaded parallel execution region and returns to the origin at the
+// end of the region" (§V-A). run_team spawns the workers, inserts the
+// forward/backward migration calls, and reports the region's virtual-time
+// span — the quantity Figure 2 plots.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "common/virtual_clock.h"
+#include "core/process.h"
+
+namespace dex::core {
+
+struct TeamOptions {
+  /// Nodes participating in the region (nodes 0..nodes-1; node 0 is
+  /// usually the origin).
+  int nodes = 1;
+  /// Worker threads per node (8 in the paper, to sidestep hyper-threading).
+  int threads_per_node = 8;
+  /// Insert migrate()/migrate_back() around the body (the DeX conversion).
+  /// false = run all workers at the origin (the single-machine baseline).
+  bool migrate = true;
+
+  int total_threads() const { return nodes * threads_per_node; }
+  NodeId node_of(int tid) const {
+    return static_cast<NodeId>(tid / threads_per_node);
+  }
+};
+
+/// Runs `body(tid, nthreads)` on options.total_threads() workers and joins
+/// them. Returns the region's elapsed virtual time (max worker finish time
+/// minus region start).
+VirtNs run_team(Process& process, const TeamOptions& options,
+                const std::function<void(int tid, int nthreads)>& body);
+
+/// Static-schedule parallel for over [begin, end): worker tid gets one
+/// contiguous chunk, like OpenMP's `schedule(static)`. Returns elapsed
+/// virtual time.
+VirtNs parallel_for(
+    Process& process, const TeamOptions& options, std::uint64_t begin,
+    std::uint64_t end,
+    const std::function<void(std::uint64_t lo, std::uint64_t hi, int tid)>&
+        body);
+
+/// A persistent worker pool, the shape of an OpenMP runtime: workers are
+/// spawned once and then execute parallel regions repeatedly. With
+/// options.migrate set, every region is bracketed by migrate(node) /
+/// migrate_back() on each worker — the paper's conversion of the NPB
+/// OpenMP applications, which relies on cheap repeated migrations
+/// (Table II's "2nd migration" path).
+class Team {
+ public:
+  Team(Process& process, const TeamOptions& options);
+  ~Team();
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  /// Runs one parallel region on all workers; returns its virtual span.
+  VirtNs run_region(const std::function<void(int tid, int nthreads)>& body);
+
+  /// Static-schedule loop region over [begin, end).
+  VirtNs for_region(
+      std::uint64_t begin, std::uint64_t end,
+      const std::function<void(std::uint64_t lo, std::uint64_t hi, int tid)>&
+          body);
+
+  const TeamOptions& options() const { return options_; }
+  int size() const { return options_.total_threads(); }
+
+ private:
+  void worker_loop(int tid);
+
+  Process& process_;
+  TeamOptions options_;
+  std::vector<DexThread> workers_;
+
+  // Host-side orchestration (stands in for the OpenMP runtime's internal
+  // dock barrier; virtual-clock joins are explicit).
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  int done_count_ = 0;
+  bool shutdown_ = false;
+  const std::function<void(int, int)>* body_ = nullptr;
+  VirtNs region_start_ts_ = 0;
+  VirtualClock region_end_ts_;
+};
+
+}  // namespace dex::core

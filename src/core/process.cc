@@ -1,0 +1,570 @@
+#include "core/process.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.h"
+#include "common/time_gate.h"
+#include "core/cluster.h"
+
+namespace dex::core {
+
+using net::Message;
+using net::MsgType;
+
+// ---------------------------------------------------------------------------
+// DexThread
+// ---------------------------------------------------------------------------
+
+DexThread::~DexThread() {
+  DEX_CHECK_MSG(!joinable(), "DexThread destroyed without join()");
+}
+
+void DexThread::join() {
+  DEX_CHECK(joinable());
+  {
+    ScopedGateBlock gate_block("thread_join");
+    thread_->join();
+  }
+  // pthread_join happens-before edge: the joiner's clock absorbs the
+  // joinee's final time.
+  vclock::observe(clock_->now());
+}
+
+// ---------------------------------------------------------------------------
+// Process lifecycle
+// ---------------------------------------------------------------------------
+
+Process::Process(Cluster& cluster, std::uint64_t id,
+                 const ProcessOptions& options)
+    : cluster_(cluster), id_(id), options_(options) {
+  mem::DsmConfig dsm_config;
+  dsm_config.process_id = id;
+  dsm_config.origin = options.origin;
+  dsm_config.num_nodes = cluster.num_nodes();
+  dsm_config.stream_intensity = options.stream_intensity;
+  dsm_config.coalesce_faults = options.coalesce_faults;
+  dsm_ = std::make_unique<mem::Dsm>(cluster.fabric(), dsm_config,
+                                    &cluster.node_load(), &trace_);
+  worker_exists_[static_cast<std::size_t>(options.origin)] = true;
+}
+
+Process::~Process() { cluster_.unregister_process(id_); }
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+DexThread Process::spawn(std::function<void()> body) {
+  ThreadContext& parent = tls_context();
+  const NodeId start_node =
+      parent.process == this ? parent.node : options_.origin;
+
+  vclock::advance(cluster_.cost().thread_spawn_ns);
+
+  DexThread handle;
+  handle.task_ = next_task_.fetch_add(1, std::memory_order_relaxed) + 1;
+  handle.clock_ = std::make_shared<VirtualClock>(vclock::now());
+
+  ThreadContext child_ctx;
+  child_ctx.process = this;
+  child_ctx.node = start_node;
+  child_ctx.task = handle.task_;
+  child_ctx.clock = handle.clock_.get();
+
+  auto clock = handle.clock_;
+  // Register the child with the time gate before it can run: without this
+  // an early-scheduled child could burst far ahead of siblings that have
+  // not been created yet.
+  TimeGate::instance().add(clock.get());
+  cluster_.node_load().active[static_cast<std::size_t>(start_node)]
+      .fetch_add(1, std::memory_order_relaxed);
+
+  handle.thread_ = std::make_unique<std::thread>(
+      [this, child_ctx, body = std::move(body)]() mutable {
+        ScopedContext bind(child_ctx);
+        body();
+        // The clock stops advancing now: remove it from the time gate so
+        // it cannot wedge still-running threads.
+        TimeGate::instance().leave(child_ctx.clock);
+        // Decrement the load of whatever node the thread ended up on.
+        cluster_.node_load()
+            .active[static_cast<std::size_t>(tls_context().node)]
+            .fetch_sub(1, std::memory_order_relaxed);
+      });
+  (void)clock;
+  return handle;
+}
+
+// ---------------------------------------------------------------------------
+// Migration (§III-A)
+// ---------------------------------------------------------------------------
+
+void Process::migrate(NodeId destination) {
+  ThreadContext& ctx = tls_context();
+  DEX_CHECK_MSG(ctx.process == this, "migrate() outside a DeX thread");
+  DEX_CHECK(destination >= 0 && destination < cluster_.num_nodes());
+  if (destination == ctx.node) return;
+
+  const net::CostModel& cost = cluster_.cost();
+  const VirtNs start_ts = vclock::now();
+  const NodeId from = ctx.node;
+
+  bool first_for_thread;
+  {
+    std::lock_guard<std::mutex> lock(mig_mu_);
+    first_for_thread = thread_migrations_[ctx.task]++ == 0;
+  }
+
+  // Collect the execution context (pt_regs / mm references) at the source.
+  const VirtNs collect_ns = first_for_thread ? cost.migrate_collect_first_ns
+                                             : cost.migrate_collect_next_ns;
+  vclock::advance(collect_ns);
+
+  net::MigratePayload payload{};
+  payload.process_id = id_;
+  payload.task = ctx.task;
+  payload.first_for_thread = first_for_thread ? 1 : 0;
+
+  Message msg;
+  msg.type = MsgType::kMigrateThread;
+  msg.dst = destination;
+  msg.set_payload(payload);
+
+  const VirtNs before_wire = vclock::now();
+  const Message reply = cluster_.fabric().call(from, msg);
+  const auto ack = reply.payload_as<net::MigrateAckPayload>();
+  const VirtNs rpc_ns = vclock::now() - before_wire;
+
+  // Rebind the thread to its new node.
+  cluster_.node_load().active[static_cast<std::size_t>(from)].fetch_sub(
+      1, std::memory_order_relaxed);
+  cluster_.node_load()
+      .active[static_cast<std::size_t>(destination)]
+      .fetch_add(1, std::memory_order_relaxed);
+  ctx.node = destination;
+
+  MigrationRecord record;
+  record.task = ctx.task;
+  record.from = from;
+  record.to = destination;
+  record.backward = false;
+  record.first_for_thread = first_for_thread;
+  record.first_on_node = ack.remote_worker_ns > 0;
+  record.origin_side_ns = collect_ns;
+  record.remote_worker_ns = ack.remote_worker_ns;
+  record.thread_setup_ns = ack.thread_setup_ns;
+  record.transfer_ns = rpc_ns - ack.remote_worker_ns - ack.thread_setup_ns;
+  record.total_ns = vclock::now() - start_ts;
+  record_migration(record);
+}
+
+NodeId Process::migrate_to_least_loaded() {
+  // Exclude the caller from its own node's count so a thread alone on a
+  // node does not keep hopping.
+  ThreadContext& ctx = tls_context();
+  DEX_CHECK_MSG(ctx.process == this, "outside a DeX thread");
+  NodeId best = ctx.node;
+  int best_load = cluster_.node_load().on(ctx.node) - 1;
+  for (NodeId n = 0; n < cluster_.num_nodes(); ++n) {
+    if (n == ctx.node) continue;
+    const int load = cluster_.node_load().on(n);
+    if (load < best_load) {
+      best = n;
+      best_load = load;
+    }
+  }
+  migrate(best);
+  return best;
+}
+
+NodeId Process::probe_data_location(GAddr addr) {
+  mem::DirEntry* entry = dsm_->directory().find(page_base(addr));
+  if (entry == nullptr) return options_.origin;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->exclusive_owner != kInvalidNode) return entry->exclusive_owner;
+  return options_.origin;
+}
+
+NodeId Process::migrate_to_data(GAddr addr) {
+  const NodeId target = probe_data_location(addr);
+  migrate(target);
+  return target;
+}
+
+Message Process::handle_migrate(const Message& msg) {
+  const auto payload = msg.payload_as<net::MigratePayload>();
+  DEX_CHECK(payload.process_id == id_);
+  const NodeId node = msg.dst;
+  const net::CostModel& cost = cluster_.cost();
+
+  bool first_on_node;
+  {
+    std::lock_guard<std::mutex> lock(mig_mu_);
+    first_on_node = !worker_exists_[static_cast<std::size_t>(node)];
+    worker_exists_[static_cast<std::size_t>(node)] = true;
+  }
+
+  // First migration of this process to this node: create the remote worker
+  // and the address-space skeleton, then fork the remote thread from it
+  // with CLONE_THREAD (§III-A). Later migrations just fork from the worker.
+  net::MigrateAckPayload ack{};
+  if (first_on_node) {
+    ack.remote_worker_ns = cost.remote_worker_setup_ns;
+    ack.thread_setup_ns = cost.remote_thread_setup_first_ns;
+  } else {
+    ack.thread_setup_ns = cost.remote_thread_setup_next_ns;
+  }
+  vclock::advance(ack.remote_worker_ns + ack.thread_setup_ns);
+
+  Message reply;
+  reply.type = MsgType::kMigrateThread;
+  reply.set_payload(ack);
+  return reply;
+}
+
+void Process::migrate_back() {
+  ThreadContext& ctx = tls_context();
+  DEX_CHECK_MSG(ctx.process == this, "migrate_back() outside a DeX thread");
+  if (ctx.node == options_.origin) return;
+
+  const net::CostModel& cost = cluster_.cost();
+  const VirtNs start_ts = vclock::now();
+  const NodeId from = ctx.node;
+
+  // Collect the up-to-date context at the remote; the remote thread exits
+  // once the origin thread resumes.
+  vclock::advance(cost.backmigrate_remote_ns);
+
+  net::MigratePayload payload{};
+  payload.process_id = id_;
+  payload.task = ctx.task;
+
+  Message msg;
+  msg.type = MsgType::kMigrateBack;
+  msg.dst = options_.origin;
+  msg.set_payload(payload);
+  (void)cluster_.fabric().call(from, msg);
+
+  cluster_.node_load().active[static_cast<std::size_t>(from)].fetch_sub(
+      1, std::memory_order_relaxed);
+  cluster_.node_load()
+      .active[static_cast<std::size_t>(options_.origin)]
+      .fetch_add(1, std::memory_order_relaxed);
+  ctx.node = options_.origin;
+
+  MigrationRecord record;
+  record.task = ctx.task;
+  record.from = from;
+  record.to = options_.origin;
+  record.backward = true;
+  record.origin_side_ns = cost.backmigrate_origin_ns;
+  record.transfer_ns =
+      vclock::now() - start_ts - cost.backmigrate_remote_ns -
+      cost.backmigrate_origin_ns;
+  record.total_ns = vclock::now() - start_ts;
+  record_migration(record);
+}
+
+Message Process::handle_migrate_back(const Message& msg) {
+  const auto payload = msg.payload_as<net::MigratePayload>();
+  DEX_CHECK(payload.process_id == id_);
+  // Update the sleeping original thread's context and wake it.
+  vclock::advance(cluster_.cost().backmigrate_origin_ns);
+  Message reply;
+  reply.type = MsgType::kMigrateBack;
+  return reply;
+}
+
+void Process::record_migration(const MigrationRecord& record) {
+  std::lock_guard<std::mutex> lock(mig_mu_);
+  migration_log_.push_back(record);
+}
+
+std::vector<MigrationRecord> Process::migration_log() const {
+  std::lock_guard<std::mutex> lock(mig_mu_);
+  return migration_log_;
+}
+
+void Process::clear_migration_log() {
+  std::lock_guard<std::mutex> lock(mig_mu_);
+  migration_log_.clear();
+}
+
+bool Process::remote_worker_exists(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mig_mu_);
+  return worker_exists_[static_cast<std::size_t>(node)];
+}
+
+// ---------------------------------------------------------------------------
+// Memory management (delegated to the origin when called remotely)
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Returns the caller's (node, task); defaults to the origin for calls from
+/// outside any DeX thread (process setup code).
+std::pair<NodeId, TaskId> caller_of(const Process* process, NodeId origin) {
+  const ThreadContext& ctx = tls_context();
+  if (ctx.process == process) return {ctx.node, ctx.task};
+  return {origin, 0};
+}
+}  // namespace
+
+GAddr Process::mmap(std::uint64_t length, std::uint8_t prot, std::string tag,
+                    GAddr hint) {
+  auto [node, task] = caller_of(this, options_.origin);
+  (void)task;
+  if (node == options_.origin) {
+    return dsm_->mmap(length, prot, std::move(tag), hint);
+  }
+  // Work delegation: the paired origin thread performs the stateful VMA
+  // operation at the origin (§III-A).
+  delegations_.fetch_add(1, std::memory_order_relaxed);
+  net::VmaOpPayload payload{};
+  payload.process_id = id_;
+  payload.op = 0;
+  payload.prot = prot;
+  payload.addr = hint;
+  payload.length = length;
+  std::strncpy(payload.tag, tag.c_str(), sizeof(payload.tag) - 1);
+  Message msg;
+  msg.type = MsgType::kDelegateVmaOp;
+  msg.dst = options_.origin;
+  msg.set_payload(payload);
+  const Message reply = cluster_.fabric().call(node, msg);
+  return reply.payload_as<net::VmaOpReplyPayload>().result;
+}
+
+bool Process::munmap(GAddr start, std::uint64_t length) {
+  auto [node, task] = caller_of(this, options_.origin);
+  (void)task;
+  if (node == options_.origin) return dsm_->munmap(start, length);
+  delegations_.fetch_add(1, std::memory_order_relaxed);
+  net::VmaOpPayload payload{};
+  payload.process_id = id_;
+  payload.op = 1;
+  payload.addr = start;
+  payload.length = length;
+  Message msg;
+  msg.type = MsgType::kDelegateVmaOp;
+  msg.dst = options_.origin;
+  msg.set_payload(payload);
+  const Message reply = cluster_.fabric().call(node, msg);
+  return reply.payload_as<net::VmaOpReplyPayload>().ok != 0;
+}
+
+bool Process::mprotect(GAddr start, std::uint64_t length, std::uint8_t prot) {
+  auto [node, task] = caller_of(this, options_.origin);
+  (void)task;
+  if (node == options_.origin) return dsm_->mprotect(start, length, prot);
+  delegations_.fetch_add(1, std::memory_order_relaxed);
+  net::VmaOpPayload payload{};
+  payload.process_id = id_;
+  payload.op = 2;
+  payload.addr = start;
+  payload.length = length;
+  payload.prot = prot;
+  Message msg;
+  msg.type = MsgType::kDelegateVmaOp;
+  msg.dst = options_.origin;
+  msg.set_payload(payload);
+  const Message reply = cluster_.fabric().call(node, msg);
+  return reply.payload_as<net::VmaOpReplyPayload>().ok != 0;
+}
+
+Message Process::handle_delegate_vma(const Message& msg) {
+  const auto payload = msg.payload_as<net::VmaOpPayload>();
+  DEX_CHECK(payload.process_id == id_);
+  vclock::advance(cluster_.cost().delegation_service_ns);
+
+  net::VmaOpReplyPayload result{};
+  switch (payload.op) {
+    case 0:
+      result.result = dsm_->mmap(payload.length, payload.prot, payload.tag,
+                                 payload.addr);
+      result.ok = result.result != kNullGAddr;
+      break;
+    case 1:
+      result.ok = dsm_->munmap(payload.addr, payload.length) ? 1 : 0;
+      break;
+    case 2:
+      result.ok =
+          dsm_->mprotect(payload.addr, payload.length, payload.prot) ? 1 : 0;
+      break;
+    default:
+      DEX_CHECK_MSG(false, "bad VMA delegation op");
+  }
+  Message reply;
+  reply.type = MsgType::kDelegateVmaOp;
+  reply.set_payload(result);
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Heap allocator
+// ---------------------------------------------------------------------------
+
+GAddr Process::g_malloc(std::uint64_t size, const std::string& tag) {
+  if (size == 0) return kNullGAddr;
+  constexpr std::uint64_t kArenaSize = 1 << 20;
+  constexpr std::uint64_t kAlign = 16;
+  size = (size + kAlign - 1) & ~(kAlign - 1);
+
+  if (size >= kPageSize) {
+    // Large allocations get their own mapping (glibc mmap threshold-ish).
+    const GAddr addr = mmap(size, mem::kProtReadWrite, tag);
+    if (addr != kNullGAddr) {
+      std::lock_guard<std::mutex> lock(alloc_mu_);
+      alloc_sizes_[addr] = size;
+    }
+    return addr;
+  }
+
+  std::unique_lock<std::mutex> lock(alloc_mu_);
+  if (small_arena_.base == kNullGAddr ||
+      small_arena_.used + size > small_arena_.size) {
+    lock.unlock();
+    // Tightly packed small-object arena: unrelated objects share pages, as
+    // with glibc malloc — the false-sharing source §IV-B targets.
+    const GAddr arena = mmap(kArenaSize, mem::kProtReadWrite, tag);
+    DEX_CHECK_MSG(arena != kNullGAddr, "distributed heap exhausted");
+    lock.lock();
+    small_arena_ = Arena{arena, kArenaSize, 0};
+  }
+  const GAddr addr = small_arena_.base + small_arena_.used;
+  small_arena_.used += size;
+  alloc_sizes_[addr] = size;
+  return addr;
+}
+
+GAddr Process::g_memalign(std::uint64_t alignment, std::uint64_t size,
+                          const std::string& tag) {
+  DEX_CHECK_MSG((alignment & (alignment - 1)) == 0,
+                "alignment must be a power of two");
+  if (size == 0) return kNullGAddr;
+  if (alignment <= 16) return g_malloc(size, tag);
+
+  // Page-isolated path (posix_memalign in §IV-B): a dedicated mapping whose
+  // start is page aligned, so the object never shares a page.
+  const GAddr addr = mmap(std::max(size, std::uint64_t{kPageSize}),
+                          mem::kProtReadWrite, tag);
+  if (addr != kNullGAddr) {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    alloc_sizes_[addr] = size;
+  }
+  return addr;
+}
+
+void Process::g_free(GAddr addr) {
+  if (addr == kNullGAddr) return;
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  // Arena blocks are reclaimed with the arena; standalone mappings could be
+  // munmapped here, but like many allocators we retain them for reuse.
+  alloc_sizes_.erase(addr);
+}
+
+// ---------------------------------------------------------------------------
+// Futex (§III-A)
+// ---------------------------------------------------------------------------
+
+void Process::futex_wait(GAddr addr, std::uint64_t expected) {
+  auto [node, task] = caller_of(this, options_.origin);
+  if (node == options_.origin) {
+    (void)futex_.wait(*dsm_, options_.origin, task, addr, expected);
+    return;
+  }
+  delegations_.fetch_add(1, std::memory_order_relaxed);
+  net::FutexPayload payload{};
+  payload.process_id = id_;
+  payload.addr = addr;
+  payload.op = 0;
+  payload.val = expected;
+  payload.task = task;
+  Message msg;
+  msg.type = MsgType::kDelegateFutex;
+  msg.dst = options_.origin;
+  msg.set_payload(payload);
+  (void)cluster_.fabric().call(node, msg);
+}
+
+int Process::futex_wake(GAddr addr, int count) {
+  auto [node, task] = caller_of(this, options_.origin);
+  if (node == options_.origin) {
+    return futex_.wake(addr, count, vclock::now());
+  }
+  delegations_.fetch_add(1, std::memory_order_relaxed);
+  net::FutexPayload payload{};
+  payload.process_id = id_;
+  payload.addr = addr;
+  payload.op = 1;
+  payload.val = static_cast<std::uint64_t>(count);
+  payload.task = task;
+  Message msg;
+  msg.type = MsgType::kDelegateFutex;
+  msg.dst = options_.origin;
+  msg.set_payload(payload);
+  const Message reply = cluster_.fabric().call(node, msg);
+  return reply.payload_as<net::FutexReplyPayload>().result;
+}
+
+Message Process::handle_delegate_futex(const Message& msg) {
+  const auto payload = msg.payload_as<net::FutexPayload>();
+  DEX_CHECK(payload.process_id == id_);
+  vclock::advance(cluster_.cost().delegation_service_ns);
+
+  net::FutexReplyPayload result{};
+  if (payload.op == 0) {
+    (void)futex_.wait(*dsm_, options_.origin, payload.task, payload.addr,
+                      payload.val);
+    result.result = 0;
+  } else {
+    result.result = futex_.wake(payload.addr,
+                                static_cast<int>(payload.val), msg.sent_at);
+  }
+  Message reply;
+  reply.type = MsgType::kDelegateFutex;
+  reply.set_payload(result);
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Context-aware data access
+// ---------------------------------------------------------------------------
+
+void Process::read(GAddr addr, void* dst, std::size_t len) {
+  auto [node, task] = caller_of(this, options_.origin);
+  dsm_->read(node, task, addr, dst, len);
+}
+
+void Process::write(GAddr addr, const void* src, std::size_t len) {
+  auto [node, task] = caller_of(this, options_.origin);
+  dsm_->write(node, task, addr, src, len);
+}
+
+std::uint64_t Process::atomic_fetch_add(GAddr addr, std::uint64_t delta) {
+  auto [node, task] = caller_of(this, options_.origin);
+  return dsm_->atomic_fetch_add_u64(node, task, addr, delta);
+}
+
+std::uint64_t Process::atomic_exchange(GAddr addr, std::uint64_t desired) {
+  auto [node, task] = caller_of(this, options_.origin);
+  return dsm_->atomic_exchange_u64(node, task, addr, desired);
+}
+
+bool Process::atomic_cas(GAddr addr, std::uint64_t expected,
+                         std::uint64_t desired) {
+  auto [node, task] = caller_of(this, options_.origin);
+  return dsm_->atomic_cas_u64(node, task, addr, expected, desired);
+}
+
+std::uint64_t Process::atomic_load(GAddr addr) {
+  auto [node, task] = caller_of(this, options_.origin);
+  return dsm_->atomic_load_u64(node, task, addr);
+}
+
+void Process::atomic_store(GAddr addr, std::uint64_t value) {
+  auto [node, task] = caller_of(this, options_.origin);
+  dsm_->atomic_store_u64(node, task, addr, value);
+}
+
+}  // namespace dex::core

@@ -1,0 +1,200 @@
+// A DeX distributed process (§III-A).
+//
+// One Process owns the distributed address space (via mem::Dsm), the
+// origin-side futex table, the global heap allocator, and the migration
+// machinery: per-node remote-worker state, per-thread migration counts and
+// the migration log that feeds Table II / Figure 3.
+//
+// Threads are real std::threads carrying a ThreadContext; migrate() rebinds
+// the context's node after charging the paper's migration steps and moving
+// the execution context over the fabric.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "common/virtual_clock.h"
+#include "core/context.h"
+#include "core/futex.h"
+#include "mem/dsm.h"
+#include "net/fabric.h"
+#include "prof/trace.h"
+
+namespace dex::core {
+
+class Cluster;
+
+/// Handle to a spawned DeX thread. Joining observes the thread's final
+/// virtual clock (happens-before edge of pthread_join).
+class DexThread {
+ public:
+  DexThread() = default;
+  DexThread(DexThread&&) = default;
+  DexThread& operator=(DexThread&&) = default;
+  ~DexThread();
+
+  void join();
+  bool joinable() const { return thread_ && thread_->joinable(); }
+  TaskId task() const { return task_; }
+  VirtNs final_clock() const { return clock_ ? clock_->now() : 0; }
+  VirtualClock* clock() { return clock_.get(); }
+
+ private:
+  friend class Process;
+  std::unique_ptr<std::thread> thread_;
+  std::shared_ptr<VirtualClock> clock_;
+  TaskId task_ = -1;
+};
+
+struct ProcessOptions {
+  NodeId origin = 0;
+  /// Memory-streaming intensity of this workload (see CostModel::dram_ns).
+  double stream_intensity = 0.15;
+  /// §III-C fault coalescing (ablation switch).
+  bool coalesce_faults = true;
+};
+
+/// One entry of the migration log (Table II / Figure 3 raw data).
+struct MigrationRecord {
+  TaskId task = -1;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  bool backward = false;
+  bool first_for_thread = false;  // 1st vs subsequent context collection
+  bool first_on_node = false;     // remote worker had to be created
+  VirtNs origin_side_ns = 0;      // context collection / context update
+  VirtNs remote_worker_ns = 0;    // per-process bring-up at the remote
+  VirtNs thread_setup_ns = 0;     // fork-from-worker + context load
+  VirtNs transfer_ns = 0;         // wire time
+  VirtNs total_ns = 0;
+};
+
+class Process {
+ public:
+  Process(Cluster& cluster, std::uint64_t id, const ProcessOptions& options);
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  NodeId origin() const { return options_.origin; }
+  Cluster& cluster() { return cluster_; }
+  mem::Dsm& dsm() { return *dsm_; }
+  FutexTable& futex_table() { return futex_; }
+  prof::FaultTrace& trace() { return trace_; }
+
+  // ---- Threads ----
+  /// Spawns a DeX thread at the creator's current node. The body runs with
+  /// a bound ThreadContext; its clock starts at the creator's time plus the
+  /// thread-spawn cost.
+  DexThread spawn(std::function<void()> body);
+
+  // ---- Migration (§III-A). Callable only from a DeX thread. ----
+  void migrate(NodeId destination);
+  void migrate_back();
+
+  // ---- §VII extensions: automatic placement ----
+  /// Migrates the calling thread to the least-loaded node (the paper's
+  /// "easily extended so that OS schedulers ... automatically initiate the
+  /// migration"). Returns the chosen node.
+  NodeId migrate_to_least_loaded();
+  /// The node holding the up-to-date copy of `addr` (its exclusive owner,
+  /// or the origin for shared/untouched pages). Lets applications migrate
+  /// the computation to the data ("relocating the computation near data",
+  /// §VII).
+  NodeId probe_data_location(GAddr addr);
+  /// Migrates the calling thread next to the data at `addr`.
+  NodeId migrate_to_data(GAddr addr);
+
+  // ---- Memory management. Remote callers are delegated to the origin. ----
+  GAddr mmap(std::uint64_t length, std::uint8_t prot, std::string tag = "",
+             GAddr hint = 0);
+  bool munmap(GAddr start, std::uint64_t length);
+  bool mprotect(GAddr start, std::uint64_t length, std::uint8_t prot);
+
+  /// Heap allocation over the distributed address space. g_malloc packs
+  /// objects tightly (so unrelated objects share pages, as glibc malloc
+  /// does); g_memalign(kPageSize, ...) is the posix_memalign-based
+  /// page-isolation fix of §IV-B.
+  GAddr g_malloc(std::uint64_t size, const std::string& tag = "heap");
+  GAddr g_memalign(std::uint64_t alignment, std::uint64_t size,
+                   const std::string& tag = "heap");
+  void g_free(GAddr addr);
+
+  // ---- Futex (§III-A work delegation) ----
+  void futex_wait(GAddr addr, std::uint64_t expected);
+  int futex_wake(GAddr addr, int count);
+
+  // ---- Context-aware data access (implicit node/task from the caller) ----
+  void read(GAddr addr, void* dst, std::size_t len);
+  void write(GAddr addr, const void* src, std::size_t len);
+  template <typename T>
+  T load(GAddr addr) {
+    T value;
+    read(addr, &value, sizeof(T));
+    return value;
+  }
+  template <typename T>
+  void store(GAddr addr, const T& value) {
+    write(addr, &value, sizeof(T));
+  }
+  std::uint64_t atomic_fetch_add(GAddr addr, std::uint64_t delta);
+  std::uint64_t atomic_exchange(GAddr addr, std::uint64_t desired);
+  bool atomic_cas(GAddr addr, std::uint64_t expected, std::uint64_t desired);
+  std::uint64_t atomic_load(GAddr addr);
+  void atomic_store(GAddr addr, std::uint64_t value);
+
+  // ---- Introspection ----
+  std::vector<MigrationRecord> migration_log() const;
+  void clear_migration_log();
+  std::uint64_t delegation_count() const {
+    return delegations_.load(std::memory_order_relaxed);
+  }
+  bool remote_worker_exists(NodeId node) const;
+
+  // ---- Fabric handlers (dispatched by the Cluster) ----
+  net::Message handle_migrate(const net::Message& msg);
+  net::Message handle_migrate_back(const net::Message& msg);
+  net::Message handle_delegate_futex(const net::Message& msg);
+  net::Message handle_delegate_vma(const net::Message& msg);
+
+ private:
+  struct CallerGuard;  // validates tls context
+
+  void record_migration(const MigrationRecord& record);
+
+  Cluster& cluster_;
+  const std::uint64_t id_;
+  ProcessOptions options_;
+  prof::FaultTrace trace_;
+  std::unique_ptr<mem::Dsm> dsm_;
+  FutexTable futex_;
+
+  std::atomic<TaskId> next_task_{0};
+  std::atomic<std::uint64_t> delegations_{0};
+
+  mutable std::mutex mig_mu_;
+  std::array<bool, mem::kMaxNodes> worker_exists_{};
+  std::unordered_map<TaskId, int> thread_migrations_;
+  std::vector<MigrationRecord> migration_log_;
+
+  mutable std::mutex alloc_mu_;
+  struct Arena {
+    GAddr base = 0;
+    std::uint64_t size = 0;
+    std::uint64_t used = 0;
+  };
+  Arena small_arena_;
+  std::unordered_map<GAddr, std::uint64_t> alloc_sizes_;
+};
+
+}  // namespace dex::core

@@ -1,0 +1,121 @@
+#include "core/sync.h"
+
+#include "common/assert.h"
+
+namespace dex::core {
+
+// ---------------------------------------------------------------------------
+// DexMutex
+// ---------------------------------------------------------------------------
+
+DexMutex::DexMutex(Process& process, const std::string& tag)
+    : process_(&process), word_(process.g_malloc(sizeof(std::uint64_t), tag)) {
+  DEX_CHECK(word_ != kNullGAddr);
+  process.atomic_store(word_, 0);
+}
+
+void DexMutex::lock() {
+  // Fast path: uncontended acquire.
+  if (process_->atomic_cas(word_, 0, 1)) {
+    vclock::observe(release_ts_.now());
+    return;
+  }
+  // Slow path: advertise contention and sleep on the futex.
+  for (;;) {
+    if (process_->atomic_cas(word_, 1, 2) ||
+        process_->atomic_load(word_) == 2) {
+      process_->futex_wait(word_, 2);
+    }
+    if (process_->atomic_cas(word_, 0, 2)) break;
+  }
+  vclock::observe(release_ts_.now());
+}
+
+bool DexMutex::try_lock() {
+  if (process_->atomic_cas(word_, 0, 1)) {
+    vclock::observe(release_ts_.now());
+    return true;
+  }
+  return false;
+}
+
+void DexMutex::unlock() {
+  release_ts_.observe(vclock::now());
+  const std::uint64_t old = process_->atomic_exchange(word_, 0);
+  DEX_CHECK_MSG(old != 0, "unlock of unlocked DexMutex");
+  if (old == 2) process_->futex_wake(word_, 1);
+}
+
+// ---------------------------------------------------------------------------
+// DexBarrier
+// ---------------------------------------------------------------------------
+
+DexBarrier::DexBarrier(Process& process, int participants,
+                       const std::string& tag)
+    : process_(&process), participants_(participants) {
+  DEX_CHECK(participants >= 1);
+  // Both words on one (page-aligned) allocation: barrier state is shared by
+  // design, so page locality is intentional.
+  const GAddr base = process.g_memalign(kPageSize, 2 * sizeof(std::uint64_t),
+                                        tag);
+  DEX_CHECK(base != kNullGAddr);
+  count_addr_ = base;
+  seq_addr_ = base + sizeof(std::uint64_t);
+  process.atomic_store(count_addr_, 0);
+  process.atomic_store(seq_addr_, 0);
+}
+
+bool DexBarrier::wait() {
+  // Contribute this thread's time to the round's release timestamp.
+  release_ts_.observe(vclock::now());
+
+  const std::uint64_t seq = process_->atomic_load(seq_addr_);
+  const std::uint64_t arrived =
+      process_->atomic_fetch_add(count_addr_, 1) + 1;
+  if (arrived == static_cast<std::uint64_t>(participants_)) {
+    // Serial thread: reset and release the round.
+    process_->atomic_store(count_addr_, 0);
+    process_->atomic_fetch_add(seq_addr_, 1);
+    process_->futex_wake(seq_addr_, INT_MAX);
+    vclock::observe(release_ts_.now());
+    return true;
+  }
+  while (process_->atomic_load(seq_addr_) == seq) {
+    process_->futex_wait(seq_addr_, seq);
+  }
+  vclock::observe(release_ts_.now());
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// DexCondVar
+// ---------------------------------------------------------------------------
+
+DexCondVar::DexCondVar(Process& process, const std::string& tag)
+    : process_(&process),
+      seq_addr_(process.g_malloc(sizeof(std::uint64_t), tag)) {
+  DEX_CHECK(seq_addr_ != kNullGAddr);
+  process.atomic_store(seq_addr_, 0);
+}
+
+void DexCondVar::wait(DexMutex& mutex) {
+  const std::uint64_t seq = process_->atomic_load(seq_addr_);
+  mutex.unlock();
+  process_->futex_wait(seq_addr_, seq);
+  vclock::observe(release_ts_.now());
+  mutex.lock();
+}
+
+void DexCondVar::notify_one() {
+  release_ts_.observe(vclock::now());
+  process_->atomic_fetch_add(seq_addr_, 1);
+  process_->futex_wake(seq_addr_, 1);
+}
+
+void DexCondVar::notify_all() {
+  release_ts_.observe(vclock::now());
+  process_->atomic_fetch_add(seq_addr_, 1);
+  process_->futex_wake(seq_addr_, INT_MAX);
+}
+
+}  // namespace dex::core

@@ -1,0 +1,92 @@
+// Distributed synchronization primitives.
+//
+// The paper's claim (§III-A): because futex operations are delegated to the
+// origin, applications "can use thread synchronization primitives based on
+// the futex as is, regardless of their locations". These classes are the
+// pthread-style primitives built *only* from distributed-memory atomics and
+// futex calls — the same construction glibc uses — so they work identically
+// for local and migrated threads. The small host-side VirtualClock members
+// are simulation bookkeeping (happens-before clock joins), not semantics.
+#pragma once
+
+#include <climits>
+#include <cstdint>
+
+#include "common/types.h"
+#include "common/virtual_clock.h"
+#include "core/process.h"
+
+namespace dex::core {
+
+/// Futex-based mutex (the classic three-state design: 0 free, 1 locked,
+/// 2 locked-with-waiters). The lock word lives in distributed memory, so
+/// contended locks produce real page ping-pong between nodes — exactly the
+/// behaviour the paper's §IV optimizations manage.
+class DexMutex {
+ public:
+  explicit DexMutex(Process& process, const std::string& tag = "mutex");
+  DexMutex(const DexMutex&) = delete;
+  DexMutex& operator=(const DexMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  GAddr word() const { return word_; }
+
+ private:
+  Process* process_;
+  GAddr word_;
+  VirtualClock release_ts_;
+};
+
+/// RAII guard.
+class DexLockGuard {
+ public:
+  explicit DexLockGuard(DexMutex& mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~DexLockGuard() { mutex_.unlock(); }
+  DexLockGuard(const DexLockGuard&) = delete;
+  DexLockGuard& operator=(const DexLockGuard&) = delete;
+
+ private:
+  DexMutex& mutex_;
+};
+
+/// Reusable sense-counting barrier over futex (pthread_barrier-alike).
+/// wait() returns true for exactly one "serial" participant per round.
+class DexBarrier {
+ public:
+  DexBarrier(Process& process, int participants,
+             const std::string& tag = "barrier");
+  DexBarrier(const DexBarrier&) = delete;
+  DexBarrier& operator=(const DexBarrier&) = delete;
+
+  bool wait();
+  int participants() const { return participants_; }
+
+ private:
+  Process* process_;
+  int participants_;
+  GAddr count_addr_;
+  GAddr seq_addr_;
+  VirtualClock release_ts_;
+};
+
+/// Condition variable over futex; must be used with a DexMutex.
+class DexCondVar {
+ public:
+  explicit DexCondVar(Process& process, const std::string& tag = "condvar");
+  DexCondVar(const DexCondVar&) = delete;
+  DexCondVar& operator=(const DexCondVar&) = delete;
+
+  void wait(DexMutex& mutex);
+  void notify_one();
+  void notify_all();
+
+ private:
+  Process* process_;
+  GAddr seq_addr_;
+  VirtualClock release_ts_;
+};
+
+}  // namespace dex::core

@@ -1,0 +1,108 @@
+// Page-ownership directory (§III-B).
+//
+// Lives at the origin node of each process. Tracks, per page, which nodes
+// hold copies and who (if anyone) holds exclusive ownership, indexed by a
+// radix tree over the virtual page address — the same structure the paper
+// uses inside the kernel. Every coherence transaction for a page serializes
+// on that page's entry mutex; a transaction that finds the entry busy
+// returns "retry" to the requester, producing the contended-fault tail the
+// paper measures in §V-D.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/radix_tree.h"
+#include "common/types.h"
+
+namespace dex::mem {
+
+inline constexpr int kMaxNodes = 64;
+
+/// Set of nodes holding a valid copy of a page.
+class NodeSet {
+ public:
+  void add(NodeId node) { bits_ |= std::uint64_t{1} << node; }
+  void remove(NodeId node) { bits_ &= ~(std::uint64_t{1} << node); }
+  bool contains(NodeId node) const {
+    return (bits_ >> node) & std::uint64_t{1};
+  }
+  void clear() { bits_ = 0; }
+  bool empty() const { return bits_ == 0; }
+  int count() const { return __builtin_popcountll(bits_); }
+  std::uint64_t raw() const { return bits_; }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::uint64_t bits = bits_;
+    while (bits != 0) {
+      const int node = __builtin_ctzll(bits);
+      fn(static_cast<NodeId>(node));
+      bits &= bits - 1;
+    }
+  }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+struct DirEntry {
+  /// Serializes all protocol transactions touching this page.
+  std::mutex mu;
+  /// Nodes holding a valid copy. Empty until the first access anywhere.
+  NodeSet sharers;
+  /// Valid when exactly one node holds the page with write permission.
+  NodeId exclusive_owner = kInvalidNode;
+  /// Bumped on every exclusive (write) grant. Lets the origin grant
+  /// ownership without re-sending data to a node whose copy is current.
+  std::uint64_t version = 0;
+  /// Virtual time at which the last exclusive holder's transaction
+  /// completed; readers observe this to inherit the happens-before edge.
+  VirtNs last_release_ts = 0;
+  /// False until the first access materializes the zero page at the
+  /// origin; reset by munmap so stale versions can never match.
+  bool materialized = false;
+};
+
+/// The per-process directory. Entry references remain valid until
+/// `erase_range` (munmap) or destruction.
+class Directory {
+ public:
+  DirEntry& entry(GAddr page) {
+    std::lock_guard<std::mutex> lock(tree_mu_);
+    return tree_.get_or_create(page_index(page));
+  }
+
+  DirEntry* find(GAddr page) {
+    std::lock_guard<std::mutex> lock(tree_mu_);
+    return tree_.lookup(page_index(page));
+  }
+
+  /// Drops entries for pages in [start, end). Caller must have quiesced
+  /// protocol traffic on the range (VMA-op delegation does).
+  void erase_range(GAddr start, GAddr end) {
+    std::lock_guard<std::mutex> lock(tree_mu_);
+    for (GAddr page = page_base(start); page < end; page += kPageSize) {
+      tree_.erase(page_index(page));
+    }
+  }
+
+  std::size_t tracked_pages() const {
+    std::lock_guard<std::mutex> lock(tree_mu_);
+    return tree_.size();
+  }
+
+  /// Snapshot walk for invariant checks: fn(page_index, entry).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(tree_mu_);
+    tree_.for_each(
+        [&](std::uint64_t key, DirEntry& entry) { fn(key, entry); });
+  }
+
+ private:
+  mutable std::mutex tree_mu_;
+  RadixTree<DirEntry> tree_;
+};
+
+}  // namespace dex::mem

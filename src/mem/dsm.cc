@@ -1,0 +1,808 @@
+#include "mem/dsm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "common/assert.h"
+#include "common/time_gate.h"
+#include "common/virtual_clock.h"
+
+namespace dex::mem {
+
+using net::GrantKind;
+using net::Message;
+using net::MsgType;
+
+std::string SegfaultError::describe(GAddr addr, Access access) {
+  std::ostringstream os;
+  os << "segmentation fault: illegal " << to_string(access) << " at 0x"
+     << std::hex << addr;
+  return os.str();
+}
+
+Dsm::Dsm(net::Fabric& fabric, const DsmConfig& config, NodeLoad* node_load,
+         prof::FaultTrace* trace)
+    : fabric_(fabric),
+      config_(config),
+      node_load_(node_load),
+      trace_(trace) {
+  DEX_CHECK(config.num_nodes >= 1 && config.num_nodes <= kMaxNodes);
+  DEX_CHECK(config.origin >= 0 && config.origin < config.num_nodes);
+  spaces_.reserve(static_cast<std::size_t>(config.num_nodes));
+  tables_.reserve(static_cast<std::size_t>(config.num_nodes));
+  fault_tables_.reserve(static_cast<std::size_t>(config.num_nodes));
+  for (int i = 0; i < config.num_nodes; ++i) {
+    spaces_.push_back(std::make_unique<AddressSpace>());
+    tables_.push_back(std::make_unique<PageTable>());
+    fault_tables_.push_back(std::make_unique<FaultTable>());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VMA management (§III-D). These entry points run "at the origin": the core
+// runtime delegates calls from remote threads before reaching here.
+// ---------------------------------------------------------------------------
+
+GAddr Dsm::mmap(std::uint64_t length, std::uint8_t prot, std::string tag,
+                GAddr hint) {
+  // Permissive operation: no eager synchronization; remotes pull the VMA on
+  // demand at fault time.
+  return origin_space().mmap(length, prot, std::move(tag), hint);
+}
+
+bool Dsm::munmap(GAddr start, std::uint64_t length) {
+  if (!origin_space().munmap(start, length)) return false;
+  const GAddr end = page_base(start + length + kPageSize - 1);
+
+  // Shrinking operation: broadcast eagerly so remotes cannot keep accessing
+  // the dead range (§III-D).
+  net::VmaUpdatePayload update{config_.process_id, start, end, 0, /*op=*/0};
+  for (NodeId node = 0; node < config_.num_nodes; ++node) {
+    if (node == config_.origin) continue;
+    replica_space(node).munmap(start, length);
+    Message msg;
+    msg.type = MsgType::kVmaUpdate;
+    msg.dst = node;
+    msg.set_payload(update);
+    fabric_.post(config_.origin, msg);
+  }
+
+  // Retire every page in the range: invalidate all copies and reset the
+  // directory entries so a later mapping of the range starts from zeros.
+  for (GAddr page = page_base(start); page < end; page += kPageSize) {
+    DirEntry* entry = directory_.find(page);
+    if (entry == nullptr) continue;
+    ScopedGateBlock gate_block("vma_entry_lock");
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->sharers.for_each([&](NodeId node) {
+      Pte* pte = page_table(node).find(page);
+      if (pte == nullptr) return;
+      pte->lock.lock();
+      pte->state.store(PageState::kInvalid, std::memory_order_release);
+      pte->version = kNoVersion;
+      pte->lock.unlock();
+    });
+    entry->sharers.clear();
+    entry->exclusive_owner = kInvalidNode;
+    entry->materialized = false;
+    ++entry->version;
+  }
+  return true;
+}
+
+bool Dsm::mprotect(GAddr start, std::uint64_t length, std::uint8_t prot) {
+  if (!origin_space().mprotect(start, length, prot)) return false;
+  const GAddr end = page_base(start + length + kPageSize - 1);
+
+  const bool downgrade_write = (prot & kProtWrite) == 0;
+  net::VmaUpdatePayload update{config_.process_id, start, end, prot,
+                               /*op=*/1};
+  for (NodeId node = 0; node < config_.num_nodes; ++node) {
+    if (node == config_.origin) continue;
+    if (!downgrade_write) continue;  // permissive changes sync on demand
+    Message msg;
+    msg.type = MsgType::kVmaUpdate;
+    msg.dst = node;
+    msg.set_payload(update);
+    fabric_.post(config_.origin, msg);
+  }
+
+  if (downgrade_write) {
+    // Demote exclusive copies so future writes re-fault and hit the VMA
+    // permission check.
+    for (GAddr page = page_base(start); page < end; page += kPageSize) {
+      DirEntry* entry = directory_.find(page);
+      if (entry == nullptr) continue;
+      ScopedGateBlock gate_block("dir_escalation");
+      std::lock_guard<std::mutex> lock(entry->mu);
+      if (entry->exclusive_owner != kInvalidNode) {
+        if (entry->exclusive_owner == config_.origin) {
+          set_state(config_.origin, page, PageState::kShared, entry->version);
+          entry->sharers.add(config_.origin);
+        } else {
+          recall_from_owner(*entry, page, /*downgrade=*/true);
+        }
+        entry->exclusive_owner = kInvalidNode;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Fault path (requester side, §III-C)
+// ---------------------------------------------------------------------------
+
+namespace {
+bool sufficient(PageState state, Access access) {
+  return state == PageState::kExclusive ||
+         (access == Access::kRead && state == PageState::kShared);
+}
+}  // namespace
+
+Pte* Dsm::ensure(NodeId node, TaskId task, GAddr addr, Access access) {
+  const GAddr page = page_base(addr);
+  Pte& pte = page_table(node).get_or_create(page);
+  const net::CostModel& cost = fabric_.cost();
+
+  for (;;) {
+    if (sufficient(pte.state.load(std::memory_order_acquire), access)) {
+      return &pte;
+    }
+    // --- page fault ---
+    vclock::advance(cost.fault_entry_ns);
+    if (access == Access::kRead) {
+      stats_.read_faults.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.write_faults.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    if (config_.coalesce_faults) {
+      FaultTable::Join join = fault_table(node).join(page, access);
+      if (!join.is_leader) {
+        // Follower: the leader already installed the PTE; resume (§III-C).
+        vclock::observe(join.completion_ts);
+        vclock::advance(cost.follower_wakeup_ns);
+        record_fault(node, task, addr,
+                     access == Access::kRead ? prof::FaultKind::kRead
+                                             : prof::FaultKind::kWrite,
+                     nullptr);
+        continue;
+      }
+      try {
+        handle_fault_as_leader(node, task, page, access, pte);
+      } catch (...) {
+        fault_table(node).complete(join, page, access, vclock::now());
+        throw;
+      }
+      fault_table(node).complete(join, page, access, vclock::now());
+    } else {
+      handle_fault_as_leader(node, task, page, access, pte);
+    }
+  }
+}
+
+void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
+                                 Access access, Pte& pte) {
+  const net::CostModel& cost = fabric_.cost();
+  const VirtNs start = vclock::now();
+
+  const Vma vma = check_vma(node, page, access);
+  record_fault(node, task, page,
+               access == Access::kRead ? prof::FaultKind::kRead
+                                       : prof::FaultKind::kWrite,
+               vma.tag.c_str());
+  if (node != config_.origin) {
+    stats_.remote_faults.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  net::PageRequestPayload request{};
+  request.process_id = config_.process_id;
+  request.page = page;
+  request.task = task;
+  request.blocking = 0;
+
+  int attempts = 0;
+  for (;;) {
+    pte.lock.lock();
+    request.known_version = pte.version;
+    pte.lock.unlock();
+
+    Message msg;
+    msg.type = access == Access::kRead ? MsgType::kPageRequestRead
+                                       : MsgType::kPageRequestWrite;
+    msg.dst = config_.origin;
+    msg.set_payload(request);
+    const Message reply = fabric_.call(node, msg);
+    const auto grant = reply.payload_as<net::PageGrantPayload>();
+    if (grant.kind != GrantKind::kRetry) {
+      vclock::observe(grant.last_writer_ts);
+      break;
+    }
+    // Lost a race on a busy directory entry: back off and refault. This is
+    // the contended tail of the §V-D bimodal distribution.
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    record_fault(node, task, page, prof::FaultKind::kRetry, vma.tag.c_str());
+    vclock::advance(cost.fault_retry_backoff_ns);
+    std::this_thread::yield();
+    if (++attempts >= config_.max_retries) request.blocking = 1;
+  }
+
+  vclock::advance(cost.pte_update_ns);
+  stats_.fault_latency.record(vclock::now() - start);
+}
+
+Vma Dsm::check_vma(NodeId node, GAddr addr, Access access) {
+  auto segv = [&]() -> Vma { throw SegfaultError(addr, access); };
+
+  auto validate = [&](const Vma& vma) -> Vma {
+    const std::uint8_t needed =
+        access == Access::kWrite ? kProtWrite : kProtRead;
+    if ((vma.prot & needed) == 0) return segv();
+    return vma;
+  };
+
+  if (node == config_.origin) {
+    auto vma = origin_space().find(addr);
+    return vma ? validate(*vma) : segv();
+  }
+
+  auto cached = replica_space(node).find(addr);
+  if (cached) {
+    // The replica may be stale only in permissive directions for legitimate
+    // accesses; shrinks/downgrades were broadcast eagerly (§III-D).
+    return validate(*cached);
+  }
+
+  // On-demand VMA synchronization: ask the origin whether the access is
+  // legitimate.
+  stats_.vma_syncs.fetch_add(1, std::memory_order_relaxed);
+  net::VmaRequestPayload request{config_.process_id, addr};
+  Message msg;
+  msg.type = MsgType::kVmaInfoRequest;
+  msg.dst = config_.origin;
+  msg.set_payload(request);
+  const Message reply = fabric_.call(node, msg);
+  const auto record = reply.payload_as<VmaRecord>();
+  if (!record.valid) return segv();
+  const Vma vma = from_record(record);
+  replica_space(node).install_replica(vma);
+  return validate(vma);
+}
+
+void Dsm::record_fault(NodeId node, TaskId task, GAddr addr,
+                       prof::FaultKind kind, const char* tag) {
+  if (trace_ == nullptr || !trace_->enabled()) return;
+  prof::FaultEvent event;
+  event.time = vclock::now();
+  event.node = node;
+  event.task = task;
+  event.kind = kind;
+  event.site = prof::current_site();
+  event.addr = addr;
+  if (tag != nullptr) event.set_tag(tag);
+  trace_->record(event);
+}
+
+// ---------------------------------------------------------------------------
+// Home transactions (origin side, §III-B)
+// ---------------------------------------------------------------------------
+
+Message Dsm::handle_page_request(const Message& msg, Access access) {
+  const auto request = msg.payload_as<net::PageRequestPayload>();
+  DEX_CHECK(request.process_id == config_.process_id);
+
+  DirEntry& entry = directory_.entry(request.page);
+  std::unique_lock<std::mutex> lock(entry.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    if (request.blocking) {
+      // Forward-progress escalation. Entry mutexes are held across
+      // protocol work, so exclude this thread from the time gate while it
+      // sleeps on the holder.
+      ScopedGateBlock gate_block("dir_escalation");
+      lock.lock();
+    } else {
+      Message reply;
+      reply.type = MsgType::kPageGrant;
+      net::PageGrantPayload grant{};
+      grant.kind = GrantKind::kRetry;
+      reply.set_payload(grant);
+      return reply;
+    }
+  }
+
+  vclock::advance(fabric_.cost().directory_service_ns);
+  vclock::observe(entry.last_release_ts);
+
+  const GrantKind kind = transact(msg.src, request.task, request.page, access,
+                                  request.known_version);
+  if (access == Access::kWrite) {
+    entry.last_release_ts = std::max(entry.last_release_ts, vclock::now());
+  }
+
+  Message reply;
+  reply.type = MsgType::kPageGrant;
+  net::PageGrantPayload grant{};
+  grant.kind = kind;
+  grant.version = entry.version;
+  grant.last_writer_ts = entry.last_release_ts;
+  reply.set_payload(grant);
+
+  if (kind == GrantKind::kDataAndOwnership) {
+    stats_.grants_data.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.grants_ownership_only.fetch_add(1, std::memory_order_relaxed);
+  }
+  return reply;
+}
+
+GrantKind Dsm::transact(NodeId requester, TaskId task, GAddr page,
+                        Access access, std::uint64_t known_version) {
+  (void)task;
+  const NodeId origin = config_.origin;
+  DirEntry& entry = directory_.entry(page);  // caller holds entry.mu
+  Pte& origin_pte = page_table(origin).get_or_create(page);
+
+  if (!entry.materialized) {
+    // First touch anywhere: materialize the anonymous zero page at the
+    // origin ("initially, the origin exclusively owns all pages").
+    origin_pte.lock.lock();
+    origin_pte.seq.fetch_add(1, std::memory_order_release);
+    // Explicit zeroing: a recycled frame (munmap + re-mmap) holds old data.
+    std::memset(origin_pte.ensure_frame(), 0, kPageSize);
+    ++entry.version;
+    origin_pte.version = entry.version;
+    origin_pte.state.store(PageState::kShared, std::memory_order_release);
+    origin_pte.seq.fetch_add(1, std::memory_order_release);
+    origin_pte.lock.unlock();
+    entry.materialized = true;
+    entry.sharers.clear();
+    entry.sharers.add(origin);
+    entry.exclusive_owner = kInvalidNode;
+  }
+
+  Pte& req_pte = page_table(requester).get_or_create(page);
+
+  if (access == Access::kRead) {
+    if (entry.exclusive_owner == requester) {
+      // Sole owner lost local state (should not happen in steady state);
+      // reassert it.
+      set_state(requester, page, PageState::kExclusive, entry.version);
+      return GrantKind::kOwnershipOnly;
+    }
+    if (entry.exclusive_owner != kInvalidNode) {
+      if (entry.exclusive_owner == origin) {
+        // The origin itself holds the dirty copy: downgrade locally.
+        set_state(origin, page, PageState::kShared, entry.version);
+        entry.sharers.add(origin);
+      } else {
+        recall_from_owner(entry, page, /*downgrade=*/true);
+      }
+      entry.exclusive_owner = kInvalidNode;
+    }
+    // Now: no exclusive owner; origin frame holds the current version.
+    GrantKind kind;
+    if (requester == origin) {
+      set_state(origin, page, PageState::kShared, entry.version);
+      kind = GrantKind::kOwnershipOnly;
+    } else if (known_version == entry.version &&
+               known_version != kNoVersion) {
+      // §III-B: the remote already holds up-to-date data — grant common
+      // ownership without transferring the page.
+      set_state(requester, page, PageState::kShared, entry.version);
+      kind = GrantKind::kOwnershipOnly;
+    } else {
+      install_copy(requester, page, origin_pte.frame.get(),
+                   PageState::kShared, entry.version);
+      kind = GrantKind::kDataAndOwnership;
+    }
+    entry.sharers.add(requester);
+    return kind;
+  }
+
+  // --- write request ---
+  if (entry.exclusive_owner == requester) {
+    set_state(requester, page, PageState::kExclusive, entry.version);
+    return GrantKind::kOwnershipOnly;
+  }
+  if (entry.exclusive_owner != kInvalidNode) {
+    if (entry.exclusive_owner == origin) {
+      // The origin frame is already current; its PTE is flipped below.
+      entry.sharers.add(origin);
+    } else {
+      recall_from_owner(entry, page, /*downgrade=*/false);
+    }
+    entry.exclusive_owner = kInvalidNode;
+  }
+  // Revoke all clean shared copies except the requester's and the origin's
+  // (the origin frame is the grant source; its PTE is flipped below).
+  entry.sharers.for_each([&](NodeId sharer) {
+    if (sharer == requester || sharer == origin) return;
+    invalidate_copy(sharer, page, task);
+  });
+
+  const std::uint64_t granted_version = entry.version + 1;
+  GrantKind kind;
+  if (requester == origin) {
+    set_state(origin, page, PageState::kExclusive, granted_version);
+    kind = GrantKind::kOwnershipOnly;
+  } else {
+    // The origin must lose access BEFORE its frame is read for the grant:
+    // taking the PTE lock drains any in-flight local write, and the
+    // invalid state makes later local writes fault. Granting first would
+    // let a racing origin-side write land in the origin frame after the
+    // copy was taken — a lost update.
+    origin_pte.lock.lock();
+    origin_pte.state.store(PageState::kInvalid, std::memory_order_release);
+    origin_pte.lock.unlock();
+
+    if (known_version == entry.version && known_version != kNoVersion) {
+      set_state(requester, page, PageState::kExclusive, granted_version);
+      kind = GrantKind::kOwnershipOnly;
+    } else {
+      install_copy(requester, page, origin_pte.frame.get(),
+                   PageState::kExclusive, granted_version);
+      kind = GrantKind::kDataAndOwnership;
+    }
+  }
+  entry.version = granted_version;
+  entry.exclusive_owner = requester;
+  entry.sharers.clear();
+  entry.sharers.add(requester);
+  return kind;
+}
+
+void Dsm::recall_from_owner(DirEntry& entry, GAddr page, bool downgrade) {
+  const NodeId owner = entry.exclusive_owner;
+  const NodeId origin = config_.origin;
+  DEX_CHECK(owner != kInvalidNode && owner != origin);
+
+  net::RevokePayload payload{config_.process_id, page,
+                             static_cast<std::uint8_t>(downgrade ? 1 : 0)};
+  Message msg;
+  msg.type = MsgType::kRevokeOwnership;
+  msg.dst = owner;
+  msg.set_payload(payload);
+  const Message reply = fabric_.call(origin, msg);
+  stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
+
+  // Install the written-back data in the origin frame.
+  DEX_CHECK_MSG(reply.payload.size() == kPageSize,
+                "exclusive owner must write back page data");
+  Pte& origin_pte = page_table(origin).get_or_create(page);
+  origin_pte.lock.lock();
+  origin_pte.seq.fetch_add(1, std::memory_order_release);
+  std::memcpy(origin_pte.ensure_frame(), reply.payload.data(), kPageSize);
+  origin_pte.version = entry.version;
+  origin_pte.state.store(PageState::kShared, std::memory_order_release);
+  origin_pte.seq.fetch_add(1, std::memory_order_release);
+  origin_pte.lock.unlock();
+
+  entry.sharers.add(origin);
+  if (downgrade) {
+    entry.sharers.add(owner);  // owner keeps a read-only copy
+  } else {
+    entry.sharers.remove(owner);
+  }
+}
+
+void Dsm::invalidate_copy(NodeId node, GAddr page, TaskId requester_task) {
+  (void)requester_task;
+  net::RevokePayload payload{config_.process_id, page, /*downgrade=*/0};
+  Message msg;
+  msg.type = MsgType::kRevokeOwnership;
+  msg.dst = node;
+  msg.set_payload(payload);
+  (void)fabric_.call(config_.origin, msg);
+}
+
+Message Dsm::handle_revoke(const Message& msg) {
+  const auto payload = msg.payload_as<net::RevokePayload>();
+  const NodeId node = msg.dst;
+  vclock::advance(fabric_.cost().revoke_service_ns);
+  stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+  record_fault(node, /*task=*/-1, payload.page, prof::FaultKind::kInvalidate,
+               nullptr);
+
+  Message reply;
+  reply.type = MsgType::kRevokeOwnership;
+
+  Pte* pte = page_table(node).find(payload.page);
+  if (pte == nullptr) return reply;
+
+  pte->lock.lock();
+  const PageState state = pte->state.load(std::memory_order_acquire);
+  if (state == PageState::kExclusive) {
+    // Dirty copy: write the data back in the reply.
+    reply.payload.resize(kPageSize);
+    std::memcpy(reply.payload.data(), pte->frame.get(), kPageSize);
+    pte->seq.fetch_add(1, std::memory_order_release);
+    pte->state.store(payload.downgrade_to_shared ? PageState::kShared
+                                                 : PageState::kInvalid,
+                     std::memory_order_release);
+    pte->seq.fetch_add(1, std::memory_order_release);
+  } else if (state == PageState::kShared && !payload.downgrade_to_shared) {
+    pte->state.store(PageState::kInvalid, std::memory_order_release);
+  }
+  pte->lock.unlock();
+  return reply;
+}
+
+void Dsm::install_copy(NodeId node, GAddr page, const std::uint8_t* src,
+                       PageState state, std::uint64_t version) {
+  // Stage through a bounce buffer so the fabric's (potentially blocking)
+  // sink reservation never happens under the PTE spinlock.
+  std::uint8_t bounce[kPageSize];
+  fabric_.bulk_transfer(config_.origin, node, src, kPageSize, bounce);
+
+  Pte& pte = page_table(node).get_or_create(page);
+  pte.lock.lock();
+  pte.seq.fetch_add(1, std::memory_order_release);
+  std::memcpy(pte.ensure_frame(), bounce, kPageSize);
+  pte.version = version;
+  pte.state.store(state, std::memory_order_release);
+  pte.seq.fetch_add(1, std::memory_order_release);
+  pte.lock.unlock();
+}
+
+void Dsm::set_state(NodeId node, GAddr page, PageState state,
+                    std::uint64_t version) {
+  Pte& pte = page_table(node).get_or_create(page);
+  pte.lock.lock();
+  if (state != PageState::kInvalid) pte.ensure_frame();
+  pte.version = version;
+  pte.state.store(state, std::memory_order_release);
+  pte.lock.unlock();
+}
+
+// ---------------------------------------------------------------------------
+// VMA sync handlers
+// ---------------------------------------------------------------------------
+
+Message Dsm::handle_vma_request(const Message& msg) {
+  const auto request = msg.payload_as<net::VmaRequestPayload>();
+  DEX_CHECK(request.process_id == config_.process_id);
+  Message reply;
+  reply.type = MsgType::kVmaInfoReply;
+  auto vma = origin_space().find(request.addr);
+  VmaRecord record{};
+  if (vma) {
+    record = to_record(*vma);
+  } else {
+    record.valid = 0;
+  }
+  reply.set_payload(record);
+  return reply;
+}
+
+Message Dsm::handle_vma_update(const Message& msg) {
+  const auto update = msg.payload_as<net::VmaUpdatePayload>();
+  DEX_CHECK(update.process_id == config_.process_id);
+  const NodeId node = msg.dst;
+  if (update.op == 0) {
+    replica_space(node).munmap(update.start, update.end - update.start);
+  } else {
+    replica_space(node).mprotect(update.start, update.end - update.start,
+                                 update.prot);
+  }
+  Message reply;
+  reply.type = MsgType::kVmaUpdate;
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk data access (the Mmu surface)
+// ---------------------------------------------------------------------------
+
+void Dsm::read(NodeId node, TaskId task, GAddr addr, void* dst,
+               std::size_t len) {
+  auto* out = static_cast<std::uint8_t*>(dst);
+  const net::CostModel& cost = fabric_.cost();
+  while (len > 0) {
+    const std::size_t off = page_offset(addr);
+    const std::size_t n = std::min(len, kPageSize - off);
+    for (;;) {
+      Pte* pte = ensure(node, task, addr, Access::kRead);
+      const std::uint32_t s1 = pte->seq.load(std::memory_order_acquire);
+      if (s1 & 1) {  // install in flight
+        std::this_thread::yield();
+        continue;
+      }
+      if (!sufficient(pte->state.load(std::memory_order_acquire),
+                      Access::kRead)) {
+        continue;  // revoked between ensure and read
+      }
+      std::memcpy(out, pte->frame.get() + off, n);
+      const std::uint32_t s2 = pte->seq.load(std::memory_order_acquire);
+      if (s1 == s2) break;
+    }
+    vclock::advance(cost.dram_ns(n, node_load_ ? node_load_->on(node) : 1,
+                                 config_.stream_intensity));
+    addr += n;
+    out += n;
+    len -= n;
+  }
+}
+
+void Dsm::write(NodeId node, TaskId task, GAddr addr, const void* src,
+                std::size_t len) {
+  const auto* in = static_cast<const std::uint8_t*>(src);
+  const net::CostModel& cost = fabric_.cost();
+  while (len > 0) {
+    const std::size_t off = page_offset(addr);
+    const std::size_t n = std::min(len, kPageSize - off);
+    for (;;) {
+      Pte* pte = ensure(node, task, addr, Access::kWrite);
+      pte->lock.lock();
+      if (pte->state.load(std::memory_order_acquire) !=
+          PageState::kExclusive) {
+        pte->lock.unlock();
+        continue;  // revoked between ensure and write
+      }
+      std::memcpy(pte->frame.get() + off, in, n);
+      pte->lock.unlock();
+      break;
+    }
+    vclock::advance(cost.dram_ns(n, node_load_ ? node_load_->on(node) : 1,
+                                 config_.stream_intensity));
+    addr += n;
+    in += n;
+    len -= n;
+  }
+}
+
+std::uint64_t Dsm::atomic_fetch_add_u64(NodeId node, TaskId task, GAddr addr,
+                                        std::uint64_t delta) {
+  DEX_CHECK_MSG(page_offset(addr) + 8 <= kPageSize,
+                "atomic straddles a page");
+  for (;;) {
+    Pte* pte = ensure(node, task, addr, Access::kWrite);
+    pte->lock.lock();
+    if (pte->state.load(std::memory_order_acquire) != PageState::kExclusive) {
+      pte->lock.unlock();
+      continue;
+    }
+    std::uint64_t old;
+    std::memcpy(&old, pte->frame.get() + page_offset(addr), 8);
+    const std::uint64_t updated = old + delta;
+    std::memcpy(pte->frame.get() + page_offset(addr), &updated, 8);
+    pte->lock.unlock();
+    return old;
+  }
+}
+
+std::uint64_t Dsm::atomic_exchange_u64(NodeId node, TaskId task, GAddr addr,
+                                       std::uint64_t desired) {
+  DEX_CHECK_MSG(page_offset(addr) + 8 <= kPageSize,
+                "atomic straddles a page");
+  for (;;) {
+    Pte* pte = ensure(node, task, addr, Access::kWrite);
+    pte->lock.lock();
+    if (pte->state.load(std::memory_order_acquire) != PageState::kExclusive) {
+      pte->lock.unlock();
+      continue;
+    }
+    std::uint64_t old;
+    std::memcpy(&old, pte->frame.get() + page_offset(addr), 8);
+    std::memcpy(pte->frame.get() + page_offset(addr), &desired, 8);
+    pte->lock.unlock();
+    return old;
+  }
+}
+
+bool Dsm::atomic_cas_u64(NodeId node, TaskId task, GAddr addr,
+                         std::uint64_t expected, std::uint64_t desired) {
+  DEX_CHECK_MSG(page_offset(addr) + 8 <= kPageSize,
+                "atomic straddles a page");
+  for (;;) {
+    Pte* pte = ensure(node, task, addr, Access::kWrite);
+    pte->lock.lock();
+    if (pte->state.load(std::memory_order_acquire) != PageState::kExclusive) {
+      pte->lock.unlock();
+      continue;
+    }
+    std::uint64_t current;
+    std::memcpy(&current, pte->frame.get() + page_offset(addr), 8);
+    const bool success = current == expected;
+    if (success) {
+      std::memcpy(pte->frame.get() + page_offset(addr), &desired, 8);
+    }
+    pte->lock.unlock();
+    return success;
+  }
+}
+
+std::uint64_t Dsm::atomic_load_u64(NodeId node, TaskId task, GAddr addr) {
+  DEX_CHECK_MSG(page_offset(addr) + 8 <= kPageSize,
+                "atomic straddles a page");
+  // Unlike plain reads (which tolerate the brief stale window a hardware
+  // TLB shootdown also has), atomic loads must be linearizable: take the
+  // PTE lock and re-check the state so a concurrent revocation either
+  // orders after this read or forces a refault. Futex wait depends on it.
+  for (;;) {
+    Pte* pte = ensure(node, task, addr, Access::kRead);
+    pte->lock.lock();
+    const PageState s = pte->state.load(std::memory_order_acquire);
+    if (s == PageState::kInvalid) {
+      pte->lock.unlock();
+      continue;
+    }
+    std::uint64_t value;
+    std::memcpy(&value, pte->frame.get() + page_offset(addr), 8);
+    pte->lock.unlock();
+    return value;
+  }
+}
+
+void Dsm::atomic_store_u64(NodeId node, TaskId task, GAddr addr,
+                           std::uint64_t value) {
+  write(node, task, addr, &value, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+bool Dsm::check_invariants() const {
+  bool ok = true;
+  auto& self = const_cast<Dsm&>(*this);
+  self.directory_.for_each([&](std::uint64_t page_idx, DirEntry& entry) {
+    std::lock_guard<std::mutex> lock(entry.mu);
+    const GAddr page = static_cast<GAddr>(page_idx) << kPageShift;
+    if (!entry.materialized) return;
+    if (entry.exclusive_owner != kInvalidNode) {
+      // Single-writer: the owner is the only sharer and holds kExclusive.
+      if (entry.sharers.count() != 1 ||
+          !entry.sharers.contains(entry.exclusive_owner)) {
+        ok = false;
+      }
+      Pte* pte = self.page_table(entry.exclusive_owner).find(page);
+      if (pte == nullptr ||
+          pte->state.load(std::memory_order_acquire) !=
+              PageState::kExclusive) {
+        ok = false;
+      }
+      // No other node may hold a readable state.
+      for (NodeId n = 0; n < self.config_.num_nodes; ++n) {
+        if (n == entry.exclusive_owner) continue;
+        Pte* other = self.page_table(n).find(page);
+        if (other != nullptr &&
+            other->state.load(std::memory_order_acquire) !=
+                PageState::kInvalid) {
+          ok = false;
+        }
+      }
+    } else {
+      // Multi-reader: every sharer is at most kShared, versions current,
+      // and the origin holds a copy.
+      if (!entry.sharers.contains(self.config_.origin)) ok = false;
+      entry.sharers.for_each([&](NodeId n) {
+        Pte* pte = self.page_table(n).find(page);
+        if (pte == nullptr) {
+          ok = false;
+          return;
+        }
+        const PageState s = pte->state.load(std::memory_order_acquire);
+        if (s == PageState::kExclusive) ok = false;
+        if (s == PageState::kShared && pte->version != entry.version) {
+          ok = false;
+        }
+      });
+      // Nobody outside the sharer set may hold a readable copy.
+      for (NodeId n = 0; n < self.config_.num_nodes; ++n) {
+        if (entry.sharers.contains(n)) continue;
+        Pte* pte = self.page_table(n).find(page);
+        if (pte != nullptr &&
+            pte->state.load(std::memory_order_acquire) !=
+                PageState::kInvalid) {
+          ok = false;
+        }
+      }
+    }
+  });
+  return ok;
+}
+
+}  // namespace dex::mem

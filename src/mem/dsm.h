@@ -1,0 +1,214 @@
+// The DeX memory-consistency engine (§III-B/C/D).
+//
+// One Dsm instance exists per distributed process. It owns:
+//   - the authoritative AddressSpace at the origin and per-node replicas,
+//   - one PageTable per node (node-local frames + coherence state),
+//   - the ownership Directory at the origin,
+//   - one FaultTable per node (leader-follower coalescing),
+// and implements the read-replicate / write-invalidate protocol over the
+// simulated fabric. The protocol is *home-based*: all transactions for a
+// page serialize on its directory entry at the origin; dirty data is
+// written back to the origin frame and granted from there.
+//
+// Sequential consistency: a page is either writable on exactly one node or
+// read-only on many; every transition serializes on the directory entry and
+// carries a virtual-clock happens-before edge, so data-race-free programs
+// observe a sequentially consistent memory.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "mem/directory.h"
+#include "mem/fault_table.h"
+#include "mem/page_table.h"
+#include "mem/vma.h"
+#include "net/fabric.h"
+#include "prof/trace.h"
+
+namespace dex::mem {
+
+/// Thrown when an access hits no VMA or violates VMA protection — the
+/// userspace analogue of SIGSEGV delivered to the faulting thread.
+class SegfaultError : public std::runtime_error {
+ public:
+  SegfaultError(GAddr addr, Access access)
+      : std::runtime_error(describe(addr, access)),
+        addr_(addr),
+        access_(access) {}
+  GAddr addr() const { return addr_; }
+  Access access() const { return access_; }
+
+ private:
+  static std::string describe(GAddr addr, Access access);
+  GAddr addr_;
+  Access access_;
+};
+
+/// Per-node count of runnable application threads; feeds the per-node
+/// memory-bandwidth model. Owned by the cluster, shared by processes.
+struct NodeLoad {
+  std::array<std::atomic<int>, kMaxNodes> active{};
+  int on(NodeId node) const {
+    return active[static_cast<std::size_t>(node)].load(
+        std::memory_order_relaxed);
+  }
+};
+
+struct DsmConfig {
+  std::uint64_t process_id = 0;
+  NodeId origin = 0;
+  int num_nodes = 1;
+  /// Fraction of peak per-core streaming bandwidth the workload sustains;
+  /// drives the per-node bandwidth wall (BP sets this high).
+  double stream_intensity = 0.15;
+  /// Disables §III-C coalescing for the ablation bench.
+  bool coalesce_faults = true;
+  /// Maximum busy-entry retries before falling back to a blocking acquire
+  /// (forward-progress guarantee).
+  int max_retries = 64;
+};
+
+struct DsmStats {
+  std::atomic<std::uint64_t> read_faults{0};
+  std::atomic<std::uint64_t> write_faults{0};
+  std::atomic<std::uint64_t> remote_faults{0};   // required wire traffic
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> invalidations{0};
+  std::atomic<std::uint64_t> writebacks{0};
+  std::atomic<std::uint64_t> grants_data{0};
+  std::atomic<std::uint64_t> grants_ownership_only{0};
+  std::atomic<std::uint64_t> vma_syncs{0};
+  LatencyHistogram fault_latency;
+
+  std::uint64_t total_faults() const {
+    return read_faults.load() + write_faults.load();
+  }
+};
+
+class Dsm {
+ public:
+  Dsm(net::Fabric& fabric, const DsmConfig& config, NodeLoad* node_load,
+      prof::FaultTrace* trace);
+  Dsm(const Dsm&) = delete;
+  Dsm& operator=(const Dsm&) = delete;
+
+  const DsmConfig& config() const { return config_; }
+
+  // ---- Address-space management (performed at origin; §III-D) ----
+  /// Maps fresh zero pages; returns the global address.
+  GAddr mmap(std::uint64_t length, std::uint8_t prot, std::string tag = "",
+             GAddr hint = 0);
+  /// Unmaps and eagerly broadcasts the shrink to all nodes.
+  bool munmap(GAddr start, std::uint64_t length);
+  /// Changes protection; downgrades broadcast eagerly, upgrades lazily.
+  bool mprotect(GAddr start, std::uint64_t length, std::uint8_t prot);
+
+  // ---- Data access (used by the core runtime's Mmu façade) ----
+  /// Ensures `node` may perform `access` on the page containing `addr`,
+  /// running the fault path as needed. Returns the node's PTE.
+  Pte* ensure(NodeId node, TaskId task, GAddr addr, Access access);
+
+  /// Bulk copy helpers; chunked per page, seqlock-validated reads and
+  /// PTE-locked writes. Charge DRAM costs to the caller's virtual clock.
+  void read(NodeId node, TaskId task, GAddr addr, void* dst, std::size_t len);
+  void write(NodeId node, TaskId task, GAddr addr, const void* src,
+             std::size_t len);
+
+  /// Word atomics over distributed memory: exclusive ownership plus the
+  /// PTE lock make them globally atomic. `addr` must not straddle a page.
+  std::uint64_t atomic_fetch_add_u64(NodeId node, TaskId task, GAddr addr,
+                                     std::uint64_t delta);
+  std::uint64_t atomic_exchange_u64(NodeId node, TaskId task, GAddr addr,
+                                    std::uint64_t desired);
+  bool atomic_cas_u64(NodeId node, TaskId task, GAddr addr,
+                      std::uint64_t expected, std::uint64_t desired);
+  std::uint64_t atomic_load_u64(NodeId node, TaskId task, GAddr addr);
+  void atomic_store_u64(NodeId node, TaskId task, GAddr addr,
+                        std::uint64_t value);
+
+  // ---- Introspection ----
+  AddressSpace& origin_space() { return *spaces_[origin_index()]; }
+  AddressSpace& replica_space(NodeId node) {
+    return *spaces_[static_cast<std::size_t>(node)];
+  }
+  PageTable& page_table(NodeId node) {
+    return *tables_[static_cast<std::size_t>(node)];
+  }
+  FaultTable& fault_table(NodeId node) {
+    return *fault_tables_[static_cast<std::size_t>(node)];
+  }
+  Directory& directory() { return directory_; }
+  DsmStats& stats() { return stats_; }
+  prof::FaultTrace* trace() { return trace_; }
+  net::Fabric& fabric() { return fabric_; }
+
+  void set_stream_intensity(double intensity) {
+    config_.stream_intensity = intensity;
+  }
+
+  // ---- Fabric handlers (routed by the cluster's dispatcher) ----
+  net::Message handle_page_request(const net::Message& msg, Access access);
+  net::Message handle_revoke(const net::Message& msg);
+  net::Message handle_vma_request(const net::Message& msg);
+  net::Message handle_vma_update(const net::Message& msg);
+
+  /// Directory invariant check used by tests: every entry has either one
+  /// exclusive owner that is its only sharer, or no owner and >= 0 sharers.
+  bool check_invariants() const;
+
+ private:
+  std::size_t origin_index() const {
+    return static_cast<std::size_t>(config_.origin);
+  }
+
+  /// The home transaction: runs at the origin with the directory entry
+  /// locked. Returns the grant kind; fills `out_release_ts`.
+  net::GrantKind transact(NodeId requester, TaskId task, GAddr page,
+                          Access access, std::uint64_t known_version);
+
+  /// Pulls the current data out of `owner` (downgrading to shared or
+  /// invalidating) and installs it in the origin frame. Directory entry
+  /// must be locked.
+  void recall_from_owner(DirEntry& entry, GAddr page, bool downgrade);
+
+  /// Invalidates `node`'s copy (no writeback — shared copies are clean).
+  void invalidate_copy(NodeId node, GAddr page, TaskId requester_task);
+
+  /// Installs `src` (origin frame) into `node`'s frame with `state`.
+  void install_copy(NodeId node, GAddr page, const std::uint8_t* src,
+                    PageState state, std::uint64_t version);
+
+  /// Sets the local PTE of `node` to `state` under lock (no data change).
+  void set_state(NodeId node, GAddr page, PageState state,
+                 std::uint64_t version);
+
+  /// Fault-time VMA legitimacy check with on-demand synchronization.
+  Vma check_vma(NodeId node, GAddr addr, Access access);
+
+  void record_fault(NodeId node, TaskId task, GAddr addr,
+                    prof::FaultKind kind, const char* tag);
+
+  /// The leader's fault-handling body.
+  void handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
+                              Access access, Pte& pte);
+
+  net::Fabric& fabric_;
+  DsmConfig config_;
+  NodeLoad* node_load_;
+  prof::FaultTrace* trace_;
+
+  std::vector<std::unique_ptr<AddressSpace>> spaces_;
+  std::vector<std::unique_ptr<PageTable>> tables_;
+  std::vector<std::unique_ptr<FaultTable>> fault_tables_;
+  Directory directory_;
+  DsmStats stats_;
+};
+
+}  // namespace dex::mem

@@ -1,0 +1,118 @@
+// Leader–follower coalescing of concurrent page faults (§III-C).
+//
+// Several threads on one node frequently fault on the same page at the same
+// time. The first becomes the *leader* and runs the protocol; threads that
+// arrive while the leader is in flight with the same (page, access-type)
+// become *followers*: they sleep, and when the leader has installed the
+// updated PTE they simply resume. A per-process hash table tracks all
+// ongoing fault handling, exactly as in the paper.
+//
+// A fault may only coalesce with an *in-flight* handling. A completed entry
+// must not absorb new joiners: under ping-pong contention the page can be
+// stolen again immediately, and joiners treating a stale completion as
+// success would spin forever without anyone re-running the protocol.
+// Joiners that find a completed entry replace it and lead a fresh round.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/time_gate.h"
+#include "common/types.h"
+
+namespace dex::mem {
+
+class FaultTable {
+ public:
+  struct Entry {
+    std::condition_variable cv;
+    bool done = false;
+    /// Virtual time at which the leader finished; followers observe it.
+    VirtNs completion_ts = 0;
+  };
+
+  /// Outcome of joining the table for (page, access).
+  struct Join {
+    bool is_leader = false;
+    /// For followers: the leader's completion timestamp.
+    VirtNs completion_ts = 0;
+    /// For leaders: the round this thread leads; pass back to complete().
+    std::shared_ptr<Entry> token;
+  };
+
+  /// Leader path returns is_leader=true immediately; the caller must later
+  /// call `complete`. Follower path blocks until that round's leader
+  /// completes.
+  Join join(GAddr page, Access access) {
+    const Key key = make_key(page, access);
+    ScopedGateBlock gate_block("fault_table_join");  // followers sleep on the leader
+    std::unique_lock<std::mutex> lock(mu_);
+    std::shared_ptr<Entry>& slot = table_[key];
+    if (!slot || slot->done) {
+      // No handling in flight (or only a stale, completed round): lead a
+      // fresh one.
+      slot = std::make_shared<Entry>();
+      return Join{.is_leader = true, .completion_ts = 0, .token = slot};
+    }
+    const std::shared_ptr<Entry> entry = slot;  // keep alive across wait
+    ++coalesced_;
+    entry->cv.wait(lock, [&entry] { return entry->done; });
+    return Join{.is_leader = false,
+                .completion_ts = entry->completion_ts,
+                .token = nullptr};
+  }
+
+  /// Called by the leader once the PTE is updated. Wakes this round's
+  /// followers and retires the entry.
+  void complete(const Join& lead, GAddr page, Access access,
+                VirtNs completion_ts) {
+    const Key key = make_key(page, access);
+    std::lock_guard<std::mutex> lock(mu_);
+    lead.token->done = true;
+    lead.token->completion_ts = completion_ts;
+    lead.token->cv.notify_all();
+    // Erase only our own round; a newer round may already occupy the slot.
+    auto it = table_.find(key);
+    if (it != table_.end() && it->second == lead.token) table_.erase(it);
+  }
+
+  /// Total faults absorbed as followers (for stats / ablation).
+  std::uint64_t coalesced_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return coalesced_;
+  }
+
+  std::size_t in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.size();
+  }
+
+  /// Debug: one line per entry (page key, done flag, use count).
+  std::string debug_dump() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    for (const auto& [key, entry] : table_) {
+      out += "  entry key=" + std::to_string(key) +
+             " done=" + std::to_string(entry ? entry->done : -1) +
+             " refs=" + std::to_string(entry ? entry.use_count() : 0) + "\n";
+    }
+    return out;
+  }
+
+ private:
+  using Key = std::uint64_t;
+  static Key make_key(GAddr page, Access access) {
+    // Page addresses are 4K-aligned: the low bit is free for access type.
+    return page | static_cast<std::uint64_t>(access);
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<Entry>> table_;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace dex::mem

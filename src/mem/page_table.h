@@ -1,0 +1,136 @@
+// Per-node software page table.
+//
+// Each (process, node) pair owns one PageTable mapping virtual pages to
+// node-local frames plus the per-page coherence state. The fast access path
+// is one sharded hash lookup + one atomic load (hardware would do this in
+// the TLB); all state transitions happen under the per-PTE spinlock, which
+// stands in for the kernel's PTE lock in the paper's fault path (§III-C).
+//
+// Reads use a seqcount: the protocol bumps `seq` to odd before replacing
+// frame contents and to even after, so lock-free readers can detect a
+// concurrent install/revoke and retry. Writes take the PTE spinlock so a
+// concurrent revocation can never tear a write-back (the kernel gets this
+// for free because revocation unmaps the page from the hardware MMU).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "common/assert.h"
+#include "common/spinlock.h"
+#include "common/types.h"
+
+namespace dex::mem {
+
+enum class PageState : std::uint8_t {
+  kInvalid = 0,   // no valid local copy; any access faults
+  kShared = 1,    // read-only copy (common ownership, §III-B)
+  kExclusive = 2, // sole up-to-date copy; reads and writes allowed
+};
+
+inline const char* to_string(PageState s) {
+  switch (s) {
+    case PageState::kInvalid: return "invalid";
+    case PageState::kShared: return "shared";
+    case PageState::kExclusive: return "exclusive";
+  }
+  return "?";
+}
+
+/// Sentinel: this node has never held a copy of the page.
+inline constexpr std::uint64_t kNoVersion = ~std::uint64_t{0};
+
+struct Pte {
+  /// Coherence state; the lock-free fast-path permission check.
+  std::atomic<PageState> state{PageState::kInvalid};
+  /// Seqcount for lock-free readers (odd = frame contents in flux).
+  std::atomic<std::uint32_t> seq{0};
+  /// Directory version of the copy this node last held. Lets the origin
+  /// grant ownership without data when the copy is still current.
+  std::uint64_t version = kNoVersion;
+  /// Node-local physical frame; allocated on first grant.
+  std::unique_ptr<std::uint8_t[]> frame;
+  /// Guards frame contents + state transitions.
+  Spinlock lock;
+
+  std::uint8_t* ensure_frame() {
+    if (!frame) frame = std::make_unique<std::uint8_t[]>(kPageSize);
+    return frame.get();
+  }
+};
+
+class PageTable {
+ public:
+  PageTable() = default;
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  /// Returns the PTE for `page` (a page-aligned GAddr), or nullptr if never
+  /// touched on this node. PTE pointers stay valid until zap/teardown.
+  Pte* find(GAddr page) {
+    Shard& shard = shard_for(page);
+    std::shared_lock lock(shard.mu);
+    auto it = shard.map.find(page);
+    return it == shard.map.end() ? nullptr : it->second.get();
+  }
+
+  /// Returns the PTE for `page`, creating an invalid one if absent.
+  Pte& get_or_create(GAddr page) {
+    DEX_CHECK(page_offset(page) == 0);
+    Shard& shard = shard_for(page);
+    {
+      std::shared_lock lock(shard.mu);
+      auto it = shard.map.find(page);
+      if (it != shard.map.end()) return *it->second;
+    }
+    std::unique_lock lock(shard.mu);
+    auto [it, _] = shard.map.try_emplace(page, std::make_unique<Pte>());
+    return *it->second;
+  }
+
+  /// Drops every PTE in [start, end) — used by munmap teardown. Callers
+  /// must guarantee no concurrent access to the range (the directory
+  /// serializes this via the VMA-op delegation path).
+  void zap_range(GAddr start, GAddr end) {
+    for (auto& shard : shards_) {
+      std::unique_lock lock(shard.mu);
+      for (auto it = shard.map.begin(); it != shard.map.end();) {
+        if (it->first >= start && it->first < end) {
+          it = shard.map.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  std::size_t resident_pages() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::shared_lock lock(shard.mu);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+  /// Bytes of frame memory currently owned by this node's table.
+  std::size_t resident_bytes() const { return resident_pages() * kPageSize; }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<GAddr, std::unique_ptr<Pte>> map;
+  };
+  Shard& shard_for(GAddr page) {
+    return shards_[(page >> kPageShift) % kShards];
+  }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace dex::mem

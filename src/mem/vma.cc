@@ -1,0 +1,198 @@
+#include "mem/vma.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "common/assert.h"
+
+namespace dex::mem {
+
+VmaRecord to_record(const Vma& vma) {
+  VmaRecord record{};
+  record.start = vma.start;
+  record.end = vma.end;
+  record.prot = vma.prot;
+  record.valid = 1;
+  std::strncpy(record.tag, vma.tag.c_str(), sizeof(record.tag) - 1);
+  return record;
+}
+
+Vma from_record(const VmaRecord& record) {
+  Vma vma;
+  vma.start = record.start;
+  vma.end = record.end;
+  vma.prot = record.prot;
+  vma.tag = record.tag;
+  return vma;
+}
+
+namespace {
+std::uint64_t round_up_pages(std::uint64_t length) {
+  return (length + kPageSize - 1) & ~std::uint64_t{kPageSize - 1};
+}
+}  // namespace
+
+GAddr AddressSpace::mmap(std::uint64_t length, std::uint8_t prot,
+                         std::string tag, GAddr hint) {
+  if (length == 0) return kNullGAddr;
+  length = round_up_pages(length);
+  std::unique_lock lock(mu_);
+  GAddr start = kNullGAddr;
+  if (hint != 0) {
+    DEX_CHECK_MSG(page_offset(hint) == 0, "mmap hint must be page aligned");
+    // MAP_FIXED-like: reject overlap instead of clobbering.
+    auto it = vmas_.upper_bound(hint);
+    if (it != vmas_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > hint) return kNullGAddr;
+    }
+    if (it != vmas_.end() && it->second.start < hint + length) {
+      return kNullGAddr;
+    }
+    start = hint;
+  } else {
+    start = find_free_range_locked(length);
+    if (start == kNullGAddr) return kNullGAddr;
+  }
+  Vma vma{start, start + length, prot, std::move(tag)};
+  vmas_.emplace(start, std::move(vma));
+  ++version_;
+  return start;
+}
+
+GAddr AddressSpace::find_free_range_locked(std::uint64_t length) const {
+  // Bump allocation with a gap page between mappings: adjacent VMAs never
+  // share a guard boundary, which keeps unrelated allocations off each
+  // other's pages (matters for the false-sharing experiments).
+  GAddr candidate = cursor_;
+  for (;;) {
+    if (candidate + length >= kLimit) return kNullGAddr;
+    auto it = vmas_.upper_bound(candidate);
+    if (it != vmas_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > candidate) {
+        candidate = prev->second.end + kPageSize;
+        continue;
+      }
+    }
+    if (it != vmas_.end() && it->second.start < candidate + length) {
+      candidate = it->second.end + kPageSize;
+      continue;
+    }
+    const_cast<AddressSpace*>(this)->cursor_ =
+        candidate + length + kPageSize;
+    return candidate;
+  }
+}
+
+void AddressSpace::carve_locked(GAddr start, GAddr end) {
+  // Remove/split every VMA overlapping [start, end).
+  auto it = vmas_.lower_bound(start);
+  if (it != vmas_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > start) it = prev;
+  }
+  while (it != vmas_.end() && it->second.start < end) {
+    Vma vma = it->second;
+    it = vmas_.erase(it);
+    if (vma.start < start) {
+      Vma left = vma;
+      left.end = start;
+      vmas_.emplace(left.start, left);
+    }
+    if (vma.end > end) {
+      Vma right = vma;
+      right.start = end;
+      it = vmas_.emplace(right.start, right).first;
+      ++it;
+    }
+  }
+}
+
+bool AddressSpace::munmap(GAddr start, std::uint64_t length) {
+  if (length == 0 || page_offset(start) != 0) return false;
+  length = round_up_pages(length);
+  std::unique_lock lock(mu_);
+  const GAddr end = start + length;
+  bool touched = false;
+  auto it = vmas_.lower_bound(start);
+  if (it != vmas_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > start) touched = true;
+  }
+  if (it != vmas_.end() && it->second.start < end) touched = true;
+  if (!touched) return false;
+  carve_locked(start, end);
+  ++version_;
+  return true;
+}
+
+bool AddressSpace::mprotect(GAddr start, std::uint64_t length,
+                            std::uint8_t prot) {
+  if (length == 0 || page_offset(start) != 0) return false;
+  length = round_up_pages(length);
+  std::unique_lock lock(mu_);
+  const GAddr end = start + length;
+
+  // Collect the overlapped pieces, then re-insert them with new prot.
+  std::vector<Vma> pieces;
+  auto it = vmas_.lower_bound(start);
+  if (it != vmas_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > start) it = prev;
+  }
+  for (auto scan = it; scan != vmas_.end() && scan->second.start < end;
+       ++scan) {
+    const Vma& vma = scan->second;
+    Vma piece = vma;
+    piece.start = std::max(vma.start, start);
+    piece.end = std::min(vma.end, end);
+    piece.prot = prot;
+    pieces.push_back(std::move(piece));
+  }
+  if (pieces.empty()) return false;
+  carve_locked(start, end);
+  for (auto& piece : pieces) {
+    GAddr s = piece.start;
+    vmas_.emplace(s, std::move(piece));
+  }
+  ++version_;
+  return true;
+}
+
+void AddressSpace::install_replica(const Vma& vma) {
+  std::unique_lock lock(mu_);
+  carve_locked(vma.start, vma.end);
+  vmas_.emplace(vma.start, vma);
+  ++version_;
+}
+
+std::optional<Vma> AddressSpace::find(GAddr addr) const {
+  std::shared_lock lock(mu_);
+  auto it = vmas_.upper_bound(addr);
+  if (it == vmas_.begin()) return std::nullopt;
+  --it;
+  if (it->second.contains(addr)) return it->second;
+  return std::nullopt;
+}
+
+std::vector<Vma> AddressSpace::snapshot() const {
+  std::shared_lock lock(mu_);
+  std::vector<Vma> out;
+  out.reserve(vmas_.size());
+  for (const auto& [_, vma] : vmas_) out.push_back(vma);
+  return out;
+}
+
+std::size_t AddressSpace::vma_count() const {
+  std::shared_lock lock(mu_);
+  return vmas_.size();
+}
+
+std::uint64_t AddressSpace::version() const {
+  std::shared_lock lock(mu_);
+  return version_;
+}
+
+}  // namespace dex::mem

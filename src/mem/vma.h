@@ -1,0 +1,98 @@
+// Virtual memory areas (§III-D).
+//
+// Linux manages memory at two levels: VMAs describe ranges (permissions,
+// backing, tags), PTEs describe per-page state. DeX keeps the authoritative
+// VMA list at the origin; remote nodes hold lazily synchronized replicas.
+// This file implements the VMA level for both roles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dex::mem {
+
+/// VMA / PTE protection bits (subset of PROT_*).
+enum Prot : std::uint8_t {
+  kProtNone = 0,
+  kProtRead = 1,
+  kProtWrite = 2,
+  kProtReadWrite = kProtRead | kProtWrite,
+};
+
+struct Vma {
+  GAddr start = 0;
+  GAddr end = 0;  // exclusive
+  std::uint8_t prot = kProtNone;
+  /// User-supplied tag (allocation site); flows into the fault trace as the
+  /// paper's "user-specified identifier for tagging individual pieces of
+  /// the application".
+  std::string tag;
+
+  bool contains(GAddr a) const { return a >= start && a < end; }
+  std::uint64_t length() const { return end - start; }
+};
+
+/// Plain-old-data VMA record used on the wire for on-demand sync and eager
+/// shrink/downgrade broadcasts.
+struct VmaRecord {
+  GAddr start;
+  GAddr end;
+  std::uint8_t prot;
+  std::uint8_t valid;  // 0 in replies for illegal addresses
+  char tag[38];
+};
+static_assert(sizeof(VmaRecord) <= 64);
+
+VmaRecord to_record(const Vma& vma);
+Vma from_record(const VmaRecord& record);
+
+/// An ordered collection of non-overlapping VMAs with mmap/munmap/mprotect
+/// semantics. Thread-safe. Used both as the origin's authoritative space
+/// and as each remote node's partial replica.
+class AddressSpace {
+ public:
+  /// The virtual address range managed for applications. Starts above 0 so
+  /// kNullGAddr is never mapped.
+  static constexpr GAddr kBase = 0x0000'1000'0000ULL;
+  static constexpr GAddr kLimit = 0x7fff'0000'0000ULL;
+
+  /// Maps `length` bytes (rounded up to pages). With hint==0 the space
+  /// allocates top-down from a bump cursor like mmap without MAP_FIXED.
+  /// Returns kNullGAddr on exhaustion or overlap with an existing mapping.
+  GAddr mmap(std::uint64_t length, std::uint8_t prot, std::string tag = "",
+             GAddr hint = 0);
+
+  /// Unmaps [start, start+length); splits partially covered VMAs. Returns
+  /// false when the range touches no mapping.
+  bool munmap(GAddr start, std::uint64_t length);
+
+  /// Changes protection over [start, start+length); splits as needed.
+  bool mprotect(GAddr start, std::uint64_t length, std::uint8_t prot);
+
+  /// Inserts a replica VMA received from the origin (remote side of
+  /// on-demand sync). Overwrites any overlapping stale replica entries.
+  void install_replica(const Vma& vma);
+
+  std::optional<Vma> find(GAddr addr) const;
+  std::vector<Vma> snapshot() const;
+  std::size_t vma_count() const;
+  /// Monotonic counter bumped by every mutation; used by tests and stats.
+  std::uint64_t version() const;
+
+ private:
+  GAddr find_free_range_locked(std::uint64_t length) const;
+  void carve_locked(GAddr start, GAddr end);
+
+  mutable std::shared_mutex mu_;
+  std::map<GAddr, Vma> vmas_;  // keyed by start
+  GAddr cursor_ = kBase;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace dex::mem

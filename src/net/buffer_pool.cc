@@ -1,0 +1,67 @@
+#include "net/buffer_pool.h"
+
+#include "common/time_gate.h"
+
+namespace dex::net {
+
+BufferPool::BufferPool(std::size_t num_buffers, std::size_t buffer_size)
+    : num_buffers_(num_buffers),
+      buffer_size_(buffer_size),
+      storage_(std::make_unique<std::uint8_t[]>(num_buffers * buffer_size)) {
+  DEX_CHECK(num_buffers > 0 && buffer_size > 0);
+  free_slots_.reserve(num_buffers);
+  for (std::size_t i = 0; i < num_buffers; ++i) {
+    free_slots_.push_back(static_cast<int>(i));
+  }
+}
+
+PooledBuffer BufferPool::acquire(bool* stalled) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stalled != nullptr) *stalled = free_slots_.empty();
+  if (free_slots_.empty()) {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    ScopedGateBlock gate_block("buffer_pool");
+    cv_.wait(lock, [&] { return !free_slots_.empty(); });
+  }
+  const int slot = free_slots_.back();
+  free_slots_.pop_back();
+  acquired_.fetch_add(1, std::memory_order_relaxed);
+  return PooledBuffer(this, slot,
+                      storage_.get() + static_cast<std::size_t>(slot) *
+                                           buffer_size_,
+                      buffer_size_);
+}
+
+PooledBuffer BufferPool::try_acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_slots_.empty()) return PooledBuffer();
+  const int slot = free_slots_.back();
+  free_slots_.pop_back();
+  acquired_.fetch_add(1, std::memory_order_relaxed);
+  return PooledBuffer(this, slot,
+                      storage_.get() + static_cast<std::size_t>(slot) *
+                                           buffer_size_,
+                      buffer_size_);
+}
+
+std::size_t BufferPool::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_slots_.size();
+}
+
+void BufferPool::release_slot(int slot) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_slots_.push_back(slot);
+  }
+  cv_.notify_one();
+}
+
+void PooledBuffer::release() {
+  if (pool_ != nullptr) {
+    pool_->release_slot(slot_);
+    pool_ = nullptr;
+  }
+}
+
+}  // namespace dex::net

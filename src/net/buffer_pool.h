@@ -1,0 +1,101 @@
+// Pooled, pre-"DMA-mapped" message buffers (§III-E).
+//
+// The paper avoids per-message DMA mapping by carving each connection's send
+// and receive buffers out of rings of physically contiguous, pre-mapped
+// chunks. We model the same lifecycle: acquire a slot (blocking when the
+// ring is exhausted, which charges the stall cost and bumps a counter),
+// compose/consume the message in the slot, release it back to the ring.
+// Ablation benches bypass the pool to show the per-message mapping cost the
+// design eliminates.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace dex::net {
+
+class BufferPool;
+
+/// RAII handle to one pooled buffer slot.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(BufferPool* pool, int slot, std::uint8_t* data,
+               std::size_t size)
+      : pool_(pool), slot_(slot), data_(data), size_(size) {}
+  PooledBuffer(PooledBuffer&& other) noexcept { *this = std::move(other); }
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    release();
+    pool_ = other.pool_;
+    slot_ = other.slot_;
+    data_ = other.data_;
+    size_ = other.size_;
+    other.pool_ = nullptr;
+    return *this;
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  ~PooledBuffer() { release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  void release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  int slot_ = -1;
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Fixed ring of equally sized buffers. `acquire` blocks when empty, which
+/// models back-pressure from a full send queue.
+class BufferPool {
+ public:
+  BufferPool(std::size_t num_buffers, std::size_t buffer_size);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Blocks until a buffer is free. Returns the buffer and reports (via
+  /// `stalled`, if non-null) whether the caller had to wait.
+  PooledBuffer acquire(bool* stalled = nullptr);
+
+  /// Non-blocking variant; returns an invalid handle when exhausted.
+  PooledBuffer try_acquire();
+
+  std::size_t capacity() const { return num_buffers_; }
+  std::size_t buffer_size() const { return buffer_size_; }
+  std::size_t available() const;
+  std::uint64_t total_acquired() const {
+    return acquired_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stall_count() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class PooledBuffer;
+  void release_slot(int slot);
+
+  const std::size_t num_buffers_;
+  const std::size_t buffer_size_;
+  std::unique_ptr<std::uint8_t[]> storage_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<int> free_slots_;
+  std::atomic<std::uint64_t> acquired_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+};
+
+}  // namespace dex::net

@@ -1,0 +1,74 @@
+// One direction of an InfiniBand RC connection between a node pair
+// (§III-E). Each direction owns the sender-side send-buffer pool, the
+// receiver-side receive-buffer pool, and the receiver-side RDMA sink for
+// bulk payloads flowing this way, plus traffic counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+#include "net/buffer_pool.h"
+#include "net/rdma_sink.h"
+
+namespace dex::net {
+
+struct ConnectionConfig {
+  std::size_t send_pool_buffers = 128;
+  std::size_t recv_pool_buffers = 128;
+  std::size_t buffer_bytes = 256;   // small control messages
+  std::size_t sink_chunks = 64;
+  std::size_t sink_chunk_bytes = kPageSize;
+};
+
+class RcConnection {
+ public:
+  RcConnection(NodeId src, NodeId dst, const ConnectionConfig& config)
+      : src_(src),
+        dst_(dst),
+        send_pool_(config.send_pool_buffers, config.buffer_bytes),
+        recv_pool_(config.recv_pool_buffers, config.buffer_bytes),
+        sink_(config.sink_chunks, config.sink_chunk_bytes) {}
+
+  NodeId src() const { return src_; }
+  NodeId dst() const { return dst_; }
+
+  BufferPool& send_pool() { return send_pool_; }
+  BufferPool& recv_pool() { return recv_pool_; }
+  RdmaSink& sink() { return sink_; }
+
+  void count_message(std::size_t bytes) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void count_rdma(std::size_t bytes) {
+    rdma_ops_.fetch_add(1, std::memory_order_relaxed);
+    rdma_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t messages() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  std::uint64_t rdma_ops() const {
+    return rdma_ops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rdma_bytes() const {
+    return rdma_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const NodeId src_;
+  const NodeId dst_;
+  BufferPool send_pool_;
+  BufferPool recv_pool_;
+  RdmaSink sink_;
+
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> rdma_ops_{0};
+  std::atomic<std::uint64_t> rdma_bytes_{0};
+};
+
+}  // namespace dex::net

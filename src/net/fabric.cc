@@ -1,0 +1,266 @@
+#include "net/fabric.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+#include "common/virtual_clock.h"
+
+namespace dex::net {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kInvalid: return "invalid";
+    case MsgType::kPageRequestRead: return "page_request_read";
+    case MsgType::kPageRequestWrite: return "page_request_write";
+    case MsgType::kPageGrant: return "page_grant";
+    case MsgType::kPageRetry: return "page_retry";
+    case MsgType::kRevokeOwnership: return "revoke_ownership";
+    case MsgType::kVmaInfoRequest: return "vma_info_request";
+    case MsgType::kVmaInfoReply: return "vma_info_reply";
+    case MsgType::kVmaUpdate: return "vma_update";
+    case MsgType::kMigrateThread: return "migrate_thread";
+    case MsgType::kMigrateBack: return "migrate_back";
+    case MsgType::kRemoteWorkerSetup: return "remote_worker_setup";
+    case MsgType::kDelegateFutex: return "delegate_futex";
+    case MsgType::kDelegateVmaOp: return "delegate_vma_op";
+    case MsgType::kDelegateExit: return "delegate_exit";
+    case MsgType::kMaxType: return "max_type";
+  }
+  return "?";
+}
+
+Fabric::Fabric(const FabricOptions& options) : options_(options) {
+  DEX_CHECK(options.num_nodes >= 1);
+  const int n = options.num_nodes;
+  connections_.resize(static_cast<std::size_t>(n) * n);
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      connections_[static_cast<std::size_t>(src) * n + dst] =
+          std::make_unique<RcConnection>(src, dst, options.connection);
+    }
+  }
+}
+
+void Fabric::register_handler(MsgType type, Handler handler) {
+  const auto idx = static_cast<std::size_t>(type);
+  DEX_CHECK(idx < handlers_.size());
+  handlers_[idx] = std::move(handler);
+}
+
+RcConnection& Fabric::connection(NodeId src, NodeId dst) {
+  DEX_CHECK(src != dst);
+  DEX_CHECK(src >= 0 && src < options_.num_nodes);
+  DEX_CHECK(dst >= 0 && dst < options_.num_nodes);
+  return *connections_[static_cast<std::size_t>(src) * options_.num_nodes +
+                       dst];
+}
+
+VirtNs Fabric::transmit_small(RcConnection& conn, const Message& msg) {
+  const CostModel& cost = options_.cost;
+  const std::size_t bytes = msg.wire_size();
+  VirtNs charged = 0;
+
+  if (options_.mode.use_buffer_pools) {
+    // Compose the outbound message in a pooled, pre-DMA-mapped buffer.
+    bool stalled = false;
+    PooledBuffer send_buf = conn.send_pool().acquire(&stalled);
+    if (stalled) charged += cost.pool_stall_ns;
+    const std::size_t n = bytes < send_buf.size() ? bytes : send_buf.size();
+    if (!msg.payload.empty()) {
+      std::memcpy(send_buf.data(), msg.payload.data(),
+                  n < msg.payload.size() ? n : msg.payload.size());
+    }
+    charged += cost.verb_msg_ns(bytes);
+    // The HCA DMA-writes into a pre-posted receive buffer at the peer; the
+    // receiver consumes it and reposts the work request (recycling).
+    bool recv_stalled = false;
+    PooledBuffer recv_buf = conn.recv_pool().acquire(&recv_stalled);
+    if (recv_stalled) charged += cost.pool_stall_ns;
+    if (!msg.payload.empty()) {
+      std::memcpy(recv_buf.data(), msg.payload.data(),
+                  msg.payload.size() < recv_buf.size() ? msg.payload.size()
+                                                       : recv_buf.size());
+    }
+    // Buffers return to their rings when the handles go out of scope.
+  } else {
+    // Ablation: no pools — every message pays DMA mapping on both sides.
+    charged += 2 * cost.dma_map_ns + cost.verb_msg_ns(bytes);
+  }
+
+  conn.count_message(bytes);
+  return charged;
+}
+
+VirtNs Fabric::transmit_bulk(RcConnection& conn, const std::uint8_t* data,
+                             std::size_t len, std::uint8_t* out) {
+  const CostModel& cost = options_.cost;
+  VirtNs charged = 0;
+
+  switch (options_.mode.bulk_path) {
+    case FabricMode::BulkPath::kRdmaSink: {
+      // The receiver reserves a sink chunk and tells the sender where to
+      // RDMA-write; on completion it copies the data to its final
+      // destination and recycles the chunk.
+      std::size_t done = 0;
+      while (done < len) {
+        bool stalled = false;
+        SinkBuffer chunk = conn.sink().reserve(&stalled);
+        if (stalled) charged += cost.pool_stall_ns;
+        const std::size_t n =
+            len - done < chunk.size() ? len - done : chunk.size();
+        std::memcpy(chunk.data(), data + done, n);  // the RDMA write
+        charged += cost.rdma_payload_ns(n);
+        chunk.copy_out_and_release(out + done, n);
+        conn.count_rdma(n);
+        done += n;
+      }
+      break;
+    }
+    case FabricMode::BulkPath::kRdmaPerPageReg: {
+      // Ablation: register the destination buffer as an RDMA region for
+      // every transfer. No extra copy, but the registration dominates.
+      charged += cost.mr_register_ns + cost.rdma_post_ns + cost.wire_ns(len) +
+                 cost.handler_dispatch_ns;
+      std::memcpy(out, data, len);
+      conn.count_rdma(len);
+      break;
+    }
+    case FabricMode::BulkPath::kVerbFragmented: {
+      // Ablation: fragment the payload into control-message-sized VERB
+      // sends through the pools.
+      const std::size_t frag = conn.send_pool().buffer_size();
+      std::size_t done = 0;
+      while (done < len) {
+        const std::size_t n = len - done < frag ? len - done : frag;
+        bool stalled = false;
+        PooledBuffer buf = conn.send_pool().acquire(&stalled);
+        if (stalled) charged += cost.pool_stall_ns;
+        std::memcpy(buf.data(), data + done, n);
+        charged += cost.verb_msg_ns(n + Message::kHeaderBytes);
+        std::memcpy(out + done, buf.data(), n);
+        conn.count_message(n + Message::kHeaderBytes);
+        done += n;
+      }
+      break;
+    }
+  }
+  return charged;
+}
+
+VirtNs Fabric::bulk_transfer(NodeId src, NodeId dst, const std::uint8_t* data,
+                             std::size_t len, std::uint8_t* out) {
+  VirtNs charged;
+  if (src == dst) {
+    std::memcpy(out, data, len);
+    charged = options_.cost.copy_ns(len);
+  } else {
+    charged = transmit_bulk(connection(src, dst), data, len, out);
+  }
+  vclock::advance(charged);
+  return charged;
+}
+
+Message Fabric::call(NodeId src, const Message& request) {
+  const auto idx = static_cast<std::size_t>(request.type);
+  DEX_CHECK(idx < handlers_.size());
+  DEX_CHECK_MSG(static_cast<bool>(handlers_[idx]), "no handler registered");
+  type_counts_[idx].fetch_add(1, std::memory_order_relaxed);
+
+  Message msg = request;
+  msg.src = src;
+
+  VirtNs charged = 0;
+  const bool cross_node = src != msg.dst;
+  if (cross_node) {
+    if (delay_injector_) charged += delay_injector_(msg);
+    charged += transmit_small(connection(src, msg.dst), msg);
+  }
+  vclock::advance(charged);
+  msg.sent_at = vclock::now();
+
+  Message reply = handlers_[idx](msg);
+  reply.src = msg.dst;
+  reply.dst = src;
+
+  VirtNs reply_cost = 0;
+  if (cross_node) {
+    RcConnection& back = connection(msg.dst, src);
+    if (reply.payload.size() >= options_.bulk_threshold) {
+      // Control part of the reply goes over VERB, payload over the bulk
+      // path into the requester's sink.
+      Message control = reply;
+      std::vector<std::uint8_t> bulk;
+      bulk.swap(control.payload);
+      reply_cost += transmit_small(back, control);
+      std::vector<std::uint8_t> received(bulk.size());
+      reply_cost +=
+          transmit_bulk(back, bulk.data(), bulk.size(), received.data());
+      reply.payload = std::move(received);
+    } else {
+      reply_cost += transmit_small(back, reply);
+    }
+  }
+  vclock::advance(reply_cost);
+  reply.sent_at = vclock::now();
+  return reply;
+}
+
+void Fabric::post(NodeId src, const Message& request) {
+  const auto idx = static_cast<std::size_t>(request.type);
+  DEX_CHECK(idx < handlers_.size());
+  DEX_CHECK_MSG(static_cast<bool>(handlers_[idx]), "no handler registered");
+  type_counts_[idx].fetch_add(1, std::memory_order_relaxed);
+
+  Message msg = request;
+  msg.src = src;
+  VirtNs charged = 0;
+  if (src != msg.dst) {
+    if (delay_injector_) charged += delay_injector_(msg);
+    charged += transmit_small(connection(src, msg.dst), msg);
+  }
+  vclock::advance(charged);
+  msg.sent_at = vclock::now();
+  (void)handlers_[idx](msg);
+}
+
+std::uint64_t Fabric::total_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& conn : connections_) {
+    if (conn) total += conn->messages();
+  }
+  return total;
+}
+
+std::uint64_t Fabric::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& conn : connections_) {
+    if (conn) total += conn->bytes() + conn->rdma_bytes();
+  }
+  return total;
+}
+
+std::uint64_t Fabric::total_rdma_ops() const {
+  std::uint64_t total = 0;
+  for (const auto& conn : connections_) {
+    if (conn) total += conn->rdma_ops();
+  }
+  return total;
+}
+
+std::uint64_t Fabric::pool_stalls() const {
+  std::uint64_t total = 0;
+  for (const auto& conn : connections_) {
+    if (conn) {
+      total += conn->send_pool().stall_count() +
+               conn->recv_pool().stall_count() + conn->sink().stall_count();
+    }
+  }
+  return total;
+}
+
+void Fabric::reset_counters() {
+  for (auto& count : type_counts_) count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dex::net

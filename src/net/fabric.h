@@ -1,0 +1,122 @@
+// The simulated rack interconnect.
+//
+// Role in the paper: §III-E's custom messaging layer over InfiniBand —
+// RC connections per node pair, VERB send/recv with pre-mapped buffer
+// pools for small control messages, and RDMA writes into a pre-registered
+// sink for page-sized payloads.
+//
+// Simulation model: RPCs are executed synchronously in the caller's OS
+// thread (the faulting/migrating thread blocks for the round trip in the
+// real system too), the registered handler runs against the destination
+// node's data structures under that node's locks (so cross-node races are
+// real), and every mechanical step charges the calibrated CostModel to the
+// caller's virtual clock. Buffer pools and the RDMA sink are fully
+// exercised: slots are acquired, filled, drained and recycled per message.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "net/connection.h"
+#include "net/cost_model.h"
+#include "net/message.h"
+
+namespace dex::net {
+
+/// Ablation switches for the §III-E design choices. Defaults match the
+/// paper's design; benches flip them to quantify each choice.
+struct FabricMode {
+  /// Pre-mapped send/receive buffer pools; off = per-message DMA mapping.
+  bool use_buffer_pools = true;
+  /// Bulk payload strategy.
+  enum class BulkPath {
+    kRdmaSink,          // paper's hybrid: pre-registered sink + one memcpy
+    kRdmaPerPageReg,    // register an RDMA region per transfer
+    kVerbFragmented,    // chop bulk data into VERB-sized control messages
+  };
+  BulkPath bulk_path = BulkPath::kRdmaSink;
+};
+
+struct FabricOptions {
+  int num_nodes = 2;
+  CostModel cost;
+  ConnectionConfig connection;
+  FabricMode mode;
+  /// Payloads at or above this size take the bulk (RDMA) path.
+  std::size_t bulk_threshold = 2048;
+};
+
+class Fabric {
+ public:
+  using Handler = std::function<Message(const Message&)>;
+
+  explicit Fabric(const FabricOptions& options);
+
+  int num_nodes() const { return options_.num_nodes; }
+  const CostModel& cost() const { return options_.cost; }
+  const FabricOptions& options() const { return options_; }
+
+  /// Registers the handler for one message type. Handlers run in the
+  /// calling thread against destination-node state; they must synchronize
+  /// access themselves (they do, via directory/PTE locks).
+  void register_handler(MsgType type, Handler handler);
+
+  /// Synchronous RPC from `src` to `dst`: charges request wire costs,
+  /// dispatches to the handler, charges reply costs (bulk replies take the
+  /// RDMA-sink path), and returns the reply. Intra-node calls short-circuit
+  /// the wire but still run the handler.
+  Message call(NodeId src, const Message& request);
+
+  /// One-way message (eager VMA update broadcasts, teardown). Charges the
+  /// send path only; the handler's reply is discarded.
+  void post(NodeId src, const Message& request);
+
+  /// Moves `len` bytes of bulk payload (page data) from `src` to `dst`
+  /// over the configured bulk path, charging the caller's virtual clock.
+  /// Intra-node transfers degrade to a memcpy. Returns the charged cost.
+  VirtNs bulk_transfer(NodeId src, NodeId dst, const std::uint8_t* data,
+                       std::size_t len, std::uint8_t* out);
+
+  RcConnection& connection(NodeId src, NodeId dst);
+
+  /// Optional per-message extra latency for fault-injection tests.
+  using DelayInjector = std::function<VirtNs(const Message&)>;
+  void set_delay_injector(DelayInjector injector) {
+    delay_injector_ = std::move(injector);
+  }
+
+  // ---- Aggregate statistics ----
+  std::uint64_t total_messages() const;
+  std::uint64_t total_bytes() const;
+  std::uint64_t total_rdma_ops() const;
+  std::uint64_t messages_of(MsgType type) const {
+    return type_counts_[static_cast<std::size_t>(type)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t pool_stalls() const;
+  void reset_counters();
+
+ private:
+  /// Models moving `msg` src->dst over VERB using the pooled buffers;
+  /// returns the virtual cost charged.
+  VirtNs transmit_small(RcConnection& conn, const Message& msg);
+  /// Models moving a bulk payload over the configured bulk path into the
+  /// destination; returns the virtual cost charged.
+  VirtNs transmit_bulk(RcConnection& conn, const std::uint8_t* data,
+                       std::size_t len, std::uint8_t* out);
+
+  FabricOptions options_;
+  // connections_[src * n + dst], src != dst.
+  std::vector<std::unique_ptr<RcConnection>> connections_;
+  std::array<Handler, static_cast<std::size_t>(MsgType::kMaxType)> handlers_;
+  std::array<std::atomic<std::uint64_t>,
+             static_cast<std::size_t>(MsgType::kMaxType)>
+      type_counts_{};
+  DelayInjector delay_injector_;
+};
+
+}  // namespace dex::net

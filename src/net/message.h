@@ -1,0 +1,173 @@
+// Wire messages of the DeX protocol. In the paper these travel over
+// InfiniBand RC connections; here they travel through the simulated fabric,
+// but the set of message types and their payloads mirror the kernel
+// implementation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace dex::net {
+
+enum class MsgType : std::uint16_t {
+  kInvalid = 0,
+
+  // --- Memory consistency protocol (§III-B) ---
+  kPageRequestRead,   // remote -> origin: fetch page + common ownership
+  kPageRequestWrite,  // remote -> origin: fetch page + exclusive ownership
+  kPageGrant,         // origin -> remote: ownership (+ data unless clean)
+  kPageRetry,         // origin -> remote: directory entry busy, back off
+  kRevokeOwnership,   // origin -> owner: invalidate/downgrade + write back
+
+  // --- VMA synchronization (§III-D) ---
+  kVmaInfoRequest,  // remote -> origin: on-demand VMA lookup
+  kVmaInfoReply,
+  kVmaUpdate,       // origin -> remotes: eager shrink/downgrade broadcast
+
+  // --- Thread migration (§III-A) ---
+  kMigrateThread,      // origin -> remote: execution context
+  kMigrateBack,        // remote -> origin: updated context
+  kRemoteWorkerSetup,  // origin -> remote: per-process bring-up
+
+  // --- Work delegation (§III-A) ---
+  kDelegateFutex,  // remote -> origin: futex_wait / futex_wake
+  kDelegateVmaOp,  // remote -> origin: mmap/munmap/mprotect at origin
+  kDelegateExit,   // origin -> remotes: process teardown
+
+  kMaxType,
+};
+
+const char* to_string(MsgType type);
+
+/// A message: fixed header + POD payload bytes. Payloads are packed/unpacked
+/// with the trivially-copyable helpers below, standing in for the kernel's
+/// struct-over-the-wire layouts.
+struct Message {
+  MsgType type = MsgType::kInvalid;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  /// Virtual timestamp at which the message was sent; the receiver's clock
+  /// observes (joins) this value.
+  VirtNs sent_at = 0;
+  std::vector<std::uint8_t> payload;
+
+  std::size_t wire_size() const { return kHeaderBytes + payload.size(); }
+  static constexpr std::size_t kHeaderBytes = 24;
+
+  template <typename T>
+  void set_payload(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    payload.resize(sizeof(T));
+    std::memcpy(payload.data(), &value, sizeof(T));
+  }
+
+  template <typename T>
+  T payload_as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DEX_CHECK_MSG(payload.size() >= sizeof(T), "payload too small");
+    T value;
+    std::memcpy(&value, payload.data(), sizeof(T));
+    return value;
+  }
+
+  void set_bytes(const void* data, std::size_t len) {
+    payload.resize(len);
+    if (len != 0) std::memcpy(payload.data(), data, len);
+  }
+};
+
+// ---- Payload structs (trivially copyable, fixed layout) ----
+
+struct PageRequestPayload {
+  std::uint64_t process_id;
+  GAddr page;
+  std::uint64_t known_version;  // version of the copy the requester holds
+  TaskId task;
+  /// After too many busy-entry retries the requester escalates to a
+  /// blocking acquire of the directory entry (forward progress).
+  std::uint8_t blocking;
+};
+
+enum class GrantKind : std::uint8_t {
+  kDataAndOwnership = 0,  // page data follows via the RDMA sink
+  kOwnershipOnly = 1,     // requester's copy is up to date (§III-B)
+  kRetry = 2,             // directory entry busy; back off and refault
+};
+
+struct PageGrantPayload {
+  GrantKind kind;
+  std::uint8_t padding[7];
+  std::uint64_t version;
+  VirtNs last_writer_ts;  // happens-before edge from the previous writer
+};
+
+struct RevokePayload {
+  std::uint64_t process_id;
+  GAddr page;
+  std::uint8_t downgrade_to_shared;  // 0: invalidate, 1: keep read copy
+};
+
+struct VmaRequestPayload {
+  std::uint64_t process_id;
+  GAddr addr;
+};
+
+struct VmaUpdatePayload {
+  std::uint64_t process_id;
+  GAddr start;
+  GAddr end;
+  std::uint8_t prot;
+  std::uint8_t op;  // 0 = remove (munmap), 1 = reprotect
+};
+
+struct FutexPayload {
+  std::uint64_t process_id;
+  GAddr addr;
+  std::uint32_t op;       // 0 = wait, 1 = wake
+  std::uint32_t pad;
+  std::uint64_t val;      // expected value / wake count
+  TaskId task;
+};
+
+struct FutexReplyPayload {
+  std::int32_t result;  // woken count for wake; 0/-EAGAIN style for wait
+};
+
+/// Execution context shipped on migration: the essentials of pt_regs plus
+/// task metadata. The register file is opaque payload from the fabric's
+/// point of view; its size drives the wire cost.
+struct MigratePayload {
+  std::uint64_t process_id;
+  TaskId task;
+  std::int32_t first_for_thread;
+  std::uint8_t regs[19 * 8];   // rax..r15, rip, rflags, fs_base
+  std::uint8_t fpstate[64];    // xsave header stand-in
+};
+
+struct MigrateAckPayload {
+  VirtNs remote_worker_ns;  // per-process bring-up charged at the remote
+  VirtNs thread_setup_ns;   // remote thread fork + context load
+};
+
+struct VmaOpPayload {
+  std::uint64_t process_id;
+  std::uint32_t op;  // 0 = mmap, 1 = munmap, 2 = mprotect
+  std::uint8_t prot;
+  std::uint8_t pad[3];
+  GAddr addr;
+  std::uint64_t length;
+  char tag[32];
+};
+
+struct VmaOpReplyPayload {
+  GAddr result;      // mmap: address
+  std::uint8_t ok;   // munmap/mprotect: success
+};
+
+}  // namespace dex::net

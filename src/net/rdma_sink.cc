@@ -1,0 +1,65 @@
+#include "net/rdma_sink.h"
+
+#include <cstring>
+
+#include "common/time_gate.h"
+
+namespace dex::net {
+
+RdmaSink::RdmaSink(std::size_t num_chunks, std::size_t chunk_size)
+    : num_chunks_(num_chunks),
+      chunk_size_(chunk_size),
+      storage_(std::make_unique<std::uint8_t[]>(num_chunks * chunk_size)) {
+  DEX_CHECK(num_chunks > 0 && chunk_size > 0);
+  free_chunks_.reserve(num_chunks);
+  for (std::size_t i = 0; i < num_chunks; ++i) {
+    free_chunks_.push_back(static_cast<int>(i));
+  }
+}
+
+SinkBuffer RdmaSink::reserve(bool* stalled) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stalled != nullptr) *stalled = free_chunks_.empty();
+  if (free_chunks_.empty()) {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    ScopedGateBlock gate_block("rdma_sink");
+    cv_.wait(lock, [&] { return !free_chunks_.empty(); });
+  }
+  const int chunk = free_chunks_.back();
+  free_chunks_.pop_back();
+  reserved_.fetch_add(1, std::memory_order_relaxed);
+  return SinkBuffer(this, chunk,
+                    storage_.get() + static_cast<std::size_t>(chunk) *
+                                         chunk_size_,
+                    chunk_size_);
+}
+
+std::size_t RdmaSink::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_chunks_.size();
+}
+
+void RdmaSink::release_chunk(int chunk) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_chunks_.push_back(chunk);
+  }
+  cv_.notify_one();
+}
+
+std::size_t SinkBuffer::copy_out_and_release(void* dst, std::size_t len) {
+  DEX_CHECK(valid());
+  const std::size_t n = len < size_ ? len : size_;
+  std::memcpy(dst, data_, n);
+  release();
+  return n;
+}
+
+void SinkBuffer::release() {
+  if (sink_ != nullptr) {
+    sink_->release_chunk(chunk_);
+    sink_ = nullptr;
+  }
+}
+
+}  // namespace dex::net

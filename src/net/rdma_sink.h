@@ -1,0 +1,96 @@
+// The RDMA sink (§III-E): a per-connection pool of pre-registered,
+// physically contiguous chunks into which the peer RDMA-writes bulk payloads
+// (page data). The receiver copies the payload from the sink to its final
+// destination and releases the chunk. This hybrid (one extra memcpy instead
+// of a per-page RDMA memory-region registration) is the paper's answer to
+// arbitrary, dynamically changing application address spaces.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace dex::net {
+
+class RdmaSink;
+
+/// RAII handle to a sink chunk "posted" for one RDMA write.
+class SinkBuffer {
+ public:
+  SinkBuffer() = default;
+  SinkBuffer(RdmaSink* sink, int chunk, std::uint8_t* data, std::size_t size)
+      : sink_(sink), chunk_(chunk), data_(data), size_(size) {}
+  SinkBuffer(SinkBuffer&& other) noexcept { *this = std::move(other); }
+  SinkBuffer& operator=(SinkBuffer&& other) noexcept {
+    release();
+    sink_ = other.sink_;
+    chunk_ = other.chunk_;
+    data_ = other.data_;
+    size_ = other.size_;
+    other.sink_ = nullptr;
+    return *this;
+  }
+  SinkBuffer(const SinkBuffer&) = delete;
+  SinkBuffer& operator=(const SinkBuffer&) = delete;
+  ~SinkBuffer() { release(); }
+
+  bool valid() const { return sink_ != nullptr; }
+  std::uint8_t* data() { return data_; }
+  std::size_t size() const { return size_; }
+
+  /// Copies the received payload to `dst` and releases the chunk, returning
+  /// the number of bytes copied. This is the "one memory copy" of the
+  /// hybrid scheme.
+  std::size_t copy_out_and_release(void* dst, std::size_t len);
+
+  void release();
+
+ private:
+  RdmaSink* sink_ = nullptr;
+  int chunk_ = -1;
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class RdmaSink {
+ public:
+  RdmaSink(std::size_t num_chunks, std::size_t chunk_size);
+  RdmaSink(const RdmaSink&) = delete;
+  RdmaSink& operator=(const RdmaSink&) = delete;
+
+  /// Reserves a chunk for an incoming RDMA write; blocks when all chunks
+  /// are in flight.
+  SinkBuffer reserve(bool* stalled = nullptr);
+
+  std::size_t capacity() const { return num_chunks_; }
+  std::size_t chunk_size() const { return chunk_size_; }
+  std::size_t available() const;
+  std::uint64_t total_reserved() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stall_count() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class SinkBuffer;
+  void release_chunk(int chunk);
+
+  const std::size_t num_chunks_;
+  const std::size_t chunk_size_;
+  std::unique_ptr<std::uint8_t[]> storage_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<int> free_chunks_;
+  std::atomic<std::uint64_t> reserved_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+};
+
+}  // namespace dex::net

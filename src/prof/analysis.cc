@@ -1,0 +1,144 @@
+#include "prof/analysis.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dex::prof {
+
+TraceAnalysis::TraceAnalysis(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  for (const FaultEvent& e : events_) {
+    const GAddr page = page_base(e.addr);
+    PageReport& pr = pages_[page];
+    pr.page = page;
+    if (pr.tag.empty() && e.tag[0] != '\0') pr.tag = e.tag;
+    SiteReport& sr = sites_[e.site];
+    sr.site = e.site;
+    if (sr.name.empty()) sr.name = SiteRegistry::instance().name(e.site);
+
+    switch (e.kind) {
+      case FaultKind::kRead:
+        ++pr.reads;
+        ++sr.reads;
+        break;
+      case FaultKind::kWrite:
+        ++pr.writes;
+        ++sr.writes;
+        break;
+      case FaultKind::kInvalidate:
+        ++pr.invalidations;
+        ++sr.invalidations;
+        break;
+      case FaultKind::kRetry:
+        ++pr.retries;
+        ++sr.retries;
+        ++retries_;
+        break;
+    }
+    if (e.node != kInvalidNode) pr.nodes.insert(e.node);
+    if (e.task >= 0) pr.tasks.insert(e.task);
+    pr.sites.insert(e.site);
+  }
+}
+
+std::vector<SiteReport> TraceAnalysis::top_sites(std::size_t limit) const {
+  std::vector<SiteReport> out;
+  out.reserve(sites_.size());
+  for (const auto& [_, report] : sites_) out.push_back(report);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.total() > b.total();
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<PageReport> TraceAnalysis::top_pages(std::size_t limit) const {
+  std::vector<PageReport> out;
+  out.reserve(pages_.size());
+  for (const auto& [_, report] : pages_) out.push_back(report);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.total() > b.total();
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<PageReport> TraceAnalysis::false_sharing_suspects(
+    std::size_t limit) const {
+  std::vector<PageReport> out;
+  for (const auto& [_, report] : pages_) {
+    if (report.conflicting()) out.push_back(report);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.total() > b.total();
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<std::uint64_t> TraceAnalysis::time_series(
+    VirtNs bucket_ns) const {
+  std::vector<std::uint64_t> buckets;
+  if (bucket_ns == 0) return buckets;
+  for (const FaultEvent& e : events_) {
+    const std::size_t idx = static_cast<std::size_t>(e.time / bucket_ns);
+    if (idx >= buckets.size()) buckets.resize(idx + 1, 0);
+    ++buckets[idx];
+  }
+  return buckets;
+}
+
+std::map<TaskId, std::uint64_t> TraceAnalysis::per_task() const {
+  std::map<TaskId, std::uint64_t> out;
+  for (const FaultEvent& e : events_) {
+    if (e.task >= 0) ++out[e.task];
+  }
+  return out;
+}
+
+std::map<std::string, std::uint64_t> TraceAnalysis::per_tag() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const FaultEvent& e : events_) {
+    ++out[e.tag[0] != '\0' ? std::string(e.tag) : std::string("<untagged>")];
+  }
+  return out;
+}
+
+std::string TraceAnalysis::format_report(std::size_t limit) const {
+  std::ostringstream os;
+  os << "=== DeX page-fault profile: " << events_.size() << " events, "
+     << retries_ << " retries ===\n";
+
+  os << "\n-- hottest fault sites --\n";
+  for (const SiteReport& s : top_sites(limit)) {
+    os << "  " << s.name << ": " << s.total() << " faults (" << s.reads
+       << "r/" << s.writes << "w/" << s.retries << " retry)\n";
+  }
+
+  os << "\n-- hottest pages --\n";
+  for (const PageReport& p : top_pages(limit)) {
+    os << "  0x" << std::hex << p.page << std::dec << " ["
+       << (p.tag.empty() ? "?" : p.tag) << "]: " << p.total() << " faults, "
+       << p.nodes.size() << " nodes, " << p.tasks.size() << " tasks"
+       << (p.conflicting() ? "  ** CONTENDED **" : "") << "\n";
+  }
+
+  os << "\n-- false-sharing suspects --\n";
+  for (const PageReport& p : false_sharing_suspects(limit)) {
+    os << "  0x" << std::hex << p.page << std::dec << " ["
+       << (p.tag.empty() ? "?" : p.tag) << "]: " << p.writes << " writes / "
+       << p.reads << " reads from " << p.nodes.size() << " nodes; sites:";
+    for (std::uint32_t site : p.sites) {
+      os << " " << SiteRegistry::instance().name(site);
+    }
+    os << "\n";
+  }
+
+  os << "\n-- faults per object (VMA tag) --\n";
+  for (const auto& [tag, count] : per_tag()) {
+    os << "  " << tag << ": " << count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dex::prof

@@ -1,0 +1,89 @@
+// Post-processing of page-fault traces (§IV-A).
+//
+// The paper's tool combines the raw ftrace dump with the binary's debug
+// info to produce "a rich set of analyses, such as identifying the program
+// objects or source code locations that caused the most page faults, page
+// fault frequency over time, per-thread memory access patterns, etc.".
+// This is that tool over our in-memory trace: hot sites, hot pages,
+// false-sharing suspects (pages with conflicting access from multiple
+// nodes/sites), fault-rate time series and per-task breakdowns.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "prof/trace.h"
+
+namespace dex::prof {
+
+struct SiteReport {
+  std::uint32_t site = 0;
+  std::string name;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t total() const { return reads + writes + retries; }
+};
+
+struct PageReport {
+  GAddr page = 0;
+  std::string tag;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t retries = 0;
+  std::set<NodeId> nodes;
+  std::set<std::uint32_t> sites;
+  std::set<TaskId> tasks;
+
+  std::uint64_t total() const { return reads + writes + retries; }
+  /// A false-sharing / contention suspect: multiple nodes touch the page
+  /// and at least one of them writes (§IV-B's co-located per-node data, or
+  /// §IV-C's contended global objects).
+  bool conflicting() const { return nodes.size() > 1 && writes > 0; }
+};
+
+class TraceAnalysis {
+ public:
+  explicit TraceAnalysis(std::vector<FaultEvent> events);
+
+  /// Source locations causing the most protocol faults, descending.
+  std::vector<SiteReport> top_sites(std::size_t limit = 10) const;
+
+  /// Pages causing the most protocol faults, descending.
+  std::vector<PageReport> top_pages(std::size_t limit = 10) const;
+
+  /// Pages with conflicting cross-node access — the optimization targets
+  /// of §IV-B/§IV-C, ranked by fault count.
+  std::vector<PageReport> false_sharing_suspects(
+      std::size_t limit = 10) const;
+
+  /// Fault counts per `bucket_ns` of virtual time (fault frequency over
+  /// time).
+  std::vector<std::uint64_t> time_series(VirtNs bucket_ns) const;
+
+  /// Per-task fault counts (per-thread memory access patterns).
+  std::map<TaskId, std::uint64_t> per_task() const;
+
+  /// Faults grouped by VMA tag (per program object).
+  std::map<std::string, std::uint64_t> per_tag() const;
+
+  std::size_t event_count() const { return events_.size(); }
+  std::uint64_t retry_count() const { return retries_; }
+
+  /// Human-readable summary, the tool's CLI-style output.
+  std::string format_report(std::size_t limit = 10) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::map<GAddr, PageReport> pages_;
+  std::map<std::uint32_t, SiteReport> sites_;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace dex::prof

@@ -1,0 +1,41 @@
+#include "prof/trace.h"
+
+namespace dex::prof {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kRead: return "read";
+    case FaultKind::kWrite: return "write";
+    case FaultKind::kInvalidate: return "invalidate";
+    case FaultKind::kRetry: return "retry";
+  }
+  return "?";
+}
+
+SiteRegistry& SiteRegistry::instance() {
+  static SiteRegistry registry;
+  return registry;
+}
+
+std::uint32_t SiteRegistry::intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  names_.push_back(name);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+std::string SiteRegistry::name(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < names_.size() ? names_[id] : "<invalid>";
+}
+
+namespace {
+thread_local std::uint32_t tls_site = 0;
+}
+
+std::uint32_t current_site() { return tls_site; }
+void set_current_site(std::uint32_t site) { tls_site = site; }
+
+}  // namespace dex::prof

@@ -1,0 +1,316 @@
+// Unit tests for the common substrate: radix tree, histogram, RNGs,
+// generators, virtual clocks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/histogram.h"
+#include "common/radix_tree.h"
+#include "common/rand.h"
+#include "common/rmat.h"
+#include "common/textgen.h"
+#include "common/virtual_clock.h"
+
+namespace dex {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RadixTree
+// ---------------------------------------------------------------------------
+
+TEST(RadixTree, LookupMissingReturnsNull) {
+  RadixTree<int> tree;
+  EXPECT_EQ(tree.lookup(0), nullptr);
+  EXPECT_EQ(tree.lookup(12345), nullptr);
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(RadixTree, GetOrCreateRoundTrips) {
+  RadixTree<int> tree;
+  tree.get_or_create(42) = 7;
+  ASSERT_NE(tree.lookup(42), nullptr);
+  EXPECT_EQ(*tree.lookup(42), 7);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RadixTree, DistinguishesNearbyAndFarKeys) {
+  RadixTree<std::uint64_t> tree;
+  const std::uint64_t keys[] = {0, 1, 63, 64, 65, 4095, 4096,
+                                std::uint64_t{1} << 40,
+                                (std::uint64_t{1} << 52) - 1};
+  for (const auto k : keys) tree.get_or_create(k) = k * 3 + 1;
+  for (const auto k : keys) {
+    ASSERT_NE(tree.lookup(k), nullptr) << k;
+    EXPECT_EQ(*tree.lookup(k), k * 3 + 1);
+  }
+  EXPECT_EQ(tree.size(), std::size(keys));
+}
+
+TEST(RadixTree, EraseRemovesOnlyTarget) {
+  RadixTree<int> tree;
+  tree.get_or_create(10) = 1;
+  tree.get_or_create(11) = 2;
+  EXPECT_TRUE(tree.erase(10));
+  EXPECT_FALSE(tree.erase(10));
+  EXPECT_EQ(tree.lookup(10), nullptr);
+  ASSERT_NE(tree.lookup(11), nullptr);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RadixTree, ForEachVisitsInKeyOrder) {
+  RadixTree<int> tree;
+  for (const std::uint64_t k : {900u, 5u, 77u, 4096u, 12u}) {
+    tree.get_or_create(k) = static_cast<int>(k);
+  }
+  std::vector<std::uint64_t> seen;
+  tree.for_each([&](std::uint64_t k, int& v) {
+    seen.push_back(k);
+    EXPECT_EQ(v, static_cast<int>(k));
+  });
+  const std::vector<std::uint64_t> expect = {5, 12, 77, 900, 4096};
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(RadixTree, SparseStressAgainstStdMap) {
+  RadixTree<std::uint64_t> tree;
+  std::map<std::uint64_t, std::uint64_t> model;
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t key = rng.next() >> (rng.next_below(40));
+    const std::uint64_t masked = key & ((std::uint64_t{1} << 52) - 1);
+    if (rng.next_below(4) == 0) {
+      EXPECT_EQ(tree.erase(masked), model.erase(masked) > 0);
+    } else {
+      tree.get_or_create(masked) = i;
+      model[masked] = static_cast<std::uint64_t>(i);
+    }
+  }
+  EXPECT_EQ(tree.size(), model.size());
+  for (const auto& [k, v] : model) {
+    ASSERT_NE(tree.lookup(k), nullptr);
+    EXPECT_EQ(*tree.lookup(k), v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BasicStats) {
+  LatencyHistogram h;
+  for (const std::uint64_t v : {100u, 200u, 300u}) h.record(v);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 300u);
+}
+
+TEST(Histogram, PercentileApproximation) {
+  LatencyHistogram h;
+  for (int i = 0; i < 900; ++i) h.record(1000);
+  for (int i = 0; i < 100; ++i) h.record(100000);
+  // p50 near 1000 (within one bucket), p99 near 100000.
+  EXPECT_LE(h.percentile(0.5), 2000u);
+  EXPECT_GE(h.percentile(0.99), 60000u);
+}
+
+TEST(Histogram, DetectsBimodalDistribution) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(19000 + (i % 100));
+  for (int i = 0; i < 300; ++i) h.record(159000 + (i % 100));
+  const auto modes = h.modes(0.05);
+  ASSERT_GE(modes.size(), 2u);
+  // One mode in each cluster.
+  bool low = false, high = false;
+  for (const auto m : modes) {
+    if (m > 10000 && m < 40000) low = true;
+    if (m > 100000 && m < 300000) high = true;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(Histogram, ThreadSafeRecording) {
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 10000; ++i) h.record(500);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 40000u);
+}
+
+// ---------------------------------------------------------------------------
+// RNGs
+// ---------------------------------------------------------------------------
+
+TEST(NpbRand, MatchesReferenceFirstValues) {
+  // randlc with the EP seed: values must lie in (0,1) and be reproducible.
+  NpbRand a(271828183.0), b(271828183.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double va = a.next();
+    EXPECT_GT(va, 0.0);
+    EXPECT_LT(va, 1.0);
+    EXPECT_DOUBLE_EQ(va, b.next());
+  }
+}
+
+TEST(NpbRand, SkipMatchesSequentialAdvance) {
+  NpbRand seq(271828183.0);
+  for (int i = 0; i < 777; ++i) seq.next();
+  NpbRand jump(271828183.0);
+  jump.skip(777);
+  EXPECT_DOUBLE_EQ(seq.next(), jump.next());
+}
+
+TEST(Xoshiro, DoublesInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R-MAT / CSR
+// ---------------------------------------------------------------------------
+
+TEST(Rmat, GeneratesRequestedEdgeCount) {
+  RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 4;
+  const auto edges = generate_rmat(params);
+  EXPECT_EQ(edges.size(), (1u << 10) * 4u);
+  for (const auto& e : edges) {
+    EXPECT_LT(e.src, 1u << 10);
+    EXPECT_LT(e.dst, 1u << 10);
+  }
+}
+
+TEST(Rmat, DeterministicForSeed) {
+  RmatParams params;
+  params.scale = 8;
+  const auto a = generate_rmat(params);
+  const auto b = generate_rmat(params);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  // R-MAT with Graph500 parameters is heavy-tailed: the max degree should
+  // far exceed the average.
+  RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 8;
+  const auto csr = build_csr(1u << 12, generate_rmat(params), true);
+  std::uint64_t max_deg = 0;
+  for (std::uint32_t v = 0; v < csr.num_vertices; ++v) {
+    max_deg = std::max(max_deg, csr.degree(v));
+  }
+  const double avg = static_cast<double>(csr.num_edges()) /
+                     csr.num_vertices;
+  EXPECT_GT(static_cast<double>(max_deg), 8.0 * avg);
+}
+
+TEST(Csr, SymmetrizeDropsSelfLoopsAndMirrors) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 1}, {2, 0}};
+  const auto csr = build_csr(3, edges, true);
+  EXPECT_EQ(csr.num_edges(), 4u);  // 0-1, 1-0, 2-0, 0-2
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.degree(1), 1u);
+  EXPECT_EQ(csr.degree(2), 1u);
+}
+
+TEST(Csr, OffsetsConsistent) {
+  RmatParams params;
+  params.scale = 9;
+  const auto csr = build_csr(1u << 9, generate_rmat(params), false);
+  EXPECT_EQ(csr.offsets.front(), 0u);
+  EXPECT_EQ(csr.offsets.back(), csr.num_edges());
+  for (std::uint32_t v = 0; v < csr.num_vertices; ++v) {
+    EXPECT_LE(csr.offsets[v], csr.offsets[v + 1]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Text generator
+// ---------------------------------------------------------------------------
+
+TEST(TextGen, PlantedCountsAreExact) {
+  TextGenParams params;
+  params.bytes = 1 << 18;
+  const auto text = generate_text(params);
+  ASSERT_EQ(text.key_counts.size(), params.keys.size());
+  for (std::size_t k = 0; k < params.keys.size(); ++k) {
+    EXPECT_EQ(count_occurrences(text.data.data(), text.data.size(),
+                                params.keys[k]),
+              text.key_counts[k])
+        << params.keys[k];
+    EXPECT_GT(text.key_counts[k], 0u);
+  }
+}
+
+TEST(TextGen, DeterministicForSeed) {
+  TextGenParams params;
+  params.bytes = 4096;
+  const auto a = generate_text(params);
+  const auto b = generate_text(params);
+  EXPECT_EQ(a.data, b.data);
+  EXPECT_EQ(a.key_counts, b.key_counts);
+}
+
+TEST(TextGen, CountOccurrencesHandlesOverlaps) {
+  const char* s = "aaaa";
+  EXPECT_EQ(count_occurrences(s, 4, "aa"), 3u);
+  EXPECT_EQ(count_occurrences(s, 4, "aaaa"), 1u);
+  EXPECT_EQ(count_occurrences(s, 4, "aaaaa"), 0u);
+  EXPECT_EQ(count_occurrences(s, 4, ""), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// VirtualClock
+// ---------------------------------------------------------------------------
+
+TEST(VirtualClock, AdvanceAndObserve) {
+  VirtualClock clock;
+  clock.advance(100);
+  EXPECT_EQ(clock.now(), 100u);
+  clock.observe(50);  // in the past: no-op
+  EXPECT_EQ(clock.now(), 100u);
+  clock.observe(500);
+  EXPECT_EQ(clock.now(), 500u);
+}
+
+TEST(VirtualClock, ThreadLocalBindingIsScoped) {
+  VirtualClock mine(1000);
+  {
+    ScopedClockBinding bind(&mine);
+    EXPECT_EQ(vclock::now(), 1000u);
+    vclock::advance(5);
+    EXPECT_EQ(mine.now(), 1005u);
+  }
+  // Fallback clock restored; advancing it must not touch `mine`.
+  vclock::advance(7);
+  EXPECT_EQ(mine.now(), 1005u);
+}
+
+TEST(VirtualClock, ObserveIsMonotonicUnderRaces) {
+  VirtualClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&clock, t] {
+      for (int i = 0; i < 10000; ++i) {
+        clock.observe(static_cast<VirtNs>(t * 10000 + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(clock.now(), 79999u);
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,91 @@
+// §VII extensions: scheduler-initiated (least-loaded) migration and
+// computation-near-data placement.
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+
+namespace dex {
+namespace {
+
+class ExtensionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_nodes = 4;
+    cluster_ = std::make_unique<Cluster>(config);
+    process_ = cluster_->create_process(ProcessOptions{});
+  }
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Process> process_;
+};
+
+TEST_F(ExtensionTest, LeastLoadedMigrationSpreadsThreads) {
+  constexpr int kThreads = 8;
+  DexBarrier barrier(*process_, kThreads);
+  std::array<std::atomic<int>, 4> placement{};
+  std::vector<DexThread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(process_->spawn([&] {
+      process_->migrate_to_least_loaded();
+      placement[static_cast<std::size_t>(current_node())].fetch_add(1);
+      barrier.wait();  // hold position until everyone placed
+      migrate_back();
+    }));
+  }
+  for (auto& t : threads) t.join();
+  // 8 threads over 4 nodes: balanced placement, 2 per node.
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(placement[static_cast<std::size_t>(n)].load(), 2) << n;
+  }
+}
+
+TEST_F(ExtensionTest, ProbeDataLocationTracksExclusiveOwner) {
+  GArray<std::uint64_t> data(*process_, 512, "probe");
+  data.set(0, 1);  // origin takes exclusive ownership
+  EXPECT_EQ(process_->probe_data_location(data.addr(0)), 0);
+
+  DexThread writer = process_->spawn([&] {
+    migrate(3);
+    data.set(0, 2);  // node 3 takes exclusive ownership
+    migrate_back();
+  });
+  writer.join();
+  EXPECT_EQ(process_->probe_data_location(data.addr(0)), 3);
+
+  // A read from the origin downgrades to shared: data considered homed.
+  EXPECT_EQ(data.get(0), 2u);
+  EXPECT_EQ(process_->probe_data_location(data.addr(0)), 0);
+}
+
+TEST_F(ExtensionTest, MigrateToDataMovesComputationNearData) {
+  GArray<std::uint64_t> data(*process_, kPageSize / 8, "near");
+  // Node 2 produces the data.
+  DexThread producer = process_->spawn([&] {
+    migrate(2);
+    for (std::size_t i = 0; i < data.size(); ++i) data.set(i, i * 2);
+    migrate_back();
+  });
+  producer.join();
+
+  // A consumer relocates itself next to the data before scanning it: its
+  // reads become node-local (no wire traffic for the scan itself).
+  auto& stats = process_->dsm().stats();
+  DexThread consumer = process_->spawn([&] {
+    const NodeId where = process_->migrate_to_data(data.addr(0));
+    EXPECT_EQ(where, 2);
+    const auto remote_before = stats.remote_faults.load();
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) sum += data.get(i);
+    EXPECT_EQ(sum, (data.size() - 1) * data.size());
+    EXPECT_EQ(stats.remote_faults.load(), remote_before);
+    migrate_back();
+  });
+  consumer.join();
+}
+
+TEST_F(ExtensionTest, ProbeUnmappedAddressDefaultsToOrigin) {
+  EXPECT_EQ(process_->probe_data_location(0xdead000), 0);
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,126 @@
+// Leader-follower fault coalescing (§III-C) — including the regression for
+// the completed-entry livelock: joiners that find a completed round must
+// lead a fresh one, never absorb the stale completion.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mem/fault_table.h"
+
+namespace dex::mem {
+namespace {
+
+TEST(FaultTable, FirstJoinerLeads) {
+  FaultTable table;
+  const auto join = table.join(0x1000, Access::kRead);
+  EXPECT_TRUE(join.is_leader);
+  ASSERT_NE(join.token, nullptr);
+  EXPECT_EQ(table.in_flight(), 1u);
+  table.complete(join, 0x1000, Access::kRead, 42);
+  EXPECT_EQ(table.in_flight(), 0u);
+}
+
+TEST(FaultTable, DifferentAccessTypesDoNotCoalesce) {
+  FaultTable table;
+  const auto reader = table.join(0x1000, Access::kRead);
+  const auto writer = table.join(0x1000, Access::kWrite);
+  EXPECT_TRUE(reader.is_leader);
+  EXPECT_TRUE(writer.is_leader);
+  EXPECT_EQ(table.in_flight(), 2u);
+  table.complete(reader, 0x1000, Access::kRead, 1);
+  table.complete(writer, 0x1000, Access::kWrite, 2);
+}
+
+TEST(FaultTable, DifferentPagesDoNotCoalesce) {
+  FaultTable table;
+  const auto a = table.join(0x1000, Access::kRead);
+  const auto b = table.join(0x2000, Access::kRead);
+  EXPECT_TRUE(a.is_leader);
+  EXPECT_TRUE(b.is_leader);
+  table.complete(a, 0x1000, Access::kRead, 1);
+  table.complete(b, 0x2000, Access::kRead, 1);
+}
+
+TEST(FaultTable, FollowersBlockUntilLeaderCompletes) {
+  FaultTable table;
+  const auto lead = table.join(0x3000, Access::kWrite);
+  ASSERT_TRUE(lead.is_leader);
+
+  std::atomic<int> finished{0};
+  std::vector<std::thread> followers;
+  for (int i = 0; i < 4; ++i) {
+    followers.emplace_back([&] {
+      const auto join = table.join(0x3000, Access::kWrite);
+      EXPECT_FALSE(join.is_leader);
+      EXPECT_EQ(join.completion_ts, 777u);
+      finished.fetch_add(1);
+    });
+  }
+  while (table.coalesced_count() < 4) std::this_thread::yield();
+  EXPECT_EQ(finished.load(), 0);
+  table.complete(lead, 0x3000, Access::kWrite, 777);
+  for (auto& t : followers) t.join();
+  EXPECT_EQ(finished.load(), 4);
+  EXPECT_EQ(table.coalesced_count(), 4u);
+}
+
+TEST(FaultTable, JoinAfterCompletionLeadsFreshRound) {
+  // Regression: a completed entry must not absorb new joiners. Under
+  // ping-pong contention that spins forever without re-running the
+  // protocol.
+  FaultTable table;
+  const auto first = table.join(0x4000, Access::kWrite);
+  table.complete(first, 0x4000, Access::kWrite, 10);
+
+  const auto second = table.join(0x4000, Access::kWrite);
+  EXPECT_TRUE(second.is_leader) << "stale completed round was joined";
+  EXPECT_NE(second.token, first.token);
+  table.complete(second, 0x4000, Access::kWrite, 20);
+}
+
+TEST(FaultTable, CompleteOnlyRetiresOwnRound) {
+  FaultTable table;
+  const auto old_round = table.join(0x5000, Access::kRead);
+  table.complete(old_round, 0x5000, Access::kRead, 1);
+  const auto new_round = table.join(0x5000, Access::kRead);
+  ASSERT_TRUE(new_round.is_leader);
+  // A late duplicate complete of the old round must not remove the new one.
+  table.complete(old_round, 0x5000, Access::kRead, 1);
+  EXPECT_EQ(table.in_flight(), 1u);
+  table.complete(new_round, 0x5000, Access::kRead, 2);
+  EXPECT_EQ(table.in_flight(), 0u);
+}
+
+TEST(FaultTable, ConcurrentChurnElectsExactlyOneLeaderPerRound) {
+  FaultTable table;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 500;
+  std::atomic<int> leaders{0};
+  std::atomic<int> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        const auto join = table.join(0x6000, Access::kWrite);
+        total.fetch_add(1);
+        if (join.is_leader) {
+          leaders.fetch_add(1);
+          table.complete(join, 0x6000, Access::kWrite,
+                         static_cast<VirtNs>(r));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total.load(), kThreads * kRounds);
+  EXPECT_GT(leaders.load(), 0);
+  // Every follower was woken by some leader's completion.
+  EXPECT_EQ(table.in_flight(), 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(total.load() - leaders.load()),
+            table.coalesced_count());
+}
+
+}  // namespace
+}  // namespace dex::mem

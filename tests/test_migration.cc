@@ -1,0 +1,162 @@
+// Thread-migration semantics (§III-A, Table II / Figure 3).
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+
+namespace dex {
+namespace {
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_nodes = 4;
+    cluster_ = std::make_unique<Cluster>(config);
+    process_ = cluster_->create_process(ProcessOptions{});
+  }
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Process> process_;
+};
+
+TEST_F(MigrationTest, ThreadObservesItsCurrentNode) {
+  DexThread t = process_->spawn([&] {
+    EXPECT_EQ(current_node(), 0);
+    migrate(2);
+    EXPECT_EQ(current_node(), 2);
+    migrate(1);  // remote-to-remote migration is allowed
+    EXPECT_EQ(current_node(), 1);
+    migrate_back();
+    EXPECT_EQ(current_node(), 0);
+  });
+  t.join();
+}
+
+TEST_F(MigrationTest, MigrateToCurrentNodeIsNoOp) {
+  DexThread t = process_->spawn([&] {
+    const VirtNs before = now();
+    migrate(0);  // already there
+    EXPECT_EQ(now(), before);
+  });
+  t.join();
+  EXPECT_TRUE(process_->migration_log().empty());
+}
+
+TEST_F(MigrationTest, FirstMigrationPaysRemoteWorkerSetup) {
+  DexThread t = process_->spawn([&] {
+    migrate(1);
+    migrate_back();
+    migrate(1);  // remote worker already exists
+    migrate_back();
+  });
+  t.join();
+
+  const auto log = process_->migration_log();
+  ASSERT_EQ(log.size(), 4u);
+  const auto& first = log[0];
+  const auto& second = log[2];
+  EXPECT_FALSE(first.backward);
+  EXPECT_TRUE(first.first_on_node);
+  EXPECT_GT(first.remote_worker_ns, 0u);
+  EXPECT_FALSE(second.first_on_node);
+  EXPECT_EQ(second.remote_worker_ns, 0u);
+  // Table II: the 1st forward migration is several times the 2nd.
+  EXPECT_GT(first.total_ns, 2 * second.total_ns);
+  // Backward migrations are an order of magnitude cheaper than forward.
+  EXPECT_LT(log[1].total_ns, second.total_ns / 2);
+  EXPECT_TRUE(log[1].backward);
+}
+
+TEST_F(MigrationTest, RemoteWorkerSharedAcrossThreads) {
+  // Thread A's migration creates the per-process remote worker on node 2;
+  // thread B's later migration there must take the cheap path.
+  DexThread a = process_->spawn([&] {
+    migrate(2);
+    migrate_back();
+  });
+  a.join();
+  EXPECT_TRUE(process_->remote_worker_exists(2));
+  EXPECT_FALSE(process_->remote_worker_exists(3));
+
+  DexThread b = process_->spawn([&] {
+    migrate(2);
+    migrate_back();
+  });
+  b.join();
+
+  const auto log = process_->migration_log();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_TRUE(log[0].first_on_node);
+  EXPECT_FALSE(log[2].first_on_node);  // B reused A's remote worker
+  EXPECT_GT(log[2].thread_setup_ns, 0u);
+}
+
+TEST_F(MigrationTest, MigrationChargesCallerClock) {
+  VirtNs spent = 0;
+  DexThread t = process_->spawn([&] {
+    const VirtNs before = now();
+    migrate(3);
+    spent = now() - before;
+    migrate_back();
+  });
+  t.join();
+  const auto& cost = cluster_->cost();
+  // First forward migration: collect + transfer + worker + thread setup.
+  EXPECT_GT(spent, cost.remote_worker_setup_ns);
+  EXPECT_LT(spent, 2 * (cost.remote_worker_setup_ns +
+                        cost.remote_thread_setup_first_ns +
+                        cost.migrate_collect_first_ns + 100000));
+}
+
+TEST_F(MigrationTest, NodeLoadTracksThreadPlacement) {
+  auto& load = cluster_->node_load();
+  DexBarrier barrier(*process_, 2);
+  DexThread t = process_->spawn([&] {
+    migrate(1);
+    barrier.wait();  // parked at node 1
+    barrier.wait();
+    migrate_back();
+  });
+  DexThread observer = process_->spawn([&] {
+    barrier.wait();
+    EXPECT_GE(load.on(1), 1);
+    barrier.wait();
+  });
+  t.join();
+  observer.join();
+  EXPECT_EQ(load.on(1), 0);
+  EXPECT_EQ(load.on(0), 0);  // all threads exited
+}
+
+TEST_F(MigrationTest, SubsequentMigrationsMatchSecondCost) {
+  DexThread t = process_->spawn([&] {
+    for (int i = 0; i < 5; ++i) {
+      migrate(1);
+      migrate_back();
+    }
+  });
+  t.join();
+  const auto log = process_->migration_log();
+  ASSERT_EQ(log.size(), 10u);
+  const VirtNs second = log[2].total_ns;
+  for (std::size_t i = 4; i < log.size(); i += 2) {
+    EXPECT_EQ(log[i].total_ns, second) << i;
+  }
+}
+
+TEST_F(MigrationTest, DelegatedMmapFromRemote) {
+  GAddr addr = kNullGAddr;
+  DexThread t = process_->spawn([&] {
+    migrate(2);
+    // VMA manipulation from a remote thread: delegated to the origin.
+    addr = process_->mmap(kPageSize, mem::kProtReadWrite, "remote-mmap");
+    process_->store<int>(addr, 77);
+    migrate_back();
+  });
+  t.join();
+  ASSERT_NE(addr, kNullGAddr);
+  EXPECT_EQ(process_->load<int>(addr), 77);
+  EXPECT_GT(process_->delegation_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dex

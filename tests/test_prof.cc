@@ -1,0 +1,165 @@
+// Profiling toolchain tests (§IV): trace capture, site interning, and the
+// post-processing analyses.
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "prof/analysis.h"
+
+namespace dex::prof {
+namespace {
+
+FaultEvent make_event(VirtNs t, NodeId node, TaskId task, FaultKind kind,
+                      std::uint32_t site, GAddr addr, const char* tag) {
+  FaultEvent e;
+  e.time = t;
+  e.node = node;
+  e.task = task;
+  e.kind = kind;
+  e.site = site;
+  e.addr = addr;
+  e.set_tag(tag);
+  return e;
+}
+
+TEST(SiteRegistry, InternsAndResolves) {
+  auto& reg = SiteRegistry::instance();
+  const auto a = reg.intern("test:alpha");
+  const auto b = reg.intern("test:beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.intern("test:alpha"), a);  // idempotent
+  EXPECT_EQ(reg.name(a), "test:alpha");
+  EXPECT_EQ(reg.name(0), "<unknown>");
+}
+
+TEST(ScopedSiteTest, NestsAndRestores) {
+  const auto outer_before = current_site();
+  {
+    ScopedSite outer("test:outer");
+    const auto outer_id = current_site();
+    {
+      ScopedSite inner("test:inner");
+      EXPECT_NE(current_site(), outer_id);
+    }
+    EXPECT_EQ(current_site(), outer_id);
+  }
+  EXPECT_EQ(current_site(), outer_before);
+}
+
+TEST(FaultTraceTest, DisabledRecordsNothing) {
+  FaultTrace trace;
+  trace.record(make_event(1, 0, 0, FaultKind::kRead, 0, 0x1000, "x"));
+  EXPECT_EQ(trace.size(), 0u);
+  trace.enable();
+  trace.record(make_event(1, 0, 0, FaultKind::kRead, 0, 0x1000, "x"));
+  EXPECT_EQ(trace.size(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto hot = SiteRegistry::instance().intern("test:hot_loop");
+    const auto cold = SiteRegistry::instance().intern("test:cold");
+    // Page A: written from two nodes (false sharing); page B: single node.
+    for (int i = 0; i < 10; ++i) {
+      events_.push_back(make_event(
+          static_cast<VirtNs>(i) * 1000, i % 2, i % 4,
+          i % 2 ? FaultKind::kWrite : FaultKind::kRead, hot,
+          0x10000 + static_cast<GAddr>(i), "pageA"));
+    }
+    events_.push_back(make_event(500, 0, 1, FaultKind::kRead, cold, 0x20008,
+                                 "pageB"));
+    events_.push_back(
+        make_event(9000, 1, -1, FaultKind::kInvalidate, 0, 0x10000, ""));
+    events_.push_back(
+        make_event(9500, 1, 2, FaultKind::kRetry, hot, 0x10010, "pageA"));
+  }
+  std::vector<FaultEvent> events_;
+};
+
+TEST_F(AnalysisTest, TopPagesRankedByFaults) {
+  TraceAnalysis analysis(events_);
+  const auto pages = analysis.top_pages(10);
+  ASSERT_GE(pages.size(), 2u);
+  EXPECT_EQ(pages[0].page, 0x10000u);
+  EXPECT_GT(pages[0].total(), pages[1].total());
+  EXPECT_EQ(pages[0].tag, "pageA");
+}
+
+TEST_F(AnalysisTest, FalseSharingDetectsMultiNodeWrites) {
+  TraceAnalysis analysis(events_);
+  const auto suspects = analysis.false_sharing_suspects(10);
+  ASSERT_EQ(suspects.size(), 1u);  // only page A conflicts
+  EXPECT_EQ(suspects[0].page, 0x10000u);
+  EXPECT_EQ(suspects[0].nodes.size(), 2u);
+}
+
+TEST_F(AnalysisTest, SiteReportAggregatesKinds) {
+  TraceAnalysis analysis(events_);
+  const auto sites = analysis.top_sites(10);
+  ASSERT_FALSE(sites.empty());
+  EXPECT_EQ(sites[0].name, "test:hot_loop");
+  EXPECT_EQ(sites[0].reads + sites[0].writes, 10u);
+  EXPECT_EQ(sites[0].retries, 1u);
+}
+
+TEST_F(AnalysisTest, TimeSeriesBucketsByVirtualTime) {
+  TraceAnalysis analysis(events_);
+  const auto series = analysis.time_series(1000);
+  ASSERT_GE(series.size(), 10u);
+  EXPECT_EQ(series[0], 2u);  // t=0 and t=500 events
+  EXPECT_EQ(series[9], 3u);  // t=9000 (x2: write + invalidate) and t=9500
+}
+
+TEST_F(AnalysisTest, PerTaskSkipsAnonymous) {
+  TraceAnalysis analysis(events_);
+  const auto per_task = analysis.per_task();
+  std::uint64_t total = 0;
+  for (const auto& [task, count] : per_task) {
+    EXPECT_GE(task, 0);
+    total += count;
+  }
+  EXPECT_EQ(total, events_.size() - 1);  // the invalidate has task -1
+}
+
+TEST_F(AnalysisTest, FormatReportMentionsContention) {
+  TraceAnalysis analysis(events_);
+  const std::string report = analysis.format_report();
+  EXPECT_NE(report.find("CONTENDED"), std::string::npos);
+  EXPECT_NE(report.find("test:hot_loop"), std::string::npos);
+  EXPECT_NE(report.find("pageA"), std::string::npos);
+}
+
+TEST(EndToEndTrace, DsmFaultsProduceSixTuples) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster cluster(config);
+  auto process = cluster.create_process(ProcessOptions{});
+  process->trace().enable();
+
+  GArray<int> arr(*process, 1024, "traced");
+  DexThread t = process->spawn([&] {
+    migrate(1);
+    ScopedSite site("test:traced_loop");
+    arr.set(0, 5);
+    migrate_back();
+  });
+  t.join();
+
+  const auto events = process->trace().snapshot();
+  ASSERT_FALSE(events.empty());
+  bool saw_remote_write = false;
+  for (const auto& e : events) {
+    if (e.node == 1 && e.kind == FaultKind::kWrite) {
+      saw_remote_write = true;
+      EXPECT_STREQ(e.tag, "traced");
+      EXPECT_EQ(SiteRegistry::instance().name(e.site), "test:traced_loop");
+      EXPECT_GT(e.time, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_remote_write);
+}
+
+}  // namespace
+}  // namespace dex::prof

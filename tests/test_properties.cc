@@ -1,0 +1,153 @@
+// Parameterized property tests over the DSM protocol: randomized workloads
+// swept across cluster shapes, checked against a sequential reference model
+// and the directory invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rand.h"
+#include "core/api.h"
+
+namespace dex {
+namespace {
+
+struct Shape {
+  int nodes;
+  int threads;
+  bool coalesce;
+};
+
+class ProtocolProperty : public ::testing::TestWithParam<Shape> {};
+
+// Property: per-slot single-writer histories. Each thread owns a disjoint
+// slot set scattered across shared pages; after any interleaving of writes
+// and migrations, every slot holds its owner's last write.
+TEST_P(ProtocolProperty, SingleWriterSlotsAlwaysConverge) {
+  const Shape shape = GetParam();
+  ClusterConfig config;
+  config.num_nodes = shape.nodes;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.coalesce_faults = shape.coalesce;
+  auto process = cluster.create_process(options);
+
+  constexpr std::size_t kSlots = 4096;  // 8 pages, heavily interleaved
+  GArray<std::uint64_t> slots(*process, kSlots, "slots");
+
+  std::vector<DexThread> threads;
+  for (int t = 0; t < shape.threads; ++t) {
+    threads.push_back(process->spawn([&, t] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) * 7919 + 1);
+      for (int round = 0; round < 120; ++round) {
+        if (round % 40 == 0) {
+          migrate(static_cast<NodeId>(
+              rng.next_below(static_cast<std::uint64_t>(shape.nodes))));
+        }
+        // Strided ownership: thread t owns slots where i % threads == t.
+        const std::size_t slot =
+            static_cast<std::size_t>(t) +
+            static_cast<std::size_t>(rng.next_below(
+                kSlots / static_cast<std::size_t>(shape.threads))) *
+                static_cast<std::size_t>(shape.threads);
+        slots.set(slot, (static_cast<std::uint64_t>(t) << 32) |
+                            static_cast<std::uint64_t>(round));
+      }
+      migrate_back();
+    }));
+  }
+  for (auto& t : threads) t.join();
+
+  // Every written slot's tag matches its owner.
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    const std::uint64_t v = slots.get(i);
+    if (v == 0) continue;
+    EXPECT_EQ(v >> 32, i % static_cast<std::size_t>(shape.threads)) << i;
+  }
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+// Property: atomic counters over random pages are exact under migration
+// churn regardless of cluster shape.
+TEST_P(ProtocolProperty, ScatteredAtomicsAreExact) {
+  const Shape shape = GetParam();
+  ClusterConfig config;
+  config.num_nodes = shape.nodes;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.coalesce_faults = shape.coalesce;
+  auto process = cluster.create_process(options);
+
+  constexpr std::size_t kCounters = 64;  // packed: 1 page, max contention
+  GArray<std::uint64_t> counters(*process, kCounters, "counters");
+  constexpr int kOps = 150;
+
+  std::vector<DexThread> threads;
+  for (int t = 0; t < shape.threads; ++t) {
+    threads.push_back(process->spawn([&, t] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) + 99);
+      migrate(static_cast<NodeId>(t % shape.nodes));
+      for (int op = 0; op < kOps; ++op) {
+        process->atomic_fetch_add(
+            counters.addr(static_cast<std::size_t>(rng.next_below(
+                kCounters))),
+            1);
+      }
+      migrate_back();
+    }));
+  }
+  for (auto& t : threads) t.join();
+
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kCounters; ++i) {
+    total += process->atomic_load(counters.addr(i));
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(shape.threads) * kOps);
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+// Property: read-only data replicated everywhere stays bit-identical.
+TEST_P(ProtocolProperty, ReplicatedReadsMatchEverywhere) {
+  const Shape shape = GetParam();
+  ClusterConfig config;
+  config.num_nodes = shape.nodes;
+  Cluster cluster(config);
+  auto process = cluster.create_process(ProcessOptions{});
+
+  constexpr std::size_t kWords = 3 * kPageSize / 8;
+  GArray<std::uint64_t> data(*process, kWords, "golden");
+  Xoshiro256 rng(4242);
+  std::vector<std::uint64_t> golden(kWords);
+  for (auto& w : golden) w = rng.next();
+  data.write_block(0, kWords, golden.data());
+
+  std::atomic<int> mismatches{0};
+  std::vector<DexThread> threads;
+  for (int t = 0; t < shape.threads; ++t) {
+    threads.push_back(process->spawn([&, t] {
+      migrate(static_cast<NodeId>(t % shape.nodes));
+      std::vector<std::uint64_t> copy(kWords);
+      data.read_block(0, kWords, copy.data());
+      if (copy != golden) mismatches.fetch_add(1);
+      migrate_back();
+    }));
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ProtocolProperty,
+    ::testing::Values(Shape{1, 4, true}, Shape{2, 4, true},
+                      Shape{2, 8, false}, Shape{4, 8, true},
+                      Shape{8, 8, true}, Shape{3, 6, false}),
+    [](const auto& info) {
+      const Shape& s = info.param;
+      return "n" + std::to_string(s.nodes) + "t" +
+             std::to_string(s.threads) +
+             (s.coalesce ? "_coalesce" : "_nocoalesce");
+    });
+
+}  // namespace
+}  // namespace dex

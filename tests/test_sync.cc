@@ -1,0 +1,181 @@
+// Distributed synchronization primitives (§III-A futex delegation).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/api.h"
+
+namespace dex {
+namespace {
+
+class SyncTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_nodes = 3;
+    cluster_ = std::make_unique<Cluster>(config);
+    process_ = cluster_->create_process(ProcessOptions{});
+  }
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Process> process_;
+};
+
+TEST_F(SyncTest, MutexMutualExclusionSameNode) {
+  DexMutex mutex(*process_);
+  GArray<std::uint64_t> value(*process_, 8, "value");
+  constexpr int kThreads = 4, kIters = 300;
+  std::vector<DexThread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(process_->spawn([&] {
+      for (int i = 0; i < kIters; ++i) {
+        DexLockGuard guard(mutex);
+        value.set(0, value.get(0) + 1);  // non-atomic: relies on the lock
+      }
+    }));
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(value.get(0), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST_F(SyncTest, MutexMutualExclusionCrossNode) {
+  DexMutex mutex(*process_);
+  GArray<std::uint64_t> value(*process_, 8, "value");
+  constexpr int kThreads = 6, kIters = 100;
+  std::vector<DexThread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(process_->spawn([&, t] {
+      migrate(t % 3);
+      for (int i = 0; i < kIters; ++i) {
+        DexLockGuard guard(mutex);
+        value.set(0, value.get(0) + 1);
+      }
+      migrate_back();
+    }));
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(value.get(0), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST_F(SyncTest, TryLockFailsWhileHeld) {
+  DexMutex mutex(*process_);
+  mutex.lock();
+  std::atomic<int> result{-1};
+  DexThread t = process_->spawn([&] {
+    result = mutex.try_lock() ? 1 : 0;
+  });
+  t.join();
+  EXPECT_EQ(result.load(), 0);
+  mutex.unlock();
+  EXPECT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST_F(SyncTest, BarrierRendezvousRepeated) {
+  constexpr int kThreads = 6, kRounds = 50;
+  DexBarrier barrier(*process_, kThreads);
+  GArray<std::uint64_t> counts(*process_, kRounds, "counts");
+  std::vector<DexThread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(process_->spawn([&, t] {
+      migrate(t % 3);
+      for (int r = 0; r < kRounds; ++r) {
+        process_->atomic_fetch_add(counts.addr(static_cast<std::size_t>(r)),
+                                   1);
+        barrier.wait();
+        // After the barrier, every participant must see the full count.
+        ASSERT_EQ(process_->atomic_load(
+                      counts.addr(static_cast<std::size_t>(r))),
+                  static_cast<std::uint64_t>(kThreads));
+      }
+      migrate_back();
+    }));
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST_F(SyncTest, BarrierExactlyOneSerialThreadPerRound) {
+  constexpr int kThreads = 4, kRounds = 30;
+  DexBarrier barrier(*process_, kThreads);
+  std::atomic<int> serial_count{0};
+  std::vector<DexThread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(process_->spawn([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        if (barrier.wait()) serial_count.fetch_add(1);
+      }
+    }));
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(serial_count.load(), kRounds);
+}
+
+TEST_F(SyncTest, BarrierJoinsVirtualClocks) {
+  DexBarrier barrier(*process_, 2);
+  std::atomic<std::uint64_t> fast_after{0};
+  DexThread slow = process_->spawn([&] {
+    compute(1000000);  // 1 ms of virtual work
+    barrier.wait();
+  });
+  DexThread fast = process_->spawn([&] {
+    barrier.wait();
+    fast_after = now();
+  });
+  slow.join();
+  fast.join();
+  EXPECT_GE(fast_after.load(), 1000000u);
+}
+
+TEST_F(SyncTest, CondVarNotifyOneAndAll) {
+  DexMutex mutex(*process_);
+  DexCondVar cv(*process_);
+  GArray<std::uint64_t> state(*process_, 8, "state");
+  constexpr int kWaiters = 3;
+
+  std::vector<DexThread> waiters;
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.push_back(process_->spawn([&] {
+      mutex.lock();
+      while (state.get(0) == 0) cv.wait(mutex);
+      mutex.unlock();
+    }));
+  }
+  DexThread signaller = process_->spawn([&] {
+    mutex.lock();
+    state.set(0, 1);
+    mutex.unlock();
+    cv.notify_all();
+  });
+  signaller.join();
+  for (auto& t : waiters) t.join();
+  SUCCEED();
+}
+
+TEST_F(SyncTest, FutexWaitValueChangedReturnsImmediately) {
+  GCounter word(*process_, "futexword");
+  word.store(7);
+  // Expected value mismatch: must not block.
+  process_->futex_wait(word.addr(), 3);
+  SUCCEED();
+}
+
+TEST_F(SyncTest, FutexWakeWithNoWaitersReturnsZero) {
+  GCounter word(*process_, "futexword");
+  EXPECT_EQ(process_->futex_wake(word.addr(), 10), 0);
+}
+
+TEST_F(SyncTest, RemoteFutexDelegationCounted) {
+  GCounter word(*process_, "futexword");
+  word.store(1);
+  const auto before = process_->delegation_count();
+  DexThread t = process_->spawn([&] {
+    migrate(1);
+    process_->futex_wait(word.addr(), 99);  // mismatch: returns, but remote
+    migrate_back();
+  });
+  t.join();
+  EXPECT_GT(process_->delegation_count(), before);
+}
+
+}  // namespace
+}  // namespace dex

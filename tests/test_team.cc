@@ -1,0 +1,117 @@
+// Team (pooled OpenMP-style workers) and parallel helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/api.h"
+
+namespace dex {
+namespace {
+
+class TeamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_nodes = 3;
+    cluster_ = std::make_unique<Cluster>(config);
+    process_ = cluster_->create_process(ProcessOptions{});
+  }
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Process> process_;
+};
+
+TEST_F(TeamTest, RunsEveryWorkerExactlyOncePerRegion) {
+  TeamOptions options;
+  options.nodes = 3;
+  options.threads_per_node = 2;
+  core::Team team(*process_, options);
+
+  std::atomic<int> hits{0};
+  std::atomic<int> wrong_node{0};
+  for (int region = 0; region < 4; ++region) {
+    team.run_region([&](int tid, int nthreads) {
+      EXPECT_EQ(nthreads, 6);
+      if (current_node() != options.node_of(tid)) wrong_node.fetch_add(1);
+      hits.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(hits.load(), 24);
+  EXPECT_EQ(wrong_node.load(), 0);
+}
+
+TEST_F(TeamTest, RepeatedRegionsReuseRemoteWorkers) {
+  TeamOptions options;
+  options.nodes = 2;
+  options.threads_per_node = 2;
+  core::Team team(*process_, options);
+
+  team.run_region([](int, int) {});
+  const VirtNs first = team.run_region([](int, int) {});
+  const VirtNs third = team.run_region([](int, int) {});
+  // After the first region the migrations take the fork-from-worker path;
+  // region costs settle.
+  EXPECT_NEAR(static_cast<double>(first), static_cast<double>(third),
+              0.25 * static_cast<double>(first));
+}
+
+TEST_F(TeamTest, RegionSpanCoversSlowestWorker) {
+  TeamOptions options;
+  options.nodes = 1;
+  options.threads_per_node = 4;
+  options.migrate = false;
+  core::Team team(*process_, options);
+  const VirtNs span = team.run_region([](int tid, int) {
+    compute(tid == 2 ? 5000000 : 1000);  // one slow worker: 5 ms
+  });
+  EXPECT_GE(span, 5000000u);
+  EXPECT_LT(span, 8000000u);
+}
+
+TEST_F(TeamTest, ForRegionCoversRangeExactlyOnce) {
+  TeamOptions options;
+  options.nodes = 3;
+  options.threads_per_node = 2;
+  core::Team team(*process_, options);
+  GArray<std::uint64_t> marks(*process_, 1000, "marks");
+  team.for_region(0, 1000, [&](std::uint64_t lo, std::uint64_t hi, int) {
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      marks.set(i, marks.get(i) + 1);
+    }
+  });
+  for (std::uint64_t i = 0; i < 1000; i += 37) {
+    ASSERT_EQ(marks.get(i), 1u) << i;
+  }
+}
+
+TEST_F(TeamTest, RunTeamJoinsClocks) {
+  TeamOptions options;
+  options.nodes = 1;
+  options.threads_per_node = 3;
+  options.migrate = false;
+  const VirtNs before = now();
+  const VirtNs span = run_team(*process_, options, [&](int, int) {
+    compute(2000000);
+  });
+  EXPECT_GE(span, 2000000u);
+  // The caller's clock advanced past every worker's finish time.
+  EXPECT_GE(now() - before, span);
+}
+
+TEST_F(TeamTest, ParallelForPartitionsDisjointly) {
+  TeamOptions options;
+  options.nodes = 2;
+  options.threads_per_node = 2;
+  GArray<std::uint64_t> counters(*process_, 512, "pf");
+  parallel_for(*process_, options, 0, 512,
+               [&](std::uint64_t lo, std::uint64_t hi, int) {
+                 for (std::uint64_t i = lo; i < hi; ++i) {
+                   counters.set(i, counters.get(i) + 1);
+                 }
+               });
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < 512; ++i) total += counters.get(i);
+  EXPECT_EQ(total, 512u);
+}
+
+}  // namespace
+}  // namespace dex

@@ -1,0 +1,170 @@
+// Time-gate (conservative virtual-time coupling) tests, including the
+// lost-wakeup regressions: observe-jumps raising the minimum, and the
+// watermark going stale across unblock-with-old-clock transitions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/time_gate.h"
+#include "common/virtual_clock.h"
+
+namespace dex {
+namespace {
+
+class TimeGateTest : public ::testing::Test {
+ protected:
+  void TearDown() override { TimeGate::instance().disable(); }
+};
+
+TEST_F(TimeGateTest, DisabledGateNeverBlocks) {
+  VirtualClock clock(1000000);
+  TimeGate::instance().throttle(&clock);  // must return immediately
+  SUCCEED();
+}
+
+TEST_F(TimeGateTest, AheadThreadWaitsForBehindThread) {
+  TimeGate::instance().enable(10000);
+  VirtualClock behind(0), ahead(50000);
+  TimeGate::instance().add(&behind);
+  TimeGate::instance().add(&ahead);
+
+  std::atomic<bool> ahead_released{false};
+  std::thread ahead_thread([&] {
+    TimeGate::instance().throttle(&ahead);
+    ahead_released = true;
+  });
+  // ahead is 50 us past behind with a 10 us window: must block.
+  while (true) {
+    std::this_thread::yield();
+    if (ahead_released.load()) FAIL() << "ahead thread was not gated";
+    break;  // one scheduling quantum is enough of a smoke check
+  }
+  // Advance the slow clock past the window; its throttle must release the
+  // waiter.
+  behind.advance(45000);
+  TimeGate::instance().throttle(&behind);
+  ahead_thread.join();
+  EXPECT_TRUE(ahead_released.load());
+}
+
+TEST_F(TimeGateTest, BlockedThreadsDoNotHoldTheMinimum) {
+  TimeGate::instance().enable(10000);
+  VirtualClock sleeper(0), runner(100000);
+  TimeGate::instance().add(&sleeper);
+  TimeGate::instance().add(&runner);
+  TimeGate::instance().block(&sleeper);  // sleeper excluded
+  // runner is far ahead of the sleeper but must pass: no runnable minimum
+  // below it.
+  TimeGate::instance().throttle(&runner);
+  SUCCEED();
+  TimeGate::instance().unblock(&sleeper);
+}
+
+TEST_F(TimeGateTest, ObserveJumpReleasesWaiters) {
+  // Regression: a clock jump (happens-before observe) that raises the
+  // minimum must wake gated threads; it used to be silent.
+  TimeGate::instance().enable(10000);
+  VirtualClock low(0), high(60000);
+  TimeGate::instance().add(&low);
+  TimeGate::instance().add(&high);
+
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    ScopedClockBinding bind(&high);
+    vclock::advance(1);  // enters the gate; 60 us ahead of `low`
+    released = true;
+  });
+  while (!released.load()) {
+    // Jump the low clock forward through the public observe path.
+    ScopedClockBinding bind(&low);
+    vclock::observe(58000);
+    std::this_thread::yield();
+  }
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST_F(TimeGateTest, UnblockWithOldClockThenAdvanceWakesWaiters) {
+  // Regression for the stale-watermark deadlock: a thread unblocks with an
+  // old (low) clock, dragging the minimum down; when it advances back past
+  // sleeping waiters the rise must still notify them.
+  TimeGate::instance().enable(5000);
+  VirtualClock straggler(0), waiter_clock(20000);
+  TimeGate::instance().add(&straggler);
+  TimeGate::instance().add(&waiter_clock);
+
+  TimeGate::instance().block(&straggler);
+  // waiter enters the gate; minimum is only the waiter itself now -> pass.
+  TimeGate::instance().throttle(&waiter_clock);
+
+  // Straggler returns at clock 0 (min drops), then waiter tries again and
+  // must block.
+  TimeGate::instance().unblock(&straggler);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    TimeGate::instance().throttle(&waiter_clock);
+    released = true;
+  });
+  // Let the waiter reach the cv, then advance the straggler past it in
+  // small batched steps (the deadlocking pattern).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(released.load());
+  for (int i = 0; i < 10; ++i) {
+    straggler.advance(3000);
+    TimeGate::instance().throttle(&straggler);
+    if (released.load()) break;
+  }
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST_F(TimeGateTest, LeaveReleasesWaiters) {
+  TimeGate::instance().enable(10000);
+  VirtualClock transient(0), waiter_clock(50000);
+  TimeGate::instance().add(&transient);
+  TimeGate::instance().add(&waiter_clock);
+
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    TimeGate::instance().throttle(&waiter_clock);
+    released = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(released.load());
+  TimeGate::instance().leave(&transient);  // last low clock disappears
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST_F(TimeGateTest, ManyThreadsStayWithinWindowUnderCoupling) {
+  TimeGate::instance().enable(8000);
+  constexpr int kThreads = 6;
+  std::vector<VirtualClock> clocks(kThreads);
+  for (auto& c : clocks) TimeGate::instance().add(&c);
+
+  std::atomic<VirtNs> max_skew{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ScopedClockBinding bind(&clocks[static_cast<std::size_t>(t)]);
+      for (int i = 0; i < 200; ++i) {
+        vclock::advance(5000);
+        // Sample the skew against the slowest sibling.
+        VirtNs min = ~VirtNs{0};
+        for (const auto& c : clocks) min = std::min(min, c.now());
+        const VirtNs skew = vclock::now() - min;
+        VirtNs seen = max_skew.load();
+        while (skew > seen && !max_skew.compare_exchange_weak(seen, skew)) {
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Skew is bounded by window + one batch (plus sampling slop).
+  EXPECT_LE(max_skew.load(), 8000u + 5000u + 5000u);
+}
+
+}  // namespace
+}  // namespace dex

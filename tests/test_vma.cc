@@ -1,0 +1,106 @@
+// AddressSpace / VMA tests (§III-D substrate).
+#include <gtest/gtest.h>
+
+#include "mem/vma.h"
+
+namespace dex::mem {
+namespace {
+
+TEST(AddressSpace, MmapReturnsPageAlignedDisjointRanges) {
+  AddressSpace space;
+  const GAddr a = space.mmap(1000, kProtReadWrite, "a");
+  const GAddr b = space.mmap(5000, kProtRead, "b");
+  ASSERT_NE(a, kNullGAddr);
+  ASSERT_NE(b, kNullGAddr);
+  EXPECT_EQ(page_offset(a), 0u);
+  EXPECT_EQ(page_offset(b), 0u);
+  const auto va = space.find(a);
+  const auto vb = space.find(b);
+  ASSERT_TRUE(va && vb);
+  EXPECT_EQ(va->length(), kPageSize);       // rounded up
+  EXPECT_EQ(vb->length(), 2 * kPageSize);
+  EXPECT_TRUE(va->end <= vb->start || vb->end <= va->start);
+}
+
+TEST(AddressSpace, GuardGapBetweenMappings) {
+  // Adjacent allocations must not share a page boundary (see
+  // find_free_range_locked) — unrelated objects never co-locate.
+  AddressSpace space;
+  const GAddr a = space.mmap(kPageSize, kProtReadWrite);
+  const GAddr b = space.mmap(kPageSize, kProtReadWrite);
+  EXPECT_GE(b > a ? b - (a + kPageSize) : a - (b + kPageSize), kPageSize);
+}
+
+TEST(AddressSpace, FindMissesUnmappedAddresses) {
+  AddressSpace space;
+  const GAddr a = space.mmap(kPageSize, kProtReadWrite);
+  EXPECT_TRUE(space.find(a).has_value());
+  EXPECT_TRUE(space.find(a + kPageSize - 1).has_value());
+  EXPECT_FALSE(space.find(a + kPageSize).has_value());
+  EXPECT_FALSE(space.find(kNullGAddr).has_value());
+}
+
+TEST(AddressSpace, MmapHintRespectedAndOverlapRejected) {
+  AddressSpace space;
+  const GAddr hint = AddressSpace::kBase + 64 * kPageSize;
+  const GAddr a = space.mmap(2 * kPageSize, kProtReadWrite, "fixed", hint);
+  EXPECT_EQ(a, hint);
+  // Overlapping fixed mapping is rejected.
+  EXPECT_EQ(space.mmap(kPageSize, kProtRead, "clash", hint + kPageSize),
+            kNullGAddr);
+}
+
+TEST(AddressSpace, MunmapWholeAndPartial) {
+  AddressSpace space;
+  const GAddr a = space.mmap(4 * kPageSize, kProtReadWrite, "big");
+  // Punch a hole in the middle: VMA splits into two.
+  EXPECT_TRUE(space.munmap(a + kPageSize, kPageSize));
+  EXPECT_TRUE(space.find(a).has_value());
+  EXPECT_FALSE(space.find(a + kPageSize).has_value());
+  EXPECT_TRUE(space.find(a + 2 * kPageSize).has_value());
+  EXPECT_EQ(space.vma_count(), 2u);
+  // Unmapping an untouched range fails.
+  EXPECT_FALSE(space.munmap(a + 64 * kPageSize, kPageSize));
+}
+
+TEST(AddressSpace, MprotectSplitsAndChangesPermissions) {
+  AddressSpace space;
+  const GAddr a = space.mmap(3 * kPageSize, kProtReadWrite, "rw");
+  EXPECT_TRUE(space.mprotect(a + kPageSize, kPageSize, kProtRead));
+  EXPECT_EQ(space.find(a)->prot, kProtReadWrite);
+  EXPECT_EQ(space.find(a + kPageSize)->prot, kProtRead);
+  EXPECT_EQ(space.find(a + 2 * kPageSize)->prot, kProtReadWrite);
+  // Tag preserved through the split.
+  EXPECT_EQ(space.find(a + kPageSize)->tag, "rw");
+}
+
+TEST(AddressSpace, InstallReplicaOverwritesStaleEntries) {
+  AddressSpace replica;
+  replica.install_replica(Vma{0x10000, 0x12000, kProtReadWrite, "v1"});
+  replica.install_replica(Vma{0x11000, 0x13000, kProtRead, "v2"});
+  EXPECT_EQ(replica.find(0x10000)->tag, "v1");
+  EXPECT_EQ(replica.find(0x11500)->tag, "v2");
+  EXPECT_EQ(replica.find(0x11500)->prot, kProtRead);
+}
+
+TEST(AddressSpace, VersionBumpsOnEveryMutation) {
+  AddressSpace space;
+  const auto v0 = space.version();
+  const GAddr a = space.mmap(kPageSize, kProtReadWrite);
+  EXPECT_GT(space.version(), v0);
+  const auto v1 = space.version();
+  space.mprotect(a, kPageSize, kProtRead);
+  EXPECT_GT(space.version(), v1);
+}
+
+TEST(VmaRecord, RoundTrip) {
+  Vma vma{0x1000, 0x3000, kProtRead, "mytag"};
+  const Vma back = from_record(to_record(vma));
+  EXPECT_EQ(back.start, vma.start);
+  EXPECT_EQ(back.end, vma.end);
+  EXPECT_EQ(back.prot, vma.prot);
+  EXPECT_EQ(back.tag, vma.tag);
+}
+
+}  // namespace
+}  // namespace dex::mem
