@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coalescing.dir/bench_ablation_coalescing.cc.o"
+  "CMakeFiles/bench_ablation_coalescing.dir/bench_ablation_coalescing.cc.o.d"
+  "bench_ablation_coalescing"
+  "bench_ablation_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

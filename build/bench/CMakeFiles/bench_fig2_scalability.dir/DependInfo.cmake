@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_scalability.cc" "bench/CMakeFiles/bench_fig2_scalability.dir/bench_fig2_scalability.cc.o" "gcc" "bench/CMakeFiles/bench_fig2_scalability.dir/bench_fig2_scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/dex_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dex_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dex_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/dex_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

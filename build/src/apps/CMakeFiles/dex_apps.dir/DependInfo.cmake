@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cc" "src/apps/CMakeFiles/dex_apps.dir/app.cc.o" "gcc" "src/apps/CMakeFiles/dex_apps.dir/app.cc.o.d"
+  "/root/repo/src/apps/bfs.cc" "src/apps/CMakeFiles/dex_apps.dir/bfs.cc.o" "gcc" "src/apps/CMakeFiles/dex_apps.dir/bfs.cc.o.d"
+  "/root/repo/src/apps/blk.cc" "src/apps/CMakeFiles/dex_apps.dir/blk.cc.o" "gcc" "src/apps/CMakeFiles/dex_apps.dir/blk.cc.o.d"
+  "/root/repo/src/apps/bp.cc" "src/apps/CMakeFiles/dex_apps.dir/bp.cc.o" "gcc" "src/apps/CMakeFiles/dex_apps.dir/bp.cc.o.d"
+  "/root/repo/src/apps/bt.cc" "src/apps/CMakeFiles/dex_apps.dir/bt.cc.o" "gcc" "src/apps/CMakeFiles/dex_apps.dir/bt.cc.o.d"
+  "/root/repo/src/apps/ep.cc" "src/apps/CMakeFiles/dex_apps.dir/ep.cc.o" "gcc" "src/apps/CMakeFiles/dex_apps.dir/ep.cc.o.d"
+  "/root/repo/src/apps/ft.cc" "src/apps/CMakeFiles/dex_apps.dir/ft.cc.o" "gcc" "src/apps/CMakeFiles/dex_apps.dir/ft.cc.o.d"
+  "/root/repo/src/apps/grp.cc" "src/apps/CMakeFiles/dex_apps.dir/grp.cc.o" "gcc" "src/apps/CMakeFiles/dex_apps.dir/grp.cc.o.d"
+  "/root/repo/src/apps/kmn.cc" "src/apps/CMakeFiles/dex_apps.dir/kmn.cc.o" "gcc" "src/apps/CMakeFiles/dex_apps.dir/kmn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dex_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dex_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/dex_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_apps.dir/app.cc.o"
+  "CMakeFiles/dex_apps.dir/app.cc.o.d"
+  "CMakeFiles/dex_apps.dir/bfs.cc.o"
+  "CMakeFiles/dex_apps.dir/bfs.cc.o.d"
+  "CMakeFiles/dex_apps.dir/blk.cc.o"
+  "CMakeFiles/dex_apps.dir/blk.cc.o.d"
+  "CMakeFiles/dex_apps.dir/bp.cc.o"
+  "CMakeFiles/dex_apps.dir/bp.cc.o.d"
+  "CMakeFiles/dex_apps.dir/bt.cc.o"
+  "CMakeFiles/dex_apps.dir/bt.cc.o.d"
+  "CMakeFiles/dex_apps.dir/ep.cc.o"
+  "CMakeFiles/dex_apps.dir/ep.cc.o.d"
+  "CMakeFiles/dex_apps.dir/ft.cc.o"
+  "CMakeFiles/dex_apps.dir/ft.cc.o.d"
+  "CMakeFiles/dex_apps.dir/grp.cc.o"
+  "CMakeFiles/dex_apps.dir/grp.cc.o.d"
+  "CMakeFiles/dex_apps.dir/kmn.cc.o"
+  "CMakeFiles/dex_apps.dir/kmn.cc.o.d"
+  "libdex_apps.a"
+  "libdex_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rmat.cc" "src/common/CMakeFiles/dex_common.dir/rmat.cc.o" "gcc" "src/common/CMakeFiles/dex_common.dir/rmat.cc.o.d"
+  "/root/repo/src/common/textgen.cc" "src/common/CMakeFiles/dex_common.dir/textgen.cc.o" "gcc" "src/common/CMakeFiles/dex_common.dir/textgen.cc.o.d"
+  "/root/repo/src/common/time_gate.cc" "src/common/CMakeFiles/dex_common.dir/time_gate.cc.o" "gcc" "src/common/CMakeFiles/dex_common.dir/time_gate.cc.o.d"
+  "/root/repo/src/common/virtual_clock.cc" "src/common/CMakeFiles/dex_common.dir/virtual_clock.cc.o" "gcc" "src/common/CMakeFiles/dex_common.dir/virtual_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_common.dir/rmat.cc.o"
+  "CMakeFiles/dex_common.dir/rmat.cc.o.d"
+  "CMakeFiles/dex_common.dir/textgen.cc.o"
+  "CMakeFiles/dex_common.dir/textgen.cc.o.d"
+  "CMakeFiles/dex_common.dir/time_gate.cc.o"
+  "CMakeFiles/dex_common.dir/time_gate.cc.o.d"
+  "CMakeFiles/dex_common.dir/virtual_clock.cc.o"
+  "CMakeFiles/dex_common.dir/virtual_clock.cc.o.d"
+  "libdex_common.a"
+  "libdex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

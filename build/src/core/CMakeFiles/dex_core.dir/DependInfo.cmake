@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/dex_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/context.cc" "src/core/CMakeFiles/dex_core.dir/context.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/context.cc.o.d"
+  "/root/repo/src/core/futex.cc" "src/core/CMakeFiles/dex_core.dir/futex.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/futex.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/core/CMakeFiles/dex_core.dir/parallel.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/parallel.cc.o.d"
+  "/root/repo/src/core/process.cc" "src/core/CMakeFiles/dex_core.dir/process.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/process.cc.o.d"
+  "/root/repo/src/core/sync.cc" "src/core/CMakeFiles/dex_core.dir/sync.cc.o" "gcc" "src/core/CMakeFiles/dex_core.dir/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dex_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dex_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/dex_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

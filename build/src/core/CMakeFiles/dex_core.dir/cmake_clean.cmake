@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_core.dir/cluster.cc.o"
+  "CMakeFiles/dex_core.dir/cluster.cc.o.d"
+  "CMakeFiles/dex_core.dir/context.cc.o"
+  "CMakeFiles/dex_core.dir/context.cc.o.d"
+  "CMakeFiles/dex_core.dir/futex.cc.o"
+  "CMakeFiles/dex_core.dir/futex.cc.o.d"
+  "CMakeFiles/dex_core.dir/parallel.cc.o"
+  "CMakeFiles/dex_core.dir/parallel.cc.o.d"
+  "CMakeFiles/dex_core.dir/process.cc.o"
+  "CMakeFiles/dex_core.dir/process.cc.o.d"
+  "CMakeFiles/dex_core.dir/sync.cc.o"
+  "CMakeFiles/dex_core.dir/sync.cc.o.d"
+  "libdex_core.a"
+  "libdex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

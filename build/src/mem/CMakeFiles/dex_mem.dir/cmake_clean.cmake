@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_mem.dir/dsm.cc.o"
+  "CMakeFiles/dex_mem.dir/dsm.cc.o.d"
+  "CMakeFiles/dex_mem.dir/vma.cc.o"
+  "CMakeFiles/dex_mem.dir/vma.cc.o.d"
+  "libdex_mem.a"
+  "libdex_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

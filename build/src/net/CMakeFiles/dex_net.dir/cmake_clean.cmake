@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_net.dir/buffer_pool.cc.o"
+  "CMakeFiles/dex_net.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/dex_net.dir/fabric.cc.o"
+  "CMakeFiles/dex_net.dir/fabric.cc.o.d"
+  "CMakeFiles/dex_net.dir/rdma_sink.cc.o"
+  "CMakeFiles/dex_net.dir/rdma_sink.cc.o.d"
+  "libdex_net.a"
+  "libdex_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

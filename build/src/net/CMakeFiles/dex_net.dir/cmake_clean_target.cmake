@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdex_net.a"
+)

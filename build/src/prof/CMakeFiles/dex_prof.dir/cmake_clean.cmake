@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_prof.dir/analysis.cc.o"
+  "CMakeFiles/dex_prof.dir/analysis.cc.o.d"
+  "CMakeFiles/dex_prof.dir/trace.cc.o"
+  "CMakeFiles/dex_prof.dir/trace.cc.o.d"
+  "libdex_prof.a"
+  "libdex_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/dex_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/dex_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/dex_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/dex_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_dsm_protocol.cc" "tests/CMakeFiles/dex_tests.dir/test_dsm_protocol.cc.o" "gcc" "tests/CMakeFiles/dex_tests.dir/test_dsm_protocol.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/dex_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/dex_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_fault_table.cc" "tests/CMakeFiles/dex_tests.dir/test_fault_table.cc.o" "gcc" "tests/CMakeFiles/dex_tests.dir/test_fault_table.cc.o.d"
+  "/root/repo/tests/test_migration.cc" "tests/CMakeFiles/dex_tests.dir/test_migration.cc.o" "gcc" "tests/CMakeFiles/dex_tests.dir/test_migration.cc.o.d"
+  "/root/repo/tests/test_net.cc" "tests/CMakeFiles/dex_tests.dir/test_net.cc.o" "gcc" "tests/CMakeFiles/dex_tests.dir/test_net.cc.o.d"
+  "/root/repo/tests/test_prof.cc" "tests/CMakeFiles/dex_tests.dir/test_prof.cc.o" "gcc" "tests/CMakeFiles/dex_tests.dir/test_prof.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/dex_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/dex_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_sync.cc" "tests/CMakeFiles/dex_tests.dir/test_sync.cc.o" "gcc" "tests/CMakeFiles/dex_tests.dir/test_sync.cc.o.d"
+  "/root/repo/tests/test_team.cc" "tests/CMakeFiles/dex_tests.dir/test_team.cc.o" "gcc" "tests/CMakeFiles/dex_tests.dir/test_team.cc.o.d"
+  "/root/repo/tests/test_time_gate.cc" "tests/CMakeFiles/dex_tests.dir/test_time_gate.cc.o" "gcc" "tests/CMakeFiles/dex_tests.dir/test_time_gate.cc.o.d"
+  "/root/repo/tests/test_vma.cc" "tests/CMakeFiles/dex_tests.dir/test_vma.cc.o" "gcc" "tests/CMakeFiles/dex_tests.dir/test_vma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/dex_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dex_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dex_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/dex_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_tests.dir/test_apps.cc.o"
+  "CMakeFiles/dex_tests.dir/test_apps.cc.o.d"
+  "CMakeFiles/dex_tests.dir/test_common.cc.o"
+  "CMakeFiles/dex_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/dex_tests.dir/test_dsm_protocol.cc.o"
+  "CMakeFiles/dex_tests.dir/test_dsm_protocol.cc.o.d"
+  "CMakeFiles/dex_tests.dir/test_extensions.cc.o"
+  "CMakeFiles/dex_tests.dir/test_extensions.cc.o.d"
+  "CMakeFiles/dex_tests.dir/test_fault_table.cc.o"
+  "CMakeFiles/dex_tests.dir/test_fault_table.cc.o.d"
+  "CMakeFiles/dex_tests.dir/test_migration.cc.o"
+  "CMakeFiles/dex_tests.dir/test_migration.cc.o.d"
+  "CMakeFiles/dex_tests.dir/test_net.cc.o"
+  "CMakeFiles/dex_tests.dir/test_net.cc.o.d"
+  "CMakeFiles/dex_tests.dir/test_prof.cc.o"
+  "CMakeFiles/dex_tests.dir/test_prof.cc.o.d"
+  "CMakeFiles/dex_tests.dir/test_properties.cc.o"
+  "CMakeFiles/dex_tests.dir/test_properties.cc.o.d"
+  "CMakeFiles/dex_tests.dir/test_sync.cc.o"
+  "CMakeFiles/dex_tests.dir/test_sync.cc.o.d"
+  "CMakeFiles/dex_tests.dir/test_team.cc.o"
+  "CMakeFiles/dex_tests.dir/test_team.cc.o.d"
+  "CMakeFiles/dex_tests.dir/test_time_gate.cc.o"
+  "CMakeFiles/dex_tests.dir/test_time_gate.cc.o.d"
+  "CMakeFiles/dex_tests.dir/test_vma.cc.o"
+  "CMakeFiles/dex_tests.dir/test_vma.cc.o.d"
+  "dex_tests"
+  "dex_tests.pdb"
+  "dex_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
