@@ -1,7 +1,10 @@
 #include "core/cluster.h"
 
+#include <vector>
+
 #include "common/assert.h"
 #include "core/process.h"
+#include "prof/trace.h"
 
 namespace dex::core {
 
@@ -15,6 +18,8 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   options.cost = config.cost;
   options.mode = config.mode;
   options.connection = config.connection;
+  options.retry = config.retry;
+  options.faults = config.faults;
   fabric_ = std::make_unique<net::Fabric>(options);
   install_handlers();
 }
@@ -46,54 +51,101 @@ void Cluster::unregister_process(std::uint64_t id) {
 Process* Cluster::find_process(std::uint64_t id) const {
   std::shared_lock lock(processes_mu_);
   auto it = processes_.find(id);
-  DEX_CHECK_MSG(it != processes_.end(), "message for unknown process");
-  return it->second;
+  return it == processes_.end() ? nullptr : it->second;
+}
+
+void Cluster::fail_node(NodeId node) {
+  DEX_CHECK(node >= 0 && node < config_.num_nodes);
+  // Mark dead first so in-flight RPCs touching the node start failing,
+  // then reclaim per process. Transactions that raced past the liveness
+  // check are swept again at heal time (reclaim is idempotent).
+  fabric_->injector().fail_node(node);
+  prof::ChaosCounters::instance().node_failures.fetch_add(
+      1, std::memory_order_relaxed);
+  std::vector<Process*> victims;
+  {
+    std::shared_lock lock(processes_mu_);
+    victims.reserve(processes_.size());
+    for (const auto& [id, process] : processes_) victims.push_back(process);
+  }
+  for (Process* process : victims) process->on_node_failure(node);
+}
+
+void Cluster::heal_node(NodeId node) {
+  DEX_CHECK(node >= 0 && node < config_.num_nodes);
+  if (!fabric_->injector().node_dead(node)) return;
+  // Sweep any grants that raced fail_node's reclaim before re-admitting.
+  std::vector<Process*> survivors;
+  {
+    std::shared_lock lock(processes_mu_);
+    survivors.reserve(processes_.size());
+    for (const auto& [id, process] : processes_) survivors.push_back(process);
+  }
+  for (Process* process : survivors) process->dsm().reclaim_node(node);
+  fabric_->injector().heal_node(node);
 }
 
 void Cluster::install_handlers() {
   // Every DeX payload leads with the 64-bit process id; the dispatcher
   // demultiplexes on it, like the kernel's per-process message routing.
-  auto pid_of = [](const Message& msg) {
-    return msg.payload_as<std::uint64_t>();
+  // Malformed payloads and unknown processes yield an error-status reply
+  // (surfaced as RpcError at the caller) instead of aborting the rack.
+  auto route = [this](const Message& msg, auto&& fn) -> Message {
+    if (msg.payload.size() < sizeof(std::uint64_t)) {
+      return Message::error_reply(net::MsgStatus::kBadPayload);
+    }
+    Process* process = find_process(msg.payload_prefix_as<std::uint64_t>());
+    if (process == nullptr) {
+      return Message::error_reply(net::MsgStatus::kUnknownProcess);
+    }
+    return fn(*process);
   };
 
   fabric_->register_handler(
-      MsgType::kPageRequestRead, [this, pid_of](const Message& msg) {
-        return find_process(pid_of(msg))->dsm().handle_page_request(
-            msg, Access::kRead);
+      MsgType::kPageRequestRead, [route](const Message& msg) {
+        return route(msg, [&](Process& p) {
+          return p.dsm().handle_page_request(msg, Access::kRead);
+        });
       });
   fabric_->register_handler(
-      MsgType::kPageRequestWrite, [this, pid_of](const Message& msg) {
-        return find_process(pid_of(msg))->dsm().handle_page_request(
-            msg, Access::kWrite);
+      MsgType::kPageRequestWrite, [route](const Message& msg) {
+        return route(msg, [&](Process& p) {
+          return p.dsm().handle_page_request(msg, Access::kWrite);
+        });
       });
   fabric_->register_handler(
-      MsgType::kRevokeOwnership, [this, pid_of](const Message& msg) {
-        return find_process(pid_of(msg))->dsm().handle_revoke(msg);
+      MsgType::kRevokeOwnership, [route](const Message& msg) {
+        return route(msg,
+                     [&](Process& p) { return p.dsm().handle_revoke(msg); });
       });
   fabric_->register_handler(
-      MsgType::kVmaInfoRequest, [this, pid_of](const Message& msg) {
-        return find_process(pid_of(msg))->dsm().handle_vma_request(msg);
+      MsgType::kVmaInfoRequest, [route](const Message& msg) {
+        return route(
+            msg, [&](Process& p) { return p.dsm().handle_vma_request(msg); });
       });
   fabric_->register_handler(
-      MsgType::kVmaUpdate, [this, pid_of](const Message& msg) {
-        return find_process(pid_of(msg))->dsm().handle_vma_update(msg);
+      MsgType::kVmaUpdate, [route](const Message& msg) {
+        return route(
+            msg, [&](Process& p) { return p.dsm().handle_vma_update(msg); });
       });
   fabric_->register_handler(
-      MsgType::kMigrateThread, [this, pid_of](const Message& msg) {
-        return find_process(pid_of(msg))->handle_migrate(msg);
+      MsgType::kMigrateThread, [route](const Message& msg) {
+        return route(msg, [&](Process& p) { return p.handle_migrate(msg); });
       });
   fabric_->register_handler(
-      MsgType::kMigrateBack, [this, pid_of](const Message& msg) {
-        return find_process(pid_of(msg))->handle_migrate_back(msg);
+      MsgType::kMigrateBack, [route](const Message& msg) {
+        return route(msg,
+                     [&](Process& p) { return p.handle_migrate_back(msg); });
       });
   fabric_->register_handler(
-      MsgType::kDelegateFutex, [this, pid_of](const Message& msg) {
-        return find_process(pid_of(msg))->handle_delegate_futex(msg);
+      MsgType::kDelegateFutex, [route](const Message& msg) {
+        return route(
+            msg, [&](Process& p) { return p.handle_delegate_futex(msg); });
       });
   fabric_->register_handler(
-      MsgType::kDelegateVmaOp, [this, pid_of](const Message& msg) {
-        return find_process(pid_of(msg))->handle_delegate_vma(msg);
+      MsgType::kDelegateVmaOp, [route](const Message& msg) {
+        return route(msg,
+                     [&](Process& p) { return p.handle_delegate_vma(msg); });
       });
 }
 

@@ -25,6 +25,9 @@ struct ClusterConfig {
   net::CostModel cost;
   net::FabricMode mode;
   net::ConnectionConfig connection;
+  /// RPC timeout/retry schedule and chaos policy (see net/fault_injector.h).
+  net::RetryPolicy retry;
+  net::FaultPolicy faults;
 };
 
 class Cluster {
@@ -43,6 +46,18 @@ class Cluster {
 
   /// Creates a distributed process on this cluster.
   std::unique_ptr<Process> create_process(const ProcessOptions& options);
+
+  /// Declares `node` dead: in-flight and future RPCs touching it raise
+  /// NodeDeadError, and every registered process reclaims the pages and
+  /// threads it loses (graceful degradation; see DESIGN.md "Failure
+  /// model"). Failing a process's origin node is unsupported.
+  void fail_node(NodeId node);
+  /// Re-admits a previously failed node after sweeping any state that
+  /// raced the failure; the node rejoins empty and refaults everything.
+  void heal_node(NodeId node);
+  bool node_dead(NodeId node) const {
+    return fabric_->injector().node_dead(node);
+  }
 
   /// The node currently running the fewest DeX threads — the target the
   /// §III-A "scheduler-initiated migration" extension balances toward.

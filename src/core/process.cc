@@ -1,11 +1,13 @@
 #include "core/process.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "common/assert.h"
 #include "common/time_gate.h"
 #include "core/cluster.h"
+#include "net/rpc_error.h"
 
 namespace dex::core {
 
@@ -44,6 +46,7 @@ Process::Process(Cluster& cluster, std::uint64_t id,
   dsm_config.num_nodes = cluster.num_nodes();
   dsm_config.stream_intensity = options.stream_intensity;
   dsm_config.coalesce_faults = options.coalesce_faults;
+  dsm_config.max_retries = options.max_retries;
   dsm_ = std::make_unique<mem::Dsm>(cluster.fabric(), dsm_config,
                                     &cluster.node_load(), &trace_);
   worker_exists_[static_cast<std::size_t>(options.origin)] = true;
@@ -65,6 +68,7 @@ DexThread Process::spawn(std::function<void()> body) {
   DexThread handle;
   handle.task_ = next_task_.fetch_add(1, std::memory_order_relaxed) + 1;
   handle.clock_ = std::make_shared<VirtualClock>(vclock::now());
+  handle.failed_ = std::make_shared<std::atomic<bool>>(false);
 
   ThreadContext child_ctx;
   child_ctx.process = this;
@@ -73,6 +77,7 @@ DexThread Process::spawn(std::function<void()> body) {
   child_ctx.clock = handle.clock_.get();
 
   auto clock = handle.clock_;
+  auto failed = handle.failed_;
   // Register the child with the time gate before it can run: without this
   // an early-scheduled child could burst far ahead of siblings that have
   // not been created yet.
@@ -81,9 +86,31 @@ DexThread Process::spawn(std::function<void()> body) {
       .fetch_add(1, std::memory_order_relaxed);
 
   handle.thread_ = std::make_unique<std::thread>(
-      [this, child_ctx, body = std::move(body)]() mutable {
+      [this, child_ctx, failed, body = std::move(body)]() mutable {
         ScopedContext bind(child_ctx);
-        body();
+        try {
+          body();
+        } catch (const net::RpcError& error) {
+          // The thread hit an unrecoverable fabric failure (typically its
+          // node died under it). Report it as failed and unwind cleanly
+          // instead of deadlocking the process on a thread that can never
+          // finish. NodeDeadError is an RpcError; both land here.
+          failed->store(true, std::memory_order_release);
+          dsm_->failure_stats().threads_lost.fetch_add(
+              1, std::memory_order_relaxed);
+          prof::ChaosCounters::instance().threads_lost.fetch_add(
+              1, std::memory_order_relaxed);
+          if (trace_.enabled()) {
+            prof::FaultEvent event;
+            event.time = vclock::now();
+            event.node = tls_context().node;
+            event.task = child_ctx.task;
+            event.kind = prof::FaultKind::kNodeDead;
+            trace_.record(event);
+          }
+          std::fprintf(stderr, "dex: thread %d lost: %s\n", child_ctx.task,
+                       error.what());
+        }
         // The clock stops advancing now: remove it from the time gate so
         // it cannot wedge still-running threads.
         TimeGate::instance().leave(child_ctx.clock);
@@ -94,6 +121,19 @@ DexThread Process::spawn(std::function<void()> body) {
       });
   (void)clock;
   return handle;
+}
+
+void Process::on_node_failure(NodeId node) {
+  DEX_CHECK_MSG(node != options_.origin,
+                "origin-node death kills the process; unsupported");
+  dsm_->failure_stats().node_failures.fetch_add(1, std::memory_order_relaxed);
+  {
+    // The remote worker died with its node: the next migration there (after
+    // a heal) must re-create it from scratch.
+    std::lock_guard<std::mutex> lock(mig_mu_);
+    worker_exists_[static_cast<std::size_t>(node)] = false;
+  }
+  dsm_->reclaim_node(node);
 }
 
 // ---------------------------------------------------------------------------

@@ -47,11 +47,18 @@ class DexThread {
   TaskId task() const { return task_; }
   VirtNs final_clock() const { return clock_ ? clock_->now() : 0; }
   VirtualClock* clock() { return clock_.get(); }
+  /// True when the thread's body was terminated by an unrecoverable fabric
+  /// failure (RpcError/NodeDeadError) — e.g. it was migrated to a node
+  /// that died. Such threads are reported back instead of deadlocking.
+  bool failed() const {
+    return failed_ && failed_->load(std::memory_order_acquire);
+  }
 
  private:
   friend class Process;
   std::unique_ptr<std::thread> thread_;
   std::shared_ptr<VirtualClock> clock_;
+  std::shared_ptr<std::atomic<bool>> failed_;
   TaskId task_ = -1;
 };
 
@@ -61,6 +68,9 @@ struct ProcessOptions {
   double stream_intensity = 0.15;
   /// §III-C fault coalescing (ablation switch).
   bool coalesce_faults = true;
+  /// Busy-entry retries before escalating to a blocking directory acquire
+  /// (DsmConfig::max_retries passthrough).
+  int max_retries = 64;
 };
 
 /// One entry of the migration log (Table II / Figure 3 raw data).
@@ -166,6 +176,12 @@ class Process {
   net::Message handle_migrate_back(const net::Message& msg);
   net::Message handle_delegate_futex(const net::Message& msg);
   net::Message handle_delegate_vma(const net::Message& msg);
+
+  /// Node-failure notification from Cluster::fail_node(): forgets the
+  /// remote worker on `node` and reclaims every page it held. Threads
+  /// currently on the dead node discover the failure at their next fabric
+  /// interaction and unwind as failed (see DexThread::failed()).
+  void on_node_failure(NodeId node);
 
  private:
   struct CallerGuard;  // validates tls context

@@ -8,6 +8,7 @@
 #include "common/assert.h"
 #include "common/time_gate.h"
 #include "common/virtual_clock.h"
+#include "net/rpc_error.h"
 
 namespace dex::mem {
 
@@ -363,7 +364,8 @@ GrantKind Dsm::transact(NodeId requester, TaskId task, GAddr page,
     entry.exclusive_owner = kInvalidNode;
   }
 
-  Pte& req_pte = page_table(requester).get_or_create(page);
+  // Ensure the requester's PTE exists before any grant touches it.
+  (void)page_table(requester).get_or_create(page);
 
   if (access == Access::kRead) {
     if (entry.exclusive_owner == requester) {
@@ -459,13 +461,39 @@ void Dsm::recall_from_owner(DirEntry& entry, GAddr page, bool downgrade) {
   const NodeId origin = config_.origin;
   DEX_CHECK(owner != kInvalidNode && owner != origin);
 
-  net::RevokePayload payload{config_.process_id, page,
-                             static_cast<std::uint8_t>(downgrade ? 1 : 0)};
-  Message msg;
-  msg.type = MsgType::kRevokeOwnership;
-  msg.dst = owner;
-  msg.set_payload(payload);
-  const Message reply = fabric_.call(origin, msg);
+  bool owner_lost = fabric_.injector().node_dead(owner);
+  Message reply;
+  if (!owner_lost) {
+    net::RevokePayload payload{config_.process_id, page,
+                               static_cast<std::uint8_t>(downgrade ? 1 : 0)};
+    Message msg;
+    msg.type = MsgType::kRevokeOwnership;
+    msg.dst = owner;
+    msg.set_payload(payload);
+    try {
+      reply = fabric_.call(origin, msg);
+    } catch (const net::NodeDeadError&) {
+      owner_lost = true;  // owner died mid-recall
+    }
+  }
+
+  if (owner_lost) {
+    // The only up-to-date copy died with the owner. Degrade gracefully:
+    // the origin's last written-back frame becomes authoritative again and
+    // the dirty loss is *reported* (FailureStats), never silent. Innocent
+    // requesters proceed with the stale-but-consistent data.
+    failure_stats_.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
+    failure_stats_.pages_reclaimed.fetch_add(1, std::memory_order_relaxed);
+    auto& chaos = prof::ChaosCounters::instance();
+    chaos.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
+    chaos.pages_reclaimed.fetch_add(1, std::memory_order_relaxed);
+    record_fault(owner, /*task=*/-1, page, prof::FaultKind::kReclaim,
+                 nullptr);
+    set_state(origin, page, PageState::kShared, entry.version);
+    entry.sharers.add(origin);
+    entry.sharers.remove(owner);
+    return;
+  }
   stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
 
   // Install the written-back data in the origin frame.
@@ -495,7 +523,12 @@ void Dsm::invalidate_copy(NodeId node, GAddr page, TaskId requester_task) {
   msg.type = MsgType::kRevokeOwnership;
   msg.dst = node;
   msg.set_payload(payload);
-  (void)fabric_.call(config_.origin, msg);
+  try {
+    (void)fabric_.call(config_.origin, msg);
+  } catch (const net::NodeDeadError&) {
+    // A clean shared copy died with its node; reclaim_node sweeps the
+    // sharer bit, and the caller clears the sharer set anyway.
+  }
 }
 
 Message Dsm::handle_revoke(const Message& msg) {
@@ -742,16 +775,88 @@ void Dsm::atomic_store_u64(NodeId node, TaskId task, GAddr addr,
 }
 
 // ---------------------------------------------------------------------------
+// Node-failure recovery
+// ---------------------------------------------------------------------------
+
+void Dsm::reclaim_node(NodeId dead) {
+  DEX_CHECK_MSG(dead != config_.origin,
+                "origin-node death kills the process; unsupported");
+  const NodeId origin = config_.origin;
+
+  // Snapshot entry pointers first: transact() re-enters the directory
+  // (tree lock) while holding an entry mutex, so locking entries inside
+  // for_each — which holds the tree lock — would ABBA-deadlock against
+  // in-flight transactions. Entry references stay valid outside munmap.
+  std::vector<std::pair<GAddr, DirEntry*>> entries;
+  directory_.for_each([&](std::uint64_t page_idx, DirEntry& entry) {
+    entries.emplace_back(static_cast<GAddr>(page_idx) << kPageShift, &entry);
+  });
+
+  auto& chaos = prof::ChaosCounters::instance();
+  for (auto& [page, entry] : entries) {
+    ScopedGateBlock gate_block("reclaim_entry_lock");
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (!entry->materialized) continue;
+    bool reclaimed = false;
+    if (entry->exclusive_owner == dead) {
+      // The dirty copy died with the node: the origin's last written-back
+      // frame becomes authoritative again, and the loss is reported.
+      failure_stats_.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
+      chaos.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
+      entry->exclusive_owner = kInvalidNode;
+      entry->sharers.clear();
+      set_state(origin, page, PageState::kShared, entry->version);
+      entry->sharers.add(origin);
+      reclaimed = true;
+    } else if (entry->sharers.contains(dead)) {
+      entry->sharers.remove(dead);
+      reclaimed = true;
+    }
+    // Wipe the dead node's PTE so local accesses there refault (and learn
+    // of the death from the fabric), and so a healed node starts clean.
+    // The seqcount bump forces concurrent seqlock readers to retry.
+    Pte* pte = page_table(dead).find(page);
+    if (pte != nullptr) {
+      pte->lock.lock();
+      pte->seq.fetch_add(1, std::memory_order_release);
+      pte->state.store(PageState::kInvalid, std::memory_order_release);
+      pte->version = kNoVersion;
+      pte->seq.fetch_add(1, std::memory_order_release);
+      pte->lock.unlock();
+    }
+    if (reclaimed) {
+      failure_stats_.pages_reclaimed.fetch_add(1, std::memory_order_relaxed);
+      chaos.pages_reclaimed.fetch_add(1, std::memory_order_relaxed);
+      record_fault(dead, /*task=*/-1, page, prof::FaultKind::kReclaim,
+                   nullptr);
+    }
+  }
+
+  // A healed node must not trust VMA replicas from its previous life; it
+  // re-syncs on demand like a fresh node (§III-D).
+  replica_space(dead).clear();
+}
+
+// ---------------------------------------------------------------------------
 // Invariants
 // ---------------------------------------------------------------------------
 
 bool Dsm::check_invariants() const {
   bool ok = true;
   auto& self = const_cast<Dsm&>(*this);
+  // Snapshot entries before locking them: transact() takes the tree lock
+  // while holding entry.mu, so locking entries under for_each's tree lock
+  // would invert the order against in-flight transactions (see
+  // reclaim_node).
+  std::vector<std::pair<std::uint64_t, DirEntry*>> entries;
   self.directory_.for_each([&](std::uint64_t page_idx, DirEntry& entry) {
+    entries.emplace_back(page_idx, &entry);
+  });
+  for (auto& [page_idx, entry_ptr] : entries) {
+    DirEntry& entry = *entry_ptr;
     std::lock_guard<std::mutex> lock(entry.mu);
     const GAddr page = static_cast<GAddr>(page_idx) << kPageShift;
-    if (!entry.materialized) return;
+    if (!entry.materialized) continue;
     if (entry.exclusive_owner != kInvalidNode) {
       // Single-writer: the owner is the only sharer and holds kExclusive.
       if (entry.sharers.count() != 1 ||
@@ -801,7 +906,7 @@ bool Dsm::check_invariants() const {
         }
       }
     }
-  });
+  }
   return ok;
 }
 

@@ -75,6 +75,17 @@ struct DsmConfig {
   int max_retries = 64;
 };
 
+/// Per-process accounting of node-failure damage and recovery work. Dirty
+/// pages whose only up-to-date copy died with a node are *lost* — the
+/// origin's last written-back frame becomes authoritative again — and that
+/// loss is reported here rather than papered over.
+struct FailureStats {
+  std::atomic<std::uint64_t> node_failures{0};
+  std::atomic<std::uint64_t> pages_reclaimed{0};
+  std::atomic<std::uint64_t> dirty_pages_lost{0};
+  std::atomic<std::uint64_t> threads_lost{0};
+};
+
 struct DsmStats {
   std::atomic<std::uint64_t> read_faults{0};
   std::atomic<std::uint64_t> write_faults{0};
@@ -146,6 +157,7 @@ class Dsm {
   }
   Directory& directory() { return directory_; }
   DsmStats& stats() { return stats_; }
+  FailureStats& failure_stats() { return failure_stats_; }
   prof::FaultTrace* trace() { return trace_; }
   net::Fabric& fabric() { return fabric_; }
 
@@ -162,6 +174,15 @@ class Dsm {
   /// Directory invariant check used by tests: every entry has either one
   /// exclusive owner that is its only sharer, or no owner and >= 0 sharers.
   bool check_invariants() const;
+
+  /// Node-death recovery (graceful degradation): walks the directory and
+  /// reclaims every page `dead` holds — a dead exclusive owner's dirty copy
+  /// is lost (counted in FailureStats::dirty_pages_lost; the origin frame
+  /// becomes authoritative again), dead sharers are dropped, the dead
+  /// node's PTEs and VMA replica are wiped so a healed node refaults from
+  /// scratch. Idempotent; also safe to run at heal time to sweep grants
+  /// that raced the failure.
+  void reclaim_node(NodeId dead);
 
  private:
   std::size_t origin_index() const {
@@ -209,6 +230,7 @@ class Dsm {
   std::vector<std::unique_ptr<FaultTable>> fault_tables_;
   Directory directory_;
   DsmStats stats_;
+  FailureStats failure_stats_;
 };
 
 }  // namespace dex::mem

@@ -195,4 +195,10 @@ std::uint64_t AddressSpace::version() const {
   return version_;
 }
 
+void AddressSpace::clear() {
+  std::unique_lock lock(mu_);
+  vmas_.clear();
+  ++version_;
+}
+
 }  // namespace dex::mem

@@ -79,6 +79,11 @@ class AddressSpace {
   /// on-demand sync). Overwrites any overlapping stale replica entries.
   void install_replica(const Vma& vma);
 
+  /// Drops every mapping. Used on node-failure recovery to wipe a dead
+  /// node's replica space so a healed node re-syncs on demand; never
+  /// called on the origin's authoritative space.
+  void clear();
+
   std::optional<Vma> find(GAddr addr) const;
   std::vector<Vma> snapshot() const;
   std::size_t vma_count() const;

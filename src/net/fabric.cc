@@ -1,11 +1,27 @@
 #include "net/fabric.h"
 
 #include <cstring>
+#include <string>
 
 #include "common/assert.h"
 #include "common/virtual_clock.h"
+#include "net/rpc_error.h"
+#include "prof/trace.h"
 
 namespace dex::net {
+
+std::string RpcError::describe(MsgType type, NodeId src, NodeId dst,
+                               int attempts, const std::string& reason) {
+  std::string what = "rpc ";
+  what += to_string(type);
+  what += " " + std::to_string(src) + "->" + std::to_string(dst);
+  what += " failed";
+  if (attempts > 0) {
+    what += " after " + std::to_string(attempts) + " attempts";
+  }
+  what += ": " + reason;
+  return what;
+}
 
 const char* to_string(MsgType type) {
   switch (type) {
@@ -24,15 +40,32 @@ const char* to_string(MsgType type) {
     case MsgType::kDelegateFutex: return "delegate_futex";
     case MsgType::kDelegateVmaOp: return "delegate_vma_op";
     case MsgType::kDelegateExit: return "delegate_exit";
+    case MsgType::kAck: return "ack";
     case MsgType::kMaxType: return "max_type";
   }
   return "?";
 }
 
-Fabric::Fabric(const FabricOptions& options) : options_(options) {
+const char* to_string(MsgStatus status) {
+  switch (status) {
+    case MsgStatus::kOk: return "ok";
+    case MsgStatus::kError: return "error";
+    case MsgStatus::kBadPayload: return "bad_payload";
+    case MsgStatus::kUnknownProcess: return "unknown_process";
+  }
+  return "?";
+}
+
+Fabric::Fabric(const FabricOptions& options)
+    : options_(options), injector_(options.num_nodes) {
   DEX_CHECK(options.num_nodes >= 1);
+  DEX_CHECK(options.retry.max_attempts >= 1);
   const int n = options.num_nodes;
   connections_.resize(static_cast<std::size_t>(n) * n);
+  dedup_.reserve(static_cast<std::size_t>(n));
+  for (int dst = 0; dst < n; ++dst) {
+    dedup_.push_back(std::make_unique<DedupCache>());
+  }
   for (int src = 0; src < n; ++src) {
     for (int dst = 0; dst < n; ++dst) {
       if (src == dst) continue;
@@ -40,6 +73,7 @@ Fabric::Fabric(const FabricOptions& options) : options_(options) {
           std::make_unique<RcConnection>(src, dst, options.connection);
     }
   }
+  injector_.configure(options.faults);
 }
 
 void Fabric::register_handler(MsgType type, Handler handler) {
@@ -161,6 +195,60 @@ VirtNs Fabric::bulk_transfer(NodeId src, NodeId dst, const std::uint8_t* data,
   return charged;
 }
 
+void Fabric::check_liveness(NodeId src, const Message& msg) const {
+  if (injector_.node_dead(msg.dst)) {
+    throw NodeDeadError(msg.dst, msg.type, src, msg.dst);
+  }
+  if (injector_.node_dead(src)) {
+    // The caller's own node died (a migrated thread racing fail_node): its
+    // next fabric interaction is where it finds out.
+    throw NodeDeadError(src, msg.type, src, msg.dst);
+  }
+}
+
+Message Fabric::dispatch(const Message& msg, bool deduplicate) {
+  const auto idx = static_cast<std::size_t>(msg.type);
+  if (!deduplicate || msg.seq == 0) return handlers_[idx](msg);
+
+  DedupCache& cache = *dedup_[static_cast<std::size_t>(msg.dst)];
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.replies.find(msg.seq);
+    if (it != cache.replies.end()) {
+      dedup_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      prof::ChaosCounters::instance().dedup_suppressed.fetch_add(
+          1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  Message reply = handlers_[idx](msg);
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (cache.replies.emplace(msg.seq, reply).second) {
+      cache.order.push_back(msg.seq);
+      while (cache.order.size() > DedupCache::kCapacity) {
+        cache.replies.erase(cache.order.front());
+        cache.order.pop_front();
+      }
+    }
+  }
+  return reply;
+}
+
+void Fabric::charge_timeout(const Message& msg, int attempt) {
+  auto& chaos = prof::ChaosCounters::instance();
+  rpc_timeouts_.fetch_add(1, std::memory_order_relaxed);
+  chaos.rpc_timeouts.fetch_add(1, std::memory_order_relaxed);
+  const RetryPolicy& retry = options_.retry;
+  vclock::advance(retry.timeout_ns + retry.backoff_for(attempt));
+  if (attempt >= retry.max_attempts) {
+    throw RpcError(msg.type, msg.src, msg.dst, attempt, MsgStatus::kError,
+                   "timed out (message lost)");
+  }
+  rpc_retries_.fetch_add(1, std::memory_order_relaxed);
+  chaos.rpc_retries.fetch_add(1, std::memory_order_relaxed);
+}
+
 Message Fabric::call(NodeId src, const Message& request) {
   const auto idx = static_cast<std::size_t>(request.type);
   DEX_CHECK(idx < handlers_.size());
@@ -169,22 +257,63 @@ Message Fabric::call(NodeId src, const Message& request) {
 
   Message msg = request;
   msg.src = src;
-
-  VirtNs charged = 0;
   const bool cross_node = src != msg.dst;
-  if (cross_node) {
-    if (delay_injector_) charged += delay_injector_(msg);
-    charged += transmit_small(connection(src, msg.dst), msg);
+  // Sequence numbers make non-idempotent RPCs safe to retry: the number is
+  // assigned once per logical call and reused across retransmissions, so
+  // the receiver recognizes (and suppresses) re-deliveries.
+  const bool deduplicate = cross_node && !is_idempotent(msg.type);
+  if (deduplicate && msg.seq == 0) {
+    msg.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   }
-  vclock::advance(charged);
-  msg.sent_at = vclock::now();
 
-  Message reply = handlers_[idx](msg);
-  reply.src = msg.dst;
-  reply.dst = src;
+  for (int attempt = 1;; ++attempt) {
+    check_liveness(src, msg);
 
-  VirtNs reply_cost = 0;
-  if (cross_node) {
+    if (!cross_node) {
+      // Intra-node: no wire, no faults, no retries.
+      msg.sent_at = vclock::now();
+      Message reply = handlers_[idx](msg);
+      reply.src = msg.dst;
+      reply.dst = src;
+      reply.sent_at = vclock::now();
+      if (reply.status != MsgStatus::kOk) {
+        throw RpcError(msg.type, src, msg.dst, attempt, reply.status,
+                       to_string(reply.status));
+      }
+      return reply;
+    }
+
+    // --- request leg ---
+    const FaultDecision request_fate =
+        injector_.decide(msg.type, src, msg.dst);
+    if (request_fate.drop) {
+      charge_timeout(msg, attempt);
+      continue;
+    }
+    VirtNs charged = request_fate.delay_ns;
+    charged += transmit_small(connection(src, msg.dst), msg);
+    vclock::advance(charged);
+    msg.sent_at = vclock::now();
+
+    Message reply = dispatch(msg, deduplicate);
+    if (request_fate.duplicate) {
+      // The wire delivered the request twice. Idempotent handlers re-run
+      // and converge; non-idempotent ones hit the dedup cache.
+      (void)dispatch(msg, deduplicate);
+    }
+    reply.src = msg.dst;
+    reply.dst = src;
+
+    // --- reply leg ---
+    const FaultDecision reply_fate =
+        injector_.decide(reply.type, msg.dst, src);
+    if (reply_fate.drop) {
+      // The handler ran but the caller cannot know: burn the timeout and
+      // retransmit the request (dedup keeps the re-execution safe).
+      charge_timeout(msg, attempt);
+      continue;
+    }
+    VirtNs reply_cost = reply_fate.delay_ns;
     RcConnection& back = connection(msg.dst, src);
     if (reply.payload.size() >= options_.bulk_threshold) {
       // Control part of the reply goes over VERB, payload over the bulk
@@ -200,10 +329,14 @@ Message Fabric::call(NodeId src, const Message& request) {
     } else {
       reply_cost += transmit_small(back, reply);
     }
+    vclock::advance(reply_cost);
+    reply.sent_at = vclock::now();
+    if (reply.status != MsgStatus::kOk) {
+      throw RpcError(msg.type, src, msg.dst, attempt, reply.status,
+                     to_string(reply.status));
+    }
+    return reply;
   }
-  vclock::advance(reply_cost);
-  reply.sent_at = vclock::now();
-  return reply;
 }
 
 void Fabric::post(NodeId src, const Message& request) {
@@ -214,14 +347,41 @@ void Fabric::post(NodeId src, const Message& request) {
 
   Message msg = request;
   msg.src = src;
-  VirtNs charged = 0;
-  if (src != msg.dst) {
-    if (delay_injector_) charged += delay_injector_(msg);
-    charged += transmit_small(connection(src, msg.dst), msg);
+  if (injector_.node_dead(src)) {
+    throw NodeDeadError(src, msg.type, src, msg.dst);
   }
-  vclock::advance(charged);
-  msg.sent_at = vclock::now();
-  (void)handlers_[idx](msg);
+  if (src != msg.dst && injector_.node_dead(msg.dst)) {
+    // Fire-and-forget to a dead peer: nothing to deliver, nobody to tell.
+    posts_to_dead_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  for (int attempt = 1;; ++attempt) {
+    VirtNs charged = 0;
+    FaultDecision fate;
+    if (src != msg.dst) {
+      fate = injector_.decide(msg.type, src, msg.dst);
+      if (fate.drop) {
+        // One-way sends ride the RC transport's retransmission: charge the
+        // backoff and try again until the budget runs out, then count the
+        // loss (protocol-level posts tolerate at-most-once only under
+        // adversarial schedules; see DESIGN.md "Failure model").
+        vclock::advance(options_.retry.backoff_for(attempt));
+        if (attempt >= options_.retry.max_attempts) return;
+        rpc_retries_.fetch_add(1, std::memory_order_relaxed);
+        prof::ChaosCounters::instance().rpc_retries.fetch_add(
+            1, std::memory_order_relaxed);
+        continue;
+      }
+      charged += fate.delay_ns;
+      charged += transmit_small(connection(src, msg.dst), msg);
+    }
+    vclock::advance(charged);
+    msg.sent_at = vclock::now();
+    (void)handlers_[idx](msg);
+    if (fate.duplicate) (void)handlers_[idx](msg);
+    return;
+  }
 }
 
 std::uint64_t Fabric::total_messages() const {

@@ -16,13 +16,17 @@
 
 #include <array>
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
 #include "net/connection.h"
 #include "net/cost_model.h"
+#include "net/fault_injector.h"
 #include "net/message.h"
 
 namespace dex::net {
@@ -41,6 +45,25 @@ struct FabricMode {
   BulkPath bulk_path = BulkPath::kRdmaSink;
 };
 
+/// Timeout + bounded-exponential-backoff schedule for RPC delivery. A lost
+/// leg (request or reply, as decided by the FaultInjector) costs the caller
+/// one timeout plus the attempt's backoff on its virtual clock; after
+/// `max_attempts` the call surfaces RpcError instead of hanging.
+struct RetryPolicy {
+  int max_attempts = 4;
+  VirtNs timeout_ns = 50'000;
+  VirtNs backoff_base_ns = 10'000;
+  VirtNs backoff_max_ns = 400'000;
+
+  VirtNs backoff_for(int attempt) const {
+    VirtNs backoff = backoff_base_ns;
+    for (int i = 1; i < attempt && backoff < backoff_max_ns; ++i) {
+      backoff *= 2;
+    }
+    return backoff < backoff_max_ns ? backoff : backoff_max_ns;
+  }
+};
+
 struct FabricOptions {
   int num_nodes = 2;
   CostModel cost;
@@ -48,6 +71,10 @@ struct FabricOptions {
   FabricMode mode;
   /// Payloads at or above this size take the bulk (RDMA) path.
   std::size_t bulk_threshold = 2048;
+  RetryPolicy retry;
+  /// Chaos schedule installed at construction (reconfigurable via
+  /// injector().configure()).
+  FaultPolicy faults;
 };
 
 class Fabric {
@@ -69,10 +96,21 @@ class Fabric {
   /// dispatches to the handler, charges reply costs (bulk replies take the
   /// RDMA-sink path), and returns the reply. Intra-node calls short-circuit
   /// the wire but still run the handler.
+  ///
+  /// Failure semantics: a leg the FaultInjector drops costs the caller one
+  /// RPC timeout plus exponential backoff and is retried; idempotent
+  /// message types simply re-execute, non-idempotent ones carry a sequence
+  /// number and are duplicate-suppressed at the receiver (the cached reply
+  /// is returned). After RetryPolicy::max_attempts the call throws
+  /// RpcError; a dead src or dst throws NodeDeadError. An error-status
+  /// reply (the kAck convention) also throws RpcError. call() never hangs
+  /// on a lost message and never silently drops a failure.
   Message call(NodeId src, const Message& request);
 
   /// One-way message (eager VMA update broadcasts, teardown). Charges the
-  /// send path only; the handler's reply is discarded.
+  /// send path only; the handler's reply is discarded. Drops are retried on
+  /// the same backoff schedule (RC transports retransmit); a post to a dead
+  /// node is silently discarded (counted), since there is nobody to tell.
   void post(NodeId src, const Message& request);
 
   /// Moves `len` bytes of bulk payload (page data) from `src` to `dst`
@@ -83,11 +121,11 @@ class Fabric {
 
   RcConnection& connection(NodeId src, NodeId dst);
 
-  /// Optional per-message extra latency for fault-injection tests.
-  using DelayInjector = std::function<VirtNs(const Message&)>;
-  void set_delay_injector(DelayInjector injector) {
-    delay_injector_ = std::move(injector);
-  }
+  /// The chaos policy object: drop/duplicate/delay schedules and node
+  /// liveness. Replaces the old ad-hoc DelayInjector hook.
+  FaultInjector& injector() { return injector_; }
+  const FaultInjector& injector() const { return injector_; }
+  const RetryPolicy& retry_policy() const { return options_.retry; }
 
   // ---- Aggregate statistics ----
   std::uint64_t total_messages() const;
@@ -98,9 +136,34 @@ class Fabric {
         std::memory_order_relaxed);
   }
   std::uint64_t pool_stalls() const;
+  std::uint64_t rpc_timeouts() const {
+    return rpc_timeouts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rpc_retries() const {
+    return rpc_retries_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dedup_suppressed() const {
+    return dedup_suppressed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t posts_to_dead() const {
+    return posts_to_dead_.load(std::memory_order_relaxed);
+  }
   void reset_counters();
 
  private:
+  /// Per-destination cache of replies to non-idempotent RPCs, keyed by
+  /// sequence number. A retried (or injector-duplicated) delivery whose
+  /// first execution already ran gets the cached reply instead of a second
+  /// execution — at-least-once delivery, exactly-once execution. Bounded
+  /// FIFO, standing in for the receive-window bookkeeping an RC transport
+  /// keeps per queue pair.
+  struct DedupCache {
+    static constexpr std::size_t kCapacity = 4096;
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, Message> replies;
+    std::deque<std::uint64_t> order;
+  };
+
   /// Models moving `msg` src->dst over VERB using the pooled buffers;
   /// returns the virtual cost charged.
   VirtNs transmit_small(RcConnection& conn, const Message& msg);
@@ -109,6 +172,17 @@ class Fabric {
   VirtNs transmit_bulk(RcConnection& conn, const std::uint8_t* data,
                        std::size_t len, std::uint8_t* out);
 
+  /// Runs the handler at the destination, consulting/populating the dedup
+  /// cache when `deduplicate` is set.
+  Message dispatch(const Message& msg, bool deduplicate);
+
+  /// Charges one timed-out attempt (timeout + backoff); throws RpcError
+  /// once the retry budget is spent.
+  void charge_timeout(const Message& msg, int attempt);
+
+  /// Throws NodeDeadError when either endpoint has been declared dead.
+  void check_liveness(NodeId src, const Message& msg) const;
+
   FabricOptions options_;
   // connections_[src * n + dst], src != dst.
   std::vector<std::unique_ptr<RcConnection>> connections_;
@@ -116,7 +190,13 @@ class Fabric {
   std::array<std::atomic<std::uint64_t>,
              static_cast<std::size_t>(MsgType::kMaxType)>
       type_counts_{};
-  DelayInjector delay_injector_;
+  FaultInjector injector_;
+  std::vector<std::unique_ptr<DedupCache>> dedup_;  // per destination node
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<std::uint64_t> rpc_timeouts_{0};
+  std::atomic<std::uint64_t> rpc_retries_{0};
+  std::atomic<std::uint64_t> dedup_suppressed_{0};
+  std::atomic<std::uint64_t> posts_to_dead_{0};
 };
 
 }  // namespace dex::net

@@ -1,0 +1,109 @@
+#include "net/fault_injector.h"
+
+#include "common/assert.h"
+#include "common/rand.h"
+#include "prof/trace.h"
+
+namespace dex::net {
+
+FaultInjector::FaultInjector(int num_nodes) : num_nodes_(num_nodes) {
+  DEX_CHECK(num_nodes >= 1 && num_nodes <= 64);
+  stream_counts_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(num_nodes) * num_nodes *
+      static_cast<std::size_t>(MsgType::kMaxType));
+}
+
+void FaultInjector::configure(const FaultPolicy& policy) {
+  seed_ = policy.seed;
+  rules_.clear();
+  for (const FaultRule& rule : policy.rules) {
+    rules_.emplace_back().spec = rule;
+  }
+  for (auto& count : stream_counts_) {
+    count.store(0, std::memory_order_relaxed);
+  }
+  armed_.store(!rules_.empty(), std::memory_order_release);
+}
+
+std::size_t FaultInjector::stream_index(MsgType type, NodeId src,
+                                        NodeId dst) const {
+  return (static_cast<std::size_t>(src) * num_nodes_ +
+          static_cast<std::size_t>(dst)) *
+             static_cast<std::size_t>(MsgType::kMaxType) +
+         static_cast<std::size_t>(type);
+}
+
+FaultDecision FaultInjector::decide(MsgType type, NodeId src, NodeId dst) {
+  FaultDecision decision;
+  if (!armed()) return decision;
+
+  const std::uint64_t n =
+      stream_counts_[stream_index(type, src, dst)].fetch_add(
+          1, std::memory_order_relaxed);
+
+  for (ArmedRule& rule : rules_) {
+    const FaultRule& spec = rule.spec;
+    if (spec.type != MsgType::kInvalid && spec.type != type) continue;
+    if (spec.src != kInvalidNode && spec.src != src) continue;
+    if (spec.dst != kInvalidNode && spec.dst != dst) continue;
+
+    // One uniform draw per traversal, keyed by the stream identity and the
+    // message's index within the stream — deterministic under the seed no
+    // matter how host threads interleave.
+    std::uint64_t key = seed_;
+    key ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(src) + 1);
+    key ^= 0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(dst) + 1);
+    key ^= 0x94d049bb133111ebULL * (static_cast<std::uint64_t>(type) + 1);
+    SplitMix64 gen(key + n * 0x2545f4914f6cdd1dULL);
+    const double u = static_cast<double>(gen.next() >> 11) * 0x1.0p-53;
+
+    auto& chaos = prof::ChaosCounters::instance();
+    if (u < spec.drop_prob) {
+      if (rule.used.fetch_add(1, std::memory_order_relaxed) >=
+          spec.max_faults) {
+        return decision;  // budget exhausted: deliver untouched
+      }
+      decision.drop = true;
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      chaos.messages_dropped.fetch_add(1, std::memory_order_relaxed);
+    } else if (u < spec.drop_prob + spec.dup_prob) {
+      if (rule.used.fetch_add(1, std::memory_order_relaxed) >=
+          spec.max_faults) {
+        return decision;
+      }
+      decision.duplicate = true;
+      duplicates_.fetch_add(1, std::memory_order_relaxed);
+      chaos.messages_duplicated.fetch_add(1, std::memory_order_relaxed);
+    } else if (u < spec.drop_prob + spec.dup_prob + spec.delay_prob) {
+      if (rule.used.fetch_add(1, std::memory_order_relaxed) >=
+          spec.max_faults) {
+        return decision;
+      }
+      decision.delay_ns = spec.delay_ns;
+      delays_.fetch_add(1, std::memory_order_relaxed);
+      chaos.messages_delayed.fetch_add(1, std::memory_order_relaxed);
+    }
+    return decision;  // first matching rule wins, faulting or not
+  }
+  return decision;
+}
+
+void FaultInjector::fail_node(NodeId node) {
+  DEX_CHECK(node >= 0 && node < num_nodes_);
+  dead_mask_.fetch_or(std::uint64_t{1} << static_cast<unsigned>(node),
+                      std::memory_order_acq_rel);
+}
+
+void FaultInjector::heal_node(NodeId node) {
+  DEX_CHECK(node >= 0 && node < num_nodes_);
+  dead_mask_.fetch_and(~(std::uint64_t{1} << static_cast<unsigned>(node)),
+                       std::memory_order_acq_rel);
+}
+
+void FaultInjector::reset_stats() {
+  drops_.store(0, std::memory_order_relaxed);
+  duplicates_.store(0, std::memory_order_relaxed);
+  delays_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dex::net

@@ -1,0 +1,111 @@
+// Deterministic chaos for the simulated fabric.
+//
+// Replaces the old ad-hoc DelayInjector hook with a policy object that can,
+// per message type / node pair, drop a message, duplicate its delivery,
+// add latency, or declare a whole node dead. Every decision is a pure
+// function of (seed, src, dst, type, per-stream message index), so a chaos
+// run is reproducible regardless of host-thread interleaving: the N-th
+// kPageRequestWrite from node 2 to node 0 always suffers the same fate
+// under the same seed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace dex::net {
+
+/// One match-and-fault clause. Wildcards: `type == kInvalid` matches every
+/// message type, `src/dst == kInvalidNode` match every node. The first
+/// matching rule wins; probabilities within a rule are exclusive bands of a
+/// single uniform draw (drop, then duplicate, then delay).
+struct FaultRule {
+  MsgType type = MsgType::kInvalid;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  VirtNs delay_ns = 0;
+  /// Total faults this rule may inject before disarming; lets tests force
+  /// exact schedules ("drop the first two, then deliver").
+  std::uint64_t max_faults = std::numeric_limits<std::uint64_t>::max();
+};
+
+struct FaultPolicy {
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+};
+
+/// What the injector decided for one wire traversal.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  VirtNs delay_ns = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(int num_nodes);
+
+  /// Installs a policy. Not thread-safe against in-flight traffic: call
+  /// before the workload starts (tests reconfigure between phases).
+  void configure(const FaultPolicy& policy);
+
+  /// Fast-path check: false when no rules are installed, so un-chaosed
+  /// runs pay one relaxed load per message and nothing else.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Decides the fate of one src->dst traversal of a `type` message and
+  /// advances that stream's deterministic counter.
+  FaultDecision decide(MsgType type, NodeId src, NodeId dst);
+
+  // ---- Node liveness ----
+  void fail_node(NodeId node);
+  void heal_node(NodeId node);
+  bool node_dead(NodeId node) const {
+    return (dead_mask_.load(std::memory_order_acquire) >>
+            static_cast<unsigned>(node)) &
+           1u;
+  }
+
+  // ---- Injection statistics ----
+  std::uint64_t drops() const {
+    return drops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t duplicates() const {
+    return duplicates_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delays() const {
+    return delays_.load(std::memory_order_relaxed);
+  }
+  void reset_stats();
+
+ private:
+  struct ArmedRule {
+    FaultRule spec;
+    std::atomic<std::uint64_t> used{0};
+  };
+
+  std::size_t stream_index(MsgType type, NodeId src, NodeId dst) const;
+
+  int num_nodes_;
+  std::uint64_t seed_ = 0;
+  std::atomic<bool> armed_{false};
+  /// deque: ArmedRule holds an atomic and must never be moved.
+  std::deque<ArmedRule> rules_;
+  /// Per (src, dst, type) message counters — the deterministic streams.
+  std::vector<std::atomic<std::uint64_t>> stream_counts_;
+  std::atomic<std::uint64_t> dead_mask_{0};
+
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> delays_{0};
+};
+
+}  // namespace dex::net

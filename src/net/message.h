@@ -40,25 +40,68 @@ enum class MsgType : std::uint16_t {
   kDelegateVmaOp,  // remote -> origin: mmap/munmap/mprotect at origin
   kDelegateExit,   // origin -> remotes: process teardown
 
+  // --- Control plane ---
+  kAck,  // bare status reply: lets handlers signal failure without a payload
+
   kMaxType,
 };
 
 const char* to_string(MsgType type);
+
+/// Handler-level result carried in every reply header. Anything but kOk
+/// makes Fabric::call() raise RpcError at the requester instead of letting
+/// the caller parse a payload that is not there — the replacement for the
+/// old convention of DEX_CHECK-aborting the whole simulation inside the
+/// dispatcher.
+enum class MsgStatus : std::uint16_t {
+  kOk = 0,
+  kError = 1,
+  kBadPayload = 2,      // payload too small / malformed for the type
+  kUnknownProcess = 3,  // no process registered under the leading id
+};
+
+const char* to_string(MsgStatus status);
+
+/// True when re-executing the handler for a duplicate delivery converges to
+/// the same protocol state (so lost-reply retries may simply re-run it).
+/// Non-idempotent messages carry a sequence number and are deduplicated at
+/// the receiver:
+///   - kRevokeOwnership: the first execution writes back and invalidates
+///     the owner's copy; a re-run would return an empty writeback.
+///   - kMigrateThread / kMigrateBack-adjacent bookkeeping and
+///     kDelegateFutex / kDelegateVmaOp: wait/wake and VMA mutations must
+///     take effect exactly once.
+constexpr bool is_idempotent(MsgType type) {
+  switch (type) {
+    case MsgType::kRevokeOwnership:
+    case MsgType::kMigrateThread:
+    case MsgType::kDelegateFutex:
+    case MsgType::kDelegateVmaOp:
+      return false;
+    default:
+      return true;
+  }
+}
 
 /// A message: fixed header + POD payload bytes. Payloads are packed/unpacked
 /// with the trivially-copyable helpers below, standing in for the kernel's
 /// struct-over-the-wire layouts.
 struct Message {
   MsgType type = MsgType::kInvalid;
+  MsgStatus status = MsgStatus::kOk;
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
+  /// Sequence number for non-idempotent messages; 0 means "no dedup".
+  /// Assigned once per logical RPC by the fabric, reused across retries, so
+  /// the receiver can suppress duplicate deliveries.
+  std::uint64_t seq = 0;
   /// Virtual timestamp at which the message was sent; the receiver's clock
   /// observes (joins) this value.
   VirtNs sent_at = 0;
   std::vector<std::uint8_t> payload;
 
   std::size_t wire_size() const { return kHeaderBytes + payload.size(); }
-  static constexpr std::size_t kHeaderBytes = 24;
+  static constexpr std::size_t kHeaderBytes = 32;
 
   template <typename T>
   void set_payload(const T& value) {
@@ -67,8 +110,21 @@ struct Message {
     std::memcpy(payload.data(), &value, sizeof(T));
   }
 
+  /// Exact-size unpack: the wire type and the expected struct must agree.
+  /// An oversized payload is as much of a framing bug as a truncated one.
   template <typename T>
   T payload_as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DEX_CHECK_MSG(payload.size() == sizeof(T), "payload size mismatch");
+    T value;
+    std::memcpy(&value, payload.data(), sizeof(T));
+    return value;
+  }
+
+  /// Reads a leading field out of a larger payload (the dispatcher peeks at
+  /// the 64-bit process id every DeX payload starts with).
+  template <typename T>
+  T payload_prefix_as() const {
     static_assert(std::is_trivially_copyable_v<T>);
     DEX_CHECK_MSG(payload.size() >= sizeof(T), "payload too small");
     T value;
@@ -79,6 +135,14 @@ struct Message {
   void set_bytes(const void* data, std::size_t len) {
     payload.resize(len);
     if (len != 0) std::memcpy(payload.data(), data, len);
+  }
+
+  /// A bare failure reply (the kAck/error-status convention).
+  static Message error_reply(MsgStatus error) {
+    Message reply;
+    reply.type = MsgType::kAck;
+    reply.status = error;
+    return reply;
   }
 };
 

@@ -1,0 +1,67 @@
+// Typed failures of the simulated fabric.
+//
+// The paper's kernel messaging layer assumes a reliable rack and simply
+// blocks forever on a lost completion; a chaos-tested reproduction cannot.
+// When the retry budget of Fabric::call()/post() is exhausted, or when the
+// destination (or the caller's own node) has been declared dead by the
+// FaultInjector, the fabric raises one of these instead of hanging. The
+// core runtime catches them at thread granularity and reports the thread
+// as failed rather than deadlocking the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace dex::net {
+
+/// An RPC that could not be completed: every attempt timed out, or the
+/// handler replied with an error status. Carries enough context to log and
+/// to decide whether the operation is safely retryable at a higher level.
+class RpcError : public std::runtime_error {
+ public:
+  RpcError(MsgType type, NodeId src, NodeId dst, int attempts,
+           MsgStatus status, const std::string& reason)
+      : std::runtime_error(describe(type, src, dst, attempts, reason)),
+        type_(type),
+        src_(src),
+        dst_(dst),
+        attempts_(attempts),
+        status_(status) {}
+
+  MsgType type() const { return type_; }
+  NodeId src() const { return src_; }
+  NodeId dst() const { return dst_; }
+  int attempts() const { return attempts_; }
+  MsgStatus status() const { return status_; }
+
+ private:
+  static std::string describe(MsgType type, NodeId src, NodeId dst,
+                              int attempts, const std::string& reason);
+
+  MsgType type_;
+  NodeId src_;
+  NodeId dst_;
+  int attempts_;
+  MsgStatus status_;
+};
+
+/// The peer (or the caller's own node) has been declared dead. Subclasses
+/// RpcError so `catch (const RpcError&)` covers both failure shapes.
+class NodeDeadError : public RpcError {
+ public:
+  explicit NodeDeadError(NodeId dead, MsgType type = MsgType::kInvalid,
+                         NodeId src = kInvalidNode, NodeId dst = kInvalidNode)
+      : RpcError(type, src, dst, /*attempts=*/0, MsgStatus::kError,
+                 "node " + std::to_string(dead) + " is dead"),
+        dead_node_(dead) {}
+
+  NodeId dead_node() const { return dead_node_; }
+
+ private:
+  NodeId dead_node_;
+};
+
+}  // namespace dex::net

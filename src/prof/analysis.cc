@@ -34,6 +34,11 @@ TraceAnalysis::TraceAnalysis(std::vector<FaultEvent> events)
         ++sr.retries;
         ++retries_;
         break;
+      case FaultKind::kReclaim:
+      case FaultKind::kNodeDead:
+        ++pr.failures;
+        ++sr.failures;
+        break;
     }
     if (e.node != kInvalidNode) pr.nodes.insert(e.node);
     if (e.task >= 0) pr.tasks.insert(e.task);

@@ -27,6 +27,7 @@ struct SiteReport {
   std::uint64_t writes = 0;
   std::uint64_t invalidations = 0;
   std::uint64_t retries = 0;
+  std::uint64_t failures = 0;  // reclaim / node-death events
   std::uint64_t total() const { return reads + writes + retries; }
 };
 
@@ -37,6 +38,7 @@ struct PageReport {
   std::uint64_t writes = 0;
   std::uint64_t invalidations = 0;
   std::uint64_t retries = 0;
+  std::uint64_t failures = 0;  // reclaim / node-death events
   std::set<NodeId> nodes;
   std::set<std::uint32_t> sites;
   std::set<TaskId> tasks;

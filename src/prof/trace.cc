@@ -1,5 +1,7 @@
 #include "prof/trace.h"
 
+#include <sstream>
+
 namespace dex::prof {
 
 const char* to_string(FaultKind kind) {
@@ -8,8 +10,43 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kWrite: return "write";
     case FaultKind::kInvalidate: return "invalidate";
     case FaultKind::kRetry: return "retry";
+    case FaultKind::kReclaim: return "reclaim";
+    case FaultKind::kNodeDead: return "node_dead";
   }
   return "?";
+}
+
+ChaosCounters& ChaosCounters::instance() {
+  static ChaosCounters counters;
+  return counters;
+}
+
+void ChaosCounters::reset() {
+  messages_dropped.store(0, std::memory_order_relaxed);
+  messages_duplicated.store(0, std::memory_order_relaxed);
+  messages_delayed.store(0, std::memory_order_relaxed);
+  rpc_timeouts.store(0, std::memory_order_relaxed);
+  rpc_retries.store(0, std::memory_order_relaxed);
+  dedup_suppressed.store(0, std::memory_order_relaxed);
+  node_failures.store(0, std::memory_order_relaxed);
+  pages_reclaimed.store(0, std::memory_order_relaxed);
+  dirty_pages_lost.store(0, std::memory_order_relaxed);
+  threads_lost.store(0, std::memory_order_relaxed);
+}
+
+std::string ChaosCounters::report() const {
+  std::ostringstream os;
+  os << "chaos: drops=" << messages_dropped.load()
+     << " dups=" << messages_duplicated.load()
+     << " delays=" << messages_delayed.load()
+     << " timeouts=" << rpc_timeouts.load()
+     << " retries=" << rpc_retries.load()
+     << " dedup=" << dedup_suppressed.load()
+     << " node_failures=" << node_failures.load()
+     << " pages_reclaimed=" << pages_reclaimed.load()
+     << " dirty_pages_lost=" << dirty_pages_lost.load()
+     << " threads_lost=" << threads_lost.load();
+  return os.str();
 }
 
 SiteRegistry& SiteRegistry::instance() {

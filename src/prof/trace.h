@@ -25,6 +25,8 @@ enum class FaultKind : std::uint8_t {
   kWrite = 1,
   kInvalidate = 2,  // ownership revoked from this node
   kRetry = 3,       // lost a race on a busy directory entry
+  kReclaim = 4,     // origin reclaimed the page from a dead node
+  kNodeDead = 5,    // thread observed a NodeDeadError and was lost
 };
 
 const char* to_string(FaultKind kind);
@@ -59,6 +61,29 @@ class SiteRegistry {
 /// Thread-local current site, set by application code via ScopedSite.
 std::uint32_t current_site();
 void set_current_site(std::uint32_t site);
+
+/// Process-wide counters for the chaos/robustness machinery: what the fault
+/// injector did to the wire, how the fabric's retry path reacted, and what
+/// node-failure recovery cost. Mirrors per-object stats (FaultInjector,
+/// Fabric, mem::FailureStats) into one observable place, like the fault
+/// trace mirrors per-fault events. Tests reset() between runs.
+struct ChaosCounters {
+  std::atomic<std::uint64_t> messages_dropped{0};
+  std::atomic<std::uint64_t> messages_duplicated{0};
+  std::atomic<std::uint64_t> messages_delayed{0};
+  std::atomic<std::uint64_t> rpc_timeouts{0};
+  std::atomic<std::uint64_t> rpc_retries{0};
+  std::atomic<std::uint64_t> dedup_suppressed{0};
+  std::atomic<std::uint64_t> node_failures{0};
+  std::atomic<std::uint64_t> pages_reclaimed{0};
+  std::atomic<std::uint64_t> dirty_pages_lost{0};
+  std::atomic<std::uint64_t> threads_lost{0};
+
+  static ChaosCounters& instance();
+  void reset();
+  /// One-line human-readable summary for logs and the chaos soak report.
+  std::string report() const;
+};
 
 class ScopedSite {
  public:

@@ -1,0 +1,635 @@
+// Chaos-fabric tests: deterministic fault injection, RPC timeout/retry/
+// backoff with duplicate suppression, typed RpcError/NodeDeadError, and
+// graceful node-failure degradation (page reclaim, thread loss reporting,
+// heal/rejoin). The soak test at the end runs a full workload under random
+// drops plus a mid-run node failure and must terminate with exact results
+// for every surviving thread.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/api.h"
+#include "net/rpc_error.h"
+
+namespace dex {
+namespace {
+
+using net::FaultDecision;
+using net::FaultInjector;
+using net::FaultPolicy;
+using net::FaultRule;
+using net::Message;
+using net::MsgStatus;
+using net::MsgType;
+using net::NodeDeadError;
+using net::RetryPolicy;
+using net::RpcError;
+
+// "No hangs" is part of the contract under test: a wedged chaos test must
+// abort loudly instead of eating the CI timeout.
+class Watchdog {
+ public:
+  explicit Watchdog(int seconds)
+      : thread_([this, seconds] {
+          std::unique_lock<std::mutex> lock(mu_);
+          if (!cv_.wait_for(lock, std::chrono::seconds(seconds),
+                            [this] { return done_; })) {
+            std::fprintf(stderr,
+                         "chaos watchdog: test exceeded %d s, aborting\n",
+                         seconds);
+            std::abort();
+          }
+        }) {}
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------------------------
+// FaultInjector: determinism, rule matching, budgets, liveness bits
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, UnarmedInjectorDeliversEverything) {
+  FaultInjector injector(4);
+  EXPECT_FALSE(injector.armed());
+  for (int i = 0; i < 100; ++i) {
+    const FaultDecision d = injector.decide(MsgType::kVmaUpdate, 0, 1);
+    EXPECT_FALSE(d.drop);
+    EXPECT_FALSE(d.duplicate);
+    EXPECT_EQ(d.delay_ns, 0u);
+  }
+  EXPECT_EQ(injector.drops(), 0u);
+}
+
+FaultPolicy mixed_policy(std::uint64_t seed) {
+  FaultPolicy policy;
+  policy.seed = seed;
+  FaultRule rule;
+  rule.drop_prob = 0.2;
+  rule.dup_prob = 0.1;
+  rule.delay_prob = 0.2;
+  rule.delay_ns = 123;
+  policy.rules.push_back(rule);
+  return policy;
+}
+
+std::vector<FaultDecision> run_schedule(FaultInjector& injector) {
+  std::vector<FaultDecision> out;
+  const MsgType types[] = {MsgType::kPageRequestRead, MsgType::kVmaUpdate,
+                           MsgType::kMigrateThread};
+  for (int i = 0; i < 512; ++i) {
+    const NodeId src = i % 4;
+    const NodeId dst = (i + 1 + i / 4) % 4;
+    out.push_back(injector.decide(types[i % 3], src, dst));
+  }
+  return out;
+}
+
+bool same_schedule(const std::vector<FaultDecision>& a,
+                   const std::vector<FaultDecision>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].drop != b[i].drop || a[i].duplicate != b[i].duplicate ||
+        a[i].delay_ns != b[i].delay_ns) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysIdenticalSchedule) {
+  FaultInjector a(4), b(4);
+  a.configure(mixed_policy(42));
+  b.configure(mixed_policy(42));
+  const auto schedule_a = run_schedule(a);
+  const auto schedule_b = run_schedule(b);
+  EXPECT_TRUE(same_schedule(schedule_a, schedule_b));
+  EXPECT_EQ(a.drops(), b.drops());
+  EXPECT_EQ(a.duplicates(), b.duplicates());
+  EXPECT_EQ(a.delays(), b.delays());
+  EXPECT_GT(a.drops() + a.duplicates() + a.delays(), 0u);
+
+  // Reconfiguring resets the per-stream counters: the schedule replays.
+  a.configure(mixed_policy(42));
+  a.reset_stats();
+  EXPECT_TRUE(same_schedule(run_schedule(a), schedule_b));
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector a(4), b(4);
+  a.configure(mixed_policy(42));
+  b.configure(mixed_policy(43));
+  EXPECT_FALSE(same_schedule(run_schedule(a), run_schedule(b)));
+}
+
+TEST(FaultInjectorTest, FirstMatchingRuleWins) {
+  FaultInjector injector(4);
+  FaultPolicy policy;
+  policy.seed = 1;
+  FaultRule drop_vma;
+  drop_vma.type = MsgType::kVmaUpdate;
+  drop_vma.drop_prob = 1.0;
+  policy.rules.push_back(drop_vma);
+  FaultRule delay_all;
+  delay_all.delay_prob = 1.0;
+  delay_all.delay_ns = 5;
+  policy.rules.push_back(delay_all);
+  injector.configure(policy);
+
+  const FaultDecision vma = injector.decide(MsgType::kVmaUpdate, 0, 1);
+  EXPECT_TRUE(vma.drop);
+  EXPECT_EQ(vma.delay_ns, 0u);  // narrower rule shadowed the wildcard
+  const FaultDecision other = injector.decide(MsgType::kPageGrant, 0, 1);
+  EXPECT_FALSE(other.drop);
+  EXPECT_EQ(other.delay_ns, 5u);
+}
+
+TEST(FaultInjectorTest, SrcDstWildcardsRestrictMatching) {
+  FaultInjector injector(4);
+  FaultPolicy policy;
+  policy.seed = 9;
+  FaultRule rule;
+  rule.src = 2;
+  rule.dst = 0;
+  rule.drop_prob = 1.0;
+  policy.rules.push_back(rule);
+  injector.configure(policy);
+  EXPECT_TRUE(injector.decide(MsgType::kVmaUpdate, 2, 0).drop);
+  EXPECT_FALSE(injector.decide(MsgType::kVmaUpdate, 0, 2).drop);
+  EXPECT_FALSE(injector.decide(MsgType::kVmaUpdate, 2, 1).drop);
+}
+
+TEST(FaultInjectorTest, MaxFaultsBudgetDisarmsRule) {
+  FaultInjector injector(2);
+  FaultPolicy policy;
+  policy.seed = 7;
+  FaultRule rule;
+  rule.drop_prob = 1.0;
+  rule.max_faults = 3;
+  policy.rules.push_back(rule);
+  injector.configure(policy);
+  int dropped = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.decide(MsgType::kVmaUpdate, 0, 1).drop) ++dropped;
+  }
+  EXPECT_EQ(dropped, 3);
+  EXPECT_EQ(injector.drops(), 3u);
+}
+
+TEST(FaultInjectorTest, NodeLivenessBits) {
+  FaultInjector injector(4);
+  EXPECT_FALSE(injector.node_dead(2));
+  injector.fail_node(2);
+  EXPECT_TRUE(injector.node_dead(2));
+  EXPECT_FALSE(injector.node_dead(1));
+  injector.fail_node(1);
+  injector.heal_node(2);
+  EXPECT_FALSE(injector.node_dead(2));
+  EXPECT_TRUE(injector.node_dead(1));
+}
+
+TEST(RetryPolicyTest, BackoffDoublesAndCaps) {
+  RetryPolicy retry;  // base 10us, cap 400us
+  EXPECT_EQ(retry.backoff_for(1), 10'000u);
+  EXPECT_EQ(retry.backoff_for(2), 20'000u);
+  EXPECT_EQ(retry.backoff_for(3), 40'000u);
+  EXPECT_EQ(retry.backoff_for(10), 400'000u);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric: timeout/retry/backoff, dedup, typed errors
+// ---------------------------------------------------------------------------
+
+class ChaosFabricTest : public ::testing::Test {
+ protected:
+  ChaosFabricTest() : fabric_(make_options()) {
+    // kVmaUpdate is idempotent, kDelegateFutex is not; both handlers echo
+    // payload + 1 and count their executions.
+    for (MsgType type : {MsgType::kVmaUpdate, MsgType::kDelegateFutex}) {
+      fabric_.register_handler(type, [this, type](const Message& msg) {
+        handler_runs_.fetch_add(1, std::memory_order_relaxed);
+        Message reply;
+        reply.type = type;
+        reply.set_payload(msg.payload_as<std::uint64_t>() + 1);
+        return reply;
+      });
+    }
+  }
+
+  static net::FabricOptions make_options() {
+    net::FabricOptions options;
+    options.num_nodes = 3;
+    return options;
+  }
+
+  static Message make_request(MsgType type, NodeId dst, std::uint64_t value) {
+    Message msg;
+    msg.type = type;
+    msg.dst = dst;
+    msg.set_payload(value);
+    return msg;
+  }
+
+  /// Installs one rule dropping traversals on the src->dst leg only.
+  void drop_leg(NodeId src, NodeId dst, std::uint64_t budget) {
+    FaultPolicy policy;
+    policy.seed = 3;
+    FaultRule rule;
+    rule.src = src;
+    rule.dst = dst;
+    rule.drop_prob = 1.0;
+    rule.max_faults = budget;
+    policy.rules.push_back(rule);
+    fabric_.injector().configure(policy);
+  }
+
+  net::Fabric fabric_;
+  std::atomic<int> handler_runs_{0};
+};
+
+TEST_F(ChaosFabricTest, DroppedRequestRetriesTransparently) {
+  drop_leg(0, 1, 2);  // first two request legs lost
+  const Message reply =
+      fabric_.call(0, make_request(MsgType::kVmaUpdate, 1, 41));
+  EXPECT_EQ(reply.payload_as<std::uint64_t>(), 42u);
+  EXPECT_EQ(handler_runs_.load(), 1);  // dropped requests never ran
+  EXPECT_EQ(fabric_.rpc_timeouts(), 2u);
+  EXPECT_EQ(fabric_.rpc_retries(), 2u);
+}
+
+TEST_F(ChaosFabricTest, ExhaustedRetriesThrowRpcError) {
+  drop_leg(0, 1, std::numeric_limits<std::uint64_t>::max());
+  VirtualClock clock;
+  ScopedClockBinding bind(&clock);
+  try {
+    fabric_.call(0, make_request(MsgType::kVmaUpdate, 1, 1));
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& error) {
+    EXPECT_EQ(error.type(), MsgType::kVmaUpdate);
+    EXPECT_EQ(error.src(), 0);
+    EXPECT_EQ(error.dst(), 1);
+    EXPECT_EQ(error.attempts(), fabric_.retry_policy().max_attempts);
+  }
+  // Every attempt charged one timeout plus its backoff to the caller.
+  const RetryPolicy& retry = fabric_.retry_policy();
+  VirtNs expected = 0;
+  for (int a = 1; a <= retry.max_attempts; ++a) {
+    expected += retry.timeout_ns + retry.backoff_for(a);
+  }
+  EXPECT_GE(clock.now(), expected);
+  EXPECT_EQ(handler_runs_.load(), 0);
+}
+
+TEST_F(ChaosFabricTest, DroppedReplyReExecutesIdempotent) {
+  drop_leg(1, 0, 1);  // first reply leg lost
+  const Message reply =
+      fabric_.call(0, make_request(MsgType::kVmaUpdate, 1, 10));
+  EXPECT_EQ(reply.payload_as<std::uint64_t>(), 11u);
+  EXPECT_EQ(handler_runs_.load(), 2);  // re-executed, converged
+  EXPECT_EQ(fabric_.dedup_suppressed(), 0u);
+}
+
+TEST_F(ChaosFabricTest, DroppedReplySuppressedForNonIdempotent) {
+  drop_leg(1, 0, 1);
+  const Message reply =
+      fabric_.call(0, make_request(MsgType::kDelegateFutex, 1, 10));
+  EXPECT_EQ(reply.payload_as<std::uint64_t>(), 11u);
+  // The retransmitted request hit the dedup cache: exactly-once execution,
+  // cached reply returned.
+  EXPECT_EQ(handler_runs_.load(), 1);
+  EXPECT_EQ(fabric_.dedup_suppressed(), 1u);
+}
+
+TEST_F(ChaosFabricTest, DuplicatedRequestSuppressedForNonIdempotent) {
+  FaultPolicy policy;
+  policy.seed = 5;
+  FaultRule rule;
+  rule.src = 0;
+  rule.dst = 1;
+  rule.dup_prob = 1.0;
+  rule.max_faults = 1;
+  policy.rules.push_back(rule);
+  fabric_.injector().configure(policy);
+
+  const Message reply =
+      fabric_.call(0, make_request(MsgType::kDelegateFutex, 1, 20));
+  EXPECT_EQ(reply.payload_as<std::uint64_t>(), 21u);
+  EXPECT_EQ(handler_runs_.load(), 1);  // second delivery suppressed
+  EXPECT_EQ(fabric_.injector().duplicates(), 1u);
+  EXPECT_EQ(fabric_.dedup_suppressed(), 1u);
+
+  handler_runs_.store(0);
+  const Message again =
+      fabric_.call(0, make_request(MsgType::kDelegateFutex, 1, 30));
+  EXPECT_EQ(again.payload_as<std::uint64_t>(), 31u);
+  EXPECT_EQ(handler_runs_.load(), 1);  // budget spent: clean delivery
+}
+
+TEST_F(ChaosFabricTest, DuplicatedRequestReExecutesIdempotent) {
+  FaultPolicy policy;
+  policy.seed = 5;
+  FaultRule rule;
+  rule.src = 0;
+  rule.dst = 1;
+  rule.dup_prob = 1.0;
+  rule.max_faults = 1;
+  policy.rules.push_back(rule);
+  fabric_.injector().configure(policy);
+
+  const Message reply =
+      fabric_.call(0, make_request(MsgType::kVmaUpdate, 1, 20));
+  EXPECT_EQ(reply.payload_as<std::uint64_t>(), 21u);
+  EXPECT_EQ(handler_runs_.load(), 2);  // idempotent: both deliveries ran
+}
+
+TEST_F(ChaosFabricTest, CallToDeadNodeThrowsThenHealRestores) {
+  fabric_.injector().fail_node(1);
+  try {
+    fabric_.call(0, make_request(MsgType::kVmaUpdate, 1, 1));
+    FAIL() << "expected NodeDeadError";
+  } catch (const NodeDeadError& error) {
+    EXPECT_EQ(error.dead_node(), 1);
+  }
+  EXPECT_EQ(handler_runs_.load(), 0);
+
+  fabric_.injector().heal_node(1);
+  const Message reply =
+      fabric_.call(0, make_request(MsgType::kVmaUpdate, 1, 1));
+  EXPECT_EQ(reply.payload_as<std::uint64_t>(), 2u);
+}
+
+TEST_F(ChaosFabricTest, CallFromDeadNodeThrows) {
+  fabric_.injector().fail_node(0);
+  EXPECT_THROW(fabric_.call(0, make_request(MsgType::kVmaUpdate, 1, 1)),
+               NodeDeadError);
+}
+
+TEST_F(ChaosFabricTest, PostToDeadNodeIsDiscarded) {
+  fabric_.injector().fail_node(1);
+  fabric_.post(0, make_request(MsgType::kVmaUpdate, 1, 1));  // no throw
+  EXPECT_EQ(handler_runs_.load(), 0);
+  EXPECT_EQ(fabric_.posts_to_dead(), 1u);
+}
+
+TEST_F(ChaosFabricTest, DroppedPostRetransmits) {
+  drop_leg(0, 1, 2);
+  fabric_.post(0, make_request(MsgType::kVmaUpdate, 1, 1));
+  EXPECT_EQ(handler_runs_.load(), 1);  // delivered on the third attempt
+  EXPECT_EQ(fabric_.rpc_retries(), 2u);
+}
+
+TEST_F(ChaosFabricTest, ErrorStatusReplyThrowsRpcError) {
+  fabric_.register_handler(MsgType::kAck, [](const Message&) {
+    return Message::error_reply(MsgStatus::kUnknownProcess);
+  });
+  try {
+    fabric_.call(0, make_request(MsgType::kAck, 1, 0));
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& error) {
+    EXPECT_EQ(error.status(), MsgStatus::kUnknownProcess);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level degradation: reclaim, thread loss, heal, dispatcher errors
+// ---------------------------------------------------------------------------
+
+class ChaosClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_nodes = 4;
+    // Generous budget so the 2% soak drop rate cannot plausibly exhaust a
+    // call's retries (p ~ 0.02^6); failures below come from fail_node only.
+    config.retry.max_attempts = 6;
+    cluster_ = std::make_unique<Cluster>(config);
+    process_ = cluster_->create_process(ProcessOptions{});
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Process> process_;
+};
+
+TEST_F(ChaosClusterTest, MalformedPayloadYieldsTypedError) {
+  Message msg;
+  msg.type = MsgType::kVmaInfoRequest;
+  msg.dst = 0;  // dispatcher requires a leading 64-bit process id
+  try {
+    cluster_->fabric().call(1, msg);
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& error) {
+    EXPECT_EQ(error.status(), MsgStatus::kBadPayload);
+  }
+}
+
+TEST_F(ChaosClusterTest, UnknownProcessYieldsTypedError) {
+  Message msg;
+  msg.type = MsgType::kVmaInfoRequest;
+  msg.dst = 0;
+  msg.set_payload(std::uint64_t{999999});
+  try {
+    cluster_->fabric().call(1, msg);
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& error) {
+    EXPECT_EQ(error.status(), MsgStatus::kUnknownProcess);
+  }
+}
+
+TEST_F(ChaosClusterTest, FailNodeReclaimsDirtyPagesToOriginFrame) {
+  Watchdog dog(60);
+  GArray<std::uint64_t> arr(*process_, 1024, "reclaim");  // two pages
+  DexThread writer = process_->spawn([&] {
+    migrate(2);
+    for (std::size_t i = 0; i < arr.size(); ++i) arr.set(i, i + 1);
+    migrate_back();
+  });
+  writer.join();
+  EXPECT_FALSE(writer.failed());
+
+  // Node 2 still owns both dirty pages; its copies die with it. The origin
+  // frames (never written back) become authoritative again: zeros.
+  cluster_->fail_node(2);
+  auto& failure = process_->dsm().failure_stats();
+  EXPECT_EQ(failure.node_failures.load(), 1u);
+  EXPECT_GE(failure.pages_reclaimed.load(), 2u);
+  EXPECT_GE(failure.dirty_pages_lost.load(), 2u);
+  for (std::size_t i = 0; i < arr.size(); i += 129) {
+    EXPECT_EQ(arr.get(i), 0u);
+  }
+  EXPECT_TRUE(process_->dsm().check_invariants());
+
+  // A healed node rejoins empty and refaults everything.
+  cluster_->heal_node(2);
+  std::atomic<bool> ok{true};
+  DexThread rewriter = process_->spawn([&] {
+    migrate(2);
+    for (std::size_t i = 0; i < arr.size(); ++i) arr.set(i, i + 9);
+    if (arr.get(7) != 16) ok = false;
+    migrate_back();
+  });
+  rewriter.join();
+  EXPECT_FALSE(rewriter.failed());
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(arr.get(7), 16u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+TEST_F(ChaosClusterTest, ThreadOnDeadNodeObservesTypedFailure) {
+  Watchdog dog(60);
+  GArray<std::uint64_t> arr(*process_, 512, "doomed");
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  DexThread victim = process_->spawn([&] {
+    migrate(2);
+    arr.set(0, 7);
+    parked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    // The node died while we were parked; the next fabric interaction
+    // (refault after our PTE was wiped) surfaces NodeDeadError, which
+    // unwinds the body and marks the thread failed.
+    arr.set(1, 8);
+  });
+  while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  cluster_->fail_node(2);
+  release.store(true, std::memory_order_release);
+  victim.join();
+  EXPECT_TRUE(victim.failed());
+  EXPECT_EQ(process_->dsm().failure_stats().threads_lost.load(), 1u);
+  EXPECT_EQ(arr.get(0), 0u);  // dirty write died with the node
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+TEST_F(ChaosClusterTest, MigrateToDeadNodeFailsThenHealRecovers) {
+  Watchdog dog(60);
+  cluster_->fail_node(2);
+  DexThread doomed = process_->spawn([&] { migrate(2); });
+  doomed.join();
+  EXPECT_TRUE(doomed.failed());
+
+  cluster_->heal_node(2);
+  GArray<std::uint64_t> arr(*process_, 64, "healed");
+  DexThread worker = process_->spawn([&] {
+    migrate(2);
+    arr.set(3, 33);
+    migrate_back();
+  });
+  worker.join();
+  EXPECT_FALSE(worker.failed());
+  EXPECT_EQ(arr.get(3), 33u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+// The acceptance soak: 6 threads spread over nodes 1..3 write disjoint
+// page-aligned slices under a 2% wire drop rate; node 2 is failed mid-run.
+// Deterministic under the fixed seed: survivors finish with exact results,
+// the two threads on node 2 unwind with a typed failure, nothing hangs.
+TEST_F(ChaosClusterTest, SoakDropsPlusNodeDeathDeterministic) {
+  Watchdog dog(120);
+  FaultPolicy policy;
+  policy.seed = 0xD5EA11;
+  FaultRule drops;
+  drops.drop_prob = 0.02;
+  policy.rules.push_back(drops);
+  cluster_->fabric().injector().configure(policy);
+
+  constexpr int kThreads = 6;
+  constexpr std::size_t kSlice = 1024;  // u64s: exactly two pages per slice
+  auto expected = [](int t, std::size_t i) {
+    return static_cast<std::uint64_t>(t + 1) * 1000003u + i;
+  };
+  GArray<std::uint64_t> arr(*process_, kThreads * kSlice, "soak");
+  GCounter phase(*process_, "phase", /*isolated=*/true);
+  std::array<std::atomic<bool>, kThreads> parked{};
+  std::atomic<bool> release{false};
+
+  std::vector<DexThread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(process_->spawn([&, t] {
+      migrate(static_cast<NodeId>(1 + t % 3));
+      const std::size_t base = static_cast<std::size_t>(t) * kSlice;
+      for (std::size_t i = 0; i < kSlice / 2; ++i) {
+        arr.set(base + i, expected(t, i));
+      }
+      phase.fetch_add(1);
+      parked[static_cast<std::size_t>(t)].store(true,
+                                                std::memory_order_release);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (std::size_t i = kSlice / 2; i < kSlice; ++i) {
+        arr.set(base + i, expected(t, i));
+      }
+      migrate_back();
+    }));
+  }
+  for (auto& flag : parked) {
+    while (!flag.load(std::memory_order_acquire)) std::this_thread::yield();
+  }
+  EXPECT_EQ(phase.load(), static_cast<std::uint64_t>(kThreads));
+
+  cluster_->fail_node(2);
+  release.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+
+  int lost = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    if (1 + t % 3 == 2) {
+      EXPECT_TRUE(threads[static_cast<std::size_t>(t)].failed()) << t;
+      ++lost;
+    } else {
+      EXPECT_FALSE(threads[static_cast<std::size_t>(t)].failed()) << t;
+    }
+  }
+  EXPECT_EQ(lost, 2);
+
+  auto& failure = process_->dsm().failure_stats();
+  EXPECT_EQ(failure.threads_lost.load(), 2u);
+  EXPECT_GT(failure.pages_reclaimed.load(), 0u);
+  EXPECT_GT(failure.dirty_pages_lost.load(), 0u);
+  // The chaos actually bit: wire losses happened and were retried.
+  EXPECT_GT(cluster_->fabric().injector().drops(), 0u);
+  EXPECT_GT(cluster_->fabric().rpc_retries(), 0u);
+
+  // Survivor slices are exact despite drops and the concurrent failure;
+  // the dead threads' slices reverted to the origin's zero frames.
+  cluster_->heal_node(2);
+  for (int t = 0; t < kThreads; ++t) {
+    const std::size_t base = static_cast<std::size_t>(t) * kSlice;
+    const bool survived = 1 + t % 3 != 2;
+    for (std::size_t i = 0; i < kSlice; ++i) {
+      const std::uint64_t want = survived ? expected(t, i) : 0u;
+      ASSERT_EQ(arr.get(base + i), want) << "thread " << t << " slot " << i;
+    }
+  }
+  EXPECT_TRUE(process_->dsm().check_invariants());
+
+  const std::string report = prof::ChaosCounters::instance().report();
+  EXPECT_NE(report.find("chaos:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dex

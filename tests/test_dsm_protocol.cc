@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -310,6 +311,64 @@ TEST_F(DsmProtocolTest, VmaOnDemandSync) {
   });
   t.join();
   EXPECT_GT(stats.vma_syncs.load(), syncs_before);
+}
+
+// A busy directory entry answers kRetry (the contended tail of §V-D): the
+// faulting node backs off and refaults instead of blocking the handler.
+TEST_F(DsmProtocolTest, BusyEntryAnswersRetryUntilReleased) {
+  GArray<std::uint64_t> arr(*process_, 8, "busy");
+  arr.set(0, 77);
+  auto& stats = process_->dsm().stats();
+  mem::DirEntry& entry = process_->dsm().directory().entry(arr.addr(0));
+
+  std::unique_lock<std::mutex> hold(entry.mu);  // simulate a long transaction
+  std::atomic<std::uint64_t> seen{0};
+  DexThread reader = process_->spawn([&] {
+    migrate(1);
+    seen = arr.get(0);
+    migrate_back();
+  });
+  // The remote fault spins on kRetry grants while we hold the entry.
+  while (stats.retries.load() < 2) std::this_thread::yield();
+  EXPECT_EQ(seen.load(), 0u);  // still not granted
+  hold.unlock();
+  reader.join();
+  EXPECT_EQ(seen.load(), 77u);
+  EXPECT_GE(stats.retries.load(), 2u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+// After DsmConfig::max_retries busy answers the requester escalates to a
+// blocking directory acquire (forward-progress guarantee): it stops
+// consuming retry grants and completes as soon as the entry is released.
+TEST_F(DsmProtocolTest, MaxRetriesEscalatesToBlockingAcquire) {
+  ProcessOptions options;
+  options.max_retries = 3;
+  auto process = cluster_->create_process(options);
+  EXPECT_EQ(process->dsm().config().max_retries, 3);
+
+  GArray<std::uint64_t> arr(*process, 8, "escalate");
+  arr.set(0, 55);
+  auto& stats = process->dsm().stats();
+  mem::DirEntry& entry = process->dsm().directory().entry(arr.addr(0));
+
+  std::unique_lock<std::mutex> hold(entry.mu);
+  std::atomic<std::uint64_t> seen{0};
+  DexThread reader = process->spawn([&] {
+    migrate(2);
+    seen = arr.get(0);
+    migrate_back();
+  });
+  // Wait until the retry budget is spent; the next request carries the
+  // blocking flag and parks on the entry mutex instead of spinning.
+  while (stats.retries.load() < 3) std::this_thread::yield();
+  const auto retries_at_escalation = stats.retries.load();
+  EXPECT_EQ(seen.load(), 0u);
+  hold.unlock();
+  reader.join();
+  EXPECT_EQ(seen.load(), 55u);
+  EXPECT_GE(retries_at_escalation, 3u);
+  EXPECT_TRUE(process->dsm().check_invariants());
 }
 
 }  // namespace

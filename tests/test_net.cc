@@ -203,7 +203,7 @@ TEST_F(FabricTest, BulkTransferMovesBytesAndCharges) {
   EXPECT_EQ(clock.now(), cost);
 }
 
-TEST_F(FabricTest, DelayInjectorAddsLatency) {
+TEST_F(FabricTest, InjectedDelayAddsLatency) {
   fabric_.register_handler(MsgType::kVmaUpdate, [](const Message&) {
     Message reply;
     reply.type = MsgType::kVmaUpdate;
@@ -217,10 +217,19 @@ TEST_F(FabricTest, DelayInjectorAddsLatency) {
   fabric_.call(0, msg);
   const VirtNs base = clock.now();
 
-  fabric_.set_delay_injector([](const Message&) { return VirtNs{50000}; });
+  FaultPolicy policy;
+  policy.seed = 7;
+  FaultRule rule;
+  rule.type = MsgType::kVmaUpdate;
+  rule.delay_prob = 1.0;
+  rule.delay_ns = 50000;
+  policy.rules.push_back(rule);
+  fabric_.injector().configure(policy);
   clock.reset();
   fabric_.call(0, msg);
-  EXPECT_GE(clock.now(), base + 50000);
+  // Both legs (request + reply) match the rule.
+  EXPECT_GE(clock.now(), base + 2 * 50000);
+  EXPECT_GE(fabric_.injector().delays(), 2u);
 }
 
 TEST(FabricModes, NoPoolsChargesDmaMapping) {
