@@ -48,6 +48,7 @@ std::vector<std::string> selected_apps() {
 int main() {
   using namespace dex;
   using namespace dex::bench;
+  JsonDoc json;
 
   const double scale_mult =
       std::getenv("DEX_FIG2_SCALE") ? std::atof(std::getenv("DEX_FIG2_SCALE"))
@@ -84,6 +85,8 @@ int main() {
 
     std::printf("\n%s (%s) baseline 1-node x8: %s us\n", name.c_str(),
                 app->description().c_str(), us(ref.elapsed_ns).c_str());
+    json.set(name, "baseline_us",
+             static_cast<double>(ref.elapsed_ns) / 1000.0);
     std::printf("  %-10s", "nodes:");
     for (const int n : fig2_node_counts()) std::printf("%8d", n);
     std::printf("\n");
@@ -104,10 +107,15 @@ int main() {
                                static_cast<double>(result.elapsed_ns);
         std::printf("%8.2f", speedup);
         std::fflush(stdout);
+        const std::string key = std::string(apps::to_string(variant)) + "_" +
+                                std::to_string(nodes);
+        json.set(name, key, speedup);
       }
       std::printf("\n");
     }
   }
+
+  json.write("BENCH_scalability.json");
 
   std::printf(
       "\nPaper's qualitative result: Initial scales EP/BLK/BP only "

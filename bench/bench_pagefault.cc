@@ -25,11 +25,112 @@ dex::LatencyHistogram* fault_histogram(dex::Process& process) {
   return &process.dsm().stats().fault_latency;
 }
 
+/// Write-fault latency with 7 remote sharers to revoke per fault, with the
+/// scatter-gather fan-out on or off (the revocation ablation).
+struct FanoutResult {
+  double mean_fault_ns = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t fanouts = 0;
+  std::uint64_t legs_overlapped = 0;
+};
+
+FanoutResult run_fanout(bool overlapped) {
+  using namespace dex;
+  ClusterConfig cluster_config;
+  cluster_config.num_nodes = 9;  // origin + 7 sharers + 1 writer
+  cluster_config.mode.overlapped_fanout = overlapped;
+  Cluster cluster(cluster_config);
+  auto process = cluster.create_process(ProcessOptions{});
+  constexpr std::size_t kPages = 64;
+  GArray<std::uint64_t> data(*process, kPages * kPageSize / 8, "fanout");
+  for (std::size_t i = 0; i < data.size(); i += 512) data.set(i, i);
+
+  // Seven readers replicate every page, so each write fault below must
+  // revoke seven remote copies.
+  std::vector<DexThread> readers;
+  for (int n = 1; n <= 7; ++n) {
+    readers.push_back(process->spawn([&, n] {
+      migrate(n);
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < data.size(); i += 512) sum += data.get(i);
+      (void)sum;
+      migrate_back();
+    }));
+  }
+  for (auto& r : readers) r.join();
+
+  fault_histogram(*process)->reset();
+  DexThread writer = process->spawn([&] {
+    migrate(8);
+    for (std::size_t i = 0; i < data.size(); i += 512) data.set(i, i + 1);
+    migrate_back();
+  });
+  writer.join();
+
+  auto* hist = fault_histogram(*process);
+  auto& stats = process->dsm().stats();
+  FanoutResult result;
+  result.mean_fault_ns = hist->mean();
+  result.faults = hist->count();
+  result.fanouts = stats.revoke_fanouts.load();
+  result.legs_overlapped = stats.revoke_legs_overlapped.load();
+  return result;
+}
+
+/// Read-fault count of a sequential scan over cold remote pages, with the
+/// stride prefetcher on (max extra pages) or off (the prefetch ablation).
+struct ScanResult {
+  std::uint64_t read_faults = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t wasted = 0;
+  std::uint64_t batch_messages = 0;
+  double mean_fault_ns = 0;
+};
+
+ScanResult run_scan(int prefetch_max_pages) {
+  using namespace dex;
+  ClusterConfig cluster_config;
+  cluster_config.num_nodes = 2;
+  Cluster cluster(cluster_config);
+  ProcessOptions options;
+  options.prefetch_max_pages = prefetch_max_pages;
+  auto process = cluster.create_process(options);
+  constexpr std::size_t kPages = 2000;
+  GArray<std::uint64_t> data(*process, kPages * kPageSize / 8, "scan");
+  for (std::size_t i = 0; i < data.size(); i += 512) data.set(i, i);
+
+  auto& stats = process->dsm().stats();
+  const std::uint64_t faults_before = stats.read_faults.load();
+  fault_histogram(*process)->reset();
+  DexThread scanner = process->spawn([&] {
+    migrate(1);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < data.size(); i += 512) sum += data.get(i);
+    (void)sum;
+    migrate_back();
+  });
+  scanner.join();
+
+  ScanResult result;
+  result.read_faults = stats.read_faults.load() - faults_before;
+  result.issued = stats.prefetch_issued.load();
+  result.grants = stats.prefetch_grants.load();
+  result.hits = stats.prefetch_hits.load();
+  result.wasted = stats.prefetch_wasted.load();
+  result.batch_messages =
+      cluster.fabric().messages_of(net::MsgType::kPageRequestBatch);
+  result.mean_fault_ns = fault_histogram(*process)->mean();
+  return result;
+}
+
 }  // namespace
 
 int main() {
   using namespace dex;
   using namespace dex::bench;
+  JsonDoc json;
 
   print_header("SV-D: page-fault handling");
 
@@ -73,6 +174,10 @@ int main() {
                 us(static_cast<VirtNs>(hist->mean())).c_str(),
                 us(hist->percentile(0.5)).c_str(),
                 us(hist->percentile(0.95)).c_str());
+    json.set("uncontended", "faults", static_cast<double>(hist->count()));
+    json.set("uncontended", "mean_fault_ns", hist->mean());
+    json.set("uncontended", "p95_fault_ns",
+             static_cast<double>(hist->percentile(0.95)));
 
     const auto& cost = cluster.cost();
     const VirtNs retrieval =
@@ -135,7 +240,85 @@ int main() {
       std::printf(" ~%s us", us(mode).c_str());
     }
     std::printf("\n");
+    json.set("contended", "faults", static_cast<double>(hist->count()));
+    json.set("contended", "retries",
+             static_cast<double>(stats.retries.load()));
+    json.set("contended", "mean_fault_ns", hist->mean());
   }
+
+  // ---- mode 3: write-fault latency vs sharer count — overlapped
+  // revocation fan-out against the serial ablation ----
+  {
+    const FanoutResult overlapped = run_fanout(/*overlapped=*/true);
+    const FanoutResult serial = run_fanout(/*overlapped=*/false);
+    const double speedup =
+        overlapped.mean_fault_ns > 0
+            ? serial.mean_fault_ns / overlapped.mean_fault_ns
+            : 0.0;
+    std::printf(
+        "\nfan-out (7 sharers/write): overlapped mean %s us, serial mean "
+        "%s us  -> %.2fx\n",
+        us(static_cast<VirtNs>(overlapped.mean_fault_ns)).c_str(),
+        us(static_cast<VirtNs>(serial.mean_fault_ns)).c_str(), speedup);
+    std::printf("             %llu fan-outs, %llu overlapped legs\n",
+                static_cast<unsigned long long>(overlapped.fanouts),
+                static_cast<unsigned long long>(overlapped.legs_overlapped));
+    json.set("fanout", "width", 7.0);
+    json.set("fanout", "mean_fault_ns_overlapped", overlapped.mean_fault_ns);
+    json.set("fanout", "mean_fault_ns_serial", serial.mean_fault_ns);
+    json.set("fanout", "speedup", speedup);
+    json.set("fanout", "fanouts",
+             static_cast<double>(overlapped.fanouts));
+    json.set("fanout", "legs_overlapped",
+             static_cast<double>(overlapped.legs_overlapped));
+  }
+
+  // ---- mode 4: sequential-scan read faults — stride prefetch against the
+  // one-page-per-fault ablation ----
+  {
+    const ScanResult prefetch = run_scan(/*prefetch_max_pages=*/8);
+    const ScanResult baseline = run_scan(/*prefetch_max_pages=*/0);
+    const double fault_drop =
+        prefetch.read_faults > 0
+            ? static_cast<double>(baseline.read_faults) /
+                  static_cast<double>(prefetch.read_faults)
+            : 0.0;
+    const double hit_rate =
+        prefetch.grants > 0 ? static_cast<double>(prefetch.hits) /
+                                  static_cast<double>(prefetch.grants)
+                            : 0.0;
+    std::printf(
+        "\nprefetch (2000-page scan): %llu faults with prefetch, %llu "
+        "without  -> %.1fx fewer\n",
+        static_cast<unsigned long long>(prefetch.read_faults),
+        static_cast<unsigned long long>(baseline.read_faults), fault_drop);
+    std::printf(
+        "             %llu extras issued, %llu granted, %llu hits, %llu "
+        "wasted (hit rate %.0f%%), %llu batch msgs\n",
+        static_cast<unsigned long long>(prefetch.issued),
+        static_cast<unsigned long long>(prefetch.grants),
+        static_cast<unsigned long long>(prefetch.hits),
+        static_cast<unsigned long long>(prefetch.wasted), 100.0 * hit_rate,
+        static_cast<unsigned long long>(prefetch.batch_messages));
+    json.set("prefetch", "read_faults_prefetch",
+             static_cast<double>(prefetch.read_faults));
+    json.set("prefetch", "read_faults_no_prefetch",
+             static_cast<double>(baseline.read_faults));
+    json.set("prefetch", "fault_drop", fault_drop);
+    json.set("prefetch", "extras_issued", static_cast<double>(prefetch.issued));
+    json.set("prefetch", "extras_granted",
+             static_cast<double>(prefetch.grants));
+    json.set("prefetch", "hits", static_cast<double>(prefetch.hits));
+    json.set("prefetch", "wasted", static_cast<double>(prefetch.wasted));
+    json.set("prefetch", "hit_rate", hit_rate);
+    json.set("prefetch", "batch_messages",
+             static_cast<double>(prefetch.batch_messages));
+    json.set("prefetch", "mean_fault_ns_prefetch", prefetch.mean_fault_ns);
+    json.set("prefetch", "mean_fault_ns_no_prefetch",
+             baseline.mean_fault_ns);
+  }
+
+  json.write("BENCH_pagefault.json");
 
   std::printf(
       "\nPaper SV-D: bimodal fault handling — ~19.3 us uncontended vs "

@@ -1,14 +1,80 @@
-// Shared helpers for the reproduction benches: fixed-width table printing
-// and the standard experiment configurations.
+// Shared helpers for the reproduction benches: fixed-width table printing,
+// the standard experiment configurations, and the machine-readable
+// BENCH_*.json emitter that tracks the perf trajectory across PRs.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/app.h"
 
 namespace dex::bench {
+
+/// Minimal JSON emitter for the BENCH_*.json artifacts: an object of named
+/// sections, each a flat object of numeric or string fields, in insertion
+/// order. No dependency, no escaping beyond quotes/backslashes (keys and
+/// values here are bench-controlled identifiers).
+class JsonDoc {
+ public:
+  void set(const std::string& section, const std::string& key, double value) {
+    char buf[64];
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.4f", value);
+    }
+    fields(section).emplace_back(key, buf);
+  }
+  void set(const std::string& section, const std::string& key,
+           const std::string& value) {
+    fields(section).emplace_back(key, "\"" + escaped(value) + "\"");
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n");
+    for (std::size_t s = 0; s < sections_.size(); ++s) {
+      std::fprintf(f, "  \"%s\": {\n", escaped(sections_[s].first).c_str());
+      const auto& kvs = sections_[s].second;
+      for (std::size_t i = 0; i < kvs.size(); ++i) {
+        std::fprintf(f, "    \"%s\": %s%s\n", escaped(kvs[i].first).c_str(),
+                     kvs[i].second.c_str(), i + 1 < kvs.size() ? "," : "");
+      }
+      std::fprintf(f, "  }%s\n", s + 1 < sections_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  Fields& fields(const std::string& section) {
+    for (auto& [name, kvs] : sections_) {
+      if (name == section) return kvs;
+    }
+    sections_.emplace_back(section, Fields{});
+    return sections_.back().second;
+  }
+
+  static std::string escaped(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, Fields>> sections_;
+};
 
 inline void print_rule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');

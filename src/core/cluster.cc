@@ -114,6 +114,12 @@ void Cluster::install_handlers() {
         });
       });
   fabric_->register_handler(
+      MsgType::kPageRequestBatch, [route](const Message& msg) {
+        return route(msg, [&](Process& p) {
+          return p.dsm().handle_page_request_batch(msg);
+        });
+      });
+  fabric_->register_handler(
       MsgType::kRevokeOwnership, [route](const Message& msg) {
         return route(msg,
                      [&](Process& p) { return p.dsm().handle_revoke(msg); });

@@ -71,6 +71,9 @@ struct ProcessOptions {
   /// Busy-entry retries before escalating to a blocking directory acquire
   /// (DsmConfig::max_retries passthrough).
   int max_retries = 64;
+  /// Extra contiguous pages a streaming read fault may pull in one batch
+  /// (DsmConfig::prefetch_max_pages passthrough; 0 disables prefetch).
+  int prefetch_max_pages = 8;
 };
 
 /// One entry of the migration log (Table II / Figure 3 raw data).

@@ -58,8 +58,10 @@ bool Dsm::munmap(GAddr start, std::uint64_t length) {
   const GAddr end = page_base(start + length + kPageSize - 1);
 
   // Shrinking operation: broadcast eagerly so remotes cannot keep accessing
-  // the dead range (§III-D).
+  // the dead range (§III-D). The fan-out overlaps: the unmapper pays
+  // max(leg latencies), not one round per node.
   net::VmaUpdatePayload update{config_.process_id, start, end, 0, /*op=*/0};
+  std::vector<Message> broadcast;
   for (NodeId node = 0; node < config_.num_nodes; ++node) {
     if (node == config_.origin) continue;
     replica_space(node).munmap(start, length);
@@ -67,8 +69,9 @@ bool Dsm::munmap(GAddr start, std::uint64_t length) {
     msg.type = MsgType::kVmaUpdate;
     msg.dst = node;
     msg.set_payload(update);
-    fabric_.post(config_.origin, msg);
+    broadcast.push_back(std::move(msg));
   }
+  fabric_.post_many(config_.origin, broadcast);
 
   // Retire every page in the range: invalidate all copies and reset the
   // directory entries so a later mapping of the range starts from zeros.
@@ -100,6 +103,7 @@ bool Dsm::mprotect(GAddr start, std::uint64_t length, std::uint8_t prot) {
   const bool downgrade_write = (prot & kProtWrite) == 0;
   net::VmaUpdatePayload update{config_.process_id, start, end, prot,
                                /*op=*/1};
+  std::vector<Message> broadcast;
   for (NodeId node = 0; node < config_.num_nodes; ++node) {
     if (node == config_.origin) continue;
     if (!downgrade_write) continue;  // permissive changes sync on demand
@@ -107,8 +111,9 @@ bool Dsm::mprotect(GAddr start, std::uint64_t length, std::uint8_t prot) {
     msg.type = MsgType::kVmaUpdate;
     msg.dst = node;
     msg.set_payload(update);
-    fabric_.post(config_.origin, msg);
+    broadcast.push_back(std::move(msg));
   }
+  fabric_.post_many(config_.origin, broadcast);
 
   if (downgrade_write) {
     // Demote exclusive copies so future writes re-fault and hit the VMA
@@ -150,6 +155,12 @@ Pte* Dsm::ensure(NodeId node, TaskId task, GAddr addr, Access access) {
 
   for (;;) {
     if (sufficient(pte.state.load(std::memory_order_acquire), access)) {
+      // First demand access to a page the stride prefetcher pulled in
+      // ahead of time: the prefetch paid for itself.
+      if (pte.prefetched.load(std::memory_order_relaxed) != 0 &&
+          pte.prefetched.exchange(0, std::memory_order_relaxed) != 0) {
+        stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+      }
       return &pte;
     }
     // --- page fault ---
@@ -199,27 +210,86 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
     stats_.remote_faults.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Stride prefetch (remote read faults only — a write fault never widens,
+  // and the origin's faults are local): once the detector sees a streaming
+  // scan, widen the request to `extras` contiguous pages, clamped to the
+  // VMA so the batch cannot cross into unmapped space.
+  int extras = 0;
+  if (access == Access::kRead && node != config_.origin &&
+      config_.prefetch_max_pages > 0) {
+    int max_extras =
+        std::min(config_.prefetch_max_pages, net::kMaxBatchPages - 1);
+    const GAddr last_page = page_base(vma.end - 1);
+    const auto pages_ahead =
+        static_cast<std::int64_t>((last_page - page) >> kPageShift);
+    max_extras = static_cast<int>(
+        std::min<std::int64_t>(max_extras, pages_ahead));
+    extras = prefetcher_.on_read_fault(task, page, max_extras);
+  }
+
   net::PageRequestPayload request{};
   request.process_id = config_.process_id;
   request.page = page;
   request.task = task;
   request.blocking = 0;
 
+  net::PageBatchRequestPayload batch{};
+  batch.process_id = config_.process_id;
+  batch.start_page = page;
+  batch.task = task;
+  batch.count = static_cast<std::uint32_t>(1 + extras);
+  batch.blocking = 0;
+
   int attempts = 0;
   for (;;) {
-    pte.lock.lock();
-    request.known_version = pte.version;
-    pte.lock.unlock();
-
     Message msg;
-    msg.type = access == Access::kRead ? MsgType::kPageRequestRead
-                                       : MsgType::kPageRequestWrite;
     msg.dst = config_.origin;
-    msg.set_payload(request);
+    if (extras > 0) {
+      for (std::uint32_t i = 0; i < batch.count; ++i) {
+        Pte* known = page_table(node).find(page + i * kPageSize);
+        batch.known_versions[i] = known != nullptr ? known->version
+                                                   : kNoVersion;
+      }
+      msg.type = MsgType::kPageRequestBatch;
+      msg.set_payload(batch);
+    } else {
+      pte.lock.lock();
+      request.known_version = pte.version;
+      pte.lock.unlock();
+      msg.type = access == Access::kRead ? MsgType::kPageRequestRead
+                                         : MsgType::kPageRequestWrite;
+      msg.set_payload(request);
+    }
     const Message reply = fabric_.call(node, msg);
-    const auto grant = reply.payload_as<net::PageGrantPayload>();
-    if (grant.kind != GrantKind::kRetry) {
-      vclock::observe(grant.last_writer_ts);
+    GrantKind kind;
+    VirtNs last_writer_ts;
+    if (extras > 0) {
+      const auto grant = reply.payload_as<net::PageBatchGrantPayload>();
+      kind = grant.kind;
+      last_writer_ts = grant.last_writer_ts;
+      if (kind != GrantKind::kRetry) {
+        const auto granted_extras = static_cast<std::uint64_t>(
+            __builtin_popcount(grant.granted_mask >> 1));
+        stats_.prefetch_issued.fetch_add(static_cast<std::uint64_t>(extras),
+                                         std::memory_order_relaxed);
+        stats_.prefetch_grants.fetch_add(granted_extras,
+                                         std::memory_order_relaxed);
+        if (trace_ != nullptr && trace_->enabled()) {
+          for (int i = 1; i <= extras; ++i) {
+            if (grant.granted_mask & (1u << i)) {
+              record_fault(node, task, page + static_cast<GAddr>(i) * kPageSize,
+                           prof::FaultKind::kPrefetch, vma.tag.c_str());
+            }
+          }
+        }
+      }
+    } else {
+      const auto grant = reply.payload_as<net::PageGrantPayload>();
+      kind = grant.kind;
+      last_writer_ts = grant.last_writer_ts;
+    }
+    if (kind != GrantKind::kRetry) {
+      vclock::observe(last_writer_ts);
       break;
     }
     // Lost a race on a busy directory entry: back off and refault. This is
@@ -228,7 +298,10 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
     record_fault(node, task, page, prof::FaultKind::kRetry, vma.tag.c_str());
     vclock::advance(cost.fault_retry_backoff_ns);
     std::this_thread::yield();
-    if (++attempts >= config_.max_retries) request.blocking = 1;
+    if (++attempts >= config_.max_retries) {
+      request.blocking = 1;
+      batch.blocking = 1;
+    }
   }
 
   vclock::advance(cost.pte_update_ns);
@@ -339,6 +412,148 @@ Message Dsm::handle_page_request(const Message& msg, Access access) {
   return reply;
 }
 
+void Dsm::materialize_entry(DirEntry& entry, GAddr page) {
+  // First touch anywhere: materialize the anonymous zero page at the
+  // origin ("initially, the origin exclusively owns all pages").
+  Pte& origin_pte = page_table(config_.origin).get_or_create(page);
+  origin_pte.lock.lock();
+  origin_pte.seq.fetch_add(1, std::memory_order_release);
+  // Explicit zeroing: a recycled frame (munmap + re-mmap) holds old data.
+  std::memset(origin_pte.ensure_frame(), 0, kPageSize);
+  ++entry.version;
+  origin_pte.version = entry.version;
+  origin_pte.state.store(PageState::kShared, std::memory_order_release);
+  origin_pte.seq.fetch_add(1, std::memory_order_release);
+  origin_pte.lock.unlock();
+  entry.materialized = true;
+  entry.sharers.clear();
+  entry.sharers.add(config_.origin);
+  entry.exclusive_owner = kInvalidNode;
+}
+
+Message Dsm::handle_page_request_batch(const Message& msg) {
+  const auto request = msg.payload_as<net::PageBatchRequestPayload>();
+  DEX_CHECK(request.process_id == config_.process_id);
+  const NodeId requester = msg.src;
+  const NodeId origin = config_.origin;
+  const GAddr primary = request.start_page;
+  const std::uint32_t count = std::min<std::uint32_t>(
+      request.count, static_cast<std::uint32_t>(net::kMaxBatchPages));
+  DEX_CHECK(count >= 1);
+
+  Message reply;
+  reply.type = MsgType::kPageGrantBatch;
+  net::PageBatchGrantPayload grant{};
+
+  // The primary (demand) page gets the full handle_page_request semantics:
+  // busy-retry, blocking escalation, any grant kind.
+  DirEntry& entry = directory_.entry(primary);
+  std::unique_lock<std::mutex> lock(entry.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    if (request.blocking) {
+      ScopedGateBlock gate_block("dir_escalation");
+      lock.lock();
+    } else {
+      grant.kind = GrantKind::kRetry;
+      reply.set_payload(grant);
+      return reply;
+    }
+  }
+
+  vclock::advance(fabric_.cost().directory_service_ns);
+  vclock::observe(entry.last_release_ts);
+
+  grant.kind = transact(requester, request.task, primary, Access::kRead,
+                        request.known_versions[0]);
+  grant.granted_mask = 1;
+  grant.versions[0] = entry.version;
+  VirtNs last_ts = entry.last_release_ts;
+  if (grant.kind == GrantKind::kDataAndOwnership) {
+    stats_.grants_data.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.grants_ownership_only.fetch_add(1, std::memory_order_relaxed);
+  }
+  lock.unlock();
+
+  // Extras pass: one directory sweep, opportunistic and strictly
+  // non-stealing. Each candidate is granted kShared only when its entry
+  // lock is free right now and no remote node holds it exclusively; a
+  // write fault elsewhere always wins. Data for all granted extras is
+  // staged and shipped in ONE bulk transfer below, so the RDMA post +
+  // completion dispatch amortize over the batch.
+  std::vector<std::uint8_t> staging;
+  staging.reserve(static_cast<std::size_t>(count - 1) * kPageSize);
+  for (std::uint32_t i = 1; i < count; ++i) {
+    const GAddr p = primary + static_cast<GAddr>(i) * kPageSize;
+    auto vma = origin_space().find(p);
+    if (!vma || (vma->prot & kProtRead) == 0) continue;
+
+    DirEntry& e = directory_.entry(p);
+    std::unique_lock<std::mutex> elock(e.mu, std::try_to_lock);
+    if (!elock.owns_lock()) continue;  // busy: a prefetch never waits
+
+    vclock::advance(fabric_.cost().directory_service_ns);
+    if (!e.materialized) materialize_entry(e, p);
+    if (e.exclusive_owner != kInvalidNode) {
+      // Never steal exclusivity over the wire. The origin downgrading its
+      // own dirty copy is local and free, though — same as the demand read
+      // path — so only a *remote* owner blocks the grant.
+      if (e.exclusive_owner != origin) continue;
+      set_state(origin, p, PageState::kShared, e.version);
+      e.sharers.add(origin);
+      e.exclusive_owner = kInvalidNode;
+    }
+    vclock::observe(e.last_release_ts);
+    last_ts = std::max(last_ts, e.last_release_ts);
+
+    Pte& rpte = page_table(requester).get_or_create(p);
+    if (request.known_versions[i] == e.version &&
+        request.known_versions[i] != kNoVersion) {
+      // The requester's stale copy is still current: common ownership
+      // without data, like the single-page §III-B fast case.
+      set_state(requester, p, PageState::kShared, e.version);
+      stats_.grants_ownership_only.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Stage the origin frame and install it in the requester's PTE here,
+      // under the entry lock — a concurrent write fault then either runs
+      // before this grant (sees the old sharer set) or after it (revokes a
+      // fully installed copy); there is no window where a granted copy is
+      // invisible to revocation.
+      Pte& origin_pte = page_table(origin).get_or_create(p);
+      const std::size_t off = staging.size();
+      staging.resize(off + kPageSize);
+      origin_pte.lock.lock();
+      std::memcpy(staging.data() + off, origin_pte.frame.get(), kPageSize);
+      origin_pte.lock.unlock();
+      rpte.lock.lock();
+      rpte.seq.fetch_add(1, std::memory_order_release);
+      std::memcpy(rpte.ensure_frame(), staging.data() + off, kPageSize);
+      rpte.version = e.version;
+      rpte.state.store(PageState::kShared, std::memory_order_release);
+      rpte.seq.fetch_add(1, std::memory_order_release);
+      rpte.lock.unlock();
+      stats_.grants_data.fetch_add(1, std::memory_order_relaxed);
+    }
+    rpte.prefetched.store(1, std::memory_order_relaxed);
+    e.sharers.add(requester);
+    grant.granted_mask |= 1u << i;
+    grant.versions[i] = e.version;
+  }
+
+  if (!staging.empty() && requester != origin) {
+    // The wire charge for every staged extra page, amortized: one RDMA
+    // post + one completion dispatch for the whole batch (the per-byte
+    // wire/copy costs remain). The data itself was installed above.
+    std::vector<std::uint8_t> scratch(staging.size());
+    fabric_.bulk_transfer(origin, requester, staging.data(), staging.size(),
+                          scratch.data());
+  }
+
+  grant.last_writer_ts = last_ts;
+  reply.set_payload(grant);
+  return reply;
+}
+
 GrantKind Dsm::transact(NodeId requester, TaskId task, GAddr page,
                         Access access, std::uint64_t known_version) {
   (void)task;
@@ -346,23 +561,7 @@ GrantKind Dsm::transact(NodeId requester, TaskId task, GAddr page,
   DirEntry& entry = directory_.entry(page);  // caller holds entry.mu
   Pte& origin_pte = page_table(origin).get_or_create(page);
 
-  if (!entry.materialized) {
-    // First touch anywhere: materialize the anonymous zero page at the
-    // origin ("initially, the origin exclusively owns all pages").
-    origin_pte.lock.lock();
-    origin_pte.seq.fetch_add(1, std::memory_order_release);
-    // Explicit zeroing: a recycled frame (munmap + re-mmap) holds old data.
-    std::memset(origin_pte.ensure_frame(), 0, kPageSize);
-    ++entry.version;
-    origin_pte.version = entry.version;
-    origin_pte.state.store(PageState::kShared, std::memory_order_release);
-    origin_pte.seq.fetch_add(1, std::memory_order_release);
-    origin_pte.lock.unlock();
-    entry.materialized = true;
-    entry.sharers.clear();
-    entry.sharers.add(origin);
-    entry.exclusive_owner = kInvalidNode;
-  }
+  if (!entry.materialized) materialize_entry(entry, page);
 
   // Ensure the requester's PTE exists before any grant touches it.
   (void)page_table(requester).get_or_create(page);
@@ -419,11 +618,10 @@ GrantKind Dsm::transact(NodeId requester, TaskId task, GAddr page,
     entry.exclusive_owner = kInvalidNode;
   }
   // Revoke all clean shared copies except the requester's and the origin's
-  // (the origin frame is the grant source; its PTE is flipped below).
-  entry.sharers.for_each([&](NodeId sharer) {
-    if (sharer == requester || sharer == origin) return;
-    invalidate_copy(sharer, page, task);
-  });
+  // (the origin frame is the grant source; its PTE is flipped below), in
+  // one overlapped fan-out: the writer pays max(leg latencies), not the
+  // sum over sharers.
+  revoke_sharers(entry, page, requester, task);
 
   const std::uint64_t granted_version = entry.version + 1;
   GrantKind kind;
@@ -474,6 +672,14 @@ void Dsm::recall_from_owner(DirEntry& entry, GAddr page, bool downgrade) {
       reply = fabric_.call(origin, msg);
     } catch (const net::NodeDeadError&) {
       owner_lost = true;  // owner died mid-recall
+    } catch (const net::RpcError&) {
+      // Retry budget exhausted against a live owner: unwinding here would
+      // leave the entry half-updated. Treat the unreachable owner like a
+      // dead one (its dirty copy is lost and reported below) and fence its
+      // PTE so no writable stale copy survives origin-side.
+      stats_.revoke_failures.fetch_add(1, std::memory_order_relaxed);
+      fence_copy(owner, page);
+      owner_lost = true;
     }
   }
 
@@ -528,23 +734,101 @@ void Dsm::invalidate_copy(NodeId node, GAddr page, TaskId requester_task) {
   } catch (const net::NodeDeadError&) {
     // A clean shared copy died with its node; reclaim_node sweeps the
     // sharer bit, and the caller clears the sharer set anyway.
+  } catch (const net::RpcError&) {
+    // Retry budget exhausted against a live node: the sharer is
+    // unreachable but may still hold a readable copy. Letting this unwind
+    // mid-transact would leave the directory entry half-updated, so fence
+    // the copy origin-side (dead-sharer reclaim) and report the failure.
+    stats_.revoke_failures.fetch_add(1, std::memory_order_relaxed);
+    fence_copy(node, page);
   }
+}
+
+void Dsm::revoke_sharers(DirEntry& entry, GAddr page, NodeId requester,
+                         TaskId task) {
+  (void)task;
+  const NodeId origin = config_.origin;
+  std::vector<NodeId> targets;
+  entry.sharers.for_each([&](NodeId sharer) {
+    if (sharer == requester || sharer == origin) return;
+    targets.push_back(sharer);
+  });
+  if (targets.empty()) return;
+  if (targets.size() == 1) {
+    // One sharer: nothing to overlap; the single-leg helper carries the
+    // same failure handling (NodeDead tolerated, RpcError fenced+counted).
+    stats_.revoke_fanouts.fetch_add(1, std::memory_order_relaxed);
+    invalidate_copy(targets[0], page, task);
+    return;
+  }
+
+  net::RevokePayload payload{config_.process_id, page, /*downgrade=*/0};
+  std::vector<Message> requests(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    requests[i].type = MsgType::kRevokeOwnership;
+    requests[i].dst = targets[i];
+    requests[i].set_payload(payload);
+  }
+
+  stats_.revoke_fanouts.fetch_add(1, std::memory_order_relaxed);
+  if (targets.size() > 1 && fabric_.options().mode.overlapped_fanout) {
+    stats_.revoke_legs_overlapped.fetch_add(targets.size(),
+                                            std::memory_order_relaxed);
+  }
+
+  const std::vector<net::CallOutcome> outcomes =
+      fabric_.call_many(origin, requests);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    switch (outcomes[i].status) {
+      case net::CallOutcome::Status::kOk:
+        break;
+      case net::CallOutcome::Status::kNodeDead:
+        // The clean copy died with its node; reclaim_node sweeps the
+        // sharer bit, and the caller clears the sharer set anyway.
+        break;
+      case net::CallOutcome::Status::kFailed:
+        // Retry budget exhausted against a live node: fence the
+        // unreachable sharer's copy origin-side so no readable stale copy
+        // survives, and report the failure instead of unwinding
+        // mid-transact with the entry half-updated.
+        stats_.revoke_failures.fetch_add(1, std::memory_order_relaxed);
+        fence_copy(targets[i], page);
+        record_fault(targets[i], /*task=*/-1, page, prof::FaultKind::kReclaim,
+                     nullptr);
+        break;
+    }
+  }
+}
+
+void Dsm::fence_copy(NodeId node, GAddr page) {
+  Pte* pte = page_table(node).find(page);
+  if (pte == nullptr) return;
+  pte->lock.lock();
+  pte->seq.fetch_add(1, std::memory_order_release);
+  if (pte->prefetched.exchange(0, std::memory_order_relaxed) != 0) {
+    stats_.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
+  }
+  pte->state.store(PageState::kInvalid, std::memory_order_release);
+  pte->version = kNoVersion;
+  pte->seq.fetch_add(1, std::memory_order_release);
+  pte->lock.unlock();
 }
 
 Message Dsm::handle_revoke(const Message& msg) {
   const auto payload = msg.payload_as<net::RevokePayload>();
   const NodeId node = msg.dst;
   vclock::advance(fabric_.cost().revoke_service_ns);
-  stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
-  record_fault(node, /*task=*/-1, payload.page, prof::FaultKind::kInvalidate,
-               nullptr);
 
   Message reply;
   reply.type = MsgType::kRevokeOwnership;
 
   Pte* pte = page_table(node).find(payload.page);
-  if (pte == nullptr) return reply;
+  if (pte == nullptr) return reply;  // never held: a no-op revoke
 
+  // Count (and trace) only revokes that actually invalidate or downgrade a
+  // copy; duplicate deliveries and already-invalid copies used to inflate
+  // the invalidation stats the benches report.
+  bool invalidated = false;
   pte->lock.lock();
   const PageState state = pte->state.load(std::memory_order_acquire);
   if (state == PageState::kExclusive) {
@@ -556,10 +840,23 @@ Message Dsm::handle_revoke(const Message& msg) {
                                                  : PageState::kInvalid,
                      std::memory_order_release);
     pte->seq.fetch_add(1, std::memory_order_release);
+    invalidated = true;
   } else if (state == PageState::kShared && !payload.downgrade_to_shared) {
     pte->state.store(PageState::kInvalid, std::memory_order_release);
+    invalidated = true;
+  }
+  if (invalidated &&
+      pte->prefetched.exchange(0, std::memory_order_relaxed) != 0) {
+    // A prefetched copy revoked before any demand access: pure waste.
+    stats_.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
   }
   pte->lock.unlock();
+
+  if (invalidated) {
+    stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+    record_fault(node, /*task=*/-1, payload.page,
+                 prof::FaultKind::kInvalidate, nullptr);
+  }
   return reply;
 }
 
@@ -575,6 +872,7 @@ void Dsm::install_copy(NodeId node, GAddr page, const std::uint8_t* src,
   pte.seq.fetch_add(1, std::memory_order_release);
   std::memcpy(pte.ensure_frame(), bounce, kPageSize);
   pte.version = version;
+  pte.prefetched.store(0, std::memory_order_relaxed);  // a demand install
   pte.state.store(state, std::memory_order_release);
   pte.seq.fetch_add(1, std::memory_order_release);
   pte.lock.unlock();

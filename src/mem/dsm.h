@@ -28,6 +28,7 @@
 #include "mem/directory.h"
 #include "mem/fault_table.h"
 #include "mem/page_table.h"
+#include "mem/prefetch.h"
 #include "mem/vma.h"
 #include "net/fabric.h"
 #include "prof/trace.h"
@@ -73,6 +74,11 @@ struct DsmConfig {
   /// Maximum busy-entry retries before falling back to a blocking acquire
   /// (forward-progress guarantee).
   int max_retries = 64;
+  /// Extra contiguous pages a detected streaming read may pull in one
+  /// kPageRequestBatch transaction (clamped to net::kMaxBatchPages - 1).
+  /// 0 disables the stride prefetcher — the ablation reproduces the
+  /// one-page-per-fault protocol exactly.
+  int prefetch_max_pages = 8;
 };
 
 /// Per-process accounting of node-failure damage and recovery work. Dirty
@@ -96,6 +102,19 @@ struct DsmStats {
   std::atomic<std::uint64_t> grants_data{0};
   std::atomic<std::uint64_t> grants_ownership_only{0};
   std::atomic<std::uint64_t> vma_syncs{0};
+  // ---- Stride prefetcher (kPageRequestBatch) ----
+  std::atomic<std::uint64_t> prefetch_issued{0};   // extra pages requested
+  std::atomic<std::uint64_t> prefetch_grants{0};   // extra pages granted
+  std::atomic<std::uint64_t> prefetch_hits{0};     // prefetched page used
+  std::atomic<std::uint64_t> prefetch_wasted{0};   // revoked before any use
+  // ---- Overlapped revocation fan-out ----
+  std::atomic<std::uint64_t> revoke_fanouts{0};        // call_many batches
+  std::atomic<std::uint64_t> revoke_legs_overlapped{0};// legs in them
+  /// Revocations whose RPC failed after the retry budget (RpcError): the
+  /// unreachable sharer is treated as a dead-sharer reclaim so the entry
+  /// stays consistent, and the failure is counted here instead of
+  /// unwinding mid-transaction.
+  std::atomic<std::uint64_t> revoke_failures{0};
   LatencyHistogram fault_latency;
 
   std::uint64_t total_faults() const {
@@ -167,6 +186,12 @@ class Dsm {
 
   // ---- Fabric handlers (routed by the cluster's dispatcher) ----
   net::Message handle_page_request(const net::Message& msg, Access access);
+  /// K-contiguous-page read transaction: the primary page gets the full
+  /// handle_page_request semantics (busy-retry, escalation); the extras are
+  /// granted kShared opportunistically — only when their entry lock is free
+  /// and nobody holds them exclusively — and their data rides one bulk
+  /// transfer instead of K.
+  net::Message handle_page_request_batch(const net::Message& msg);
   net::Message handle_revoke(const net::Message& msg);
   net::Message handle_vma_request(const net::Message& msg);
   net::Message handle_vma_update(const net::Message& msg);
@@ -194,6 +219,10 @@ class Dsm {
   net::GrantKind transact(NodeId requester, TaskId task, GAddr page,
                           Access access, std::uint64_t known_version);
 
+  /// First-touch materialization of the anonymous zero page at the origin.
+  /// Directory entry must be locked.
+  void materialize_entry(DirEntry& entry, GAddr page);
+
   /// Pulls the current data out of `owner` (downgrading to shared or
   /// invalidating) and installs it in the origin frame. Directory entry
   /// must be locked.
@@ -201,6 +230,19 @@ class Dsm {
 
   /// Invalidates `node`'s copy (no writeback — shared copies are clean).
   void invalidate_copy(NodeId node, GAddr page, TaskId requester_task);
+
+  /// Revokes every shared copy except the requester's and the origin's in
+  /// one overlapped fan-out (Fabric::call_many). A leg that fails after the
+  /// retry budget is treated as a dead-sharer reclaim: the copy is fenced
+  /// locally and counted in DsmStats::revoke_failures, so the caller can
+  /// clear the sharer set unconditionally. Directory entry must be locked.
+  void revoke_sharers(DirEntry& entry, GAddr page, NodeId requester,
+                      TaskId task);
+
+  /// Origin-side fence of an unreachable sharer's copy: seq-bumped local
+  /// invalidate of `node`'s PTE, mirroring what reclaim_node does for dead
+  /// nodes, so a revoke RPC failure cannot leave a readable stale copy.
+  void fence_copy(NodeId node, GAddr page);
 
   /// Installs `src` (origin frame) into `node`'s frame with `state`.
   void install_copy(NodeId node, GAddr page, const std::uint8_t* src,
@@ -228,6 +270,7 @@ class Dsm {
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
   std::vector<std::unique_ptr<PageTable>> tables_;
   std::vector<std::unique_ptr<FaultTable>> fault_tables_;
+  StridePrefetcher prefetcher_;
   Directory directory_;
   DsmStats stats_;
   FailureStats failure_stats_;

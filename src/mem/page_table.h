@@ -52,6 +52,10 @@ struct Pte {
   /// Directory version of the copy this node last held. Lets the origin
   /// grant ownership without data when the copy is still current.
   std::uint64_t version = kNoVersion;
+  /// Set when the copy was installed ahead of demand by the stride
+  /// prefetcher and not yet touched; the fault fast path clears it and
+  /// counts a prefetch hit, a revocation of a still-set flag counts waste.
+  std::atomic<std::uint8_t> prefetched{0};
   /// Node-local physical frame; allocated on first grant.
   std::unique_ptr<std::uint8_t[]> frame;
   /// Guards frame contents + state transitions.

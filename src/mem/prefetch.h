@@ -1,0 +1,68 @@
+// Per-task sequential-stride detection for the read-fault path.
+//
+// The paper's protocol moves exactly one 4 KB page per transaction, so a
+// streaming scan pays a full round trip per page. A tiny per-task stream
+// detector — the software analogue of a next-line prefetcher — watches the
+// sequence of read-faulting pages: once a task has faulted on `kTriggerRun`
+// consecutive pages, the fault handler asks the origin for up to
+// DsmConfig::prefetch_max_pages contiguous pages in one kPageRequestBatch
+// transaction instead of one. Detection is requester-side only and purely
+// advisory: the origin grants extras only when the directory shows them
+// grantable as kShared without stealing exclusivity (see
+// Dsm::handle_page_request_batch), and a write fault never widens.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/spinlock.h"
+#include "common/types.h"
+
+namespace dex::mem {
+
+class StridePrefetcher {
+ public:
+  /// Consecutive ascending page faults required before batching kicks in;
+  /// below this, a scan is indistinguishable from pointer chasing and a
+  /// speculative batch would mostly fetch waste.
+  static constexpr int kTriggerRun = 3;
+
+  /// Feeds one demand read fault of `task` at page-aligned `page` into the
+  /// detector. Returns how many extra contiguous pages (0..max_extras) the
+  /// fault handler should request beyond the faulting page.
+  int on_read_fault(TaskId task, GAddr page, int max_extras) {
+    Shard& shard = shard_for(task);
+    shard.lock.lock();
+    Stream& stream = shard.streams[task];
+    if (page == stream.next_expected && stream.run > 0) {
+      ++stream.run;
+    } else {
+      stream.run = 1;
+    }
+    const int extras =
+        (stream.run >= kTriggerRun && max_extras > 0) ? max_extras : 0;
+    // The batch (if granted) covers [page, page + extras]; the stream stays
+    // sequential if the task next faults just past that window.
+    stream.next_expected =
+        page + static_cast<GAddr>(1 + extras) * kPageSize;
+    shard.lock.unlock();
+    return extras;
+  }
+
+ private:
+  struct Stream {
+    GAddr next_expected = 0;
+    int run = 0;
+  };
+  struct Shard {
+    Spinlock lock;
+    std::unordered_map<TaskId, Stream> streams;
+  };
+  static constexpr std::size_t kShards = 16;
+  Shard& shard_for(TaskId task) {
+    return shards_[static_cast<std::size_t>(task) % kShards];
+  }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace dex::mem

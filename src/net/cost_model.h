@@ -50,6 +50,10 @@ struct CostModel {
   VirtNs handler_dispatch_ns = 1500;
   /// Composing a message into a pooled send buffer.
   VirtNs compose_ns = 300;
+  /// Serial gap between posting consecutive legs of a scatter-gather
+  /// fan-out (Fabric::call_many): the sender's CPU posts work requests one
+  /// at a time even though the wire legs then overlap.
+  VirtNs fanout_post_gap_ns = 300;
   /// Waiting for a pooled buffer when the ring is exhausted.
   VirtNs pool_stall_ns = 4000;
 

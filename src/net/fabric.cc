@@ -3,7 +3,10 @@
 #include <cstring>
 #include <string>
 
+#include <algorithm>
+
 #include "common/assert.h"
+#include "common/time_gate.h"
 #include "common/virtual_clock.h"
 #include "net/rpc_error.h"
 #include "prof/trace.h"
@@ -31,6 +34,8 @@ const char* to_string(MsgType type) {
     case MsgType::kPageGrant: return "page_grant";
     case MsgType::kPageRetry: return "page_retry";
     case MsgType::kRevokeOwnership: return "revoke_ownership";
+    case MsgType::kPageRequestBatch: return "page_request_batch";
+    case MsgType::kPageGrantBatch: return "page_grant_batch";
     case MsgType::kVmaInfoRequest: return "vma_info_request";
     case MsgType::kVmaInfoReply: return "vma_info_reply";
     case MsgType::kVmaUpdate: return "vma_update";
@@ -135,7 +140,11 @@ VirtNs Fabric::transmit_bulk(RcConnection& conn, const std::uint8_t* data,
     case FabricMode::BulkPath::kRdmaSink: {
       // The receiver reserves a sink chunk and tells the sender where to
       // RDMA-write; on completion it copies the data to its final
-      // destination and recycles the chunk.
+      // destination and recycles the chunk. One posted work request covers
+      // the whole transfer (chained chunks), so the post + completion
+      // dispatch are paid once and amortize over multi-page batches; wire
+      // time and the sink->destination copy stay per byte.
+      charged += cost.rdma_post_ns + cost.handler_dispatch_ns;
       std::size_t done = 0;
       while (done < len) {
         bool stalled = false;
@@ -144,7 +153,7 @@ VirtNs Fabric::transmit_bulk(RcConnection& conn, const std::uint8_t* data,
         const std::size_t n =
             len - done < chunk.size() ? len - done : chunk.size();
         std::memcpy(chunk.data(), data + done, n);  // the RDMA write
-        charged += cost.rdma_payload_ns(n);
+        charged += cost.wire_ns(n) + cost.copy_ns(n);
         chunk.copy_out_and_release(out + done, n);
         conn.count_rdma(n);
         done += n;
@@ -337,6 +346,92 @@ Message Fabric::call(NodeId src, const Message& request) {
     }
     return reply;
   }
+}
+
+CallOutcome Fabric::call_one(NodeId src, const Message& request) {
+  CallOutcome outcome;
+  try {
+    outcome.reply = call(src, request);
+    outcome.status = CallOutcome::Status::kOk;
+  } catch (const NodeDeadError& dead) {
+    // A dead destination is a per-leg outcome; a dead *caller* aborts the
+    // whole fan-out, as it would abort a plain call().
+    if (dead.dead_node() == src) throw;
+    outcome.status = CallOutcome::Status::kNodeDead;
+  } catch (const RpcError&) {
+    outcome.status = CallOutcome::Status::kFailed;
+  }
+  return outcome;
+}
+
+void Fabric::run_overlapped(const std::vector<std::function<void()>>& legs) {
+  // Each leg runs on a scratch clock starting at the caller's current time
+  // plus the serial posting gap; the caller then observes the latest leg
+  // finish, so its charge is max(leg latencies) + per-leg posting overhead.
+  // The real clock is parked for the gate meanwhile (the caller is waiting
+  // on completions, not advancing), and scratch clocks are detached from
+  // the gate after their leg so they cannot wedge coupled runs.
+  const VirtNs t0 = vclock::now();
+  VirtNs latest = t0;
+  {
+    ScopedGateBlock parked("fanout_wait");
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+      VirtualClock leg_clock(
+          t0 + static_cast<VirtNs>(i) * options_.cost.fanout_post_gap_ns);
+      {
+        ScopedClockBinding bind(&leg_clock);
+        try {
+          legs[i]();
+        } catch (...) {
+          if (vclock::coupling_enabled()) {
+            TimeGate::instance().leave(&leg_clock);
+          }
+          throw;
+        }
+      }
+      if (vclock::coupling_enabled()) TimeGate::instance().leave(&leg_clock);
+      latest = std::max(latest, leg_clock.now());
+    }
+  }
+  vclock::observe(latest);
+}
+
+std::vector<CallOutcome> Fabric::call_many(
+    NodeId src, const std::vector<Message>& requests) {
+  std::vector<CallOutcome> outcomes(requests.size());
+  if (requests.size() <= 1 || !options_.mode.overlapped_fanout) {
+    // Serial fallback (and the ablation): exactly the old cost.
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      outcomes[i] = call_one(src, requests[i]);
+    }
+    return outcomes;
+  }
+  fanout_calls_.fetch_add(1, std::memory_order_relaxed);
+  fanout_legs_.fetch_add(requests.size(), std::memory_order_relaxed);
+  std::vector<std::function<void()>> legs;
+  legs.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    legs.push_back([this, src, &requests, &outcomes, i] {
+      outcomes[i] = call_one(src, requests[i]);
+    });
+  }
+  run_overlapped(legs);
+  return outcomes;
+}
+
+void Fabric::post_many(NodeId src, const std::vector<Message>& requests) {
+  if (requests.size() <= 1 || !options_.mode.overlapped_fanout) {
+    for (const Message& request : requests) post(src, request);
+    return;
+  }
+  fanout_calls_.fetch_add(1, std::memory_order_relaxed);
+  fanout_legs_.fetch_add(requests.size(), std::memory_order_relaxed);
+  std::vector<std::function<void()>> legs;
+  legs.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    legs.push_back([this, src, &requests, i] { post(src, requests[i]); });
+  }
+  run_overlapped(legs);
 }
 
 void Fabric::post(NodeId src, const Message& request) {

@@ -36,6 +36,11 @@ namespace dex::net {
 struct FabricMode {
   /// Pre-mapped send/receive buffer pools; off = per-message DMA mapping.
   bool use_buffer_pools = true;
+  /// Scatter-gather fan-out: call_many()/post_many() post all legs before
+  /// waiting any, so the caller is charged max(leg latencies) plus a serial
+  /// per-leg posting gap instead of the sum. Off = legs run serially on the
+  /// caller's clock (the pre-fan-out behavior, kept for ablations).
+  bool overlapped_fanout = true;
   /// Bulk payload strategy.
   enum class BulkPath {
     kRdmaSink,          // paper's hybrid: pre-registered sink + one memcpy
@@ -77,6 +82,20 @@ struct FabricOptions {
   FaultPolicy faults;
 };
 
+/// Per-leg result of a scatter-gather fan-out. Unlike call(), which throws,
+/// call_many() reports each leg's fate so the caller can finish the other
+/// legs and then decide (a write fault must revoke every live sharer even
+/// when one of them is dead or unreachable).
+struct CallOutcome {
+  enum class Status {
+    kOk,        // reply is valid
+    kNodeDead,  // destination declared dead (NodeDeadError)
+    kFailed,    // retry budget exhausted / error reply (RpcError)
+  };
+  Status status = Status::kOk;
+  Message reply;
+};
+
 class Fabric {
  public:
   using Handler = std::function<Message(const Message&)>;
@@ -106,6 +125,23 @@ class Fabric {
   /// reply (the kAck convention) also throws RpcError. call() never hangs
   /// on a lost message and never silently drops a failure.
   Message call(NodeId src, const Message& request);
+
+  /// Scatter-gather RPC: posts every leg before waiting for any, so the
+  /// caller's virtual clock is charged max(leg round trips) plus a serial
+  /// per-leg posting gap (CostModel::fanout_post_gap_ns) — not the sum.
+  /// Each leg keeps call()'s full semantics (retry, backoff, dedup for
+  /// non-idempotent types); a leg's failure is reported in its CallOutcome
+  /// instead of thrown, except that the caller's own node being dead still
+  /// throws NodeDeadError (there is no point finishing the other legs).
+  /// With FabricMode::overlapped_fanout off, legs run serially on the
+  /// caller's clock — exactly the old cost, for ablations.
+  std::vector<CallOutcome> call_many(NodeId src,
+                                     const std::vector<Message>& requests);
+
+  /// Fan-out of one-way posts (eager VMA broadcasts, reclaim sweeps) with
+  /// the same overlap accounting as call_many(). Posts to dead nodes are
+  /// discarded and counted, matching post().
+  void post_many(NodeId src, const std::vector<Message>& requests);
 
   /// One-way message (eager VMA update broadcasts, teardown). Charges the
   /// send path only; the handler's reply is discarded. Drops are retried on
@@ -148,6 +184,12 @@ class Fabric {
   std::uint64_t posts_to_dead() const {
     return posts_to_dead_.load(std::memory_order_relaxed);
   }
+  std::uint64_t fanout_calls() const {
+    return fanout_calls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fanout_legs() const {
+    return fanout_legs_.load(std::memory_order_relaxed);
+  }
   void reset_counters();
 
  private:
@@ -183,6 +225,15 @@ class Fabric {
   /// Throws NodeDeadError when either endpoint has been declared dead.
   void check_liveness(NodeId src, const Message& msg) const;
 
+  /// One leg of call_many(): call() with leg-local failure capture. Only a
+  /// dead *source* node propagates as NodeDeadError.
+  CallOutcome call_one(NodeId src, const Message& request);
+
+  /// Runs `legs.size()` closures with overlap accounting: each leg gets a
+  /// scratch clock starting at now + i * fanout_post_gap_ns; afterwards the
+  /// caller's clock observes the latest leg finish time.
+  void run_overlapped(const std::vector<std::function<void()>>& legs);
+
   FabricOptions options_;
   // connections_[src * n + dst], src != dst.
   std::vector<std::unique_ptr<RcConnection>> connections_;
@@ -197,6 +248,8 @@ class Fabric {
   std::atomic<std::uint64_t> rpc_retries_{0};
   std::atomic<std::uint64_t> dedup_suppressed_{0};
   std::atomic<std::uint64_t> posts_to_dead_{0};
+  std::atomic<std::uint64_t> fanout_calls_{0};
+  std::atomic<std::uint64_t> fanout_legs_{0};
 };
 
 }  // namespace dex::net

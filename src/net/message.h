@@ -24,6 +24,8 @@ enum class MsgType : std::uint16_t {
   kPageGrant,         // origin -> remote: ownership (+ data unless clean)
   kPageRetry,         // origin -> remote: directory entry busy, back off
   kRevokeOwnership,   // origin -> owner: invalidate/downgrade + write back
+  kPageRequestBatch,  // remote -> origin: K contiguous pages, one transaction
+  kPageGrantBatch,    // origin -> remote: per-page grants + one bulk transfer
 
   // --- VMA synchronization (§III-D) ---
   kVmaInfoRequest,  // remote -> origin: on-demand VMA lookup
@@ -169,6 +171,37 @@ struct PageGrantPayload {
   std::uint8_t padding[7];
   std::uint64_t version;
   VirtNs last_writer_ts;  // happens-before edge from the previous writer
+};
+
+/// Upper bound on pages per kPageRequestBatch transaction. Keeps the
+/// payload fixed-layout (trivially copyable) and bounds the time the
+/// origin spends holding per-entry locks in one handler pass.
+inline constexpr int kMaxBatchPages = 16;
+
+/// K contiguous pages in one transaction: the primary (faulting) page at
+/// `start_page` plus `count - 1` prefetch candidates behind it. Only read
+/// faults batch — a write fault never widens (§III-B exclusivity).
+struct PageBatchRequestPayload {
+  std::uint64_t process_id;
+  GAddr start_page;
+  TaskId task;
+  std::uint32_t count;   // total pages requested, 1..kMaxBatchPages
+  std::uint8_t blocking; // escalation applies to the primary page only
+  std::uint8_t pad[3];
+  std::uint64_t known_versions[kMaxBatchPages];
+};
+
+/// Per-page grant decisions for a batch. Bit i of `granted_mask` set means
+/// page start_page + i*kPageSize was granted kShared (data installed
+/// origin-side or version-matched); holes are pages the origin skipped
+/// (busy entry, exclusive elsewhere, out of VMA). The primary page's
+/// outcome travels in `kind` with the usual GrantKind semantics.
+struct PageBatchGrantPayload {
+  GrantKind kind;  // primary page outcome (kRetry => nothing granted)
+  std::uint8_t padding[3];
+  std::uint32_t granted_mask;
+  std::uint64_t versions[kMaxBatchPages];
+  VirtNs last_writer_ts;
 };
 
 struct RevokePayload {

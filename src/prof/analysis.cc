@@ -39,6 +39,12 @@ TraceAnalysis::TraceAnalysis(std::vector<FaultEvent> events)
         ++pr.failures;
         ++sr.failures;
         break;
+      case FaultKind::kPrefetch:
+        // Pages installed ahead of demand: not demand faults, so excluded
+        // from total(), but tracked so hot-page reports show coverage.
+        ++pr.prefetches;
+        ++sr.prefetches;
+        break;
     }
     if (e.node != kInvalidNode) pr.nodes.insert(e.node);
     if (e.task >= 0) pr.tasks.insert(e.task);

@@ -28,6 +28,7 @@ struct SiteReport {
   std::uint64_t invalidations = 0;
   std::uint64_t retries = 0;
   std::uint64_t failures = 0;  // reclaim / node-death events
+  std::uint64_t prefetches = 0;
   std::uint64_t total() const { return reads + writes + retries; }
 };
 
@@ -39,6 +40,7 @@ struct PageReport {
   std::uint64_t invalidations = 0;
   std::uint64_t retries = 0;
   std::uint64_t failures = 0;  // reclaim / node-death events
+  std::uint64_t prefetches = 0;
   std::set<NodeId> nodes;
   std::set<std::uint32_t> sites;
   std::set<TaskId> tasks;

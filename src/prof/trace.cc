@@ -12,6 +12,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kRetry: return "retry";
     case FaultKind::kReclaim: return "reclaim";
     case FaultKind::kNodeDead: return "node_dead";
+    case FaultKind::kPrefetch: return "prefetch";
   }
   return "?";
 }

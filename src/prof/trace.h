@@ -27,6 +27,7 @@ enum class FaultKind : std::uint8_t {
   kRetry = 3,       // lost a race on a busy directory entry
   kReclaim = 4,     // origin reclaimed the page from a dead node
   kNodeDead = 5,    // thread observed a NodeDeadError and was lost
+  kPrefetch = 6,    // page installed ahead of demand by the stride prefetcher
 };
 
 const char* to_string(FaultKind kind);

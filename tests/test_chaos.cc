@@ -543,6 +543,106 @@ TEST_F(ChaosClusterTest, MigrateToDeadNodeFailsThenHealRecovers) {
   EXPECT_TRUE(process_->dsm().check_invariants());
 }
 
+TEST_F(ChaosClusterTest, FanoutRevocationSurvivesDroppedLeg) {
+  Watchdog dog(60);
+  GArray<std::uint64_t> arr(*process_, 512, "fanout-chaos");
+  arr.set(0, 7);  // origin takes the page exclusive
+
+  // Replicate the page on every node so the write below fans out.
+  std::vector<DexThread> readers;
+  for (NodeId n = 1; n <= 3; ++n) {
+    readers.push_back(process_->spawn([&, n] {
+      migrate(n);
+      EXPECT_EQ(arr.get(0), 7u);
+      migrate_back();
+    }));
+  }
+  for (auto& r : readers) r.join();
+
+  // Lose exactly one revocation leg (origin -> node 3) once; the fan-out
+  // must retry that leg transparently while the other leg proceeds.
+  FaultPolicy policy;
+  policy.seed = 11;
+  FaultRule rule;
+  rule.type = MsgType::kRevokeOwnership;
+  rule.src = 0;
+  rule.dst = 3;
+  rule.drop_prob = 1.0;
+  rule.max_faults = 1;
+  policy.rules.push_back(rule);
+  cluster_->fabric().injector().configure(policy);
+
+  DexThread writer = process_->spawn([&] {
+    migrate(1);
+    arr.set(0, 8);  // revokes the copies on nodes 2 and 3
+    migrate_back();
+  });
+  writer.join();
+  EXPECT_FALSE(writer.failed());
+
+  EXPECT_EQ(arr.get(0), 8u);
+  EXPECT_EQ(cluster_->fabric().injector().drops(), 1u);
+  EXPECT_GT(cluster_->fabric().rpc_retries(), 0u);
+  auto& stats = process_->dsm().stats();
+  EXPECT_EQ(stats.revoke_failures.load(), 0u);
+  EXPECT_GE(stats.revoke_fanouts.load(), 1u);
+  EXPECT_GE(stats.revoke_legs_overlapped.load(), 2u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+TEST_F(ChaosClusterTest, RevokeRetryExhaustionReclaimsSharer) {
+  Watchdog dog(60);
+  GArray<std::uint64_t> arr(*process_, 512, "revoke-exhaust");
+  arr.set(0, 7);
+
+  std::vector<DexThread> readers;
+  for (NodeId n = 1; n <= 3; ++n) {
+    readers.push_back(process_->spawn([&, n] {
+      migrate(n);
+      EXPECT_EQ(arr.get(0), 7u);
+      migrate_back();
+    }));
+  }
+  for (auto& r : readers) r.join();
+
+  // Node 3 never acknowledges a revoke: the leg exhausts its retries. The
+  // write must still complete, with the unreachable sharer fenced off and
+  // counted instead of wedging the fan-out.
+  FaultPolicy policy;
+  policy.seed = 12;
+  FaultRule rule;
+  rule.type = MsgType::kRevokeOwnership;
+  rule.src = 0;
+  rule.dst = 3;
+  rule.drop_prob = 1.0;
+  policy.rules.push_back(rule);
+  cluster_->fabric().injector().configure(policy);
+
+  DexThread writer = process_->spawn([&] {
+    migrate(1);
+    arr.set(0, 9);
+    migrate_back();
+  });
+  writer.join();
+  EXPECT_FALSE(writer.failed());
+  EXPECT_EQ(arr.get(0), 9u);
+  auto& stats = process_->dsm().stats();
+  EXPECT_GE(stats.revoke_failures.load(), 1u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+
+  // Once the wire heals, the fenced node refaults cleanly and sees the
+  // committed write.
+  cluster_->fabric().injector().configure(FaultPolicy{});
+  DexThread victim = process_->spawn([&] {
+    migrate(3);
+    EXPECT_EQ(arr.get(0), 9u);
+    migrate_back();
+  });
+  victim.join();
+  EXPECT_FALSE(victim.failed());
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
 // The acceptance soak: 6 threads spread over nodes 1..3 write disjoint
 // page-aligned slices under a 2% wire drop rate; node 2 is failed mid-run.
 // Deterministic under the fixed seed: survivors finish with exact results,

@@ -1,0 +1,155 @@
+// Stride-prefetch tests: sequential scans trigger multi-page batch grants
+// that collapse the read-fault count, the ablation switch restores the
+// one-page-per-fault protocol exactly, prefetch never steals exclusivity
+// from a writer, and a dropped batch reply is retried to completion.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/api.h"
+
+namespace dex {
+namespace {
+
+using net::FaultPolicy;
+using net::FaultRule;
+using net::MsgType;
+
+constexpr std::size_t kWordsPerPage = kPageSize / sizeof(std::uint64_t);
+
+class PrefetchTest : public ::testing::Test {
+ protected:
+  void start(int num_nodes, int prefetch_max_pages) {
+    ClusterConfig config;
+    config.num_nodes = num_nodes;
+    cluster_ = std::make_unique<Cluster>(config);
+    ProcessOptions options;
+    options.prefetch_max_pages = prefetch_max_pages;
+    process_ = cluster_->create_process(options);
+  }
+
+  /// Sequentially reads the first word of pages [0, pages) on `node`,
+  /// verifying the value seeded by seed_pages(). Returns the number of
+  /// read faults the scan took.
+  std::uint64_t scan_pages(NodeId node, GArray<std::uint64_t>& arr,
+                           std::size_t pages) {
+    auto& stats = process_->dsm().stats();
+    const std::uint64_t before = stats.read_faults.load();
+    DexThread scanner = process_->spawn([&, node, pages] {
+      migrate(node);
+      for (std::size_t p = 0; p < pages; ++p) {
+        EXPECT_EQ(arr.get(p * kWordsPerPage), p);
+      }
+      migrate_back();
+    });
+    scanner.join();
+    EXPECT_FALSE(scanner.failed());
+    return stats.read_faults.load() - before;
+  }
+
+  void seed_pages(GArray<std::uint64_t>& arr, std::size_t pages) {
+    for (std::size_t p = 0; p < pages; ++p) arr.set(p * kWordsPerPage, p);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Process> process_;
+};
+
+TEST_F(PrefetchTest, SequentialScanTriggersBatchGrants) {
+  start(/*num_nodes=*/2, /*prefetch_max_pages=*/8);
+  constexpr std::size_t kPages = 256;
+  GArray<std::uint64_t> arr(*process_, kPages * kWordsPerPage, "scan");
+  seed_pages(arr, kPages);
+
+  const std::uint64_t faults = scan_pages(1, arr, kPages);
+
+  // Three faults establish the stride, then each fault pulls up to 9 pages:
+  // the scan must take far fewer faults than pages.
+  EXPECT_LT(faults, kPages / 2);
+  EXPECT_GT(cluster_->fabric().messages_of(MsgType::kPageRequestBatch), 0u);
+  auto& stats = process_->dsm().stats();
+  EXPECT_GT(stats.prefetch_issued.load(), 0u);
+  EXPECT_GT(stats.prefetch_grants.load(), 0u);
+  EXPECT_GT(stats.prefetch_hits.load(), 0u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+TEST_F(PrefetchTest, AblationOffRestoresOneFaultPerPage) {
+  start(/*num_nodes=*/2, /*prefetch_max_pages=*/0);
+  constexpr std::size_t kPages = 64;
+  GArray<std::uint64_t> arr(*process_, kPages * kWordsPerPage, "noprefetch");
+  seed_pages(arr, kPages);
+
+  const std::uint64_t faults = scan_pages(1, arr, kPages);
+
+  EXPECT_EQ(faults, kPages);
+  EXPECT_EQ(cluster_->fabric().messages_of(MsgType::kPageRequestBatch), 0u);
+  auto& stats = process_->dsm().stats();
+  EXPECT_EQ(stats.prefetch_issued.load(), 0u);
+  EXPECT_EQ(stats.prefetch_hits.load(), 0u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+TEST_F(PrefetchTest, NeverStealsExclusiveOwnership) {
+  start(/*num_nodes=*/3, /*prefetch_max_pages=*/8);
+  constexpr std::size_t kPages = 24;
+  constexpr std::size_t kOwned = 16;  // the page a writer holds exclusive
+  GArray<std::uint64_t> arr(*process_, kPages * kWordsPerPage, "steal");
+  seed_pages(arr, kPages);
+
+  DexThread writer = process_->spawn([&] {
+    migrate(2);
+    arr.set(kOwned * kWordsPerPage, 999);
+    migrate_back();
+  });
+  writer.join();
+  ASSERT_EQ(process_->probe_data_location(arr.addr(kOwned * kWordsPerPage)),
+            2);
+
+  // Scan pages 0..11: the stride is established by page 2, and the batch
+  // issued at page 11 covers pages 12..19 — including the exclusively
+  // owned page 16, which must be skipped (a granted_mask hole), not
+  // recalled from its writer.
+  const std::uint64_t faults = scan_pages(1, arr, 12);
+  EXPECT_LT(faults, 12u);
+  EXPECT_GT(process_->dsm().stats().prefetch_grants.load(), 0u);
+  EXPECT_EQ(process_->probe_data_location(arr.addr(kOwned * kWordsPerPage)),
+            2);
+
+  // A demand read still recalls the page properly and sees the write.
+  EXPECT_EQ(arr.get(kOwned * kWordsPerPage), 999u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+TEST_F(PrefetchTest, DroppedBatchReplyRetriesToCompletion) {
+  start(/*num_nodes=*/2, /*prefetch_max_pages=*/8);
+  constexpr std::size_t kPages = 64;
+  GArray<std::uint64_t> arr(*process_, kPages * kWordsPerPage, "chaos-batch");
+  seed_pages(arr, kPages);
+
+  // Lose one batch grant reply (origin -> scanner). The batch request is
+  // idempotent: the retransmit re-executes the grant and the scan still
+  // observes every page exactly once.
+  FaultPolicy policy;
+  policy.seed = 21;
+  FaultRule rule;
+  rule.type = MsgType::kPageGrantBatch;
+  rule.src = 0;
+  rule.dst = 1;
+  rule.drop_prob = 1.0;
+  rule.max_faults = 1;
+  policy.rules.push_back(rule);
+  cluster_->fabric().injector().configure(policy);
+
+  const std::uint64_t faults = scan_pages(1, arr, kPages);
+
+  EXPECT_LT(faults, kPages / 2);
+  EXPECT_EQ(cluster_->fabric().injector().drops(), 1u);
+  EXPECT_GT(cluster_->fabric().rpc_retries(), 0u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+}  // namespace
+}  // namespace dex
