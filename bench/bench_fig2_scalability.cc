@@ -113,6 +113,31 @@ int main() {
       }
       std::printf("\n");
     }
+
+    // Ablation row: the optimized port at the largest node count, but with
+    // the classic origin-relayed recall (no forwarded grants) and a single
+    // directory shard — the protocol before the two-hop hot path.
+    {
+      const auto counts = fig2_node_counts();
+      const int nodes = counts.back();
+      apps::RunConfig config = base;
+      config.nodes = nodes;
+      config.variant = apps::Variant::kOptimized;
+      config.forward_grants = false;
+      config.dir_shards = 1;
+      const apps::RunResult result = apps::run_app(*app, config);
+      std::printf("  %-10s", "classic");
+      std::printf("%*s", 8 * static_cast<int>(counts.size() - 1), "");
+      if (!result.verified) {
+        std::printf("%8s\n", "BAD!");
+      } else {
+        const double speedup = static_cast<double>(ref.elapsed_ns) /
+                               static_cast<double>(result.elapsed_ns);
+        std::printf("%8.2f\n", speedup);
+        json.set(name, "optimized_" + std::to_string(nodes) + "_classic",
+                 speedup);
+      }
+    }
   }
 
   json.write("BENCH_scalability.json");

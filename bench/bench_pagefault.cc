@@ -13,11 +13,14 @@
 // many-thread ping-pong on one word that forces directory-entry races and
 // retries (with only two threads a single-core host serializes the
 // transactions and the contended path never triggers).
+#include <atomic>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/api.h"
+#include "mem/directory.h"
 
 namespace {
 
@@ -122,6 +125,94 @@ ScanResult run_scan(int prefetch_max_pages) {
   result.batch_messages =
       cluster.fabric().messages_of(net::MsgType::kPageRequestBatch);
   result.mean_fault_ns = fault_histogram(*process)->mean();
+  return result;
+}
+
+/// Owner-recall write-fault latency when one page migrates between two
+/// remote nodes, with two-hop forwarded grants on or off (the forwarding
+/// ablation). Every fault after the first recalls the page from the other
+/// remote, the worst case for the classic origin-relayed protocol.
+struct MigratoryResult {
+  double mean_fault_ns = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t writebacks = 0;
+};
+
+MigratoryResult run_migratory(bool forward_grants) {
+  using namespace dex;
+  ClusterConfig cluster_config;
+  cluster_config.num_nodes = 3;
+  Cluster cluster(cluster_config);
+  ProcessOptions options;
+  options.forward_grants = forward_grants;
+  options.prefetch_max_pages = 0;
+  auto process = cluster.create_process(options);
+  GArray<std::uint64_t> data(*process, kPageSize / 8, "migratory");
+  data.set(0, 0);  // the origin takes the page exclusive
+
+  constexpr int kRounds = 400;
+  fault_histogram(*process)->reset();
+  DexThread hopper = process->spawn([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      migrate(1 + r % 2);
+      data.set(0, static_cast<std::uint64_t>(r) + 1);
+      migrate_back();
+    }
+  });
+  hopper.join();
+
+  auto& stats = process->dsm().stats();
+  MigratoryResult result;
+  result.mean_fault_ns = fault_histogram(*process)->mean();
+  result.faults = fault_histogram(*process)->count();
+  result.forwarded = stats.forwarded_grants.load();
+  result.fallbacks = stats.forward_fallbacks.load();
+  result.writebacks = stats.writebacks.load();
+  return result;
+}
+
+/// Directory shard-lock contention (the sharding ablation), measured at
+/// the structure itself: raw threads hammer entry() on disjoint pages, the
+/// access pattern of concurrent coherence transactions reaching the
+/// origin. With one shard every overlapping lookup collides on the single
+/// tree mutex just to reach its entry; hash-sharding spreads them out.
+struct ShardProbeResult {
+  std::uint64_t contention = 0;
+  std::uint64_t lookups = 0;
+};
+
+ShardProbeResult run_shard_probe(int dir_shards) {
+  using namespace dex;
+  mem::Directory directory(dir_shards);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPagesPerThread = 256;
+  constexpr int kRounds = 50;
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int r = 0; r < kRounds; ++r) {
+        for (std::uint64_t p = 0; p < kPagesPerThread; ++p) {
+          const GAddr page = (t * kPagesPerThread + p) * kPageSize;
+          (void)directory.entry(page);
+        }
+      }
+    });
+  }
+  while (ready.load() < kThreads) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  ShardProbeResult result;
+  result.contention = directory.lock_contention();
+  result.lookups = kThreads * kPagesPerThread * kRounds;
   return result;
 }
 
@@ -316,6 +407,54 @@ int main() {
     json.set("prefetch", "mean_fault_ns_prefetch", prefetch.mean_fault_ns);
     json.set("prefetch", "mean_fault_ns_no_prefetch",
              baseline.mean_fault_ns);
+  }
+
+  // ---- mode 5: migratory sharing — two-hop forwarded grants against the
+  // classic origin-relayed recall, plus the directory-sharding ablation ----
+  {
+    const MigratoryResult forwarded = run_migratory(/*forward_grants=*/true);
+    const MigratoryResult classic = run_migratory(/*forward_grants=*/false);
+    const double speedup = forwarded.mean_fault_ns > 0
+                               ? classic.mean_fault_ns / forwarded.mean_fault_ns
+                               : 0.0;
+    std::printf(
+        "\nmigratory (2 remotes, 400 hand-offs): forwarded mean %s us, "
+        "classic mean %s us  -> %.2fx\n",
+        us(static_cast<VirtNs>(forwarded.mean_fault_ns)).c_str(),
+        us(static_cast<VirtNs>(classic.mean_fault_ns)).c_str(), speedup);
+    std::printf(
+        "             %llu grants forwarded, %llu fallbacks, writebacks "
+        "%llu vs %llu classic\n",
+        static_cast<unsigned long long>(forwarded.forwarded),
+        static_cast<unsigned long long>(forwarded.fallbacks),
+        static_cast<unsigned long long>(forwarded.writebacks),
+        static_cast<unsigned long long>(classic.writebacks));
+    json.set("migratory", "mean_fault_ns_forward", forwarded.mean_fault_ns);
+    json.set("migratory", "mean_fault_ns_classic", classic.mean_fault_ns);
+    json.set("migratory", "speedup", speedup);
+    json.set("migratory", "forwarded_grants",
+             static_cast<double>(forwarded.forwarded));
+    json.set("migratory", "forward_fallbacks",
+             static_cast<double>(forwarded.fallbacks));
+    json.set("migratory", "writebacks_forward",
+             static_cast<double>(forwarded.writebacks));
+    json.set("migratory", "writebacks_classic",
+             static_cast<double>(classic.writebacks));
+
+    const ShardProbeResult sharded = run_shard_probe(/*dir_shards=*/64);
+    const ShardProbeResult single = run_shard_probe(/*dir_shards=*/1);
+    std::printf(
+        "shards (8 threads, %llu lookups): %llu lock collisions with 64 "
+        "shards vs %llu with 1\n",
+        static_cast<unsigned long long>(sharded.lookups),
+        static_cast<unsigned long long>(sharded.contention),
+        static_cast<unsigned long long>(single.contention));
+    json.set("dir_shards", "contention_sharded",
+             static_cast<double>(sharded.contention));
+    json.set("dir_shards", "contention_single",
+             static_cast<double>(single.contention));
+    json.set("dir_shards", "lookups",
+             static_cast<double>(sharded.lookups));
   }
 
   json.write("BENCH_pagefault.json");

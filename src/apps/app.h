@@ -44,6 +44,11 @@ struct RunConfig {
   /// faithful so contention (page ping-pong) materializes as it would on
   /// the paper's cluster. 0 disables (fast, for correctness-only tests).
   double pacing = 0.05;
+  /// Protocol ablation knobs, forwarded into ProcessOptions by every app:
+  /// two-hop owner->requester grant forwarding and the directory shard
+  /// count (1 = the original single-mutex tree).
+  bool forward_grants = true;
+  int dir_shards = mem::Directory::kDirShards;
 };
 
 struct RunResult {
@@ -84,6 +89,18 @@ class App {
     return 0.15;
   }
   virtual RunResult run(core::Cluster& cluster, const RunConfig& config) = 0;
+
+ protected:
+  /// ProcessOptions for this app under `config`: stream intensity plus the
+  /// protocol ablation knobs. Apps start from this instead of a default-
+  /// constructed block so RunConfig ablations reach the DSM.
+  core::ProcessOptions process_options(const RunConfig& config) const {
+    core::ProcessOptions popt;
+    popt.stream_intensity = stream_intensity(config);
+    popt.forward_grants = config.forward_grants;
+    popt.dir_shards = config.dir_shards;
+    return popt;
+  }
 };
 
 /// Registry of the eight paper applications, in Table I order:

@@ -76,8 +76,7 @@ class BfsApp final : public App {
     std::uint32_t source = 0;
     while (source + 1 < V && csr.degree(source) == 0) ++source;
 
-    ProcessOptions popt;
-    popt.stream_intensity = stream_intensity(config);
+    ProcessOptions popt = process_options(config);
     auto process = cluster.create_process(popt);
     if (config.trace_faults) process->trace().enable();
 

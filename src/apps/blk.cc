@@ -85,8 +85,7 @@ class BlkApp final : public App {
       o.pad = 0;
     }
 
-    ProcessOptions popt;
-    popt.stream_intensity = stream_intensity(config);
+    ProcessOptions popt = process_options(config);
     auto process = cluster.create_process(popt);
     if (config.trace_faults) process->trace().enable();
 

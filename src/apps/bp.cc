@@ -108,8 +108,7 @@ class BpApp final : public App {
                                        /*edge_factor=*/16);
     const std::uint32_t V = csr.num_vertices;
 
-    ProcessOptions popt;
-    popt.stream_intensity = stream_intensity(config);
+    ProcessOptions popt = process_options(config);
     auto process = cluster.create_process(popt);
     if (config.trace_faults) process->trace().enable();
 

@@ -374,8 +374,7 @@ class BtApp final : public App {
     const int S = std::max(
         8, static_cast<int>(std::lround(56.0 * std::cbrt(config.scale))));
 
-    ProcessOptions popt;
-    popt.stream_intensity = stream_intensity(config);
+    ProcessOptions popt = process_options(config);
     auto process = cluster.create_process(popt);
     if (config.trace_faults) process->trace().enable();
 

@@ -90,8 +90,7 @@ class EpApp final : public App {
     params.total_pairs = params.pairs_per_batch * kBatches;
     params.seed = 271828183.0;
 
-    ProcessOptions popt;
-    popt.stream_intensity = stream_intensity(config);
+    ProcessOptions popt = process_options(config);
     auto process = cluster.create_process(popt);
     if (config.trace_faults) process->trace().enable();
 

@@ -93,8 +93,7 @@ class FtApp final : public App {
       S *= 2;
     }
 
-    ProcessOptions popt;
-    popt.stream_intensity = stream_intensity(config);
+    ProcessOptions popt = process_options(config);
     auto process = cluster.create_process(popt);
     if (config.trace_faults) process->trace().enable();
 

@@ -50,8 +50,7 @@ class GrpApp final : public App {
     std::size_t max_key = 0;
     for (const auto& k : params.keys) max_key = std::max(max_key, k.size());
 
-    ProcessOptions popt;
-    popt.stream_intensity = stream_intensity(config);
+    ProcessOptions popt = process_options(config);
     auto process = cluster.create_process(popt);
     if (config.trace_faults) process->trace().enable();
 

@@ -127,8 +127,7 @@ class KmnApp final : public App {
                 rng.next_double() * 100};
     }
 
-    ProcessOptions popt;
-    popt.stream_intensity = stream_intensity(config);
+    ProcessOptions popt = process_options(config);
     auto process = cluster.create_process(popt);
     if (config.trace_faults) process->trace().enable();
 

@@ -125,6 +125,12 @@ void Cluster::install_handlers() {
                      [&](Process& p) { return p.dsm().handle_revoke(msg); });
       });
   fabric_->register_handler(
+      MsgType::kForwardRecall, [route](const Message& msg) {
+        return route(msg, [&](Process& p) {
+          return p.dsm().handle_forward_recall(msg);
+        });
+      });
+  fabric_->register_handler(
       MsgType::kVmaInfoRequest, [route](const Message& msg) {
         return route(
             msg, [&](Process& p) { return p.dsm().handle_vma_request(msg); });

@@ -48,6 +48,8 @@ Process::Process(Cluster& cluster, std::uint64_t id,
   dsm_config.coalesce_faults = options.coalesce_faults;
   dsm_config.max_retries = options.max_retries;
   dsm_config.prefetch_max_pages = options.prefetch_max_pages;
+  dsm_config.forward_grants = options.forward_grants;
+  dsm_config.dir_shards = options.dir_shards;
   dsm_ = std::make_unique<mem::Dsm>(cluster.fabric(), dsm_config,
                                     &cluster.node_load(), &trace_);
   worker_exists_[static_cast<std::size_t>(options.origin)] = true;

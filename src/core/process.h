@@ -74,6 +74,12 @@ struct ProcessOptions {
   /// Extra contiguous pages a streaming read fault may pull in one batch
   /// (DsmConfig::prefetch_max_pages passthrough; 0 disables prefetch).
   int prefetch_max_pages = 8;
+  /// Two-hop owner->requester grant forwarding (DsmConfig::forward_grants
+  /// passthrough; off reproduces the classic two-transfer recall).
+  bool forward_grants = true;
+  /// Directory shard count (DsmConfig::dir_shards passthrough; 1 collapses
+  /// to the original single-mutex tree).
+  int dir_shards = mem::Directory::kDirShards;
 };
 
 /// One entry of the migration log (Table II / Figure 3 raw data).

@@ -28,9 +28,11 @@ Dsm::Dsm(net::Fabric& fabric, const DsmConfig& config, NodeLoad* node_load,
     : fabric_(fabric),
       config_(config),
       node_load_(node_load),
-      trace_(trace) {
+      trace_(trace),
+      directory_(config.dir_shards) {
   DEX_CHECK(config.num_nodes >= 1 && config.num_nodes <= kMaxNodes);
   DEX_CHECK(config.origin >= 0 && config.origin < config.num_nodes);
+  DEX_CHECK(config.dir_shards >= 1);
   spaces_.reserve(static_cast<std::size_t>(config.num_nodes));
   tables_.reserve(static_cast<std::size_t>(config.num_nodes));
   fault_tables_.reserve(static_cast<std::size_t>(config.num_nodes));
@@ -128,7 +130,10 @@ bool Dsm::mprotect(GAddr start, std::uint64_t length, std::uint8_t prot) {
           set_state(config_.origin, page, PageState::kShared, entry->version);
           entry->sharers.add(config_.origin);
         } else {
-          recall_from_owner(*entry, page, /*downgrade=*/true);
+          // No requester to forward to: a protection downgrade always pulls
+          // the data back to the origin frame.
+          recall_from_owner(*entry, page, /*downgrade=*/true, kInvalidNode,
+                            entry->version, nullptr);
         }
         entry->exclusive_owner = kInvalidNode;
       }
@@ -390,8 +395,9 @@ Message Dsm::handle_page_request(const Message& msg, Access access) {
   vclock::advance(fabric_.cost().directory_service_ns);
   vclock::observe(entry.last_release_ts);
 
-  const GrantKind kind = transact(msg.src, request.task, request.page, access,
-                                  request.known_version);
+  const TransactOutcome outcome = transact(msg.src, request.task,
+                                           request.page, access,
+                                           request.known_version, entry);
   if (access == Access::kWrite) {
     entry.last_release_ts = std::max(entry.last_release_ts, vclock::now());
   }
@@ -399,12 +405,30 @@ Message Dsm::handle_page_request(const Message& msg, Access access) {
   Message reply;
   reply.type = MsgType::kPageGrant;
   net::PageGrantPayload grant{};
-  grant.kind = kind;
+  grant.kind = outcome.kind;
   grant.version = entry.version;
   grant.last_writer_ts = entry.last_release_ts;
   reply.set_payload(grant);
 
-  if (kind == GrantKind::kDataAndOwnership) {
+  if (outcome.offpath_ns > 0) {
+    // The owner->origin ack of a forwarded grant is still in flight when
+    // the requester resumes. Fold its arrival into the release timestamp
+    // AFTER stamping the grant, so the current requester does not wait for
+    // it but the next conflicting transaction (which observes
+    // last_release_ts on entry) orders after it.
+    entry.last_release_ts = std::max(entry.last_release_ts,
+                                     vclock::now() + outcome.offpath_ns);
+  }
+  if (outcome.forwarded) {
+    // The requester's completion signal is the kForwardGrant push landing,
+    // not this reply: mark the reply off-path so its wire cost is not
+    // charged to the requester's clock.
+    reply.offpath_reply = 1;
+    record_fault(msg.src, request.task, request.page,
+                 prof::FaultKind::kForward, nullptr);
+  }
+
+  if (outcome.kind == GrantKind::kDataAndOwnership) {
     stats_.grants_data.fetch_add(1, std::memory_order_relaxed);
   } else {
     stats_.grants_ownership_only.fetch_add(1, std::memory_order_relaxed);
@@ -463,11 +487,25 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
   vclock::advance(fabric_.cost().directory_service_ns);
   vclock::observe(entry.last_release_ts);
 
-  grant.kind = transact(requester, request.task, primary, Access::kRead,
-                        request.known_versions[0]);
+  const TransactOutcome primary_outcome =
+      transact(requester, request.task, primary, Access::kRead,
+               request.known_versions[0], entry);
+  grant.kind = primary_outcome.kind;
   grant.granted_mask = 1;
   grant.versions[0] = entry.version;
   VirtNs last_ts = entry.last_release_ts;
+  if (primary_outcome.offpath_ns > 0) {
+    // Batch replies stay on-path (the extras' data rides them), but the
+    // forwarded primary's ack leg still completes after the requester
+    // resumes; publish it to the next transaction via the release
+    // timestamp, not to `last_ts` (which the current requester observes).
+    entry.last_release_ts = std::max(
+        entry.last_release_ts, vclock::now() + primary_outcome.offpath_ns);
+  }
+  if (primary_outcome.forwarded) {
+    record_fault(requester, request.task, primary, prof::FaultKind::kForward,
+                 nullptr);
+  }
   if (grant.kind == GrantKind::kDataAndOwnership) {
     stats_.grants_data.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -554,66 +592,98 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
   return reply;
 }
 
-GrantKind Dsm::transact(NodeId requester, TaskId task, GAddr page,
-                        Access access, std::uint64_t known_version) {
+Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
+                                   Access access,
+                                   std::uint64_t known_version,
+                                   DirEntry& entry) {
   (void)task;
   const NodeId origin = config_.origin;
-  DirEntry& entry = directory_.entry(page);  // caller holds entry.mu
   Pte& origin_pte = page_table(origin).get_or_create(page);
+  TransactOutcome outcome;
 
   if (!entry.materialized) materialize_entry(entry, page);
 
   // Ensure the requester's PTE exists before any grant touches it.
   (void)page_table(requester).get_or_create(page);
 
+  // A recall may ship the page straight to the requester when there is one
+  // to ship to (mprotect downgrades pass kInvalidNode) and data would have
+  // to move anyway. A remote exclusive owner implies the version was
+  // bumped at its grant, so a current requester copy cannot exist; the
+  // check keeps the ownership-only fast path authoritative regardless.
+  const bool data_needed =
+      !(known_version == entry.version && known_version != kNoVersion);
+  const NodeId forward_to =
+      requester != origin && data_needed ? requester : kInvalidNode;
+
   if (access == Access::kRead) {
     if (entry.exclusive_owner == requester) {
       // Sole owner lost local state (should not happen in steady state);
       // reassert it.
       set_state(requester, page, PageState::kExclusive, entry.version);
-      return GrantKind::kOwnershipOnly;
+      outcome.kind = GrantKind::kOwnershipOnly;
+      return outcome;
     }
+    RecallResult recall = RecallResult::kWroteBack;
     if (entry.exclusive_owner != kInvalidNode) {
       if (entry.exclusive_owner == origin) {
         // The origin itself holds the dirty copy: downgrade locally.
         set_state(origin, page, PageState::kShared, entry.version);
         entry.sharers.add(origin);
       } else {
-        recall_from_owner(entry, page, /*downgrade=*/true);
+        recall = recall_from_owner(entry, page, /*downgrade=*/true,
+                                   forward_to, entry.version,
+                                   &outcome.offpath_ns);
       }
       entry.exclusive_owner = kInvalidNode;
     }
+    if (recall == RecallResult::kForwarded) {
+      // The old owner already pushed the data and installed the
+      // requester's PTE (kShared, current version); the writeback rode the
+      // off-path ack into the origin frame.
+      entry.sharers.add(requester);
+      outcome.kind = GrantKind::kDataAndOwnership;
+      outcome.forwarded = true;
+      return outcome;
+    }
     // Now: no exclusive owner; origin frame holds the current version.
-    GrantKind kind;
     if (requester == origin) {
       set_state(origin, page, PageState::kShared, entry.version);
-      kind = GrantKind::kOwnershipOnly;
+      outcome.kind = GrantKind::kOwnershipOnly;
     } else if (known_version == entry.version &&
                known_version != kNoVersion) {
       // §III-B: the remote already holds up-to-date data — grant common
       // ownership without transferring the page.
       set_state(requester, page, PageState::kShared, entry.version);
-      kind = GrantKind::kOwnershipOnly;
+      outcome.kind = GrantKind::kOwnershipOnly;
     } else {
       install_copy(requester, page, origin_pte.frame.get(),
                    PageState::kShared, entry.version);
-      kind = GrantKind::kDataAndOwnership;
+      outcome.kind = GrantKind::kDataAndOwnership;
     }
     entry.sharers.add(requester);
-    return kind;
+    return outcome;
   }
 
   // --- write request ---
   if (entry.exclusive_owner == requester) {
     set_state(requester, page, PageState::kExclusive, entry.version);
-    return GrantKind::kOwnershipOnly;
+    outcome.kind = GrantKind::kOwnershipOnly;
+    return outcome;
   }
+  const std::uint64_t granted_version = entry.version + 1;
+  RecallResult recall = RecallResult::kWroteBack;
   if (entry.exclusive_owner != kInvalidNode) {
     if (entry.exclusive_owner == origin) {
       // The origin frame is already current; its PTE is flipped below.
       entry.sharers.add(origin);
     } else {
-      recall_from_owner(entry, page, /*downgrade=*/false);
+      // Safe to stamp granted_version up front: a remote exclusive owner
+      // is the sole sharer, so nothing below can change the version again
+      // before the grant commits.
+      recall = recall_from_owner(entry, page, /*downgrade=*/false,
+                                 forward_to, granted_version,
+                                 &outcome.offpath_ns);
     }
     entry.exclusive_owner = kInvalidNode;
   }
@@ -623,11 +693,16 @@ GrantKind Dsm::transact(NodeId requester, TaskId task, GAddr page,
   // sum over sharers.
   revoke_sharers(entry, page, requester, task);
 
-  const std::uint64_t granted_version = entry.version + 1;
-  GrantKind kind;
-  if (requester == origin) {
+  if (recall == RecallResult::kForwarded) {
+    // The old owner pushed its dirty copy straight to the requester and
+    // installed the PTE (kExclusive, granted_version). The origin frame
+    // stays stale — its PTE was already invalid under the old exclusive
+    // owner — and the slim ack carried no data.
+    outcome.kind = GrantKind::kDataAndOwnership;
+    outcome.forwarded = true;
+  } else if (requester == origin) {
     set_state(origin, page, PageState::kExclusive, granted_version);
-    kind = GrantKind::kOwnershipOnly;
+    outcome.kind = GrantKind::kOwnershipOnly;
   } else {
     // The origin must lose access BEFORE its frame is read for the grant:
     // taking the PTE lock drains any in-flight local write, and the
@@ -640,43 +715,61 @@ GrantKind Dsm::transact(NodeId requester, TaskId task, GAddr page,
 
     if (known_version == entry.version && known_version != kNoVersion) {
       set_state(requester, page, PageState::kExclusive, granted_version);
-      kind = GrantKind::kOwnershipOnly;
+      outcome.kind = GrantKind::kOwnershipOnly;
     } else {
       install_copy(requester, page, origin_pte.frame.get(),
                    PageState::kExclusive, granted_version);
-      kind = GrantKind::kDataAndOwnership;
+      outcome.kind = GrantKind::kDataAndOwnership;
     }
   }
   entry.version = granted_version;
   entry.exclusive_owner = requester;
   entry.sharers.clear();
   entry.sharers.add(requester);
-  return kind;
+  return outcome;
 }
 
-void Dsm::recall_from_owner(DirEntry& entry, GAddr page, bool downgrade) {
+Dsm::RecallResult Dsm::recall_from_owner(DirEntry& entry, GAddr page,
+                                         bool downgrade, NodeId requester,
+                                         std::uint64_t grant_version,
+                                         VirtNs* offpath_ns) {
   const NodeId owner = entry.exclusive_owner;
   const NodeId origin = config_.origin;
   DEX_CHECK(owner != kInvalidNode && owner != origin);
+  const bool try_forward = config_.forward_grants &&
+                           requester != kInvalidNode && requester != owner;
 
   bool owner_lost = fabric_.injector().node_dead(owner);
   Message reply;
   if (!owner_lost) {
-    net::RevokePayload payload{config_.process_id, page,
-                               static_cast<std::uint8_t>(downgrade ? 1 : 0)};
     Message msg;
-    msg.type = MsgType::kRevokeOwnership;
     msg.dst = owner;
-    msg.set_payload(payload);
+    if (try_forward) {
+      net::ForwardRecallPayload payload{};
+      payload.process_id = config_.process_id;
+      payload.page = page;
+      payload.grant_version = grant_version;
+      payload.requester = requester;
+      payload.downgrade_to_shared = downgrade ? 1 : 0;
+      msg.type = MsgType::kForwardRecall;
+      msg.set_payload(payload);
+    } else {
+      net::RevokePayload payload{
+          config_.process_id, page,
+          static_cast<std::uint8_t>(downgrade ? 1 : 0)};
+      msg.type = MsgType::kRevokeOwnership;
+      msg.set_payload(payload);
+    }
     try {
       reply = fabric_.call(origin, msg);
     } catch (const net::NodeDeadError&) {
-      owner_lost = true;  // owner died mid-recall
+      owner_lost = true;  // owner died mid-recall (or mid-forward)
     } catch (const net::RpcError&) {
       // Retry budget exhausted against a live owner: unwinding here would
       // leave the entry half-updated. Treat the unreachable owner like a
       // dead one (its dirty copy is lost and reported below) and fence its
-      // PTE so no writable stale copy survives origin-side.
+      // PTE so no writable stale copy survives origin-side. The failed
+      // recall wrote nothing back, so `writebacks` stays untouched.
       stats_.revoke_failures.fetch_add(1, std::memory_order_relaxed);
       fence_copy(owner, page);
       owner_lost = true;
@@ -695,31 +788,73 @@ void Dsm::recall_from_owner(DirEntry& entry, GAddr page, bool downgrade) {
     chaos.pages_reclaimed.fetch_add(1, std::memory_order_relaxed);
     record_fault(owner, /*task=*/-1, page, prof::FaultKind::kReclaim,
                  nullptr);
+    // Fence the dead owner's PTE so no stale exclusive copy survives
+    // origin-side (idempotent when the RpcError path already fenced;
+    // heal-time reclaim would otherwise be the first to sweep it).
+    fence_copy(owner, page);
     set_state(origin, page, PageState::kShared, entry.version);
     entry.sharers.add(origin);
     entry.sharers.remove(owner);
-    return;
+    // The requester gets the stale-but-consistent origin frame, and if a
+    // forward was attempted, no PTE was installed owner-side (the owner
+    // never completed the push visibly); classic install follows.
+    return RecallResult::kOwnerLost;
   }
+
+  auto install_origin_frame = [&](const std::uint8_t* data) {
+    Pte& origin_pte = page_table(origin).get_or_create(page);
+    origin_pte.lock.lock();
+    origin_pte.seq.fetch_add(1, std::memory_order_release);
+    std::memcpy(origin_pte.ensure_frame(), data, kPageSize);
+    origin_pte.version = entry.version;
+    origin_pte.state.store(PageState::kShared, std::memory_order_release);
+    origin_pte.seq.fetch_add(1, std::memory_order_release);
+    origin_pte.lock.unlock();
+    entry.sharers.add(origin);
+  };
+
+  if (try_forward) {
+    const auto ack = reply.payload_prefix_as<net::ForwardRecallAck>();
+    if (ack.wrote_back != 0) {
+      DEX_CHECK_MSG(
+          reply.payload.size() == sizeof(net::ForwardRecallAck) + kPageSize,
+          "writeback ack must carry page data");
+      stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
+      install_origin_frame(reply.payload.data() +
+                           sizeof(net::ForwardRecallAck));
+    }
+    if (downgrade) {
+      entry.sharers.add(owner);  // owner keeps a read-only copy
+    } else {
+      entry.sharers.remove(owner);
+    }
+    if (ack.forwarded != 0) {
+      stats_.forwarded_grants.fetch_add(1, std::memory_order_relaxed);
+      if (offpath_ns != nullptr) *offpath_ns = reply.offpath_ns;
+      return RecallResult::kForwarded;
+    }
+    // The push leg failed (requester unreachable / drop budget spent): the
+    // owner degraded to a classic full writeback in the (on-path) reply;
+    // the origin grants from its now-current frame as if forwarding were
+    // off.
+    stats_.forward_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    DEX_CHECK_MSG(ack.wrote_back != 0,
+                  "exclusive owner must write back page data");
+    return RecallResult::kWroteBack;
+  }
+
   stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
 
   // Install the written-back data in the origin frame.
   DEX_CHECK_MSG(reply.payload.size() == kPageSize,
                 "exclusive owner must write back page data");
-  Pte& origin_pte = page_table(origin).get_or_create(page);
-  origin_pte.lock.lock();
-  origin_pte.seq.fetch_add(1, std::memory_order_release);
-  std::memcpy(origin_pte.ensure_frame(), reply.payload.data(), kPageSize);
-  origin_pte.version = entry.version;
-  origin_pte.state.store(PageState::kShared, std::memory_order_release);
-  origin_pte.seq.fetch_add(1, std::memory_order_release);
-  origin_pte.lock.unlock();
-
-  entry.sharers.add(origin);
+  install_origin_frame(reply.payload.data());
   if (downgrade) {
     entry.sharers.add(owner);  // owner keeps a read-only copy
   } else {
     entry.sharers.remove(owner);
   }
+  return RecallResult::kWroteBack;
 }
 
 void Dsm::invalidate_copy(NodeId node, GAddr page, TaskId requester_task) {
@@ -856,6 +991,107 @@ Message Dsm::handle_revoke(const Message& msg) {
     stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
     record_fault(node, /*task=*/-1, payload.page,
                  prof::FaultKind::kInvalidate, nullptr);
+  }
+  return reply;
+}
+
+Message Dsm::handle_forward_recall(const Message& msg) {
+  const auto payload = msg.payload_as<net::ForwardRecallPayload>();
+  DEX_CHECK(payload.process_id == config_.process_id);
+  const NodeId owner = msg.dst;
+  const net::CostModel& cost = fabric_.cost();
+  vclock::advance(cost.revoke_service_ns);
+
+  Message reply;
+  reply.type = MsgType::kForwardRecall;
+  net::ForwardRecallAck ack{};
+
+  // Snapshot + downgrade/invalidate the local copy under the PTE lock,
+  // exactly like handle_revoke — including the invalidation/prefetch-waste
+  // accounting the benches report.
+  std::uint8_t data[kPageSize];
+  bool have_data = false;
+  bool invalidated = false;
+  Pte* pte = page_table(owner).find(payload.page);
+  if (pte != nullptr) {
+    pte->lock.lock();
+    const PageState state = pte->state.load(std::memory_order_acquire);
+    if (state == PageState::kExclusive) {
+      std::memcpy(data, pte->frame.get(), kPageSize);
+      have_data = true;
+      pte->seq.fetch_add(1, std::memory_order_release);
+      pte->state.store(payload.downgrade_to_shared != 0
+                           ? PageState::kShared
+                           : PageState::kInvalid,
+                       std::memory_order_release);
+      pte->seq.fetch_add(1, std::memory_order_release);
+      invalidated = true;
+    } else if (state == PageState::kShared &&
+               payload.downgrade_to_shared == 0) {
+      pte->state.store(PageState::kInvalid, std::memory_order_release);
+      invalidated = true;
+    }
+    if (invalidated &&
+        pte->prefetched.exchange(0, std::memory_order_relaxed) != 0) {
+      stats_.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
+    }
+    pte->lock.unlock();
+  }
+  if (invalidated) {
+    stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+    record_fault(owner, /*task=*/-1, payload.page,
+                 prof::FaultKind::kInvalidate, nullptr);
+  }
+  if (!have_data) {
+    // The directory said this node held the page exclusive; losing that
+    // state without an origin-driven transaction is a protocol bug the
+    // origin-side size check will surface. Slim failure ack.
+    reply.set_payload(ack);
+    return reply;
+  }
+
+  // Two-hop leg: one bulk push straight into the requester's node, then
+  // the grant is installed in the requester's PTE — under the origin-held
+  // entry lock, so a concurrent conflicting transaction either ordered
+  // before this recall or will revoke a fully installed copy.
+  std::uint8_t landed[kPageSize];
+  const bool pushed = fabric_.push_grant(owner, payload.requester, data,
+                                         kPageSize, landed);
+  if (pushed) {
+    Pte& rpte = page_table(payload.requester).get_or_create(payload.page);
+    rpte.lock.lock();
+    rpte.seq.fetch_add(1, std::memory_order_release);
+    std::memcpy(rpte.ensure_frame(), landed, kPageSize);
+    rpte.version = payload.grant_version;
+    rpte.prefetched.store(0, std::memory_order_relaxed);
+    rpte.state.store(payload.downgrade_to_shared != 0
+                         ? PageState::kShared
+                         : PageState::kExclusive,
+                     std::memory_order_release);
+    rpte.seq.fetch_add(1, std::memory_order_release);
+    rpte.lock.unlock();
+    vclock::advance(cost.forward_install_ns);
+    ack.forwarded = 1;
+    // An exclusive hand-off leaves the origin frame stale on purpose (the
+    // new owner rewrites it anyway); a shared downgrade must refresh it so
+    // the origin stays a current-version sharer.
+    ack.wrote_back = payload.downgrade_to_shared != 0 ? 1 : 0;
+    // The requester resumed when the push landed; the ack back to the
+    // origin is concurrent bookkeeping.
+    reply.offpath_reply = 1;
+  } else {
+    // Push leg failed (requester dead or drop budget spent): degrade to
+    // the classic recall — full writeback, on the critical path.
+    ack.forwarded = 0;
+    ack.wrote_back = 1;
+  }
+
+  if (ack.wrote_back != 0) {
+    reply.payload.resize(sizeof(ack) + kPageSize);
+    std::memcpy(reply.payload.data(), &ack, sizeof(ack));
+    std::memcpy(reply.payload.data() + sizeof(ack), data, kPageSize);
+  } else {
+    reply.set_payload(ack);
   }
   return reply;
 }

@@ -79,6 +79,14 @@ struct DsmConfig {
   /// 0 disables the stride prefetcher — the ablation reproduces the
   /// one-page-per-fault protocol exactly.
   int prefetch_max_pages = 8;
+  /// Two-hop grant forwarding: a recall names the requester and the owner
+  /// ships the page straight to it (kForwardGrant) instead of bouncing the
+  /// data through the origin frame. Off reproduces the classic
+  /// two-transfer recall (kRevokeOwnership) bit-for-bit.
+  bool forward_grants = true;
+  /// Number of hash shards the ownership directory's radix tree is split
+  /// into. 1 collapses to the original single-tree/single-mutex layout.
+  int dir_shards = Directory::kDirShards;
 };
 
 /// Per-process accounting of node-failure damage and recovery work. Dirty
@@ -115,6 +123,14 @@ struct DsmStats {
   /// stays consistent, and the failure is counted here instead of
   /// unwinding mid-transaction.
   std::atomic<std::uint64_t> revoke_failures{0};
+  // ---- Two-hop grant forwarding ----
+  /// Recalls resolved by a direct owner->requester push (one bulk transfer
+  /// on the critical path instead of two).
+  std::atomic<std::uint64_t> forwarded_grants{0};
+  /// Forward attempts whose push leg failed (requester dead / drop budget
+  /// exhausted); the owner fell back to a full on-path writeback and the
+  /// origin granted from its frame, classic-style.
+  std::atomic<std::uint64_t> forward_fallbacks{0};
   LatencyHistogram fault_latency;
 
   std::uint64_t total_faults() const {
@@ -193,6 +209,13 @@ class Dsm {
   /// transfer instead of K.
   net::Message handle_page_request_batch(const net::Message& msg);
   net::Message handle_revoke(const net::Message& msg);
+  /// Owner-side half of a two-hop recall: downgrade/invalidate the local
+  /// copy, push the page straight to the requester over the bulk path
+  /// (Fabric::push_grant) and install it in the requester's PTE, then ack
+  /// the origin off the critical path — with writeback data only when the
+  /// origin's frame must be refreshed (shared downgrades). A failed push
+  /// degrades to a classic full writeback in the (then on-path) reply.
+  net::Message handle_forward_recall(const net::Message& msg);
   net::Message handle_vma_request(const net::Message& msg);
   net::Message handle_vma_update(const net::Message& msg);
 
@@ -214,19 +237,46 @@ class Dsm {
     return static_cast<std::size_t>(config_.origin);
   }
 
-  /// The home transaction: runs at the origin with the directory entry
-  /// locked. Returns the grant kind; fills `out_release_ts`.
-  net::GrantKind transact(NodeId requester, TaskId task, GAddr page,
-                          Access access, std::uint64_t known_version);
+  /// How a home transaction was resolved, beyond the grant kind the
+  /// requester sees. `forwarded` marks a two-hop recall (the requester's
+  /// PTE was installed owner-side); `offpath_ns` is wire work the
+  /// requester does not wait for (the owner->origin ack leg), folded into
+  /// the entry's release timestamp so the NEXT conflicting transaction
+  /// observes its completion.
+  struct TransactOutcome {
+    net::GrantKind kind = net::GrantKind::kRetry;
+    bool forwarded = false;
+    VirtNs offpath_ns = 0;
+  };
+
+  /// How recall_from_owner resolved the exclusive copy.
+  enum class RecallResult {
+    kWroteBack,  // classic: data landed in the origin frame (grant source)
+    kForwarded,  // two-hop: data pushed owner->requester, PTE installed
+    kOwnerLost,  // owner dead/unreachable: origin frame authoritative again
+  };
+
+  /// The home transaction: runs at the origin with `entry` (the page's
+  /// directory entry, pre-looked-up by the handler so the shard lock is
+  /// taken exactly once per transaction) locked by the caller.
+  TransactOutcome transact(NodeId requester, TaskId task, GAddr page,
+                           Access access, std::uint64_t known_version,
+                           DirEntry& entry);
 
   /// First-touch materialization of the anonymous zero page at the origin.
   /// Directory entry must be locked.
   void materialize_entry(DirEntry& entry, GAddr page);
 
   /// Pulls the current data out of `owner` (downgrading to shared or
-  /// invalidating) and installs it in the origin frame. Directory entry
-  /// must be locked.
-  void recall_from_owner(DirEntry& entry, GAddr page, bool downgrade);
+  /// invalidating). Classic path installs it in the origin frame; with
+  /// forward_grants on and a usable `requester`, the owner instead pushes
+  /// it straight to the requester (grant stamped with `grant_version`) and
+  /// the off-path ack cost is reported via `offpath_ns`. Pass
+  /// kInvalidNode as `requester` to force the classic recall (mprotect
+  /// downgrades have no requester). Directory entry must be locked.
+  RecallResult recall_from_owner(DirEntry& entry, GAddr page, bool downgrade,
+                                 NodeId requester, std::uint64_t grant_version,
+                                 VirtNs* offpath_ns);
 
   /// Invalidates `node`'s copy (no writeback — shared copies are clean).
   void invalidate_copy(NodeId node, GAddr page, TaskId requester_task);

@@ -66,6 +66,9 @@ struct CostModel {
   VirtNs pte_update_ns = 500;
   /// Invalidating one remote copy (handler-side work; wire cost separate).
   VirtNs revoke_service_ns = 700;
+  /// Requester-side stamping of a forwarded grant: consuming the RDMA
+  /// write-with-immediate completion and versioning the landed page.
+  VirtNs forward_install_ns = 400;
   /// Follower cost: sleep on the leader + resume with the updated PTE.
   VirtNs follower_wakeup_ns = 1800;
   /// Backoff before retrying a fault that lost a race on a busy directory

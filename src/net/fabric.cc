@@ -36,6 +36,8 @@ const char* to_string(MsgType type) {
     case MsgType::kRevokeOwnership: return "revoke_ownership";
     case MsgType::kPageRequestBatch: return "page_request_batch";
     case MsgType::kPageGrantBatch: return "page_grant_batch";
+    case MsgType::kForwardRecall: return "forward_recall";
+    case MsgType::kForwardGrant: return "forward_grant";
     case MsgType::kVmaInfoRequest: return "vma_info_request";
     case MsgType::kVmaInfoReply: return "vma_info_reply";
     case MsgType::kVmaUpdate: return "vma_update";
@@ -338,7 +340,16 @@ Message Fabric::call(NodeId src, const Message& request) {
     } else {
       reply_cost += transmit_small(back, reply);
     }
-    vclock::advance(reply_cost);
+    if (reply.offpath_reply != 0) {
+      // The caller's logical completion does not wait for this reply leg
+      // (forwarded-grant acks: the requester resumed when the kForwardGrant
+      // push landed). The wire work is fully simulated above; its cost is
+      // reported for the caller to fold into the page's release timestamp
+      // instead of advancing the caller's clock here.
+      reply.offpath_ns = reply_cost;
+    } else {
+      vclock::advance(reply_cost);
+    }
     reply.sent_at = vclock::now();
     if (reply.status != MsgStatus::kOk) {
       throw RpcError(msg.type, src, msg.dst, attempt, reply.status,
@@ -476,6 +487,45 @@ void Fabric::post(NodeId src, const Message& request) {
     (void)handlers_[idx](msg);
     if (fate.duplicate) (void)handlers_[idx](msg);
     return;
+  }
+}
+
+bool Fabric::push_grant(NodeId src, NodeId dst, const std::uint8_t* data,
+                        std::size_t len, std::uint8_t* out) {
+  type_counts_[static_cast<std::size_t>(MsgType::kForwardGrant)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (injector_.node_dead(src)) {
+    throw NodeDeadError(src, MsgType::kForwardGrant, src, dst);
+  }
+  if (src == dst) {
+    std::memcpy(out, data, len);
+    vclock::advance(options_.cost.copy_ns(len));
+    return true;
+  }
+  for (int attempt = 1;; ++attempt) {
+    if (injector_.node_dead(dst)) {
+      posts_to_dead_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    const FaultDecision fate = injector_.decide(MsgType::kForwardGrant, src,
+                                                dst);
+    if (fate.drop) {
+      // RC retransmission, same schedule as post(): burn the backoff, try
+      // again, and report failure once the budget is spent so the caller
+      // can fall back to the classic recall.
+      vclock::advance(options_.retry.backoff_for(attempt));
+      if (attempt >= options_.retry.max_attempts) return false;
+      rpc_retries_.fetch_add(1, std::memory_order_relaxed);
+      prof::ChaosCounters::instance().rpc_retries.fetch_add(
+          1, std::memory_order_relaxed);
+      continue;
+    }
+    VirtNs charged = fate.delay_ns;
+    charged += transmit_bulk(connection(src, dst), data, len, out);
+    vclock::advance(charged);
+    // A duplicated delivery overwrites the sink with identical bytes; the
+    // push is idempotent by construction, so nothing further to model.
+    return true;
   }
 }
 

@@ -155,6 +155,15 @@ class Fabric {
   VirtNs bulk_transfer(NodeId src, NodeId dst, const std::uint8_t* data,
                        std::size_t len, std::uint8_t* out);
 
+  /// One-way RDMA push of a forwarded grant (kForwardGrant): bulk path
+  /// only, no VERB control round trip — the immediate data of the RDMA
+  /// write is the completion signal at the requester. Drops retransmit on
+  /// the post() backoff schedule; returns false when the retry budget is
+  /// spent or `dst` is (or dies) dead, so the caller can fall back to the
+  /// classic two-transfer recall. A dead `src` throws NodeDeadError.
+  bool push_grant(NodeId src, NodeId dst, const std::uint8_t* data,
+                  std::size_t len, std::uint8_t* out);
+
   RcConnection& connection(NodeId src, NodeId dst);
 
   /// The chaos policy object: drop/duplicate/delay schedules and node

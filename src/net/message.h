@@ -26,6 +26,8 @@ enum class MsgType : std::uint16_t {
   kRevokeOwnership,   // origin -> owner: invalidate/downgrade + write back
   kPageRequestBatch,  // remote -> origin: K contiguous pages, one transaction
   kPageGrantBatch,    // origin -> remote: per-page grants + one bulk transfer
+  kForwardRecall,     // origin -> owner: recall + forward grant to requester
+  kForwardGrant,      // owner -> requester: direct page push (RDMA sink)
 
   // --- VMA synchronization (§III-D) ---
   kVmaInfoRequest,  // remote -> origin: on-demand VMA lookup
@@ -68,14 +70,16 @@ const char* to_string(MsgStatus status);
 /// the same protocol state (so lost-reply retries may simply re-run it).
 /// Non-idempotent messages carry a sequence number and are deduplicated at
 /// the receiver:
-///   - kRevokeOwnership: the first execution writes back and invalidates
-///     the owner's copy; a re-run would return an empty writeback.
+///   - kRevokeOwnership / kForwardRecall: the first execution writes back
+///     (or forwards) and invalidates the owner's copy; a re-run would
+///     return an empty writeback.
 ///   - kMigrateThread / kMigrateBack-adjacent bookkeeping and
 ///     kDelegateFutex / kDelegateVmaOp: wait/wake and VMA mutations must
 ///     take effect exactly once.
 constexpr bool is_idempotent(MsgType type) {
   switch (type) {
     case MsgType::kRevokeOwnership:
+    case MsgType::kForwardRecall:
     case MsgType::kMigrateThread:
     case MsgType::kDelegateFutex:
     case MsgType::kDelegateVmaOp:
@@ -100,6 +104,15 @@ struct Message {
   /// Virtual timestamp at which the message was sent; the receiver's clock
   /// observes (joins) this value.
   VirtNs sent_at = 0;
+  /// Off-critical-path reply: the handler marks its reply with this flag
+  /// when the requester's logical completion does not wait for it (e.g. the
+  /// slim ack of a forwarded grant — the faulting thread resumes when the
+  /// kForwardGrant push lands, not when the owner->origin ack does). The
+  /// fabric then reports the reply leg's wire cost in `offpath_ns` instead
+  /// of advancing the caller's clock; the caller folds it into the page's
+  /// release timestamp so the NEXT conflicting transaction observes it.
+  std::uint8_t offpath_reply = 0;
+  VirtNs offpath_ns = 0;
   std::vector<std::uint8_t> payload;
 
   std::size_t wire_size() const { return kHeaderBytes + payload.size(); }
@@ -202,6 +215,29 @@ struct PageBatchGrantPayload {
   std::uint32_t granted_mask;
   std::uint64_t versions[kMaxBatchPages];
   VirtNs last_writer_ts;
+};
+
+/// kForwardRecall: like RevokePayload, but names the requester so the owner
+/// can ship the page straight to it (one bulk transfer instead of the
+/// owner->origin->requester double crossing). `grant_version` is the version
+/// the origin stamps on the forwarded copy; the entry stays locked at the
+/// origin for the whole transaction, so the number is final by construction.
+struct ForwardRecallPayload {
+  std::uint64_t process_id;
+  GAddr page;
+  std::uint64_t grant_version;
+  NodeId requester;
+  std::uint8_t downgrade_to_shared;  // 0: invalidate owner, 1: keep read copy
+  std::uint8_t pad[3];
+};
+
+/// Leading struct of the kForwardRecall reply. Page data follows iff
+/// `wrote_back` (shared downgrades refresh the origin frame; an exclusive
+/// hand-off sends this slim data-free ack and nothing else on-path).
+struct ForwardRecallAck {
+  std::uint8_t forwarded;   // 1: kForwardGrant push reached the requester
+  std::uint8_t wrote_back;  // 1: kPageSize of page data follows this struct
+  std::uint8_t pad[6];
 };
 
 struct RevokePayload {

@@ -45,6 +45,12 @@ TraceAnalysis::TraceAnalysis(std::vector<FaultEvent> events)
         ++pr.prefetches;
         ++sr.prefetches;
         break;
+      case FaultKind::kForward:
+        // The resolving read/write fault is recorded separately; this tag
+        // marks that its grant skipped the origin hop.
+        ++pr.forwards;
+        ++sr.forwards;
+        break;
     }
     if (e.node != kInvalidNode) pr.nodes.insert(e.node);
     if (e.task >= 0) pr.tasks.insert(e.task);

@@ -29,6 +29,7 @@ struct SiteReport {
   std::uint64_t retries = 0;
   std::uint64_t failures = 0;  // reclaim / node-death events
   std::uint64_t prefetches = 0;
+  std::uint64_t forwards = 0;  // grants forwarded owner->requester
   std::uint64_t total() const { return reads + writes + retries; }
 };
 
@@ -41,6 +42,7 @@ struct PageReport {
   std::uint64_t retries = 0;
   std::uint64_t failures = 0;  // reclaim / node-death events
   std::uint64_t prefetches = 0;
+  std::uint64_t forwards = 0;  // grants forwarded owner->requester
   std::set<NodeId> nodes;
   std::set<std::uint32_t> sites;
   std::set<TaskId> tasks;

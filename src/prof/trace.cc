@@ -13,6 +13,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kReclaim: return "reclaim";
     case FaultKind::kNodeDead: return "node_dead";
     case FaultKind::kPrefetch: return "prefetch";
+    case FaultKind::kForward: return "forward";
   }
   return "?";
 }

@@ -28,6 +28,7 @@ enum class FaultKind : std::uint8_t {
   kReclaim = 4,     // origin reclaimed the page from a dead node
   kNodeDead = 5,    // thread observed a NodeDeadError and was lost
   kPrefetch = 6,    // page installed ahead of demand by the stride prefetcher
+  kForward = 7,     // grant forwarded owner->requester past the origin
 };
 
 const char* to_string(FaultKind kind);

@@ -731,5 +731,123 @@ TEST_F(ChaosClusterTest, SoakDropsPlusNodeDeathDeterministic) {
   EXPECT_NE(report.find("chaos:"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Two-hop grant forwarding under chaos (kForwardRecall / kForwardGrant)
+// ---------------------------------------------------------------------------
+
+class ForwardChaosTest : public ChaosClusterTest {
+ protected:
+  /// Seeds word 0 and hands the page to node 1 exclusively, so the next
+  /// write from node 2 recalls it through the forwarded two-hop path
+  /// (origin -> owner kForwardRecall, owner -> requester kForwardGrant).
+  void hand_page_to_owner(GArray<std::uint64_t>& arr) {
+    arr.set(0, 5);
+    DexThread owner = process_->spawn([&] {
+      migrate(1);
+      arr.set(0, 6);
+      migrate_back();
+    });
+    owner.join();
+    ASSERT_FALSE(owner.failed());
+    ASSERT_EQ(process_->probe_data_location(arr.addr(0)), 1);
+  }
+
+  std::uint64_t write_from_node2(GArray<std::uint64_t>& arr) {
+    DexThread writer = process_->spawn([&] {
+      migrate(2);
+      arr.set(0, 9);
+      migrate_back();
+    });
+    writer.join();
+    EXPECT_FALSE(writer.failed());
+    return process_->dsm().stats().forwarded_grants.load();
+  }
+};
+
+TEST_F(ForwardChaosTest, DroppedForwardedGrantRetriesTransparently) {
+  Watchdog dog(60);
+  GArray<std::uint64_t> arr(*process_, 512, "fwd-drop");
+  hand_page_to_owner(arr);
+
+  // Lose the first owner->requester page push on the wire. The push is an
+  // idempotent RDMA write: the owner retransmits after backoff and the
+  // grant still forwards — no fallback to the classic two-transfer path.
+  FaultPolicy policy;
+  policy.seed = 17;
+  FaultRule rule;
+  rule.type = MsgType::kForwardGrant;
+  rule.src = 1;
+  rule.dst = 2;
+  rule.drop_prob = 1.0;
+  rule.max_faults = 1;
+  policy.rules.push_back(rule);
+  cluster_->fabric().injector().configure(policy);
+
+  EXPECT_GE(write_from_node2(arr), 1u);
+  EXPECT_EQ(cluster_->fabric().injector().drops(), 1u);
+  EXPECT_GT(cluster_->fabric().rpc_retries(), 0u);
+  EXPECT_EQ(process_->dsm().stats().forward_fallbacks.load(), 0u);
+  EXPECT_EQ(arr.get(0), 9u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+TEST_F(ForwardChaosTest, ForwardBudgetExhaustionFallsBackToClassicRecall) {
+  Watchdog dog(60);
+  GArray<std::uint64_t> arr(*process_, 512, "fwd-exhaust");
+  hand_page_to_owner(arr);
+
+  // Every owner->requester push dies on the wire. Once the owner's retry
+  // budget is spent it must degrade to the classic protocol: full on-path
+  // writeback to the origin, which installs the grant itself. The write
+  // still completes with the owner's data intact.
+  FaultPolicy policy;
+  policy.seed = 18;
+  FaultRule rule;
+  rule.type = MsgType::kForwardGrant;
+  rule.src = 1;
+  rule.dst = 2;
+  rule.drop_prob = 1.0;
+  policy.rules.push_back(rule);
+  cluster_->fabric().injector().configure(policy);
+
+  EXPECT_EQ(write_from_node2(arr), 0u);
+  auto& stats = process_->dsm().stats();
+  EXPECT_GE(stats.forward_fallbacks.load(), 1u);
+  EXPECT_GE(stats.writebacks.load(), 1u);
+  EXPECT_GT(cluster_->fabric().injector().drops(), 0u);
+  EXPECT_EQ(arr.get(0), 9u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+TEST_F(ForwardChaosTest, OwnerDeathMidForwardReclaimsToOriginFrame) {
+  Watchdog dog(60);
+  GArray<std::uint64_t> arr(*process_, 512, "fwd-owner-dead");
+  hand_page_to_owner(arr);
+
+  // Kill the owner at the fabric level only (no eager directory reclaim),
+  // so the forwarded recall itself discovers the death mid-transaction.
+  // The dirty copy (6) dies with the owner; the origin's stale frame (5)
+  // becomes authoritative and the requester's write proceeds over it.
+  cluster_->fabric().injector().fail_node(1);
+
+  EXPECT_EQ(write_from_node2(arr), 0u);
+  auto& failure = process_->dsm().failure_stats();
+  EXPECT_GE(failure.dirty_pages_lost.load(), 1u);
+  EXPECT_EQ(process_->dsm().stats().forward_fallbacks.load(), 0u);
+  EXPECT_EQ(arr.get(0), 9u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+
+  // Healing sweeps the dead owner's grants; the cluster stays usable.
+  cluster_->heal_node(1);
+  DexThread reader = process_->spawn([&] {
+    migrate(1);
+    EXPECT_EQ(arr.get(0), 9u);
+    migrate_back();
+  });
+  reader.join();
+  EXPECT_FALSE(reader.failed());
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
 }  // namespace
 }  // namespace dex

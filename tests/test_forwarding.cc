@@ -1,0 +1,291 @@
+// Two-hop grant forwarding tests: a recall whose requester is a third node
+// ships the page straight from the owner (kForwardGrant) instead of
+// bouncing it through the origin frame; the ablation knobs
+// (forward_grants=off, dir_shards=1) reproduce the classic two-transfer
+// protocol exactly; NodeSet bound checks abort on out-of-range nodes; and
+// a failed recall never counts a writeback.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/api.h"
+#include "mem/directory.h"
+
+namespace dex {
+namespace {
+
+using net::FaultPolicy;
+using net::FaultRule;
+using net::MsgType;
+
+constexpr std::size_t kWordsPerPage = kPageSize / sizeof(std::uint64_t);
+
+/// Directory end state, per page: (version, sharers, exclusive_owner,
+/// materialized). Forwarding changes the data path of a recall, never the
+/// resulting ownership state — twin runs must agree exactly.
+using DirSnapshot =
+    std::map<std::uint64_t, std::tuple<std::uint64_t, std::uint64_t, NodeId,
+                                       bool>>;
+
+DirSnapshot snapshot_directory(Process& process) {
+  DirSnapshot snap;
+  process.dsm().directory().for_each(
+      [&](std::uint64_t page_idx, mem::DirEntry& entry) {
+        snap[page_idx] = {entry.version, entry.sharers.raw(),
+                          entry.exclusive_owner, entry.materialized};
+      });
+  return snap;
+}
+
+class ForwardingTest : public ::testing::Test {
+ protected:
+  void start(int num_nodes, bool forward_grants,
+             int dir_shards = mem::Directory::kDirShards) {
+    // Twin-run tests call start() twice: the process must go before the
+    // cluster it unregisters from.
+    process_.reset();
+    cluster_.reset();
+    ClusterConfig config;
+    config.num_nodes = num_nodes;
+    cluster_ = std::make_unique<Cluster>(config);
+    ProcessOptions options;
+    options.forward_grants = forward_grants;
+    options.dir_shards = dir_shards;
+    options.prefetch_max_pages = 0;  // deterministic one-fault-per-page
+    process_ = cluster_->create_process(options);
+  }
+
+  /// The migratory-sharing pattern the two-hop path exists for: one thread
+  /// bounces a page between nodes 1 and 2, so every write fault after the
+  /// first recalls the page from the *other* remote — past the origin.
+  /// `verify_reads` adds a read before each write; the read downgrades the
+  /// owner first, turning the write into a plain sharer-revoke upgrade, so
+  /// latency/writeback comparisons use the pure write-only hand-off.
+  void ping_pong(GArray<std::uint64_t>& arr, int rounds,
+                 bool verify_reads = false) {
+    DexThread worker = process_->spawn([&, rounds, verify_reads] {
+      std::uint64_t expect = 0;
+      for (int r = 0; r < rounds; ++r) {
+        migrate(1 + r % 2);
+        if (verify_reads) {
+          EXPECT_EQ(arr.get(0), expect);
+        }
+        arr.set(0, ++expect);
+        migrate_back();
+      }
+    });
+    worker.join();
+    EXPECT_FALSE(worker.failed());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Process> process_;
+};
+
+TEST_F(ForwardingTest, MigratoryWritesForwardPastTheOrigin) {
+  start(/*num_nodes=*/3, /*forward_grants=*/true);
+  GArray<std::uint64_t> arr(*process_, kWordsPerPage, "migratory");
+  arr.set(0, 0);  // origin takes the page exclusive
+
+  ping_pong(arr, 10, /*verify_reads=*/true);
+
+  auto& stats = process_->dsm().stats();
+  // Round 1 recalls from the origin itself (no forward possible); every
+  // later round recalls from the other remote and must forward. The read
+  // before each write faults too, and its grant forwards as well.
+  EXPECT_GE(stats.forwarded_grants.load(), 9u);
+  EXPECT_EQ(stats.forward_fallbacks.load(), 0u);
+  EXPECT_GT(cluster_->fabric().messages_of(MsgType::kForwardRecall), 0u);
+  EXPECT_GT(cluster_->fabric().messages_of(MsgType::kForwardGrant), 0u);
+  EXPECT_EQ(arr.get(0), 10u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+TEST_F(ForwardingTest, ForwardedReadRefreshesOriginFrame) {
+  start(/*num_nodes=*/3, /*forward_grants=*/true);
+  GArray<std::uint64_t> arr(*process_, kWordsPerPage, "fwd-read");
+  arr.set(0, 7);
+
+  // Node 1 takes the page exclusive; node 2 then *reads* it: the grant
+  // forwards owner->requester while the writeback rides the off-path ack
+  // into the origin frame, which must end up current (origin stays a
+  // sharer per the §III-B home-based invariant).
+  DexThread writer = process_->spawn([&] {
+    migrate(1);
+    arr.set(0, 41);
+    migrate_back();
+  });
+  writer.join();
+  DexThread reader = process_->spawn([&] {
+    migrate(2);
+    EXPECT_EQ(arr.get(0), 41u);
+    migrate_back();
+  });
+  reader.join();
+  EXPECT_FALSE(reader.failed());
+
+  auto& stats = process_->dsm().stats();
+  EXPECT_GE(stats.forwarded_grants.load(), 1u);
+  EXPECT_GE(stats.writebacks.load(), 1u);  // the downgrade ack carried data
+  EXPECT_EQ(arr.get(0), 41u);              // origin frame is current
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+// The acceptance criterion: the migratory bench must show >= 1.5x lower
+// owner-recall fault latency with forwarding on. Deterministic single
+// thread, so the per-run mean fault latency is exact virtual time.
+TEST_F(ForwardingTest, TwoHopCutsOwnerRecallFaultLatency) {
+  constexpr int kRounds = 100;
+  double mean_ns[2] = {0, 0};
+  for (int on = 0; on <= 1; ++on) {
+    start(/*num_nodes=*/3, /*forward_grants=*/on != 0);
+    GArray<std::uint64_t> arr(*process_, kWordsPerPage, "latency");
+    arr.set(0, 0);
+    ping_pong(arr, kRounds);
+    mean_ns[on] = process_->dsm().stats().fault_latency.mean();
+    EXPECT_TRUE(process_->dsm().check_invariants());
+  }
+  ASSERT_GT(mean_ns[1], 0.0);
+  const double speedup = mean_ns[0] / mean_ns[1];
+  EXPECT_GE(speedup, 1.5) << "classic mean " << mean_ns[0]
+                          << " ns vs forwarded mean " << mean_ns[1] << " ns";
+}
+
+TEST_F(ForwardingTest, AblationOffReproducesClassicProtocolExactly) {
+  // Twin runs of the same deterministic workload. The off-run must be the
+  // classic protocol to the message: zero forward traffic, one writeback
+  // per owner recall. And since forwarding only changes the data path, the
+  // on-run must converge to the *identical* directory state and data.
+  constexpr int kRounds = 8;
+  DirSnapshot snaps[2];
+  std::uint64_t writebacks[2] = {0, 0};
+  std::uint64_t faults[2] = {0, 0};
+  for (int on = 0; on <= 1; ++on) {
+    start(/*num_nodes=*/3, /*forward_grants=*/on != 0, /*dir_shards=*/
+          on != 0 ? mem::Directory::kDirShards : 1);
+    GArray<std::uint64_t> arr(*process_, kWordsPerPage, "ablation");
+    arr.set(0, 0);
+    ping_pong(arr, kRounds);
+    EXPECT_EQ(arr.get(0), static_cast<std::uint64_t>(kRounds));
+    auto& stats = process_->dsm().stats();
+    faults[on] = stats.total_faults();
+    writebacks[on] = stats.writebacks.load();
+    snaps[on] = snapshot_directory(*process_);
+    if (on == 0) {
+      EXPECT_EQ(cluster_->fabric().messages_of(MsgType::kForwardRecall), 0u);
+      EXPECT_EQ(cluster_->fabric().messages_of(MsgType::kForwardGrant), 0u);
+      EXPECT_EQ(stats.forwarded_grants.load(), 0u);
+      EXPECT_EQ(stats.forward_fallbacks.load(), 0u);
+      EXPECT_EQ(process_->dsm().directory().shards(), 1);
+    }
+    EXPECT_TRUE(process_->dsm().check_invariants());
+  }
+  // Same fault pattern, same end state, on or off.
+  EXPECT_EQ(faults[0], faults[1]);
+  EXPECT_EQ(snaps[0], snaps[1]);
+  // Forwarding skips the on-path writeback for exclusive hand-offs, so the
+  // classic run writes back strictly more often.
+  EXPECT_GT(writebacks[0], writebacks[1]);
+}
+
+TEST_F(ForwardingTest, ShardedDirectoryMatchesSingleShard) {
+  // Same workload over many pages with 64 shards vs 1: identical data and
+  // directory state; the sharded run takes no shard-lock contention in a
+  // single-threaded (hence uncontended) schedule.
+  constexpr std::size_t kPages = 32;
+  DirSnapshot snaps[2];
+  for (int sharded = 0; sharded <= 1; ++sharded) {
+    start(/*num_nodes=*/3, /*forward_grants=*/true,
+          /*dir_shards=*/sharded != 0 ? mem::Directory::kDirShards : 1);
+    GArray<std::uint64_t> arr(*process_, kPages * kWordsPerPage, "shards");
+    for (std::size_t p = 0; p < kPages; ++p) arr.set(p * kWordsPerPage, p);
+    DexThread worker = process_->spawn([&] {
+      migrate(1);
+      for (std::size_t p = 0; p < kPages; ++p) {
+        arr.set(p * kWordsPerPage, p + 100);
+      }
+      migrate_back();
+    });
+    worker.join();
+    EXPECT_FALSE(worker.failed());
+    for (std::size_t p = 0; p < kPages; ++p) {
+      EXPECT_EQ(arr.get(p * kWordsPerPage), p + 100);
+    }
+    EXPECT_EQ(process_->dsm().directory().lock_contention(), 0u);
+    EXPECT_EQ(process_->dsm().directory().tracked_pages(), kPages);
+    snaps[sharded] = snapshot_directory(*process_);
+    EXPECT_TRUE(process_->dsm().check_invariants());
+  }
+  EXPECT_EQ(snaps[0], snaps[1]);
+}
+
+// Satellite: a recall whose RPC fails after the retry budget must not be
+// counted as a writeback — nothing was written back; the owner is fenced
+// and the loss reported instead.
+TEST_F(ForwardingTest, FailedRecallDoesNotCountAWriteback) {
+  for (int on = 0; on <= 1; ++on) {
+    start(/*num_nodes=*/3, /*forward_grants=*/on != 0);
+    GArray<std::uint64_t> arr(*process_, kWordsPerPage, "lost-recall");
+    arr.set(0, 5);
+    DexThread owner = process_->spawn([&] {
+      migrate(1);
+      arr.set(0, 6);
+      migrate_back();
+    });
+    owner.join();
+    ASSERT_EQ(process_->probe_data_location(arr.addr(0)), 1);
+    const std::uint64_t writebacks_before =
+        process_->dsm().stats().writebacks.load();
+
+    // The owner never acknowledges the recall (classic or forwarded): the
+    // requester's write must still complete against the stale origin frame.
+    FaultPolicy policy;
+    policy.seed = 31;
+    FaultRule rule;
+    rule.type = on != 0 ? MsgType::kForwardRecall : MsgType::kRevokeOwnership;
+    rule.src = 0;
+    rule.dst = 1;
+    rule.drop_prob = 1.0;
+    policy.rules.push_back(rule);
+    cluster_->fabric().injector().configure(policy);
+
+    DexThread writer = process_->spawn([&] {
+      migrate(2);
+      arr.set(0, 9);
+      migrate_back();
+    });
+    writer.join();
+    EXPECT_FALSE(writer.failed());
+
+    auto& stats = process_->dsm().stats();
+    EXPECT_EQ(stats.writebacks.load(), writebacks_before);
+    EXPECT_GE(stats.revoke_failures.load(), 1u);
+    EXPECT_EQ(stats.forwarded_grants.load(), 0u);
+    EXPECT_GE(process_->dsm().failure_stats().dirty_pages_lost.load(), 1u);
+    EXPECT_EQ(arr.get(0), 9u);  // the new write, over the stale frame
+    EXPECT_TRUE(process_->dsm().check_invariants());
+  }
+}
+
+// Satellite: NodeSet shifts were UB for node >= 64 (or negative); the
+// bound check must abort instead of silently corrupting the sharer mask.
+using NodeSetDeathTest = ForwardingTest;
+
+TEST_F(NodeSetDeathTest, OutOfRangeNodesAbort) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  mem::NodeSet set;
+  set.add(0);
+  set.add(mem::kMaxNodes - 1);
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_EQ(set.count(), 2);
+  EXPECT_DEATH(set.add(mem::kMaxNodes), "DEX_CHECK failed");
+  EXPECT_DEATH(set.remove(mem::kMaxNodes + 3), "DEX_CHECK failed");
+  EXPECT_DEATH((void)set.contains(-1), "DEX_CHECK failed");
+}
+
+}  // namespace
+}  // namespace dex
