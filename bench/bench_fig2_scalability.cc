@@ -138,6 +138,30 @@ int main() {
                  speedup);
       }
     }
+
+    // Ablation row: the optimized port at the largest node count with
+    // adaptive home migration off — every directory entry pinned at its
+    // origin, the fixed-home protocol.
+    {
+      const auto counts = fig2_node_counts();
+      const int nodes = counts.back();
+      apps::RunConfig config = base;
+      config.nodes = nodes;
+      config.variant = apps::Variant::kOptimized;
+      config.home_migration = false;
+      const apps::RunResult result = apps::run_app(*app, config);
+      std::printf("  %-10s", "fixed-home");
+      std::printf("%*s", 8 * static_cast<int>(counts.size() - 1), "");
+      if (!result.verified) {
+        std::printf("%8s\n", "BAD!");
+      } else {
+        const double speedup = static_cast<double>(ref.elapsed_ns) /
+                               static_cast<double>(result.elapsed_ns);
+        std::printf("%8.2f\n", speedup);
+        json.set(name, "optimized_" + std::to_string(nodes) + "_fixed_home",
+                 speedup);
+      }
+    }
   }
 
   json.write("BENCH_scalability.json");

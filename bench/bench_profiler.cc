@@ -34,6 +34,14 @@ int main() {
       print_header(title);
 
       prof::TraceAnalysis analysis(result.trace);
+      prof::ProtocolCounters counters;
+      counters.dir_lock_contention = result.dir_lock_contention;
+      counters.remote_faults = result.remote_faults;
+      counters.home_migrations = result.home_migrations;
+      counters.home_hint_hits = result.home_hint_hits;
+      counters.home_chases = result.home_chases;
+      counters.faults_by_home = result.faults_by_home;
+      analysis.set_protocol_counters(counters);
       std::printf("%s\n", analysis.format_report(6).c_str());
     }
   }

@@ -44,6 +44,16 @@ void snapshot_stats(core::Process& process, RunResult& result) {
   result.invalidations = stats.invalidations.load();
   result.retries = stats.retries.load();
   result.messages = process.cluster().fabric().total_messages();
+  result.dir_lock_contention = process.dsm().directory().lock_contention();
+  result.home_migrations = stats.home_migrations.load();
+  result.home_hint_hits = stats.home_hint_hits.load();
+  result.home_chases = stats.home_chases.load();
+  const int nodes = process.cluster().num_nodes();
+  result.faults_by_home.assign(static_cast<std::size_t>(nodes), 0);
+  for (int n = 0; n < nodes; ++n) {
+    result.faults_by_home[static_cast<std::size_t>(n)] =
+        stats.faults_by_home[static_cast<std::size_t>(n)].load();
+  }
   if (process.trace().enabled()) {
     result.trace = process.trace().snapshot();
   }

@@ -45,10 +45,12 @@ struct RunConfig {
   /// the paper's cluster. 0 disables (fast, for correctness-only tests).
   double pacing = 0.05;
   /// Protocol ablation knobs, forwarded into ProcessOptions by every app:
-  /// two-hop owner->requester grant forwarding and the directory shard
-  /// count (1 = the original single-mutex tree).
+  /// two-hop owner->requester grant forwarding, the directory shard count
+  /// (1 = the original single-mutex tree), and adaptive home migration
+  /// (off = every entry stays pinned at the origin).
   bool forward_grants = true;
   int dir_shards = mem::Directory::kDirShards;
+  bool home_migration = true;
 };
 
 struct RunResult {
@@ -61,6 +63,14 @@ struct RunResult {
   std::uint64_t invalidations = 0;
   std::uint64_t retries = 0;
   std::uint64_t messages = 0;
+  /// Directory shard-lock collisions (Directory::lock_contention).
+  std::uint64_t dir_lock_contention = 0;
+  /// Adaptive home migration counters (zero when the knob is off).
+  std::uint64_t home_migrations = 0;
+  std::uint64_t home_hint_hits = 0;
+  std::uint64_t home_chases = 0;
+  /// Granted page transactions by serving home node, origin first.
+  std::vector<std::uint64_t> faults_by_home;
   std::vector<prof::FaultEvent> trace;  // when trace_faults was set
 };
 
@@ -99,6 +109,7 @@ class App {
     popt.stream_intensity = stream_intensity(config);
     popt.forward_grants = config.forward_grants;
     popt.dir_shards = config.dir_shards;
+    popt.home_migration = config.home_migration;
     return popt;
   }
 };

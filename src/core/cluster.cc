@@ -131,6 +131,12 @@ void Cluster::install_handlers() {
         });
       });
   fabric_->register_handler(
+      MsgType::kHomeMigrate, [route](const Message& msg) {
+        return route(msg, [&](Process& p) {
+          return p.dsm().handle_home_migrate(msg);
+        });
+      });
+  fabric_->register_handler(
       MsgType::kVmaInfoRequest, [route](const Message& msg) {
         return route(
             msg, [&](Process& p) { return p.dsm().handle_vma_request(msg); });

@@ -50,6 +50,8 @@ Process::Process(Cluster& cluster, std::uint64_t id,
   dsm_config.prefetch_max_pages = options.prefetch_max_pages;
   dsm_config.forward_grants = options.forward_grants;
   dsm_config.dir_shards = options.dir_shards;
+  dsm_config.home_migration = options.home_migration;
+  dsm_config.home_migrate_run = options.home_migrate_run;
   dsm_ = std::make_unique<mem::Dsm>(cluster.fabric(), dsm_config,
                                     &cluster.node_load(), &trace_);
   worker_exists_[static_cast<std::size_t>(options.origin)] = true;
@@ -226,7 +228,9 @@ NodeId Process::probe_data_location(GAddr addr) {
   if (entry == nullptr) return options_.origin;
   std::lock_guard<std::mutex> lock(entry->mu);
   if (entry->exclusive_owner != kInvalidNode) return entry->exclusive_owner;
-  return options_.origin;
+  // Shared pages live with whichever node homes the entry (the origin
+  // unless adaptive home migration moved it).
+  return entry->home == kInvalidNode ? options_.origin : entry->home;
 }
 
 NodeId Process::migrate_to_data(GAddr addr) {

@@ -80,6 +80,12 @@ struct ProcessOptions {
   /// Directory shard count (DsmConfig::dir_shards passthrough; 1 collapses
   /// to the original single-mutex tree).
   int dir_shards = mem::Directory::kDirShards;
+  /// Adaptive home migration (DsmConfig::home_migration passthrough; off
+  /// pins every directory entry at the origin, classic-style).
+  bool home_migration = true;
+  /// Consecutive one-node fault run that triggers a home hand-off
+  /// (DsmConfig::home_migrate_run passthrough).
+  int home_migrate_run = 3;
 };
 
 /// One entry of the migration log (Table II / Figure 3 raw data).

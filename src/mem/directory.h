@@ -80,6 +80,22 @@ struct DirEntry {
   /// False until the first access materializes the zero page at the
   /// origin; reset by munmap so stale versions can never match.
   bool materialized = false;
+  /// Node whose frame is authoritative and which serializes transactions
+  /// for this page. `kInvalidNode` means "the origin" (the static default),
+  /// so a default-constructed entry behaves exactly like the classic
+  /// protocol until a migration rewrites it.
+  NodeId home = kInvalidNode;
+  /// Bumped on every home migration (and on munmap). Acts as a version
+  /// fence for home-hint caches: a hint is only overwritten by information
+  /// carrying a newer epoch, so a late stale redirect cannot regress a
+  /// fresher hint.
+  std::uint64_t home_epoch = 0;
+  /// Fault-locality tracker: `hot_node` faulted `hot_run` consecutive
+  /// times with no intervening fault from any other node (the home's own
+  /// local faults reset the run — they are already free). When the run
+  /// reaches the configured threshold the home hands the entry off.
+  NodeId hot_node = kInvalidNode;
+  std::uint16_t hot_run = 0;
 };
 
 /// The per-process directory. Entry references remain valid until

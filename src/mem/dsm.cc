@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -36,11 +37,21 @@ Dsm::Dsm(net::Fabric& fabric, const DsmConfig& config, NodeLoad* node_load,
   spaces_.reserve(static_cast<std::size_t>(config.num_nodes));
   tables_.reserve(static_cast<std::size_t>(config.num_nodes));
   fault_tables_.reserve(static_cast<std::size_t>(config.num_nodes));
+  home_caches_.reserve(static_cast<std::size_t>(config.num_nodes));
   for (int i = 0; i < config.num_nodes; ++i) {
     spaces_.push_back(std::make_unique<AddressSpace>());
     tables_.push_back(std::make_unique<PageTable>());
     fault_tables_.push_back(std::make_unique<FaultTable>());
+    home_caches_.push_back(std::make_unique<HomeHintCache>());
   }
+}
+
+NodeId Dsm::home_of_page(GAddr page) {
+  DirEntry* entry = directory_.find(page_base(page));
+  if (entry == nullptr) return config_.origin;
+  ScopedGateBlock gate_block("home_probe_entry_lock");
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return home_of(*entry);
 }
 
 // ---------------------------------------------------------------------------
@@ -94,7 +105,19 @@ bool Dsm::munmap(GAddr start, std::uint64_t length) {
     entry->exclusive_owner = kInvalidNode;
     entry->materialized = false;
     ++entry->version;
+    // The home returns to the origin with the rest of the entry state; the
+    // epoch bump fences any hint minted for the old mapping.
+    entry->home = kInvalidNode;
+    ++entry->home_epoch;
+    entry->hot_node = kInvalidNode;
+    entry->hot_run = 0;
   }
+
+  // Stride state learned on the dead range must not survive into a future
+  // mapping of the same addresses (it would fire bogus batch requests on
+  // the fresh zero pages); home hints for the range die with the entries.
+  prefetcher_.reset(page_base(start), end);
+  for (auto& cache : home_caches_) cache->invalidate_range(start, end);
   return true;
 }
 
@@ -126,12 +149,13 @@ bool Dsm::mprotect(GAddr start, std::uint64_t length, std::uint8_t prot) {
       ScopedGateBlock gate_block("dir_escalation");
       std::lock_guard<std::mutex> lock(entry->mu);
       if (entry->exclusive_owner != kInvalidNode) {
-        if (entry->exclusive_owner == config_.origin) {
-          set_state(config_.origin, page, PageState::kShared, entry->version);
-          entry->sharers.add(config_.origin);
+        const NodeId home = home_of(*entry);
+        if (entry->exclusive_owner == home) {
+          set_state(home, page, PageState::kShared, entry->version);
+          entry->sharers.add(home);
         } else {
           // No requester to forward to: a protection downgrade always pulls
-          // the data back to the origin frame.
+          // the data back to the home frame (the authoritative one).
           recall_from_owner(*entry, page, /*downgrade=*/true, kInvalidNode,
                             entry->version, nullptr);
         }
@@ -245,15 +269,31 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
   batch.count = static_cast<std::uint32_t>(1 + extras);
   batch.blocking = 0;
 
+  // Hint-directed routing: with home migration on, the request goes
+  // straight to the node the hint cache believes homes the page (default:
+  // the origin). A stale hint is corrected by kWrongHome redirects, chased
+  // up to kMaxHomeChase hops before falling back to the origin — whose
+  // redirect is authoritative, so the chain is bounded.
+  NodeId target = config_.origin;
+  if (config_.home_migration) {
+    const HomeHintCache::Hint hint = home_cache(node).lookup(page);
+    if (hint.valid) target = hint.home;
+  }
+  int bounces = 0;
   int attempts = 0;
   for (;;) {
     Message msg;
-    msg.dst = config_.origin;
+    msg.dst = target;
     if (extras > 0) {
       for (std::uint32_t i = 0; i < batch.count; ++i) {
         Pte* known = page_table(node).find(page + i * kPageSize);
-        batch.known_versions[i] = known != nullptr ? known->version
-                                                   : kNoVersion;
+        if (known != nullptr) {
+          known->lock.lock();
+          batch.known_versions[i] = known->version;
+          known->lock.unlock();
+        } else {
+          batch.known_versions[i] = kNoVersion;
+        }
       }
       msg.type = MsgType::kPageRequestBatch;
       msg.set_payload(batch);
@@ -265,14 +305,32 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
                                          : MsgType::kPageRequestWrite;
       msg.set_payload(request);
     }
-    const Message reply = fabric_.call(node, msg);
+    Message reply;
+    try {
+      reply = fabric_.call(node, msg);
+    } catch (const net::NodeDeadError&) {
+      if (target == config_.origin) throw;
+      // The hinted home died. The origin reclaims dead homes, so fall
+      // back to it; the stale hint dies here rather than via a redirect.
+      home_cache(node).invalidate_range(page, page + kPageSize);
+      stats_.wrong_home_bounces.fetch_add(1, std::memory_order_relaxed);
+      if (++bounces == 1) {
+        stats_.home_chases.fetch_add(1, std::memory_order_relaxed);
+      }
+      target = config_.origin;
+      continue;
+    }
     GrantKind kind;
     VirtNs last_writer_ts;
+    NodeId grant_home = config_.origin;
+    std::uint64_t grant_epoch = 0;
     if (extras > 0) {
       const auto grant = reply.payload_as<net::PageBatchGrantPayload>();
       kind = grant.kind;
       last_writer_ts = grant.last_writer_ts;
-      if (kind != GrantKind::kRetry) {
+      grant_home = grant.home;
+      grant_epoch = grant.home_epoch;
+      if (kind != GrantKind::kRetry && kind != GrantKind::kWrongHome) {
         const auto granted_extras = static_cast<std::uint64_t>(
             __builtin_popcount(grant.granted_mask >> 1));
         stats_.prefetch_issued.fetch_add(static_cast<std::uint64_t>(extras),
@@ -292,9 +350,34 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
       const auto grant = reply.payload_as<net::PageGrantPayload>();
       kind = grant.kind;
       last_writer_ts = grant.last_writer_ts;
+      grant_home = grant.home;
+      grant_epoch = grant.home_epoch;
+    }
+    if (kind == GrantKind::kWrongHome) {
+      // Stale hint: the node we asked does not home the page. Learn its
+      // guess and chase it; after kMaxHomeChase hops give up on hints and
+      // ask the origin, whose answer is authoritative.
+      stats_.wrong_home_bounces.fetch_add(1, std::memory_order_relaxed);
+      if (++bounces == 1) {
+        stats_.home_chases.fetch_add(1, std::memory_order_relaxed);
+      }
+      home_cache(node).update(page, grant_home, grant_epoch);
+      const bool authoritative = target == config_.origin;
+      if (!authoritative && bounces >= kMaxHomeChase) {
+        target = config_.origin;
+      } else {
+        target = grant_home;
+      }
+      continue;
     }
     if (kind != GrantKind::kRetry) {
       vclock::observe(last_writer_ts);
+      if (config_.home_migration) {
+        home_cache(node).update(page, grant_home, grant_epoch);
+        if (node != config_.origin && bounces == 0) {
+          stats_.home_hint_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
       break;
     }
     // Lost a race on a busy directory entry: back off and refault. This is
@@ -330,9 +413,13 @@ Vma Dsm::check_vma(NodeId node, GAddr addr, Access access) {
 
   auto cached = replica_space(node).find(addr);
   if (cached) {
-    // The replica may be stale only in permissive directions for legitimate
-    // accesses; shrinks/downgrades were broadcast eagerly (§III-D).
-    return validate(*cached);
+    // Shrinks/downgrades were broadcast eagerly (§III-D), but permissive
+    // re-upgrades (mprotect RO->RW) sync on demand: a cached prot that
+    // forbids the access may be stale in the restrictive direction, so
+    // re-ask the origin before declaring a fault illegitimate.
+    const std::uint8_t needed =
+        access == Access::kWrite ? kProtWrite : kProtRead;
+    if ((cached->prot & needed) != 0) return *cached;
   }
 
   // On-demand VMA synchronization: ask the origin whether the access is
@@ -392,6 +479,29 @@ Message Dsm::handle_page_request(const Message& msg, Access access) {
     }
   }
 
+  if (config_.home_migration && home_of(entry) != msg.dst) {
+    // This node does not home the page (anymore): redirect the requester.
+    // The origin answers from the entry itself (authoritative); any other
+    // node answers from its own hint cache, origin as the fallback.
+    Message reply;
+    reply.type = MsgType::kPageGrant;
+    net::PageGrantPayload grant{};
+    grant.kind = GrantKind::kWrongHome;
+    if (msg.dst == config_.origin) {
+      grant.home = home_of(entry);
+      grant.home_epoch = entry.home_epoch;
+    } else {
+      const HomeHintCache::Hint hint = home_cache(msg.dst).lookup(
+          request.page);
+      grant.home = hint.valid ? hint.home : config_.origin;
+      grant.home_epoch = hint.valid ? hint.epoch : 0;
+    }
+    lock.unlock();
+    vclock::advance(fabric_.cost().wrong_home_service_ns);
+    reply.set_payload(grant);
+    return reply;
+  }
+
   vclock::advance(fabric_.cost().directory_service_ns);
   vclock::observe(entry.last_release_ts);
 
@@ -401,6 +511,11 @@ Message Dsm::handle_page_request(const Message& msg, Access access) {
   if (access == Access::kWrite) {
     entry.last_release_ts = std::max(entry.last_release_ts, vclock::now());
   }
+  if (outcome.kind != GrantKind::kRetry) {
+    stats_.faults_by_home[static_cast<std::size_t>(home_of(entry))]
+        .fetch_add(1, std::memory_order_relaxed);
+    maybe_migrate_home(entry, request.page, msg.src, request.task);
+  }
 
   Message reply;
   reply.type = MsgType::kPageGrant;
@@ -408,6 +523,8 @@ Message Dsm::handle_page_request(const Message& msg, Access access) {
   grant.kind = outcome.kind;
   grant.version = entry.version;
   grant.last_writer_ts = entry.last_release_ts;
+  grant.home = home_of(entry);
+  grant.home_epoch = entry.home_epoch;
   reply.set_payload(grant);
 
   if (outcome.offpath_ns > 0) {
@@ -437,21 +554,24 @@ Message Dsm::handle_page_request(const Message& msg, Access access) {
 }
 
 void Dsm::materialize_entry(DirEntry& entry, GAddr page) {
-  // First touch anywhere: materialize the anonymous zero page at the
-  // origin ("initially, the origin exclusively owns all pages").
-  Pte& origin_pte = page_table(config_.origin).get_or_create(page);
-  origin_pte.lock.lock();
-  origin_pte.seq.fetch_add(1, std::memory_order_release);
+  // First touch anywhere: materialize the anonymous zero page at the home
+  // ("initially, the origin exclusively owns all pages" — an unmaterialized
+  // entry always homes at the origin, munmap resets the home with the rest
+  // of the entry state).
+  const NodeId home = home_of(entry);
+  Pte& home_pte = page_table(home).get_or_create(page);
+  home_pte.lock.lock();
+  home_pte.seq.fetch_add(1, std::memory_order_release);
   // Explicit zeroing: a recycled frame (munmap + re-mmap) holds old data.
-  std::memset(origin_pte.ensure_frame(), 0, kPageSize);
+  std::memset(home_pte.ensure_frame(), 0, kPageSize);
   ++entry.version;
-  origin_pte.version = entry.version;
-  origin_pte.state.store(PageState::kShared, std::memory_order_release);
-  origin_pte.seq.fetch_add(1, std::memory_order_release);
-  origin_pte.lock.unlock();
+  home_pte.version = entry.version;
+  home_pte.state.store(PageState::kShared, std::memory_order_release);
+  home_pte.seq.fetch_add(1, std::memory_order_release);
+  home_pte.lock.unlock();
   entry.materialized = true;
   entry.sharers.clear();
-  entry.sharers.add(config_.origin);
+  entry.sharers.add(home);
   entry.exclusive_owner = kInvalidNode;
 }
 
@@ -459,7 +579,7 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
   const auto request = msg.payload_as<net::PageBatchRequestPayload>();
   DEX_CHECK(request.process_id == config_.process_id);
   const NodeId requester = msg.src;
-  const NodeId origin = config_.origin;
+  const NodeId at = msg.dst;  // the node serving this batch
   const GAddr primary = request.start_page;
   const std::uint32_t count = std::min<std::uint32_t>(
       request.count, static_cast<std::uint32_t>(net::kMaxBatchPages));
@@ -484,6 +604,25 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
     }
   }
 
+  if (config_.home_migration && home_of(entry) != at) {
+    // Wrong home for the primary page: redirect, exactly like the
+    // single-page path. Extras are not attempted — the requester refaults
+    // at the right home and the batch reforms there.
+    grant.kind = GrantKind::kWrongHome;
+    if (at == config_.origin) {
+      grant.home = home_of(entry);
+      grant.home_epoch = entry.home_epoch;
+    } else {
+      const HomeHintCache::Hint hint = home_cache(at).lookup(primary);
+      grant.home = hint.valid ? hint.home : config_.origin;
+      grant.home_epoch = hint.valid ? hint.epoch : 0;
+    }
+    lock.unlock();
+    vclock::advance(fabric_.cost().wrong_home_service_ns);
+    reply.set_payload(grant);
+    return reply;
+  }
+
   vclock::advance(fabric_.cost().directory_service_ns);
   vclock::observe(entry.last_release_ts);
 
@@ -494,6 +633,13 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
   grant.granted_mask = 1;
   grant.versions[0] = entry.version;
   VirtNs last_ts = entry.last_release_ts;
+  if (primary_outcome.kind != GrantKind::kRetry) {
+    stats_.faults_by_home[static_cast<std::size_t>(home_of(entry))]
+        .fetch_add(1, std::memory_order_relaxed);
+    maybe_migrate_home(entry, primary, requester, request.task);
+  }
+  grant.home = home_of(entry);
+  grant.home_epoch = entry.home_epoch;
   if (primary_outcome.offpath_ns > 0) {
     // Batch replies stay on-path (the extras' data rides them), but the
     // forwarded primary's ack leg still completes after the requester
@@ -530,15 +676,20 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
     std::unique_lock<std::mutex> elock(e.mu, std::try_to_lock);
     if (!elock.owns_lock()) continue;  // busy: a prefetch never waits
 
+    // A prefetch only rides along for pages this node actually homes;
+    // anything homed elsewhere is skipped (a hole in granted_mask), the
+    // requester demand-faults it at its real home if it ever needs it.
+    if (config_.home_migration && home_of(e) != at) continue;
+
     vclock::advance(fabric_.cost().directory_service_ns);
     if (!e.materialized) materialize_entry(e, p);
     if (e.exclusive_owner != kInvalidNode) {
-      // Never steal exclusivity over the wire. The origin downgrading its
+      // Never steal exclusivity over the wire. The home downgrading its
       // own dirty copy is local and free, though — same as the demand read
       // path — so only a *remote* owner blocks the grant.
-      if (e.exclusive_owner != origin) continue;
-      set_state(origin, p, PageState::kShared, e.version);
-      e.sharers.add(origin);
+      if (e.exclusive_owner != at) continue;
+      set_state(at, p, PageState::kShared, e.version);
+      e.sharers.add(at);
       e.exclusive_owner = kInvalidNode;
     }
     vclock::observe(e.last_release_ts);
@@ -552,17 +703,17 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
       set_state(requester, p, PageState::kShared, e.version);
       stats_.grants_ownership_only.fetch_add(1, std::memory_order_relaxed);
     } else {
-      // Stage the origin frame and install it in the requester's PTE here,
+      // Stage the home frame and install it in the requester's PTE here,
       // under the entry lock — a concurrent write fault then either runs
       // before this grant (sees the old sharer set) or after it (revokes a
       // fully installed copy); there is no window where a granted copy is
       // invisible to revocation.
-      Pte& origin_pte = page_table(origin).get_or_create(p);
+      Pte& home_pte = page_table(at).get_or_create(p);
       const std::size_t off = staging.size();
       staging.resize(off + kPageSize);
-      origin_pte.lock.lock();
-      std::memcpy(staging.data() + off, origin_pte.frame.get(), kPageSize);
-      origin_pte.lock.unlock();
+      home_pte.lock.lock();
+      std::memcpy(staging.data() + off, home_pte.frame.get(), kPageSize);
+      home_pte.lock.unlock();
       rpte.lock.lock();
       rpte.seq.fetch_add(1, std::memory_order_release);
       std::memcpy(rpte.ensure_frame(), staging.data() + off, kPageSize);
@@ -578,12 +729,12 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
     grant.versions[i] = e.version;
   }
 
-  if (!staging.empty() && requester != origin) {
+  if (!staging.empty() && requester != at) {
     // The wire charge for every staged extra page, amortized: one RDMA
     // post + one completion dispatch for the whole batch (the per-byte
     // wire/copy costs remain). The data itself was installed above.
     std::vector<std::uint8_t> scratch(staging.size());
-    fabric_.bulk_transfer(origin, requester, staging.data(), staging.size(),
+    fabric_.bulk_transfer(at, requester, staging.data(), staging.size(),
                           scratch.data());
   }
 
@@ -597,11 +748,15 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
                                    std::uint64_t known_version,
                                    DirEntry& entry) {
   (void)task;
-  const NodeId origin = config_.origin;
-  Pte& origin_pte = page_table(origin).get_or_create(page);
-  TransactOutcome outcome;
-
   if (!entry.materialized) materialize_entry(entry, page);
+
+  // Everything below is home-relative: the serving node's frame is the
+  // grant source and the writeback target. With home migration off the
+  // home is always the origin and this is the classic §III-B transaction
+  // verbatim.
+  const NodeId home = home_of(entry);
+  Pte& home_pte = page_table(home).get_or_create(page);
+  TransactOutcome outcome;
 
   // Ensure the requester's PTE exists before any grant touches it.
   (void)page_table(requester).get_or_create(page);
@@ -614,7 +769,7 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
   const bool data_needed =
       !(known_version == entry.version && known_version != kNoVersion);
   const NodeId forward_to =
-      requester != origin && data_needed ? requester : kInvalidNode;
+      requester != home && data_needed ? requester : kInvalidNode;
 
   if (access == Access::kRead) {
     if (entry.exclusive_owner == requester) {
@@ -626,10 +781,10 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
     }
     RecallResult recall = RecallResult::kWroteBack;
     if (entry.exclusive_owner != kInvalidNode) {
-      if (entry.exclusive_owner == origin) {
-        // The origin itself holds the dirty copy: downgrade locally.
-        set_state(origin, page, PageState::kShared, entry.version);
-        entry.sharers.add(origin);
+      if (entry.exclusive_owner == home) {
+        // The home itself holds the dirty copy: downgrade locally.
+        set_state(home, page, PageState::kShared, entry.version);
+        entry.sharers.add(home);
       } else {
         recall = recall_from_owner(entry, page, /*downgrade=*/true,
                                    forward_to, entry.version,
@@ -640,15 +795,15 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
     if (recall == RecallResult::kForwarded) {
       // The old owner already pushed the data and installed the
       // requester's PTE (kShared, current version); the writeback rode the
-      // off-path ack into the origin frame.
+      // off-path ack into the home frame.
       entry.sharers.add(requester);
       outcome.kind = GrantKind::kDataAndOwnership;
       outcome.forwarded = true;
       return outcome;
     }
-    // Now: no exclusive owner; origin frame holds the current version.
-    if (requester == origin) {
-      set_state(origin, page, PageState::kShared, entry.version);
+    // Now: no exclusive owner; home frame holds the current version.
+    if (requester == home) {
+      set_state(home, page, PageState::kShared, entry.version);
       outcome.kind = GrantKind::kOwnershipOnly;
     } else if (known_version == entry.version &&
                known_version != kNoVersion) {
@@ -657,8 +812,8 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
       set_state(requester, page, PageState::kShared, entry.version);
       outcome.kind = GrantKind::kOwnershipOnly;
     } else {
-      install_copy(requester, page, origin_pte.frame.get(),
-                   PageState::kShared, entry.version);
+      install_copy(requester, page, home_pte.frame.get(),
+                   PageState::kShared, entry.version, home);
       outcome.kind = GrantKind::kDataAndOwnership;
     }
     entry.sharers.add(requester);
@@ -674,9 +829,9 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
   const std::uint64_t granted_version = entry.version + 1;
   RecallResult recall = RecallResult::kWroteBack;
   if (entry.exclusive_owner != kInvalidNode) {
-    if (entry.exclusive_owner == origin) {
-      // The origin frame is already current; its PTE is flipped below.
-      entry.sharers.add(origin);
+    if (entry.exclusive_owner == home) {
+      // The home frame is already current; its PTE is flipped below.
+      entry.sharers.add(home);
     } else {
       // Safe to stamp granted_version up front: a remote exclusive owner
       // is the sole sharer, so nothing below can change the version again
@@ -687,38 +842,38 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
     }
     entry.exclusive_owner = kInvalidNode;
   }
-  // Revoke all clean shared copies except the requester's and the origin's
-  // (the origin frame is the grant source; its PTE is flipped below), in
+  // Revoke all clean shared copies except the requester's and the home's
+  // (the home frame is the grant source; its PTE is flipped below), in
   // one overlapped fan-out: the writer pays max(leg latencies), not the
   // sum over sharers.
   revoke_sharers(entry, page, requester, task);
 
   if (recall == RecallResult::kForwarded) {
     // The old owner pushed its dirty copy straight to the requester and
-    // installed the PTE (kExclusive, granted_version). The origin frame
+    // installed the PTE (kExclusive, granted_version). The home frame
     // stays stale — its PTE was already invalid under the old exclusive
     // owner — and the slim ack carried no data.
     outcome.kind = GrantKind::kDataAndOwnership;
     outcome.forwarded = true;
-  } else if (requester == origin) {
-    set_state(origin, page, PageState::kExclusive, granted_version);
+  } else if (requester == home) {
+    set_state(home, page, PageState::kExclusive, granted_version);
     outcome.kind = GrantKind::kOwnershipOnly;
   } else {
-    // The origin must lose access BEFORE its frame is read for the grant:
+    // The home must lose access BEFORE its frame is read for the grant:
     // taking the PTE lock drains any in-flight local write, and the
     // invalid state makes later local writes fault. Granting first would
-    // let a racing origin-side write land in the origin frame after the
-    // copy was taken — a lost update.
-    origin_pte.lock.lock();
-    origin_pte.state.store(PageState::kInvalid, std::memory_order_release);
-    origin_pte.lock.unlock();
+    // let a racing home-side write land in the home frame after the copy
+    // was taken — a lost update.
+    home_pte.lock.lock();
+    home_pte.state.store(PageState::kInvalid, std::memory_order_release);
+    home_pte.lock.unlock();
 
     if (known_version == entry.version && known_version != kNoVersion) {
       set_state(requester, page, PageState::kExclusive, granted_version);
       outcome.kind = GrantKind::kOwnershipOnly;
     } else {
-      install_copy(requester, page, origin_pte.frame.get(),
-                   PageState::kExclusive, granted_version);
+      install_copy(requester, page, home_pte.frame.get(),
+                   PageState::kExclusive, granted_version, home);
       outcome.kind = GrantKind::kDataAndOwnership;
     }
   }
@@ -734,8 +889,8 @@ Dsm::RecallResult Dsm::recall_from_owner(DirEntry& entry, GAddr page,
                                          std::uint64_t grant_version,
                                          VirtNs* offpath_ns) {
   const NodeId owner = entry.exclusive_owner;
-  const NodeId origin = config_.origin;
-  DEX_CHECK(owner != kInvalidNode && owner != origin);
+  const NodeId home = home_of(entry);
+  DEX_CHECK(owner != kInvalidNode && owner != home);
   const bool try_forward = config_.forward_grants &&
                            requester != kInvalidNode && requester != owner;
 
@@ -761,7 +916,7 @@ Dsm::RecallResult Dsm::recall_from_owner(DirEntry& entry, GAddr page,
       msg.set_payload(payload);
     }
     try {
-      reply = fabric_.call(origin, msg);
+      reply = fabric_.call(home, msg);
     } catch (const net::NodeDeadError&) {
       owner_lost = true;  // owner died mid-recall (or mid-forward)
     } catch (const net::RpcError&) {
@@ -778,7 +933,7 @@ Dsm::RecallResult Dsm::recall_from_owner(DirEntry& entry, GAddr page,
 
   if (owner_lost) {
     // The only up-to-date copy died with the owner. Degrade gracefully:
-    // the origin's last written-back frame becomes authoritative again and
+    // the home's last written-back frame becomes authoritative again and
     // the dirty loss is *reported* (FailureStats), never silent. Innocent
     // requesters proceed with the stale-but-consistent data.
     failure_stats_.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
@@ -789,28 +944,28 @@ Dsm::RecallResult Dsm::recall_from_owner(DirEntry& entry, GAddr page,
     record_fault(owner, /*task=*/-1, page, prof::FaultKind::kReclaim,
                  nullptr);
     // Fence the dead owner's PTE so no stale exclusive copy survives
-    // origin-side (idempotent when the RpcError path already fenced;
+    // home-side (idempotent when the RpcError path already fenced;
     // heal-time reclaim would otherwise be the first to sweep it).
     fence_copy(owner, page);
-    set_state(origin, page, PageState::kShared, entry.version);
-    entry.sharers.add(origin);
+    set_state(home, page, PageState::kShared, entry.version);
+    entry.sharers.add(home);
     entry.sharers.remove(owner);
-    // The requester gets the stale-but-consistent origin frame, and if a
+    // The requester gets the stale-but-consistent home frame, and if a
     // forward was attempted, no PTE was installed owner-side (the owner
     // never completed the push visibly); classic install follows.
     return RecallResult::kOwnerLost;
   }
 
-  auto install_origin_frame = [&](const std::uint8_t* data) {
-    Pte& origin_pte = page_table(origin).get_or_create(page);
-    origin_pte.lock.lock();
-    origin_pte.seq.fetch_add(1, std::memory_order_release);
-    std::memcpy(origin_pte.ensure_frame(), data, kPageSize);
-    origin_pte.version = entry.version;
-    origin_pte.state.store(PageState::kShared, std::memory_order_release);
-    origin_pte.seq.fetch_add(1, std::memory_order_release);
-    origin_pte.lock.unlock();
-    entry.sharers.add(origin);
+  auto install_home_frame = [&](const std::uint8_t* data) {
+    Pte& home_pte = page_table(home).get_or_create(page);
+    home_pte.lock.lock();
+    home_pte.seq.fetch_add(1, std::memory_order_release);
+    std::memcpy(home_pte.ensure_frame(), data, kPageSize);
+    home_pte.version = entry.version;
+    home_pte.state.store(PageState::kShared, std::memory_order_release);
+    home_pte.seq.fetch_add(1, std::memory_order_release);
+    home_pte.lock.unlock();
+    entry.sharers.add(home);
   };
 
   if (try_forward) {
@@ -820,8 +975,8 @@ Dsm::RecallResult Dsm::recall_from_owner(DirEntry& entry, GAddr page,
           reply.payload.size() == sizeof(net::ForwardRecallAck) + kPageSize,
           "writeback ack must carry page data");
       stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
-      install_origin_frame(reply.payload.data() +
-                           sizeof(net::ForwardRecallAck));
+      install_home_frame(reply.payload.data() +
+                         sizeof(net::ForwardRecallAck));
     }
     if (downgrade) {
       entry.sharers.add(owner);  // owner keeps a read-only copy
@@ -845,10 +1000,10 @@ Dsm::RecallResult Dsm::recall_from_owner(DirEntry& entry, GAddr page,
 
   stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
 
-  // Install the written-back data in the origin frame.
+  // Install the written-back data in the home frame.
   DEX_CHECK_MSG(reply.payload.size() == kPageSize,
                 "exclusive owner must write back page data");
-  install_origin_frame(reply.payload.data());
+  install_home_frame(reply.payload.data());
   if (downgrade) {
     entry.sharers.add(owner);  // owner keeps a read-only copy
   } else {
@@ -857,7 +1012,8 @@ Dsm::RecallResult Dsm::recall_from_owner(DirEntry& entry, GAddr page,
   return RecallResult::kWroteBack;
 }
 
-void Dsm::invalidate_copy(NodeId node, GAddr page, TaskId requester_task) {
+void Dsm::invalidate_copy(NodeId node, GAddr page, NodeId from,
+                          TaskId requester_task) {
   (void)requester_task;
   net::RevokePayload payload{config_.process_id, page, /*downgrade=*/0};
   Message msg;
@@ -865,7 +1021,7 @@ void Dsm::invalidate_copy(NodeId node, GAddr page, TaskId requester_task) {
   msg.dst = node;
   msg.set_payload(payload);
   try {
-    (void)fabric_.call(config_.origin, msg);
+    (void)fabric_.call(from, msg);
   } catch (const net::NodeDeadError&) {
     // A clean shared copy died with its node; reclaim_node sweeps the
     // sharer bit, and the caller clears the sharer set anyway.
@@ -882,10 +1038,10 @@ void Dsm::invalidate_copy(NodeId node, GAddr page, TaskId requester_task) {
 void Dsm::revoke_sharers(DirEntry& entry, GAddr page, NodeId requester,
                          TaskId task) {
   (void)task;
-  const NodeId origin = config_.origin;
+  const NodeId home = home_of(entry);
   std::vector<NodeId> targets;
   entry.sharers.for_each([&](NodeId sharer) {
-    if (sharer == requester || sharer == origin) return;
+    if (sharer == requester || sharer == home) return;
     targets.push_back(sharer);
   });
   if (targets.empty()) return;
@@ -893,7 +1049,7 @@ void Dsm::revoke_sharers(DirEntry& entry, GAddr page, NodeId requester,
     // One sharer: nothing to overlap; the single-leg helper carries the
     // same failure handling (NodeDead tolerated, RpcError fenced+counted).
     stats_.revoke_fanouts.fetch_add(1, std::memory_order_relaxed);
-    invalidate_copy(targets[0], page, task);
+    invalidate_copy(targets[0], page, home, task);
     return;
   }
 
@@ -912,7 +1068,7 @@ void Dsm::revoke_sharers(DirEntry& entry, GAddr page, NodeId requester,
   }
 
   const std::vector<net::CallOutcome> outcomes =
-      fabric_.call_many(origin, requests);
+      fabric_.call_many(home, requests);
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     switch (outcomes[i].status) {
       case net::CallOutcome::Status::kOk:
@@ -1096,12 +1252,104 @@ Message Dsm::handle_forward_recall(const Message& msg) {
   return reply;
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive home migration
+// ---------------------------------------------------------------------------
+
+void Dsm::maybe_migrate_home(DirEntry& entry, GAddr page, NodeId requester,
+                             TaskId task) {
+  if (!config_.home_migration) return;
+  const NodeId home = home_of(entry);
+  if (requester == home || requester == kInvalidNode) {
+    // The home's own faults are already local (free); a run that survives
+    // them would oscillate the entry between two active nodes, paying a
+    // hand-off each swing for no locality gain. Reset instead.
+    entry.hot_node = kInvalidNode;
+    entry.hot_run = 0;
+    return;
+  }
+  if (entry.hot_node == requester) {
+    if (entry.hot_run < std::numeric_limits<std::uint16_t>::max()) {
+      ++entry.hot_run;
+    }
+  } else {
+    entry.hot_node = requester;
+    entry.hot_run = 1;
+  }
+  if (entry.hot_run < static_cast<std::uint16_t>(
+                          std::max(1, config_.home_migrate_run))) {
+    return;
+  }
+
+  // The requester dominates this page's faults: hand the entry off. The
+  // entry mutex stays held across the RPC (exactly like a recall), so the
+  // hand-off is atomic with respect to the protocol — in-flight requests
+  // serialize behind it and then see the new home via kWrongHome. The new
+  // home already holds a current copy: the transaction that tripped this
+  // threshold just granted it data or confirmed its version.
+  net::HomeMigratePayload payload{};
+  payload.process_id = config_.process_id;
+  payload.page = page;
+  payload.old_home = home;
+  payload.new_home = requester;
+  payload.home_epoch = entry.home_epoch + 1;
+  payload.version = entry.version;
+  Message msg;
+  msg.type = MsgType::kHomeMigrate;
+  msg.dst = requester;
+  msg.set_payload(payload);
+  try {
+    const Message reply = fabric_.call(home, msg);
+    const auto ack = reply.payload_as<net::HomeMigrateAckPayload>();
+    if (ack.accepted == 0) return;
+  } catch (const net::NodeDeadError&) {
+    return;  // candidate died: the entry stays at the old home
+  } catch (const net::RpcError&) {
+    // Hand-off lost on the wire after the retry budget: nothing moved.
+    // The entry stays at the old home — the requester keeps faulting here
+    // and the run re-arms, so a later attempt can still succeed.
+    return;
+  }
+
+  entry.home = requester;
+  ++entry.home_epoch;
+  entry.hot_node = kInvalidNode;
+  entry.hot_run = 0;
+  // The old home remembers where it sent the entry, so requests landing
+  // here out of inertia get a correct (not merely probable) redirect.
+  home_cache(home).update(page, requester, entry.home_epoch);
+  stats_.home_migrations.fetch_add(1, std::memory_order_relaxed);
+  record_fault(requester, task, page, prof::FaultKind::kHomeMigrate,
+               nullptr);
+}
+
+Message Dsm::handle_home_migrate(const Message& msg) {
+  const auto payload = msg.payload_as<net::HomeMigratePayload>();
+  DEX_CHECK(payload.process_id == config_.process_id);
+  const NodeId node = msg.dst;
+  vclock::advance(fabric_.cost().home_migrate_service_ns);
+
+  Message reply;
+  reply.type = MsgType::kHomeMigrate;
+  net::HomeMigrateAckPayload ack{};
+  // The entry mutex is held by the old home for the whole hand-off, so
+  // there is nothing to install here beyond the new home's own hint:
+  // accepting is unconditional, and re-running on a duplicate delivery
+  // converges (idempotent).
+  ack.accepted = payload.new_home == node ? 1 : 0;
+  if (ack.accepted != 0) {
+    home_cache(node).update(payload.page, node, payload.home_epoch);
+  }
+  reply.set_payload(ack);
+  return reply;
+}
+
 void Dsm::install_copy(NodeId node, GAddr page, const std::uint8_t* src,
-                       PageState state, std::uint64_t version) {
+                       PageState state, std::uint64_t version, NodeId from) {
   // Stage through a bounce buffer so the fabric's (potentially blocking)
   // sink reservation never happens under the PTE spinlock.
   std::uint8_t bounce[kPageSize];
-  fabric_.bulk_transfer(config_.origin, node, src, kPageSize, bounce);
+  fabric_.bulk_transfer(from, node, src, kPageSize, bounce);
 
   Pte& pte = page_table(node).get_or_create(page);
   pte.lock.lock();
@@ -1332,6 +1580,67 @@ void Dsm::reclaim_node(NodeId dead) {
     std::lock_guard<std::mutex> lock(entry->mu);
     if (!entry->materialized) continue;
     bool reclaimed = false;
+    if (home_of(*entry) == dead) {
+      // The dead node homed this entry: the entry itself survives (it
+      // lives in the shared directory structure), but its authority —
+      // serialization point and authoritative frame — migrates back to
+      // the origin. The epoch bump fences every hint minted for the dead
+      // home; requesters chasing one get redirected and re-learn.
+      entry->home = kInvalidNode;
+      ++entry->home_epoch;
+      entry->hot_node = kInvalidNode;
+      entry->hot_run = 0;
+      failure_stats_.homes_reclaimed.fetch_add(1, std::memory_order_relaxed);
+      stats_.homes_reclaimed.fetch_add(1, std::memory_order_relaxed);
+      reclaimed = true;
+      if (entry->exclusive_owner != dead &&
+          entry->exclusive_owner == kInvalidNode) {
+        // Shared mode under a dead home: the home's frame (the grant
+        // source) died too. Refresh the origin frame from a surviving
+        // current-version sharer if one exists; otherwise the origin's
+        // stale frame becomes authoritative and the loss is reported.
+        entry->sharers.remove(dead);
+        NodeId donor = kInvalidNode;
+        entry->sharers.for_each([&](NodeId n) {
+          if (donor != kInvalidNode || n == origin) return;
+          Pte* p = page_table(n).find(page);
+          if (p != nullptr && p->version == entry->version &&
+              p->state.load(std::memory_order_acquire) ==
+                  PageState::kShared) {
+            donor = n;
+          }
+        });
+        Pte* origin_pte = page_table(origin).find(page);
+        const bool origin_current =
+            origin_pte != nullptr && origin_pte->version == entry->version;
+        if (!origin_current && donor != kInvalidNode) {
+          Pte& src = *page_table(donor).find(page);
+          Pte& dst = page_table(origin).get_or_create(page);
+          std::uint8_t bounce[kPageSize];
+          fabric_.bulk_transfer(donor, origin, src.frame.get(), kPageSize,
+                                bounce);
+          dst.lock.lock();
+          dst.seq.fetch_add(1, std::memory_order_release);
+          std::memcpy(dst.ensure_frame(), bounce, kPageSize);
+          dst.version = entry->version;
+          dst.state.store(PageState::kShared, std::memory_order_release);
+          dst.seq.fetch_add(1, std::memory_order_release);
+          dst.lock.unlock();
+        } else if (!origin_current) {
+          failure_stats_.dirty_pages_lost.fetch_add(
+              1, std::memory_order_relaxed);
+          chaos.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
+          // Drop every surviving stale copy: versions can restart only
+          // from the (now authoritative) origin frame.
+          entry->sharers.for_each([&](NodeId n) {
+            if (n != origin) fence_copy(n, page);
+          });
+          entry->sharers.clear();
+        }
+        set_state(origin, page, PageState::kShared, entry->version);
+        entry->sharers.add(origin);
+      }
+    }
     if (entry->exclusive_owner == dead) {
       // The dirty copy died with the node: the origin's last written-back
       // frame becomes authoritative again, and the loss is reported.
@@ -1367,8 +1676,10 @@ void Dsm::reclaim_node(NodeId dead) {
   }
 
   // A healed node must not trust VMA replicas from its previous life; it
-  // re-syncs on demand like a fresh node (§III-D).
+  // re-syncs on demand like a fresh node (§III-D). Same for its home
+  // hints: they reflect a cluster the node is no longer part of.
   replica_space(dead).clear();
+  home_cache(dead).clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -1415,8 +1726,8 @@ bool Dsm::check_invariants() const {
       }
     } else {
       // Multi-reader: every sharer is at most kShared, versions current,
-      // and the origin holds a copy.
-      if (!entry.sharers.contains(self.config_.origin)) ok = false;
+      // and the home (the grant source) holds a copy.
+      if (!entry.sharers.contains(home_of(entry))) ok = false;
       entry.sharers.for_each([&](NodeId n) {
         Pte* pte = self.page_table(n).find(page);
         if (pte == nullptr) {

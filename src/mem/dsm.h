@@ -7,8 +7,10 @@
 //   - one FaultTable per node (leader-follower coalescing),
 // and implements the read-replicate / write-invalidate protocol over the
 // simulated fabric. The protocol is *home-based*: all transactions for a
-// page serialize on its directory entry at the origin; dirty data is
-// written back to the origin frame and granted from there.
+// page serialize on its directory entry at its current home (the origin by
+// default; adaptively migrated to the page's dominant faulter when
+// DsmConfig::home_migration is on); dirty data is written back to the home
+// frame and granted from there.
 //
 // Sequential consistency: a page is either writable on exactly one node or
 // read-only on many; every transition serializes on the directory entry and
@@ -27,6 +29,7 @@
 #include "common/types.h"
 #include "mem/directory.h"
 #include "mem/fault_table.h"
+#include "mem/home_cache.h"
 #include "mem/page_table.h"
 #include "mem/prefetch.h"
 #include "mem/vma.h"
@@ -87,7 +90,22 @@ struct DsmConfig {
   /// Number of hash shards the ownership directory's radix tree is split
   /// into. 1 collapses to the original single-tree/single-mutex layout.
   int dir_shards = Directory::kDirShards;
+  /// Adaptive home migration: a page's directory entry (and authoritative
+  /// frame) moves to the node that dominates its faults, turning
+  /// single-node-private hot pages into purely local faults. Off reproduces
+  /// the fixed-home (origin) protocol bit-for-bit.
+  bool home_migration = true;
+  /// Consecutive faults one node must take on a page — with no intervening
+  /// fault from any other node — before the home hands the entry off.
+  /// The home's own local faults reset the run (they are already free, and
+  /// counting them would make two-party ping-pong oscillate the home).
+  int home_migrate_run = 3;
 };
+
+/// Bounce budget for chasing stale home hints: after this many kWrongHome
+/// redirects a fault falls back to the origin, which always knows the
+/// current home (its redirect is authoritative).
+inline constexpr int kMaxHomeChase = 4;
 
 /// Per-process accounting of node-failure damage and recovery work. Dirty
 /// pages whose only up-to-date copy died with a node are *lost* — the
@@ -98,6 +116,9 @@ struct FailureStats {
   std::atomic<std::uint64_t> pages_reclaimed{0};
   std::atomic<std::uint64_t> dirty_pages_lost{0};
   std::atomic<std::uint64_t> threads_lost{0};
+  /// Directory entries a dead node was homing; migrated back to the origin
+  /// by reclaim_node.
+  std::atomic<std::uint64_t> homes_reclaimed{0};
 };
 
 struct DsmStats {
@@ -131,6 +152,23 @@ struct DsmStats {
   /// exhausted); the owner fell back to a full on-path writeback and the
   /// origin granted from its frame, classic-style.
   std::atomic<std::uint64_t> forward_fallbacks{0};
+  // ---- Adaptive home migration ----
+  /// kHomeMigrate hand-offs that completed (the entry changed home).
+  std::atomic<std::uint64_t> home_migrations{0};
+  /// Remote leader faults whose first request landed at the current home
+  /// (no kWrongHome bounce) — the hint cache, or the origin default, was
+  /// right. Steady-state hit ratio is home_hint_hits / remote_faults.
+  std::atomic<std::uint64_t> home_hint_hits{0};
+  /// Leader faults that needed at least one kWrongHome bounce.
+  std::atomic<std::uint64_t> home_chases{0};
+  /// Total kWrongHome redirect replies consumed by requesters.
+  std::atomic<std::uint64_t> wrong_home_bounces{0};
+  /// Entries a dead node homed, migrated back to the origin (mirrors
+  /// FailureStats::homes_reclaimed for protocol-side visibility).
+  std::atomic<std::uint64_t> homes_reclaimed{0};
+  /// Granted (non-retry) page transactions by serving home node — the
+  /// per-home fault distribution the analysis report surfaces.
+  std::array<std::atomic<std::uint64_t>, kMaxNodes> faults_by_home{};
   LatencyHistogram fault_latency;
 
   std::uint64_t total_faults() const {
@@ -191,6 +229,12 @@ class Dsm {
     return *fault_tables_[static_cast<std::size_t>(node)];
   }
   Directory& directory() { return directory_; }
+  HomeHintCache& home_cache(NodeId node) {
+    return *home_caches_[static_cast<std::size_t>(node)];
+  }
+  /// Current home of a page's directory entry (the origin until the entry
+  /// exists or migrates). Used by data-placement probes and tests.
+  NodeId home_of_page(GAddr page);
   DsmStats& stats() { return stats_; }
   FailureStats& failure_stats() { return failure_stats_; }
   prof::FaultTrace* trace() { return trace_; }
@@ -216,6 +260,11 @@ class Dsm {
   /// origin's frame must be refreshed (shared downgrades). A failed push
   /// degrades to a classic full writeback in the (then on-path) reply.
   net::Message handle_forward_recall(const net::Message& msg);
+  /// New-home side of a directory-entry hand-off. The old home keeps the
+  /// entry locked for the whole exchange, so this only charges the install
+  /// cost and seeds the local home hint; re-execution on a duplicate
+  /// delivery converges (idempotent).
+  net::Message handle_home_migrate(const net::Message& msg);
   net::Message handle_vma_request(const net::Message& msg);
   net::Message handle_vma_update(const net::Message& msg);
 
@@ -256,7 +305,7 @@ class Dsm {
     kOwnerLost,  // owner dead/unreachable: origin frame authoritative again
   };
 
-  /// The home transaction: runs at the origin with `entry` (the page's
+  /// The home transaction: runs at the page's serving home with `entry` (the page's
   /// directory entry, pre-looked-up by the handler so the shard lock is
   /// taken exactly once per transaction) locked by the caller.
   TransactOutcome transact(NodeId requester, TaskId task, GAddr page,
@@ -268,7 +317,7 @@ class Dsm {
   void materialize_entry(DirEntry& entry, GAddr page);
 
   /// Pulls the current data out of `owner` (downgrading to shared or
-  /// invalidating). Classic path installs it in the origin frame; with
+  /// invalidating). Classic path installs it in the home frame; with
   /// forward_grants on and a usable `requester`, the owner instead pushes
   /// it straight to the requester (grant stamped with `grant_version`) and
   /// the off-path ack cost is reported via `offpath_ns`. Pass
@@ -279,9 +328,11 @@ class Dsm {
                                  VirtNs* offpath_ns);
 
   /// Invalidates `node`'s copy (no writeback — shared copies are clean).
-  void invalidate_copy(NodeId node, GAddr page, TaskId requester_task);
+  /// The revoke RPC originates at `from` (the serving home).
+  void invalidate_copy(NodeId node, GAddr page, NodeId from,
+                       TaskId requester_task);
 
-  /// Revokes every shared copy except the requester's and the origin's in
+  /// Revokes every shared copy except the requester's and the home's in
   /// one overlapped fan-out (Fabric::call_many). A leg that fails after the
   /// retry budget is treated as a dead-sharer reclaim: the copy is fenced
   /// locally and counted in DsmStats::revoke_failures, so the caller can
@@ -294,13 +345,27 @@ class Dsm {
   /// nodes, so a revoke RPC failure cannot leave a readable stale copy.
   void fence_copy(NodeId node, GAddr page);
 
-  /// Installs `src` (origin frame) into `node`'s frame with `state`.
+  /// Installs `src` (the serving home's frame, shipped from `from`) into
+  /// `node`'s frame with `state`.
   void install_copy(NodeId node, GAddr page, const std::uint8_t* src,
-                    PageState state, std::uint64_t version);
+                    PageState state, std::uint64_t version, NodeId from);
 
   /// Sets the local PTE of `node` to `state` under lock (no data change).
   void set_state(NodeId node, GAddr page, PageState state,
                  std::uint64_t version);
+
+  /// Resolves the entry's home: kInvalidNode (the default) means origin.
+  NodeId home_of(const DirEntry& entry) const {
+    return entry.home == kInvalidNode ? config_.origin : entry.home;
+  }
+
+  /// Fault-locality bookkeeping + the hand-off itself. Called by the
+  /// serving home after a successful (non-retry) transaction, with the
+  /// entry still locked. When `requester` reaches the configured
+  /// consecutive-fault run, the home offers the entry via kHomeMigrate;
+  /// on RPC failure the entry simply stays where it is.
+  void maybe_migrate_home(DirEntry& entry, GAddr page, NodeId requester,
+                          TaskId task);
 
   /// Fault-time VMA legitimacy check with on-demand synchronization.
   Vma check_vma(NodeId node, GAddr addr, Access access);
@@ -321,6 +386,9 @@ class Dsm {
   std::vector<std::unique_ptr<PageTable>> tables_;
   std::vector<std::unique_ptr<FaultTable>> fault_tables_;
   StridePrefetcher prefetcher_;
+  /// One hint cache per node: each node's local guess at where pages'
+  /// directory entries live (see mem/home_cache.h).
+  std::vector<std::unique_ptr<HomeHintCache>> home_caches_;
   Directory directory_;
   DsmStats stats_;
   FailureStats failure_stats_;

@@ -1,0 +1,124 @@
+// Per-node home-hint cache (adaptive home migration).
+//
+// Once directory entries can migrate away from the origin, a faulting node
+// needs a guess for where a page's entry currently lives. This cache is
+// that guess: a small direct-mapped array of {page -> (home, epoch)}
+// hints, deliberately shaped like a TLB rather than a coherent table —
+// hints are never invalidated remotely, they simply go stale and get
+// corrected by a `kWrongHome` redirect or the next grant.
+//
+// The epoch is the entry's `home_epoch` at the time the hint was minted.
+// An update only overwrites a hint for the same page when it carries an
+// equal-or-newer epoch, so a delayed redirect from before a migration can
+// never clobber fresher information (the "version fence" of the design).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dex::mem {
+
+class HomeHintCache {
+ public:
+  struct Hint {
+    NodeId home = kInvalidNode;
+    std::uint64_t epoch = 0;
+    bool valid = false;
+  };
+
+  explicit HomeHintCache(std::size_t slots = kDefaultSlots)
+      : slots_(slots == 0 ? 1 : slots) {}
+
+  /// Best guess for `page`'s home, or an invalid hint (caller should fall
+  /// back to the origin, which always knows).
+  Hint lookup(GAddr page) const {
+    const Slot& slot = slot_of(page);
+    std::lock_guard<SpinLock> guard(slot.lock);
+    Hint hint;
+    if (slot.valid && slot.page == page_base(page)) {
+      hint.home = slot.home;
+      hint.epoch = slot.epoch;
+      hint.valid = true;
+    }
+    return hint;
+  }
+
+  /// Record that `page`'s entry lives at `home` as of `epoch`. A hint for
+  /// the same page is only replaced by an equal-or-newer epoch; a hint for
+  /// a different page that collides on the slot is always evicted.
+  void update(GAddr page, NodeId home, std::uint64_t epoch) {
+    Slot& slot = slot_of(page);
+    std::lock_guard<SpinLock> guard(slot.lock);
+    const GAddr base = page_base(page);
+    if (slot.valid && slot.page == base && slot.epoch > epoch) return;
+    slot.page = base;
+    slot.home = home;
+    slot.epoch = epoch;
+    slot.valid = true;
+  }
+
+  /// Drop hints for pages in [start, end) — wired from munmap, where the
+  /// entries themselves are destroyed and epochs restart from zero.
+  void invalidate_range(GAddr start, GAddr end) {
+    const GAddr lo = page_base(start);
+    for (Slot& slot : slots_) {
+      std::lock_guard<SpinLock> guard(slot.lock);
+      if (slot.valid && slot.page >= lo && slot.page < end) {
+        slot.valid = false;
+      }
+    }
+  }
+
+  /// Full reset — used when a node is declared dead so a healed instance
+  /// restarts with no stale view of the homes.
+  void clear() {
+    for (Slot& slot : slots_) {
+      std::lock_guard<SpinLock> guard(slot.lock);
+      slot.valid = false;
+    }
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  static constexpr std::size_t kDefaultSlots = 1024;
+
+  struct SpinLock {
+    void lock() {
+      while (flag.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    void unlock() { flag.clear(std::memory_order_release); }
+    std::atomic_flag flag = ATOMIC_FLAG_INIT;
+  };
+
+  struct Slot {
+    mutable SpinLock lock;
+    GAddr page = 0;
+    NodeId home = kInvalidNode;
+    std::uint64_t epoch = 0;
+    bool valid = false;
+  };
+
+  Slot& slot_of(GAddr page) { return slots_[index_of(page)]; }
+  const Slot& slot_of(GAddr page) const { return slots_[index_of(page)]; }
+
+  std::size_t index_of(GAddr page) const {
+    // splitmix64 finalizer over the page index, like the directory shards.
+    std::uint64_t h = page_index(page);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return h % slots_.size();
+  }
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace dex::mem

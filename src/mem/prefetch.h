@@ -48,6 +48,26 @@ class StridePrefetcher {
     return extras;
   }
 
+  /// Forgets every stream whose next expected page falls in [start, end).
+  /// Wired from Dsm::munmap: stride state learned on a region must not
+  /// survive its unmapping, or a future mapping of the same addresses
+  /// starts life with a hot run and fires a bogus batch request on its
+  /// very first fault.
+  void reset(GAddr start, GAddr end) {
+    for (Shard& shard : shards_) {
+      shard.lock.lock();
+      for (auto it = shard.streams.begin(); it != shard.streams.end();) {
+        if (it->second.next_expected >= start &&
+            it->second.next_expected < end) {
+          it = shard.streams.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      shard.lock.unlock();
+    }
+  }
+
  private:
   struct Stream {
     GAddr next_expected = 0;

@@ -71,6 +71,12 @@ struct CostModel {
   VirtNs forward_install_ns = 400;
   /// Follower cost: sleep on the leader + resume with the updated PTE.
   VirtNs follower_wakeup_ns = 1800;
+  /// New-home side of a kHomeMigrate hand-off: accepting the directory
+  /// entry and seeding the local home hint (wire cost separate).
+  VirtNs home_migrate_service_ns = 900;
+  /// A node consulting its directory/hint state only to discover it does
+  /// not home the page (the kWrongHome redirect's handler-side cost).
+  VirtNs wrong_home_service_ns = 400;
   /// Backoff before retrying a fault that lost a race on a busy directory
   /// entry. The paper observes contended faults averaging ~158.8 us vs
   /// ~19.3 us uncontended; retries dominate that tail.

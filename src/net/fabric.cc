@@ -38,6 +38,7 @@ const char* to_string(MsgType type) {
     case MsgType::kPageGrantBatch: return "page_grant_batch";
     case MsgType::kForwardRecall: return "forward_recall";
     case MsgType::kForwardGrant: return "forward_grant";
+    case MsgType::kHomeMigrate: return "home_migrate";
     case MsgType::kVmaInfoRequest: return "vma_info_request";
     case MsgType::kVmaInfoReply: return "vma_info_reply";
     case MsgType::kVmaUpdate: return "vma_update";

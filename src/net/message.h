@@ -28,6 +28,7 @@ enum class MsgType : std::uint16_t {
   kPageGrantBatch,    // origin -> remote: per-page grants + one bulk transfer
   kForwardRecall,     // origin -> owner: recall + forward grant to requester
   kForwardGrant,      // owner -> requester: direct page push (RDMA sink)
+  kHomeMigrate,       // old home -> new home: directory-entry hand-off
 
   // --- VMA synchronization (§III-D) ---
   kVmaInfoRequest,  // remote -> origin: on-demand VMA lookup
@@ -177,6 +178,7 @@ enum class GrantKind : std::uint8_t {
   kDataAndOwnership = 0,  // page data follows via the RDMA sink
   kOwnershipOnly = 1,     // requester's copy is up to date (§III-B)
   kRetry = 2,             // directory entry busy; back off and refault
+  kWrongHome = 3,         // this node does not home the page; chase `home`
 };
 
 struct PageGrantPayload {
@@ -184,6 +186,14 @@ struct PageGrantPayload {
   std::uint8_t padding[7];
   std::uint64_t version;
   VirtNs last_writer_ts;  // happens-before edge from the previous writer
+  /// Where the page's directory entry lives as of this reply, plus the
+  /// entry's home epoch. On a grant this confirms the serving home; on a
+  /// kWrongHome redirect it is the replier's best guess at the real home
+  /// (authoritative when the replier is the origin). Requesters feed it
+  /// into their HomeHintCache.
+  NodeId home;
+  std::uint8_t pad2[4];
+  std::uint64_t home_epoch;
 };
 
 /// Upper bound on pages per kPageRequestBatch transaction. Keeps the
@@ -215,6 +225,12 @@ struct PageBatchGrantPayload {
   std::uint32_t granted_mask;
   std::uint64_t versions[kMaxBatchPages];
   VirtNs last_writer_ts;
+  /// Home of the primary page as of this reply (see PageGrantPayload).
+  /// Extra pages homed elsewhere are simply skipped by the serving node
+  /// (holes in granted_mask), so one home per batch suffices.
+  NodeId home;
+  std::uint8_t pad2[4];
+  std::uint64_t home_epoch;
 };
 
 /// kForwardRecall: like RevokePayload, but names the requester so the owner
@@ -238,6 +254,25 @@ struct ForwardRecallAck {
   std::uint8_t forwarded;   // 1: kForwardGrant push reached the requester
   std::uint8_t wrote_back;  // 1: kPageSize of page data follows this struct
   std::uint8_t pad[6];
+};
+
+/// kHomeMigrate: the current home offers the directory entry to the node
+/// that has been dominating the page's faults. The entry's mutex stays held
+/// at the old home for the whole hand-off, so the entry state named here is
+/// final; the new home only has to accept (charge the install cost and seed
+/// its own hint). If the RPC fails the old home simply keeps the entry —
+/// there is no state at the new home to roll back, hence no split brain.
+struct HomeMigratePayload {
+  std::uint64_t process_id;
+  GAddr page;
+  NodeId old_home;
+  NodeId new_home;
+  std::uint64_t home_epoch;  // epoch the entry will carry after the move
+  std::uint64_t version;     // entry version at hand-off (diagnostics)
+};
+
+struct HomeMigrateAckPayload {
+  std::uint8_t accepted;
 };
 
 struct RevokePayload {

@@ -51,6 +51,12 @@ TraceAnalysis::TraceAnalysis(std::vector<FaultEvent> events)
         ++pr.forwards;
         ++sr.forwards;
         break;
+      case FaultKind::kHomeMigrate:
+        // The triggering fault is recorded separately; this tag marks
+        // that the directory entry moved to the dominant faulter.
+        ++pr.home_migrations;
+        ++sr.home_migrations;
+        break;
     }
     if (e.node != kInvalidNode) pr.nodes.insert(e.node);
     if (e.task >= 0) pr.tasks.insert(e.task);
@@ -154,6 +160,22 @@ std::string TraceAnalysis::format_report(std::size_t limit) const {
   os << "\n-- faults per object (VMA tag) --\n";
   for (const auto& [tag, count] : per_tag()) {
     os << "  " << tag << ": " << count << "\n";
+  }
+
+  if (have_counters_) {
+    os << "\n-- protocol counters --\n";
+    os << "  directory shard-lock collisions: "
+       << counters_.dir_lock_contention << "\n";
+    os << "  home migrations: " << counters_.home_migrations
+       << ", hint hits: " << counters_.home_hint_hits << "/"
+       << counters_.remote_faults << " remote faults, chases: "
+       << counters_.home_chases << "\n";
+    os << "  fault distribution by serving home:";
+    for (std::size_t n = 0; n < counters_.faults_by_home.size(); ++n) {
+      if (counters_.faults_by_home[n] == 0) continue;
+      os << " n" << n << "=" << counters_.faults_by_home[n];
+    }
+    os << "\n";
   }
   return os.str();
 }

@@ -30,6 +30,7 @@ struct SiteReport {
   std::uint64_t failures = 0;  // reclaim / node-death events
   std::uint64_t prefetches = 0;
   std::uint64_t forwards = 0;  // grants forwarded owner->requester
+  std::uint64_t home_migrations = 0;  // entry handed to the dominant faulter
   std::uint64_t total() const { return reads + writes + retries; }
 };
 
@@ -43,6 +44,7 @@ struct PageReport {
   std::uint64_t failures = 0;  // reclaim / node-death events
   std::uint64_t prefetches = 0;
   std::uint64_t forwards = 0;  // grants forwarded owner->requester
+  std::uint64_t home_migrations = 0;  // entry handed to the dominant faulter
   std::set<NodeId> nodes;
   std::set<std::uint32_t> sites;
   std::set<TaskId> tasks;
@@ -54,9 +56,32 @@ struct PageReport {
   bool conflicting() const { return nodes.size() > 1 && writes > 0; }
 };
 
+/// Protocol-wide counters that live outside the fault trace (DsmStats /
+/// Directory), attachable to an analysis so the report shows how the
+/// serialization layer behaved alongside the per-page fault profile.
+struct ProtocolCounters {
+  /// Times a thread found its directory shard's tree lock already held
+  /// (Directory::lock_contention); sharding should keep this near zero.
+  std::uint64_t dir_lock_contention = 0;
+  std::uint64_t remote_faults = 0;
+  std::uint64_t home_migrations = 0;
+  std::uint64_t home_hint_hits = 0;
+  std::uint64_t home_chases = 0;
+  /// Granted page transactions by serving home node, indexed by NodeId.
+  std::vector<std::uint64_t> faults_by_home;
+};
+
 class TraceAnalysis {
  public:
   explicit TraceAnalysis(std::vector<FaultEvent> events);
+
+  /// Attaches protocol counters; format_report then appends a
+  /// serialization-layer section (shard-lock contention, home migration
+  /// effectiveness, per-home fault distribution).
+  void set_protocol_counters(ProtocolCounters counters) {
+    counters_ = std::move(counters);
+    have_counters_ = true;
+  }
 
   /// Source locations causing the most protocol faults, descending.
   std::vector<SiteReport> top_sites(std::size_t limit = 10) const;
@@ -90,6 +115,8 @@ class TraceAnalysis {
   std::map<GAddr, PageReport> pages_;
   std::map<std::uint32_t, SiteReport> sites_;
   std::uint64_t retries_ = 0;
+  ProtocolCounters counters_;
+  bool have_counters_ = false;
 };
 
 }  // namespace dex::prof

@@ -14,6 +14,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kNodeDead: return "node_dead";
     case FaultKind::kPrefetch: return "prefetch";
     case FaultKind::kForward: return "forward";
+    case FaultKind::kHomeMigrate: return "home_migrate";
   }
   return "?";
 }

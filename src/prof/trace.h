@@ -29,6 +29,7 @@ enum class FaultKind : std::uint8_t {
   kNodeDead = 5,    // thread observed a NodeDeadError and was lost
   kPrefetch = 6,    // page installed ahead of demand by the stride prefetcher
   kForward = 7,     // grant forwarded owner->requester past the origin
+  kHomeMigrate = 8, // directory entry handed off to the dominant faulter
 };
 
 const char* to_string(FaultKind kind);

@@ -543,6 +543,116 @@ TEST_F(ChaosClusterTest, MigrateToDeadNodeFailsThenHealRecovers) {
   EXPECT_TRUE(process_->dsm().check_invariants());
 }
 
+/// Checkpoint-style churn on `arr`'s first page: the origin repeatedly
+/// snapshots it read-only and restores write access while `faulter`
+/// rewrites it — the consecutive-fault pattern that migrates the page's
+/// home to `faulter` (see mem/dsm.cc, maybe_migrate_home).
+void churn_first_page(Process& process, GArray<std::uint64_t>& arr,
+                      int rounds, NodeId faulter) {
+  DexThread worker = process.spawn([&, rounds, faulter] {
+    migrate(faulter);
+    for (int r = 1; r <= rounds; ++r) {
+      process.mprotect(arr.addr(0), kPageSize, mem::kProtRead);
+      process.mprotect(arr.addr(0), kPageSize, mem::kProtReadWrite);
+      arr.set(0, static_cast<std::uint64_t>(r));
+    }
+    migrate_back();
+  });
+  worker.join();
+  EXPECT_FALSE(worker.failed());
+}
+
+TEST_F(ChaosClusterTest, DroppedHomeMigrateLeavesEntryAtTheOldHome) {
+  Watchdog dog(60);
+  GArray<std::uint64_t> arr(*process_, 512, "handoff-chaos");
+  arr.set(0, 0);
+
+  // Every kHomeMigrate hand-off dies on the wire past the retry budget.
+  // The migration must abort cleanly each time it re-arms: the entry
+  // stays at the origin and the protocol keeps running there.
+  FaultPolicy policy;
+  policy.seed = 17;
+  FaultRule rule;
+  rule.type = MsgType::kHomeMigrate;
+  rule.drop_prob = 1.0;
+  policy.rules.push_back(rule);
+  cluster_->fabric().injector().configure(policy);
+
+  churn_first_page(*process_, arr, /*rounds=*/5, /*faulter=*/1);
+
+  auto& stats = process_->dsm().stats();
+  EXPECT_EQ(stats.home_migrations.load(), 0u);
+  EXPECT_EQ(process_->dsm().home_of_page(arr.addr(0)), 0);
+  EXPECT_GT(cluster_->fabric().injector().drops(), 0u);
+  EXPECT_EQ(arr.get(0), 5u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+TEST_F(ChaosClusterTest, DeadHomeIsReclaimedByTheOrigin) {
+  Watchdog dog(60);
+  GArray<std::uint64_t> arr(*process_, 512, "dead-home");
+  arr.set(0, 0);
+  churn_first_page(*process_, arr, /*rounds=*/4, /*faulter=*/2);
+  ASSERT_EQ(process_->dsm().home_of_page(arr.addr(0)), 2);
+
+  // Node 2 dies homing the entry and owning the page dirty. The entry's
+  // authority falls back to the origin (epoch-fencing every hint minted
+  // for node 2) and the dirty copy is reported lost; the origin frame —
+  // last refreshed by round 3's snapshot, value 2 — is authoritative.
+  cluster_->fail_node(2);
+  auto& failure = process_->dsm().failure_stats();
+  auto& stats = process_->dsm().stats();
+  EXPECT_GE(failure.homes_reclaimed.load(), 1u);
+  EXPECT_GE(stats.homes_reclaimed.load(), 1u);
+  EXPECT_GE(failure.dirty_pages_lost.load(), 1u);
+  EXPECT_EQ(process_->dsm().home_of_page(arr.addr(0)), 0);
+  EXPECT_EQ(arr.get(0), 2u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+
+  // The reclaimed entry serializes new transactions at the origin again.
+  DexThread writer = process_->spawn([&] {
+    migrate(1);
+    arr.set(0, 99);
+    migrate_back();
+  });
+  writer.join();
+  EXPECT_FALSE(writer.failed());
+  EXPECT_EQ(arr.get(0), 99u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+TEST_F(ChaosClusterTest, HintChaseExhaustionFallsBackToTheOrigin) {
+  Watchdog dog(60);
+  GArray<std::uint64_t> arr(*process_, 512, "chase");
+  arr.set(0, 123);
+  const GAddr page = arr.addr(0);
+
+  // Poison the hint caches into a cycle that never reaches the real home
+  // (the origin): node 2 believes node 1 homes the page, nodes 1 and 3
+  // point at each other. The chase must consume exactly kMaxHomeChase
+  // non-authoritative bounces, then give up on hints and ask the origin.
+  auto& dsm = process_->dsm();
+  dsm.home_cache(2).update(page, 1, 0);
+  dsm.home_cache(1).update(page, 3, 0);
+  dsm.home_cache(3).update(page, 1, 0);
+
+  DexThread reader = process_->spawn([&] {
+    migrate(2);
+    EXPECT_EQ(arr.get(0), 123u);
+    migrate_back();
+  });
+  reader.join();
+  EXPECT_FALSE(reader.failed());
+
+  auto& stats = dsm.stats();
+  EXPECT_EQ(stats.wrong_home_bounces.load(),
+            static_cast<std::uint64_t>(mem::kMaxHomeChase));
+  EXPECT_EQ(stats.home_chases.load(), 1u);
+  // The authoritative grant corrected the poisoned hint.
+  EXPECT_EQ(dsm.home_cache(2).lookup(page).home, 0);
+  EXPECT_TRUE(dsm.check_invariants());
+}
+
 TEST_F(ChaosClusterTest, FanoutRevocationSurvivesDroppedLeg) {
   Watchdog dog(60);
   GArray<std::uint64_t> arr(*process_, 512, "fanout-chaos");

@@ -1,0 +1,240 @@
+// Adaptive home-migration tests: a page's directory entry follows its
+// dominant faulter (checkpoint-style mprotect churn keeps re-faulting one
+// node until the consecutive-run threshold trips), hint-directed requests
+// then resolve at the new home without touching the origin, stale hints
+// bounce via authoritative kWrongHome redirects, and the ablation knob
+// restores the fixed-origin protocol with zero migration traffic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "core/api.h"
+#include "mem/directory.h"
+#include "prof/trace.h"
+
+namespace dex {
+namespace {
+
+using net::MsgType;
+
+constexpr std::size_t kWordsPerPage = kPageSize / sizeof(std::uint64_t);
+
+/// (version, exclusive_owner, materialized) per page. Migration moves the
+/// serialization point, never the data path outcome: twin runs agree.
+using DirSnapshot =
+    std::map<std::uint64_t, std::tuple<std::uint64_t, NodeId, bool>>;
+
+DirSnapshot snapshot_directory(Process& process) {
+  DirSnapshot snap;
+  process.dsm().directory().for_each(
+      [&](std::uint64_t page_idx, mem::DirEntry& entry) {
+        snap[page_idx] = {entry.version, entry.exclusive_owner,
+                          entry.materialized};
+      });
+  return snap;
+}
+
+class HomeMigrationTest : public ::testing::Test {
+ protected:
+  void start(int num_nodes, bool home_migration, int run = 3) {
+    process_.reset();
+    cluster_.reset();
+    ClusterConfig config;
+    config.num_nodes = num_nodes;
+    cluster_ = std::make_unique<Cluster>(config);
+    ProcessOptions options;
+    options.home_migration = home_migration;
+    options.home_migrate_run = run;
+    options.prefetch_max_pages = 0;  // deterministic one-fault-per-page
+    process_ = cluster_->create_process(options);
+  }
+
+  /// The checkpoint pattern home migration exists for: the origin keeps
+  /// downgrading the range to read-only (snapshotting it) and restoring
+  /// write access, while one remote node `faulter` rewrites every page.
+  /// Each round re-faults every page at the directory with `faulter` as
+  /// the only requester, so the consecutive-run counter climbs and the
+  /// entries hand themselves off.
+  void churn(GArray<std::uint64_t>& arr, std::size_t pages, int rounds,
+             NodeId faulter) {
+    DexThread worker = process_->spawn([&, pages, rounds, faulter] {
+      migrate(faulter);
+      for (int r = 1; r <= rounds; ++r) {
+        process_->mprotect(arr.addr(0), pages * kPageSize, mem::kProtRead);
+        process_->mprotect(arr.addr(0), pages * kPageSize,
+                           mem::kProtReadWrite);
+        for (std::size_t p = 0; p < pages; ++p) {
+          arr.set(p * kWordsPerPage, static_cast<std::uint64_t>(r) * 100 + p);
+        }
+      }
+      migrate_back();
+    });
+    worker.join();
+    EXPECT_FALSE(worker.failed());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Process> process_;
+};
+
+TEST_F(HomeMigrationTest, DominantFaulterTakesTheHome) {
+  start(/*num_nodes=*/2, /*home_migration=*/true);
+  process_->trace().enable();
+  GArray<std::uint64_t> arr(*process_, kWordsPerPage, "hot");
+  arr.set(0, 0);
+  ASSERT_EQ(process_->dsm().home_of_page(arr.addr(0)), 0);
+
+  churn(arr, /*pages=*/1, /*rounds=*/5, /*faulter=*/1);
+
+  auto& stats = process_->dsm().stats();
+  EXPECT_EQ(process_->dsm().home_of_page(arr.addr(0)), 1);
+  EXPECT_EQ(stats.home_migrations.load(), 1u);
+  EXPECT_GE(cluster_->fabric().messages_of(MsgType::kHomeMigrate), 1u);
+  EXPECT_EQ(arr.get(0), 500u);
+  bool traced = false;
+  for (const auto& e : process_->trace().snapshot()) {
+    if (e.kind == prof::FaultKind::kHomeMigrate) traced = true;
+  }
+  EXPECT_TRUE(traced);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+// The acceptance criterion: once the entries live at the faulter, its
+// faults are intra-node transactions (no wire on the critical path) — mean
+// fault latency must drop >= 2x vs the fixed-origin run of the identical
+// workload, with hints steering >= 90% of remote faults straight to the
+// serving home.
+TEST_F(HomeMigrationTest, MigratedHomeCutsSteadyStateFaultLatency) {
+  constexpr std::size_t kPages = 8;
+  constexpr int kRounds = 30;
+  double mean_ns[2] = {0, 0};
+  for (int on = 0; on <= 1; ++on) {
+    start(/*num_nodes=*/2, /*home_migration=*/on != 0);
+    GArray<std::uint64_t> arr(*process_, kPages * kWordsPerPage, "steady");
+    for (std::size_t p = 0; p < kPages; ++p) arr.set(p * kWordsPerPage, p);
+
+    churn(arr, kPages, kRounds, /*faulter=*/1);
+
+    auto& stats = process_->dsm().stats();
+    mean_ns[on] = stats.fault_latency.mean();
+    if (on != 0) {
+      EXPECT_EQ(stats.home_migrations.load(), kPages);
+      EXPECT_EQ(stats.home_chases.load(), 0u);
+      const double hits = static_cast<double>(stats.home_hint_hits.load());
+      const double remote = static_cast<double>(stats.remote_faults.load());
+      ASSERT_GT(remote, 0.0);
+      EXPECT_GE(hits / remote, 0.9);
+    } else {
+      EXPECT_EQ(stats.home_migrations.load(), 0u);
+    }
+    EXPECT_TRUE(process_->dsm().check_invariants());
+  }
+  ASSERT_GT(mean_ns[1], 0.0);
+  const double speedup = mean_ns[0] / mean_ns[1];
+  EXPECT_GE(speedup, 2.0) << "fixed-origin mean " << mean_ns[0]
+                          << " ns vs migrated mean " << mean_ns[1] << " ns";
+}
+
+TEST_F(HomeMigrationTest, AblationOffPinsEveryEntryAtTheOrigin) {
+  // Twin runs of the same deterministic workload. The off-run must be the
+  // fixed-origin protocol to the message: zero kHomeMigrate traffic, zero
+  // redirect/hand-off counters, every entry homed at the origin. And since
+  // migration moves only the serialization point, both runs converge to
+  // the identical data and (version, owner) directory state.
+  constexpr std::size_t kPages = 4;
+  constexpr int kRounds = 6;
+  DirSnapshot snaps[2];
+  std::uint64_t faults[2] = {0, 0};
+  for (int on = 0; on <= 1; ++on) {
+    start(/*num_nodes=*/2, /*home_migration=*/on != 0);
+    GArray<std::uint64_t> arr(*process_, kPages * kWordsPerPage, "ablation");
+    for (std::size_t p = 0; p < kPages; ++p) arr.set(p * kWordsPerPage, p);
+    churn(arr, kPages, kRounds, /*faulter=*/1);
+    for (std::size_t p = 0; p < kPages; ++p) {
+      EXPECT_EQ(arr.get(p * kWordsPerPage),
+                static_cast<std::uint64_t>(kRounds) * 100 + p);
+    }
+    auto& stats = process_->dsm().stats();
+    faults[on] = stats.total_faults();
+    snaps[on] = snapshot_directory(*process_);
+    if (on == 0) {
+      EXPECT_EQ(cluster_->fabric().messages_of(MsgType::kHomeMigrate), 0u);
+      EXPECT_EQ(stats.home_migrations.load(), 0u);
+      EXPECT_EQ(stats.home_hint_hits.load(), 0u);
+      EXPECT_EQ(stats.home_chases.load(), 0u);
+      EXPECT_EQ(stats.wrong_home_bounces.load(), 0u);
+      process_->dsm().directory().for_each(
+          [&](std::uint64_t, mem::DirEntry& entry) {
+            EXPECT_EQ(entry.home, kInvalidNode);
+            EXPECT_EQ(entry.home_epoch, 0u);
+          });
+    }
+    EXPECT_TRUE(process_->dsm().check_invariants());
+  }
+  EXPECT_EQ(faults[0], faults[1]);
+  EXPECT_EQ(snaps[0], snaps[1]);
+}
+
+TEST_F(HomeMigrationTest, StaleRequesterIsRedirectedByTheOrigin) {
+  start(/*num_nodes=*/3, /*home_migration=*/true);
+  GArray<std::uint64_t> arr(*process_, kWordsPerPage, "redirect");
+  arr.set(0, 3);
+  churn(arr, /*pages=*/1, /*rounds=*/4, /*faulter=*/1);
+  ASSERT_EQ(process_->dsm().home_of_page(arr.addr(0)), 1);
+
+  // Node 2 knows nothing about the hand-off: its first fault defaults to
+  // the origin, which answers with an authoritative kWrongHome redirect;
+  // the retry lands at node 1 and the learned hint steers the follow-up
+  // write there directly.
+  auto& stats = process_->dsm().stats();
+  const std::uint64_t hits_before = stats.home_hint_hits.load();
+  DexThread late = process_->spawn([&] {
+    migrate(2);
+    EXPECT_EQ(arr.get(0), 400u);
+    arr.set(0, 77);
+    migrate_back();
+  });
+  late.join();
+  EXPECT_FALSE(late.failed());
+
+  EXPECT_EQ(stats.wrong_home_bounces.load(), 1u);
+  EXPECT_EQ(stats.home_chases.load(), 1u);
+  // The read bounced once; the write then hit the learned hint.
+  EXPECT_GE(stats.home_hint_hits.load(), hits_before + 1);
+  EXPECT_EQ(arr.get(0), 77u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+TEST_F(HomeMigrationTest, MunmapFencesHintsAndResetsTheHome) {
+  start(/*num_nodes=*/2, /*home_migration=*/true);
+  GArray<std::uint64_t> arr(*process_, kWordsPerPage, "unmap");
+  arr.set(0, 1);
+  churn(arr, /*pages=*/1, /*rounds=*/4, /*faulter=*/1);
+  const GAddr old_base = arr.addr(0);
+  ASSERT_EQ(process_->dsm().home_of_page(old_base), 1);
+
+  ASSERT_TRUE(process_->munmap(old_base, kPageSize));
+  // Remap the same range: the recycled entry must be back at the origin
+  // with all locality state wiped, and node 1's hint (which pointed at
+  // itself) must have been invalidated by the unmap fence.
+  const GAddr base = process_->mmap(kPageSize, mem::kProtReadWrite, "fresh",
+                                    old_base);
+  ASSERT_EQ(base, old_base);
+  EXPECT_EQ(process_->dsm().home_of_page(base), 0);
+  EXPECT_FALSE(process_->dsm().home_cache(1).lookup(base).valid);
+
+  DexThread reader = process_->spawn([&] {
+    migrate(1);
+    EXPECT_EQ(process_->load<std::uint64_t>(base), 0u);  // fresh zero page
+    migrate_back();
+  });
+  reader.join();
+  EXPECT_FALSE(reader.failed());
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+}  // namespace
+}  // namespace dex

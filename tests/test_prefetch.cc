@@ -151,5 +151,49 @@ TEST_F(PrefetchTest, DroppedBatchReplyRetriesToCompletion) {
   EXPECT_TRUE(process_->dsm().check_invariants());
 }
 
+// Regression: stride state learned on a region must die with its mapping.
+// Before Dsm::munmap was wired to StridePrefetcher::reset, a fresh mapping
+// recycling the same addresses inherited the old mapping's hot run and
+// fired a bogus batch request on its very first fault.
+TEST_F(PrefetchTest, MunmapResetsStrideStateForRecycledAddresses) {
+  start(/*num_nodes=*/2, /*prefetch_max_pages=*/8);
+  constexpr std::size_t kPages = 32;
+  GArray<std::uint64_t> arr(*process_, kPages * kWordsPerPage, "recycle");
+  seed_pages(arr, kPages);
+  const GAddr base = arr.addr(0);
+
+  auto& stats = process_->dsm().stats();
+  DexThread worker = process_->spawn([&] {
+    migrate(1);
+    // Heat the stream: faults at pages 0,1,2 establish the stride, the
+    // batches at 3 and 11 pull through page 19, and the detector is left
+    // expecting page 20 next.
+    for (std::size_t p = 0; p < 20; ++p) {
+      EXPECT_EQ(arr.get(p * kWordsPerPage), p);
+    }
+    ASSERT_GT(stats.prefetch_issued.load(), 0u);
+
+    // Recycle the whole range at the same base address.
+    ASSERT_TRUE(process_->munmap(base, kPages * kPageSize));
+    const GAddr again = process_->mmap(kPages * kPageSize,
+                                       mem::kProtReadWrite, "fresh", base);
+    ASSERT_EQ(again, base);
+
+    const std::uint64_t batches_before =
+        cluster_->fabric().messages_of(MsgType::kPageRequestBatch);
+    const std::uint64_t issued_before = stats.prefetch_issued.load();
+    // First fault on the recycled mapping, at exactly the page the stale
+    // stream pointed to: it must go out as a plain one-page request.
+    EXPECT_EQ(process_->load<std::uint64_t>(base + 20 * kPageSize), 0u);
+    EXPECT_EQ(cluster_->fabric().messages_of(MsgType::kPageRequestBatch),
+              batches_before);
+    EXPECT_EQ(stats.prefetch_issued.load(), issued_before);
+    migrate_back();
+  });
+  worker.join();
+  EXPECT_FALSE(worker.failed());
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
 }  // namespace
 }  // namespace dex

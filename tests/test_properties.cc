@@ -137,6 +137,85 @@ TEST_P(ProtocolProperty, ReplicatedReadsMatchEverywhere) {
   EXPECT_TRUE(process->dsm().check_invariants());
 }
 
+// Property: adaptive home migration is invisible to the memory image. The
+// same randomized workload — contended strided writers plus a checkpoint-
+// churned hot region that actually trips hand-offs — must end bit-identical
+// with the knob on and off, with the directory invariants holding after
+// every phase.
+TEST_P(ProtocolProperty, HomeMigrationPreservesTheMemoryImage) {
+  const Shape shape = GetParam();
+  constexpr std::size_t kSlots = 2048;       // 4 pages of strided slots
+  constexpr std::size_t kHotPages = 4;
+  constexpr std::size_t kHotWords = kHotPages * kPageSize / 8;
+  const NodeId faulter = shape.nodes > 1 ? 1 : 0;
+
+  std::vector<std::uint64_t> image[2];
+  std::uint64_t migrations[2] = {0, 0};
+  for (int on = 0; on <= 1; ++on) {
+    ClusterConfig config;
+    config.num_nodes = shape.nodes;
+    Cluster cluster(config);
+    ProcessOptions options;
+    options.coalesce_faults = shape.coalesce;
+    options.home_migration = on != 0;
+    auto process = cluster.create_process(options);
+
+    GArray<std::uint64_t> slots(*process, kSlots, "slots");
+    GArray<std::uint64_t> hot(*process, kHotWords, "hot");
+
+    for (int phase = 0; phase < 3; ++phase) {
+      std::vector<DexThread> threads;
+      for (int t = 0; t < shape.threads; ++t) {
+        threads.push_back(process->spawn([&, t, phase] {
+          Xoshiro256 rng(static_cast<std::uint64_t>(t) * 131 +
+                         static_cast<std::uint64_t>(phase) + 7);
+          migrate(static_cast<NodeId>(t % shape.nodes));
+          for (int round = 0; round < 40; ++round) {
+            const std::size_t slot =
+                static_cast<std::size_t>(t) +
+                static_cast<std::size_t>(rng.next_below(
+                    kSlots / static_cast<std::size_t>(shape.threads))) *
+                    static_cast<std::size_t>(shape.threads);
+            slots.set(slot, (static_cast<std::uint64_t>(t) << 32) |
+                                static_cast<std::uint64_t>(round));
+          }
+          migrate_back();
+        }));
+      }
+      // The hot region's single writer: checkpoint churn (snapshot the
+      // range read-only, restore, rewrite) re-faults every hot page with
+      // one dominant requester — the pattern that migrates homes.
+      threads.push_back(process->spawn([&, phase] {
+        migrate(faulter);
+        for (int r = 0; r < 4; ++r) {
+          process->mprotect(hot.addr(0), kHotPages * kPageSize,
+                            mem::kProtRead);
+          process->mprotect(hot.addr(0), kHotPages * kPageSize,
+                            mem::kProtReadWrite);
+          for (std::size_t p = 0; p < kHotPages; ++p) {
+            hot.set(p * kPageSize / 8,
+                    static_cast<std::uint64_t>(phase) * 1000 +
+                        static_cast<std::uint64_t>(r) * 10 + p);
+          }
+        }
+        migrate_back();
+      }));
+      for (auto& t : threads) t.join();
+      EXPECT_TRUE(process->dsm().check_invariants()) << "phase " << phase;
+    }
+
+    image[on].resize(kSlots + kHotWords);
+    slots.read_block(0, kSlots, image[on].data());
+    hot.read_block(0, kHotWords, image[on].data() + kSlots);
+    migrations[on] = process->dsm().stats().home_migrations.load();
+  }
+  EXPECT_EQ(image[0], image[1]);
+  EXPECT_EQ(migrations[0], 0u);
+  if (shape.nodes > 1) {
+    EXPECT_GT(migrations[1], 0u);  // the churned pages really moved home
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, ProtocolProperty,
     ::testing::Values(Shape{1, 4, true}, Shape{2, 4, true},
