@@ -41,6 +41,12 @@ int main() {
       counters.home_hint_hits = result.home_hint_hits;
       counters.home_chases = result.home_chases;
       counters.faults_by_home = result.faults_by_home;
+      counters.lease_renewals = result.lease_renewals;
+      counters.writebacks_piggybacked = result.writebacks_piggybacked;
+      counters.lease_recalls = result.lease_recalls;
+      counters.pages_recovered = result.pages_recovered;
+      counters.dirty_pages_lost = result.dirty_pages_lost;
+      counters.threads_restarted = result.threads_restarted;
       analysis.set_protocol_counters(counters);
       std::printf("%s\n", analysis.format_report(6).c_str());
     }

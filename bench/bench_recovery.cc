@@ -1,0 +1,158 @@
+// Self-healing recovery bench (DESIGN.md "Self-healing").
+//
+// Measures the two costs the robustness layer introduces and the one it
+// removes: how long the accrual detector takes to declare a silently
+// failed node dead (detection latency, in heartbeat rounds and virtual
+// time), what the recovery path salvages (journaled pages recovered vs
+// dirty pages lost, threads restarted), and the steady-state lease traffic
+// that buys the bounded dirty-loss window. Emits BENCH_recovery.json.
+#include <atomic>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/virtual_clock.h"
+#include "core/api.h"
+#include "prof/trace.h"
+
+int main() {
+  using namespace dex;
+  using namespace dex::bench;
+
+  prof::ChaosCounters::instance().reset();
+
+  core::ClusterConfig cluster_config;
+  cluster_config.num_nodes = 4;
+  // Generous retries: the writer on the victim must outlast the detection
+  // window so the membership fence (not retry exhaustion) ends its run.
+  cluster_config.retry.max_attempts = 16;
+  cluster_config.detector.enabled = true;
+  cluster_config.detector.heartbeat_interval_ns = 50'000;
+
+  core::Cluster cluster(cluster_config);
+
+  core::ProcessOptions options;
+  options.lease_ns = 20'000;
+  options.restart_lost_threads = true;
+  // Pin homes at the origin: a home that migrates onto the victim would die
+  // with it, and owner==home pages carry no lease — keep the lease story
+  // clean for the measurement.
+  options.home_migration = false;
+  auto process = cluster.create_process(options);
+
+  constexpr int kPages = 32;
+  const GAddr base =
+      process->mmap(kPages * kPageSize, mem::kProtReadWrite, "recovery");
+  for (int p = 0; p < kPages; ++p) {
+    process->store<std::uint64_t>(base + p * kPageSize, 0);
+  }
+
+  const NodeId victim = 2;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> writes{0};
+
+  // The writer dirties every page from the victim node; when the victim is
+  // fenced its next fault throws and the thread restarts at the origin,
+  // where it resumes against the journaled (lease-written-back) image.
+  auto writer = process->spawn([&] {
+    if (!cluster.node_dead(victim)) process->migrate(victim);
+    std::uint64_t value = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int p = 0; p < kPages; ++p) {
+        process->store<std::uint64_t>(base + p * kPageSize,
+                                      value + static_cast<std::uint64_t>(p));
+      }
+      ++value;
+      writes.fetch_add(kPages, std::memory_order_relaxed);
+    }
+  });
+
+  auto& stats = process->dsm().stats();
+  auto& failure = process->dsm().failure_stats();
+  auto& chaos = prof::ChaosCounters::instance();
+
+  // Warm-up: pump heartbeat rounds until the detector has inter-arrival
+  // history AND the writer has dirtied the working set from the victim and
+  // renewed leases (each renewal journals the page image at the home).
+  int warmup = 0;
+  while (writes.load(std::memory_order_relaxed) <
+             static_cast<std::uint64_t>(kPages) * 64 ||
+         stats.lease_renewals.load() == 0 || warmup < 12) {
+    cluster.run_membership_round();
+    if (++warmup > 100'000) break;
+  }
+
+  // Silent failure: the victim's links go dark but the oracle does not
+  // kill it — only heartbeat silence can reveal the failure.
+  const VirtNs isolated_at = vclock::now();
+  cluster.fabric().injector().isolate_node(victim);
+  int rounds = 1;
+  while (cluster.run_membership_round() == 0 && rounds < 64) ++rounds;
+  const VirtNs detected_at = vclock::now();
+  const VirtNs detection_ns = detected_at - isolated_at;
+
+  // Post-declaration: pump until the writer has restarted at the origin
+  // and made progress there, then drain.
+  const std::uint64_t writes_at_detect =
+      writes.load(std::memory_order_relaxed);
+  int drain = 0;
+  while (failure.threads_restarted.load() == 0 ||
+         writes.load(std::memory_order_relaxed) <= writes_at_detect) {
+    cluster.run_membership_round();
+    if (++drain > 100'000) break;
+  }
+  const VirtNs recovered_at = vclock::now();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  print_header("Self-healing recovery: silent node failure, 4 nodes");
+  std::printf("  detection: %d heartbeat rounds, %s us of silence\n", rounds,
+              us(detection_ns).c_str());
+  std::printf("  membership: epoch=%llu state(victim)=%s heartbeats=%llu\n",
+              static_cast<unsigned long long>(cluster.membership_epoch()),
+              cluster.member_state(victim) == core::MemberState::kDead
+                  ? "dead"
+                  : "NOT DEAD",
+              static_cast<unsigned long long>(chaos.heartbeats.load()));
+  std::printf(
+      "  leases: %llu renewals, %llu piggybacked writebacks, %llu recalls\n",
+      static_cast<unsigned long long>(stats.lease_renewals.load()),
+      static_cast<unsigned long long>(stats.writebacks_piggybacked.load()),
+      static_cast<unsigned long long>(stats.lease_recalls.load()));
+  std::printf(
+      "  recovery: %llu pages recovered from journal, %llu dirty lost, "
+      "%llu threads restarted\n",
+      static_cast<unsigned long long>(failure.pages_recovered.load()),
+      static_cast<unsigned long long>(failure.dirty_pages_lost.load()),
+      static_cast<unsigned long long>(failure.threads_restarted.load()));
+  std::printf("  writer: %llu total page writes, failed=%s\n",
+              static_cast<unsigned long long>(writes.load()),
+              writer.failed() ? "YES" : "no");
+
+  JsonDoc doc;
+  doc.set("config", "nodes", cluster_config.num_nodes);
+  doc.set("config", "heartbeat_interval_ns",
+          static_cast<double>(cluster_config.detector.heartbeat_interval_ns));
+  doc.set("config", "lease_ns", static_cast<double>(options.lease_ns));
+  doc.set("detection", "rounds", rounds);
+  doc.set("detection", "latency_ns", static_cast<double>(detection_ns));
+  doc.set("detection", "heartbeats",
+          static_cast<double>(chaos.heartbeats.load()));
+  doc.set("detection", "nodes_suspected",
+          static_cast<double>(chaos.nodes_suspected.load()));
+  doc.set("detection", "nodes_declared_dead",
+          static_cast<double>(chaos.nodes_declared_dead.load()));
+  doc.set("recovery", "recovery_window_ns",
+          static_cast<double>(recovered_at - detected_at));
+  doc.set("recovery", "pages_recovered",
+          static_cast<double>(failure.pages_recovered.load()));
+  doc.set("recovery", "dirty_pages_lost",
+          static_cast<double>(failure.dirty_pages_lost.load()));
+  doc.set("recovery", "threads_restarted",
+          static_cast<double>(failure.threads_restarted.load()));
+  doc.set("leases", "renewals", static_cast<double>(stats.lease_renewals));
+  doc.set("leases", "writebacks_piggybacked",
+          static_cast<double>(stats.writebacks_piggybacked));
+  doc.set("leases", "recalls", static_cast<double>(stats.lease_recalls));
+  doc.write("BENCH_recovery.json");
+  return 0;
+}

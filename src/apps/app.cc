@@ -54,6 +54,13 @@ void snapshot_stats(core::Process& process, RunResult& result) {
     result.faults_by_home[static_cast<std::size_t>(n)] =
         stats.faults_by_home[static_cast<std::size_t>(n)].load();
   }
+  result.lease_renewals = stats.lease_renewals.load();
+  result.writebacks_piggybacked = stats.writebacks_piggybacked.load();
+  result.lease_recalls = stats.lease_recalls.load();
+  auto& failure = process.dsm().failure_stats();
+  result.pages_recovered = failure.pages_recovered.load();
+  result.dirty_pages_lost = failure.dirty_pages_lost.load();
+  result.threads_restarted = failure.threads_restarted.load();
   if (process.trace().enabled()) {
     result.trace = process.trace().snapshot();
   }

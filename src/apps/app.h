@@ -51,6 +51,10 @@ struct RunConfig {
   bool forward_grants = true;
   int dir_shards = mem::Directory::kDirShards;
   bool home_migration = true;
+  /// Writeback-lease window (0 = leases off, the unleased protocol).
+  VirtNs lease_ns = 0;
+  /// Re-run threads lost to node death at the origin (self-healing).
+  bool restart_lost_threads = false;
 };
 
 struct RunResult {
@@ -71,6 +75,14 @@ struct RunResult {
   std::uint64_t home_chases = 0;
   /// Granted page transactions by serving home node, origin first.
   std::vector<std::uint64_t> faults_by_home;
+  /// Self-healing counters (zero unless leases / restarts are on and a
+  /// failure was injected).
+  std::uint64_t lease_renewals = 0;
+  std::uint64_t writebacks_piggybacked = 0;
+  std::uint64_t lease_recalls = 0;
+  std::uint64_t pages_recovered = 0;
+  std::uint64_t dirty_pages_lost = 0;
+  std::uint64_t threads_restarted = 0;
   std::vector<prof::FaultEvent> trace;  // when trace_faults was set
 };
 
@@ -110,6 +122,8 @@ class App {
     popt.forward_grants = config.forward_grants;
     popt.dir_shards = config.dir_shards;
     popt.home_migration = config.home_migration;
+    popt.lease_ns = config.lease_ns;
+    popt.restart_lost_threads = config.restart_lost_threads;
     return popt;
   }
 };

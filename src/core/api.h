@@ -34,6 +34,7 @@ using core::DexCondVar;
 using core::DexLockGuard;
 using core::DexMutex;
 using core::DexThread;
+using core::MemberState;
 using core::MigrationRecord;
 using core::parallel_for;
 using core::Process;

@@ -3,7 +3,9 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "common/virtual_clock.h"
 #include "core/process.h"
+#include "net/rpc_error.h"
 #include "prof/trace.h"
 
 namespace dex::core {
@@ -21,6 +23,10 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   options.retry = config.retry;
   options.faults = config.faults;
   fabric_ = std::make_unique<net::Fabric>(options);
+  if (config.detector.enabled) {
+    detector_ = std::make_unique<net::AccrualDetector>(
+        config.num_nodes, config.detector.heartbeat_interval_ns);
+  }
   install_handlers();
 }
 
@@ -83,6 +89,194 @@ void Cluster::heal_node(NodeId node) {
   }
   for (Process* process : survivors) process->dsm().reclaim_node(node);
   fabric_->injector().heal_node(node);
+  // Re-admit the node in the membership layer too: clear its death record,
+  // forget stale heartbeat history (old inter-arrival samples would declare
+  // it dead again immediately), and announce the rejoin.
+  std::uint64_t epoch = 0;
+  std::uint64_t mask = 0;
+  bool rejoined = false;
+  {
+    std::lock_guard<std::mutex> lock(membership_mu_);
+    member_state_[static_cast<std::size_t>(node)] = MemberState::kAlive;
+    if ((dead_mask_ >> node) & 1u) {
+      dead_mask_ &= ~(std::uint64_t{1} << node);
+      epoch = ++membership_epoch_;
+      mask = dead_mask_;
+      rejoined = true;
+    }
+  }
+  if (detector_) detector_->reset_node(node, vclock::now());
+  if (rejoined) broadcast_membership(epoch, mask);
+}
+
+// ---------------------------------------------------------------------------
+// Membership / failure detection
+// ---------------------------------------------------------------------------
+
+int Cluster::run_membership_round() {
+  if (!detector_) return 0;
+  constexpr NodeId kCoordinator = 0;
+
+  // 1. Heartbeats: every node not yet *declared* dead pings the
+  //    coordinator. Oracle-killed and isolated nodes go silent here — the
+  //    post either throws (dead source), is discarded (dead destination)
+  //    or is dropped by the injector; silence is exactly the signal the
+  //    detector scores.
+  std::uint64_t declared;
+  {
+    std::lock_guard<std::mutex> lock(membership_mu_);
+    declared = dead_mask_;
+  }
+  for (NodeId n = 1; n < config_.num_nodes; ++n) {
+    if ((declared >> n) & 1u) continue;
+    net::HeartbeatPayload payload{};
+    payload.node = n;
+    payload.sequence = ++heartbeat_seq_[static_cast<std::size_t>(n)];
+    Message msg;
+    msg.type = MsgType::kHeartbeat;
+    msg.dst = kCoordinator;
+    msg.set_payload(payload);
+    try {
+      (void)fabric_->post_datagram(n, msg);
+    } catch (const net::NodeDeadError&) {
+      // Dead source: stays silent; the detector notices below.
+    }
+  }
+
+  // 2. One heartbeat interval elapses on the pump's clock.
+  vclock::advance(config_.detector.heartbeat_interval_ns);
+  const VirtNs now = vclock::now();
+
+  // 3. Score silence and transition the membership state machine.
+  int newly_dead = 0;
+  for (NodeId n = 1; n < config_.num_nodes; ++n) {
+    const double phi = detector_->phi(n, now);
+    bool declare = false;
+    std::uint64_t epoch = 0;
+    std::uint64_t mask = 0;
+    {
+      std::lock_guard<std::mutex> lock(membership_mu_);
+      auto& state = member_state_[static_cast<std::size_t>(n)];
+      if (state == MemberState::kDead) continue;
+      if (phi >= config_.detector.phi_dead) {
+        state = MemberState::kDead;
+        dead_mask_ |= std::uint64_t{1} << n;
+        epoch = ++membership_epoch_;
+        mask = dead_mask_;
+        declare = true;
+      } else if (phi >= config_.detector.phi_suspect) {
+        if (state == MemberState::kAlive) {
+          state = MemberState::kSuspect;
+          prof::ChaosCounters::instance().nodes_suspected.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      } else if (state == MemberState::kSuspect) {
+        // Heartbeats resumed; the suspicion was transient.
+        state = MemberState::kAlive;
+      }
+    }
+    if (!declare) continue;
+    prof::ChaosCounters::instance().nodes_declared_dead.fetch_add(
+        1, std::memory_order_relaxed);
+    // Everyone agrees before anyone recovers: broadcast the epoch-stamped
+    // verdict, then fence + reclaim (unless the oracle already did).
+    broadcast_membership(epoch, mask);
+    if (!fabric_->injector().node_dead(n)) {
+      fail_node(n);
+    }
+    ++newly_dead;
+  }
+
+  // 4. Lease patrol: recall expired writeback leases so dirty exposure
+  //    stays bounded even for owners that stopped writing.
+  std::vector<Process*> patrol;
+  {
+    std::shared_lock lock(processes_mu_);
+    patrol.reserve(processes_.size());
+    for (const auto& [id, process] : processes_) patrol.push_back(process);
+  }
+  for (Process* process : patrol) process->dsm().lease_patrol();
+  return newly_dead;
+}
+
+MemberState Cluster::member_state(NodeId node) const {
+  std::lock_guard<std::mutex> lock(membership_mu_);
+  return member_state_[static_cast<std::size_t>(node)];
+}
+
+std::uint64_t Cluster::membership_epoch() const {
+  std::lock_guard<std::mutex> lock(membership_mu_);
+  return membership_epoch_;
+}
+
+std::uint64_t Cluster::view_epoch(NodeId node) const {
+  std::lock_guard<std::mutex> lock(membership_mu_);
+  return view_epoch_[static_cast<std::size_t>(node)];
+}
+
+std::uint64_t Cluster::view_dead_mask(NodeId node) const {
+  std::lock_guard<std::mutex> lock(membership_mu_);
+  return view_dead_mask_[static_cast<std::size_t>(node)];
+}
+
+void Cluster::broadcast_membership(std::uint64_t epoch,
+                                   std::uint64_t dead_mask) {
+  constexpr NodeId kCoordinator = 0;
+  net::MembershipUpdatePayload payload{};
+  payload.epoch = epoch;
+  payload.dead_mask = dead_mask;
+  // The coordinator adopts its own verdict directly...
+  {
+    std::lock_guard<std::mutex> lock(membership_mu_);
+    if (epoch > view_epoch_[kCoordinator]) {
+      view_epoch_[kCoordinator] = epoch;
+      view_dead_mask_[kCoordinator] = dead_mask;
+    }
+  }
+  // ...and announces it to every node not in the mask. Unreliable
+  // datagrams suffice: a dropped update is superseded by the next higher
+  // epoch, and adoption is monotonic, so views never diverge permanently.
+  for (NodeId n = 1; n < config_.num_nodes; ++n) {
+    if ((dead_mask >> n) & 1u) continue;
+    Message msg;
+    msg.type = MsgType::kMembershipUpdate;
+    msg.dst = n;
+    msg.set_payload(payload);
+    try {
+      (void)fabric_->post_datagram(kCoordinator, msg);
+    } catch (const net::NodeDeadError&) {
+      // Coordinator fenced mid-broadcast; nothing to announce to.
+      return;
+    }
+  }
+}
+
+Message Cluster::handle_heartbeat(const Message& msg) {
+  vclock::advance(cost().heartbeat_service_ns);
+  const auto payload = msg.payload_as<net::HeartbeatPayload>();
+  if (detector_) detector_->record_heartbeat(payload.node, msg.sent_at);
+  prof::ChaosCounters::instance().heartbeats.fetch_add(
+      1, std::memory_order_relaxed);
+  Message reply;
+  reply.type = MsgType::kHeartbeat;
+  return reply;
+}
+
+Message Cluster::handle_membership_update(const Message& msg) {
+  vclock::advance(cost().membership_service_ns);
+  const auto payload = msg.payload_as<net::MembershipUpdatePayload>();
+  std::lock_guard<std::mutex> lock(membership_mu_);
+  auto& epoch = view_epoch_[static_cast<std::size_t>(msg.dst)];
+  // Monotonic adoption: a node only ever moves to a newer epoch, so
+  // reordered or duplicated updates cannot roll a view back (split-brain
+  // safety).
+  if (payload.epoch > epoch) {
+    epoch = payload.epoch;
+    view_dead_mask_[static_cast<std::size_t>(msg.dst)] = payload.dead_mask;
+  }
+  Message reply;
+  reply.type = MsgType::kMembershipUpdate;
+  return reply;
 }
 
 void Cluster::install_handlers() {
@@ -165,6 +359,19 @@ void Cluster::install_handlers() {
         return route(msg,
                      [&](Process& p) { return p.handle_delegate_vma(msg); });
       });
+  fabric_->register_handler(
+      MsgType::kLeaseRenew, [route](const Message& msg) {
+        return route(
+            msg, [&](Process& p) { return p.dsm().handle_lease_renew(msg); });
+      });
+  // Heartbeats and membership updates are cluster-level (no process-id
+  // prefix); they bypass the process router.
+  fabric_->register_handler(MsgType::kHeartbeat, [this](const Message& msg) {
+    return handle_heartbeat(msg);
+  });
+  fabric_->register_handler(
+      MsgType::kMembershipUpdate,
+      [this](const Message& msg) { return handle_membership_update(msg); });
 }
 
 }  // namespace dex::core

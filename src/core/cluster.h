@@ -3,19 +3,44 @@
 // model, and the registry that routes fabric messages to processes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 
 #include "common/types.h"
 #include "mem/dsm.h"
 #include "net/fabric.h"
+#include "net/failure_detector.h"
 
 namespace dex::core {
 
 class Process;
 struct ProcessOptions;
+
+/// Accrual failure-detector configuration (DESIGN.md "Self-healing").
+/// Disabled by default: zero heartbeat or membership traffic, reproducing
+/// the oracle-only failure model bit-for-bit.
+struct DetectorConfig {
+  bool enabled = false;
+  /// Virtual-time spacing of heartbeat rounds (one per
+  /// Cluster::run_membership_round call).
+  VirtNs heartbeat_interval_ns = 50'000;
+  /// phi >= phi_suspect marks a node kSuspect (reversible).
+  double phi_suspect = 1.0;
+  /// phi >= phi_dead declares the node dead cluster-wide (~7 silent
+  /// intervals at the default; see net/failure_detector.h).
+  double phi_dead = 3.0;
+};
+
+/// Membership state of one node as seen by the coordinator.
+enum class MemberState : std::uint8_t {
+  kAlive = 0,
+  kSuspect = 1,  // phi crossed phi_suspect; clears if heartbeats resume
+  kDead = 2,     // declared dead; fenced and reclaimed, epoch bumped
+};
 
 struct ClusterConfig {
   /// The paper evaluates 1..8 nodes.
@@ -28,6 +53,8 @@ struct ClusterConfig {
   /// RPC timeout/retry schedule and chaos policy (see net/fault_injector.h).
   net::RetryPolicy retry;
   net::FaultPolicy faults;
+  /// Heartbeat-based failure detection and membership (off by default).
+  DetectorConfig detector;
 };
 
 class Cluster {
@@ -59,6 +86,27 @@ class Cluster {
     return fabric_->injector().node_dead(node);
   }
 
+  // ---- Membership / failure detection (DetectorConfig::enabled) ----
+  /// Pumps one heartbeat round on the virtual clock: every node not yet
+  /// declared dead posts a heartbeat datagram to the coordinator (node 0),
+  /// the pump advances one heartbeat interval, the accrual detector scores
+  /// the resulting silence, and any node crossing phi_dead is declared dead
+  /// cluster-wide via an epoch-stamped membership broadcast before being
+  /// fenced and reclaimed exactly as fail_node() would. Each registered
+  /// process's lease patrol also runs. Returns the number of nodes newly
+  /// declared dead this round; returns 0 immediately when the detector is
+  /// disabled. Single-pumper: call from one driver thread only.
+  int run_membership_round();
+  MemberState member_state(NodeId node) const;
+  /// Monotonic membership epoch; bumps on every declaration and rejoin.
+  std::uint64_t membership_epoch() const;
+  /// The (epoch, dead-bitmask) view `node` last adopted from a broadcast.
+  /// Nodes only adopt strictly newer epochs, so views never regress and
+  /// all agree once broadcasts land (no split-brain).
+  std::uint64_t view_epoch(NodeId node) const;
+  std::uint64_t view_dead_mask(NodeId node) const;
+  net::AccrualDetector* detector() { return detector_.get(); }
+
   /// The node currently running the fewest DeX threads — the target the
   /// §III-A "scheduler-initiated migration" extension balances toward.
   NodeId least_loaded_node() const {
@@ -80,6 +128,12 @@ class Cluster {
   void unregister_process(std::uint64_t id);
   Process* find_process(std::uint64_t id) const;
   void install_handlers();
+  net::Message handle_heartbeat(const net::Message& msg);
+  net::Message handle_membership_update(const net::Message& msg);
+  /// Broadcasts the current (epoch, dead-mask) from the coordinator to
+  /// every node not in the mask. Must NOT be called holding membership_mu_
+  /// (the update handler takes it).
+  void broadcast_membership(std::uint64_t epoch, std::uint64_t dead_mask);
 
   ClusterConfig config_;
   std::unique_ptr<net::Fabric> fabric_;
@@ -88,6 +142,17 @@ class Cluster {
   mutable std::shared_mutex processes_mu_;
   std::unordered_map<std::uint64_t, Process*> processes_;
   std::uint64_t next_process_id_ = 1;
+
+  // ---- Membership (guarded by membership_mu_ unless noted) ----
+  std::unique_ptr<net::AccrualDetector> detector_;
+  mutable std::mutex membership_mu_;
+  std::array<MemberState, mem::kMaxNodes> member_state_{};
+  std::uint64_t membership_epoch_ = 0;
+  std::uint64_t dead_mask_ = 0;
+  std::array<std::uint64_t, mem::kMaxNodes> view_epoch_{};
+  std::array<std::uint64_t, mem::kMaxNodes> view_dead_mask_{};
+  /// Only the single pump thread touches the sequence counters.
+  std::array<std::uint64_t, mem::kMaxNodes> heartbeat_seq_{};
 };
 
 }  // namespace dex::core

@@ -29,7 +29,7 @@ FutexTable::WaitResult FutexTable::wait(mem::Dsm& dsm, NodeId origin,
   vclock::observe(self.wake_ts);
   // wake() already unlinked us; drop the queue once fully drained.
   if (queue.waiters.empty() && queue.sleepers == 0) queues_.erase(addr);
-  return WaitResult::kWoken;
+  return self.result;
 }
 
 int FutexTable::wake(GAddr addr, int count, VirtNs waker_ts) {
@@ -48,6 +48,24 @@ int FutexTable::wake(GAddr addr, int count, VirtNs waker_ts) {
     ++woken;
   }
   if (woken > 0) queue.cv.notify_all();
+  return woken;
+}
+
+int FutexTable::sweep_owner_died(VirtNs waker_ts) {
+  ScopedGateBlock gate_block("futex_sweep");
+  std::lock_guard<std::mutex> lock(mu_);
+  int woken = 0;
+  for (auto& [addr, queue] : queues_) {
+    while (!queue.waiters.empty()) {
+      Waiter* waiter = queue.waiters.front();
+      queue.waiters.pop_front();
+      waiter->woken = true;
+      waiter->wake_ts = waker_ts;
+      waiter->result = WaitResult::kOwnerDied;
+      ++woken;
+    }
+    if (woken > 0) queue.cv.notify_all();
+  }
   return woken;
 }
 

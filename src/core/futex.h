@@ -31,6 +31,7 @@ class FutexTable {
   enum class WaitResult {
     kWoken,         // a waker released us
     kValueChanged,  // *addr != expected at enqueue time (EAGAIN)
+    kOwnerDied,     // woken by the robust sweep after a node death
   };
 
   /// Blocks until woken, provided the 64-bit word at `addr` still equals
@@ -42,6 +43,15 @@ class FutexTable {
   /// Wakes up to `count` waiters on `addr`; returns the number woken.
   /// `waker_ts` is the waker's virtual time, observed by each woken waiter.
   int wake(GAddr addr, int count, VirtNs waker_ts);
+
+  /// Robust-futex sweep after a node death: wakes EVERY currently-enqueued
+  /// waiter with WaitResult::kOwnerDied. The kernel's robust list tracks
+  /// which futexes a dead task held; DeX does not, so the sweep is
+  /// conservative — any waiter may have been waiting on a holder that died
+  /// with the node, and each woken waiter re-examines the futex word (a
+  /// barrier with a dead participant unblocks instead of hanging forever).
+  /// Returns the number of waiters woken.
+  int sweep_owner_died(VirtNs waker_ts);
 
   std::uint64_t total_waits() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -59,6 +69,7 @@ class FutexTable {
   struct Waiter {
     bool woken = false;
     VirtNs wake_ts = 0;
+    WaitResult result = WaitResult::kWoken;
   };
   struct Queue {
     std::condition_variable cv;

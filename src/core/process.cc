@@ -52,9 +52,12 @@ Process::Process(Cluster& cluster, std::uint64_t id,
   dsm_config.dir_shards = options.dir_shards;
   dsm_config.home_migration = options.home_migration;
   dsm_config.home_migrate_run = options.home_migrate_run;
+  dsm_config.lease_ns = options.lease_ns;
   dsm_ = std::make_unique<mem::Dsm>(cluster.fabric(), dsm_config,
                                     &cluster.node_load(), &trace_);
   worker_exists_[static_cast<std::size_t>(options.origin)] = true;
+  restart_budget_.store(options.restart_lost_threads ? 256 : 0,
+                        std::memory_order_relaxed);
 }
 
 Process::~Process() { cluster_.unregister_process(id_); }
@@ -93,28 +96,65 @@ DexThread Process::spawn(std::function<void()> body) {
   handle.thread_ = std::make_unique<std::thread>(
       [this, child_ctx, failed, body = std::move(body)]() mutable {
         ScopedContext bind(child_ctx);
-        try {
-          body();
-        } catch (const net::RpcError& error) {
-          // The thread hit an unrecoverable fabric failure (typically its
-          // node died under it). Report it as failed and unwind cleanly
-          // instead of deadlocking the process on a thread that can never
-          // finish. NodeDeadError is an RpcError; both land here.
-          failed->store(true, std::memory_order_release);
-          dsm_->failure_stats().threads_lost.fetch_add(
-              1, std::memory_order_relaxed);
-          prof::ChaosCounters::instance().threads_lost.fetch_add(
-              1, std::memory_order_relaxed);
-          if (trace_.enabled()) {
-            prof::FaultEvent event;
-            event.time = vclock::now();
-            event.node = tls_context().node;
-            event.task = child_ctx.task;
-            event.kind = prof::FaultKind::kNodeDead;
-            trace_.record(event);
+        // Each thread restarts at most once: a second loss means the
+        // failure is not transient node death and retrying would loop.
+        bool restarted = false;
+        for (;;) {
+          try {
+            body();
+          } catch (const net::RpcError& error) {
+            // The thread hit an unrecoverable fabric failure (typically its
+            // node died under it). NodeDeadError is an RpcError; both land
+            // here. If restarts are enabled, re-home the thread at the
+            // origin and re-run its entry closure from the top — the stack
+            // died with the node, but the closure did not.
+            if (options_.restart_lost_threads && !restarted &&
+                restart_budget_.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+              restarted = true;
+              const NodeId lost_on = tls_context().node;
+              cluster_.node_load()
+                  .active[static_cast<std::size_t>(lost_on)]
+                  .fetch_sub(1, std::memory_order_relaxed);
+              cluster_.node_load()
+                  .active[static_cast<std::size_t>(options_.origin)]
+                  .fetch_add(1, std::memory_order_relaxed);
+              tls_context().node = options_.origin;
+              dsm_->failure_stats().threads_restarted.fetch_add(
+                  1, std::memory_order_relaxed);
+              prof::ChaosCounters::instance().threads_restarted.fetch_add(
+                  1, std::memory_order_relaxed);
+              if (trace_.enabled()) {
+                prof::FaultEvent event;
+                event.time = vclock::now();
+                event.node = options_.origin;
+                event.task = child_ctx.task;
+                event.kind = prof::FaultKind::kNodeDead;
+                trace_.record(event);
+              }
+              std::fprintf(stderr,
+                           "dex: thread %d restarting at origin: %s\n",
+                           child_ctx.task, error.what());
+              continue;
+            }
+            // Report it as failed and unwind cleanly instead of
+            // deadlocking the process on a thread that can never finish.
+            failed->store(true, std::memory_order_release);
+            dsm_->failure_stats().threads_lost.fetch_add(
+                1, std::memory_order_relaxed);
+            prof::ChaosCounters::instance().threads_lost.fetch_add(
+                1, std::memory_order_relaxed);
+            if (trace_.enabled()) {
+              prof::FaultEvent event;
+              event.time = vclock::now();
+              event.node = tls_context().node;
+              event.task = child_ctx.task;
+              event.kind = prof::FaultKind::kNodeDead;
+              trace_.record(event);
+            }
+            std::fprintf(stderr, "dex: thread %d lost: %s\n", child_ctx.task,
+                         error.what());
           }
-          std::fprintf(stderr, "dex: thread %d lost: %s\n", child_ctx.task,
-                       error.what());
+          break;
         }
         // The clock stops advancing now: remove it from the time gate so
         // it cannot wedge still-running threads.
@@ -139,6 +179,10 @@ void Process::on_node_failure(NodeId node) {
     worker_exists_[static_cast<std::size_t>(node)] = false;
   }
   dsm_->reclaim_node(node);
+  // Robust-futex sweep: waiters whose waker may have died with the node
+  // unblock with kOwnerDied instead of sleeping forever (a barrier with a
+  // dead participant must not hang the survivors).
+  futex_.sweep_owner_died(vclock::now());
 }
 
 // ---------------------------------------------------------------------------
@@ -213,6 +257,8 @@ NodeId Process::migrate_to_least_loaded() {
   int best_load = cluster_.node_load().on(ctx.node) - 1;
   for (NodeId n = 0; n < cluster_.num_nodes(); ++n) {
     if (n == ctx.node) continue;
+    // Never place work on a node the membership layer has fenced off.
+    if (cluster_.node_dead(n)) continue;
     const int load = cluster_.node_load().on(n);
     if (load < best_load) {
       best = n;

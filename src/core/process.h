@@ -86,6 +86,13 @@ struct ProcessOptions {
   /// Consecutive one-node fault run that triggers a home hand-off
   /// (DsmConfig::home_migrate_run passthrough).
   int home_migrate_run = 3;
+  /// Writeback-lease window (DsmConfig::lease_ns passthrough; 0 disables
+  /// leases and reproduces the unleased protocol bit-for-bit).
+  VirtNs lease_ns = 0;
+  /// Re-run a thread's entry closure at the origin when its node dies
+  /// instead of reporting it permanently failed. Each thread restarts at
+  /// most once, and a process-wide budget caps restart storms.
+  bool restart_lost_threads = false;
 };
 
 /// One entry of the migration log (Table II / Figure 3 raw data).
@@ -212,6 +219,8 @@ class Process {
 
   std::atomic<TaskId> next_task_{0};
   std::atomic<std::uint64_t> delegations_{0};
+  /// Remaining lost-thread restarts (storm guard); 0 when restarts are off.
+  std::atomic<int> restart_budget_{0};
 
   mutable std::mutex mig_mu_;
   std::array<bool, mem::kMaxNodes> worker_exists_{};

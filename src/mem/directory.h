@@ -96,6 +96,16 @@ struct DirEntry {
   /// reaches the configured threshold the home hands the entry off.
   NodeId hot_node = kInvalidNode;
   std::uint16_t hot_run = 0;
+  /// Writeback lease (DsmConfig::lease_ns > 0 only; 0 = no lease granted).
+  /// Virtual time until which the current remote exclusive owner may write
+  /// without renewing. The lease patrol recalls expired leases so an idle
+  /// owner's final writes reach the home frame.
+  VirtNs lease_until = 0;
+  /// Virtual time of the last journaled writeback for the CURRENT exclusive
+  /// grant (kLeaseRenew piggyback). 0 = the home frame predates this grant;
+  /// nonzero = the home frame is at most one lease window stale, so owner
+  /// death recovers the journaled copy instead of reporting dirty loss.
+  VirtNs journal_ts = 0;
 };
 
 /// The per-process directory. Entry references remain valid until

@@ -104,6 +104,8 @@ bool Dsm::munmap(GAddr start, std::uint64_t length) {
     entry->sharers.clear();
     entry->exclusive_owner = kInvalidNode;
     entry->materialized = false;
+    entry->lease_until = 0;
+    entry->journal_ts = 0;
     ++entry->version;
     // The home returns to the origin with the rest of the entry state; the
     // epoch bump fences any hint minted for the old mapping.
@@ -160,6 +162,8 @@ bool Dsm::mprotect(GAddr start, std::uint64_t length, std::uint8_t prot) {
                             entry->version, nullptr);
         }
         entry->exclusive_owner = kInvalidNode;
+        entry->lease_until = 0;
+        entry->journal_ts = 0;
       }
     }
   }
@@ -791,6 +795,8 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
                                    &outcome.offpath_ns);
       }
       entry.exclusive_owner = kInvalidNode;
+      entry.lease_until = 0;
+      entry.journal_ts = 0;
     }
     if (recall == RecallResult::kForwarded) {
       // The old owner already pushed the data and installed the
@@ -881,6 +887,21 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
   entry.exclusive_owner = requester;
   entry.sharers.clear();
   entry.sharers.add(requester);
+  if (config_.lease_ns > 0) {
+    // A fresh exclusive grant starts a fresh journal window: the home
+    // frame predates this version until the first piggybacked writeback.
+    entry.journal_ts = 0;
+    if (requester != home) {
+      entry.lease_until = vclock::now() + config_.lease_ns;
+      // The grant handler runs in the requester's OS thread, so the
+      // owner-side lease mirror can be stamped directly.
+      Pte& rpte = page_table(requester).get_or_create(page);
+      rpte.lease_until.store(entry.lease_until, std::memory_order_release);
+      rpte.lease_home.store(home, std::memory_order_release);
+    } else {
+      entry.lease_until = 0;  // home writes land in the home frame already
+    }
+  }
   return outcome;
 }
 
@@ -933,14 +954,14 @@ Dsm::RecallResult Dsm::recall_from_owner(DirEntry& entry, GAddr page,
 
   if (owner_lost) {
     // The only up-to-date copy died with the owner. Degrade gracefully:
-    // the home's last written-back frame becomes authoritative again and
-    // the dirty loss is *reported* (FailureStats), never silent. Innocent
+    // the home frame — the journaled lease writeback when one exists, the
+    // last full writeback otherwise — becomes authoritative again and any
+    // dirty loss is *reported* (FailureStats), never silent. Innocent
     // requesters proceed with the stale-but-consistent data.
-    failure_stats_.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
+    account_owner_loss(entry, page);
     failure_stats_.pages_reclaimed.fetch_add(1, std::memory_order_relaxed);
-    auto& chaos = prof::ChaosCounters::instance();
-    chaos.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
-    chaos.pages_reclaimed.fetch_add(1, std::memory_order_relaxed);
+    prof::ChaosCounters::instance().pages_reclaimed.fetch_add(
+        1, std::memory_order_relaxed);
     record_fault(owner, /*task=*/-1, page, prof::FaultKind::kReclaim,
                  nullptr);
     // Fence the dead owner's PTE so no stale exclusive copy survives
@@ -1102,6 +1123,8 @@ void Dsm::fence_copy(NodeId node, GAddr page) {
   pte->state.store(PageState::kInvalid, std::memory_order_release);
   pte->version = kNoVersion;
   pte->seq.fetch_add(1, std::memory_order_release);
+  pte->lease_until.store(0, std::memory_order_release);
+  pte->lease_home.store(kInvalidNode, std::memory_order_release);
   pte->lock.unlock();
 }
 
@@ -1131,6 +1154,8 @@ Message Dsm::handle_revoke(const Message& msg) {
                                                  : PageState::kInvalid,
                      std::memory_order_release);
     pte->seq.fetch_add(1, std::memory_order_release);
+    pte->lease_until.store(0, std::memory_order_release);
+    pte->lease_home.store(kInvalidNode, std::memory_order_release);
     invalidated = true;
   } else if (state == PageState::kShared && !payload.downgrade_to_shared) {
     pte->state.store(PageState::kInvalid, std::memory_order_release);
@@ -1181,6 +1206,8 @@ Message Dsm::handle_forward_recall(const Message& msg) {
                            : PageState::kInvalid,
                        std::memory_order_release);
       pte->seq.fetch_add(1, std::memory_order_release);
+      pte->lease_until.store(0, std::memory_order_release);
+      pte->lease_home.store(kInvalidNode, std::memory_order_release);
       invalidated = true;
     } else if (state == PageState::kShared &&
                payload.downgrade_to_shared == 0) {
@@ -1250,6 +1277,169 @@ Message Dsm::handle_forward_recall(const Message& msg) {
     reply.set_payload(ack);
   }
   return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Writeback leases (DsmConfig::lease_ns)
+// ---------------------------------------------------------------------------
+
+void Dsm::maybe_renew_lease(NodeId node, TaskId task, GAddr page, Pte& pte) {
+  if (config_.lease_ns <= 0) return;
+  const VirtNs until = pte.lease_until.load(std::memory_order_acquire);
+  if (until == 0 || vclock::now() < until) return;
+  const NodeId home = pte.lease_home.load(std::memory_order_acquire);
+  if (home == kInvalidNode || home == node) return;
+
+  // Snapshot the current frame under the PTE lock — the piggybacked
+  // journal image — then renew with no locks held across the RPC, so a
+  // concurrent recall (which takes only PTE locks owner-side) can never
+  // deadlock against a renewal blocked on the entry mutex home-side.
+  std::uint8_t image[kPageSize];
+  std::uint64_t version;
+  pte.lock.lock();
+  if (pte.state.load(std::memory_order_acquire) != PageState::kExclusive) {
+    // Revoked between the fault and the write retry; nothing to renew.
+    pte.lease_until.store(0, std::memory_order_release);
+    pte.lock.unlock();
+    return;
+  }
+  std::memcpy(image, pte.frame.get(), kPageSize);
+  version = pte.version;
+  pte.lock.unlock();
+
+  net::LeaseRenewPayload payload{};
+  payload.process_id = config_.process_id;
+  payload.page = page;
+  payload.version = version;
+  payload.owner = node;
+  Message msg;
+  msg.type = MsgType::kLeaseRenew;
+  msg.dst = home;
+  msg.payload.resize(sizeof(payload) + kPageSize);
+  std::memcpy(msg.payload.data(), &payload, sizeof(payload));
+  std::memcpy(msg.payload.data() + sizeof(payload), image, kPageSize);
+
+  Message reply;
+  try {
+    reply = fabric_.call(node, msg);
+  } catch (const net::RpcError&) {
+    // Best-effort (NodeDeadError included): an unreachable home leaves the
+    // lease expired; the patrol or death recovery settles the page, and
+    // the write proceeds on the still-exclusive copy.
+    return;
+  }
+  const auto ack = reply.payload_prefix_as<net::LeaseRenewAckPayload>();
+  if (ack.renewed != 0) {
+    pte.lease_until.store(vclock::now() + config_.lease_ns,
+                          std::memory_order_release);
+    record_fault(node, task, page, prof::FaultKind::kLease, "renew");
+  } else {
+    // Stale renewal: a recall or home migration won the race. Drop the
+    // lease mirror; the next write faults or re-leases through the grant.
+    pte.lease_until.store(0, std::memory_order_release);
+    pte.lease_home.store(kInvalidNode, std::memory_order_release);
+  }
+}
+
+Message Dsm::handle_lease_renew(const Message& msg) {
+  const auto payload = msg.payload_prefix_as<net::LeaseRenewPayload>();
+  DEX_CHECK(payload.process_id == config_.process_id);
+  DEX_CHECK_MSG(
+      msg.payload.size() == sizeof(net::LeaseRenewPayload) + kPageSize,
+      "lease renewal must piggyback the page image");
+  const NodeId at = msg.dst;
+  vclock::advance(fabric_.cost().lease_renew_service_ns);
+
+  Message reply;
+  reply.type = MsgType::kLeaseRenew;
+  net::LeaseRenewAckPayload ack{};
+
+  DirEntry& entry = directory_.entry(payload.page);
+  {
+    // Renewals block rather than retry: the owner holds no locks while
+    // waiting, and a recall serialized ahead of us flips the ownership so
+    // the validation below fails closed (renewed = 0).
+    ScopedGateBlock gate_block("lease_renew_entry_lock");
+    std::lock_guard<std::mutex> lock(entry.mu);
+    if (config_.lease_ns > 0 && home_of(entry) == at &&
+        entry.exclusive_owner == payload.owner &&
+        entry.version == payload.version) {
+      // Journal the piggybacked image into the home frame. The home PTE
+      // stays invalid (the owner remains exclusive); only the bytes and
+      // the journal timestamp change, so owner-death recovery can adopt
+      // an image at most one lease window stale.
+      Pte& home_pte = page_table(at).get_or_create(payload.page);
+      home_pte.lock.lock();
+      home_pte.seq.fetch_add(1, std::memory_order_release);
+      std::memcpy(home_pte.ensure_frame(),
+                  msg.payload.data() + sizeof(net::LeaseRenewPayload),
+                  kPageSize);
+      home_pte.seq.fetch_add(1, std::memory_order_release);
+      home_pte.lock.unlock();
+      entry.journal_ts = vclock::now();
+      entry.lease_until = vclock::now() + config_.lease_ns;
+      ack.renewed = 1;
+      stats_.lease_renewals.fetch_add(1, std::memory_order_relaxed);
+      stats_.writebacks_piggybacked.fetch_add(1, std::memory_order_relaxed);
+      auto& chaos = prof::ChaosCounters::instance();
+      chaos.lease_renewals.fetch_add(1, std::memory_order_relaxed);
+      chaos.writebacks_piggybacked.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  reply.set_payload(ack);
+  return reply;
+}
+
+void Dsm::lease_patrol() {
+  if (config_.lease_ns <= 0) return;
+  // Snapshot entries first — same ABBA avoidance as reclaim_node.
+  std::vector<std::pair<GAddr, DirEntry*>> entries;
+  directory_.for_each([&](std::uint64_t page_idx, DirEntry& entry) {
+    entries.emplace_back(static_cast<GAddr>(page_idx) << kPageShift, &entry);
+  });
+  for (auto& [page, entry] : entries) {
+    ScopedGateBlock gate_block("lease_patrol_entry_lock");
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (!entry->materialized) continue;
+    const NodeId home = home_of(*entry);
+    const NodeId owner = entry->exclusive_owner;
+    if (owner == kInvalidNode || owner == home) continue;
+    if (entry->lease_until == 0 || vclock::now() <= entry->lease_until) {
+      continue;
+    }
+    if (fabric_.injector().node_dead(owner)) continue;  // recovery's job
+    // Expired lease on an idle owner: recall with a shared downgrade so
+    // its final writes land in the home frame. The owner refaults on its
+    // next write and receives a fresh lease with the new grant.
+    const RecallResult recall = recall_from_owner(
+        *entry, page, /*downgrade=*/true, kInvalidNode, entry->version,
+        nullptr);
+    entry->exclusive_owner = kInvalidNode;
+    entry->lease_until = 0;
+    entry->journal_ts = 0;
+    entry->last_release_ts =
+        std::max(entry->last_release_ts, vclock::now());
+    if (recall != RecallResult::kOwnerLost) {
+      stats_.lease_recalls.fetch_add(1, std::memory_order_relaxed);
+      record_fault(owner, /*task=*/-1, page, prof::FaultKind::kLease,
+                   "patrol");
+    }
+  }
+}
+
+void Dsm::account_owner_loss(DirEntry& entry, GAddr page) {
+  auto& chaos = prof::ChaosCounters::instance();
+  if (config_.lease_ns > 0 && entry.journal_ts > 0) {
+    // The home frame holds a journaled image at most one lease window
+    // stale: the death is a bounded recovery, not a silent dirty loss.
+    failure_stats_.pages_recovered.fetch_add(1, std::memory_order_relaxed);
+    chaos.pages_recovered.fetch_add(1, std::memory_order_relaxed);
+    record_fault(entry.exclusive_owner, /*task=*/-1, page,
+                 prof::FaultKind::kLease, "recover");
+  } else {
+    failure_stats_.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
+    chaos.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1450,6 +1640,9 @@ void Dsm::write(NodeId node, TaskId task, GAddr addr, const void* src,
     const std::size_t n = std::min(len, kPageSize - off);
     for (;;) {
       Pte* pte = ensure(node, task, addr, Access::kWrite);
+      if (config_.lease_ns > 0) {
+        maybe_renew_lease(node, task, page_base(addr), *pte);
+      }
       pte->lock.lock();
       if (pte->state.load(std::memory_order_acquire) !=
           PageState::kExclusive) {
@@ -1474,6 +1667,9 @@ std::uint64_t Dsm::atomic_fetch_add_u64(NodeId node, TaskId task, GAddr addr,
                 "atomic straddles a page");
   for (;;) {
     Pte* pte = ensure(node, task, addr, Access::kWrite);
+    if (config_.lease_ns > 0) {
+      maybe_renew_lease(node, task, page_base(addr), *pte);
+    }
     pte->lock.lock();
     if (pte->state.load(std::memory_order_acquire) != PageState::kExclusive) {
       pte->lock.unlock();
@@ -1494,6 +1690,9 @@ std::uint64_t Dsm::atomic_exchange_u64(NodeId node, TaskId task, GAddr addr,
                 "atomic straddles a page");
   for (;;) {
     Pte* pte = ensure(node, task, addr, Access::kWrite);
+    if (config_.lease_ns > 0) {
+      maybe_renew_lease(node, task, page_base(addr), *pte);
+    }
     pte->lock.lock();
     if (pte->state.load(std::memory_order_acquire) != PageState::kExclusive) {
       pte->lock.unlock();
@@ -1513,6 +1712,9 @@ bool Dsm::atomic_cas_u64(NodeId node, TaskId task, GAddr addr,
                 "atomic straddles a page");
   for (;;) {
     Pte* pte = ensure(node, task, addr, Access::kWrite);
+    if (config_.lease_ns > 0) {
+      maybe_renew_lease(node, task, page_base(addr), *pte);
+    }
     pte->lock.lock();
     if (pte->state.load(std::memory_order_acquire) != PageState::kExclusive) {
       pte->lock.unlock();
@@ -1642,14 +1844,19 @@ void Dsm::reclaim_node(NodeId dead) {
       }
     }
     if (entry->exclusive_owner == dead) {
-      // The dirty copy died with the node: the origin's last written-back
-      // frame becomes authoritative again, and the loss is reported.
-      failure_stats_.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
-      chaos.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
+      // The dirty copy died with the node. With a journaled lease
+      // writeback the home frame is at most one lease window stale and the
+      // page *recovers*; otherwise the last full writeback becomes
+      // authoritative again and the loss is reported.
+      account_owner_loss(*entry, page);
+      const NodeId authoritative =
+          home_of(*entry) == dead ? origin : home_of(*entry);
       entry->exclusive_owner = kInvalidNode;
+      entry->lease_until = 0;
+      entry->journal_ts = 0;
       entry->sharers.clear();
-      set_state(origin, page, PageState::kShared, entry->version);
-      entry->sharers.add(origin);
+      set_state(authoritative, page, PageState::kShared, entry->version);
+      entry->sharers.add(authoritative);
       reclaimed = true;
     } else if (entry->sharers.contains(dead)) {
       entry->sharers.remove(dead);
@@ -1665,6 +1872,8 @@ void Dsm::reclaim_node(NodeId dead) {
       pte->state.store(PageState::kInvalid, std::memory_order_release);
       pte->version = kNoVersion;
       pte->seq.fetch_add(1, std::memory_order_release);
+      pte->lease_until.store(0, std::memory_order_release);
+      pte->lease_home.store(kInvalidNode, std::memory_order_release);
       pte->lock.unlock();
     }
     if (reclaimed) {

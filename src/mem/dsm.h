@@ -100,6 +100,14 @@ struct DsmConfig {
   /// The home's own local faults reset the run (they are already free, and
   /// counting them would make two-party ping-pong oscillate the home).
   int home_migrate_run = 3;
+  /// Writeback lease on remote exclusive grants (virtual ns). A remote
+  /// owner whose lease expired renews it before dirtying the page further,
+  /// piggybacking a journal writeback of the current contents to the
+  /// serving home — so on owner death at most one lease window of writes
+  /// is exposed and the journaled home frame is recovered instead of
+  /// reporting dirty loss. 0 disables leases and reproduces the unleased
+  /// protocol bit-for-bit.
+  VirtNs lease_ns = 0;
 };
 
 /// Bounce budget for chasing stale home hints: after this many kWrongHome
@@ -119,6 +127,12 @@ struct FailureStats {
   /// Directory entries a dead node was homing; migrated back to the origin
   /// by reclaim_node.
   std::atomic<std::uint64_t> homes_reclaimed{0};
+  /// Dirty pages whose dead owner had a journaled (lease-writeback) copy at
+  /// the home: recovered from the journal instead of counted as lost.
+  std::atomic<std::uint64_t> pages_recovered{0};
+  /// Threads lost to node death and re-spawned at the origin
+  /// (ProcessOptions::restart_lost_threads).
+  std::atomic<std::uint64_t> threads_restarted{0};
 };
 
 struct DsmStats {
@@ -163,6 +177,15 @@ struct DsmStats {
   std::atomic<std::uint64_t> home_chases{0};
   /// Total kWrongHome redirect replies consumed by requesters.
   std::atomic<std::uint64_t> wrong_home_bounces{0};
+  // ---- Writeback leases (DsmConfig::lease_ns) ----
+  /// kLeaseRenew transactions that extended an owner's write window.
+  std::atomic<std::uint64_t> lease_renewals{0};
+  /// Journal writebacks piggybacked on renewals (one per accepted renewal;
+  /// kept separate so a future delta-encoding can renew without data).
+  std::atomic<std::uint64_t> writebacks_piggybacked{0};
+  /// Expired leases the patrol recalled (owner demoted to kShared so its
+  /// final writes reached the home frame).
+  std::atomic<std::uint64_t> lease_recalls{0};
   /// Entries a dead node homed, migrated back to the origin (mirrors
   /// FailureStats::homes_reclaimed for protocol-side visibility).
   std::atomic<std::uint64_t> homes_reclaimed{0};
@@ -267,6 +290,19 @@ class Dsm {
   net::Message handle_home_migrate(const net::Message& msg);
   net::Message handle_vma_request(const net::Message& msg);
   net::Message handle_vma_update(const net::Message& msg);
+  /// Home-side half of a lease renewal: validates that the named owner
+  /// still holds the named version exclusively, copies the piggybacked page
+  /// image into the home frame as a journal entry (journal_ts = now), and
+  /// extends the lease window. A stale renewal (owner or version lost the
+  /// race to a recall) replies renewed=0 and the caller drops its lease.
+  net::Message handle_lease_renew(const net::Message& msg);
+
+  /// Lease patrol (home-side sweep): recalls any expired remote-exclusive
+  /// lease via a shared downgrade, so an idle owner's final writes reach
+  /// the home frame within one lease window of their virtual time. Called
+  /// from the membership pump; also directly by tests. No-op when
+  /// lease_ns == 0.
+  void lease_patrol();
 
   /// Directory invariant check used by tests: every entry has either one
   /// exclusive owner that is its only sharer, or no owner and >= 0 sharers.
@@ -366,6 +402,18 @@ class Dsm {
   /// on RPC failure the entry simply stays where it is.
   void maybe_migrate_home(DirEntry& entry, GAddr page, NodeId requester,
                           TaskId task);
+
+  /// Owner-side lease check on the write fast path: when this node holds
+  /// `page` exclusively under an expired lease, renew it (piggybacking the
+  /// current frame image) before the write proceeds. Best-effort — an
+  /// unreachable home leaves the lease expired and the write goes ahead
+  /// (the patrol or recovery settles it). No locks held across the RPC.
+  void maybe_renew_lease(NodeId node, TaskId task, GAddr page, Pte& pte);
+
+  /// Death-accounting helper: a dead/unreachable exclusive owner's dirty
+  /// copy either recovers from the journaled home frame (lease writeback
+  /// newer than the grant) or is genuinely lost. Entry must be locked.
+  void account_owner_loss(DirEntry& entry, GAddr page);
 
   /// Fault-time VMA legitimacy check with on-demand synchronization.
   Vma check_vma(NodeId node, GAddr addr, Access access);

@@ -58,6 +58,13 @@ struct Pte {
   std::atomic<std::uint8_t> prefetched{0};
   /// Node-local physical frame; allocated on first grant.
   std::unique_ptr<std::uint8_t[]> frame;
+  /// Writeback lease on an exclusive copy (DsmConfig::lease_ns > 0 only).
+  /// Owner-side mirror of the directory's lease: when a write finds the
+  /// window expired, the owner renews via kLeaseRenew (piggybacking the
+  /// page) before dirtying further. 0 = no lease held.
+  std::atomic<VirtNs> lease_until{0};
+  /// The home that granted the lease — the kLeaseRenew destination.
+  std::atomic<NodeId> lease_home{kInvalidNode};
   /// Guards frame contents + state transitions.
   Spinlock lock;
 

@@ -106,6 +106,17 @@ struct CostModel {
   /// Waking the sleeping origin thread and running a delegated operation.
   VirtNs delegation_service_ns = 2500;
 
+  // ---- Self-healing (failure detection + writeback leases) ----
+  /// Receiver-side cost of scoring one heartbeat arrival in the accrual
+  /// detector's inter-arrival history.
+  VirtNs heartbeat_service_ns = 300;
+  /// Applying an epoch-stamped membership broadcast at a member node.
+  VirtNs membership_service_ns = 600;
+  /// Home-side cost of a lease renewal: validating the owner's grant and
+  /// journaling the piggybacked page into the home frame (wire + copy costs
+  /// are charged separately by the fabric).
+  VirtNs lease_renew_service_ns = 800;
+
   // ---- Local machine ----
   /// Fast-path software-MMU access check (amortized; real HW does this in
   /// the TLB for free, we keep it tiny so local runs aren't penalized).

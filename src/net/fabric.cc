@@ -49,6 +49,9 @@ const char* to_string(MsgType type) {
     case MsgType::kDelegateVmaOp: return "delegate_vma_op";
     case MsgType::kDelegateExit: return "delegate_exit";
     case MsgType::kAck: return "ack";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kMembershipUpdate: return "membership_update";
+    case MsgType::kLeaseRenew: return "lease_renew";
     case MsgType::kMaxType: return "max_type";
   }
   return "?";
@@ -252,7 +255,9 @@ void Fabric::charge_timeout(const Message& msg, int attempt) {
   rpc_timeouts_.fetch_add(1, std::memory_order_relaxed);
   chaos.rpc_timeouts.fetch_add(1, std::memory_order_relaxed);
   const RetryPolicy& retry = options_.retry;
-  vclock::advance(retry.timeout_ns + retry.backoff_for(attempt));
+  vclock::advance(retry.timeout_ns +
+                  retry.backoff_for(attempt, RetryPolicy::salt_of(
+                                                 msg.src, msg.dst, msg.type)));
   if (attempt >= retry.max_attempts) {
     throw RpcError(msg.type, msg.src, msg.dst, attempt, MsgStatus::kError,
                    "timed out (message lost)");
@@ -473,7 +478,8 @@ void Fabric::post(NodeId src, const Message& request) {
         // backoff and try again until the budget runs out, then count the
         // loss (protocol-level posts tolerate at-most-once only under
         // adversarial schedules; see DESIGN.md "Failure model").
-        vclock::advance(options_.retry.backoff_for(attempt));
+        vclock::advance(options_.retry.backoff_for(
+            attempt, RetryPolicy::salt_of(src, msg.dst, msg.type)));
         if (attempt >= options_.retry.max_attempts) return;
         rpc_retries_.fetch_add(1, std::memory_order_relaxed);
         prof::ChaosCounters::instance().rpc_retries.fetch_add(
@@ -489,6 +495,41 @@ void Fabric::post(NodeId src, const Message& request) {
     if (fate.duplicate) (void)handlers_[idx](msg);
     return;
   }
+}
+
+bool Fabric::post_datagram(NodeId src, const Message& request) {
+  const auto idx = static_cast<std::size_t>(request.type);
+  DEX_CHECK(idx < handlers_.size());
+  DEX_CHECK_MSG(static_cast<bool>(handlers_[idx]), "no handler registered");
+  type_counts_[idx].fetch_add(1, std::memory_order_relaxed);
+
+  Message msg = request;
+  msg.src = src;
+  if (injector_.node_dead(src)) {
+    throw NodeDeadError(src, msg.type, src, msg.dst);
+  }
+  if (src != msg.dst && injector_.node_dead(msg.dst)) {
+    posts_to_dead_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  VirtNs charged = 0;
+  if (src != msg.dst) {
+    const FaultDecision fate = injector_.decide(msg.type, src, msg.dst);
+    if (fate.drop) {
+      // Unreliable by design: the send cost was paid, the datagram is gone,
+      // and nobody retransmits. The receiver's accrual detector turns the
+      // silence into suspicion.
+      vclock::advance(options_.cost.compose_ns);
+      return false;
+    }
+    charged += fate.delay_ns;
+    charged += transmit_small(connection(src, msg.dst), msg);
+  }
+  vclock::advance(charged);
+  msg.sent_at = vclock::now();
+  (void)handlers_[idx](msg);
+  return true;
 }
 
 bool Fabric::push_grant(NodeId src, NodeId dst, const std::uint8_t* data,
@@ -514,7 +555,9 @@ bool Fabric::push_grant(NodeId src, NodeId dst, const std::uint8_t* data,
       // RC retransmission, same schedule as post(): burn the backoff, try
       // again, and report failure once the budget is spent so the caller
       // can fall back to the classic recall.
-      vclock::advance(options_.retry.backoff_for(attempt));
+      vclock::advance(options_.retry.backoff_for(
+          attempt,
+          RetryPolicy::salt_of(src, dst, MsgType::kForwardGrant)));
       if (attempt >= options_.retry.max_attempts) return false;
       rpc_retries_.fetch_add(1, std::memory_order_relaxed);
       prof::ChaosCounters::instance().rpc_retries.fetch_add(

@@ -59,6 +59,13 @@ struct RetryPolicy {
   VirtNs timeout_ns = 50'000;
   VirtNs backoff_base_ns = 10'000;
   VirtNs backoff_max_ns = 400'000;
+  /// Jitter fraction in [0, 1): each attempt's backoff is stretched by a
+  /// deterministic pseudo-random factor in [1, 1 + jitter) keyed on
+  /// (seed, salt, attempt). Pure exponential backoff resynchronizes
+  /// colliding retriers into storms after a blip; jitter desynchronizes
+  /// them. 0 (the default) reproduces the seed schedule bit-for-bit.
+  double jitter = 0.0;
+  std::uint64_t seed = 0;
 
   VirtNs backoff_for(int attempt) const {
     VirtNs backoff = backoff_base_ns;
@@ -66,6 +73,36 @@ struct RetryPolicy {
       backoff *= 2;
     }
     return backoff < backoff_max_ns ? backoff : backoff_max_ns;
+  }
+
+  /// Salted variant: same bounded-exponential base, plus the deterministic
+  /// jitter band. Distinct salts (the fabric mixes src/dst/type) give
+  /// colliding retriers distinct schedules under the same seed.
+  VirtNs backoff_for(int attempt, std::uint64_t salt) const {
+    const VirtNs base = backoff_for(attempt);
+    if (jitter <= 0.0) return base;
+    // splitmix64 finalizer over the mixed key: decision is a pure function
+    // of (seed, salt, attempt) — reproducible regardless of interleaving.
+    std::uint64_t z = seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^
+                      (static_cast<std::uint64_t>(attempt) + 1) *
+                          0xbf58476d1ce4e5b9ULL;
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ULL;
+    z ^= z >> 27;
+    z *= 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+    return base + static_cast<VirtNs>(jitter * u *
+                                      static_cast<double>(base));
+  }
+
+  /// The per-stream salt the fabric feeds into backoff_for: one value per
+  /// (src, dst, type) so two nodes retrying against the same destination
+  /// never share a schedule.
+  static std::uint64_t salt_of(NodeId src, NodeId dst, MsgType type) {
+    return 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(src) + 1) ^
+           0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(dst) + 1) ^
+           0x94d049bb133111ebULL * (static_cast<std::uint64_t>(type) + 1);
   }
 };
 
@@ -154,6 +191,15 @@ class Fabric {
   /// Intra-node transfers degrade to a memcpy. Returns the charged cost.
   VirtNs bulk_transfer(NodeId src, NodeId dst, const std::uint8_t* data,
                        std::size_t len, std::uint8_t* out);
+
+  /// Single-attempt unreliable datagram (UD-style): charges the send path
+  /// and dispatches at most once. A drop decided by the FaultInjector is
+  /// final — no timeout, no retransmit; the silence *is* the signal the
+  /// accrual failure detector consumes. A dead destination discards the
+  /// datagram (counted with posts_to_dead); a dead source throws
+  /// NodeDeadError so the caller learns its own node is gone. Returns true
+  /// when the datagram was delivered and dispatched.
+  bool post_datagram(NodeId src, const Message& request);
 
   /// One-way RDMA push of a forwarded grant (kForwardGrant): bulk path
   /// only, no VERB control round trip — the immediate data of the RDMA

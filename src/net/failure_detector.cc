@@ -1,0 +1,87 @@
+#include "net/failure_detector.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace dex::net {
+
+namespace {
+// 1 / ln(10): converts "silence in mean intervals" into -log10 of the
+// exponential tail probability.
+constexpr double kInvLn10 = 0.43429448190325176;
+}  // namespace
+
+AccrualDetector::AccrualDetector(int num_nodes, VirtNs interval_ns)
+    : num_nodes_(num_nodes), interval_ns_(interval_ns) {
+  DEX_CHECK(num_nodes >= 1 && num_nodes <= kMaxNodes);
+  DEX_CHECK(interval_ns > 0);
+}
+
+void AccrualDetector::record_heartbeat(NodeId node, VirtNs at) {
+  DEX_CHECK(node >= 0 && node < num_nodes_);
+  std::lock_guard<std::mutex> lock(mu_);
+  History& h = history_[static_cast<std::size_t>(node)];
+  ++h.seen;
+  if (h.last == 0) {
+    // First arrival: establishes the freshness point, no interval yet.
+    h.last = at;
+    return;
+  }
+  if (at <= h.last) return;  // late or duplicated delivery: only freshness
+  h.intervals[static_cast<std::size_t>(h.next)] = at - h.last;
+  h.next = (h.next + 1) % kHistory;
+  if (h.count < kHistory) ++h.count;
+  h.last = at;
+}
+
+VirtNs AccrualDetector::mean_interval(NodeId node) const {
+  DEX_CHECK(node >= 0 && node < num_nodes_);
+  std::lock_guard<std::mutex> lock(mu_);
+  const History& h = history_[static_cast<std::size_t>(node)];
+  if (h.count == 0) return interval_ns_;
+  VirtNs sum = 0;
+  for (int i = 0; i < h.count; ++i) {
+    sum += h.intervals[static_cast<std::size_t>(i)];
+  }
+  const VirtNs mean = sum / h.count;
+  return mean > 0 ? mean : 1;
+}
+
+double AccrualDetector::phi(NodeId node, VirtNs now) const {
+  DEX_CHECK(node >= 0 && node < num_nodes_);
+  VirtNs last;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last = history_[static_cast<std::size_t>(node)].last;
+  }
+  if (last == 0 || now <= last) return 0.0;
+  const double silence = static_cast<double>(now - last);
+  const double mean = static_cast<double>(mean_interval(node));
+  return kInvLn10 * silence / mean;
+}
+
+VirtNs AccrualDetector::last_arrival(NodeId node) const {
+  DEX_CHECK(node >= 0 && node < num_nodes_);
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_[static_cast<std::size_t>(node)].last;
+}
+
+std::uint64_t AccrualDetector::heartbeats_from(NodeId node) const {
+  DEX_CHECK(node >= 0 && node < num_nodes_);
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_[static_cast<std::size_t>(node)].seen;
+}
+
+void AccrualDetector::reset_node(NodeId node, VirtNs now) {
+  DEX_CHECK(node >= 0 && node < num_nodes_);
+  std::lock_guard<std::mutex> lock(mu_);
+  History& h = history_[static_cast<std::size_t>(node)];
+  h.intervals.fill(0);
+  h.count = 0;
+  h.next = 0;
+  h.last = now;
+  h.seen = 0;
+}
+
+}  // namespace dex::net

@@ -35,6 +35,20 @@ std::size_t FaultInjector::stream_index(MsgType type, NodeId src,
 
 FaultDecision FaultInjector::decide(MsgType type, NodeId src, NodeId dst) {
   FaultDecision decision;
+  const std::uint64_t isolated =
+      isolated_mask_.load(std::memory_order_acquire);
+  if (isolated != 0 &&
+      (((isolated >> static_cast<unsigned>(src)) |
+        (isolated >> static_cast<unsigned>(dst))) &
+       1u)) {
+    // A partitioned endpoint: the wire eats the message, deterministically,
+    // regardless of any probabilistic rules.
+    decision.drop = true;
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    prof::ChaosCounters::instance().messages_dropped.fetch_add(
+        1, std::memory_order_relaxed);
+    return decision;
+  }
   if (!armed()) return decision;
 
   const std::uint64_t n =
@@ -98,6 +112,19 @@ void FaultInjector::heal_node(NodeId node) {
   DEX_CHECK(node >= 0 && node < num_nodes_);
   dead_mask_.fetch_and(~(std::uint64_t{1} << static_cast<unsigned>(node)),
                        std::memory_order_acq_rel);
+}
+
+void FaultInjector::isolate_node(NodeId node) {
+  DEX_CHECK(node >= 0 && node < num_nodes_);
+  isolated_mask_.fetch_or(std::uint64_t{1} << static_cast<unsigned>(node),
+                          std::memory_order_acq_rel);
+}
+
+void FaultInjector::rejoin_node(NodeId node) {
+  DEX_CHECK(node >= 0 && node < num_nodes_);
+  isolated_mask_.fetch_and(
+      ~(std::uint64_t{1} << static_cast<unsigned>(node)),
+      std::memory_order_acq_rel);
 }
 
 void FaultInjector::reset_stats() {

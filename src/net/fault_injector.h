@@ -74,6 +74,21 @@ class FaultInjector {
            1u;
   }
 
+  // ---- Network partition ----
+  /// Cuts every link to and from `node` without marking it dead: its
+  /// messages are silently dropped on the wire (counted as drops), so the
+  /// node looks *crashed* to its peers while it still burns retry budgets
+  /// locally. This is the "silent failure" a heartbeat-based detector must
+  /// catch — as opposed to fail_node, whose death is visible to callers as
+  /// NodeDeadError right at the send.
+  void isolate_node(NodeId node);
+  void rejoin_node(NodeId node);
+  bool node_isolated(NodeId node) const {
+    return (isolated_mask_.load(std::memory_order_acquire) >>
+            static_cast<unsigned>(node)) &
+           1u;
+  }
+
   // ---- Injection statistics ----
   std::uint64_t drops() const {
     return drops_.load(std::memory_order_relaxed);
@@ -102,6 +117,7 @@ class FaultInjector {
   /// Per (src, dst, type) message counters — the deterministic streams.
   std::vector<std::atomic<std::uint64_t>> stream_counts_;
   std::atomic<std::uint64_t> dead_mask_{0};
+  std::atomic<std::uint64_t> isolated_mask_{0};
 
   std::atomic<std::uint64_t> drops_{0};
   std::atomic<std::uint64_t> duplicates_{0};

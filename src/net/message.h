@@ -48,6 +48,13 @@ enum class MsgType : std::uint16_t {
   // --- Control plane ---
   kAck,  // bare status reply: lets handlers signal failure without a payload
 
+  // --- Self-healing (failure detection + writeback leases) ---
+  // Appended after kAck so the numeric values of the seed types — which key
+  // the FaultInjector's deterministic per-type streams — never change.
+  kHeartbeat,         // node -> origin: unreliable liveness datagram
+  kMembershipUpdate,  // origin -> nodes: epoch-stamped membership view
+  kLeaseRenew,        // owner -> home: lease renewal + piggybacked writeback
+
   kMaxType,
 };
 
@@ -77,6 +84,9 @@ const char* to_string(MsgStatus status);
 ///   - kMigrateThread / kMigrateBack-adjacent bookkeeping and
 ///     kDelegateFutex / kDelegateVmaOp: wait/wake and VMA mutations must
 ///     take effect exactly once.
+///   - kLeaseRenew: the renewal extends the lease window and stamps the
+///     journal timestamp; a re-run after the entry moved on would journal
+///     stale bytes over a newer writeback.
 constexpr bool is_idempotent(MsgType type) {
   switch (type) {
     case MsgType::kRevokeOwnership:
@@ -84,6 +94,7 @@ constexpr bool is_idempotent(MsgType type) {
     case MsgType::kMigrateThread:
     case MsgType::kDelegateFutex:
     case MsgType::kDelegateVmaOp:
+    case MsgType::kLeaseRenew:
       return false;
     default:
       return true;
@@ -336,6 +347,41 @@ struct VmaOpPayload {
 struct VmaOpReplyPayload {
   GAddr result;      // mmap: address
   std::uint8_t ok;   // munmap/mprotect: success
+};
+
+/// kHeartbeat: a single-attempt liveness datagram (Fabric::post_datagram —
+/// no retransmit; a drop IS the signal the accrual detector scores).
+struct HeartbeatPayload {
+  NodeId node;            // sender, for when the datagram is forwarded
+  std::uint8_t pad[4];
+  std::uint64_t sequence; // per-sender heartbeat counter
+};
+
+/// kMembershipUpdate: the origin's epoch-stamped membership view. Receivers
+/// adopt the view iff `epoch` is newer than what they hold, so a delayed or
+/// duplicated broadcast can never roll a node's view backwards (no split
+/// brain: every view at epoch E is byte-identical).
+struct MembershipUpdatePayload {
+  std::uint64_t epoch;
+  std::uint64_t dead_mask;  // bit n set = node n is declared dead
+};
+
+/// kLeaseRenew: the exclusive owner of `page` extends its writeback lease
+/// and piggybacks the current page contents (kPageSize bytes follow this
+/// struct) so the home's journaled frame is at most one lease window stale.
+struct LeaseRenewPayload {
+  std::uint64_t process_id;
+  GAddr page;
+  std::uint64_t version;  // the version the owner's exclusive grant carries
+  NodeId owner;
+  std::uint8_t pad[4];
+};
+
+/// Slim kLeaseRenew reply. `renewed == 0` means the owner's grant is stale
+/// (the page was recalled or migrated concurrently); the owner just drops
+/// its lease state and refaults on the next access.
+struct LeaseRenewAckPayload {
+  std::uint8_t renewed;
 };
 
 }  // namespace dex::net

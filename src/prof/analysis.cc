@@ -57,6 +57,12 @@ TraceAnalysis::TraceAnalysis(std::vector<FaultEvent> events)
         ++pr.home_migrations;
         ++sr.home_migrations;
         break;
+      case FaultKind::kLease:
+        // Writeback-lease traffic: renewals, patrol recalls and journal
+        // recoveries. Not demand faults, so excluded from total().
+        ++pr.leases;
+        ++sr.leases;
+        break;
     }
     if (e.node != kInvalidNode) pr.nodes.insert(e.node);
     if (e.task >= 0) pr.tasks.insert(e.task);
@@ -176,6 +182,14 @@ std::string TraceAnalysis::format_report(std::size_t limit) const {
       os << " n" << n << "=" << counters_.faults_by_home[n];
     }
     os << "\n";
+    os << "  writeback leases: " << counters_.lease_renewals
+       << " renewals (" << counters_.writebacks_piggybacked
+       << " piggybacked writebacks), " << counters_.lease_recalls
+       << " patrol recalls\n";
+    os << "  failure recovery: " << counters_.pages_recovered
+       << " pages recovered from journal, " << counters_.dirty_pages_lost
+       << " dirty pages lost, " << counters_.threads_restarted
+       << " threads restarted\n";
   }
   return os.str();
 }

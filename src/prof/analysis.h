@@ -31,6 +31,7 @@ struct SiteReport {
   std::uint64_t prefetches = 0;
   std::uint64_t forwards = 0;  // grants forwarded owner->requester
   std::uint64_t home_migrations = 0;  // entry handed to the dominant faulter
+  std::uint64_t leases = 0;  // lease renewals / recalls / recoveries
   std::uint64_t total() const { return reads + writes + retries; }
 };
 
@@ -45,6 +46,7 @@ struct PageReport {
   std::uint64_t prefetches = 0;
   std::uint64_t forwards = 0;  // grants forwarded owner->requester
   std::uint64_t home_migrations = 0;  // entry handed to the dominant faulter
+  std::uint64_t leases = 0;  // lease renewals / recalls / recoveries
   std::set<NodeId> nodes;
   std::set<std::uint32_t> sites;
   std::set<TaskId> tasks;
@@ -69,6 +71,13 @@ struct ProtocolCounters {
   std::uint64_t home_chases = 0;
   /// Granted page transactions by serving home node, indexed by NodeId.
   std::vector<std::uint64_t> faults_by_home;
+  // ---- Self-healing (leases + failure recovery; DsmStats/FailureStats) --
+  std::uint64_t lease_renewals = 0;
+  std::uint64_t writebacks_piggybacked = 0;
+  std::uint64_t lease_recalls = 0;
+  std::uint64_t pages_recovered = 0;
+  std::uint64_t dirty_pages_lost = 0;
+  std::uint64_t threads_restarted = 0;
 };
 
 class TraceAnalysis {

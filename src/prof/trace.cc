@@ -15,6 +15,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kPrefetch: return "prefetch";
     case FaultKind::kForward: return "forward";
     case FaultKind::kHomeMigrate: return "home_migrate";
+    case FaultKind::kLease: return "lease";
   }
   return "?";
 }
@@ -35,6 +36,13 @@ void ChaosCounters::reset() {
   pages_reclaimed.store(0, std::memory_order_relaxed);
   dirty_pages_lost.store(0, std::memory_order_relaxed);
   threads_lost.store(0, std::memory_order_relaxed);
+  heartbeats.store(0, std::memory_order_relaxed);
+  nodes_suspected.store(0, std::memory_order_relaxed);
+  nodes_declared_dead.store(0, std::memory_order_relaxed);
+  lease_renewals.store(0, std::memory_order_relaxed);
+  writebacks_piggybacked.store(0, std::memory_order_relaxed);
+  pages_recovered.store(0, std::memory_order_relaxed);
+  threads_restarted.store(0, std::memory_order_relaxed);
 }
 
 std::string ChaosCounters::report() const {
@@ -48,7 +56,14 @@ std::string ChaosCounters::report() const {
      << " node_failures=" << node_failures.load()
      << " pages_reclaimed=" << pages_reclaimed.load()
      << " dirty_pages_lost=" << dirty_pages_lost.load()
-     << " threads_lost=" << threads_lost.load();
+     << " threads_lost=" << threads_lost.load()
+     << " heartbeats=" << heartbeats.load()
+     << " suspected=" << nodes_suspected.load()
+     << " declared_dead=" << nodes_declared_dead.load()
+     << " lease_renewals=" << lease_renewals.load()
+     << " writebacks_piggybacked=" << writebacks_piggybacked.load()
+     << " pages_recovered=" << pages_recovered.load()
+     << " threads_restarted=" << threads_restarted.load();
   return os.str();
 }
 

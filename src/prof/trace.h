@@ -30,6 +30,7 @@ enum class FaultKind : std::uint8_t {
   kPrefetch = 6,    // page installed ahead of demand by the stride prefetcher
   kForward = 7,     // grant forwarded owner->requester past the origin
   kHomeMigrate = 8, // directory entry handed off to the dominant faulter
+  kLease = 9,       // writeback-lease event: renewal, patrol recall, recovery
 };
 
 const char* to_string(FaultKind kind);
@@ -81,6 +82,20 @@ struct ChaosCounters {
   std::atomic<std::uint64_t> pages_reclaimed{0};
   std::atomic<std::uint64_t> dirty_pages_lost{0};
   std::atomic<std::uint64_t> threads_lost{0};
+  // --- Self-healing layer ---
+  /// Heartbeat datagrams scored by the accrual detector.
+  std::atomic<std::uint64_t> heartbeats{0};
+  /// alive -> suspect transitions at the membership coordinator.
+  std::atomic<std::uint64_t> nodes_suspected{0};
+  /// suspect -> dead declarations (each bumps the membership epoch).
+  std::atomic<std::uint64_t> nodes_declared_dead{0};
+  /// Exclusive-grant lease renewals (each piggybacks a writeback).
+  std::atomic<std::uint64_t> lease_renewals{0};
+  std::atomic<std::uint64_t> writebacks_piggybacked{0};
+  /// Dirty pages whose journaled home copy made the loss a non-event.
+  std::atomic<std::uint64_t> pages_recovered{0};
+  /// Threads lost to node death and re-spawned at the origin.
+  std::atomic<std::uint64_t> threads_restarted{0};
 
   static ChaosCounters& instance();
   void reset();

@@ -1,0 +1,530 @@
+// Self-healing tests: the accrual failure detector and epoch-stamped
+// membership (silent failures declared dead within a bounded number of
+// heartbeat rounds, zero false positives on clean runs, off = zero
+// membership traffic), writeback leases (off reproduces the unleased
+// protocol bit-for-bit; on bounds dirty loss so a dead owner's journaled
+// pages recover to the fault-free image across cluster shapes), robust
+// futex sweeps (a waiter with a dead counterpart unblocks), lost-thread
+// restart at the origin, and the heal -> re-migrate path.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/virtual_clock.h"
+#include "core/api.h"
+#include "mem/directory.h"
+#include "net/failure_detector.h"
+#include "prof/trace.h"
+
+namespace dex {
+namespace {
+
+using net::MsgType;
+
+constexpr std::size_t kWordsPerPage = kPageSize / sizeof(std::uint64_t);
+
+// "No hangs" is part of the contract under test: a wedged recovery test
+// must abort loudly instead of eating the CI timeout.
+class Watchdog {
+ public:
+  explicit Watchdog(int seconds)
+      : thread_([this, seconds] {
+          std::unique_lock<std::mutex> lock(mu_);
+          if (!cv_.wait_for(lock, std::chrono::seconds(seconds),
+                            [this] { return done_; })) {
+            std::fprintf(stderr,
+                         "recovery watchdog: test exceeded %d s, aborting\n",
+                         seconds);
+            std::abort();
+          }
+        }) {}
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+/// (version, exclusive_owner, materialized) per page — the twin-run
+/// equality fingerprint (same shape as the home-migration ablation test).
+using DirSnapshot =
+    std::map<std::uint64_t, std::tuple<std::uint64_t, NodeId, bool>>;
+
+DirSnapshot snapshot_directory(Process& process) {
+  DirSnapshot snap;
+  process.dsm().directory().for_each(
+      [&](std::uint64_t page_idx, mem::DirEntry& entry) {
+        snap[page_idx] = {entry.version, entry.exclusive_owner,
+                          entry.materialized};
+      });
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// AccrualDetector unit behavior
+// ---------------------------------------------------------------------------
+
+TEST(AccrualDetectorTest, PhiGrowsWithSilenceAndResetsOnArrival) {
+  constexpr VirtNs kInterval = 50'000;
+  net::AccrualDetector detector(4, kInterval);
+
+  // Never-heard nodes are never suspected: phi stays exactly zero.
+  EXPECT_EQ(detector.phi(2, 1'000'000), 0.0);
+
+  // Regular arrivals: one missed interval scores well under suspicion,
+  // ~7 silent intervals crosses the phi=3 death threshold.
+  VirtNs t = 100'000;
+  for (int i = 0; i < 10; ++i) {
+    detector.record_heartbeat(1, t);
+    t += kInterval;
+  }
+  const VirtNs last = detector.last_arrival(1);
+  EXPECT_LT(detector.phi(1, last + kInterval), 1.0);
+  EXPECT_LT(detector.phi(1, last + 2 * kInterval), detector.phi(1, last + 4 * kInterval));
+  EXPECT_GE(detector.phi(1, last + 8 * kInterval), 3.0);
+
+  // A fresh arrival clears the suspicion.
+  detector.record_heartbeat(1, last + 8 * kInterval);
+  EXPECT_EQ(detector.phi(1, last + 8 * kInterval), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Membership: bounded detection, agreement, clean-run false positives
+// ---------------------------------------------------------------------------
+
+TEST(MembershipTest, SilentFailureDeclaredDeadWithinBoundedRounds) {
+  Watchdog dog(60);
+  prof::ChaosCounters::instance().reset();
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.detector.enabled = true;
+  Cluster cluster(config);
+
+  // History warm-up: every node heartbeats on schedule, nobody suspected.
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(cluster.run_membership_round(), 0);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(cluster.member_state(n), MemberState::kAlive) << n;
+  }
+
+  // Silent failure: node 2's links go dark without the oracle marking it
+  // dead — only the missing heartbeats can reveal it.
+  cluster.fabric().injector().isolate_node(2);
+  int rounds = 1;
+  while (cluster.run_membership_round() == 0 && rounds < 12) ++rounds;
+
+  // Declared within a bounded number of heartbeat intervals (phi=3 with a
+  // regular history crosses at ~7 silent intervals).
+  EXPECT_LE(rounds, 9);
+  EXPECT_EQ(cluster.member_state(2), MemberState::kDead);
+  EXPECT_TRUE(cluster.node_dead(2));  // fenced, not just suspected
+  EXPECT_EQ(prof::ChaosCounters::instance().nodes_declared_dead.load(), 1u);
+
+  // Epoch-stamped agreement: every surviving node adopted the verdict.
+  const std::uint64_t epoch = cluster.membership_epoch();
+  EXPECT_GE(epoch, 1u);
+  for (NodeId n : {NodeId{0}, NodeId{1}, NodeId{3}}) {
+    EXPECT_EQ(cluster.view_epoch(n), epoch) << n;
+    EXPECT_EQ((cluster.view_dead_mask(n) >> 2) & 1u, 1u) << n;
+  }
+
+  // Survivors keep heartbeating; no cascade.
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(cluster.run_membership_round(), 0);
+  EXPECT_EQ(cluster.member_state(1), MemberState::kAlive);
+  EXPECT_EQ(cluster.member_state(3), MemberState::kAlive);
+}
+
+TEST(MembershipTest, CleanRunHasZeroFalsePositives) {
+  Watchdog dog(60);
+  prof::ChaosCounters::instance().reset();
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.detector.enabled = true;
+  Cluster cluster(config);
+  auto process = cluster.create_process(ProcessOptions{});
+
+  // Real protocol traffic in flight while the membership pump runs.
+  GArray<std::uint64_t> arr(*process, 4 * kWordsPerPage, "clean");
+  std::atomic<bool> stop{false};
+  DexThread worker = process->spawn([&] {
+    migrate(1);
+    std::uint64_t v = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (std::size_t p = 0; p < 4; ++p) arr.set(p * kWordsPerPage, v + p);
+      ++v;
+    }
+    migrate_back();
+  });
+
+  for (int r = 0; r < 40; ++r) EXPECT_EQ(cluster.run_membership_round(), 0);
+  stop.store(true, std::memory_order_release);
+  worker.join();
+  EXPECT_FALSE(worker.failed());
+
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(cluster.member_state(n), MemberState::kAlive) << n;
+  }
+  auto& chaos = prof::ChaosCounters::instance();
+  EXPECT_EQ(chaos.nodes_suspected.load(), 0u);
+  EXPECT_EQ(chaos.nodes_declared_dead.load(), 0u);
+  EXPECT_GT(chaos.heartbeats.load(), 0u);
+}
+
+TEST(MembershipTest, DetectorOffSendsNoMembershipTraffic) {
+  Watchdog dog(60);
+  ClusterConfig config;  // detector.enabled defaults to false
+  config.num_nodes = 3;
+  Cluster cluster(config);
+  auto process = cluster.create_process(ProcessOptions{});
+
+  GArray<std::uint64_t> arr(*process, 2 * kWordsPerPage, "off");
+  DexThread worker = process->spawn([&] {
+    migrate(1);
+    for (std::size_t p = 0; p < 2; ++p) arr.set(p * kWordsPerPage, p + 1);
+    migrate_back();
+  });
+  worker.join();
+  EXPECT_FALSE(worker.failed());
+
+  // The pump is inert and the wire carries zero detector traffic: the
+  // seed failure model, bit for bit.
+  EXPECT_EQ(cluster.run_membership_round(), 0);
+  EXPECT_EQ(cluster.fabric().messages_of(MsgType::kHeartbeat), 0u);
+  EXPECT_EQ(cluster.fabric().messages_of(MsgType::kMembershipUpdate), 0u);
+  EXPECT_EQ(cluster.membership_epoch(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Writeback leases
+// ---------------------------------------------------------------------------
+
+class LeaseTest : public ::testing::Test {
+ protected:
+  void start(int num_nodes, VirtNs lease_ns) {
+    process_.reset();
+    cluster_.reset();
+    ClusterConfig config;
+    config.num_nodes = num_nodes;
+    cluster_ = std::make_unique<Cluster>(config);
+    ProcessOptions options;
+    options.lease_ns = lease_ns;
+    options.prefetch_max_pages = 0;  // deterministic one-fault-per-page
+    options.home_migration = false;  // homes stay at the origin
+    process_ = cluster_->create_process(options);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Process> process_;
+};
+
+TEST_F(LeaseTest, AblationOffReproducesTheUnleasedProtocolBitForBit) {
+  Watchdog dog(60);
+  // Twin runs of the same deterministic workload, leases off vs on. The
+  // off-run must be the unleased protocol to the message: zero kLeaseRenew
+  // traffic, zero lease counters, zero lease state in the directory. And
+  // since renewal moves only journal copies, both runs converge to the
+  // identical data and (version, owner) directory state.
+  constexpr std::size_t kPages = 4;
+  constexpr int kRounds = 5;
+  constexpr VirtNs kLease = 20'000;
+  DirSnapshot snaps[2];
+  std::uint64_t faults[2] = {0, 0};
+  for (int on = 0; on <= 1; ++on) {
+    start(/*num_nodes=*/2, /*lease_ns=*/on != 0 ? kLease : 0);
+    GArray<std::uint64_t> arr(*process_, kPages * kWordsPerPage, "ablation");
+    DexThread worker = process_->spawn([&] {
+      migrate(1);
+      for (int r = 1; r <= kRounds; ++r) {
+        for (std::size_t p = 0; p < kPages; ++p) {
+          arr.set(p * kWordsPerPage,
+                  static_cast<std::uint64_t>(r) * 100 + p);
+        }
+        // Outlive the lease window so the next round's writes renew.
+        vclock::advance(kLease + 1);
+      }
+      migrate_back();
+    });
+    worker.join();
+    EXPECT_FALSE(worker.failed());
+    for (std::size_t p = 0; p < kPages; ++p) {
+      EXPECT_EQ(arr.get(p * kWordsPerPage),
+                static_cast<std::uint64_t>(kRounds) * 100 + p);
+    }
+    auto& stats = process_->dsm().stats();
+    faults[on] = stats.total_faults();
+    snaps[on] = snapshot_directory(*process_);
+    if (on == 0) {
+      EXPECT_EQ(cluster_->fabric().messages_of(MsgType::kLeaseRenew), 0u);
+      EXPECT_EQ(stats.lease_renewals.load(), 0u);
+      EXPECT_EQ(stats.writebacks_piggybacked.load(), 0u);
+      EXPECT_EQ(stats.lease_recalls.load(), 0u);
+      process_->dsm().directory().for_each(
+          [&](std::uint64_t, mem::DirEntry& entry) {
+            EXPECT_EQ(entry.lease_until, 0);
+            EXPECT_EQ(entry.journal_ts, 0);
+          });
+    } else {
+      EXPECT_GT(stats.lease_renewals.load(), 0u);
+      EXPECT_EQ(stats.writebacks_piggybacked.load(),
+                stats.lease_renewals.load());
+    }
+    EXPECT_TRUE(process_->dsm().check_invariants());
+  }
+  EXPECT_EQ(faults[0], faults[1]);
+  EXPECT_EQ(snaps[0], snaps[1]);
+}
+
+// The acceptance property: across cluster shapes, a node death after the
+// working set was journaled (last write older than one lease window) loses
+// zero dirty pages, and the recovered memory image equals the fault-free
+// run's image.
+class LeaseRecoveryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeaseRecoveryProperty, DeadOwnersJournaledPagesRecoverExactly) {
+  Watchdog dog(90);
+  const int nodes = GetParam();
+  const NodeId victim = static_cast<NodeId>(nodes - 1);
+  constexpr std::size_t kPages = 8;
+  constexpr VirtNs kLease = 20'000;
+  auto pattern = [](std::size_t p) {
+    return 0xBEEF0000u + static_cast<std::uint64_t>(p);
+  };
+
+  std::array<std::vector<std::uint64_t>, 2> images;
+  for (int inject = 0; inject <= 1; ++inject) {
+    ClusterConfig config;
+    config.num_nodes = nodes;
+    Cluster cluster(config);
+    ProcessOptions options;
+    options.lease_ns = kLease;
+    options.prefetch_max_pages = 0;
+    options.home_migration = false;
+    auto process = cluster.create_process(options);
+
+    GArray<std::uint64_t> arr(*process, kPages * kWordsPerPage, "journal");
+    std::atomic<bool> parked{false};
+    std::atomic<bool> release{false};
+    DexThread writer = process->spawn([&] {
+      migrate(victim);
+      for (std::size_t p = 0; p < kPages; ++p) {
+        arr.set(p * kWordsPerPage, pattern(p));
+      }
+      // Outlive the lease window, then rewrite the same values: each
+      // write renews first, journaling the current (final) frame at the
+      // home before the identical store lands.
+      vclock::advance(kLease + 1);
+      for (std::size_t p = 0; p < kPages; ++p) {
+        arr.set(p * kWordsPerPage, pattern(p));
+      }
+      parked.store(true, std::memory_order_release);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+    while (!parked.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+
+    if (inject != 0) cluster.fail_node(victim);
+    release.store(true, std::memory_order_release);
+    writer.join();
+    EXPECT_FALSE(writer.failed());
+
+    auto& failure = process->dsm().failure_stats();
+    if (inject != 0) {
+      // Every dirty page had a journaled copy: nothing lost.
+      EXPECT_EQ(failure.dirty_pages_lost.load(), 0u) << nodes << " nodes";
+      EXPECT_EQ(failure.pages_recovered.load(), kPages);
+    } else {
+      EXPECT_EQ(failure.pages_recovered.load(), 0u);
+    }
+
+    images[static_cast<std::size_t>(inject)].clear();
+    for (std::size_t p = 0; p < kPages; ++p) {
+      images[static_cast<std::size_t>(inject)].push_back(
+          arr.get(p * kWordsPerPage));
+    }
+    EXPECT_TRUE(process->dsm().check_invariants());
+  }
+
+  // The recovered image is indistinguishable from the fault-free run.
+  EXPECT_EQ(images[0], images[1]);
+  for (std::size_t p = 0; p < kPages; ++p) {
+    EXPECT_EQ(images[1][p], pattern(p)) << "page " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LeaseRecoveryProperty,
+                         ::testing::Values(2, 3, 4),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Robust futex sweep and lost-thread restart
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryTest, BarrierWaiterWithDeadParticipantUnblocks) {
+  Watchdog dog(60);
+  ClusterConfig config;
+  config.num_nodes = 3;
+  Cluster cluster(config);
+  auto process = cluster.create_process(ProcessOptions{});
+
+  const GAddr word = process->mmap(kPageSize, mem::kProtReadWrite, "barrier");
+  process->store<std::uint64_t>(word, 0);
+
+  // A waits for a wake that only B would deliver; B dies with its node.
+  std::atomic<bool> woke{false};
+  DexThread a = process->spawn([&] {
+    process->futex_wait(word, 0);
+    woke.store(true, std::memory_order_release);
+  });
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  GArray<std::uint64_t> touch(*process, kWordsPerPage, "touch");
+  DexThread b = process->spawn([&] {
+    migrate(2);
+    touch.set(0, 7);
+    parked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    touch.set(0, 8);  // faults against the fenced fabric and unwinds
+  });
+
+  while (process->futex_table().total_waits() == 0 ||
+         !parked.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(woke.load(std::memory_order_acquire));
+
+  // Node death sweeps every waiter with owner-died status: A unblocks even
+  // though its waker died without ever calling wake.
+  cluster.fail_node(2);
+  a.join();
+  EXPECT_TRUE(woke.load(std::memory_order_acquire));
+  EXPECT_FALSE(a.failed());
+
+  release.store(true, std::memory_order_release);
+  b.join();
+  EXPECT_TRUE(b.failed());
+}
+
+TEST(RecoveryTest, LostThreadRestartsAtOriginAndCompletes) {
+  Watchdog dog(60);
+  ClusterConfig config;
+  config.num_nodes = 3;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.restart_lost_threads = true;
+  auto process = cluster.create_process(options);
+
+  constexpr std::size_t kWords = 2 * kWordsPerPage;
+  auto expected = [](std::size_t i) {
+    return 1000003u * (static_cast<std::uint64_t>(i) + 1);
+  };
+  GArray<std::uint64_t> arr(*process, kWords, "restart");
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> attempts{0};
+
+  // The entry closure is idempotent and re-runnable: the restarted thread
+  // re-executes it from the top at the origin (the node check keeps it
+  // from re-migrating onto the corpse).
+  DexThread worker = process->spawn([&] {
+    attempts.fetch_add(1, std::memory_order_relaxed);
+    if (!cluster.node_dead(2)) migrate(2);
+    for (std::size_t i = 0; i < kWords / 2; ++i) arr.set(i, expected(i));
+    parked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    for (std::size_t i = kWords / 2; i < kWords; ++i) arr.set(i, expected(i));
+  });
+  while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  cluster.fail_node(2);
+  release.store(true, std::memory_order_release);
+  worker.join();
+
+  // The thread was lost, restarted once at the origin, and finished the
+  // whole job there — the app run completes with correct output.
+  EXPECT_FALSE(worker.failed());
+  EXPECT_EQ(attempts.load(), 2);
+  auto& failure = process->dsm().failure_stats();
+  EXPECT_EQ(failure.threads_restarted.load(), 1u);
+  EXPECT_EQ(failure.threads_lost.load(), 0u);
+  for (std::size_t i = 0; i < kWords; ++i) {
+    ASSERT_EQ(arr.get(i), expected(i)) << "slot " << i;
+  }
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+TEST(RecoveryTest, HealThenRemigrateRecreatesTheRemoteWorker) {
+  Watchdog dog(60);
+  ClusterConfig config;
+  config.num_nodes = 3;
+  Cluster cluster(config);
+  auto process = cluster.create_process(ProcessOptions{});
+
+  GArray<std::uint64_t> arr(*process, kWordsPerPage, "heal");
+  DexThread first = process->spawn([&] {
+    migrate(2);
+    arr.set(0, 11);
+    migrate_back();
+  });
+  first.join();
+  EXPECT_FALSE(first.failed());
+  EXPECT_TRUE(process->remote_worker_exists(2));
+  // Read at the origin: downgrades the page to shared so the home holds a
+  // valid copy and the upcoming death loses no data (no lease configured).
+  EXPECT_EQ(arr.get(0), 11u);
+
+  cluster.fail_node(2);
+  // The worker died with its node; the record must reflect that.
+  EXPECT_FALSE(process->remote_worker_exists(2));
+  cluster.heal_node(2);
+  EXPECT_FALSE(process->remote_worker_exists(2));
+
+  // The next migration rebuilds the worker from scratch and refaults the
+  // (reclaimed) page cleanly.
+  process->clear_migration_log();
+  DexThread second = process->spawn([&] {
+    migrate(2);
+    EXPECT_EQ(arr.get(0), 11u);
+    arr.set(0, 12);
+    migrate_back();
+  });
+  second.join();
+  EXPECT_FALSE(second.failed());
+  EXPECT_TRUE(process->remote_worker_exists(2));
+  const auto log = process->migration_log();
+  ASSERT_FALSE(log.empty());
+  EXPECT_TRUE(log.front().first_on_node);
+  EXPECT_GT(log.front().remote_worker_ns, 0);
+  EXPECT_EQ(arr.get(0), 12u);
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+}  // namespace
+}  // namespace dex
