@@ -1,0 +1,215 @@
+// Bounded-memory bench (DESIGN.md "Memory pressure").
+//
+// Measures what the frame budget costs and what it buys. For each selected
+// application: an unbounded run establishes the per-node frame high-water
+// mark (the app's true working set), then the same run repeats with the
+// budget set to 25% of that peak and the cold tier enabled. The budgeted
+// run must produce the identical verified result; the bench reports the
+// slowdown, the eviction/spill/backpressure traffic that paid for the 4x
+// memory reduction, and whether the peak actually stayed under the budget.
+// Emits BENCH_eviction.json.
+//
+// DEX_EVICTION_SOAK=1 switches to the soak variant: a synthetic streaming
+// writer drives a working set 4x over a fixed budget through repeated
+// sweeps — run under an address-space cap (ulimit -v) it proves the frame
+// manager completes over-budget working sets without OOM.
+// DEX_EVICTION_APPS="GRP,KMN" restricts the app set.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/api.h"
+
+namespace {
+
+std::vector<std::string> selected_apps() {
+  std::vector<std::string> names;
+  if (const char* env = std::getenv("DEX_EVICTION_APPS")) {
+    std::string list = env;
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::size_t end = comma == std::string::npos ? list.size() : comma;
+      if (end > pos) names.push_back(list.substr(pos, end - pos));
+      pos = end + 1;
+    }
+  }
+  if (names.empty()) names = {"GRP", "KMN", "EP", "BFS"};
+  return names;
+}
+
+int run_soak() {
+  using namespace dex;
+  using namespace dex::bench;
+
+  constexpr std::size_t kPages = 1024;  // 4 MB working set
+  constexpr std::uint64_t kBudget = 256 * kPageSize;  // 4x over budget
+  constexpr int kSweeps = 3;
+  constexpr std::size_t kWordsPerPage = kPageSize / sizeof(std::uint64_t);
+
+  core::ClusterConfig cluster_config;
+  cluster_config.num_nodes = 4;
+  core::Cluster cluster(cluster_config);
+  core::ProcessOptions options;
+  options.frame_budget_bytes = kBudget;
+  options.spill_cold_pages = true;
+  options.home_migration = false;
+  auto process = cluster.create_process(options);
+
+  print_header("Eviction soak: 4 MB working set, 1 MB/node frame budget");
+  GArray<std::uint64_t> arr(*process, kPages * kWordsPerPage, "soak");
+  std::vector<DexThread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.push_back(process->spawn([&, t] {
+      migrate(static_cast<NodeId>(t));
+      const std::size_t begin = kPages / 4 * static_cast<std::size_t>(t);
+      const std::size_t end = begin + kPages / 4;
+      for (int sweep = 1; sweep <= kSweeps; ++sweep) {
+        for (std::size_t p = begin; p < end; ++p) {
+          arr.set(p * kWordsPerPage,
+                  static_cast<std::uint64_t>(sweep) * 100'000 + p);
+        }
+      }
+      migrate_back();
+    }));
+  }
+  for (auto& t : threads) t.join();
+  process->dsm().frame_patrol();  // one patrol pass settles the pools
+
+  std::size_t mismatches = 0;
+  for (std::size_t p = 0; p < kPages; ++p) {
+    if (arr.get(p * kWordsPerPage) !=
+        static_cast<std::uint64_t>(kSweeps) * 100'000 + p) {
+      ++mismatches;
+    }
+  }
+  auto& stats = process->dsm().stats();
+  const std::uint64_t peak = process->dsm().frame_high_water_bytes();
+  std::printf("  image: %zu/%zu pages correct\n", kPages - mismatches,
+              kPages);
+  std::printf("  peak frame bytes: %llu (budget %llu)\n",
+              static_cast<unsigned long long>(peak),
+              static_cast<unsigned long long>(kBudget));
+  std::printf(
+      "  evictions: %llu shared, %llu exclusive, %llu local; spills "
+      "%llu out / %llu in\n",
+      static_cast<unsigned long long>(stats.evictions_shared.load()),
+      static_cast<unsigned long long>(stats.evictions_exclusive.load()),
+      static_cast<unsigned long long>(stats.evictions_local.load()),
+      static_cast<unsigned long long>(stats.spills_out.load()),
+      static_cast<unsigned long long>(stats.spills_in.load()));
+  std::printf("  backpressure: %llu stalls, %llu overshoots\n",
+              static_cast<unsigned long long>(
+                  stats.backpressure_stalls.load()),
+              static_cast<unsigned long long>(
+                  stats.backpressure_overshoots.load()));
+
+  JsonDoc doc;
+  doc.set("soak", "pages", static_cast<double>(kPages));
+  doc.set("soak", "budget_bytes", static_cast<double>(kBudget));
+  doc.set("soak", "peak_frame_bytes", static_cast<double>(peak));
+  doc.set("soak", "mismatches", static_cast<double>(mismatches));
+  doc.set("soak", "evictions",
+          static_cast<double>(stats.evictions_shared.load() +
+                              stats.evictions_exclusive.load() +
+                              stats.evictions_local.load()));
+  doc.set("soak", "spills_out", static_cast<double>(stats.spills_out.load()));
+  doc.set("soak", "backpressure_stalls",
+          static_cast<double>(stats.backpressure_stalls.load()));
+  doc.write("BENCH_eviction.json");
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dex;
+  using namespace dex::bench;
+
+  if (const char* soak = std::getenv("DEX_EVICTION_SOAK")) {
+    if (soak[0] == '1') return run_soak();
+  }
+
+  JsonDoc json;
+  print_header(
+      "Bounded frames: 25%-of-peak budget vs unbounded (4 nodes, "
+      "Optimized ports)");
+  std::printf("  %-5s %12s %12s %9s %9s %9s %9s %7s\n", "app",
+              "peak(KB)", "budget(KB)", "slowdown", "evict", "spill",
+              "stalls", "image");
+
+  bool all_ok = true;
+  for (const std::string& name : selected_apps()) {
+    apps::App* app = apps::find_app(name);
+    if (app == nullptr) {
+      std::printf("unknown app %s\n", name.c_str());
+      continue;
+    }
+
+    apps::RunConfig base;
+    base.nodes = 4;
+    base.threads_per_node = 8;
+    base.variant = apps::Variant::kOptimized;
+    base.scale = bench_scale(name) * 0.25;
+    base.seed = 42;
+    base.pacing = 0;
+
+    const apps::RunResult unbounded = apps::run_app(*app, base);
+
+    apps::RunConfig budgeted = base;
+    budgeted.frame_budget_bytes = unbounded.frame_high_water_bytes / 4;
+    budgeted.spill_cold_pages = true;
+    const apps::RunResult bounded = apps::run_app(*app, budgeted);
+
+    const bool image_ok = bounded.verified &&
+                          bounded.checksum == unbounded.checksum;
+    all_ok = all_ok && image_ok;
+    const double slowdown =
+        unbounded.elapsed_ns > 0
+            ? static_cast<double>(bounded.elapsed_ns) /
+                  static_cast<double>(unbounded.elapsed_ns)
+            : 0.0;
+    const std::uint64_t evictions = bounded.evictions_shared +
+                                    bounded.evictions_exclusive +
+                                    bounded.evictions_local;
+    std::printf("  %-5s %12.1f %12.1f %8.2fx %9llu %9llu %9llu %7s\n",
+                name.c_str(),
+                static_cast<double>(unbounded.frame_high_water_bytes) / 1024,
+                static_cast<double>(budgeted.frame_budget_bytes) / 1024,
+                slowdown, static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(bounded.spills_out),
+                static_cast<unsigned long long>(bounded.backpressure_stalls),
+                image_ok ? "exact" : "DIFF");
+
+    json.set(name, "peak_unbounded_bytes",
+             static_cast<double>(unbounded.frame_high_water_bytes));
+    json.set(name, "budget_bytes",
+             static_cast<double>(budgeted.frame_budget_bytes));
+    json.set(name, "peak_budgeted_bytes",
+             static_cast<double>(bounded.frame_high_water_bytes));
+    json.set(name, "slowdown", slowdown);
+    json.set(name, "evictions_shared",
+             static_cast<double>(bounded.evictions_shared));
+    json.set(name, "evictions_exclusive",
+             static_cast<double>(bounded.evictions_exclusive));
+    json.set(name, "evictions_local",
+             static_cast<double>(bounded.evictions_local));
+    json.set(name, "spills_out", static_cast<double>(bounded.spills_out));
+    json.set(name, "spills_in", static_cast<double>(bounded.spills_in));
+    json.set(name, "backpressure_stalls",
+             static_cast<double>(bounded.backpressure_stalls));
+    json.set(name, "backpressure_overshoots",
+             static_cast<double>(bounded.backpressure_overshoots));
+    json.set(name, "image_match", image_ok ? 1.0 : 0.0);
+  }
+
+  json.write("BENCH_eviction.json");
+  std::printf(
+      "Expected: every app verifies with the identical checksum under a "
+      "4x-smaller frame\nfootprint, paying for it in eviction/spill "
+      "traffic and backpressure stalls.\n");
+  return all_ok ? 0 : 1;
+}

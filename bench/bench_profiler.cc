@@ -47,6 +47,17 @@ int main() {
       counters.pages_recovered = result.pages_recovered;
       counters.dirty_pages_lost = result.dirty_pages_lost;
       counters.threads_restarted = result.threads_restarted;
+      counters.frame_budget_bytes = result.frame_budget_bytes;
+      counters.frame_high_water_bytes = result.frame_high_water_bytes;
+      counters.evictions_shared = result.evictions_shared;
+      counters.evictions_exclusive = result.evictions_exclusive;
+      counters.evictions_local = result.evictions_local;
+      counters.spills_out = result.spills_out;
+      counters.spills_in = result.spills_in;
+      counters.backpressure_stalls = result.backpressure_stalls;
+      counters.backpressure_overshoots = result.backpressure_overshoots;
+      counters.journal_bytes = result.journal_bytes;
+      counters.journal_gcs = result.journal_gcs;
       analysis.set_protocol_counters(counters);
       std::printf("%s\n", analysis.format_report(6).c_str());
     }

@@ -61,6 +61,17 @@ void snapshot_stats(core::Process& process, RunResult& result) {
   result.pages_recovered = failure.pages_recovered.load();
   result.dirty_pages_lost = failure.dirty_pages_lost.load();
   result.threads_restarted = failure.threads_restarted.load();
+  result.frame_budget_bytes = process.dsm().config().frame_budget_bytes;
+  result.frame_high_water_bytes = process.dsm().frame_high_water_bytes();
+  result.evictions_shared = stats.evictions_shared.load();
+  result.evictions_exclusive = stats.evictions_exclusive.load();
+  result.evictions_local = stats.evictions_local.load();
+  result.spills_out = stats.spills_out.load();
+  result.spills_in = stats.spills_in.load();
+  result.backpressure_stalls = stats.backpressure_stalls.load();
+  result.backpressure_overshoots = stats.backpressure_overshoots.load();
+  result.journal_bytes = stats.journal_bytes.load();
+  result.journal_gcs = stats.journal_gcs.load();
   if (process.trace().enabled()) {
     result.trace = process.trace().snapshot();
   }

@@ -55,6 +55,10 @@ struct RunConfig {
   VirtNs lease_ns = 0;
   /// Re-run threads lost to node death at the origin (self-healing).
   bool restart_lost_threads = false;
+  /// Per-node frame-memory budget (0 = unbounded, no eviction).
+  std::uint64_t frame_budget_bytes = 0;
+  /// File-backed cold tier for evicted home/exclusive frames.
+  bool spill_cold_pages = false;
 };
 
 struct RunResult {
@@ -83,6 +87,18 @@ struct RunResult {
   std::uint64_t pages_recovered = 0;
   std::uint64_t dirty_pages_lost = 0;
   std::uint64_t threads_restarted = 0;
+  /// Bounded-frame counters (zero unless frame_budget_bytes was set).
+  std::uint64_t frame_budget_bytes = 0;
+  std::uint64_t frame_high_water_bytes = 0;
+  std::uint64_t evictions_shared = 0;
+  std::uint64_t evictions_exclusive = 0;
+  std::uint64_t evictions_local = 0;
+  std::uint64_t spills_out = 0;
+  std::uint64_t spills_in = 0;
+  std::uint64_t backpressure_stalls = 0;
+  std::uint64_t backpressure_overshoots = 0;
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t journal_gcs = 0;
   std::vector<prof::FaultEvent> trace;  // when trace_faults was set
 };
 
@@ -124,6 +140,8 @@ class App {
     popt.home_migration = config.home_migration;
     popt.lease_ns = config.lease_ns;
     popt.restart_lost_threads = config.restart_lost_threads;
+    popt.frame_budget_bytes = config.frame_budget_bytes;
+    popt.spill_cold_pages = config.spill_cold_pages;
     return popt;
   }
 };

@@ -196,6 +196,10 @@ int Cluster::run_membership_round() {
     for (const auto& [id, process] : processes_) patrol.push_back(process);
   }
   for (Process* process : patrol) process->dsm().lease_patrol();
+
+  // 5. Frame patrol: background eviction pressure so budgeted nodes drain
+  //    back under budget even when no fault is applying pressure.
+  for (Process* process : patrol) process->dsm().frame_patrol();
   return newly_dead;
 }
 
@@ -363,6 +367,11 @@ void Cluster::install_handlers() {
       MsgType::kLeaseRenew, [route](const Message& msg) {
         return route(
             msg, [&](Process& p) { return p.dsm().handle_lease_renew(msg); });
+      });
+  fabric_->register_handler(
+      MsgType::kEvictPage, [route](const Message& msg) {
+        return route(
+            msg, [&](Process& p) { return p.dsm().handle_evict_page(msg); });
       });
   // Heartbeats and membership updates are cluster-level (no process-id
   // prefix); they bypass the process router.

@@ -1,6 +1,7 @@
 #include "core/process.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -53,14 +54,36 @@ Process::Process(Cluster& cluster, std::uint64_t id,
   dsm_config.home_migration = options.home_migration;
   dsm_config.home_migrate_run = options.home_migrate_run;
   dsm_config.lease_ns = options.lease_ns;
+  dsm_config.frame_budget_bytes = options.frame_budget_bytes;
+  dsm_config.spill_cold_pages = options.spill_cold_pages;
+  dsm_config.evict_batch_pages = options.evict_batch_pages;
+  dsm_config.max_backpressure_rounds = options.max_backpressure_rounds;
   dsm_ = std::make_unique<mem::Dsm>(cluster.fabric(), dsm_config,
                                     &cluster.node_load(), &trace_);
   worker_exists_[static_cast<std::size_t>(options.origin)] = true;
   restart_budget_.store(options.restart_lost_threads ? 256 : 0,
                         std::memory_order_relaxed);
+  if (options.frame_budget_bytes > 0 && options.frame_patrol_ms > 0) {
+    patrol_thread_ = std::thread([this, period = options.frame_patrol_ms] {
+      while (!patrol_stop_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(period));
+        if (patrol_stop_.load(std::memory_order_acquire)) break;
+        dsm_->frame_patrol();
+      }
+    });
+  }
 }
 
-Process::~Process() { cluster_.unregister_process(id_); }
+Process::~Process() {
+  // Stop the patrol before anything else: it walks the page tables and
+  // issues eviction RPCs, so it must be gone before the process leaves
+  // the cluster's routing table.
+  if (patrol_thread_.joinable()) {
+    patrol_stop_.store(true, std::memory_order_release);
+    patrol_thread_.join();
+  }
+  cluster_.unregister_process(id_);
+}
 
 // ---------------------------------------------------------------------------
 // Threads

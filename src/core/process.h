@@ -93,6 +93,23 @@ struct ProcessOptions {
   /// instead of reporting it permanently failed. Each thread restarts at
   /// most once, and a process-wide budget caps restart storms.
   bool restart_lost_threads = false;
+  /// Per-node frame-memory budget (DsmConfig::frame_budget_bytes
+  /// passthrough; 0 disables eviction and reproduces the unbounded
+  /// protocol bit-for-bit).
+  std::uint64_t frame_budget_bytes = 0;
+  /// File-backed cold tier for evicted home/exclusive frames
+  /// (DsmConfig::spill_cold_pages passthrough).
+  bool spill_cold_pages = false;
+  /// Pages the eviction provider frees beyond the immediate need per
+  /// pressure pass (DsmConfig::evict_batch_pages passthrough).
+  int evict_batch_pages = 8;
+  /// Backpressure rounds before a fault is admitted over budget
+  /// (DsmConfig::max_backpressure_rounds passthrough).
+  int max_backpressure_rounds = 32;
+  /// Wall-clock period of this process's own frame-patrol thread. 0 (the
+  /// default) spawns no thread: patrol then runs only on the cluster's
+  /// membership rounds and under allocation pressure.
+  int frame_patrol_ms = 0;
 };
 
 /// One entry of the migration log (Table II / Figure 3 raw data).
@@ -235,6 +252,12 @@ class Process {
   };
   Arena small_arena_;
   std::unordered_map<GAddr, std::uint64_t> alloc_sizes_;
+
+  /// Optional dedicated frame-patrol thread (ProcessOptions::
+  /// frame_patrol_ms > 0 with a budget set). Joined FIRST in ~Process so
+  /// it can never touch a half-torn-down Dsm.
+  std::atomic<bool> patrol_stop_{false};
+  std::thread patrol_thread_;
 };
 
 }  // namespace dex::core

@@ -35,15 +35,27 @@ Dsm::Dsm(net::Fabric& fabric, const DsmConfig& config, NodeLoad* node_load,
   DEX_CHECK(config.origin >= 0 && config.origin < config.num_nodes);
   DEX_CHECK(config.dir_shards >= 1);
   spaces_.reserve(static_cast<std::size_t>(config.num_nodes));
+  pools_.reserve(static_cast<std::size_t>(config.num_nodes));
   tables_.reserve(static_cast<std::size_t>(config.num_nodes));
   fault_tables_.reserve(static_cast<std::size_t>(config.num_nodes));
   home_caches_.reserve(static_cast<std::size_t>(config.num_nodes));
   for (int i = 0; i < config.num_nodes; ++i) {
     spaces_.push_back(std::make_unique<AddressSpace>());
-    tables_.push_back(std::make_unique<PageTable>());
+    pools_.push_back(std::make_unique<FramePool>(
+        config.frame_budget_bytes, config.spill_cold_pages,
+        fabric.cost().spill_write_ns, fabric.cost().spill_read_ns));
+    tables_.push_back(std::make_unique<PageTable>(pools_.back().get()));
     fault_tables_.push_back(std::make_unique<FaultTable>());
     home_caches_.push_back(std::make_unique<HomeHintCache>());
   }
+}
+
+std::uint64_t Dsm::frame_high_water_bytes() const {
+  std::uint64_t peak = 0;
+  for (const auto& pool : pools_) {
+    peak = std::max<std::uint64_t>(peak, pool->high_water_bytes());
+  }
+  return peak;
 }
 
 NodeId Dsm::home_of_page(GAddr page) {
@@ -86,26 +98,33 @@ bool Dsm::munmap(GAddr start, std::uint64_t length) {
   }
   fabric_.post_many(config_.origin, broadcast);
 
-  // Retire every page in the range: invalidate all copies and reset the
-  // directory entries so a later mapping of the range starts from zeros.
+  // Retire every page in the range: invalidate all copies — returning
+  // every node's frame (and cold-tier image) to its pool; a dead range
+  // holding memory is exactly the leak the frame budget exists to rule
+  // out — and reset the directory entries so a later mapping of the range
+  // starts from zeros.
   for (GAddr page = page_base(start); page < end; page += kPageSize) {
     DirEntry* entry = directory_.find(page);
     if (entry == nullptr) continue;
     ScopedGateBlock gate_block("vma_entry_lock");
     std::lock_guard<std::mutex> lock(entry->mu);
-    entry->sharers.for_each([&](NodeId node) {
+    for (NodeId node = 0; node < config_.num_nodes; ++node) {
       Pte* pte = page_table(node).find(page);
-      if (pte == nullptr) return;
+      if (pte == nullptr) continue;
       pte->lock.lock();
+      pte->seq.fetch_add(1, std::memory_order_acq_rel);
       pte->state.store(PageState::kInvalid, std::memory_order_release);
       pte->version = kNoVersion;
+      pte->drop_spill();
+      pte->drop_frame();
+      pte->seq.fetch_add(1, std::memory_order_release);
       pte->lock.unlock();
-    });
+    }
     entry->sharers.clear();
     entry->exclusive_owner = kInvalidNode;
     entry->materialized = false;
     entry->lease_until = 0;
-    entry->journal_ts = 0;
+    clear_journal(*entry);
     ++entry->version;
     // The home returns to the origin with the rest of the entry state; the
     // epoch bump fences any hint minted for the old mapping.
@@ -163,7 +182,7 @@ bool Dsm::mprotect(GAddr start, std::uint64_t length, std::uint8_t prot) {
         }
         entry->exclusive_owner = kInvalidNode;
         entry->lease_until = 0;
-        entry->journal_ts = 0;
+        clear_journal(*entry);
       }
     }
   }
@@ -193,6 +212,9 @@ Pte* Dsm::ensure(NodeId node, TaskId task, GAddr addr, Access access) {
       if (pte.prefetched.load(std::memory_order_relaxed) != 0 &&
           pte.prefetched.exchange(0, std::memory_order_relaxed) != 0) {
         stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (config_.frame_budget_bytes != 0) {
+        pte.referenced.store(1, std::memory_order_relaxed);
       }
       return &pte;
     }
@@ -233,6 +255,15 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
                                  Access access, Pte& pte) {
   const net::CostModel& cost = fabric_.cost();
   const VirtNs start = vclock::now();
+
+  // Pin the faulting PTE for the whole transaction so the eviction scan
+  // cannot retire the freshly installed frame before the faulting access
+  // consumes it (a pathological budget could otherwise livelock a reader).
+  PinGuard pin(pte);
+  // Admission credits for the frames this fault may install (released at
+  // every exit; see FramePool) — this is where budget pressure bites,
+  // with no locks held.
+  FrameCredit credit(*this);
 
   const Vma vma = check_vma(node, page, access);
   record_fault(node, task, page,
@@ -286,6 +317,14 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
   int bounces = 0;
   int attempts = 0;
   for (;;) {
+    // The fault installs up to 1 + extras frames on this node and may
+    // materialize as many home frames at the target; admit both pools
+    // before the transaction (re-admitted when a redirect moves the
+    // target). Handlers run synchronously in this thread, so their
+    // allocations consume exactly these credits.
+    credit.admit(node, 1 + extras);
+    if (target != node) credit.admit(target, 1 + extras);
+
     Message msg;
     msg.dst = target;
     if (extras > 0) {
@@ -701,7 +740,8 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
 
     Pte& rpte = page_table(requester).get_or_create(p);
     if (request.known_versions[i] == e.version &&
-        request.known_versions[i] != kNoVersion) {
+        request.known_versions[i] != kNoVersion &&
+        copy_current(requester, p, e.version)) {
       // The requester's stale copy is still current: common ownership
       // without data, like the single-page §III-B fast case.
       set_state(requester, p, PageState::kShared, e.version);
@@ -716,7 +756,7 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
       const std::size_t off = staging.size();
       staging.resize(off + kPageSize);
       home_pte.lock.lock();
-      std::memcpy(staging.data() + off, home_pte.frame.get(), kPageSize);
+      std::memcpy(staging.data() + off, home_pte.ensure_frame(), kPageSize);
       home_pte.lock.unlock();
       rpte.lock.lock();
       rpte.seq.fetch_add(1, std::memory_order_release);
@@ -796,7 +836,7 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
       }
       entry.exclusive_owner = kInvalidNode;
       entry.lease_until = 0;
-      entry.journal_ts = 0;
+      clear_journal(entry);
     }
     if (recall == RecallResult::kForwarded) {
       // The old owner already pushed the data and installed the
@@ -811,15 +851,24 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
     if (requester == home) {
       set_state(home, page, PageState::kShared, entry.version);
       outcome.kind = GrantKind::kOwnershipOnly;
-    } else if (known_version == entry.version &&
-               known_version != kNoVersion) {
+    } else if (known_version == entry.version && known_version != kNoVersion &&
+               copy_current(requester, page, entry.version)) {
       // §III-B: the remote already holds up-to-date data — grant common
-      // ownership without transferring the page.
+      // ownership without transferring the page. copy_current re-reads the
+      // requester's PTE under its lock: an eviction that raced the fault's
+      // known_version snapshot fenced the version, so a retired frame can
+      // never be re-granted as a zeroed alias.
       set_state(requester, page, PageState::kShared, entry.version);
       outcome.kind = GrantKind::kOwnershipOnly;
     } else {
-      install_copy(requester, page, home_pte.frame.get(),
-                   PageState::kShared, entry.version, home);
+      // Unspill the home frame if the cold tier holds it (the pool never
+      // returns frames to the OS, so the pointer stays valid after the
+      // unlock; the held entry lock is what keeps eviction away).
+      home_pte.lock.lock();
+      const std::uint8_t* src = home_pte.ensure_frame();
+      home_pte.lock.unlock();
+      install_copy(requester, page, src, PageState::kShared, entry.version,
+                   home);
       outcome.kind = GrantKind::kDataAndOwnership;
     }
     entry.sharers.add(requester);
@@ -872,14 +921,16 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
     // was taken — a lost update.
     home_pte.lock.lock();
     home_pte.state.store(PageState::kInvalid, std::memory_order_release);
+    const std::uint8_t* src = home_pte.ensure_frame();  // unspill if parked
     home_pte.lock.unlock();
 
-    if (known_version == entry.version && known_version != kNoVersion) {
+    if (known_version == entry.version && known_version != kNoVersion &&
+        copy_current(requester, page, entry.version)) {
       set_state(requester, page, PageState::kExclusive, granted_version);
       outcome.kind = GrantKind::kOwnershipOnly;
     } else {
-      install_copy(requester, page, home_pte.frame.get(),
-                   PageState::kExclusive, granted_version, home);
+      install_copy(requester, page, src, PageState::kExclusive,
+                   granted_version, home);
       outcome.kind = GrantKind::kDataAndOwnership;
     }
   }
@@ -890,7 +941,7 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
   if (config_.lease_ns > 0) {
     // A fresh exclusive grant starts a fresh journal window: the home
     // frame predates this version until the first piggybacked writeback.
-    entry.journal_ts = 0;
+    clear_journal(entry);
     if (requester != home) {
       entry.lease_until = vclock::now() + config_.lease_ns;
       // The grant handler runs in the requester's OS thread, so the
@@ -1148,7 +1199,7 @@ Message Dsm::handle_revoke(const Message& msg) {
   if (state == PageState::kExclusive) {
     // Dirty copy: write the data back in the reply.
     reply.payload.resize(kPageSize);
-    std::memcpy(reply.payload.data(), pte->frame.get(), kPageSize);
+    std::memcpy(reply.payload.data(), pte->ensure_frame(), kPageSize);
     pte->seq.fetch_add(1, std::memory_order_release);
     pte->state.store(payload.downgrade_to_shared ? PageState::kShared
                                                  : PageState::kInvalid,
@@ -1198,7 +1249,7 @@ Message Dsm::handle_forward_recall(const Message& msg) {
     pte->lock.lock();
     const PageState state = pte->state.load(std::memory_order_acquire);
     if (state == PageState::kExclusive) {
-      std::memcpy(data, pte->frame.get(), kPageSize);
+      std::memcpy(data, pte->ensure_frame(), kPageSize);
       have_data = true;
       pte->seq.fetch_add(1, std::memory_order_release);
       pte->state.store(payload.downgrade_to_shared != 0
@@ -1303,7 +1354,7 @@ void Dsm::maybe_renew_lease(NodeId node, TaskId task, GAddr page, Pte& pte) {
     pte.lock.unlock();
     return;
   }
-  std::memcpy(image, pte.frame.get(), kPageSize);
+  std::memcpy(image, pte.ensure_frame(), kPageSize);
   version = pte.version;
   pte.lock.unlock();
 
@@ -1319,6 +1370,10 @@ void Dsm::maybe_renew_lease(NodeId node, TaskId task, GAddr page, Pte& pte) {
   std::memcpy(msg.payload.data(), &payload, sizeof(payload));
   std::memcpy(msg.payload.data() + sizeof(payload), image, kPageSize);
 
+  // The renewal handler journals into the home frame in this thread, so
+  // budget the (rare) home-side frame allocation up front, with no locks
+  // held; the unconsumed credit is dropped after the call.
+  admit_frames(home, 1);
   Message reply;
   try {
     reply = fabric_.call(node, msg);
@@ -1326,8 +1381,10 @@ void Dsm::maybe_renew_lease(NodeId node, TaskId task, GAddr page, Pte& pte) {
     // Best-effort (NodeDeadError included): an unreachable home leaves the
     // lease expired; the patrol or death recovery settles the page, and
     // the write proceeds on the still-exclusive copy.
+    frame_pool(home).drop_credit();
     return;
   }
+  frame_pool(home).drop_credit();
   const auto ack = reply.payload_prefix_as<net::LeaseRenewAckPayload>();
   if (ack.renewed != 0) {
     pte.lease_until.store(vclock::now() + config_.lease_ns,
@@ -1376,7 +1433,7 @@ Message Dsm::handle_lease_renew(const Message& msg) {
                   kPageSize);
       home_pte.seq.fetch_add(1, std::memory_order_release);
       home_pte.lock.unlock();
-      entry.journal_ts = vclock::now();
+      set_journal(entry);
       entry.lease_until = vclock::now() + config_.lease_ns;
       ack.renewed = 1;
       stats_.lease_renewals.fetch_add(1, std::memory_order_relaxed);
@@ -1403,6 +1460,14 @@ void Dsm::lease_patrol() {
     if (!entry->materialized) continue;
     const NodeId home = home_of(*entry);
     const NodeId owner = entry->exclusive_owner;
+    if (entry->journal_ts > 0 && (owner == kInvalidNode || owner == home)) {
+      // Journal GC: the owner released (or the home reclaimed) the page
+      // since the last piggybacked writeback, so the journal entry no
+      // longer backs any remote dirty copy. Dropping it bounds the
+      // journal_bytes gauge to pages with a live remote exclusive owner.
+      clear_journal(*entry);
+      stats_.journal_gcs.fetch_add(1, std::memory_order_relaxed);
+    }
     if (owner == kInvalidNode || owner == home) continue;
     if (entry->lease_until == 0 || vclock::now() <= entry->lease_until) {
       continue;
@@ -1416,7 +1481,7 @@ void Dsm::lease_patrol() {
         nullptr);
     entry->exclusive_owner = kInvalidNode;
     entry->lease_until = 0;
-    entry->journal_ts = 0;
+    clear_journal(*entry);
     entry->last_release_ts =
         std::max(entry->last_release_ts, vclock::now());
     if (recall != RecallResult::kOwnerLost) {
@@ -1439,6 +1504,414 @@ void Dsm::account_owner_loss(DirEntry& entry, GAddr page) {
   } else {
     failure_stats_.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
     chaos.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Dsm::set_journal(DirEntry& entry) {
+  if (entry.journal_ts == 0) {
+    stats_.journal_bytes.fetch_add(kPageSize, std::memory_order_relaxed);
+  }
+  entry.journal_ts = vclock::now();
+}
+
+void Dsm::clear_journal(DirEntry& entry) {
+  if (entry.journal_ts != 0) {
+    stats_.journal_bytes.fetch_sub(kPageSize, std::memory_order_relaxed);
+  }
+  entry.journal_ts = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Bounded frames (DsmConfig::frame_budget_bytes)
+// ---------------------------------------------------------------------------
+
+void Dsm::FrameCredit::admit(NodeId node, int pages) {
+  dsm_.admit_frames(node, pages);
+  for (NodeId n : nodes_) {
+    if (n == node) return;
+  }
+  nodes_.push_back(node);
+}
+
+void Dsm::FrameCredit::release() {
+  for (NodeId node : nodes_) dsm_.frame_pool(node).drop_credit();
+  nodes_.clear();
+}
+
+void Dsm::admit_frames(NodeId node, int pages) {
+  FramePool& pool = frame_pool(node);
+  if (pool.budget_bytes() == 0) return;
+  const std::size_t need = static_cast<std::size_t>(pages) * kPageSize;
+  if (pool.try_reserve_upto(need)) return;
+
+  // Budget pressure: evict, re-reserve, and wait with the fabric's
+  // jittered backoff between rounds. Bounded — after the retry budget the
+  // fault is admitted over budget (counted) rather than aborted.
+  const net::RetryPolicy& retry = fabric_.retry_policy();
+  const std::uint64_t salt =
+      net::RetryPolicy::salt_of(node, node, MsgType::kEvictPage);
+  const std::size_t batch =
+      static_cast<std::size_t>(std::max(1, config_.evict_batch_pages)) *
+      kPageSize;
+  const VirtNs start = vclock::now();
+  stats_.backpressure_stalls.fetch_add(1, std::memory_order_relaxed);
+  for (int round = 0; round < config_.max_backpressure_rounds; ++round) {
+    evict_frames(node, need + batch);
+    if (pool.try_reserve_upto(need)) {
+      stats_.backpressure_wait_ns.fetch_add(vclock::now() - start,
+                                            std::memory_order_relaxed);
+      return;
+    }
+    vclock::advance(retry.backoff_for(round, salt));
+    std::this_thread::yield();
+  }
+  // Everything is pinned or hot: forward progress over strictness.
+  pool.force_reserve_upto(need);
+  stats_.backpressure_overshoots.fetch_add(1, std::memory_order_relaxed);
+  stats_.backpressure_wait_ns.fetch_add(vclock::now() - start,
+                                        std::memory_order_relaxed);
+}
+
+std::size_t Dsm::evict_frames(NodeId node, std::size_t target_bytes) {
+  FramePool& pool = frame_pool(node);
+
+  // Snapshot the resident candidates (PTE pointers stay valid until
+  // zap/teardown), sort by address and rotate to the CLOCK hand so
+  // successive sweeps rotate through the table.
+  std::vector<std::pair<GAddr, Pte*>> candidates;
+  page_table(node).for_each([&](GAddr page, Pte& pte) {
+    if (pte.data() != nullptr) candidates.emplace_back(page, &pte);
+  });
+  if (candidates.empty()) return 0;
+  std::sort(candidates.begin(), candidates.end());
+  const GAddr hand = pool.clock_hand();
+  const auto pivot = std::upper_bound(
+      candidates.begin(), candidates.end(), hand,
+      [](GAddr h, const std::pair<GAddr, Pte*>& c) { return h < c.first; });
+  std::rotate(candidates.begin(), pivot, candidates.end());
+
+  // Two rotations: the first clears reference bits (second chance) and
+  // takes what was already cold; the second takes what stayed cold.
+  std::size_t freed = 0;
+  for (int pass = 0; pass < 2 && freed < target_bytes; ++pass) {
+    for (auto& [page, pte] : candidates) {
+      if (freed >= target_bytes) break;
+      if (pte->data() == nullptr) continue;  // already retired
+      if (pte->pinned()) {
+        stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (pte->referenced.exchange(0, std::memory_order_relaxed) != 0) {
+        stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
+        continue;  // second chance
+      }
+      const std::size_t got = evict_candidate(node, page, *pte);
+      if (got != 0) {
+        freed += got;
+        pool.set_clock_hand(page);
+      }
+    }
+  }
+  return freed;
+}
+
+std::size_t Dsm::evict_candidate(NodeId node, GAddr page, Pte& pte) {
+  DirEntry* entry = directory_.find(page);
+
+  // Classify the copy under the entry lock (try_lock only: a busy entry
+  // means an in-flight transaction — skip, don't queue). The lock is
+  // released before any RPC; the kEvictPage handler re-validates under it,
+  // so a raced eviction fails closed home-side.
+  bool local_free = false;
+  bool exclusive = false;
+  NodeId home = config_.origin;
+  if (entry == nullptr) {
+    local_free = true;  // never materialized: a leftover invalid frame
+  } else {
+    if (!entry->mu.try_lock()) {
+      stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
+      return 0;
+    }
+    std::lock_guard<std::mutex> lock(entry->mu, std::adopt_lock);
+    home = home_of(*entry);
+    if (!entry->materialized) {
+      local_free = true;
+    } else if (home == node) {
+      // This node serves the page: the frame is the grant source and only
+      // the cold tier may take it (entry lock still held here).
+      return evict_home_frame(node, page, pte, *entry);
+    } else {
+      const PageState s = pte.state.load(std::memory_order_acquire);
+      if (s == PageState::kInvalid) {
+        // Kept only for a possible ownership-only regrant: free it with
+        // no directory coordination (the fence makes the version stale).
+        local_free = true;
+      } else {
+        exclusive = s == PageState::kExclusive;
+      }
+    }
+  }
+
+  if (local_free) {
+    pte.lock.lock();
+    if (pte.state.load(std::memory_order_acquire) != PageState::kInvalid ||
+        pte.data() == nullptr) {
+      pte.lock.unlock();  // re-granted (or already freed) since classify
+      return 0;
+    }
+    pte.seq.fetch_add(1, std::memory_order_release);
+    pte.version = kNoVersion;
+    pte.drop_spill();
+    pte.drop_frame();
+    pte.seq.fetch_add(1, std::memory_order_release);
+    pte.lock.unlock();
+    stats_.evictions_local.fetch_add(1, std::memory_order_relaxed);
+    return kPageSize;
+  }
+
+  // Remote copy: snapshot (version [+ image for a dirty copy]) under the
+  // PTE lock, then notify the home with no locks held.
+  net::EvictPagePayload payload{};
+  payload.process_id = config_.process_id;
+  payload.page = page;
+  payload.node = node;
+  std::uint8_t image[kPageSize];
+  pte.lock.lock();
+  const PageState s = pte.state.load(std::memory_order_acquire);
+  if (pte.data() == nullptr ||
+      (s == PageState::kExclusive) != exclusive ||
+      (!exclusive && s != PageState::kShared)) {
+    pte.lock.unlock();
+    return 0;  // transitioned since classify; let a later sweep re-see it
+  }
+  payload.version = pte.version;
+  payload.exclusive = exclusive ? 1 : 0;
+  if (exclusive) std::memcpy(image, pte.data(), kPageSize);
+  pte.lock.unlock();
+
+  // A dirty writeback may materialize the home frame in this thread (the
+  // handler runs here): reserve that frame on the home's pool up front,
+  // and hand back whatever the install did not consume. No room at the
+  // home means this candidate is skipped, not forced.
+  FramePool& hpool = frame_pool(home);
+  std::size_t before = 0;
+  bool reserved = false;
+  if (exclusive) {
+    Pte* home_pte = page_table(home).find(page);
+    bool resident = false;
+    if (home_pte != nullptr) {
+      home_pte->lock.lock();
+      resident = home_pte->data() != nullptr;
+      home_pte->lock.unlock();
+    }
+    if (!resident) {
+      before = hpool.credit_bytes();
+      if (!hpool.try_reserve_upto(before + kPageSize)) {
+        stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+      reserved = true;
+    }
+  }
+
+  Message msg;
+  msg.type = MsgType::kEvictPage;
+  msg.dst = home;
+  if (exclusive) {
+    msg.payload.resize(sizeof(payload) + kPageSize);
+    std::memcpy(msg.payload.data(), &payload, sizeof(payload));
+    std::memcpy(msg.payload.data() + sizeof(payload), image, kPageSize);
+  } else {
+    msg.set_payload(payload);
+  }
+
+  std::size_t freed = 0;
+  try {
+    const Message reply = fabric_.call(node, msg);
+    const auto ack = reply.payload_as<net::EvictPageAckPayload>();
+    switch (static_cast<net::EvictResult>(ack.result)) {
+      case net::EvictResult::kEvicted:
+        if (exclusive) {
+          stats_.evictions_exclusive.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          stats_.evictions_shared.fetch_add(1, std::memory_order_relaxed);
+        }
+        record_fault(node, /*task=*/-1, page, prof::FaultKind::kEvict,
+                     nullptr);
+        freed = kPageSize;
+        break;
+      case net::EvictResult::kStale:
+        stats_.eviction_stale.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case net::EvictResult::kBusy:
+      case net::EvictResult::kWrongHome:
+        stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  } catch (const net::RpcError&) {
+    // Home dead or unreachable: eviction is best-effort and the copy is
+    // intact — skip with NO loss accounting (membership recovery owns the
+    // dead-home bookkeeping; double-counting here would corrupt it).
+    stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (reserved) {
+    const std::size_t after = hpool.credit_bytes();
+    if (after > before) hpool.unreserve(after - before);
+  }
+  return freed;
+}
+
+std::size_t Dsm::evict_home_frame(NodeId node, GAddr /*page*/, Pte& pte,
+                                  DirEntry& entry) {
+  DEX_CHECK(home_of(entry) == node);
+  FramePool& pool = frame_pool(node);
+  if (!pool.spill_enabled()) return 0;  // home frames never drop outright
+  if (pte.pinned()) {
+    stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  pte.lock.lock();
+  std::uint8_t* frame = pte.data();
+  if (frame == nullptr || pte.spill_slot != SpillFile::kNoSlot) {
+    pte.lock.unlock();
+    return 0;
+  }
+  pte.seq.fetch_add(1, std::memory_order_release);
+  const std::uint32_t slot = pool.spill_out(frame);
+  if (slot == SpillFile::kNoSlot) {
+    // Cold tier unavailable (disk failure latch): keep the frame.
+    pte.seq.fetch_add(1, std::memory_order_release);
+    pte.lock.unlock();
+    stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  // State, version and the sharer bit stay: the copy still exists, its
+  // bytes just live in the cold tier until a grant path ensure_frame()s
+  // it back in under this entry's lock.
+  pte.spill_slot = slot;
+  pte.drop_frame();
+  pte.seq.fetch_add(1, std::memory_order_release);
+  pte.lock.unlock();
+  return kPageSize;
+}
+
+void Dsm::fence_and_free(NodeId node, GAddr page) {
+  Pte* pte = page_table(node).find(page);
+  if (pte == nullptr) return;
+  pte->lock.lock();
+  pte->seq.fetch_add(1, std::memory_order_release);
+  pte->state.store(PageState::kInvalid, std::memory_order_release);
+  pte->version = kNoVersion;
+  pte->drop_spill();
+  pte->drop_frame();
+  pte->seq.fetch_add(1, std::memory_order_release);
+  pte->lease_until.store(0, std::memory_order_release);
+  pte->lease_home.store(kInvalidNode, std::memory_order_release);
+  pte->lock.unlock();
+}
+
+bool Dsm::copy_current(NodeId node, GAddr page, std::uint64_t version) {
+  Pte* pte = page_table(node).find(page);
+  if (pte == nullptr) return false;
+  pte->lock.lock();
+  const bool current = pte->version == version &&
+                       (pte->data() != nullptr ||
+                        pte->spill_slot != SpillFile::kNoSlot);
+  pte->lock.unlock();
+  return current;
+}
+
+Message Dsm::handle_evict_page(const Message& msg) {
+  const auto payload = msg.payload_prefix_as<net::EvictPagePayload>();
+  DEX_CHECK(payload.process_id == config_.process_id);
+  const NodeId at = msg.dst;
+  const NodeId evictor = payload.node;
+  vclock::advance(fabric_.cost().evict_service_ns);
+
+  Message reply;
+  reply.type = MsgType::kEvictPage;
+  net::EvictPageAckPayload ack{};
+  ack.home = at;
+  auto respond = [&](net::EvictResult result) {
+    ack.result = static_cast<std::uint8_t>(result);
+    reply.set_payload(ack);
+    return reply;
+  };
+
+  DirEntry* entry = directory_.find(payload.page);
+  if (entry == nullptr) return respond(net::EvictResult::kStale);
+  if (!entry->mu.try_lock()) {
+    // An in-flight transaction owns the entry; eviction is best-effort,
+    // so the evictor skips rather than queueing behind it.
+    return respond(net::EvictResult::kBusy);
+  }
+  std::lock_guard<std::mutex> lock(entry->mu, std::adopt_lock);
+
+  if (!entry->materialized) return respond(net::EvictResult::kStale);
+  if (home_of(*entry) != at) {
+    ack.home = home_of(*entry);
+    return respond(net::EvictResult::kWrongHome);
+  }
+  if (entry->version != payload.version || evictor == at) {
+    return respond(net::EvictResult::kStale);
+  }
+  // A pinned evictor PTE means a fault transaction for this page is in
+  // flight from that very node (the leader pins before reading its
+  // known_version): retiring the frame now could alias its grant.
+  Pte* epte = page_table(evictor).find(payload.page);
+  if (epte == nullptr) return respond(net::EvictResult::kStale);
+  if (epte->pinned()) return respond(net::EvictResult::kBusy);
+
+  if (payload.exclusive != 0) {
+    if (entry->exclusive_owner != evictor) {
+      return respond(net::EvictResult::kStale);
+    }
+    DEX_CHECK_MSG(
+        msg.payload.size() == sizeof(net::EvictPagePayload) + kPageSize,
+        "dirty eviction must carry the page image");
+    // Write the dirty image through to the home frame — the same
+    // install the lease-journal writeback uses — before the only other
+    // copy disappears.
+    Pte& home_pte = page_table(at).get_or_create(payload.page);
+    home_pte.lock.lock();
+    home_pte.seq.fetch_add(1, std::memory_order_release);
+    std::memcpy(home_pte.ensure_frame(),
+                msg.payload.data() + sizeof(net::EvictPagePayload),
+                kPageSize);
+    home_pte.version = entry->version;
+    home_pte.state.store(PageState::kShared, std::memory_order_release);
+    home_pte.seq.fetch_add(1, std::memory_order_release);
+    home_pte.lock.unlock();
+    stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
+    entry->exclusive_owner = kInvalidNode;
+    entry->lease_until = 0;
+    clear_journal(*entry);
+    entry->sharers.remove(evictor);
+    entry->sharers.add(at);
+    entry->last_release_ts = std::max(entry->last_release_ts, vclock::now());
+  } else {
+    if (entry->exclusive_owner != kInvalidNode ||
+        !entry->sharers.contains(evictor)) {
+      return respond(net::EvictResult::kStale);
+    }
+    entry->sharers.remove(evictor);
+  }
+  // Retire the evictor's copy. The handler runs in the evictor's own
+  // thread, so the frame goes back to the pressured pool right here.
+  fence_and_free(evictor, payload.page);
+  return respond(net::EvictResult::kEvicted);
+}
+
+void Dsm::frame_patrol() {
+  for (NodeId node = 0; node < config_.num_nodes; ++node) {
+    FramePool& pool = frame_pool(node);
+    if (pool.budget_bytes() == 0) continue;
+    const std::size_t used = pool.used_bytes();
+    if (used <= pool.budget_bytes()) continue;
+    const std::size_t batch =
+        static_cast<std::size_t>(std::max(1, config_.evict_batch_pages)) *
+        kPageSize;
+    evict_frames(node, used - pool.budget_bytes() + batch);
   }
 }
 
@@ -1619,7 +2092,22 @@ void Dsm::read(NodeId node, TaskId task, GAddr addr, void* dst,
                       Access::kRead)) {
         continue;  // revoked between ensure and read
       }
-      std::memcpy(out, pte->frame.get() + off, n);
+      const std::uint8_t* frame = pte->data();
+      if (frame == nullptr) {
+        // Evicted (or parked in the cold tier) under budget pressure:
+        // admit a frame with no locks held, make the image resident, and
+        // retry the seqlock read.
+        admit_frames(node, 1);
+        pte->lock.lock();
+        if (pte->state.load(std::memory_order_acquire) !=
+            PageState::kInvalid) {
+          pte->ensure_frame();
+        }
+        pte->lock.unlock();
+        frame_pool(node).drop_credit();
+        continue;
+      }
+      std::memcpy(out, frame + off, n);
       const std::uint32_t s2 = pte->seq.load(std::memory_order_acquire);
       if (s1 == s2) break;
     }
@@ -1643,13 +2131,26 @@ void Dsm::write(NodeId node, TaskId task, GAddr addr, const void* src,
       if (config_.lease_ns > 0) {
         maybe_renew_lease(node, task, page_base(addr), *pte);
       }
+      if (pte->data() == nullptr) {
+        // A home-exclusive frame parked in the cold tier: admit a frame
+        // with no locks held before faulting the image back in.
+        admit_frames(node, 1);
+        pte->lock.lock();
+        if (pte->state.load(std::memory_order_acquire) !=
+            PageState::kInvalid) {
+          pte->ensure_frame();
+        }
+        pte->lock.unlock();
+        frame_pool(node).drop_credit();
+      }
       pte->lock.lock();
       if (pte->state.load(std::memory_order_acquire) !=
-          PageState::kExclusive) {
+              PageState::kExclusive ||
+          pte->data() == nullptr) {
         pte->lock.unlock();
-        continue;  // revoked between ensure and write
+        continue;  // revoked (or re-evicted) between ensure and write
       }
-      std::memcpy(pte->frame.get() + off, in, n);
+      std::memcpy(pte->data() + off, in, n);
       pte->lock.unlock();
       break;
     }
@@ -1675,10 +2176,23 @@ std::uint64_t Dsm::atomic_fetch_add_u64(NodeId node, TaskId task, GAddr addr,
       pte->lock.unlock();
       continue;
     }
+    std::uint8_t* frame = pte->data();
+    if (frame == nullptr) {  // parked in the cold tier: fault it back in
+      pte->lock.unlock();
+      admit_frames(node, 1);
+      pte->lock.lock();
+      if (pte->state.load(std::memory_order_acquire) !=
+          PageState::kInvalid) {
+        pte->ensure_frame();
+      }
+      pte->lock.unlock();
+      frame_pool(node).drop_credit();
+      continue;
+    }
     std::uint64_t old;
-    std::memcpy(&old, pte->frame.get() + page_offset(addr), 8);
+    std::memcpy(&old, frame + page_offset(addr), 8);
     const std::uint64_t updated = old + delta;
-    std::memcpy(pte->frame.get() + page_offset(addr), &updated, 8);
+    std::memcpy(frame + page_offset(addr), &updated, 8);
     pte->lock.unlock();
     return old;
   }
@@ -1698,9 +2212,22 @@ std::uint64_t Dsm::atomic_exchange_u64(NodeId node, TaskId task, GAddr addr,
       pte->lock.unlock();
       continue;
     }
+    std::uint8_t* frame = pte->data();
+    if (frame == nullptr) {  // parked in the cold tier: fault it back in
+      pte->lock.unlock();
+      admit_frames(node, 1);
+      pte->lock.lock();
+      if (pte->state.load(std::memory_order_acquire) !=
+          PageState::kInvalid) {
+        pte->ensure_frame();
+      }
+      pte->lock.unlock();
+      frame_pool(node).drop_credit();
+      continue;
+    }
     std::uint64_t old;
-    std::memcpy(&old, pte->frame.get() + page_offset(addr), 8);
-    std::memcpy(pte->frame.get() + page_offset(addr), &desired, 8);
+    std::memcpy(&old, frame + page_offset(addr), 8);
+    std::memcpy(frame + page_offset(addr), &desired, 8);
     pte->lock.unlock();
     return old;
   }
@@ -1720,11 +2247,24 @@ bool Dsm::atomic_cas_u64(NodeId node, TaskId task, GAddr addr,
       pte->lock.unlock();
       continue;
     }
+    std::uint8_t* frame = pte->data();
+    if (frame == nullptr) {  // parked in the cold tier: fault it back in
+      pte->lock.unlock();
+      admit_frames(node, 1);
+      pte->lock.lock();
+      if (pte->state.load(std::memory_order_acquire) !=
+          PageState::kInvalid) {
+        pte->ensure_frame();
+      }
+      pte->lock.unlock();
+      frame_pool(node).drop_credit();
+      continue;
+    }
     std::uint64_t current;
-    std::memcpy(&current, pte->frame.get() + page_offset(addr), 8);
+    std::memcpy(&current, frame + page_offset(addr), 8);
     const bool success = current == expected;
     if (success) {
-      std::memcpy(pte->frame.get() + page_offset(addr), &desired, 8);
+      std::memcpy(frame + page_offset(addr), &desired, 8);
     }
     pte->lock.unlock();
     return success;
@@ -1746,8 +2286,21 @@ std::uint64_t Dsm::atomic_load_u64(NodeId node, TaskId task, GAddr addr) {
       pte->lock.unlock();
       continue;
     }
+    std::uint8_t* frame = pte->data();
+    if (frame == nullptr) {  // parked in the cold tier: fault it back in
+      pte->lock.unlock();
+      admit_frames(node, 1);
+      pte->lock.lock();
+      if (pte->state.load(std::memory_order_acquire) !=
+          PageState::kInvalid) {
+        pte->ensure_frame();
+      }
+      pte->lock.unlock();
+      frame_pool(node).drop_credit();
+      continue;
+    }
     std::uint64_t value;
-    std::memcpy(&value, pte->frame.get() + page_offset(addr), 8);
+    std::memcpy(&value, frame + page_offset(addr), 8);
     pte->lock.unlock();
     return value;
   }
@@ -1819,7 +2372,10 @@ void Dsm::reclaim_node(NodeId dead) {
           Pte& src = *page_table(donor).find(page);
           Pte& dst = page_table(origin).get_or_create(page);
           std::uint8_t bounce[kPageSize];
-          fabric_.bulk_transfer(donor, origin, src.frame.get(), kPageSize,
+          src.lock.lock();
+          const std::uint8_t* donor_frame = src.ensure_frame();
+          src.lock.unlock();
+          fabric_.bulk_transfer(donor, origin, donor_frame, kPageSize,
                                 bounce);
           dst.lock.lock();
           dst.seq.fetch_add(1, std::memory_order_release);
@@ -1853,7 +2409,7 @@ void Dsm::reclaim_node(NodeId dead) {
           home_of(*entry) == dead ? origin : home_of(*entry);
       entry->exclusive_owner = kInvalidNode;
       entry->lease_until = 0;
-      entry->journal_ts = 0;
+      clear_journal(*entry);
       entry->sharers.clear();
       set_state(authoritative, page, PageState::kShared, entry->version);
       entry->sharers.add(authoritative);
@@ -1871,6 +2427,10 @@ void Dsm::reclaim_node(NodeId dead) {
       pte->seq.fetch_add(1, std::memory_order_release);
       pte->state.store(PageState::kInvalid, std::memory_order_release);
       pte->version = kNoVersion;
+      // A dead node's frames go back to its pool: the copies are gone with
+      // the node, and a healed node must re-fault (and re-budget) them.
+      pte->drop_spill();
+      pte->drop_frame();
       pte->seq.fetch_add(1, std::memory_order_release);
       pte->lease_until.store(0, std::memory_order_release);
       pte->lease_home.store(kInvalidNode, std::memory_order_release);

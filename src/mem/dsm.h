@@ -108,6 +108,23 @@ struct DsmConfig {
   /// reporting dirty loss. 0 disables leases and reproduces the unleased
   /// protocol bit-for-bit.
   VirtNs lease_ns = 0;
+  /// Per-node frame-memory budget in bytes. Each node's FramePool evicts
+  /// cold copies (dropping shared replicas, writing back exclusive pages)
+  /// and backpressures faulting threads to stay under it. 0 = unbounded,
+  /// reproduces the seed protocol bit-for-bit.
+  std::uint64_t frame_budget_bytes = 0;
+  /// File-backed cold tier: under pressure a home's authoritative frames
+  /// (which cannot be dropped — they are the grant source) are parked in a
+  /// SpillFile and re-read on demand, so aggregate working sets can exceed
+  /// cluster DRAM. Only meaningful with a frame budget.
+  bool spill_cold_pages = false;
+  /// Pages the eviction provider tries to free beyond the immediate need
+  /// on each pressure pass (amortizes the per-page eviction RPCs).
+  int evict_batch_pages = 8;
+  /// Bounded backpressure: evict+wait rounds a faulting thread retries
+  /// before being admitted over budget (forward progress over strictness;
+  /// overshoots are counted in DsmStats::backpressure_overshoots).
+  int max_backpressure_rounds = 32;
 };
 
 /// Bounce budget for chasing stale home hints: after this many kWrongHome
@@ -189,6 +206,35 @@ struct DsmStats {
   /// Entries a dead node homed, migrated back to the origin (mirrors
   /// FailureStats::homes_reclaimed for protocol-side visibility).
   std::atomic<std::uint64_t> homes_reclaimed{0};
+  // ---- Bounded frames (DsmConfig::frame_budget_bytes) ----
+  /// Shared replicas retired via kEvictPage (dropped; re-fault from home).
+  std::atomic<std::uint64_t> evictions_shared{0};
+  /// Exclusive copies written back to the home and dropped via kEvictPage.
+  std::atomic<std::uint64_t> evictions_exclusive{0};
+  /// Invalid-state cached frames freed locally (no directory coordination:
+  /// the revoked copy was only kept for a possible ownership-only regrant).
+  std::atomic<std::uint64_t> evictions_local{0};
+  /// Candidates passed over: pinned, referenced (second chance), busy
+  /// entry, or an unreachable home.
+  std::atomic<std::uint64_t> eviction_skips{0};
+  /// kEvictPage transactions that lost a race (copy recalled/re-granted
+  /// between the evictor's snapshot and the home's validation).
+  std::atomic<std::uint64_t> eviction_stale{0};
+  /// Home frames parked in / re-read from the cold tier.
+  std::atomic<std::uint64_t> spills_out{0};
+  std::atomic<std::uint64_t> spills_in{0};
+  /// Faults that had to wait for eviction to make room, and the virtual
+  /// time they spent waiting.
+  std::atomic<std::uint64_t> backpressure_stalls{0};
+  std::atomic<std::uint64_t> backpressure_wait_ns{0};
+  /// Faults admitted over budget after exhausting the backpressure rounds
+  /// (everything pinned or hot) — forward progress over strictness.
+  std::atomic<std::uint64_t> backpressure_overshoots{0};
+  /// Gauge: bytes of live journaled lease-writeback images at homes.
+  std::atomic<std::uint64_t> journal_bytes{0};
+  /// Journal entries pruned by the patrol's GC (owner released or renewed
+  /// away; the journaled image was no longer reachable).
+  std::atomic<std::uint64_t> journal_gcs{0};
   /// Granted (non-retry) page transactions by serving home node — the
   /// per-home fault distribution the analysis report surfaces.
   std::array<std::atomic<std::uint64_t>, kMaxNodes> faults_by_home{};
@@ -252,13 +298,32 @@ class Dsm {
     return *fault_tables_[static_cast<std::size_t>(node)];
   }
   Directory& directory() { return directory_; }
+  FramePool& frame_pool(NodeId node) {
+    return *pools_[static_cast<std::size_t>(node)];
+  }
+  /// Max frame-byte high-water across the nodes' pools (acceptance metric:
+  /// must stay <= frame_budget_bytes when one is set).
+  std::uint64_t frame_high_water_bytes() const;
   HomeHintCache& home_cache(NodeId node) {
     return *home_caches_[static_cast<std::size_t>(node)];
   }
   /// Current home of a page's directory entry (the origin until the entry
   /// exists or migrates). Used by data-placement probes and tests.
   NodeId home_of_page(GAddr page);
-  DsmStats& stats() { return stats_; }
+  DsmStats& stats() {
+    // The spill counters live in the pools (the unspill happens inside
+    // Pte::ensure_frame, which has no stats access); mirror them into the
+    // stats gauges whenever a consumer snapshots.
+    std::uint64_t out = 0;
+    std::uint64_t in = 0;
+    for (const auto& pool : pools_) {
+      out += pool->spills_out();
+      in += pool->spills_in();
+    }
+    stats_.spills_out.store(out, std::memory_order_relaxed);
+    stats_.spills_in.store(in, std::memory_order_relaxed);
+    return stats_;
+  }
   FailureStats& failure_stats() { return failure_stats_; }
   prof::FaultTrace* trace() { return trace_; }
   net::Fabric& fabric() { return fabric_; }
@@ -296,13 +361,29 @@ class Dsm {
   /// extends the lease window. A stale renewal (owner or version lost the
   /// race to a recall) replies renewed=0 and the caller drops its lease.
   net::Message handle_lease_renew(const net::Message& msg);
+  /// Home-side half of a kEvictPage eviction: validates the evictor's copy
+  /// under the directory entry lock, retires it from the sharer set (for an
+  /// exclusive copy: installs the piggybacked writeback as the
+  /// authoritative home frame first, exactly like the lease journal), and
+  /// fences + frees the evictor's PTE. Everything happens under the entry
+  /// lock, so eviction serializes against recalls, forwarded grants and
+  /// batch installs; a raced (stale) eviction fails closed.
+  net::Message handle_evict_page(const net::Message& msg);
 
   /// Lease patrol (home-side sweep): recalls any expired remote-exclusive
   /// lease via a shared downgrade, so an idle owner's final writes reach
-  /// the home frame within one lease window of their virtual time. Called
-  /// from the membership pump; also directly by tests. No-op when
+  /// the home frame within one lease window of their virtual time. Also
+  /// GCs journal entries whose owner released (journal_bytes gauge).
+  /// Called from the membership pump; also directly by tests. No-op when
   /// lease_ns == 0.
   void lease_patrol();
+
+  /// Frame patrol: brings every node's pool back under its budget by
+  /// running the eviction provider (CLOCK scan: drop cold shared replicas,
+  /// write back cold exclusive copies, spill cold home frames). Called
+  /// from the membership pump and the optional per-process patrol thread;
+  /// also directly by tests. No-op when frame_budget_bytes == 0.
+  void frame_patrol();
 
   /// Directory invariant check used by tests: every entry has either one
   /// exclusive owner that is its only sharer, or no owner and >= 0 sharers.
@@ -415,6 +496,62 @@ class Dsm {
   /// newer than the grant) or is genuinely lost. Entry must be locked.
   void account_owner_loss(DirEntry& entry, GAddr page);
 
+  /// Journal gauge maintenance: every journal_ts set/clear funnels through
+  /// these so DsmStats::journal_bytes tracks the live journaled footprint.
+  /// Entry must be locked.
+  void set_journal(DirEntry& entry);
+  void clear_journal(DirEntry& entry);
+
+  // ---- Bounded frames (DsmConfig::frame_budget_bytes) ----
+  /// RAII admission credits held across one fault (see FramePool): drops
+  /// whatever the installs did not consume, on every exit path.
+  class FrameCredit {
+   public:
+    explicit FrameCredit(Dsm& dsm) : dsm_(dsm) {}
+    ~FrameCredit() { release(); }
+    FrameCredit(const FrameCredit&) = delete;
+    FrameCredit& operator=(const FrameCredit&) = delete;
+    /// Admits `pages` frames on `node`'s pool, evicting/backpressuring as
+    /// needed. Idempotent per node (tops the credit up, never stacks).
+    void admit(NodeId node, int pages);
+    void release();
+
+   private:
+    Dsm& dsm_;
+    std::vector<NodeId> nodes_;
+  };
+
+  /// Makes room for `pages` frames on `node`'s pool: reserve-or-evict in a
+  /// bounded backpressure loop (RetryPolicy jitter between rounds). Called
+  /// with no locks held.
+  void admit_frames(NodeId node, int pages);
+
+  /// One eviction sweep over `node`'s table: CLOCK scan from the pool's
+  /// hand, skipping pinned and recently-referenced frames, freeing at
+  /// least `target_bytes` if it can. Returns the bytes actually freed.
+  /// Called with no locks held.
+  std::size_t evict_frames(NodeId node, std::size_t target_bytes);
+
+  /// Tries to retire one candidate frame; returns bytes freed (0 = skip).
+  std::size_t evict_candidate(NodeId node, GAddr page, Pte& pte);
+
+  /// Home-side candidate (node homes the page): the frame is the grant
+  /// source and can only be parked in the cold tier. Entry locked.
+  std::size_t evict_home_frame(NodeId node, GAddr page, Pte& pte,
+                               DirEntry& entry);
+
+  /// Fences `node`'s PTE like fence_copy and returns its frame (and any
+  /// cold-tier image) to the node's pool. Used by the eviction handler and
+  /// the discard paths whose bytes must actually come back.
+  void fence_and_free(NodeId node, GAddr page);
+
+  /// Grant-time recheck for the ownership-only fast path: the wire's
+  /// known_version was snapshotted before the request, so an eviction that
+  /// raced it may have retired the copy since. Re-reads the requester's
+  /// PTE under its lock (evictions fence the version there under the same
+  /// lock). With no budget this always agrees with the wire value.
+  bool copy_current(NodeId node, GAddr page, std::uint64_t version);
+
   /// Fault-time VMA legitimacy check with on-demand synchronization.
   Vma check_vma(NodeId node, GAddr addr, Access access);
 
@@ -431,6 +568,8 @@ class Dsm {
   prof::FaultTrace* trace_;
 
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
+  /// Declared before tables_: PTE teardown returns frames to the pools.
+  std::vector<std::unique_ptr<FramePool>> pools_;
   std::vector<std::unique_ptr<PageTable>> tables_;
   std::vector<std::unique_ptr<FaultTable>> fault_tables_;
   StridePrefetcher prefetcher_;

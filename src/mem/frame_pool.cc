@@ -1,0 +1,171 @@
+#include "mem/frame_pool.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "common/assert.h"
+#include "common/virtual_clock.h"
+#include "mem/directory.h"
+
+namespace dex::mem {
+
+namespace {
+
+// Per-(thread, pool) admission credit. A faulting thread typically holds
+// credit on two pools at once (its own node's and the serving home's), but
+// a fault that chases a migrating home admits on every target it visits and
+// keeps those credits until the fault completes, so in the worst case one
+// thread holds credit on one pool per node.
+struct Credit {
+  const FramePool* pool = nullptr;
+  std::size_t bytes = 0;
+};
+constexpr int kCreditSlots = kMaxNodes;
+thread_local Credit tl_credits[kCreditSlots];
+
+Credit* credit_slot(const FramePool* pool, bool create) {
+  Credit* empty = nullptr;
+  for (auto& slot : tl_credits) {
+    if (slot.pool == pool) return &slot;
+    if (empty == nullptr && slot.pool == nullptr) empty = &slot;
+  }
+  if (!create) return nullptr;
+  DEX_CHECK_MSG(empty != nullptr, "admission credit slots exhausted");
+  empty->pool = pool;
+  empty->bytes = 0;
+  return empty;
+}
+
+}  // namespace
+
+FramePool::FramePool(std::size_t budget_bytes, bool spill_enabled,
+                     VirtNs spill_write_ns, VirtNs spill_read_ns)
+    : budget_(budget_bytes),
+      spill_enabled_(spill_enabled),
+      spill_write_ns_(spill_write_ns),
+      spill_read_ns_(spill_read_ns) {}
+
+FramePool::~FramePool() = default;
+
+void FramePool::charge(std::size_t bytes) {
+  const std::size_t now =
+      used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t peak = high_water_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !high_water_.compare_exchange_weak(peak, now,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+void FramePool::uncharge(std::size_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::uint8_t* FramePool::allocate() {
+  Credit* credit = credit_slot(this, /*create=*/false);
+  if (credit != nullptr && credit->bytes >= kPageSize) {
+    credit->bytes -= kPageSize;  // bytes already charged at reservation
+    if (credit->bytes == 0) credit->pool = nullptr;
+  } else {
+    charge(kPageSize);
+  }
+  std::uint8_t* frame = nullptr;
+  free_mu_.lock();
+  if (!freelist_.empty()) {
+    frame = freelist_.back();
+    freelist_.pop_back();
+  }
+  free_mu_.unlock();
+  if (frame != nullptr) {
+    // Recycled frames must look like the seed's value-initialized
+    // make_unique allocations: zero-filled.
+    std::memset(frame, 0, kPageSize);
+    return frame;
+  }
+  auto block = std::make_unique<std::uint8_t[]>(kPageSize);
+  frame = block.get();
+  free_mu_.lock();
+  blocks_.push_back(std::move(block));
+  free_mu_.unlock();
+  return frame;
+}
+
+void FramePool::release(std::uint8_t* frame) {
+  DEX_CHECK(frame != nullptr);
+  free_mu_.lock();
+  freelist_.push_back(frame);
+  free_mu_.unlock();
+  uncharge(kPageSize);
+}
+
+bool FramePool::try_reserve_upto(std::size_t bytes) {
+  if (budget_ == 0) return true;
+  Credit* credit = credit_slot(this, /*create=*/true);
+  if (credit->bytes >= bytes) return true;
+  const std::size_t need = bytes - credit->bytes;
+  std::size_t cur = used_.load(std::memory_order_relaxed);
+  while (cur + need <= budget_) {
+    if (used_.compare_exchange_weak(cur, cur + need,
+                                    std::memory_order_relaxed)) {
+      const std::size_t now = cur + need;
+      std::size_t peak = high_water_.load(std::memory_order_relaxed);
+      while (now > peak &&
+             !high_water_.compare_exchange_weak(peak, now,
+                                                std::memory_order_relaxed)) {
+      }
+      credit->bytes = bytes;
+      return true;
+    }
+  }
+  if (credit->bytes == 0) credit->pool = nullptr;
+  return false;
+}
+
+void FramePool::force_reserve_upto(std::size_t bytes) {
+  if (budget_ == 0) return;
+  Credit* credit = credit_slot(this, /*create=*/true);
+  if (credit->bytes >= bytes) return;
+  charge(bytes - credit->bytes);
+  credit->bytes = bytes;
+}
+
+std::size_t FramePool::credit_bytes() const {
+  const Credit* credit = credit_slot(this, /*create=*/false);
+  return credit == nullptr ? 0 : credit->bytes;
+}
+
+void FramePool::unreserve(std::size_t bytes) {
+  if (bytes == 0) return;
+  Credit* credit = credit_slot(this, /*create=*/false);
+  DEX_CHECK(credit != nullptr && credit->bytes >= bytes);
+  credit->bytes -= bytes;
+  uncharge(bytes);
+  if (credit->bytes == 0) credit->pool = nullptr;
+}
+
+void FramePool::drop_credit() {
+  Credit* credit = credit_slot(this, /*create=*/false);
+  if (credit == nullptr) return;
+  uncharge(credit->bytes);
+  credit->bytes = 0;
+  credit->pool = nullptr;
+}
+
+std::uint32_t FramePool::spill_out(const std::uint8_t* frame) {
+  const std::uint32_t slot = spill_.write(frame);
+  if (slot != SpillFile::kNoSlot) {
+    spills_out_.fetch_add(1, std::memory_order_relaxed);
+    vclock::advance(spill_write_ns_);
+  }
+  return slot;
+}
+
+void FramePool::spill_in(std::uint32_t slot, std::uint8_t* frame) {
+  spill_.read(slot, frame);
+  spills_in_.fetch_add(1, std::memory_order_relaxed);
+  vclock::advance(spill_read_ns_);
+}
+
+void FramePool::drop_slot(std::uint32_t slot) { spill_.drop(slot); }
+
+}  // namespace dex::mem

@@ -1,0 +1,136 @@
+// Per-node bounded frame manager (ScaleStore-style buffer manager).
+//
+// Every (process, node) pair owns one FramePool; all of the node's page
+// frames are leased from it. The pool enforces `budget_bytes` (0 =
+// unbounded): the DSM's eviction provider keeps `used_bytes()` under the
+// budget by dropping cold shared replicas, writing back cold exclusive
+// copies, and — when the spill tier is enabled — parking a home's
+// authoritative frames in a SpillFile.
+//
+// Two properties matter for the protocol's lock-free readers:
+//
+//   - Freed frames go to a free list and are NEVER returned to the OS
+//     mid-run. A reader that snapshotted a frame pointer just before an
+//     eviction can still dereference it safely; the PTE seqcount it
+//     re-checks afterwards tells it the bytes were garbage.
+//   - allocate() never blocks and never runs eviction. It is called deep
+//     inside protocol handlers holding directory-entry locks; blocking
+//     there could deadlock two entries against each other. Budget pressure
+//     is applied at fault *admission* (no locks held) via the reservation
+//     credits below.
+//
+// Admission credits: a faulting thread reserves its worst-case frame need
+// up front with try_reserve() — a CAS on used_bytes against the budget —
+// and the reservation is remembered per (thread, pool). allocate() then
+// consumes the caller's credit instead of charging again, so concurrent
+// faulting threads cannot collectively overshoot the budget between the
+// admission check and the installs. Unused credit is returned by
+// drop_credit() when the fault completes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "common/types.h"
+#include "mem/spill.h"
+
+namespace dex::mem {
+
+class FramePool {
+ public:
+  /// `budget_bytes` 0 means unbounded (the seed behavior, bit-for-bit).
+  /// The spill costs are the simulated NVMe round-trips charged to the
+  /// calling thread's virtual clock on spill_out / spill_in.
+  FramePool(std::size_t budget_bytes, bool spill_enabled,
+            VirtNs spill_write_ns, VirtNs spill_read_ns);
+  ~FramePool();
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  /// A zero-filled kPageSize frame. Non-blocking; consumes the calling
+  /// thread's reservation credit when one is held, otherwise charges
+  /// used_bytes directly (over-budget grace — the patrol settles it).
+  std::uint8_t* allocate();
+
+  /// Returns a frame to the free list and uncharges its bytes.
+  void release(std::uint8_t* frame);
+
+  // ---- Admission credits ----
+  /// Tops this thread's credit for this pool up to `bytes`, admitting only
+  /// while the pool stays under budget. Returns false when the budget has
+  /// no room (caller evicts / backpresses and retries). With budget 0 this
+  /// is a no-op success.
+  bool try_reserve_upto(std::size_t bytes);
+  /// Unconditional top-up (bounded-backpressure escape hatch: forward
+  /// progress over strictness once the retry budget is exhausted).
+  void force_reserve_upto(std::size_t bytes);
+  /// This thread's outstanding credit for this pool.
+  std::size_t credit_bytes() const;
+  /// Returns `bytes` of this thread's credit (used by the eviction
+  /// provider to hand back a writeback reservation it did not consume).
+  void unreserve(std::size_t bytes);
+  /// Returns all of this thread's credit for this pool.
+  void drop_credit();
+
+  // ---- Spill tier ----
+  bool spill_enabled() const { return spill_enabled_; }
+  /// Parks a frame image in the cold tier; kNoSlot when unavailable.
+  std::uint32_t spill_out(const std::uint8_t* frame);
+  /// Reads a spilled image back into `frame` and frees the slot.
+  void spill_in(std::uint32_t slot, std::uint8_t* frame);
+  /// Discards a spilled image (munmap / teardown).
+  void drop_slot(std::uint32_t slot);
+
+  // ---- Accounting ----
+  std::size_t budget_bytes() const { return budget_; }
+  std::size_t used_bytes() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  std::size_t high_water_bytes() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  std::size_t spilled_bytes() const { return spill_.spilled_bytes(); }
+  bool over_budget() const { return budget_ != 0 && used_bytes() > budget_; }
+
+  /// CLOCK hand: the page address the eviction scan resumes after, so
+  /// successive sweeps rotate through the table instead of re-punishing
+  /// the lowest addresses.
+  GAddr clock_hand() const {
+    return clock_hand_.load(std::memory_order_relaxed);
+  }
+  void set_clock_hand(GAddr page) {
+    clock_hand_.store(page, std::memory_order_relaxed);
+  }
+
+  std::uint64_t spills_out() const {
+    return spills_out_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t spills_in() const {
+    return spills_in_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void charge(std::size_t bytes);
+  void uncharge(std::size_t bytes);
+
+  const std::size_t budget_;
+  const bool spill_enabled_;
+  const VirtNs spill_write_ns_;
+  const VirtNs spill_read_ns_;
+  std::atomic<std::size_t> used_{0};
+  std::atomic<std::size_t> high_water_{0};
+  std::atomic<GAddr> clock_hand_{0};
+  std::atomic<std::uint64_t> spills_out_{0};
+  std::atomic<std::uint64_t> spills_in_{0};
+
+  Spinlock free_mu_;
+  std::vector<std::uint8_t*> freelist_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> blocks_;
+
+  SpillFile spill_;
+};
+
+}  // namespace dex::mem

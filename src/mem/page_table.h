@@ -11,6 +11,13 @@
 // concurrent install/revoke and retry. Writes take the PTE spinlock so a
 // concurrent revocation can never tear a write-back (the kernel gets this
 // for free because revocation unmaps the page from the hardware MMU).
+//
+// Frames are leased from the node's FramePool (mem/frame_pool.h) instead of
+// being owned by the PTE, so a bounded node can evict cold copies: `frame`
+// is an atomic pointer (lock-free readers snapshot it and retry on null),
+// mutated only under the PTE lock. The pool retains freed frames for the
+// run, so a reader's stale snapshot is always dereferenceable — the
+// seqcount recheck is what rejects the bytes.
 #pragma once
 
 #include <atomic>
@@ -23,6 +30,7 @@
 #include "common/assert.h"
 #include "common/spinlock.h"
 #include "common/types.h"
+#include "mem/frame_pool.h"
 
 namespace dex::mem {
 
@@ -56,8 +64,22 @@ struct Pte {
   /// prefetcher and not yet touched; the fault fast path clears it and
   /// counts a prefetch hit, a revocation of a still-set flag counts waste.
   std::atomic<std::uint8_t> prefetched{0};
-  /// Node-local physical frame; allocated on first grant.
-  std::unique_ptr<std::uint8_t[]> frame;
+  /// CLOCK reference bit: stamped on access when the node has a frame
+  /// budget, cleared (second chance) by the eviction scan.
+  std::atomic<std::uint8_t> referenced{0};
+  /// Pin count: nonzero while a fault transaction is installing/consuming
+  /// this frame (leader faults, forward-grant pushes, batch installs). The
+  /// eviction provider skips pinned frames.
+  std::atomic<std::uint32_t> pins{0};
+  /// Node-local physical frame, leased from the node's FramePool on first
+  /// grant. Null when never granted, evicted, or parked in the cold tier.
+  /// Mutated only under `lock`; atomic so lock-free readers can snapshot.
+  std::atomic<std::uint8_t*> frame{nullptr};
+  /// Cold-tier slot when the frame image lives in the SpillFile; guarded
+  /// by `lock`.
+  std::uint32_t spill_slot = SpillFile::kNoSlot;
+  /// The node's frame pool; set once by PageTable at PTE creation.
+  FramePool* pool = nullptr;
   /// Writeback lease on an exclusive copy (DsmConfig::lease_ns > 0 only).
   /// Owner-side mirror of the directory's lease: when a write finds the
   /// window expired, the owner renews via kLeaseRenew (piggybacking the
@@ -68,15 +90,72 @@ struct Pte {
   /// Guards frame contents + state transitions.
   Spinlock lock;
 
+  /// Lock-free snapshot of the frame pointer (may be null mid-eviction;
+  /// readers retry through the fault path).
+  std::uint8_t* data() const { return frame.load(std::memory_order_acquire); }
+
+  /// Makes the frame resident, re-reading the cold tier when the image was
+  /// spilled. Must be called under `lock`.
   std::uint8_t* ensure_frame() {
-    if (!frame) frame = std::make_unique<std::uint8_t[]>(kPageSize);
-    return frame.get();
+    std::uint8_t* f = frame.load(std::memory_order_relaxed);
+    if (f == nullptr) {
+      f = pool->allocate();
+      if (spill_slot != SpillFile::kNoSlot) {
+        pool->spill_in(spill_slot, f);
+        spill_slot = SpillFile::kNoSlot;
+      }
+      frame.store(f, std::memory_order_release);
+    }
+    return f;
   }
+
+  /// Returns the frame (if any) to the pool. Must be called under `lock`
+  /// (or with the table quiesced, e.g. zap/teardown).
+  void drop_frame() {
+    std::uint8_t* f = frame.exchange(nullptr, std::memory_order_release);
+    if (f != nullptr) pool->release(f);
+  }
+
+  /// Discards a parked cold-tier image. Same locking rule as drop_frame.
+  void drop_spill() {
+    if (spill_slot != SpillFile::kNoSlot) {
+      pool->drop_slot(spill_slot);
+      spill_slot = SpillFile::kNoSlot;
+    }
+  }
+
+  void pin() { pins.fetch_add(1, std::memory_order_relaxed); }
+  void unpin() { pins.fetch_sub(1, std::memory_order_relaxed); }
+  bool pinned() const { return pins.load(std::memory_order_relaxed) != 0; }
+};
+
+/// RAII pin (exception-safe across the fault path's RPCs).
+class PinGuard {
+ public:
+  explicit PinGuard(Pte& pte) : pte_(pte) { pte_.pin(); }
+  ~PinGuard() { pte_.unpin(); }
+  PinGuard(const PinGuard&) = delete;
+  PinGuard& operator=(const PinGuard&) = delete;
+
+ private:
+  Pte& pte_;
 };
 
 class PageTable {
  public:
-  PageTable() = default;
+  explicit PageTable(FramePool* pool) : pool_(pool) { DEX_CHECK(pool_); }
+  ~PageTable() {
+    // Return every frame (and parked cold-tier image) to the pool so its
+    // byte accounting ends at zero — teardown is a discard path too.
+    for (auto& shard : shards_) {
+      std::unique_lock lock(shard.mu);
+      for (auto& [page, pte] : shard.map) {
+        pte->drop_spill();
+        pte->drop_frame();
+      }
+      shard.map.clear();
+    }
+  }
   PageTable(const PageTable&) = delete;
   PageTable& operator=(const PageTable&) = delete;
 
@@ -99,18 +178,25 @@ class PageTable {
       if (it != shard.map.end()) return *it->second;
     }
     std::unique_lock lock(shard.mu);
-    auto [it, _] = shard.map.try_emplace(page, std::make_unique<Pte>());
+    auto [it, inserted] = shard.map.try_emplace(page, nullptr);
+    if (inserted) {
+      it->second = std::make_unique<Pte>();
+      it->second->pool = pool_;
+    }
     return *it->second;
   }
 
-  /// Drops every PTE in [start, end) — used by munmap teardown. Callers
-  /// must guarantee no concurrent access to the range (the directory
-  /// serializes this via the VMA-op delegation path).
+  /// Drops every PTE in [start, end) — used by munmap teardown — returning
+  /// their frames to the pool. Callers must guarantee no concurrent access
+  /// to the range (the directory serializes this via the VMA-op delegation
+  /// path).
   void zap_range(GAddr start, GAddr end) {
     for (auto& shard : shards_) {
       std::unique_lock lock(shard.mu);
       for (auto it = shard.map.begin(); it != shard.map.end();) {
         if (it->first >= start && it->first < end) {
+          it->second->drop_spill();
+          it->second->drop_frame();
           it = shard.map.erase(it);
         } else {
           ++it;
@@ -118,6 +204,18 @@ class PageTable {
       }
     }
   }
+
+  /// Visits every PTE (shard by shard, under the shard's read lock). Used
+  /// by the eviction scan to snapshot candidates.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& shard : shards_) {
+      std::shared_lock lock(shard.mu);
+      for (auto& [page, pte] : shard.map) fn(page, *pte);
+    }
+  }
+
+  FramePool& pool() { return *pool_; }
 
   std::size_t resident_pages() const {
     std::size_t total = 0;
@@ -128,8 +226,10 @@ class PageTable {
     return total;
   }
 
-  /// Bytes of frame memory currently owned by this node's table.
-  std::size_t resident_bytes() const { return resident_pages() * kPageSize; }
+  /// Bytes of frame memory currently leased from the node's pool (the
+  /// per-node footprint the frame budget bounds). Unlike resident_pages,
+  /// evicted and spilled PTEs do not count.
+  std::size_t resident_bytes() const { return pool_->used_bytes(); }
 
  private:
   static constexpr std::size_t kShards = 64;
@@ -141,6 +241,7 @@ class PageTable {
     return shards_[(page >> kPageShift) % kShards];
   }
 
+  FramePool* pool_;
   Shard shards_[kShards];
 };
 

@@ -1,0 +1,74 @@
+#include "mem/spill.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace dex::mem {
+
+SpillFile::~SpillFile() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+bool SpillFile::ensure_open_locked() {
+  if (file_ != nullptr) return true;
+  if (open_failed_) return false;
+  file_ = std::tmpfile();
+  if (file_ == nullptr) {
+    // No scratch space (sandbox, read-only /tmp): spilling degrades to
+    // "frame stays resident"; the caller just skips the candidate.
+    open_failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t SpillFile::write(const std::uint8_t* page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ensure_open_locked()) return kNoSlot;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = next_slot_++;
+  }
+  if (std::fseek(file_, static_cast<long>(slot) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0 ||
+      std::fwrite(page, 1, kPageSize, file_) != kPageSize) {
+    // Disk full: recycle the slot and fail the spill gracefully.
+    free_slots_.push_back(slot);
+    return kNoSlot;
+  }
+  const std::size_t now =
+      spilled_bytes_.fetch_add(kPageSize, std::memory_order_relaxed) +
+      kPageSize;
+  std::size_t peak = high_water_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !high_water_.compare_exchange_weak(peak, now,
+                                            std::memory_order_relaxed)) {
+  }
+  return slot;
+}
+
+void SpillFile::read(std::uint32_t slot, std::uint8_t* page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DEX_CHECK(slot != kNoSlot && file_ != nullptr);
+  DEX_CHECK(std::fseek(file_, static_cast<long>(slot) *
+                                  static_cast<long>(kPageSize),
+                       SEEK_SET) == 0);
+  DEX_CHECK(std::fread(page, 1, kPageSize, file_) == kPageSize);
+  free_slots_.push_back(slot);
+  spilled_bytes_.fetch_sub(kPageSize, std::memory_order_relaxed);
+}
+
+void SpillFile::drop(std::uint32_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot == kNoSlot) return;
+  free_slots_.push_back(slot);
+  spilled_bytes_.fetch_sub(kPageSize, std::memory_order_relaxed);
+}
+
+}  // namespace dex::mem

@@ -1,0 +1,66 @@
+// File-backed cold tier for evicted page frames.
+//
+// When a node's FramePool is over budget and the eviction provider runs out
+// of droppable copies (shared replicas re-fault from the home; a home's
+// authoritative frame cannot be dropped at all), cold frames are written to
+// an anonymous temporary file and re-read on the next access. This is the
+// "elasticize beyond DRAM" tier: aggregate working sets can exceed cluster
+// memory at the cost of a simulated NVMe round-trip per cold page
+// (CostModel::spill_write_ns / spill_read_ns, charged by the FramePool).
+//
+// The file is created lazily with std::tmpfile() — anonymous, unlinked,
+// reclaimed by the OS on process exit — and slots are recycled through a
+// free list, so the file never outgrows the peak spilled set.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dex::mem {
+
+class SpillFile {
+ public:
+  /// Sentinel: no spilled image.
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  SpillFile() = default;
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Writes one page image; returns its slot, or kNoSlot when the backing
+  /// file cannot be created (spilling then degrades to "skip the frame").
+  std::uint32_t write(const std::uint8_t* page);
+
+  /// Reads slot back into `page` and recycles the slot.
+  void read(std::uint32_t slot, std::uint8_t* page);
+
+  /// Discards a spilled image without reading it (teardown, munmap).
+  void drop(std::uint32_t slot);
+
+  /// Bytes currently parked in the file (live slots only).
+  std::size_t spilled_bytes() const {
+    return spilled_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t high_water_bytes() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool ensure_open_locked();
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  bool open_failed_ = false;
+  std::uint32_t next_slot_ = 0;
+  std::vector<std::uint32_t> free_slots_;
+  std::atomic<std::size_t> spilled_bytes_{0};
+  std::atomic<std::size_t> high_water_{0};
+};
+
+}  // namespace dex::mem

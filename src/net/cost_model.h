@@ -117,6 +117,17 @@ struct CostModel {
   /// are charged separately by the fabric).
   VirtNs lease_renew_service_ns = 800;
 
+  // ---- Bounded frames (frame_budget_bytes) ----
+  /// Home-side cost of an eviction notice: validating the evictor's copy
+  /// and retiring it from the sharer set (writeback wire/copy costs are
+  /// charged separately by the fabric).
+  VirtNs evict_service_ns = 600;
+  /// Cold-tier (SpillFile) page write / read — charged to the calling
+  /// thread's clock when a frame is parked or faulted back in. Ballpark
+  /// NVMe 4 KB round-trips.
+  VirtNs spill_write_ns = 10000;
+  VirtNs spill_read_ns = 12000;
+
   // ---- Local machine ----
   /// Fast-path software-MMU access check (amortized; real HW does this in
   /// the TLB for free, we keep it tiny so local runs aren't penalized).

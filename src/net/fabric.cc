@@ -52,6 +52,7 @@ const char* to_string(MsgType type) {
     case MsgType::kHeartbeat: return "heartbeat";
     case MsgType::kMembershipUpdate: return "membership_update";
     case MsgType::kLeaseRenew: return "lease_renew";
+    case MsgType::kEvictPage: return "evict_page";
     case MsgType::kMaxType: return "max_type";
   }
   return "?";

@@ -55,6 +55,9 @@ enum class MsgType : std::uint16_t {
   kMembershipUpdate,  // origin -> nodes: epoch-stamped membership view
   kLeaseRenew,        // owner -> home: lease renewal + piggybacked writeback
 
+  // --- Bounded frames (DsmConfig::frame_budget_bytes) ---
+  kEvictPage,  // pressured node -> home: retire my copy (+ writeback if dirty)
+
   kMaxType,
 };
 
@@ -382,6 +385,39 @@ struct LeaseRenewPayload {
 /// its lease state and refaults on the next access.
 struct LeaseRenewAckPayload {
   std::uint8_t renewed;
+};
+
+/// kEvictPage: a node under frame-budget pressure asks the page's home to
+/// retire its local copy. For a shared replica the home just drops the
+/// evictor from the sharer set (the copy re-faults from the home frame
+/// later); for an exclusive copy, kPageSize bytes of page image follow this
+/// struct and the home installs them as the authoritative frame — the same
+/// writeback the lease journal performs — before releasing the grant. The
+/// home does all the work (including fencing the evictor's PTE) under the
+/// directory entry's lock, so eviction serializes against recalls,
+/// forwarded grants and batch installs like any other transaction.
+/// Idempotent: a duplicate delivery re-validates owner/version and
+/// fails closed (kStale).
+struct EvictPagePayload {
+  std::uint64_t process_id;
+  GAddr page;
+  std::uint64_t version;   // version of the copy being retired
+  NodeId node;             // the evicting node
+  std::uint8_t exclusive;  // 1: page image follows this struct
+  std::uint8_t pad[3];
+};
+
+enum class EvictResult : std::uint8_t {
+  kEvicted = 0,    // copy retired; the evictor's frame was freed
+  kStale = 1,      // the copy lost a race (recalled/re-granted); no-op
+  kBusy = 2,       // entry locked by a transaction; try another page
+  kWrongHome = 3,  // this node does not home the page; chase `home`
+};
+
+struct EvictPageAckPayload {
+  std::uint8_t result;  // EvictResult
+  std::uint8_t pad[3];
+  NodeId home;  // redirect target when result == kWrongHome
 };
 
 }  // namespace dex::net

@@ -63,6 +63,12 @@ TraceAnalysis::TraceAnalysis(std::vector<FaultEvent> events)
         ++pr.leases;
         ++sr.leases;
         break;
+      case FaultKind::kEvict:
+        // Copies retired under frame-budget pressure; the re-fault (if
+        // the page comes back) is recorded separately as a demand fault.
+        ++pr.evictions;
+        ++sr.evictions;
+        break;
     }
     if (e.node != kInvalidNode) pr.nodes.insert(e.node);
     if (e.task >= 0) pr.tasks.insert(e.task);
@@ -190,6 +196,20 @@ std::string TraceAnalysis::format_report(std::size_t limit) const {
        << " pages recovered from journal, " << counters_.dirty_pages_lost
        << " dirty pages lost, " << counters_.threads_restarted
        << " threads restarted\n";
+    if (counters_.frame_budget_bytes > 0) {
+      os << "  frame budget: " << counters_.frame_budget_bytes
+         << " B/node, peak " << counters_.frame_high_water_bytes << " B\n";
+      os << "  evictions: " << counters_.evictions_shared << " shared, "
+         << counters_.evictions_exclusive << " exclusive (written back), "
+         << counters_.evictions_local << " local\n";
+      os << "  cold tier: " << counters_.spills_out << " spills out, "
+         << counters_.spills_in << " spills in\n";
+      os << "  backpressure: " << counters_.backpressure_stalls
+         << " stalls, " << counters_.backpressure_overshoots
+         << " over-budget admissions\n";
+      os << "  lease journal: " << counters_.journal_bytes
+         << " B live, " << counters_.journal_gcs << " entries GCed\n";
+    }
   }
   return os.str();
 }

@@ -32,6 +32,7 @@ struct SiteReport {
   std::uint64_t forwards = 0;  // grants forwarded owner->requester
   std::uint64_t home_migrations = 0;  // entry handed to the dominant faulter
   std::uint64_t leases = 0;  // lease renewals / recalls / recoveries
+  std::uint64_t evictions = 0;  // copies retired under frame-budget pressure
   std::uint64_t total() const { return reads + writes + retries; }
 };
 
@@ -47,6 +48,7 @@ struct PageReport {
   std::uint64_t forwards = 0;  // grants forwarded owner->requester
   std::uint64_t home_migrations = 0;  // entry handed to the dominant faulter
   std::uint64_t leases = 0;  // lease renewals / recalls / recoveries
+  std::uint64_t evictions = 0;  // copies retired under frame-budget pressure
   std::set<NodeId> nodes;
   std::set<std::uint32_t> sites;
   std::set<TaskId> tasks;
@@ -78,6 +80,18 @@ struct ProtocolCounters {
   std::uint64_t pages_recovered = 0;
   std::uint64_t dirty_pages_lost = 0;
   std::uint64_t threads_restarted = 0;
+  // ---- Bounded frames (frame_budget_bytes; DsmStats) ----
+  std::uint64_t frame_budget_bytes = 0;
+  std::uint64_t frame_high_water_bytes = 0;
+  std::uint64_t evictions_shared = 0;
+  std::uint64_t evictions_exclusive = 0;
+  std::uint64_t evictions_local = 0;
+  std::uint64_t spills_out = 0;
+  std::uint64_t spills_in = 0;
+  std::uint64_t backpressure_stalls = 0;
+  std::uint64_t backpressure_overshoots = 0;
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t journal_gcs = 0;
 };
 
 class TraceAnalysis {

@@ -16,6 +16,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kForward: return "forward";
     case FaultKind::kHomeMigrate: return "home_migrate";
     case FaultKind::kLease: return "lease";
+    case FaultKind::kEvict: return "evict";
   }
   return "?";
 }

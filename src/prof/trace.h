@@ -31,6 +31,7 @@ enum class FaultKind : std::uint8_t {
   kForward = 7,     // grant forwarded owner->requester past the origin
   kHomeMigrate = 8, // directory entry handed off to the dominant faulter
   kLease = 9,       // writeback-lease event: renewal, patrol recall, recovery
+  kEvict = 10,      // copy retired under frame-budget pressure
 };
 
 const char* to_string(FaultKind kind);

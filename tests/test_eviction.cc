@@ -1,0 +1,590 @@
+// Bounded-frame tests: the per-node FramePool (budget accounting, admission
+// credits, the cold-tier spill round trip), the kEvictPage protocol (pinned
+// frames fail closed, stale evictions fail closed, bytes actually return to
+// the pressured pool), discard-path byte accounting (munmap and node
+// reclamation drain every pool back to its baseline), the lease-journal
+// gauge + patrol GC, and the chaos paths: an owner whose eviction writeback
+// cannot reach the home loses nothing, and evictions racing live
+// fault/install traffic never corrupt the memory image.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/virtual_clock.h"
+#include "core/api.h"
+#include "mem/directory.h"
+#include "mem/frame_pool.h"
+#include "mem/page_table.h"
+#include "net/message.h"
+
+namespace dex {
+namespace {
+
+using mem::FramePool;
+using net::EvictPageAckPayload;
+using net::EvictPagePayload;
+using net::EvictResult;
+using net::MsgType;
+
+constexpr std::size_t kWordsPerPage = kPageSize / sizeof(std::uint64_t);
+
+// Same contract as the recovery suite: a wedged eviction test must abort
+// loudly instead of eating the CI timeout.
+class Watchdog {
+ public:
+  explicit Watchdog(int seconds)
+      : thread_([this, seconds] {
+          std::unique_lock<std::mutex> lock(mu_);
+          if (!cv_.wait_for(lock, std::chrono::seconds(seconds),
+                            [this] { return done_; })) {
+            std::fprintf(stderr,
+                         "eviction watchdog: test exceeded %d s, aborting\n",
+                         seconds);
+            std::abort();
+          }
+        }) {}
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------------------------
+// FramePool unit behavior
+// ---------------------------------------------------------------------------
+
+TEST(FramePoolTest, BudgetAccountingAndAdmissionCredits) {
+  FramePool pool(2 * kPageSize, /*spill_enabled=*/false, 0, 0);
+
+  // Credit admission: a reservation is consumed by allocate(), not charged
+  // twice, and the budget caps further reservations until bytes come back.
+  EXPECT_TRUE(pool.try_reserve_upto(kPageSize));
+  EXPECT_EQ(pool.credit_bytes(), kPageSize);
+  std::uint8_t* a = pool.allocate();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(pool.used_bytes(), kPageSize);
+  EXPECT_EQ(pool.credit_bytes(), 0u);
+
+  EXPECT_TRUE(pool.try_reserve_upto(kPageSize));
+  std::uint8_t* b = pool.allocate();
+  EXPECT_EQ(pool.used_bytes(), 2 * kPageSize);
+  EXPECT_FALSE(pool.try_reserve_upto(kPageSize));  // budget exhausted
+
+  // Recycled frames come back zeroed and uncharge their bytes.
+  a[0] = 0xAB;
+  pool.release(a);
+  EXPECT_EQ(pool.used_bytes(), kPageSize);
+  EXPECT_TRUE(pool.try_reserve_upto(kPageSize));
+  std::uint8_t* c = pool.allocate();
+  ASSERT_NE(c, nullptr);
+  for (std::size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(c[i], 0) << i;
+
+  // force_reserve is the bounded-backpressure escape hatch: it admits over
+  // budget and the high-water mark records the overshoot.
+  pool.force_reserve_upto(kPageSize);
+  std::uint8_t* d = pool.allocate();
+  EXPECT_EQ(pool.used_bytes(), 3 * kPageSize);
+  EXPECT_TRUE(pool.over_budget());
+  EXPECT_GE(pool.high_water_bytes(), 3 * kPageSize);
+
+  pool.release(b);
+  pool.release(c);
+  pool.release(d);
+  EXPECT_EQ(pool.used_bytes(), 0u);
+  // TL credits are keyed by pool address: return them before the pool dies
+  // so a later pool reusing the address cannot inherit stale credit.
+  pool.drop_credit();
+}
+
+TEST(FramePoolTest, SpillRoundTripPreservesTheImage) {
+  FramePool pool(kPageSize, /*spill_enabled=*/true, 100, 100);
+  ASSERT_TRUE(pool.spill_enabled());
+
+  std::uint8_t* frame = pool.allocate();
+  ASSERT_NE(frame, nullptr);
+  for (std::size_t i = 0; i < kPageSize; ++i) {
+    frame[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  const std::uint32_t slot = pool.spill_out(frame);
+  ASSERT_NE(slot, mem::SpillFile::kNoSlot);
+  EXPECT_EQ(pool.spilled_bytes(), kPageSize);
+  EXPECT_EQ(pool.spills_out(), 1u);
+  pool.release(frame);
+  EXPECT_EQ(pool.used_bytes(), 0u);
+
+  std::uint8_t* back = pool.allocate();
+  ASSERT_NE(back, nullptr);
+  pool.spill_in(slot, back);
+  for (std::size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(back[i], static_cast<std::uint8_t>(i * 7 + 3)) << i;
+  }
+  EXPECT_EQ(pool.spilled_bytes(), 0u);  // slot recycled on read-back
+  EXPECT_EQ(pool.spills_in(), 1u);
+  pool.release(back);
+  pool.drop_credit();
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted runs: eviction keeps the pool bounded and the data intact
+// ---------------------------------------------------------------------------
+
+TEST(EvictionTest, BudgetedWorkingSetCompletesWithTheExactImage) {
+  Watchdog dog(90);
+  constexpr std::size_t kPages = 12;
+  constexpr std::uint64_t kBudget = 3 * kPageSize;  // 25% of the working set
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.frame_budget_bytes = kBudget;
+  options.spill_cold_pages = true;  // home frames must be able to shrink too
+  options.prefetch_max_pages = 0;   // one-frame-per-fault admission
+  options.home_migration = false;
+  auto process = cluster.create_process(options);
+
+  GArray<std::uint64_t> arr(*process, kPages * kWordsPerPage, "budgeted");
+  DexThread writer = process->spawn([&] {
+    migrate(1);
+    for (int round = 1; round <= 3; ++round) {
+      for (std::size_t p = 0; p < kPages; ++p) {
+        arr.set(p * kWordsPerPage,
+                static_cast<std::uint64_t>(round) * 1000 + p);
+      }
+    }
+    migrate_back();
+  });
+  writer.join();
+  EXPECT_FALSE(writer.failed());
+
+  // A 4x-over-budget working set streamed three times: the exact image
+  // survives the evict/writeback/re-fault churn.
+  for (std::size_t p = 0; p < kPages; ++p) {
+    EXPECT_EQ(arr.get(p * kWordsPerPage), 3000 + p) << "page " << p;
+  }
+
+  auto& stats = process->dsm().stats();
+  const std::uint64_t evictions = stats.evictions_shared.load() +
+                                  stats.evictions_exclusive.load() +
+                                  stats.evictions_local.load();
+  EXPECT_GT(evictions, 0u);
+  EXPECT_GT(stats.evictions_exclusive.load(), 0u);  // writebacks happened
+  // The budget is a real ceiling whenever backpressure never had to punt.
+  if (stats.backpressure_overshoots.load() == 0) {
+    EXPECT_LE(process->dsm().frame_high_water_bytes(), kBudget);
+  }
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+TEST(EvictionTest, UnbudgetedRunKeepsEveryEvictionCounterAtZero) {
+  Watchdog dog(60);
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster cluster(config);
+  auto process = cluster.create_process(ProcessOptions{});  // budget 0
+
+  GArray<std::uint64_t> arr(*process, 4 * kWordsPerPage, "unbounded");
+  DexThread worker = process->spawn([&] {
+    migrate(1);
+    for (std::size_t p = 0; p < 4; ++p) arr.set(p * kWordsPerPage, p + 1);
+    migrate_back();
+  });
+  worker.join();
+  process->dsm().frame_patrol();  // must be inert with budget 0
+
+  auto& stats = process->dsm().stats();
+  EXPECT_EQ(cluster.fabric().messages_of(MsgType::kEvictPage), 0u);
+  EXPECT_EQ(stats.evictions_shared.load(), 0u);
+  EXPECT_EQ(stats.evictions_exclusive.load(), 0u);
+  EXPECT_EQ(stats.evictions_local.load(), 0u);
+  EXPECT_EQ(stats.spills_out.load(), 0u);
+  EXPECT_EQ(stats.backpressure_stalls.load(), 0u);
+  EXPECT_EQ(stats.backpressure_overshoots.load(), 0u);
+  EXPECT_EQ(process->dsm().frame_pool(0).budget_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Discard-path byte accounting (the frame-byte audit)
+// ---------------------------------------------------------------------------
+
+TEST(EvictionTest, MunmapReturnsEveryFrameByteToEveryPool) {
+  Watchdog dog(90);
+  constexpr std::size_t kPages = 6;
+  ClusterConfig config;
+  config.num_nodes = 3;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.frame_budget_bytes = 2 * kPageSize;
+  options.spill_cold_pages = true;
+  options.prefetch_max_pages = 0;
+  options.home_migration = false;
+  auto process = cluster.create_process(options);
+
+  std::vector<std::uint64_t> baseline;
+  for (NodeId n = 0; n < 3; ++n) {
+    baseline.push_back(process->dsm().frame_pool(n).used_bytes());
+  }
+
+  const GAddr base =
+      process->mmap(kPages * kPageSize, kProtReadWrite, "audit");
+  ASSERT_NE(base, kNullGAddr);
+  GArray<std::uint64_t> arr(*process, base, kPages * kWordsPerPage);
+
+  // Touch the range from two remote nodes and the origin so shared
+  // replicas, written-back exclusives and spilled home frames all exist.
+  for (NodeId target = 1; target <= 2; ++target) {
+    DexThread worker = process->spawn([&, target] {
+      migrate(target);
+      for (std::size_t p = 0; p < kPages; ++p) {
+        arr.set(p * kWordsPerPage, static_cast<std::uint64_t>(target));
+      }
+      migrate_back();
+    });
+    worker.join();
+    EXPECT_FALSE(worker.failed());
+  }
+  for (std::size_t p = 0; p < kPages; ++p) {
+    EXPECT_EQ(arr.get(p * kWordsPerPage), 2u);
+  }
+  // Drive the patrol so the over-budget home pool parks frames in the
+  // cold tier — munmap must drop those slots too, not just live frames.
+  process->dsm().frame_patrol();
+  std::uint64_t spilled = 0;
+  for (NodeId n = 0; n < 3; ++n) {
+    spilled += process->dsm().frame_pool(n).spilled_bytes();
+  }
+  EXPECT_GT(spilled, 0u);
+
+  ASSERT_TRUE(process->munmap(base, kPages * kPageSize));
+  for (NodeId n = 0; n < 3; ++n) {
+    FramePool& pool = process->dsm().frame_pool(n);
+    EXPECT_EQ(pool.used_bytes(), baseline[static_cast<std::size_t>(n)])
+        << "node " << n << " leaked frame bytes across munmap";
+    EXPECT_EQ(pool.spilled_bytes(), 0u) << "node " << n;
+  }
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+// ---------------------------------------------------------------------------
+// kEvictPage protocol: pinned and stale copies fail closed
+// ---------------------------------------------------------------------------
+
+TEST(EvictionTest, PinnedFrameRefusesEvictionUntilUnpinned) {
+  Watchdog dog(60);
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.prefetch_max_pages = 0;
+  options.home_migration = false;
+  auto process = cluster.create_process(options);
+
+  GArray<std::uint64_t> arr(*process, kWordsPerPage, "pinned");
+  arr.set(0, 77);  // materialize at the origin
+  DexThread reader = process->spawn([&] {
+    migrate(1);
+    EXPECT_EQ(arr.get(0), 77u);  // shared replica at node 1
+    migrate_back();
+  });
+  reader.join();
+
+  const GAddr page = arr.addr(0);
+  mem::DirEntry* entry = process->dsm().directory().find(page);
+  ASSERT_NE(entry, nullptr);
+  mem::Pte* pte = process->dsm().page_table(1).find(page);
+  ASSERT_NE(pte, nullptr);
+  ASSERT_NE(pte->data(), nullptr);
+  const std::uint64_t bytes_before =
+      process->dsm().frame_pool(1).used_bytes();
+
+  EvictPagePayload payload{};
+  payload.process_id = process->dsm().config().process_id;
+  payload.page = page;
+  payload.version = entry->version;
+  payload.node = 1;
+  payload.exclusive = 0;
+  net::Message msg;
+  msg.type = MsgType::kEvictPage;
+  msg.src = 1;
+  msg.dst = 0;
+  msg.set_payload(payload);
+
+  // The install-in-flight race, staged deterministically: the fault leader
+  // pins its PTE before snapshotting known_version, so a concurrent
+  // eviction must see the pin and fail closed instead of retiring the
+  // frame a grant is about to reference.
+  pte->pin();
+  net::Message reply = process->dsm().handle_evict_page(msg);
+  EXPECT_EQ(reply.payload_as<EvictPageAckPayload>().result,
+            static_cast<std::uint8_t>(EvictResult::kBusy));
+  EXPECT_NE(pte->data(), nullptr);  // the frame is still there
+  EXPECT_EQ(process->dsm().frame_pool(1).used_bytes(), bytes_before);
+
+  // A stale version (the copy was re-granted since the snapshot) also
+  // fails closed, pinned or not.
+  payload.version = entry->version + 1;
+  msg.set_payload(payload);
+  reply = process->dsm().handle_evict_page(msg);
+  EXPECT_EQ(reply.payload_as<EvictPageAckPayload>().result,
+            static_cast<std::uint8_t>(EvictResult::kStale));
+
+  // Unpinned with the true version, the same request retires the replica
+  // and the bytes come back to the pressured node's pool.
+  pte->unpin();
+  payload.version = entry->version;
+  msg.set_payload(payload);
+  reply = process->dsm().handle_evict_page(msg);
+  EXPECT_EQ(reply.payload_as<EvictPageAckPayload>().result,
+            static_cast<std::uint8_t>(EvictResult::kEvicted));
+  EXPECT_EQ(pte->data(), nullptr);
+  EXPECT_EQ(process->dsm().frame_pool(1).used_bytes(),
+            bytes_before - kPageSize);
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    EXPECT_FALSE(entry->sharers.contains(1));
+  }
+
+  // The dropped replica is a clean re-fault, not a data loss.
+  DexThread refault = process->spawn([&] {
+    migrate(1);
+    EXPECT_EQ(arr.get(0), 77u);
+    migrate_back();
+  });
+  refault.join();
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: eviction writeback vs. owner death, eviction vs. live installs
+// ---------------------------------------------------------------------------
+
+TEST(EvictionTest, UnreachableHomeSkipsTheEvictionAndLosesNothing) {
+  Watchdog dog(90);
+  constexpr std::size_t kPages = 4;
+  constexpr VirtNs kLease = 20'000;
+  const NodeId victim = 1;
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.lease_ns = kLease;
+  // Budget == working set: no pressure while the journal is being built;
+  // the test applies the overage by hand once the stage is set.
+  options.frame_budget_bytes = kPages * kPageSize;
+  options.prefetch_max_pages = 0;
+  options.home_migration = false;
+  auto process = cluster.create_process(options);
+
+  auto pattern = [](std::size_t p) {
+    return 0xD00D0000u + static_cast<std::uint64_t>(p);
+  };
+  GArray<std::uint64_t> arr(*process, kPages * kWordsPerPage, "chaos");
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  DexThread writer = process->spawn([&] {
+    migrate(victim);
+    for (std::size_t p = 0; p < kPages; ++p) {
+      arr.set(p * kWordsPerPage, pattern(p));
+    }
+    // Outlive the lease and rewrite so every dirty page has a journaled
+    // writeback at the home before the links go dark.
+    vclock::advance(kLease + 1);
+    for (std::size_t p = 0; p < kPages; ++p) {
+      arr.set(p * kWordsPerPage, pattern(p));
+    }
+    parked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  // The owner's links go dark mid-pressure: its eviction writebacks cannot
+  // reach the home. Two stray allocations push the pool over budget so the
+  // patrol has real work; it must skip — never free a frame, never count a
+  // loss — because each journaled home copy plus the live dirty frame are
+  // the only two copies of this data.
+  cluster.fabric().injector().isolate_node(victim);
+  FramePool& vpool = process->dsm().frame_pool(victim);
+  std::uint8_t* stray_a = vpool.allocate();
+  std::uint8_t* stray_b = vpool.allocate();
+  ASSERT_GT(vpool.used_bytes(), vpool.budget_bytes());
+  auto& stats = process->dsm().stats();
+  const std::uint64_t skips_before = stats.eviction_skips.load();
+  const std::uint64_t evicted_before = stats.evictions_exclusive.load();
+  process->dsm().frame_patrol();
+  EXPECT_GT(stats.eviction_skips.load(), skips_before);
+  EXPECT_EQ(stats.evictions_exclusive.load(), evicted_before);
+  vpool.release(stray_a);
+  vpool.release(stray_b);
+  vpool.drop_credit();
+  auto& failure = process->dsm().failure_stats();
+  EXPECT_EQ(failure.dirty_pages_lost.load(), 0u);
+  for (std::size_t p = 0; p < kPages; ++p) {
+    mem::Pte* pte = process->dsm().page_table(victim).find(arr.addr(
+        p * kWordsPerPage));
+    ASSERT_NE(pte, nullptr);
+    EXPECT_NE(pte->data(), nullptr) << "page " << p << " freed on a failed "
+                                    << "eviction writeback";
+  }
+
+  // The failure detector's verdict lands: recovery finds the journaled
+  // copies and recovers every page instead of double-counting the aborted
+  // eviction as dirty loss.
+  cluster.fail_node(victim);
+  release.store(true, std::memory_order_release);
+  writer.join();
+  EXPECT_FALSE(writer.failed());
+  EXPECT_EQ(failure.pages_recovered.load(), kPages);
+  EXPECT_EQ(failure.dirty_pages_lost.load(), 0u);
+  // Node reclamation drained the dead pool: no leaked frame bytes.
+  EXPECT_EQ(process->dsm().frame_pool(victim).used_bytes(), 0u);
+  for (std::size_t p = 0; p < kPages; ++p) {
+    EXPECT_EQ(arr.get(p * kWordsPerPage), pattern(p)) << "page " << p;
+  }
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+TEST(EvictionTest, PatrolRacingLiveFaultsKeepsTheImageExact) {
+  Watchdog dog(120);
+  constexpr std::size_t kPages = 16;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 60;
+  ClusterConfig config;
+  config.num_nodes = 4;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.frame_budget_bytes = 4 * kPageSize;
+  options.spill_cold_pages = true;
+  options.home_migration = false;
+  auto process = cluster.create_process(options);
+
+  // Strided single-writer slots across a working set 4x the budget, with
+  // prefetch batches on (the batch-install path must hold its frames via
+  // pins while the patrol sweeps concurrently).
+  GArray<std::uint64_t> slots(*process, kPages * kWordsPerPage, "race");
+  std::atomic<bool> stop{false};
+  std::thread patrol([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      process->dsm().frame_patrol();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<DexThread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(process->spawn([&, t] {
+      migrate(static_cast<NodeId>(t % 4));
+      for (int round = 1; round <= kRounds; ++round) {
+        for (std::size_t p = 0; p < kPages; ++p) {
+          const std::size_t slot = p * kWordsPerPage +
+                                   static_cast<std::size_t>(t);
+          slots.set(slot, (static_cast<std::uint64_t>(t) << 32) |
+                              static_cast<std::uint64_t>(round));
+        }
+      }
+      migrate_back();
+    }));
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  patrol.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t p = 0; p < kPages; ++p) {
+      const std::size_t slot = p * kWordsPerPage +
+                               static_cast<std::size_t>(t);
+      EXPECT_EQ(slots.get(slot),
+                (static_cast<std::uint64_t>(t) << 32) |
+                    static_cast<std::uint64_t>(kRounds))
+          << "thread " << t << " page " << p;
+    }
+  }
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+// ---------------------------------------------------------------------------
+// Lease-journal gauge and the patrol's journal GC
+// ---------------------------------------------------------------------------
+
+TEST(EvictionTest, JournalGaugeTracksRenewalsAndPatrolGCsOrphans) {
+  Watchdog dog(90);
+  constexpr std::size_t kPages = 3;
+  constexpr VirtNs kLease = 20'000;
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.lease_ns = kLease;
+  options.prefetch_max_pages = 0;
+  options.home_migration = false;
+  auto process = cluster.create_process(options);
+
+  GArray<std::uint64_t> arr(*process, kPages * kWordsPerPage, "journal");
+  DexThread writer = process->spawn([&] {
+    migrate(1);
+    for (std::size_t p = 0; p < kPages; ++p) arr.set(p * kWordsPerPage, p);
+    vclock::advance(kLease + 1);
+    for (std::size_t p = 0; p < kPages; ++p) arr.set(p * kWordsPerPage, p);
+  });
+  writer.join();
+  EXPECT_FALSE(writer.failed());
+
+  // Every renewed page holds one live journaled image at the home.
+  auto& stats = process->dsm().stats();
+  EXPECT_EQ(stats.journal_bytes.load(), kPages * kPageSize);
+  EXPECT_EQ(stats.journal_gcs.load(), 0u);
+
+  // A demand recall releases the grant and its journal entry with it: the
+  // gauge drops without any GC.
+  EXPECT_EQ(arr.get(0), 0u);
+  EXPECT_EQ(stats.journal_bytes.load(), (kPages - 1) * kPageSize);
+
+  // Orphaned entry: simulate a home hand-off that landed on the owner
+  // itself (owner == home), the state every natural release path skips —
+  // the journaled image at the old home no longer backs any remote dirty
+  // copy, and only the patrol's GC can drop it.
+  const GAddr orphan = arr.addr(1 * kWordsPerPage);
+  mem::DirEntry* entry = process->dsm().directory().find(orphan);
+  ASSERT_NE(entry, nullptr);
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    ASSERT_EQ(entry->exclusive_owner, 1);
+    ASSERT_GT(entry->journal_ts, 0);
+    entry->home = 1;
+  }
+  // The patrol runs on this thread's virtual clock; step it past every
+  // outstanding lease so the expired-lease recall (page 2) fires too.
+  vclock::advance(4 * kLease);
+  process->dsm().lease_patrol();
+  EXPECT_GE(stats.journal_gcs.load(), 1u);
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    EXPECT_EQ(entry->journal_ts, 0);
+    entry->home = kInvalidNode;  // hand the entry back for teardown
+  }
+  // The patrol also recalled the remaining expired lease (page 2), so the
+  // gauge is fully drained: journal bytes never outlive their owners.
+  EXPECT_EQ(stats.journal_bytes.load(), 0u);
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+}  // namespace
+}  // namespace dex

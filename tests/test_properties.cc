@@ -216,6 +216,76 @@ TEST_P(ProtocolProperty, HomeMigrationPreservesTheMemoryImage) {
   }
 }
 
+// Property: a frame budget is invisible to the memory image. The same
+// randomized workload — contended strided writers over a working set well
+// past the per-node budget — must end bit-identical with the budget off
+// (unbounded seed behavior, all eviction machinery provably inert) and on
+// (evictions actually firing on multi-node shapes), with the directory
+// invariants holding throughout.
+TEST_P(ProtocolProperty, BudgetedRunPreservesTheMemoryImage) {
+  const Shape shape = GetParam();
+  constexpr std::size_t kSlots = 4096;  // 8 pages of strided slots
+  constexpr std::uint64_t kBudget = 4 * kPageSize;
+
+  std::vector<std::uint64_t> image[2];
+  for (int on = 0; on <= 1; ++on) {
+    ClusterConfig config;
+    config.num_nodes = shape.nodes;
+    Cluster cluster(config);
+    ProcessOptions options;
+    options.coalesce_faults = shape.coalesce;
+    options.frame_budget_bytes = on != 0 ? kBudget : 0;
+    options.spill_cold_pages = on != 0;  // home frames can shrink too
+    auto process = cluster.create_process(options);
+
+    GArray<std::uint64_t> slots(*process, kSlots, "slots");
+    std::vector<DexThread> threads;
+    for (int t = 0; t < shape.threads; ++t) {
+      threads.push_back(process->spawn([&, t] {
+        Xoshiro256 rng(static_cast<std::uint64_t>(t) * 271 + 5);
+        migrate(static_cast<NodeId>(t % shape.nodes));
+        for (int round = 0; round < 80; ++round) {
+          const std::size_t slot =
+              static_cast<std::size_t>(t) +
+              static_cast<std::size_t>(rng.next_below(
+                  kSlots / static_cast<std::size_t>(shape.threads))) *
+                  static_cast<std::size_t>(shape.threads);
+          slots.set(slot, (static_cast<std::uint64_t>(t) << 32) |
+                              static_cast<std::uint64_t>(round));
+        }
+        migrate_back();
+      }));
+    }
+    for (auto& t : threads) t.join();
+    process->dsm().frame_patrol();
+    EXPECT_TRUE(process->dsm().check_invariants());
+
+    auto& stats = process->dsm().stats();
+    const std::uint64_t evictions = stats.evictions_shared.load() +
+                                    stats.evictions_exclusive.load() +
+                                    stats.evictions_local.load();
+    if (on == 0) {
+      // Budget 0 is the seed protocol bit-for-bit: zero eviction traffic,
+      // zero spills, zero backpressure.
+      EXPECT_EQ(evictions, 0u);
+      EXPECT_EQ(stats.spills_out.load(), 0u);
+      EXPECT_EQ(stats.backpressure_stalls.load(), 0u);
+      EXPECT_EQ(stats.backpressure_overshoots.load(), 0u);
+    } else {
+      // Pressure was real: something had to give (remote evictions on
+      // multi-node shapes; on one node the cold tier absorbs the overage).
+      EXPECT_GT(evictions + stats.spills_out.load(), 0u);
+      if (stats.backpressure_overshoots.load() == 0) {
+        EXPECT_LE(process->dsm().frame_high_water_bytes(), kBudget);
+      }
+    }
+
+    image[on].resize(kSlots);
+    slots.read_block(0, kSlots, image[on].data());
+  }
+  EXPECT_EQ(image[0], image[1]);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, ProtocolProperty,
     ::testing::Values(Shape{1, 4, true}, Shape{2, 4, true},
