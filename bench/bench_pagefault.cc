@@ -14,6 +14,7 @@
 // retries (with only two threads a single-core host serializes the
 // transactions and the contended path never triggers).
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "bench/bench_util.h"
 #include "core/api.h"
 #include "mem/directory.h"
+#include "mem/fault_table.h"
 
 namespace {
 
@@ -252,7 +254,10 @@ struct ShardProbeResult {
 
 ShardProbeResult run_shard_probe(int dir_shards) {
   using namespace dex;
-  mem::Directory directory(dir_shards);
+  // Pessimistic on purpose: this ablation isolates SHARDING, so every
+  // access must actually take its shard's latch. (Mode 7 below isolates
+  // the optimistic-latching axis with the shard count pinned instead.)
+  mem::Directory directory(dir_shards, /*optimistic=*/false);
   constexpr int kThreads = 8;
   constexpr std::uint64_t kPagesPerThread = 256;
   constexpr int kRounds = 50;
@@ -280,6 +285,129 @@ ShardProbeResult run_shard_probe(int dir_shards) {
   ShardProbeResult result;
   result.contention = directory.lock_contention();
   result.lookups = kThreads * kPagesPerThread * kRounds;
+  return result;
+}
+
+/// Read-mostly steady state on ONE hot directory shard plus the fault
+/// table, with optimistic versioned latching on or off (the latching
+/// ablation). The shard count is pinned to 1 so the two runs differ only
+/// in the latch discipline: pessimistic mode takes the shard latch
+/// exclusively for every lookup, optimistic mode resolves warm lookups
+/// with a validated version read and never touches the latch word
+/// exclusively. Timed in wall-clock (std::chrono), not virtual time —
+/// latch serialization is a host-side cost the virtual clock deliberately
+/// does not model.
+struct ContendedReadResult {
+  std::uint64_t elapsed_ns = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t dir_contention = 0;
+  std::uint64_t fault_table_contention = 0;
+  std::uint64_t latch_restarts = 0;
+  std::uint64_t latch_upgrades = 0;
+};
+
+ContendedReadResult run_contended_read(bool optimistic) {
+  using namespace dex;
+  mem::Directory directory(/*shards=*/1, optimistic);
+  // The knob collapses the fault table the same way Dsm's ctor does.
+  mem::FaultTable fault_table(optimistic ? mem::FaultTable::kShards : 1);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kHotPages = 256;
+  constexpr int kRounds = 400;
+  constexpr int kFaultRounds = 20000;
+
+  // Steady state: the hot set already exists; readers only look it up.
+  for (std::uint64_t p = 0; p < kHotPages; ++p) {
+    (void)directory.entry(p * kPageSize);
+  }
+
+  // The home probe of Dsm::home_of_page, per latch discipline: a validated
+  // optimistic read, falling back to the exclusive entry latch.
+  auto probe_home = [optimistic](mem::DirEntry& entry) {
+    if (optimistic) {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        GuardO guard(entry.latch, GuardO::kNonBlocking);
+        if (!guard.engaged()) break;
+        const NodeId home = entry.home.load(std::memory_order_relaxed);
+        if (guard.validate()) return home;
+      }
+    }
+    std::lock_guard<HybridLatch> guard(entry.latch);
+    return entry.home.load(std::memory_order_relaxed);
+  };
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> sink{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::uint64_t local = 0;
+      for (int r = 0; r < kRounds; ++r) {
+        for (std::uint64_t p = 0; p < kHotPages; ++p) {
+          // One directory reach + the wrong-home and redirect probes: the
+          // per-fault latch work of the steady-state read path.
+          mem::DirEntry& entry = directory.entry(p * kPageSize);
+          local += static_cast<std::uint64_t>(probe_home(entry));
+          local += static_cast<std::uint64_t>(probe_home(entry));
+        }
+      }
+      sink.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  // One writer keeps minting entries in a disjoint range, so optimistic
+  // probes race real shard mutations instead of an idle version counter.
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    std::uint64_t next = kHotPages + kThreads;
+    while (!stop_writer.load(std::memory_order_acquire)) {
+      (void)directory.entry(next * kPageSize);
+      ++next;
+      std::this_thread::yield();
+    }
+  });
+
+  while (ready.load() < kThreads) std::this_thread::yield();
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+  stop_writer.store(true, std::memory_order_release);
+  writer.join();
+
+  // Fault-table phase, outside the timed read loop (its rounds allocate,
+  // which is latch-invariant noise): every thread leads rounds on its own
+  // page, so the shard mutex is the only thing they can collide on —
+  // exactly the per-node serialization the 64-way split exists to kill.
+  {
+    std::vector<std::thread> faulters;
+    faulters.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      faulters.emplace_back([&, t] {
+        const GAddr fpage = static_cast<GAddr>(t) * kPageSize;
+        for (int r = 0; r < kFaultRounds; ++r) {
+          auto join = fault_table.join(fpage, Access::kRead);
+          if (join.is_leader) {
+            fault_table.complete(join, fpage, Access::kRead, 0);
+          }
+        }
+      });
+    }
+    for (auto& t : faulters) t.join();
+  }
+
+  ContendedReadResult result;
+  result.elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  result.lookups = std::uint64_t{kThreads} * kHotPages * kRounds;
+  result.dir_contention = directory.lock_contention();
+  result.fault_table_contention = fault_table.contention();
+  result.latch_restarts = directory.latch_restarts();
+  result.latch_upgrades = directory.latch_upgrades();
   return result;
 }
 
@@ -561,6 +689,70 @@ int main() {
     hm.set("private_page", "home_chases",
            static_cast<double>(adaptive.chases));
     hm.write("BENCH_home_migration.json");
+  }
+
+  // ---- mode 7: contended reads on one hot shard — optimistic versioned
+  // latching against the all-exclusive seed discipline ----
+  {
+    const ContendedReadResult on = run_contended_read(/*optimistic=*/true);
+    const ContendedReadResult off = run_contended_read(/*optimistic=*/false);
+    const std::uint64_t contention_on =
+        on.dir_contention + on.fault_table_contention;
+    const std::uint64_t contention_off =
+        off.dir_contention + off.fault_table_contention;
+    const double contention_drop =
+        contention_on > 0 ? static_cast<double>(contention_off) /
+                                static_cast<double>(contention_on)
+                          : static_cast<double>(contention_off);
+    const double speedup =
+        on.elapsed_ns > 0 ? static_cast<double>(off.elapsed_ns) /
+                                static_cast<double>(on.elapsed_ns)
+                          : 0.0;
+    std::printf(
+        "\nlatching (8 readers, 1 hot shard, %llu lookups): optimistic "
+        "%.1f ms vs pessimistic %.1f ms wall  -> %.2fx\n",
+        static_cast<unsigned long long>(on.lookups),
+        static_cast<double>(on.elapsed_ns) / 1e6,
+        static_cast<double>(off.elapsed_ns) / 1e6, speedup);
+    std::printf(
+        "             collisions (dir+fault-table): %llu optimistic vs "
+        "%llu pessimistic (%.0fx fewer); %llu restarts, %llu upgrades\n",
+        static_cast<unsigned long long>(contention_on),
+        static_cast<unsigned long long>(contention_off),
+        contention_on > 0 ? contention_drop : contention_drop,
+        static_cast<unsigned long long>(on.latch_restarts),
+        static_cast<unsigned long long>(on.latch_upgrades));
+    json.set("latch", "speedup", speedup);
+    json.set("latch", "contention_optimistic",
+             static_cast<double>(contention_on));
+    json.set("latch", "contention_pessimistic",
+             static_cast<double>(contention_off));
+
+    JsonDoc latch;
+    latch.set("contended_read", "lookups", static_cast<double>(on.lookups));
+    latch.set("contended_read", "elapsed_ns_optimistic",
+              static_cast<double>(on.elapsed_ns));
+    latch.set("contended_read", "elapsed_ns_pessimistic",
+              static_cast<double>(off.elapsed_ns));
+    latch.set("contended_read", "speedup", speedup);
+    latch.set("contended_read", "dir_contention_optimistic",
+              static_cast<double>(on.dir_contention));
+    latch.set("contended_read", "dir_contention_pessimistic",
+              static_cast<double>(off.dir_contention));
+    latch.set("contended_read", "fault_table_contention_optimistic",
+              static_cast<double>(on.fault_table_contention));
+    latch.set("contended_read", "fault_table_contention_pessimistic",
+              static_cast<double>(off.fault_table_contention));
+    latch.set("contended_read", "contention_optimistic",
+              static_cast<double>(contention_on));
+    latch.set("contended_read", "contention_pessimistic",
+              static_cast<double>(contention_off));
+    latch.set("contended_read", "contention_drop", contention_drop);
+    latch.set("contended_read", "latch_restarts",
+              static_cast<double>(on.latch_restarts));
+    latch.set("contended_read", "latch_upgrades",
+              static_cast<double>(on.latch_upgrades));
+    latch.write("BENCH_latch.json");
   }
 
   json.write("BENCH_pagefault.json");

@@ -36,6 +36,9 @@ int main() {
       prof::TraceAnalysis analysis(result.trace);
       prof::ProtocolCounters counters;
       counters.dir_lock_contention = result.dir_lock_contention;
+      counters.latch_restarts = result.latch_restarts;
+      counters.latch_upgrades = result.latch_upgrades;
+      counters.fault_table_contention = result.fault_table_contention;
       counters.remote_faults = result.remote_faults;
       counters.home_migrations = result.home_migrations;
       counters.home_hint_hits = result.home_hint_hits;

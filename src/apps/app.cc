@@ -45,6 +45,9 @@ void snapshot_stats(core::Process& process, RunResult& result) {
   result.retries = stats.retries.load();
   result.messages = process.cluster().fabric().total_messages();
   result.dir_lock_contention = process.dsm().directory().lock_contention();
+  result.latch_restarts = stats.latch_restarts.load();
+  result.latch_upgrades = stats.latch_upgrades.load();
+  result.fault_table_contention = stats.fault_table_contention.load();
   result.home_migrations = stats.home_migrations.load();
   result.home_hint_hits = stats.home_hint_hits.load();
   result.home_chases = stats.home_chases.load();

@@ -59,6 +59,9 @@ struct RunConfig {
   std::uint64_t frame_budget_bytes = 0;
   /// File-backed cold tier for evicted home/exclusive frames.
   bool spill_cold_pages = false;
+  /// Optimistic versioned latching on the fault hot path (off takes every
+  /// lock pessimistically, the seed protocol).
+  bool optimistic_latching = true;
 };
 
 struct RunResult {
@@ -73,6 +76,12 @@ struct RunResult {
   std::uint64_t messages = 0;
   /// Directory shard-lock collisions (Directory::lock_contention).
   std::uint64_t dir_lock_contention = 0;
+  /// Optimistic-latching counters (zero when the knob is off): probes that
+  /// restarted against a raced mutation, probes that escalated to the
+  /// exclusive latch, and fault-table shard-mutex collisions.
+  std::uint64_t latch_restarts = 0;
+  std::uint64_t latch_upgrades = 0;
+  std::uint64_t fault_table_contention = 0;
   /// Adaptive home migration counters (zero when the knob is off).
   std::uint64_t home_migrations = 0;
   std::uint64_t home_hint_hits = 0;
@@ -142,6 +151,7 @@ class App {
     popt.restart_lost_threads = config.restart_lost_threads;
     popt.frame_budget_bytes = config.frame_budget_bytes;
     popt.spill_cold_pages = config.spill_cold_pages;
+    popt.optimistic_latching = config.optimistic_latching;
     return popt;
   }
 };

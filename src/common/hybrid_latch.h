@@ -1,0 +1,302 @@
+// Version-counter hybrid latch for the fault hot path (ROADMAP item 1,
+// ScaleStore's HybridLatch idiom). Three modes:
+//
+//   optimistic — snapshot the version, run the read, re-validate; restart
+//                when a writer slipped in. Costs one cache line read, no
+//                stores, so concurrent optimists never contend.
+//   shared     — classic reader count; blocks exclusive, never bumps the
+//                version.
+//   exclusive  — single writer; releasing bumps the version, invalidating
+//                every optimistic snapshot taken before/while it was held.
+//
+// The exclusive mode implements Lockable (lock/try_lock/unlock), so a
+// HybridLatch drops in wherever a std::mutex guarded the structure before
+// (std::lock_guard / std::unique_lock / std::adopt_lock all work) — that
+// is what keeps `DsmConfig::optimistic_latching = false` bit-for-bit the
+// seed pessimistic protocol.
+//
+// Blocking acquires escalate spin → yield → sleep because DirEntry latches
+// are held across RPCs and paced virtual-time sleeps: a pure spin would
+// burn a core for the whole wire round trip.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace dex {
+
+namespace detail {
+inline void latch_backoff(int spins) noexcept {
+  if (spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  } else if (spins < 512) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+}  // namespace detail
+
+class HybridLatch {
+ public:
+  /// Set while an exclusive holder is in; the low 63 bits are the version.
+  static constexpr std::uint64_t kExclusiveBit = std::uint64_t{1} << 63;
+  static constexpr std::uint64_t kVersionMask = kExclusiveBit - 1;
+  /// Sentinel returned by try_optimistic() when the latch is held
+  /// exclusively (never a valid snapshot: the exclusive bit is set).
+  static constexpr std::uint64_t kLocked = ~std::uint64_t{0};
+
+  HybridLatch() = default;
+  /// Starts the version counter at `initial_version` (tests use this to
+  /// exercise the wrap at kVersionMask).
+  explicit HybridLatch(std::uint64_t initial_version) noexcept
+      : word_(initial_version & kVersionMask) {}
+  HybridLatch(const HybridLatch&) = delete;
+  HybridLatch& operator=(const HybridLatch&) = delete;
+
+  // ---- optimistic mode ----
+
+  /// Non-blocking snapshot: the current version, or kLocked when an
+  /// exclusive holder is in. Callers on probe paths fall back to the
+  /// pessimistic acquire instead of spinning behind an RPC-length hold.
+  std::uint64_t try_optimistic() const noexcept {
+    const std::uint64_t v = word_.load(std::memory_order_acquire);
+    return (v & kExclusiveBit) != 0 ? kLocked : v;
+  }
+
+  /// Blocking snapshot: waits out any exclusive holder first.
+  std::uint64_t optimistic_begin() const noexcept {
+    for (int spins = 0;; ++spins) {
+      const std::uint64_t v = word_.load(std::memory_order_acquire);
+      if ((v & kExclusiveBit) == 0) return v;
+      detail::latch_backoff(spins);
+    }
+  }
+
+  /// True iff no exclusive section ran since `snapshot` was taken — every
+  /// value read in between is consistent. On false the caller MUST discard
+  /// what it read and restart (or upgrade).
+  [[nodiscard]] bool validate(std::uint64_t snapshot) const noexcept {
+    // Order the protected reads before the re-load of the version word.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return word_.load(std::memory_order_relaxed) == snapshot;
+  }
+
+  /// validate() for a thread that itself holds the latch exclusively
+  /// (GuardX::upgrade): the exclusive bit is ours, so only the version
+  /// bits are compared against the optimistic snapshot.
+  [[nodiscard]] bool validate_exclusive_held(
+      std::uint64_t snapshot) const noexcept {
+    return word_.load(std::memory_order_relaxed) ==
+           (snapshot | kExclusiveBit);
+  }
+
+  std::uint64_t version() const noexcept {
+    return word_.load(std::memory_order_acquire) & kVersionMask;
+  }
+
+  // ---- exclusive mode (Lockable: std::lock_guard / unique_lock) ----
+
+  void lock() noexcept {
+    for (int spins = 0;; ++spins) {
+      std::uint64_t v = word_.load(std::memory_order_relaxed);
+      if ((v & kExclusiveBit) == 0 &&
+          word_.compare_exchange_weak(v, v | kExclusiveBit,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+      detail::latch_backoff(spins);
+    }
+    // Shared holders admitted before the bit went up drain out here; new
+    // ones back off on seeing the bit.
+    for (int spins = 0; readers_.load(std::memory_order_acquire) != 0;
+         ++spins) {
+      detail::latch_backoff(spins);
+    }
+  }
+
+  bool try_lock() noexcept {
+    std::uint64_t v = word_.load(std::memory_order_relaxed);
+    if ((v & kExclusiveBit) != 0 ||
+        !word_.compare_exchange_strong(v, v | kExclusiveBit,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return false;
+    }
+    if (readers_.load(std::memory_order_acquire) != 0) {
+      // A reader is in: back out without bumping the version (nothing was
+      // written) so optimistic snapshots stay valid.
+      word_.store(v, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+
+  /// Releases exclusive mode and bumps the version (wrapping within the
+  /// low 63 bits), invalidating all outstanding optimistic snapshots.
+  void unlock() noexcept {
+    const std::uint64_t v = word_.load(std::memory_order_relaxed);
+    word_.store((v + 1) & kVersionMask, std::memory_order_release);
+  }
+
+  // ---- shared mode ----
+
+  void lock_shared() noexcept {
+    for (int spins = 0;; ++spins) {
+      readers_.fetch_add(1, std::memory_order_acquire);
+      if ((word_.load(std::memory_order_acquire) & kExclusiveBit) == 0) {
+        return;
+      }
+      // An exclusive holder (or acquirer) is in: step back out and wait,
+      // so lock() can finish draining.
+      readers_.fetch_sub(1, std::memory_order_release);
+      while ((word_.load(std::memory_order_relaxed) & kExclusiveBit) != 0) {
+        detail::latch_backoff(spins++);
+      }
+    }
+  }
+
+  bool try_lock_shared() noexcept {
+    readers_.fetch_add(1, std::memory_order_acquire);
+    if ((word_.load(std::memory_order_acquire) & kExclusiveBit) == 0) {
+      return true;
+    }
+    readers_.fetch_sub(1, std::memory_order_release);
+    return false;
+  }
+
+  void unlock_shared() noexcept {
+    readers_.fetch_sub(1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t> word_{0};
+  std::atomic<std::int32_t> readers_{0};
+};
+
+/// Optimistic guard: snapshots the version at construction; validate()
+/// says whether everything read since is consistent. No unlock on
+/// destruction — the whole point is that optimists hold nothing.
+class GuardO {
+ public:
+  struct NonBlocking {};
+  /// Marker for the non-blocking constructor: probe paths use it so they
+  /// never spin behind a latch held across an RPC.
+  static constexpr NonBlocking kNonBlocking{};
+
+  explicit GuardO(const HybridLatch& latch) noexcept
+      : latch_(&latch), snapshot_(latch.optimistic_begin()) {}
+  GuardO(const HybridLatch& latch, NonBlocking) noexcept
+      : latch_(&latch), snapshot_(latch.try_optimistic()) {}
+
+  /// False when the non-blocking constructor found an exclusive holder;
+  /// the guard then never validates.
+  bool engaged() const noexcept {
+    return snapshot_ != HybridLatch::kLocked;
+  }
+
+  [[nodiscard]] bool validate() const noexcept {
+    return engaged() && latch_->validate(snapshot_);
+  }
+
+  std::uint64_t snapshot() const noexcept { return snapshot_; }
+  const HybridLatch* latch() const noexcept { return latch_; }
+
+ private:
+  const HybridLatch* latch_;
+  std::uint64_t snapshot_;
+};
+
+/// Shared guard (movable; default-constructed = unowned).
+class GuardS {
+ public:
+  GuardS() = default;
+  explicit GuardS(HybridLatch& latch) noexcept : latch_(&latch) {
+    latch_->lock_shared();
+  }
+  GuardS(GuardS&& other) noexcept : latch_(other.latch_) {
+    other.latch_ = nullptr;
+  }
+  GuardS& operator=(GuardS&& other) noexcept {
+    if (this != &other) {
+      reset();
+      latch_ = other.latch_;
+      other.latch_ = nullptr;
+    }
+    return *this;
+  }
+  GuardS(const GuardS&) = delete;
+  GuardS& operator=(const GuardS&) = delete;
+  ~GuardS() { reset(); }
+
+  /// Upgrade path from an optimistic guard: takes shared mode, then fails
+  /// (returning an unowned guard) when the snapshot was invalidated in
+  /// the window — restart the optimistic section in that case.
+  [[nodiscard]] static GuardS upgrade(HybridLatch& latch,
+                                      const GuardO& opt) noexcept {
+    GuardS guard(latch);
+    if (!opt.validate()) guard.reset();
+    return guard;
+  }
+
+  bool owns() const noexcept { return latch_ != nullptr; }
+  void reset() noexcept {
+    if (latch_ != nullptr) latch_->unlock_shared();
+    latch_ = nullptr;
+  }
+
+ private:
+  HybridLatch* latch_ = nullptr;
+};
+
+/// Exclusive guard (movable; default-constructed = unowned).
+class GuardX {
+ public:
+  GuardX() = default;
+  explicit GuardX(HybridLatch& latch) noexcept : latch_(&latch) {
+    latch_->lock();
+  }
+  GuardX(GuardX&& other) noexcept : latch_(other.latch_) {
+    other.latch_ = nullptr;
+  }
+  GuardX& operator=(GuardX&& other) noexcept {
+    if (this != &other) {
+      reset();
+      latch_ = other.latch_;
+      other.latch_ = nullptr;
+    }
+    return *this;
+  }
+  GuardX(const GuardX&) = delete;
+  GuardX& operator=(const GuardX&) = delete;
+  ~GuardX() { reset(); }
+
+  /// Upgrade path from an optimistic guard: takes exclusive mode, then
+  /// fails (returning an unowned guard) when the snapshot was invalidated
+  /// before the acquire landed — the optimist's reads are stale and must
+  /// be redone, so the caller restarts instead of mutating.
+  [[nodiscard]] static GuardX upgrade(HybridLatch& latch,
+                                      const GuardO& opt) noexcept {
+    GuardX guard(latch);
+    if (!opt.engaged() || !latch.validate_exclusive_held(opt.snapshot())) {
+      guard.reset();
+    }
+    return guard;
+  }
+
+  bool owns() const noexcept { return latch_ != nullptr; }
+  void reset() noexcept {
+    if (latch_ != nullptr) latch_->unlock();
+    latch_ = nullptr;
+  }
+
+ private:
+  HybridLatch* latch_ = nullptr;
+};
+
+}  // namespace dex

@@ -3,15 +3,22 @@
 // by virtual page address (§III-B). Six bits per level over the page-index
 // space; leaves hold T values allocated on first touch.
 //
-// Concurrency contract: `lookup` is safe concurrently with other lookups.
-// `get_or_create`, `erase` and iteration require external synchronization
-// (the directory shards accesses by page, see mem/directory.h).
+// Concurrency contract: all pointers are atomics published with release
+// stores, so `lookup` is safe concurrently with `get_or_create` — this is
+// what lets the directory's optimistic (version-validated) probes traverse
+// the tree without holding the shard latch. A non-null leaf reached by a
+// racing lookup is always the fully constructed value for that key: values
+// are published only after construction and never freed before the tree
+// quiesces. `get_or_create`, `erase` and iteration still require external
+// write synchronization (the directory shards accesses by page, see
+// mem/directory.h), and `erase` additionally requires no concurrent
+// traffic on the key (the erased value is freed immediately).
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <utility>
 
 #include "common/assert.h"
@@ -30,50 +37,61 @@ class RadixTree {
   RadixTree() = default;
   RadixTree(const RadixTree&) = delete;
   RadixTree& operator=(const RadixTree&) = delete;
-  RadixTree(RadixTree&&) = default;
-  RadixTree& operator=(RadixTree&&) = default;
+  RadixTree(RadixTree&&) = delete;
+  RadixTree& operator=(RadixTree&&) = delete;
+  ~RadixTree() { destroy(root_.load(std::memory_order_relaxed)); }
 
   /// Returns the value for `key`, or nullptr when absent.
   T* lookup(std::uint64_t key) const {
-    const Node* node = root_.get();
+    const Node* node = root_.load(std::memory_order_acquire);
     for (int level = kLevels - 1; level > 0 && node != nullptr; --level) {
-      node = node->children[slot(key, level)].get();
+      node = node->children[slot(key, level)].load(std::memory_order_acquire);
     }
     if (node == nullptr) return nullptr;
-    auto& leaf = node->values[slot(key, 0)];
-    return leaf ? leaf.get() : nullptr;
+    return node->values[slot(key, 0)].load(std::memory_order_acquire);
   }
 
   /// Returns the value for `key`, default-constructing it (and any interior
   /// nodes) on first access.
   template <typename... Args>
   T& get_or_create(std::uint64_t key, Args&&... args) {
-    if (!root_) root_ = std::make_unique<Node>();
-    Node* node = root_.get();
+    Node* node = root_.load(std::memory_order_relaxed);
+    if (node == nullptr) {
+      node = new Node();
+      root_.store(node, std::memory_order_release);
+    }
     for (int level = kLevels - 1; level > 0; --level) {
-      auto& child = node->children[slot(key, level)];
-      if (!child) child = std::make_unique<Node>();
-      node = child.get();
+      auto& child_slot = node->children[slot(key, level)];
+      Node* child = child_slot.load(std::memory_order_relaxed);
+      if (child == nullptr) {
+        child = new Node();
+        child_slot.store(child, std::memory_order_release);
+      }
+      node = child;
     }
     auto& leaf = node->values[slot(key, 0)];
-    if (!leaf) {
-      leaf = std::make_unique<T>(std::forward<Args>(args)...);
+    T* value = leaf.load(std::memory_order_relaxed);
+    if (value == nullptr) {
+      value = new T(std::forward<Args>(args)...);
+      leaf.store(value, std::memory_order_release);
       ++size_;
     }
-    return *leaf;
+    return *value;
   }
 
   /// Removes `key` if present. Interior nodes are kept (freed on destroy);
   /// the kernel tree behaves likewise unless explicitly shrunk.
   bool erase(std::uint64_t key) {
-    Node* node = root_.get();
+    Node* node = root_.load(std::memory_order_relaxed);
     for (int level = kLevels - 1; level > 0 && node != nullptr; --level) {
-      node = node->children[slot(key, level)].get();
+      node = node->children[slot(key, level)].load(std::memory_order_relaxed);
     }
     if (node == nullptr) return false;
     auto& leaf = node->values[slot(key, 0)];
-    if (!leaf) return false;
-    leaf.reset();
+    T* value = leaf.load(std::memory_order_relaxed);
+    if (value == nullptr) return false;
+    leaf.store(nullptr, std::memory_order_release);
+    delete value;
     --size_;
     return true;
   }
@@ -83,19 +101,23 @@ class RadixTree {
 
   /// In-order traversal; `fn(key, value)`.
   void for_each(const std::function<void(std::uint64_t, T&)>& fn) const {
-    if (root_) walk(root_.get(), kLevels - 1, 0, fn);
+    const Node* root = root_.load(std::memory_order_acquire);
+    if (root != nullptr) walk(root, kLevels - 1, 0, fn);
   }
 
   void clear() {
-    root_.reset();
+    Node* root = root_.exchange(nullptr, std::memory_order_relaxed);
+    destroy(root);
     size_ = 0;
   }
 
  private:
   struct Node {
     // Interior levels use `children`; the leaf level uses `values`.
-    std::array<std::unique_ptr<Node>, kFanout> children{};
-    std::array<std::unique_ptr<T>, kFanout> values{};
+    // Atomic raw pointers (not unique_ptr) so concurrent lookups read a
+    // published-or-null pointer, never a half-written one.
+    std::array<std::atomic<Node*>, kFanout> children{};
+    std::array<std::atomic<T*>, kFanout> values{};
   };
 
   static int slot(std::uint64_t key, int level) {
@@ -106,22 +128,32 @@ class RadixTree {
             const std::function<void(std::uint64_t, T&)>& fn) const {
     if (level == 0) {
       for (int i = 0; i < kFanout; ++i) {
-        if (node->values[i]) {
-          fn(prefix << kBitsPerLevel | static_cast<unsigned>(i),
-             *node->values[i]);
+        T* value = node->values[i].load(std::memory_order_acquire);
+        if (value != nullptr) {
+          fn(prefix << kBitsPerLevel | static_cast<unsigned>(i), *value);
         }
       }
       return;
     }
     for (int i = 0; i < kFanout; ++i) {
-      if (node->children[i]) {
-        walk(node->children[i].get(), level - 1,
+      const Node* child = node->children[i].load(std::memory_order_acquire);
+      if (child != nullptr) {
+        walk(child, level - 1,
              prefix << kBitsPerLevel | static_cast<unsigned>(i), fn);
       }
     }
   }
 
-  std::unique_ptr<Node> root_;
+  static void destroy(Node* node) {
+    if (node == nullptr) return;
+    for (int i = 0; i < kFanout; ++i) {
+      destroy(node->children[i].load(std::memory_order_relaxed));
+      delete node->values[i].load(std::memory_order_relaxed);
+    }
+    delete node;
+  }
+
+  std::atomic<Node*> root_{nullptr};
   std::size_t size_ = 0;
 };
 

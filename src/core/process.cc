@@ -58,6 +58,7 @@ Process::Process(Cluster& cluster, std::uint64_t id,
   dsm_config.spill_cold_pages = options.spill_cold_pages;
   dsm_config.evict_batch_pages = options.evict_batch_pages;
   dsm_config.max_backpressure_rounds = options.max_backpressure_rounds;
+  dsm_config.optimistic_latching = options.optimistic_latching;
   dsm_ = std::make_unique<mem::Dsm>(cluster.fabric(), dsm_config,
                                     &cluster.node_load(), &trace_);
   worker_exists_[static_cast<std::size_t>(options.origin)] = true;
@@ -295,11 +296,12 @@ NodeId Process::migrate_to_least_loaded() {
 NodeId Process::probe_data_location(GAddr addr) {
   mem::DirEntry* entry = dsm_->directory().find(page_base(addr));
   if (entry == nullptr) return options_.origin;
-  std::lock_guard<std::mutex> lock(entry->mu);
+  std::lock_guard<HybridLatch> lock(entry->latch);
   if (entry->exclusive_owner != kInvalidNode) return entry->exclusive_owner;
   // Shared pages live with whichever node homes the entry (the origin
   // unless adaptive home migration moved it).
-  return entry->home == kInvalidNode ? options_.origin : entry->home;
+  const NodeId home = entry->home.load(std::memory_order_relaxed);
+  return home == kInvalidNode ? options_.origin : home;
 }
 
 NodeId Process::migrate_to_data(GAddr addr) {

@@ -106,6 +106,10 @@ struct ProcessOptions {
   /// Backpressure rounds before a fault is admitted over budget
   /// (DsmConfig::max_backpressure_rounds passthrough).
   int max_backpressure_rounds = 32;
+  /// Optimistic versioned latching on the fault hot path
+  /// (DsmConfig::optimistic_latching passthrough; off takes every lock
+  /// pessimistically and reproduces the seed protocol bit-for-bit).
+  bool optimistic_latching = true;
   /// Wall-clock period of this process's own frame-patrol thread. 0 (the
   /// default) spawns no thread: patrol then runs only on the cluster's
   /// membership rounds and under allocation pressure.

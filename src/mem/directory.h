@@ -4,16 +4,24 @@
 // hold copies and who (if anyone) holds exclusive ownership, indexed by a
 // radix tree over the virtual page address — the same structure the paper
 // uses inside the kernel. Every coherence transaction for a page serializes
-// on that page's entry mutex; a transaction that finds the entry busy
+// on that page's entry latch; a transaction that finds the entry busy
 // returns "retry" to the requester, producing the contended-fault tail the
 // paper measures in §V-D.
 //
 // The tree itself is hash-sharded (kDirShards trees, each under its own
-// lock) so that concurrent transactions on different pages do not serialize
+// latch) so that concurrent transactions on different pages do not serialize
 // on a single tree mutex just to reach their entries — the Mitosis
 // observation that centralized translation metadata is the bottleneck, not
 // the per-page work. `Directory(1)` collapses to the original single-tree
 // layout for ablations.
+//
+// With `optimistic` on (DsmConfig::optimistic_latching), steady-state entry
+// lookups are version-validated optimistic reads against the shard latch:
+// the radix tree publishes leaves with release stores, so a validated (or
+// even merely non-null) hit is a fully constructed entry and the shard
+// latch is taken exclusively only to CREATE an entry — counted as a latch
+// upgrade. With it off, every access takes the latch exclusively, exactly
+// the seed pessimistic protocol.
 #pragma once
 
 #include <atomic>
@@ -23,6 +31,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "common/hybrid_latch.h"
 #include "common/radix_tree.h"
 #include "common/types.h"
 
@@ -65,8 +74,13 @@ class NodeSet {
 };
 
 struct DirEntry {
-  /// Serializes all protocol transactions touching this page.
-  std::mutex mu;
+  /// Serializes all protocol transactions touching this page (exclusive
+  /// mode). Probe paths (home_of_page, wrong-home checks) read `home` /
+  /// `home_epoch` under an optimistic GuardO validated against this
+  /// latch's version — which is why those two fields are atomics: the
+  /// optimistic read races the exclusive holder's store by design and the
+  /// validation discards the torn case.
+  HybridLatch latch;
   /// Nodes holding a valid copy. Empty until the first access anywhere.
   NodeSet sharers;
   /// Valid when exactly one node holds the page with write permission.
@@ -84,12 +98,12 @@ struct DirEntry {
   /// for this page. `kInvalidNode` means "the origin" (the static default),
   /// so a default-constructed entry behaves exactly like the classic
   /// protocol until a migration rewrites it.
-  NodeId home = kInvalidNode;
+  std::atomic<NodeId> home{kInvalidNode};
   /// Bumped on every home migration (and on munmap). Acts as a version
   /// fence for home-hint caches: a hint is only overwritten by information
   /// carrying a newer epoch, so a late stale redirect cannot regress a
   /// fresher hint.
-  std::uint64_t home_epoch = 0;
+  std::atomic<std::uint64_t> home_epoch{0};
   /// Fault-locality tracker: `hot_node` faulted `hot_run` consecutive
   /// times with no intervening fault from any other node (the home's own
   /// local faults reset the run — they are already free). When the run
@@ -113,8 +127,12 @@ struct DirEntry {
 class Directory {
  public:
   static constexpr int kDirShards = 64;
+  /// Optimistic probes restart this many times on a raced shard mutation
+  /// before giving up and taking the latch.
+  static constexpr int kOptimisticAttempts = 3;
 
-  explicit Directory(int shards = kDirShards) {
+  explicit Directory(int shards = kDirShards, bool optimistic = true)
+      : optimistic_(optimistic) {
     DEX_CHECK(shards >= 1);
     shards_.reserve(static_cast<std::size_t>(shards));
     for (int i = 0; i < shards; ++i) {
@@ -125,18 +143,38 @@ class Directory {
   DirEntry& entry(GAddr page) {
     const std::uint64_t idx = page_index(page);
     Shard& shard = shard_of(idx);
-    std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
-    if (!lock.owns_lock()) {
-      lock_contention_.fetch_add(1, std::memory_order_relaxed);
-      lock.lock();
+    if (optimistic_) {
+      for (int attempt = 0; attempt < kOptimisticAttempts; ++attempt) {
+        GuardO guard(shard.latch, GuardO::kNonBlocking);
+        if (!guard.engaged()) break;  // creator in: join the latch queue
+        DirEntry* hit = shard.tree.lookup(idx);
+        // A published leaf is stable for the entry's lifetime, so a hit
+        // needs no validation; only a miss must be re-checked against a
+        // concurrent create.
+        if (hit != nullptr) return *hit;
+        if (guard.validate()) break;  // a true miss: create below
+        latch_restarts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      latch_upgrades_.fetch_add(1, std::memory_order_relaxed);
     }
+    auto lock = lock_shard(shard);
     return shard.tree.get_or_create(idx);
   }
 
   DirEntry* find(GAddr page) {
     const std::uint64_t idx = page_index(page);
     Shard& shard = shard_of(idx);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    if (optimistic_) {
+      for (int attempt = 0; attempt < kOptimisticAttempts; ++attempt) {
+        GuardO guard(shard.latch, GuardO::kNonBlocking);
+        if (!guard.engaged()) break;
+        DirEntry* hit = shard.tree.lookup(idx);
+        if (hit != nullptr) return hit;
+        if (guard.validate()) return nullptr;
+        latch_restarts_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    auto lock = lock_shard(shard);
     return shard.tree.lookup(idx);
   }
 
@@ -146,7 +184,7 @@ class Directory {
     for (GAddr page = page_base(start); page < end; page += kPageSize) {
       const std::uint64_t idx = page_index(page);
       Shard& shard = shard_of(idx);
-      std::lock_guard<std::mutex> lock(shard.mu);
+      auto lock = lock_shard(shard);
       shard.tree.erase(idx);
     }
   }
@@ -154,7 +192,7 @@ class Directory {
   std::size_t tracked_pages() const {
     std::size_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      auto lock = lock_shard(*shard);
       total += shard->tree.size();
     }
     return total;
@@ -164,26 +202,53 @@ class Directory {
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      auto lock = lock_shard(*shard);
       shard->tree.for_each(
           [&](std::uint64_t key, DirEntry& entry) { fn(key, entry); });
     }
   }
 
   int shards() const { return static_cast<int>(shards_.size()); }
+  bool optimistic() const { return optimistic_; }
 
-  /// Times a thread found its shard's tree lock held by another thread
-  /// (it then blocked). With one shard this counts every collision on the
-  /// old global tree mutex; sharding should drive it toward zero.
+  /// Times a thread found a shard's tree latch held by another thread and
+  /// had to block — counted uniformly on every entry point (get-or-create,
+  /// lookup, erase, walks), so the number is trustworthy for the sharding
+  /// ablation. With one shard this counts every collision on the old
+  /// global tree mutex; sharding should drive it toward zero, and the
+  /// optimistic mode removes even the lookup-side acquisitions.
   std::uint64_t lock_contention() const {
     return lock_contention_.load(std::memory_order_relaxed);
   }
 
+  /// Optimistic probes that had to restart because a shard mutation raced
+  /// their traversal (DsmConfig::optimistic_latching only).
+  std::uint64_t latch_restarts() const {
+    return latch_restarts_.load(std::memory_order_relaxed);
+  }
+
+  /// Optimistic probes that escalated to the exclusive latch (entry
+  /// creation, or a persistently raced probe).
+  std::uint64_t latch_upgrades() const {
+    return latch_upgrades_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable HybridLatch latch;
     RadixTree<DirEntry> tree;
   };
+
+  /// Exclusive shard acquisition with uniform contention accounting: a
+  /// failed try-lock counts one collision, then blocks.
+  std::unique_lock<HybridLatch> lock_shard(Shard& shard) const {
+    std::unique_lock<HybridLatch> lock(shard.latch, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      lock_contention_.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+    }
+    return lock;
+  }
 
   Shard& shard_of(std::uint64_t page_idx) const {
     // splitmix64 finalizer: adjacent page indices land on distinct shards
@@ -198,7 +263,10 @@ class Directory {
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<std::uint64_t> lock_contention_{0};
+  const bool optimistic_;
+  mutable std::atomic<std::uint64_t> lock_contention_{0};
+  mutable std::atomic<std::uint64_t> latch_restarts_{0};
+  mutable std::atomic<std::uint64_t> latch_upgrades_{0};
 };
 
 }  // namespace dex::mem

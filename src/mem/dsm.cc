@@ -30,7 +30,7 @@ Dsm::Dsm(net::Fabric& fabric, const DsmConfig& config, NodeLoad* node_load,
       config_(config),
       node_load_(node_load),
       trace_(trace),
-      directory_(config.dir_shards) {
+      directory_(config.dir_shards, config.optimistic_latching) {
   DEX_CHECK(config.num_nodes >= 1 && config.num_nodes <= kMaxNodes);
   DEX_CHECK(config.origin >= 0 && config.origin < config.num_nodes);
   DEX_CHECK(config.dir_shards >= 1);
@@ -45,8 +45,13 @@ Dsm::Dsm(net::Fabric& fabric, const DsmConfig& config, NodeLoad* node_load,
         config.frame_budget_bytes, config.spill_cold_pages,
         fabric.cost().spill_write_ns, fabric.cost().spill_read_ns));
     tables_.push_back(std::make_unique<PageTable>(pools_.back().get()));
-    fault_tables_.push_back(std::make_unique<FaultTable>());
-    home_caches_.push_back(std::make_unique<HomeHintCache>());
+    // One global table per node (the seed layout) with the knob off;
+    // 64-way sharded with it on. The hint caches likewise switch their
+    // lookups to seqcount-validated optimistic reads.
+    fault_tables_.push_back(std::make_unique<FaultTable>(
+        config.optimistic_latching ? FaultTable::kShards : 1));
+    home_caches_.push_back(std::make_unique<HomeHintCache>(
+        HomeHintCache::kDefaultSlots, config.optimistic_latching));
   }
 }
 
@@ -61,8 +66,24 @@ std::uint64_t Dsm::frame_high_water_bytes() const {
 NodeId Dsm::home_of_page(GAddr page) {
   DirEntry* entry = directory_.find(page_base(page));
   if (entry == nullptr) return config_.origin;
+  if (config_.optimistic_latching) {
+    // Optimistic probe: `home` is atomic and validated against the entry
+    // latch version, so placement queries never queue behind an in-flight
+    // transaction. Non-blocking — a latch held across an RPC fails the
+    // guard immediately and we fall through to the pessimistic acquire.
+    for (int attempt = 0; attempt < Directory::kOptimisticAttempts;
+         ++attempt) {
+      GuardO guard(entry->latch, GuardO::kNonBlocking);
+      if (!guard.engaged()) break;
+      const NodeId home = entry->home.load(std::memory_order_relaxed);
+      if (guard.validate()) {
+        return home == kInvalidNode ? config_.origin : home;
+      }
+      latch_restarts_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   ScopedGateBlock gate_block("home_probe_entry_lock");
-  std::lock_guard<std::mutex> lock(entry->mu);
+  std::lock_guard<HybridLatch> lock(entry->latch);
   return home_of(*entry);
 }
 
@@ -107,7 +128,7 @@ bool Dsm::munmap(GAddr start, std::uint64_t length) {
     DirEntry* entry = directory_.find(page);
     if (entry == nullptr) continue;
     ScopedGateBlock gate_block("vma_entry_lock");
-    std::lock_guard<std::mutex> lock(entry->mu);
+    std::lock_guard<HybridLatch> lock(entry->latch);
     for (NodeId node = 0; node < config_.num_nodes; ++node) {
       Pte* pte = page_table(node).find(page);
       if (pte == nullptr) continue;
@@ -168,7 +189,7 @@ bool Dsm::mprotect(GAddr start, std::uint64_t length, std::uint8_t prot) {
       DirEntry* entry = directory_.find(page);
       if (entry == nullptr) continue;
       ScopedGateBlock gate_block("dir_escalation");
-      std::lock_guard<std::mutex> lock(entry->mu);
+      std::lock_guard<HybridLatch> lock(entry->latch);
       if (entry->exclusive_owner != kInvalidNode) {
         const NodeId home = home_of(*entry);
         if (entry->exclusive_owner == home) {
@@ -331,9 +352,7 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
       for (std::uint32_t i = 0; i < batch.count; ++i) {
         Pte* known = page_table(node).find(page + i * kPageSize);
         if (known != nullptr) {
-          known->lock.lock();
-          batch.known_versions[i] = known->version;
-          known->lock.unlock();
+          batch.known_versions[i] = read_known_version(*known);
         } else {
           batch.known_versions[i] = kNoVersion;
         }
@@ -341,9 +360,7 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
       msg.type = MsgType::kPageRequestBatch;
       msg.set_payload(batch);
     } else {
-      pte.lock.lock();
-      request.known_version = pte.version;
-      pte.lock.unlock();
+      request.known_version = read_known_version(pte);
       msg.type = access == Access::kRead ? MsgType::kPageRequestRead
                                          : MsgType::kPageRequestWrite;
       msg.set_payload(request);
@@ -504,7 +521,7 @@ Message Dsm::handle_page_request(const Message& msg, Access access) {
   DEX_CHECK(request.process_id == config_.process_id);
 
   DirEntry& entry = directory_.entry(request.page);
-  std::unique_lock<std::mutex> lock(entry.mu, std::try_to_lock);
+  std::unique_lock<HybridLatch> lock(entry.latch, std::try_to_lock);
   if (!lock.owns_lock()) {
     if (request.blocking) {
       // Forward-progress escalation. Entry mutexes are held across
@@ -635,7 +652,7 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
   // The primary (demand) page gets the full handle_page_request semantics:
   // busy-retry, blocking escalation, any grant kind.
   DirEntry& entry = directory_.entry(primary);
-  std::unique_lock<std::mutex> lock(entry.mu, std::try_to_lock);
+  std::unique_lock<HybridLatch> lock(entry.latch, std::try_to_lock);
   if (!lock.owns_lock()) {
     if (request.blocking) {
       ScopedGateBlock gate_block("dir_escalation");
@@ -716,7 +733,7 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
     if (!vma || (vma->prot & kProtRead) == 0) continue;
 
     DirEntry& e = directory_.entry(p);
-    std::unique_lock<std::mutex> elock(e.mu, std::try_to_lock);
+    std::unique_lock<HybridLatch> elock(e.latch, std::try_to_lock);
     if (!elock.owns_lock()) continue;  // busy: a prefetch never waits
 
     // A prefetch only rides along for pages this node actually homes;
@@ -1417,7 +1434,7 @@ Message Dsm::handle_lease_renew(const Message& msg) {
     // waiting, and a recall serialized ahead of us flips the ownership so
     // the validation below fails closed (renewed = 0).
     ScopedGateBlock gate_block("lease_renew_entry_lock");
-    std::lock_guard<std::mutex> lock(entry.mu);
+    std::lock_guard<HybridLatch> lock(entry.latch);
     if (config_.lease_ns > 0 && home_of(entry) == at &&
         entry.exclusive_owner == payload.owner &&
         entry.version == payload.version) {
@@ -1456,7 +1473,7 @@ void Dsm::lease_patrol() {
   });
   for (auto& [page, entry] : entries) {
     ScopedGateBlock gate_block("lease_patrol_entry_lock");
-    std::lock_guard<std::mutex> lock(entry->mu);
+    std::lock_guard<HybridLatch> lock(entry->latch);
     if (!entry->materialized) continue;
     const NodeId home = home_of(*entry);
     const NodeId owner = entry->exclusive_owner;
@@ -1628,11 +1645,11 @@ std::size_t Dsm::evict_candidate(NodeId node, GAddr page, Pte& pte) {
   if (entry == nullptr) {
     local_free = true;  // never materialized: a leftover invalid frame
   } else {
-    if (!entry->mu.try_lock()) {
+    if (!entry->latch.try_lock()) {
       stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
       return 0;
     }
-    std::lock_guard<std::mutex> lock(entry->mu, std::adopt_lock);
+    std::lock_guard<HybridLatch> lock(entry->latch, std::adopt_lock);
     home = home_of(*entry);
     if (!entry->materialized) {
       local_free = true;
@@ -1840,12 +1857,12 @@ Message Dsm::handle_evict_page(const Message& msg) {
 
   DirEntry* entry = directory_.find(payload.page);
   if (entry == nullptr) return respond(net::EvictResult::kStale);
-  if (!entry->mu.try_lock()) {
+  if (!entry->latch.try_lock()) {
     // An in-flight transaction owns the entry; eviction is best-effort,
     // so the evictor skips rather than queueing behind it.
     return respond(net::EvictResult::kBusy);
   }
-  std::lock_guard<std::mutex> lock(entry->mu, std::adopt_lock);
+  std::lock_guard<HybridLatch> lock(entry->latch, std::adopt_lock);
 
   if (!entry->materialized) return respond(net::EvictResult::kStale);
   if (home_of(*entry) != at) {
@@ -2332,7 +2349,7 @@ void Dsm::reclaim_node(NodeId dead) {
   auto& chaos = prof::ChaosCounters::instance();
   for (auto& [page, entry] : entries) {
     ScopedGateBlock gate_block("reclaim_entry_lock");
-    std::lock_guard<std::mutex> lock(entry->mu);
+    std::lock_guard<HybridLatch> lock(entry->latch);
     if (!entry->materialized) continue;
     bool reclaimed = false;
     if (home_of(*entry) == dead) {
@@ -2459,7 +2476,7 @@ bool Dsm::check_invariants() const {
   bool ok = true;
   auto& self = const_cast<Dsm&>(*this);
   // Snapshot entries before locking them: transact() takes the tree lock
-  // while holding entry.mu, so locking entries under for_each's tree lock
+  // while holding entry.latch, so locking entries under for_each's tree lock
   // would invert the order against in-flight transactions (see
   // reclaim_node).
   std::vector<std::pair<std::uint64_t, DirEntry*>> entries;
@@ -2468,7 +2485,7 @@ bool Dsm::check_invariants() const {
   });
   for (auto& [page_idx, entry_ptr] : entries) {
     DirEntry& entry = *entry_ptr;
-    std::lock_guard<std::mutex> lock(entry.mu);
+    std::lock_guard<HybridLatch> lock(entry.latch);
     const GAddr page = static_cast<GAddr>(page_idx) << kPageShift;
     if (!entry.materialized) continue;
     if (entry.exclusive_owner != kInvalidNode) {

@@ -125,6 +125,13 @@ struct DsmConfig {
   /// before being admitted over budget (forward progress over strictness;
   /// overshoots are counted in DsmStats::backpressure_overshoots).
   int max_backpressure_rounds = 32;
+  /// Optimistic versioned latching on the fault hot path: directory probes
+  /// and home-hint lookups validate a version counter instead of locking,
+  /// the known-version PTE probe reads against the install seqcount
+  /// without the spinlock, and the per-node FaultTable is sharded 64 ways.
+  /// Off reproduces the seed pessimistic protocol bit-for-bit (every
+  /// access takes its mutex, one global fault table per node).
+  bool optimistic_latching = true;
 };
 
 /// Bounce budget for chasing stale home hints: after this many kWrongHome
@@ -235,6 +242,19 @@ struct DsmStats {
   /// Journal entries pruned by the patrol's GC (owner released or renewed
   /// away; the journaled image was no longer reachable).
   std::atomic<std::uint64_t> journal_gcs{0};
+  // ---- Optimistic latching (DsmConfig::optimistic_latching) ----
+  /// Version-validated reads that had to restart against a concurrent
+  /// writer, summed across the directory shards, the PTE known-version
+  /// probes, and the home-hint caches (mirrored at snapshot time by
+  /// Dsm::stats(), like the pool gauges).
+  std::atomic<std::uint64_t> latch_restarts{0};
+  /// Optimistic directory probes that escalated to the exclusive shard
+  /// latch (entry creation, or a persistently raced lookup).
+  std::atomic<std::uint64_t> latch_upgrades{0};
+  /// FaultTable joiners that found their shard's mutex held (summed across
+  /// nodes at snapshot time); with one global table per node this is the
+  /// per-node fault serialization the sharding removes.
+  std::atomic<std::uint64_t> fault_table_contention{0};
   /// Granted (non-retry) page transactions by serving home node — the
   /// per-home fault distribution the analysis report surfaces.
   std::array<std::atomic<std::uint64_t>, kMaxNodes> faults_by_home{};
@@ -322,6 +342,20 @@ class Dsm {
     }
     stats_.spills_out.store(out, std::memory_order_relaxed);
     stats_.spills_in.store(in, std::memory_order_relaxed);
+    // Latch counters live in the structures themselves (directory shards,
+    // hint caches, fault tables); same mirror-at-snapshot idiom.
+    std::uint64_t restarts = latch_restarts_.load(std::memory_order_relaxed) +
+                             directory_.latch_restarts();
+    std::uint64_t ft_contention = 0;
+    for (const auto& cache : home_caches_) restarts += cache->restarts();
+    for (const auto& table : fault_tables_) {
+      ft_contention += table->contention();
+    }
+    stats_.latch_restarts.store(restarts, std::memory_order_relaxed);
+    stats_.latch_upgrades.store(directory_.latch_upgrades(),
+                                std::memory_order_relaxed);
+    stats_.fault_table_contention.store(ft_contention,
+                                        std::memory_order_relaxed);
     return stats_;
   }
   FailureStats& failure_stats() { return failure_stats_; }
@@ -473,7 +507,8 @@ class Dsm {
 
   /// Resolves the entry's home: kInvalidNode (the default) means origin.
   NodeId home_of(const DirEntry& entry) const {
-    return entry.home == kInvalidNode ? config_.origin : entry.home;
+    const NodeId home = entry.home.load(std::memory_order_relaxed);
+    return home == kInvalidNode ? config_.origin : home;
   }
 
   /// Fault-locality bookkeeping + the hand-off itself. Called by the
@@ -562,6 +597,23 @@ class Dsm {
   void handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
                               Access access, Pte& pte);
 
+  /// Known-version probe for an outgoing fault request: with optimistic
+  /// latching, a seqcount-validated read that skips the PTE spinlock
+  /// (restarts counted); otherwise the seed locked read. A stale value is
+  /// protocol-safe either way — the home re-validates at grant time.
+  std::uint64_t read_known_version(Pte& pte) {
+    if (config_.optimistic_latching) {
+      std::uint64_t version;
+      if (pte.try_read_version(version)) return version;
+      latch_restarts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    pte.lock.lock();
+    const std::uint64_t version =
+        pte.version.load(std::memory_order_relaxed);
+    pte.lock.unlock();
+    return version;
+  }
+
   net::Fabric& fabric_;
   DsmConfig config_;
   NodeLoad* node_load_;
@@ -577,6 +629,10 @@ class Dsm {
   /// directory entries live (see mem/home_cache.h).
   std::vector<std::unique_ptr<HomeHintCache>> home_caches_;
   Directory directory_;
+  /// Optimistic restarts observed on Dsm-side probes (PTE known-version
+  /// reads, entry-latch home probes); the structure-side restarts live in
+  /// the directory/hint caches and are summed at stats() snapshot.
+  std::atomic<std::uint64_t> latch_restarts_{0};
   DsmStats stats_;
   FailureStats failure_stats_;
 };

@@ -12,15 +12,31 @@
 // stolen again immediately, and joiners treating a stale completion as
 // success would spin forever without anyone re-running the protocol.
 // Joiners that find a completed entry replace it and lead a fresh round.
+//
+// The table is hash-sharded (splitmix64 over the key, same idiom as the
+// Directory) so faults on different pages never serialize on one global
+// mutex; `FaultTable(1)` collapses to the original single-table layout
+// (the DsmConfig::optimistic_latching = false ablation). Each shard keeps
+// a std::mutex — not a HybridLatch — because followers park on a
+// condition_variable, which must atomically release the lock guarding the
+// done flag. Leader/follower races stay exactly as safe as the global
+// table: every (page, access) key maps to one shard, so a round's leader
+// election, follower waits, and completion all happen under that shard's
+// mutex; sharding only changes WHICH mutex, never splits one key's state.
+// The stats counters are atomics maintained outside the shard locks, so
+// profiling reads never contend with faulting threads.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "common/assert.h"
 #include "common/time_gate.h"
 #include "common/types.h"
 
@@ -28,6 +44,8 @@ namespace dex::mem {
 
 class FaultTable {
  public:
+  static constexpr int kShards = 64;
+
   struct Entry {
     std::condition_variable cv;
     bool done = false;
@@ -44,14 +62,29 @@ class FaultTable {
     std::shared_ptr<Entry> token;
   };
 
+  explicit FaultTable(int shards = kShards) {
+    DEX_CHECK(shards >= 1);
+    shards_.reserve(static_cast<std::size_t>(shards));
+    for (int i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
   /// Leader path returns is_leader=true immediately; the caller must later
   /// call `complete`. Follower path blocks until that round's leader
   /// completes.
   Join join(GAddr page, Access access) {
     const Key key = make_key(page, access);
+    Shard& shard = shard_of(key);
     ScopedGateBlock gate_block("fault_table_join");  // followers sleep on the leader
-    std::unique_lock<std::mutex> lock(mu_);
-    std::shared_ptr<Entry>& slot = table_[key];
+    std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      contention_.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+    }
+    const auto [it, inserted] = shard.table.try_emplace(key);
+    std::shared_ptr<Entry>& slot = it->second;
+    if (inserted) in_flight_.fetch_add(1, std::memory_order_relaxed);
     if (!slot || slot->done) {
       // No handling in flight (or only a stale, completed round): lead a
       // fresh one.
@@ -59,7 +92,7 @@ class FaultTable {
       return Join{.is_leader = true, .completion_ts = 0, .token = slot};
     }
     const std::shared_ptr<Entry> entry = slot;  // keep alive across wait
-    ++coalesced_;
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
     entry->cv.wait(lock, [&entry] { return entry->done; });
     return Join{.is_leader = false,
                 .completion_ts = entry->completion_ts,
@@ -71,48 +104,79 @@ class FaultTable {
   void complete(const Join& lead, GAddr page, Access access,
                 VirtNs completion_ts) {
     const Key key = make_key(page, access);
-    std::lock_guard<std::mutex> lock(mu_);
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
     lead.token->done = true;
     lead.token->completion_ts = completion_ts;
     lead.token->cv.notify_all();
     // Erase only our own round; a newer round may already occupy the slot.
-    auto it = table_.find(key);
-    if (it != table_.end() && it->second == lead.token) table_.erase(it);
+    auto it = shard.table.find(key);
+    if (it != shard.table.end() && it->second == lead.token) {
+      shard.table.erase(it);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
 
-  /// Total faults absorbed as followers (for stats / ablation).
+  /// Total faults absorbed as followers (for stats / ablation). Lock-free:
+  /// the profiler polling this never contends with faulting threads.
   std::uint64_t coalesced_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return coalesced_;
+    return coalesced_.load(std::memory_order_relaxed);
   }
 
   std::size_t in_flight() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return table_.size();
+    return in_flight_.load(std::memory_order_relaxed);
   }
+
+  /// Times a joiner found its shard's mutex held and had to block — the
+  /// per-node serialization the sharding exists to kill.
+  std::uint64_t contention() const {
+    return contention_.load(std::memory_order_relaxed);
+  }
+
+  int shards() const { return static_cast<int>(shards_.size()); }
 
   /// Debug: one line per entry (page key, done flag, use count).
   std::string debug_dump() const {
-    std::lock_guard<std::mutex> lock(mu_);
     std::string out;
-    for (const auto& [key, entry] : table_) {
-      out += "  entry key=" + std::to_string(key) +
-             " done=" + std::to_string(entry ? entry->done : -1) +
-             " refs=" + std::to_string(entry ? entry.use_count() : 0) + "\n";
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (const auto& [key, entry] : shard->table) {
+        out += "  entry key=" + std::to_string(key) +
+               " done=" + std::to_string(entry ? entry->done : -1) +
+               " refs=" + std::to_string(entry ? entry.use_count() : 0) + "\n";
+      }
     }
     return out;
   }
 
  private:
   using Key = std::uint64_t;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, std::shared_ptr<Entry>> table;
+  };
+
   static Key make_key(GAddr page, Access access) {
     // Page addresses are 4K-aligned: the low bit is free for access type.
     return page | static_cast<std::uint64_t>(access);
   }
 
-  mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_ptr<Entry>> table_;
-  std::uint64_t coalesced_ = 0;
+  Shard& shard_of(Key key) const {
+    // splitmix64 finalizer, as in Directory::shard_of.
+    std::uint64_t h = key;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return *shards_[h % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> contention_{0};
+  std::atomic<std::size_t> in_flight_{0};
 };
 
 }  // namespace dex::mem

@@ -11,6 +11,13 @@
 // An update only overwrites a hint for the same page when it carries an
 // equal-or-newer epoch, so a delayed redirect from before a migration can
 // never clobber fresher information (the "version fence" of the design).
+//
+// With `optimistic` on (DsmConfig::optimistic_latching), lookups are
+// version-validated reads against a per-slot seqcount: writers bump the
+// seq odd before mutating and even after, readers snapshot the fields and
+// restart when the seq moved — so the fault hot path's hint probe touches
+// no lock at all. With it off, every lookup takes the slot spinlock,
+// exactly the seed protocol.
 #pragma once
 
 #include <atomic>
@@ -24,24 +31,53 @@ namespace dex::mem {
 
 class HomeHintCache {
  public:
+  static constexpr std::size_t kDefaultSlots = 1024;
+
   struct Hint {
     NodeId home = kInvalidNode;
     std::uint64_t epoch = 0;
     bool valid = false;
   };
 
-  explicit HomeHintCache(std::size_t slots = kDefaultSlots)
-      : slots_(slots == 0 ? 1 : slots) {}
+  explicit HomeHintCache(std::size_t slots = kDefaultSlots,
+                         bool optimistic = false)
+      : slots_(slots == 0 ? 1 : slots), optimistic_(optimistic) {}
 
   /// Best guess for `page`'s home, or an invalid hint (caller should fall
   /// back to the origin, which always knows).
   Hint lookup(GAddr page) const {
     const Slot& slot = slot_of(page);
+    if (optimistic_) {
+      for (int attempt = 0; attempt < kLookupAttempts; ++attempt) {
+        const std::uint32_t seq = slot.seq.load(std::memory_order_acquire);
+        if ((seq & 1) != 0) {  // a writer is mid-update
+          restarts_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const bool valid = slot.valid.load(std::memory_order_relaxed);
+        const GAddr base = slot.page.load(std::memory_order_relaxed);
+        Hint hint;
+        hint.home = slot.home.load(std::memory_order_relaxed);
+        hint.epoch = slot.epoch.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.seq.load(std::memory_order_relaxed) != seq) {
+          restarts_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (valid && base == page_base(page)) {
+          hint.valid = true;
+          return hint;
+        }
+        return Hint{};
+      }
+      // Persistently raced: fall through to the locked read.
+    }
     std::lock_guard<SpinLock> guard(slot.lock);
     Hint hint;
-    if (slot.valid && slot.page == page_base(page)) {
-      hint.home = slot.home;
-      hint.epoch = slot.epoch;
+    if (slot.valid.load(std::memory_order_relaxed) &&
+        slot.page.load(std::memory_order_relaxed) == page_base(page)) {
+      hint.home = slot.home.load(std::memory_order_relaxed);
+      hint.epoch = slot.epoch.load(std::memory_order_relaxed);
       hint.valid = true;
     }
     return hint;
@@ -54,11 +90,16 @@ class HomeHintCache {
     Slot& slot = slot_of(page);
     std::lock_guard<SpinLock> guard(slot.lock);
     const GAddr base = page_base(page);
-    if (slot.valid && slot.page == base && slot.epoch > epoch) return;
-    slot.page = base;
-    slot.home = home;
-    slot.epoch = epoch;
-    slot.valid = true;
+    if (slot.valid.load(std::memory_order_relaxed) &&
+        slot.page.load(std::memory_order_relaxed) == base &&
+        slot.epoch.load(std::memory_order_relaxed) > epoch) {
+      return;
+    }
+    SeqWriteScope write(slot);
+    slot.page.store(base, std::memory_order_relaxed);
+    slot.home.store(home, std::memory_order_relaxed);
+    slot.epoch.store(epoch, std::memory_order_relaxed);
+    slot.valid.store(true, std::memory_order_relaxed);
   }
 
   /// Drop hints for pages in [start, end) — wired from munmap, where the
@@ -67,8 +108,11 @@ class HomeHintCache {
     const GAddr lo = page_base(start);
     for (Slot& slot : slots_) {
       std::lock_guard<SpinLock> guard(slot.lock);
-      if (slot.valid && slot.page >= lo && slot.page < end) {
-        slot.valid = false;
+      const GAddr base = slot.page.load(std::memory_order_relaxed);
+      if (slot.valid.load(std::memory_order_relaxed) && base >= lo &&
+          base < end) {
+        SeqWriteScope write(slot);
+        slot.valid.store(false, std::memory_order_relaxed);
       }
     }
   }
@@ -78,14 +122,22 @@ class HomeHintCache {
   void clear() {
     for (Slot& slot : slots_) {
       std::lock_guard<SpinLock> guard(slot.lock);
-      slot.valid = false;
+      SeqWriteScope write(slot);
+      slot.valid.store(false, std::memory_order_relaxed);
     }
   }
 
   std::size_t size() const { return slots_.size(); }
+  bool optimistic() const { return optimistic_; }
+
+  /// Optimistic lookups that restarted against a concurrent slot write.
+  std::uint64_t restarts() const {
+    return restarts_.load(std::memory_order_relaxed);
+  }
 
  private:
-  static constexpr std::size_t kDefaultSlots = 1024;
+  /// Optimistic lookups retry this many times before taking the slot lock.
+  static constexpr int kLookupAttempts = 3;
 
   struct SpinLock {
     void lock() {
@@ -98,10 +150,27 @@ class HomeHintCache {
 
   struct Slot {
     mutable SpinLock lock;
-    GAddr page = 0;
-    NodeId home = kInvalidNode;
-    std::uint64_t epoch = 0;
-    bool valid = false;
+    /// Seqcount for optimistic readers: odd while a (spinlock-holding)
+    /// writer is mid-update. The data fields are atomics so those readers
+    /// race the writer's stores without UB; the seq re-check discards any
+    /// torn combination.
+    std::atomic<std::uint32_t> seq{0};
+    std::atomic<GAddr> page{0};
+    std::atomic<NodeId> home{kInvalidNode};
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<bool> valid{false};
+  };
+
+  /// Brackets a slot mutation with odd/even seq bumps (writer holds the
+  /// slot spinlock, so bumps never interleave with another writer's).
+  struct SeqWriteScope {
+    explicit SeqWriteScope(Slot& s) : slot(s) {
+      // acq_rel: the data stores that follow must not hoist above the
+      // odd bump, or a reader could pair torn data with an even seq.
+      slot.seq.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~SeqWriteScope() { slot.seq.fetch_add(1, std::memory_order_release); }
+    Slot& slot;
   };
 
   Slot& slot_of(GAddr page) { return slots_[index_of(page)]; }
@@ -119,6 +188,8 @@ class HomeHintCache {
   }
 
   std::vector<Slot> slots_;
+  const bool optimistic_;
+  mutable std::atomic<std::uint64_t> restarts_{0};
 };
 
 }  // namespace dex::mem

@@ -58,8 +58,13 @@ struct Pte {
   /// Seqcount for lock-free readers (odd = frame contents in flux).
   std::atomic<std::uint32_t> seq{0};
   /// Directory version of the copy this node last held. Lets the origin
-  /// grant ownership without data when the copy is still current.
-  std::uint64_t version = kNoVersion;
+  /// grant ownership without data when the copy is still current. Atomic
+  /// because the known-version fault probe (DsmConfig::optimistic_latching)
+  /// reads it against `seq` without the PTE lock; a concurrent writer can
+  /// only make the probe report a version the PTE really held, and the
+  /// home re-validates at grant time anyway (copy_current), so a stale
+  /// probe costs one redundant data transfer, never correctness.
+  std::atomic<std::uint64_t> version{kNoVersion};
   /// Set when the copy was installed ahead of demand by the stride
   /// prefetcher and not yet touched; the fault fast path clears it and
   /// counts a prefetch hit, a revocation of a still-set flag counts waste.
@@ -127,6 +132,20 @@ struct Pte {
   void pin() { pins.fetch_add(1, std::memory_order_relaxed); }
   void unpin() { pins.fetch_sub(1, std::memory_order_relaxed); }
   bool pinned() const { return pins.load(std::memory_order_relaxed) != 0; }
+
+  /// Optimistic read of `version` against the install seqcount: succeeds
+  /// only when no install/revoke was in flight across the read, so the
+  /// fault path's known-version probe skips the PTE spinlock entirely.
+  /// On failure the caller falls back to the locked read.
+  [[nodiscard]] bool try_read_version(std::uint64_t& out) const {
+    const std::uint32_t s1 = seq.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) return false;
+    const std::uint64_t v = version.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq.load(std::memory_order_relaxed) != s1) return false;
+    out = v;
+    return true;
+  }
 };
 
 /// RAII pin (exception-safe across the fault path's RPCs).

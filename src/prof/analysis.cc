@@ -178,6 +178,10 @@ std::string TraceAnalysis::format_report(std::size_t limit) const {
     os << "\n-- protocol counters --\n";
     os << "  directory shard-lock collisions: "
        << counters_.dir_lock_contention << "\n";
+    os << "  optimistic latching: " << counters_.latch_restarts
+       << " restarts, " << counters_.latch_upgrades
+       << " upgrades; fault-table collisions: "
+       << counters_.fault_table_contention << "\n";
     os << "  home migrations: " << counters_.home_migrations
        << ", hint hits: " << counters_.home_hint_hits << "/"
        << counters_.remote_faults << " remote faults, chases: "

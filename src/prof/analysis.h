@@ -67,6 +67,13 @@ struct ProtocolCounters {
   /// Times a thread found its directory shard's tree lock already held
   /// (Directory::lock_contention); sharding should keep this near zero.
   std::uint64_t dir_lock_contention = 0;
+  /// Optimistic-latching health (DsmConfig::optimistic_latching): probes
+  /// that restarted against a raced mutation, probes that escalated to the
+  /// exclusive latch (entry creation), and fault-table shard collisions.
+  /// All three are zero when the knob is off.
+  std::uint64_t latch_restarts = 0;
+  std::uint64_t latch_upgrades = 0;
+  std::uint64_t fault_table_contention = 0;
   std::uint64_t remote_faults = 0;
   std::uint64_t home_migrations = 0;
   std::uint64_t home_hint_hits = 0;

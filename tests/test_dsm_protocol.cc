@@ -321,7 +321,7 @@ TEST_F(DsmProtocolTest, BusyEntryAnswersRetryUntilReleased) {
   auto& stats = process_->dsm().stats();
   mem::DirEntry& entry = process_->dsm().directory().entry(arr.addr(0));
 
-  std::unique_lock<std::mutex> hold(entry.mu);  // simulate a long transaction
+  std::unique_lock<dex::HybridLatch> hold(entry.latch);  // simulate a long transaction
   std::atomic<std::uint64_t> seen{0};
   DexThread reader = process_->spawn([&] {
     migrate(1);
@@ -352,7 +352,7 @@ TEST_F(DsmProtocolTest, MaxRetriesEscalatesToBlockingAcquire) {
   auto& stats = process->dsm().stats();
   mem::DirEntry& entry = process->dsm().directory().entry(arr.addr(0));
 
-  std::unique_lock<std::mutex> hold(entry.mu);
+  std::unique_lock<dex::HybridLatch> hold(entry.latch);
   std::atomic<std::uint64_t> seen{0};
   DexThread reader = process->spawn([&] {
     migrate(2);

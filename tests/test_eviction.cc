@@ -357,7 +357,7 @@ TEST(EvictionTest, PinnedFrameRefusesEvictionUntilUnpinned) {
   EXPECT_EQ(process->dsm().frame_pool(1).used_bytes(),
             bytes_before - kPageSize);
   {
-    std::lock_guard<std::mutex> lock(entry->mu);
+    std::lock_guard<dex::HybridLatch> lock(entry->latch);
     EXPECT_FALSE(entry->sharers.contains(1));
   }
 
@@ -565,7 +565,7 @@ TEST(EvictionTest, JournalGaugeTracksRenewalsAndPatrolGCsOrphans) {
   mem::DirEntry* entry = process->dsm().directory().find(orphan);
   ASSERT_NE(entry, nullptr);
   {
-    std::lock_guard<std::mutex> lock(entry->mu);
+    std::lock_guard<dex::HybridLatch> lock(entry->latch);
     ASSERT_EQ(entry->exclusive_owner, 1);
     ASSERT_GT(entry->journal_ts, 0);
     entry->home = 1;
@@ -576,7 +576,7 @@ TEST(EvictionTest, JournalGaugeTracksRenewalsAndPatrolGCsOrphans) {
   process->dsm().lease_patrol();
   EXPECT_GE(stats.journal_gcs.load(), 1u);
   {
-    std::lock_guard<std::mutex> lock(entry->mu);
+    std::lock_guard<dex::HybridLatch> lock(entry->latch);
     EXPECT_EQ(entry->journal_ts, 0);
     entry->home = kInvalidNode;  // hand the entry back for teardown
   }

@@ -1,0 +1,261 @@
+// HybridLatch unit tests (optimistic restart, upgrades, version wrap), a
+// many-reader/one-writer stress, and the twin-run property that
+// DsmConfig::optimistic_latching never changes the memory image.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/hybrid_latch.h"
+#include "common/rand.h"
+#include "core/api.h"
+
+namespace dex {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HybridLatch unit tests
+// ---------------------------------------------------------------------------
+
+TEST(HybridLatch, OptimisticSnapshotInvalidatedByExclusiveSection) {
+  HybridLatch latch;
+  GuardO before(latch);
+  EXPECT_TRUE(before.validate());
+
+  latch.lock();
+  latch.unlock();  // the version bump is what kills the snapshot
+
+  EXPECT_FALSE(before.validate());
+  GuardO after(latch);
+  EXPECT_TRUE(after.validate());
+}
+
+TEST(HybridLatch, NonBlockingProbeFailsFastWhileExclusiveHeld) {
+  HybridLatch latch;
+  latch.lock();
+  GuardO probe(latch, GuardO::kNonBlocking);
+  EXPECT_FALSE(probe.engaged());
+  EXPECT_FALSE(probe.validate());  // never validates, by contract
+  latch.unlock();
+
+  GuardO retry(latch, GuardO::kNonBlocking);
+  EXPECT_TRUE(retry.engaged());
+  EXPECT_TRUE(retry.validate());
+}
+
+TEST(HybridLatch, TryLockBacksOutUnbumpedWhenReadersAreIn) {
+  HybridLatch latch;
+  GuardO snapshot(latch);
+  latch.lock_shared();
+  // The acquire must fail, and because nothing was written it must NOT
+  // invalidate outstanding optimistic snapshots.
+  EXPECT_FALSE(latch.try_lock());
+  EXPECT_TRUE(snapshot.validate());
+  latch.unlock_shared();
+
+  EXPECT_TRUE(latch.try_lock());
+  latch.unlock();
+  EXPECT_FALSE(snapshot.validate());
+}
+
+TEST(HybridLatch, SharedModeNeverBumpsTheVersion) {
+  HybridLatch latch;
+  GuardO snapshot(latch);
+  {
+    GuardS shared(latch);
+    EXPECT_TRUE(shared.owns());
+    EXPECT_TRUE(snapshot.validate());  // readers invalidate nothing
+  }
+  EXPECT_TRUE(snapshot.validate());
+}
+
+TEST(HybridLatch, GuardXUpgradeSucceedsWhenUnraced) {
+  HybridLatch latch;
+  GuardO opt(latch);
+  GuardX exclusive = GuardX::upgrade(latch, opt);
+  EXPECT_TRUE(exclusive.owns());
+  exclusive.reset();  // release bumps the version
+  EXPECT_FALSE(opt.validate());
+}
+
+TEST(HybridLatch, GuardXUpgradeFailsWhenSnapshotWasInvalidated) {
+  HybridLatch latch;
+  GuardO opt(latch);
+  latch.lock();
+  latch.unlock();  // a writer slipped in before the upgrade landed
+  GuardX exclusive = GuardX::upgrade(latch, opt);
+  EXPECT_FALSE(exclusive.owns());
+  // The failed upgrade released the latch: a fresh acquire must work.
+  EXPECT_TRUE(latch.try_lock());
+  latch.unlock();
+}
+
+TEST(HybridLatch, GuardSUpgradeFollowsTheSameRules) {
+  HybridLatch latch;
+  {
+    GuardO opt(latch);
+    GuardS shared = GuardS::upgrade(latch, opt);
+    EXPECT_TRUE(shared.owns());
+  }
+  {
+    GuardO opt(latch);
+    latch.lock();
+    latch.unlock();
+    GuardS shared = GuardS::upgrade(latch, opt);
+    EXPECT_FALSE(shared.owns());
+    EXPECT_TRUE(latch.try_lock());  // nothing left held
+    latch.unlock();
+  }
+}
+
+TEST(HybridLatch, VersionWrapsInsideTheMaskNotIntoTheExclusiveBit) {
+  HybridLatch latch(HybridLatch::kVersionMask);  // one bump from wrapping
+  EXPECT_EQ(latch.version(), HybridLatch::kVersionMask);
+  GuardO stale(latch);
+
+  latch.lock();
+  latch.unlock();
+
+  // The version wrapped to zero instead of carrying into the exclusive
+  // bit, and the wrap still invalidates pre-wrap snapshots.
+  EXPECT_EQ(latch.version(), 0u);
+  EXPECT_FALSE(stale.validate());
+  GuardO fresh(latch);
+  EXPECT_TRUE(fresh.engaged());
+  EXPECT_TRUE(fresh.validate());
+}
+
+// Many optimistic readers against one exclusive writer: a validated read
+// must never observe a torn pair, and the Lockable face (std::lock_guard)
+// must compose with the optimistic mode.
+TEST(HybridLatch, ManyReadersOneWriterStress) {
+  HybridLatch latch;
+  // Invariant under the latch: a == b. Atomics with relaxed ordering:
+  // optimistic readers race the writer's stores by design, and the latch
+  // validation — not the memory order — is what rejects torn pairs.
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+
+  constexpr int kReaders = 4;
+  constexpr int kWrites = 4000;
+  constexpr int kReads = 8000;
+  std::atomic<std::uint64_t> validated{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t ok = 0;
+      for (int i = 0; i < kReads; ++i) {
+        GuardO guard(latch);
+        const std::uint64_t ra = a.load(std::memory_order_relaxed);
+        const std::uint64_t rb = b.load(std::memory_order_relaxed);
+        if (guard.validate()) {
+          ASSERT_EQ(ra, rb);  // a torn pair must never validate
+          ++ok;
+        }
+      }
+      validated.fetch_add(ok, std::memory_order_relaxed);
+    });
+  }
+
+  for (int i = 0; i < kWrites; ++i) {
+    std::lock_guard<HybridLatch> guard(latch);
+    a.fetch_add(1, std::memory_order_relaxed);
+    b.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(a.load(), static_cast<std::uint64_t>(kWrites));
+  EXPECT_EQ(a.load(), b.load());
+  // Post-writer reads are unraced, so validations are guaranteed even on
+  // a host that serializes the writer ahead of every reader.
+  EXPECT_GT(validated.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Twin-run property: the latching discipline is invisible to memory
+// ---------------------------------------------------------------------------
+
+struct Shape {
+  int nodes;
+  int threads;
+  bool coalesce;
+};
+
+class LatchingProperty : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(LatchingProperty, OptimisticLatchingPreservesTheMemoryImage) {
+  const Shape shape = GetParam();
+  constexpr std::size_t kSlots = 4096;  // 8 pages of strided slots
+
+  std::vector<std::uint64_t> image[2];
+  for (int on = 0; on <= 1; ++on) {
+    ClusterConfig config;
+    config.num_nodes = shape.nodes;
+    Cluster cluster(config);
+    ProcessOptions options;
+    options.coalesce_faults = shape.coalesce;
+    options.optimistic_latching = on != 0;
+    auto process = cluster.create_process(options);
+
+    GArray<std::uint64_t> slots(*process, kSlots, "slots");
+    std::vector<DexThread> threads;
+    for (int t = 0; t < shape.threads; ++t) {
+      threads.push_back(process->spawn([&, t] {
+        Xoshiro256 rng(static_cast<std::uint64_t>(t) * 911 + 17);
+        migrate(static_cast<NodeId>(t % shape.nodes));
+        for (int round = 0; round < 80; ++round) {
+          // Strided single-writer slots, plus a read of the thread's own
+          // previous slot so the read fault path runs under both modes.
+          const std::size_t slot =
+              static_cast<std::size_t>(t) +
+              static_cast<std::size_t>(rng.next_below(
+                  kSlots / static_cast<std::size_t>(shape.threads))) *
+                  static_cast<std::size_t>(shape.threads);
+          slots.set(slot, (static_cast<std::uint64_t>(t) << 32) |
+                              static_cast<std::uint64_t>(round));
+          (void)slots.get(slot);
+        }
+        migrate_back();
+      }));
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_TRUE(process->dsm().check_invariants());
+
+    EXPECT_EQ(process->dsm().directory().optimistic(), on != 0);
+    EXPECT_EQ(process->dsm().fault_table(options.origin).shards(),
+              on != 0 ? mem::FaultTable::kShards : 1);
+    auto& stats = process->dsm().stats();
+    if (on == 0) {
+      // The knob off is the seed pessimistic protocol bit-for-bit: no
+      // optimistic machinery may even be reached.
+      EXPECT_EQ(stats.latch_restarts.load(), 0u);
+      EXPECT_EQ(stats.latch_upgrades.load(), 0u);
+    } else {
+      // Every entry creation escalates through the upgrade path.
+      EXPECT_GT(stats.latch_upgrades.load(), 0u);
+    }
+
+    image[on].resize(kSlots);
+    slots.read_block(0, kSlots, image[on].data());
+  }
+  EXPECT_EQ(image[0], image[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LatchingProperty,
+    ::testing::Values(Shape{1, 4, true}, Shape{2, 4, true},
+                      Shape{2, 8, false}, Shape{4, 8, true},
+                      Shape{8, 8, true}, Shape{3, 6, false}),
+    [](const auto& info) {
+      const Shape& s = info.param;
+      return "n" + std::to_string(s.nodes) + "t" +
+             std::to_string(s.threads) +
+             (s.coalesce ? "_coalesce" : "_nocoalesce");
+    });
+
+}  // namespace
+}  // namespace dex
