@@ -61,6 +61,15 @@ int main() {
       counters.backpressure_overshoots = result.backpressure_overshoots;
       counters.journal_bytes = result.journal_bytes;
       counters.journal_gcs = result.journal_gcs;
+      counters.engine_submitted = result.engine_submitted;
+      counters.engine_resumes = result.engine_resumes;
+      counters.async_completions = result.async_completions;
+      counters.engine_depth_peak = result.engine_depth_peak;
+      counters.engine_depth_sum = result.engine_depth_sum;
+      counters.engine_depth_samples = result.engine_depth_samples;
+      counters.engine_pump_handoffs = result.engine_pump_handoffs;
+      counters.doorbell_batches = result.doorbell_batches;
+      counters.batched_posts = result.batched_posts;
       analysis.set_protocol_counters(counters);
       std::printf("%s\n", analysis.format_report(6).c_str());
     }

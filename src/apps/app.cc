@@ -75,6 +75,15 @@ void snapshot_stats(core::Process& process, RunResult& result) {
   result.backpressure_overshoots = stats.backpressure_overshoots.load();
   result.journal_bytes = stats.journal_bytes.load();
   result.journal_gcs = stats.journal_gcs.load();
+  result.engine_submitted = stats.engine_submitted.load();
+  result.engine_resumes = stats.engine_resumes.load();
+  result.async_completions = stats.async_completions.load();
+  result.engine_depth_peak = stats.engine_depth_peak.load();
+  result.engine_depth_sum = stats.engine_depth_sum.load();
+  result.engine_depth_samples = stats.engine_depth_samples.load();
+  result.engine_pump_handoffs = stats.engine_pump_handoffs.load();
+  result.doorbell_batches = stats.doorbell_batches.load();
+  result.batched_posts = stats.batched_posts.load();
   if (process.trace().enabled()) {
     result.trace = process.trace().snapshot();
   }

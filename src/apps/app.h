@@ -62,6 +62,11 @@ struct RunConfig {
   /// Optimistic versioned latching on the fault hot path (off takes every
   /// lock pessimistically, the seed protocol).
   bool optimistic_latching = true;
+  /// Async protocol engine: resumable fault transactions, doorbell-batched
+  /// sends, futex-wake completion (off = the blocking protocol).
+  bool async_engine = false;
+  /// Engine window depth (transactions one pump keeps in flight per node).
+  int max_inflight_transactions = 16;
 };
 
 struct RunResult {
@@ -108,6 +113,16 @@ struct RunResult {
   std::uint64_t backpressure_overshoots = 0;
   std::uint64_t journal_bytes = 0;
   std::uint64_t journal_gcs = 0;
+  /// Async-engine counters (zero unless async_engine was on).
+  std::uint64_t engine_submitted = 0;
+  std::uint64_t engine_resumes = 0;
+  std::uint64_t async_completions = 0;
+  std::uint64_t engine_depth_peak = 0;
+  std::uint64_t engine_depth_sum = 0;
+  std::uint64_t engine_depth_samples = 0;
+  std::uint64_t engine_pump_handoffs = 0;
+  std::uint64_t doorbell_batches = 0;
+  std::uint64_t batched_posts = 0;
   std::vector<prof::FaultEvent> trace;  // when trace_faults was set
 };
 
@@ -152,6 +167,8 @@ class App {
     popt.frame_budget_bytes = config.frame_budget_bytes;
     popt.spill_cold_pages = config.spill_cold_pages;
     popt.optimistic_latching = config.optimistic_latching;
+    popt.async_engine = config.async_engine;
+    popt.max_inflight_transactions = config.max_inflight_transactions;
     return popt;
   }
 };

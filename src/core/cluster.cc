@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "common/virtual_clock.h"
+#include "core/engine.h"
 #include "core/process.h"
 #include "net/rpc_error.h"
 #include "prof/trace.h"
@@ -200,6 +201,15 @@ int Cluster::run_membership_round() {
   // 5. Frame patrol: background eviction pressure so budgeted nodes drain
   //    back under budget even when no fault is applying pressure.
   for (Process* process : patrol) process->dsm().frame_patrol();
+
+  // 6. Engine drain: background transactions (lease renewals, eviction
+  //    writebacks) submitted while no faulter was pumping would otherwise
+  //    linger queued forever once the workload quiesces.
+  for (Process* process : patrol) {
+    ProtocolEngine* engine = process->engine();
+    if (engine == nullptr) continue;
+    for (NodeId n = 0; n < config_.num_nodes; ++n) engine->drain(n);
+  }
   return newly_dead;
 }
 

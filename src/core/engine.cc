@@ -1,0 +1,436 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/time_gate.h"
+
+#include "common/virtual_clock.h"
+
+namespace dex::core {
+
+ProtocolEngine::ProtocolEngine(net::Fabric& fabric, int num_nodes,
+                               int max_inflight)
+    : fabric_(fabric),
+      max_inflight_(std::max(1, max_inflight)),
+      queues_(static_cast<std::size_t>(num_nodes)),
+      pump_active_(static_cast<std::size_t>(num_nodes), 0),
+      pipe_(static_cast<std::size_t>(num_nodes),
+            std::vector<VirtNs>(static_cast<std::size_t>(
+                                    std::max(1, max_inflight)),
+                                0)),
+      pipe_seq_(static_cast<std::size_t>(num_nodes), 0) {}
+
+ProtocolEngine::TxnPtr ProtocolEngine::make_txn(Submit&& submit,
+                                                bool background) {
+  DEX_CHECK(submit.node >= 0 &&
+            static_cast<std::size_t>(submit.node) < queues_.size());
+  DEX_CHECK(static_cast<bool>(submit.resume));
+  auto txn = std::make_shared<Txn>();
+  txn->node = submit.node;
+  txn->request = std::move(submit.request);
+  txn->needs = std::move(submit.needs);
+  txn->resume = std::move(submit.resume);
+  txn->not_before = submit.not_before;
+  txn->background = background;
+  txn->wait_key = FutexTable::kLocalKeyBase +
+                  next_key_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::uint64_t depth =
+      outstanding_.fetch_add(1, std::memory_order_relaxed) + 1;
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  stats_.depth_sum.fetch_add(depth, std::memory_order_relaxed);
+  stats_.depth_samples.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t peak = stats_.depth_peak.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !stats_.depth_peak.compare_exchange_weak(
+             peak, depth, std::memory_order_relaxed)) {
+  }
+  return txn;
+}
+
+bool ProtocolEngine::try_become_pump(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pump_active_[static_cast<std::size_t>(node)] != 0) return false;
+  pump_active_[static_cast<std::size_t>(node)] = 1;
+  return true;
+}
+
+void ProtocolEngine::release_pump(NodeId node) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pump_active_[static_cast<std::size_t>(node)] = 0;
+  }
+  // A foreground pump may leave with background work still queued; the
+  // node's dedicated thread (if any) picks it up.
+  cv_.notify_all();
+}
+
+void ProtocolEngine::start() {
+  DEX_CHECK_MSG(futex_ != nullptr, "engine started before bind_futex");
+  DEX_CHECK_MSG(pump_threads_.empty(), "engine started twice");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  pump_threads_.reserve(queues_.size());
+  for (std::size_t n = 0; n < queues_.size(); ++n) {
+    pump_threads_.emplace_back(
+        [this, node = static_cast<NodeId>(n)] { pump_thread_main(node); });
+  }
+}
+
+void ProtocolEngine::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : pump_threads_) {
+    if (t.joinable()) t.join();
+  }
+  pump_threads_.clear();
+}
+
+void ProtocolEngine::pump_thread_main(NodeId node) {
+  // The thread's clock is pure pump-CPU bookkeeping: legs and resumes run
+  // on their own scratch clocks, and nothing observes this one. pump()
+  // excludes it from the TimeGate for each stint; the explicit leave()
+  // below removes it again afterwards so an idle engine thread can never
+  // become the gate's (stuck) minimum.
+  VirtualClock clock(0);
+  ScopedClockBinding bind(&clock);
+  const auto n = static_cast<std::size_t>(node);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return stop_ || (!queues_[n].empty() && pump_active_[n] == 0);
+    });
+    if (stop_) return;
+    pump_active_[n] = 1;
+    lock.unlock();
+    pump(node, /*own=*/nullptr);
+    if (vclock::coupling_enabled()) TimeGate::instance().leave(&clock);
+    lock.lock();
+  }
+}
+
+void ProtocolEngine::complete(Txn& txn, Status status, VirtNs wake_ts) {
+  txn.final_status = status;
+  txn.final_wake_ts = wake_ts;
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  stats_.completions.fetch_add(1, std::memory_order_relaxed);
+  txn.done.store(kDone, std::memory_order_release);
+  if (!txn.background) {
+    // The submitter observes this wake timestamp — its own leg's finish
+    // plus the resume work, NOT the doorbell batch's max leg: a demand
+    // fault sharing a doorbell with a long prefetch-payload leg completes
+    // when ITS reply lands.
+    futex_->wake(txn.wait_key, 1, wake_ts);
+  }
+}
+
+void ProtocolEngine::handoff(NodeId node) {
+  // Called after the pump role was released: poke one queued foreground
+  // submitter to elect itself. The CAS-to-kPumpPoke plus wait_local's
+  // locked re-check make the poke race-free: a target that has not parked
+  // yet observes the value change instead of sleeping through the wake.
+  TxnPtr candidate;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TxnPtr& txn : queues_[static_cast<std::size_t>(node)]) {
+      if (!txn->background) {
+        candidate = txn;
+        break;
+      }
+    }
+  }
+  if (!candidate) return;
+  std::uint64_t expected = kPending;
+  if (candidate->done.compare_exchange_strong(expected, kPumpPoke,
+                                              std::memory_order_acq_rel)) {
+    stats_.pump_handoffs.fetch_add(1, std::memory_order_relaxed);
+    futex_->wake(candidate->wait_key, 1, vclock::now());
+  }
+}
+
+void ProtocolEngine::pump(NodeId node, Txn* own) {
+  auto& queue = queues_[static_cast<std::size_t>(node)];
+  const net::CostModel& cost = fabric_.cost();
+  auto& ring = pipe_[static_cast<std::size_t>(node)];
+  std::uint64_t& seq = pipe_seq_[static_cast<std::size_t>(node)];
+  // The pump's clock tracks CPU work only (posting gaps, resume costs);
+  // the legs' wire time runs on scratch clocks. That makes the pump the
+  // slowest member of a coupled run by construction, so it steps out of
+  // the TimeGate for the duration — exactly like the doorbell legs
+  // themselves, and like any thread whose clock deliberately stands still.
+  ScopedGateBlock gate_block("engine_pump");
+  for (;;) {
+    // Take a window of ready transactions (FIFO, bounded by the depth
+    // knob). Deferred transactions (retry backoff) stay queued until the
+    // pump's clock reaches their deadline.
+    std::vector<TxnPtr> window;
+    VirtNs earliest_deferred = 0;
+    bool have_deferred = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const VirtNs now = vclock::now();
+      // A transaction whose not_before lies within the pipeline's virtual
+      // horizon posts NOW, with not_before enforced as that leg's start
+      // floor — a queued NIC op whose execution is simply scheduled a bit
+      // later. Gating those on the pump's clock instead would shatter the
+      // doorbell window: the pump's clock deliberately lags the wire, so
+      // every chained prefetch rung (not-before its parent's delivery)
+      // would look far-future and trickle out in one-leg waves. Only
+      // deadlines past everything in flight (retry backoff) stay queued.
+      VirtNs horizon = now;
+      for (const VirtNs end : ring) horizon = std::max(horizon, end);
+      // Foreground (demand) transactions outrank background work for the
+      // window's slots: a chained prefetch stream must never starve a
+      // faulting thread out of the doorbell.
+      for (int pass = 0; pass < 2; ++pass) {
+        const bool want_background = pass == 1;
+        for (auto it = queue.begin();
+             it != queue.end() &&
+             window.size() < static_cast<std::size_t>(max_inflight_);) {
+          if ((*it)->background != want_background) {
+            ++it;
+            continue;
+          }
+          if ((*it)->not_before <= horizon) {
+            window.push_back(std::move(*it));
+            it = queue.erase(it);
+          } else {
+            if (!have_deferred || (*it)->not_before < earliest_deferred) {
+              earliest_deferred = (*it)->not_before;
+            }
+            have_deferred = true;
+            ++it;
+          }
+        }
+      }
+    }
+
+    if (window.empty()) {
+      if (!have_deferred) {
+        // Queue fully drained (a foreground pump only reaches this after
+        // its own transaction completed — it was in the queue until then).
+        release_pump(node);
+        handoff(node);
+        return;
+      }
+      if (own != nullptr &&
+          own->done.load(std::memory_order_acquire) == kDone) {
+        // Own transaction done, only deferred work left: hand the role
+        // over rather than waiting out someone else's backoff.
+        release_pump(node);
+        handoff(node);
+        return;
+      }
+      // Everything is deferred and we must see it through (own pending, or
+      // an explicit drain): wait out the earliest backoff on this clock,
+      // exactly as the blocking path would.
+      const VirtNs now = vclock::now();
+      if (earliest_deferred > now) vclock::advance(earliest_deferred - now);
+      continue;
+    }
+
+    // Coalesce same-destination sends into doorbell batches. The window is
+    // FIFO, so concurrent submitters faulting toward different homes
+    // interleave destinations; a stable sort regroups them (order within a
+    // destination preserved) — legs in one window are independent, and
+    // each completes on its own leg finish regardless of posting order.
+    std::stable_sort(window.begin(), window.end(),
+                     [](const TxnPtr& a, const TxnPtr& b) {
+                       return a->request.dst < b->request.dst;
+                     });
+    std::size_t i = 0;
+    while (i < window.size()) {
+      const NodeId dst = window[i]->request.dst;
+      std::size_t j = i;
+      std::vector<net::Message> requests;
+      while (j < window.size() && window[j]->request.dst == dst) {
+        requests.push_back(window[j]->request);
+        ++j;
+      }
+
+      // Admit the batch's summed frame needs per pool in THIS thread (the
+      // handlers run here and consume this thread's credits), settle the
+      // leftover after the batch resumes.
+      std::vector<std::pair<NodeId, int>> totals;
+      for (std::size_t k = i; k < j; ++k) {
+        for (const auto& [pool, pages] : window[k]->needs) {
+          auto it = std::find_if(totals.begin(), totals.end(),
+                                 [p = pool](const auto& t) {
+                                   return t.first == p;
+                                 });
+          if (it == totals.end()) {
+            totals.emplace_back(pool, pages);
+          } else {
+            it->second += pages;
+          }
+        }
+      }
+      bool admitted = true;
+      if (admit_) {
+        try {
+          for (const auto& [pool, pages] : totals) admit_(pool, pages);
+        } catch (...) {
+          admitted = false;
+        }
+      }
+      if (!admitted) {
+        for (std::size_t k = i; k < j; ++k) {
+          complete(*window[k], Status::kFailed, vclock::now());
+        }
+        if (settle_) {
+          for (const auto& [pool, pages] : totals) settle_(pool);
+        }
+        i = j;
+        continue;
+      }
+
+      // One posting gap for the whole doorbell — the pump's only wire-side
+      // CPU charge. The batch itself runs on a scratch clock so the pump
+      // does not inherit the batch's max leg: successive doorbells overlap
+      // in virtual time, bounded by the pipeline ring (leg seq may not
+      // start before leg seq-depth finished).
+      vclock::advance(cost.fanout_post_gap_ns);
+      std::vector<VirtNs> floors(requests.size());
+      for (std::size_t k = 0; k < requests.size(); ++k) {
+        floors[k] = std::max(ring[(seq + k) % ring.size()],
+                             window[i + k]->not_before);
+      }
+      std::vector<VirtNs> leg_ends;
+      std::vector<net::CallOutcome> outcomes;
+      {
+        VirtualClock post_clock(vclock::now());
+        {
+          ScopedClockBinding bind(&post_clock);
+          outcomes = fabric_.post_batch(node, requests, &leg_ends, &floors);
+        }
+        if (vclock::coupling_enabled()) {
+          TimeGate::instance().leave(&post_clock);
+        }
+      }
+      for (std::size_t k = 0; k < requests.size(); ++k) {
+        ring[(seq + k) % ring.size()] = leg_ends[k];
+      }
+      seq += requests.size();
+
+      for (std::size_t k = i; k < j; ++k) {
+        Txn& txn = *window[k];
+        vclock::advance(cost.engine_resume_ns);
+        stats_.resumes.fetch_add(1, std::memory_order_relaxed);
+        // The resume runs on a scratch clock seeded at THIS leg's finish:
+        // its costs (grant observes, chained submits) extend the
+        // transaction's own timeline, not the pump's.
+        VirtualClock resume_clock(leg_ends[k - i]);
+        Step step;
+        bool resumed = true;
+        {
+          ScopedClockBinding bind(&resume_clock);
+          try {
+            step = txn.resume(std::move(outcomes[k - i]));
+          } catch (...) {
+            resumed = false;
+          }
+        }
+        if (vclock::coupling_enabled()) {
+          TimeGate::instance().leave(&resume_clock);
+        }
+        const VirtNs wake_ts = resume_clock.now() + cost.engine_resume_ns;
+        if (!resumed) {
+          complete(txn, Status::kFailed, wake_ts);
+        } else if (step.done) {
+          complete(txn, step.status, wake_ts);
+        } else {
+          txn.request = std::move(step.next);
+          txn.needs = std::move(step.needs);
+          // Causality: attempt N+1 may not be posted before attempt N's
+          // leg finished — the pump's own clock can lag the wire.
+          txn.not_before = std::max(step.not_before, leg_ends[k - i]);
+          std::lock_guard<std::mutex> lock(mu_);
+          queue.push_back(window[k]);
+        }
+      }
+      if (settle_) {
+        for (const auto& [pool, pages] : totals) settle_(pool);
+      }
+      i = j;
+    }
+
+    if (own != nullptr &&
+        own->done.load(std::memory_order_acquire) == kDone) {
+      release_pump(node);
+      handoff(node);
+      return;
+    }
+  }
+}
+
+ProtocolEngine::Status ProtocolEngine::run(Submit submit) {
+  DEX_CHECK_MSG(futex_ != nullptr, "engine used before bind_futex");
+  vclock::advance(fabric_.cost().engine_submit_ns);
+  const NodeId node = submit.node;
+  TxnPtr txn = make_txn(std::move(submit), /*background=*/false);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[static_cast<std::size_t>(node)].push_back(txn);
+  }
+  cv_.notify_all();
+  Txn* own = txn.get();
+  for (;;) {
+    const std::uint64_t d = own->done.load(std::memory_order_acquire);
+    if (d == kDone) break;
+    if (d == kPumpPoke) {
+      own->done.store(kPending, std::memory_order_relaxed);
+    }
+    if (try_become_pump(node)) {
+      pump(node, own);
+      continue;
+    }
+    // Another submitter is pumping: park on the completion word. A
+    // kOwnerDied wake (robust sweep after a node death) just loops — the
+    // pump role may now be free, and re-posting surfaces the death as a
+    // per-leg kNodeDead outcome that completes this transaction properly.
+    futex_->wait_local(own->wait_key, own->done, kPending);
+  }
+  // Land on the transaction's own timeline. The futex wake carries the
+  // same timestamp for parked submitters; this covers the submitter that
+  // was itself the pump, whose clock only tracked CPU work.
+  vclock::observe(own->final_wake_ts);
+  return own->final_status;
+}
+
+void ProtocolEngine::submit_background(Submit submit) {
+  DEX_CHECK_MSG(futex_ != nullptr, "engine used before bind_futex");
+  vclock::advance(fabric_.cost().engine_submit_ns);
+  const NodeId node = submit.node;
+  TxnPtr txn = make_txn(std::move(submit), /*background=*/true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[static_cast<std::size_t>(node)].push_back(txn);
+  }
+  cv_.notify_all();
+}
+
+void ProtocolEngine::drain(NodeId node) {
+  if (node < 0 || static_cast<std::size_t>(node) >= queues_.size()) return;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queues_[static_cast<std::size_t>(node)].empty()) return;
+    }
+    if (!try_become_pump(node)) return;  // an active pump owns the queue
+    pump(node, /*own=*/nullptr);
+  }
+}
+
+std::size_t ProtocolEngine::pending(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (node < 0 || static_cast<std::size_t>(node) >= queues_.size()) return 0;
+  return queues_[static_cast<std::size_t>(node)].size();
+}
+
+}  // namespace dex::core

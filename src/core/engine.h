@@ -1,0 +1,226 @@
+// The async protocol engine (DsmConfig::async_engine).
+//
+// A fault/recall/writeback transaction becomes a resumable state machine
+// instead of a thread parked inside the protocol: submitters enqueue a
+// prepared request plus a resume closure, and ONE pump thread per
+// submitting node drives the queue — it coalesces adjacent sends to the
+// same destination into doorbell batches (Fabric::post_batch, one posting
+// gap per batch), runs each leg's resume when its reply arrives, and
+// completes the original submitter through a FutexTable wake on a
+// process-local completion word. N faulting threads therefore no longer
+// bound the in-flight protocol work at N: a single pump keeps
+// max_inflight transactions outstanding while the other faulters sleep,
+// and background work (lease renewal, patrol eviction writeback, prefetch
+// issue) rides the same queue instead of detouring synchronously.
+//
+// The pump's clock is deliberately decoupled from the wire: posting a
+// doorbell charges the pump one posting gap and one resume cost per leg
+// (CPU work), while each leg's round trip runs on its own scratch clock.
+// Successive doorbells therefore overlap in virtual time — that is the
+// point of the engine — bounded by a per-node pipeline ring: leg seq may
+// not start before leg seq-max_inflight finished, so `max_inflight` is
+// both the doorbell window and the NIC queue depth. Completions land on
+// the transaction's own timeline (its leg finish plus resume work), never
+// the pump loop's.
+//
+// start() spawns one dedicated pump thread per node — the engine proper:
+// it sleeps on the queue's condition variable and drives the node's
+// backlog whenever work exists, so background streams (chained prefetch,
+// patrol writebacks, lease renewals) make progress while every
+// application thread is busy computing. Pump election stays cooperative
+// underneath (and is the only mode when start() was not called, e.g. unit
+// tests): a foreground submitter that finds the role free takes it; when
+// the pump's own transaction completes it releases the role and "pokes"
+// one queued foreground submitter (completion word set to kPumpPoke under
+// a CAS, then a futex wake), which loops around and elects itself. The
+// poke-value protocol closes the lost-wakeup window: wait_local re-checks
+// the word under the futex-table lock, so a poke that fires before the
+// target parks is observed as a value change, never lost.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/futex.h"
+#include "net/fabric.h"
+
+namespace dex::core {
+
+/// Engine counters, mirrored into DsmStats at snapshot time.
+struct EngineStats {
+  std::atomic<std::uint64_t> submitted{0};
+  /// Resume-closure invocations (one per completed leg).
+  std::atomic<std::uint64_t> resumes{0};
+  /// Transactions completed through the engine (futex-wake completions for
+  /// foreground submitters, silent retirement for background work).
+  std::atomic<std::uint64_t> completions{0};
+  /// Outstanding-transaction depth, sampled at every submit: peak, and
+  /// sum/samples for the mean.
+  std::atomic<std::uint64_t> depth_peak{0};
+  std::atomic<std::uint64_t> depth_sum{0};
+  std::atomic<std::uint64_t> depth_samples{0};
+  /// Pump-role hand-offs to a parked submitter.
+  std::atomic<std::uint64_t> pump_handoffs{0};
+};
+
+class ProtocolEngine {
+ public:
+  using Status = net::CallOutcome::Status;
+
+  /// What a transaction's resume closure tells the engine after examining
+  /// one reply: either the transaction is done (with a terminal status the
+  /// submitter unwinds on), or it must be resent — possibly retargeted,
+  /// possibly not before a backoff deadline.
+  struct Step {
+    bool done = true;
+    Status status = Status::kOk;
+    net::Message next;  // the resend, when !done
+    /// Frame-admission needs of the resend: pages per pool (see
+    /// set_admission). Recomputed on retargets.
+    std::vector<std::pair<NodeId, int>> needs;
+    /// Earliest virtual time the resend may be posted (retry backoff).
+    VirtNs not_before = 0;
+  };
+  /// Runs in the pump thread right after the transaction's leg completes.
+  using ResumeFn = std::function<Step(net::CallOutcome&&)>;
+
+  /// Frame-pool admission hooks (Dsm::admit_frames and
+  /// FramePool::drop_credit). Admission credits are per (thread, pool), so
+  /// the PUMP — whose thread runs the handlers that allocate — admits the
+  /// summed needs of each doorbell batch before posting it and settles the
+  /// leftover after the batch resumes. Unset hooks mean no admission
+  /// (budget off).
+  using AdmitFn = std::function<void(NodeId, int)>;
+  using SettleFn = std::function<void(NodeId)>;
+
+  struct Submit {
+    NodeId node = 0;  // submitting node: fabric src and queue key
+    net::Message request;
+    std::vector<std::pair<NodeId, int>> needs;
+    ResumeFn resume;
+    /// Earliest virtual time the first post may go out. A resume closure
+    /// that chains a follow-on background transaction (streaming prefetch)
+    /// sets this to its own clock so the child cannot be posted before the
+    /// parent's reply virtually arrived.
+    VirtNs not_before = 0;
+  };
+
+  ProtocolEngine(net::Fabric& fabric, int num_nodes, int max_inflight);
+  ~ProtocolEngine() { stop(); }
+
+  /// Spawns one dedicated pump thread per node. Call after bind_futex and
+  /// set_admission; without it the engine still works, driven entirely by
+  /// cooperative submitter pumping (background work then only progresses
+  /// while some foreground transaction is in flight, or via drain()).
+  void start();
+  /// Stops and joins the pump threads. Queued background transactions are
+  /// left for drain()/cooperative pumping; call only when quiesced.
+  void stop();
+
+  /// The futex table completions park on / wake through. Set once at
+  /// wiring time, before any submit. Must be a table PRIVATE to the
+  /// engine, not the process's app futex table: app futex waits hold that
+  /// table's lock across a DSM word read which can fault, and the fault
+  /// would park right back on the held lock.
+  void bind_futex(FutexTable& futex) { futex_ = &futex; }
+  void set_admission(AdmitFn admit, SettleFn settle) {
+    admit_ = std::move(admit);
+    settle_ = std::move(settle);
+  }
+
+  /// Blocking foreground transaction: enqueue, then pump the node's queue
+  /// or park on the completion word until this transaction completes.
+  /// Returns the terminal status; never throws protocol errors itself (the
+  /// caller translates kNodeDead / kFailed back into its exception
+  /// discipline).
+  Status run(Submit submit);
+
+  /// Fire-and-forget background transaction. Driven by whichever pump is
+  /// (or next becomes) active on the node, or by an explicit drain().
+  void submit_background(Submit submit);
+
+  /// Pumps `node`'s queue in the calling thread until it is empty — the
+  /// patrol/membership path for background work when no faulter is
+  /// pumping. No-op when a pump is already active (it owns the queue).
+  void drain(NodeId node);
+
+  std::size_t pending(NodeId node) const;
+  std::uint64_t outstanding() const {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+  EngineStats& stats() { return stats_; }
+  int max_inflight() const { return max_inflight_; }
+
+ private:
+  /// Completion-word states. Anything else is unused.
+  static constexpr std::uint64_t kPending = 0;
+  static constexpr std::uint64_t kDone = 1;
+  static constexpr std::uint64_t kPumpPoke = 2;
+
+  struct Txn {
+    NodeId node = 0;
+    net::Message request;
+    std::vector<std::pair<NodeId, int>> needs;
+    ResumeFn resume;
+    VirtNs not_before = 0;
+    bool background = false;
+    GAddr wait_key = 0;
+    /// kPending / kDone / kPumpPoke; the submitter parks on this word.
+    std::atomic<std::uint64_t> done{kPending};
+    /// Valid once `done` is kDone (release/acquire on `done`).
+    Status final_status = Status::kOk;
+    /// The transaction's own virtual finish (last leg end + resume work),
+    /// valid with final_status. run() observes it so a submitter that was
+    /// itself the pump — whose clock only tracked CPU work — lands on its
+    /// transaction's timeline, not the pump loop's.
+    VirtNs final_wake_ts = 0;
+  };
+  using TxnPtr = std::shared_ptr<Txn>;
+
+  TxnPtr make_txn(Submit&& submit, bool background);
+  bool try_become_pump(NodeId node);
+  void release_pump(NodeId node);
+  /// Body of a dedicated per-node pump thread (start()).
+  void pump_thread_main(NodeId node);
+  /// Drives `node`'s queue. Returns when `own` completes (foreground pump)
+  /// or the queue empties (drain, own == nullptr).
+  void pump(NodeId node, Txn* own);
+  /// `wake_ts` is the virtual time the submitter observes on wake-up —
+  /// the transaction's own leg finish, not the doorbell batch's max.
+  void complete(Txn& txn, Status status, VirtNs wake_ts);
+  /// Pokes one queued foreground submitter to take over the pump role.
+  void handoff(NodeId node);
+
+  net::Fabric& fabric_;
+  FutexTable* futex_ = nullptr;
+  const int max_inflight_;
+  AdmitFn admit_;
+  SettleFn settle_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // work arrival / role release / stop
+  bool stop_ = false;           // guarded by mu_
+  std::vector<std::thread> pump_threads_;
+  std::vector<std::deque<TxnPtr>> queues_;  // by submitting node
+  std::vector<char> pump_active_;           // by node, guarded by mu_
+  /// Per-node NIC pipeline model: ring of the last max_inflight leg-end
+  /// times. Leg seq may not virtually start before leg seq-max_inflight
+  /// finished, so the depth knob bounds in-flight wire work even though
+  /// the pump's own clock only tracks CPU costs. Touched only by the
+  /// node's active pump (the role hand-off through mu_ orders access).
+  std::vector<std::vector<VirtNs>> pipe_;
+  std::vector<std::uint64_t> pipe_seq_;
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::atomic<std::uint64_t> next_key_{1};
+  EngineStats stats_;
+};
+
+}  // namespace dex::core

@@ -14,8 +14,10 @@ FutexTable::WaitResult FutexTable::wait(mem::Dsm& dsm, NodeId origin,
   ScopedGateBlock gate_block("futex_wait");
   std::unique_lock<std::mutex> lock(mu_);
   // Re-check the futex word under the table lock (lost-wakeup protection).
-  // The DSM read can trigger protocol traffic; it never re-enters the futex
-  // table, so lock ordering is safe.
+  // The DSM read can trigger protocol traffic — including a full page
+  // fault. The fault path never re-enters THIS table: blocking faults park
+  // on the FaultTable, and engine faults park on the engine's private
+  // FutexTable (Process::engine_futex_), so holding mu_ here is safe.
   const std::uint64_t current = dsm.atomic_load_u64(origin, task, addr);
   if (current != expected) return WaitResult::kValueChanged;
 
@@ -29,6 +31,29 @@ FutexTable::WaitResult FutexTable::wait(mem::Dsm& dsm, NodeId origin,
   vclock::observe(self.wake_ts);
   // wake() already unlinked us; drop the queue once fully drained.
   if (queue.waiters.empty() && queue.sleepers == 0) queues_.erase(addr);
+  return self.result;
+}
+
+FutexTable::WaitResult FutexTable::wait_local(
+    GAddr key, const std::atomic<std::uint64_t>& word,
+    std::uint64_t expected) {
+  ScopedGateBlock gate_block("futex_wait");
+  std::unique_lock<std::mutex> lock(mu_);
+  // Same lost-wakeup protection as wait(), against a local atomic: a wake
+  // that fired before this lock was taken has already flipped the word.
+  if (word.load(std::memory_order_acquire) != expected) {
+    return WaitResult::kValueChanged;
+  }
+
+  Queue& queue = queues_[key];
+  Waiter self;
+  queue.waiters.push_back(&self);
+  ++queue.sleepers;
+  ++total_waits_;
+  queue.cv.wait(lock, [&self] { return self.woken; });
+  --queue.sleepers;
+  vclock::observe(self.wake_ts);
+  if (queue.waiters.empty() && queue.sleepers == 0) queues_.erase(key);
   return self.result;
 }
 

@@ -11,6 +11,7 @@
 // observe it, giving synchronization the happens-before clock join.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -39,6 +40,20 @@ class FutexTable {
   /// the origin node (futexes execute at the origin).
   WaitResult wait(mem::Dsm& dsm, NodeId origin, TaskId task, GAddr addr,
                   std::uint64_t expected);
+
+  /// Keys above this bit are process-local completion words, never DSM
+  /// addresses: the async engine parks transaction submitters on them
+  /// (see wait_local). Real futex words live in the mmap'd address space,
+  /// far below this bit, so the two key spaces cannot collide.
+  static constexpr GAddr kLocalKeyBase = GAddr{1} << 63;
+
+  /// wait() for a process-local completion word: same queueing, same
+  /// lost-wakeup protection, same robust sweep coverage — but the word is
+  /// re-checked as a plain local atomic instead of through the DSM (a DSM
+  /// read here could recursively fault, and engine completion words are
+  /// not distributed memory). `key` must carry kLocalKeyBase.
+  WaitResult wait_local(GAddr key, const std::atomic<std::uint64_t>& word,
+                        std::uint64_t expected);
 
   /// Wakes up to `count` waiters on `addr`; returns the number woken.
   /// `waker_ts` is the waker's virtual time, observed by each woken waiter.

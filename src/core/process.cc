@@ -8,6 +8,7 @@
 #include "common/assert.h"
 #include "common/time_gate.h"
 #include "core/cluster.h"
+#include "core/engine.h"
 #include "net/rpc_error.h"
 
 namespace dex::core {
@@ -59,8 +60,21 @@ Process::Process(Cluster& cluster, std::uint64_t id,
   dsm_config.evict_batch_pages = options.evict_batch_pages;
   dsm_config.max_backpressure_rounds = options.max_backpressure_rounds;
   dsm_config.optimistic_latching = options.optimistic_latching;
+  dsm_config.async_engine = options.async_engine;
+  dsm_config.max_inflight_transactions = options.max_inflight_transactions;
   dsm_ = std::make_unique<mem::Dsm>(cluster.fabric(), dsm_config,
                                     &cluster.node_load(), &trace_);
+  if (options.async_engine) {
+    engine_ = std::make_unique<ProtocolEngine>(
+        cluster.fabric(), cluster.num_nodes(),
+        options.max_inflight_transactions);
+    engine_->bind_futex(engine_futex_);
+    dsm_->set_engine(engine_.get());
+    // Dedicated per-node pump threads: background streams (chained
+    // prefetch, patrol writebacks, renewals) progress while every DeX
+    // thread is busy computing, not just while some faulter is parked.
+    engine_->start();
+  }
   worker_exists_[static_cast<std::size_t>(options.origin)] = true;
   restart_budget_.store(options.restart_lost_threads ? 256 : 0,
                         std::memory_order_relaxed);
@@ -82,6 +96,13 @@ Process::~Process() {
   if (patrol_thread_.joinable()) {
     patrol_stop_.store(true, std::memory_order_release);
     patrol_thread_.join();
+  }
+  // Detach the engine before it (and then the Dsm) is destroyed; all DeX
+  // threads are joined by now, so no transaction can be in flight. The
+  // pump threads stop first — their resume closures reach into the Dsm.
+  if (engine_ != nullptr) {
+    engine_->stop();
+    dsm_->set_engine(nullptr);
   }
   cluster_.unregister_process(id_);
 }
@@ -207,6 +228,9 @@ void Process::on_node_failure(NodeId node) {
   // unblock with kOwnerDied instead of sleeping forever (a barrier with a
   // dead participant must not hang the survivors).
   futex_.sweep_owner_died(vclock::now());
+  // Engine-parked faulters live on their own table (see engine_futex_);
+  // sweep it too so no waiter anywhere sleeps through a node death.
+  engine_futex_.sweep_owner_died(vclock::now());
 }
 
 // ---------------------------------------------------------------------------

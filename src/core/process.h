@@ -32,6 +32,7 @@
 namespace dex::core {
 
 class Cluster;
+class ProtocolEngine;
 
 /// Handle to a spawned DeX thread. Joining observes the thread's final
 /// virtual clock (happens-before edge of pthread_join).
@@ -114,6 +115,14 @@ struct ProcessOptions {
   /// default) spawns no thread: patrol then runs only on the cluster's
   /// membership rounds and under allocation pressure.
   int frame_patrol_ms = 0;
+  /// Async protocol engine (DsmConfig::async_engine passthrough): leader
+  /// faults, lease renewals and patrol eviction writebacks become
+  /// resumable engine transactions with doorbell-batched sends; off
+  /// reproduces the blocking protocol bit-for-bit.
+  bool async_engine = false;
+  /// Engine window depth (DsmConfig::max_inflight_transactions
+  /// passthrough).
+  int max_inflight_transactions = 16;
 };
 
 /// One entry of the migration log (Table II / Figure 3 raw data).
@@ -144,6 +153,9 @@ class Process {
   mem::Dsm& dsm() { return *dsm_; }
   FutexTable& futex_table() { return futex_; }
   prof::FaultTrace& trace() { return trace_; }
+  /// The async protocol engine, or nullptr when ProcessOptions::
+  /// async_engine is off.
+  ProtocolEngine* engine() { return engine_.get(); }
 
   // ---- Threads ----
   /// Spawns a DeX thread at the creator's current node. The body runs with
@@ -237,6 +249,14 @@ class Process {
   prof::FaultTrace trace_;
   std::unique_ptr<mem::Dsm> dsm_;
   FutexTable futex_;
+  /// The engine parks faulters on its own table, never on futex_: an app
+  /// futex wait holds futex_'s lock across a DSM word read, and in async
+  /// mode that read can itself fault — parking the faulter on futex_
+  /// would self-deadlock on the held lock.
+  FutexTable engine_futex_;
+  /// Constructed only when options.async_engine; the Dsm holds a raw
+  /// pointer (detached in ~Process before the Dsm goes).
+  std::unique_ptr<ProtocolEngine> engine_;
 
   std::atomic<TaskId> next_task_{0};
   std::atomic<std::uint64_t> delegations_{0};

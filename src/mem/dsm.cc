@@ -9,6 +9,7 @@
 #include "common/assert.h"
 #include "common/time_gate.h"
 #include "common/virtual_clock.h"
+#include "core/engine.h"
 #include "net/rpc_error.h"
 
 namespace dex::mem {
@@ -234,6 +235,14 @@ Pte* Dsm::ensure(NodeId node, TaskId task, GAddr addr, Access access) {
           pte.prefetched.exchange(0, std::memory_order_relaxed) != 0) {
         stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
       }
+      // First touch of a freshly delivered copy joins its arrival time —
+      // the bytes cannot be read before the wire shipped them. No-op when
+      // this thread's own fault installed the copy.
+      if (pte.install_ts.load(std::memory_order_relaxed) != 0) {
+        const VirtNs arrived =
+            pte.install_ts.exchange(0, std::memory_order_relaxed);
+        if (arrived != 0) vclock::observe(arrived);
+      }
       if (config_.frame_budget_bytes != 0) {
         pte.referenced.store(1, std::memory_order_relaxed);
       }
@@ -310,6 +319,19 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
     max_extras = static_cast<int>(
         std::min<std::int64_t>(max_extras, pages_ahead));
     extras = prefetcher_.on_read_fault(task, page, max_extras);
+  }
+
+  if (engine_on()) {
+    // Engine path: the same protocol decisions as the blocking loop below,
+    // expressed as a resumable transaction — this thread parks instead of
+    // owning the wire round-trips, so N faulters no longer bound the
+    // node's in-flight protocol work at N. No FrameCredit here: the pump
+    // admits each doorbell batch's summed needs in its own thread (the
+    // handlers run there and consume that thread's credits).
+    fault_via_engine(node, task, page, access, pte, extras, vma);
+    vclock::advance(cost.pte_update_ns);
+    stats_.fault_latency.record(vclock::now() - start);
+    return;
   }
 
   net::PageRequestPayload request{};
@@ -454,6 +476,373 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
 
   vclock::advance(cost.pte_update_ns);
   stats_.fault_latency.record(vclock::now() - start);
+}
+
+// ---------------------------------------------------------------------------
+// Async protocol engine (DsmConfig::async_engine)
+// ---------------------------------------------------------------------------
+
+void Dsm::set_engine(core::ProtocolEngine* engine) {
+  engine_ = engine;
+  if (engine_ == nullptr) return;
+  // Frame-admission hooks: the pump admits the summed needs of each
+  // doorbell batch in its own thread (handlers run there and consume that
+  // thread's per-pool credits), and drops the leftover after the batch.
+  engine_->set_admission(
+      [this](NodeId pool, int pages) { admit_frames(pool, pages); },
+      [this](NodeId pool) { frame_pool(pool).drop_credit(); });
+}
+
+void Dsm::mirror_engine_stats() {
+  stats_.doorbell_batches.store(fabric_.doorbell_batches(),
+                                std::memory_order_relaxed);
+  stats_.batched_posts.store(fabric_.batched_posts(),
+                             std::memory_order_relaxed);
+  if (engine_ == nullptr) return;
+  const core::EngineStats& es = engine_->stats();
+  stats_.engine_submitted.store(es.submitted.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+  stats_.engine_resumes.store(es.resumes.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+  stats_.async_completions.store(
+      es.completions.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  stats_.engine_depth_peak.store(
+      es.depth_peak.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  stats_.engine_depth_sum.store(es.depth_sum.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+  stats_.engine_depth_samples.store(
+      es.depth_samples.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  stats_.engine_pump_handoffs.store(
+      es.pump_handoffs.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+/// Total ladder windows per armed stream: the runahead distance, after
+/// which the stream parks and the consumer's next demand fault re-arms
+/// it — a fixed prefetch distance, like a hardware streamer. Unbounded
+/// streaming is NOT what a streamer does: it would race to the end of the
+/// VMA fetching pages the consumer may never reach (and, with several
+/// tasks scanning one region, every stream would redundantly walk every
+/// other task's slice on cheap ownership-only grants).
+static constexpr int kPrefetchStreamWindows = 16;
+/// Ladder windows of ONE stream concurrently in flight. A completion of
+/// rung i submits rung i + kPrefetchStreamInflight, so a stream keeps
+/// this many round trips overlapped; a serial chain (rung i submitting
+/// rung i+1, not-before its own delivery) would space the stream's
+/// deliveries a full round trip apart and cap it at one window per RTT —
+/// exactly the blocking path's rate, just moved off-thread.
+static constexpr int kPrefetchStreamInflight = 8;
+
+void Dsm::arm_prefetch_stream(NodeId node, TaskId task, GAddr first_page,
+                              NodeId target, GAddr limit,
+                              const std::string& tag) {
+  const int window =
+      std::min(config_.prefetch_max_pages, net::kMaxBatchPages - 1);
+  if (window <= 0 || first_page >= limit) return;
+  const GAddr ladder_end = std::min(
+      limit, first_page + static_cast<GAddr>(kPrefetchStreamWindows) *
+                              static_cast<GAddr>(window) * kPageSize);
+  // Park the stride detector at the ladder's end now: the consumer's
+  // demand fault there re-arms the stream at full width immediately
+  // instead of re-proving the stride over kTriggerRun single-page faults.
+  // Done at arm time (not on the tail rung's completion) so a fast
+  // consumer that already faulted past the end is never rewound.
+  if (ladder_end < limit) prefetcher_.park(task, ladder_end);
+  for (int j = 0; j < kPrefetchStreamInflight; ++j) {
+    const GAddr start =
+        first_page + static_cast<GAddr>(j) *
+                         static_cast<GAddr>(window) * kPageSize;
+    if (start >= ladder_end) break;
+    const auto room =
+        static_cast<std::int64_t>((ladder_end - start) >> kPageShift);
+    const int count =
+        static_cast<int>(std::min<std::int64_t>(window, room));
+    submit_prefetch_window(node, task, start, count, target, ladder_end,
+                           tag);
+  }
+}
+
+void Dsm::submit_prefetch_window(NodeId node, TaskId task, GAddr start_page,
+                                 int count, NodeId target, GAddr ladder_end,
+                                 std::string tag) {
+  using Step = core::ProtocolEngine::Step;
+  using Status = core::ProtocolEngine::Status;
+
+  // Register the window in the fault table before submitting, one round
+  // per page: a demand fault that lands on any of these pages while the
+  // window is queued or in flight coalesces as a follower and sleeps
+  // until the window installs, instead of re-fetching the page over the
+  // wire. The window truncates at the first page some other round is
+  // already fetching (typically the consumer caught up to the stream) —
+  // fetching past a foreign in-flight round would duplicate its work.
+  std::vector<FaultTable::Join> leads;
+  if (config_.coalesce_faults) {
+    leads.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      FaultTable::Join lead = fault_table(node).try_lead(
+          start_page + static_cast<GAddr>(i) * kPageSize, Access::kRead);
+      if (!lead.is_leader) break;
+      leads.push_back(std::move(lead));
+    }
+    count = static_cast<int>(leads.size());
+    // Fully claimed already (the consumer or a competing stream is
+    // fetching right here): drop the rung; its pages arrive through those
+    // rounds and the ladder's later rungs keep running ahead.
+    if (count == 0) return;
+  }
+
+  net::PageBatchRequestPayload batch{};
+  batch.process_id = config_.process_id;
+  batch.start_page = start_page;
+  batch.task = task;
+  batch.count = static_cast<std::uint32_t>(count);
+  batch.blocking = 0;
+  for (std::uint32_t i = 0; i < batch.count; ++i) {
+    Pte* known = page_table(node).find(start_page + i * kPageSize);
+    batch.known_versions[i] =
+        known != nullptr ? read_known_version(*known) : kNoVersion;
+  }
+  Message msg;
+  msg.type = MsgType::kPageRequestBatch;
+  msg.dst = target;
+  msg.set_payload(batch);
+
+  core::ProtocolEngine::Submit prefetch;
+  prefetch.node = node;
+  prefetch.request = std::move(msg);
+  prefetch.needs.emplace_back(node, count);
+  if (target != node) prefetch.needs.emplace_back(target, count);
+  // The window may not be posted before the submitting timeline reached
+  // this point — for a chained window, before the parent's grant landed.
+  prefetch.not_before = vclock::now();
+  // Everything the resume touches is captured by value — the background
+  // transaction outlives every submitting stack frame.
+  prefetch.resume = [this, node, task, start_page, count, target,
+                     ladder_end, tag = std::move(tag),
+                     leads = std::move(leads)](net::CallOutcome&& out) -> Step {
+    Step step;  // always done: prefetch never resends
+    // Every terminal path must retire the window's fault-table rounds, or
+    // coalesced demand faulters sleep forever. Granted pages were already
+    // installed by the batch handler during the leg, so waking followers
+    // at the resume clock (leg end) is exactly the data's arrival; holes
+    // and dropped windows wake their followers into a fresh demand fault.
+    const auto settle_window = [&] {
+      const VirtNs ts = vclock::now();
+      for (std::size_t i = 0; i < leads.size(); ++i) {
+        fault_table(node).complete(
+            leads[i], start_page + static_cast<GAddr>(i) * kPageSize,
+            Access::kRead, ts);
+      }
+    };
+    if (out.status != Status::kOk) {
+      settle_window();
+      return step;
+    }
+    const auto grant = out.reply.payload_as<net::PageBatchGrantPayload>();
+    if (grant.kind == GrantKind::kRetry ||
+        grant.kind == GrantKind::kWrongHome) {
+      settle_window();
+      return step;  // opportunistic: a busy or moved home drops the window
+    }
+    vclock::observe(grant.last_writer_ts);
+    stats_.prefetch_issued.fetch_add(static_cast<std::uint64_t>(count),
+                                     std::memory_order_relaxed);
+    const std::uint32_t mask =
+        grant.granted_mask & ((1u << static_cast<std::uint32_t>(count)) - 1u);
+    const int granted = __builtin_popcount(mask);
+    stats_.prefetch_grants.fetch_add(static_cast<std::uint64_t>(granted),
+                                     std::memory_order_relaxed);
+    if (trace_ != nullptr && trace_->enabled()) {
+      for (int i = 0; i < count; ++i) {
+        if (mask & (1u << i)) {
+          record_fault(node, task,
+                       start_page + static_cast<GAddr>(i) * kPageSize,
+                       prof::FaultKind::kPrefetch, tag.c_str());
+        }
+      }
+    }
+    // Submit the rung kPrefetchStreamInflight windows ahead while the
+    // stream is healthy: a hole in the grant means a busy entry, a
+    // competing stream, or an exclusive holder — all reasons to let
+    // demand faulting take over instead of fetching blind. Rung spacing
+    // is the CONFIG window, not this rung's (possibly truncated) count,
+    // so the ladder's fixed positions survive truncation.
+    //
+    // Order matters: submit the next rung FIRST, wake followers after.
+    // The next rung claims its pages in the fault table when it is
+    // submitted; if followers woke first, a consumer sleeping on this
+    // window could race ahead of the submit, lead a demand round on the
+    // rung's first page, and fire a competing stream — the two then
+    // truncate each other into one-page windows and the scan degenerates
+    // to a round trip per page.
+    if (granted == count) {
+      const int window =
+          std::min(config_.prefetch_max_pages, net::kMaxBatchPages - 1);
+      const GAddr next_start =
+          start_page + static_cast<GAddr>(kPrefetchStreamInflight) *
+                           static_cast<GAddr>(window) * kPageSize;
+      if (next_start < ladder_end) {
+        const auto room = static_cast<std::int64_t>(
+            (ladder_end - next_start) >> kPageShift);
+        const int next_count =
+            static_cast<int>(std::min<std::int64_t>(window, room));
+        submit_prefetch_window(node, task, next_start, next_count, target,
+                               ladder_end, tag);
+      }
+    }
+    settle_window();
+    return step;
+  };
+  engine_->submit_background(std::move(prefetch));
+}
+
+void Dsm::fault_via_engine(NodeId node, TaskId task, GAddr page,
+                           Access access, Pte& pte, int extras,
+                           const Vma& vma) {
+  using Step = core::ProtocolEngine::Step;
+  using Status = core::ProtocolEngine::Status;
+  const net::CostModel& cost = fabric_.cost();
+  const MsgType req_type = access == Access::kRead
+                               ? MsgType::kPageRequestRead
+                               : MsgType::kPageRequestWrite;
+
+  // Hint-directed routing, exactly as the blocking loop.
+  NodeId target0 = config_.origin;
+  if (config_.home_migration) {
+    const HomeHintCache::Hint hint = home_cache(node).lookup(page);
+    if (hint.valid) target0 = hint.home;
+  }
+
+  if (extras > 0) {
+    // The stride window detaches as a fire-and-forget background stream:
+    // the extras are opportunistic in blocking mode too (granted only
+    // when their entry is free), and splitting them keeps the primary a
+    // single-page request whose retries never replay the batch. The
+    // stream runs a ladder of overlapped windows ahead of the consumer
+    // instead of stalling a round trip per window.
+    arm_prefetch_stream(node, task, page + kPageSize, target0,
+                        page_base(vma.end - 1) + kPageSize, vma.tag);
+  }
+
+  // The primary transaction's mutable state. Stack storage is safe: the
+  // resume closure only runs while run() has this frame parked.
+  struct St {
+    net::PageRequestPayload request{};
+    NodeId target = 0;
+    int bounces = 0;
+    int attempts = 0;
+    VirtNs last_writer_ts = 0;
+  };
+  St st;
+  st.request.process_id = config_.process_id;
+  st.request.page = page;
+  st.request.task = task;
+  st.request.blocking = 0;
+  st.target = target0;
+
+  auto build = [this, req_type, &pte, &st]() {
+    Message msg;
+    msg.type = req_type;
+    msg.dst = st.target;
+    st.request.known_version = read_known_version(pte);
+    msg.set_payload(st.request);
+    return msg;
+  };
+  auto needs = [node, &st]() {
+    std::vector<std::pair<NodeId, int>> n;
+    n.emplace_back(node, 1);
+    if (st.target != node) n.emplace_back(st.target, 1);
+    return n;
+  };
+  auto resend = [&build, &needs](Step& step) {
+    step.done = false;
+    step.next = build();
+    step.needs = needs();
+  };
+
+  // The blocking loop's body, one iteration per reply.
+  auto resume = [this, node, task, page, &vma, &cost, &st,
+                 &resend](net::CallOutcome&& out) -> Step {
+    Step step;
+    if (out.status == Status::kNodeDead) {
+      if (st.target == config_.origin) {
+        step.status = Status::kNodeDead;
+        return step;
+      }
+      // The hinted home died; fall back to the origin (it reclaims dead
+      // homes), killing the stale hint here rather than via a redirect.
+      home_cache(node).invalidate_range(page, page + kPageSize);
+      stats_.wrong_home_bounces.fetch_add(1, std::memory_order_relaxed);
+      if (++st.bounces == 1) {
+        stats_.home_chases.fetch_add(1, std::memory_order_relaxed);
+      }
+      st.target = config_.origin;
+      resend(step);
+      return step;
+    }
+    if (out.status == Status::kFailed) {
+      step.status = Status::kFailed;
+      return step;
+    }
+    const auto grant = out.reply.payload_as<net::PageGrantPayload>();
+    if (grant.kind == GrantKind::kWrongHome) {
+      stats_.wrong_home_bounces.fetch_add(1, std::memory_order_relaxed);
+      if (++st.bounces == 1) {
+        stats_.home_chases.fetch_add(1, std::memory_order_relaxed);
+      }
+      home_cache(node).update(page, grant.home, grant.home_epoch);
+      const bool authoritative = st.target == config_.origin;
+      if (!authoritative && st.bounces >= kMaxHomeChase) {
+        st.target = config_.origin;
+      } else {
+        st.target = grant.home;
+      }
+      resend(step);
+      return step;
+    }
+    if (grant.kind != GrantKind::kRetry) {
+      st.last_writer_ts = grant.last_writer_ts;
+      vclock::observe(grant.last_writer_ts);
+      if (config_.home_migration) {
+        home_cache(node).update(page, grant.home, grant.home_epoch);
+        if (node != config_.origin && st.bounces == 0) {
+          stats_.home_hint_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      return step;  // done, kOk
+    }
+    // Busy directory entry: instead of a parked thread burning the backoff
+    // synchronously, the transaction defers itself — the pump re-posts it
+    // once its clock passes the deadline, and siblings keep flowing.
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    record_fault(node, task, page, prof::FaultKind::kRetry, vma.tag.c_str());
+    if (++st.attempts >= config_.max_retries) st.request.blocking = 1;
+    resend(step);
+    step.not_before = vclock::now() + cost.fault_retry_backoff_ns;
+    return step;
+  };
+
+  core::ProtocolEngine::Submit submit;
+  submit.node = node;
+  submit.request = build();
+  submit.needs = needs();
+  submit.resume = resume;
+  const Status status = engine_->run(std::move(submit));
+  if (status == Status::kOk) {
+    vclock::observe(st.last_writer_ts);
+    return;
+  }
+  // Translate the terminal status back into the blocking path's exception
+  // discipline (the ensure() loop and the thread runtime own the policy).
+  if (status == Status::kNodeDead) {
+    throw net::NodeDeadError(config_.origin, req_type, node, config_.origin);
+  }
+  throw net::RpcError(req_type, node, st.target, /*attempts=*/0,
+                      net::MsgStatus::kError,
+                      "async fault transaction failed");
 }
 
 Vma Dsm::check_vma(NodeId node, GAddr addr, Access access) {
@@ -727,6 +1116,7 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
   // completion dispatch amortize over the batch.
   std::vector<std::uint8_t> staging;
   staging.reserve(static_cast<std::size_t>(count - 1) * kPageSize);
+  std::vector<Pte*> staged_ptes;  // data installs, stamped after the wire
   for (std::uint32_t i = 1; i < count; ++i) {
     const GAddr p = primary + static_cast<GAddr>(i) * kPageSize;
     auto vma = origin_space().find(p);
@@ -782,6 +1172,7 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
       rpte.state.store(PageState::kShared, std::memory_order_release);
       rpte.seq.fetch_add(1, std::memory_order_release);
       rpte.lock.unlock();
+      staged_ptes.push_back(&rpte);
       stats_.grants_data.fetch_add(1, std::memory_order_relaxed);
     }
     rpte.prefetched.store(1, std::memory_order_relaxed);
@@ -797,6 +1188,13 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
     std::vector<std::uint8_t> scratch(staging.size());
     fabric_.bulk_transfer(at, requester, staging.data(), staging.size(),
                           scratch.data());
+  }
+  // The extras' bytes arrive with the amortized transfer above, not at
+  // their per-page install points: stamp the delivery time the consumer's
+  // first touch must observe.
+  const VirtNs delivered = vclock::now();
+  for (Pte* rpte : staged_ptes) {
+    rpte->install_ts.store(delivered, std::memory_order_relaxed);
   }
 
   grant.last_writer_ts = last_ts;
@@ -1375,6 +1773,14 @@ void Dsm::maybe_renew_lease(NodeId node, TaskId task, GAddr page, Pte& pte) {
   version = pte.version;
   pte.lock.unlock();
 
+  if (engine_on()) {
+    // Engine path: the renewal rides the queue as a background transaction
+    // and the write proceeds immediately — the synchronous RPC detour on
+    // the write fast path is retired (§ async_engine).
+    renew_lease_via_engine(node, task, page, pte, version, image);
+    return;
+  }
+
   net::LeaseRenewPayload payload{};
   payload.process_id = config_.process_id;
   payload.page = page;
@@ -1413,6 +1819,75 @@ void Dsm::maybe_renew_lease(NodeId node, TaskId task, GAddr page, Pte& pte) {
     pte.lease_until.store(0, std::memory_order_release);
     pte.lease_home.store(kInvalidNode, std::memory_order_release);
   }
+}
+
+void Dsm::renew_lease_via_engine(NodeId node, TaskId task, GAddr page,
+                                 Pte& pte, std::uint64_t version,
+                                 const std::uint8_t* image) {
+  using Step = core::ProtocolEngine::Step;
+  using Status = core::ProtocolEngine::Status;
+  const NodeId home = pte.lease_home.load(std::memory_order_acquire);
+  if (home == kInvalidNode || home == node) return;
+
+  // Extend the local mirror optimistically so the writes that keep
+  // arriving while the renewal is in flight do not each submit another
+  // one. The window this exposes is exactly the one-lease-window bound the
+  // blocking best-effort path (unreachable home) already accepts; a stale
+  // ack claws it back below.
+  pte.lease_until.store(vclock::now() + config_.lease_ns,
+                        std::memory_order_release);
+
+  net::LeaseRenewPayload payload{};
+  payload.process_id = config_.process_id;
+  payload.page = page;
+  payload.version = version;
+  payload.owner = node;
+  Message msg;
+  msg.type = MsgType::kLeaseRenew;
+  msg.dst = home;
+  msg.payload.resize(sizeof(payload) + kPageSize);
+  std::memcpy(msg.payload.data(), &payload, sizeof(payload));
+  std::memcpy(msg.payload.data() + sizeof(payload), image, kPageSize);
+
+  core::ProtocolEngine::Submit submit;
+  submit.node = node;
+  submit.request = std::move(msg);
+  // The renewal handler may materialize the home frame for the journal.
+  submit.needs.emplace_back(home, 1);
+  // PTE pointers stay stable until table teardown, so the background
+  // resume may dereference it after this frame unwinds.
+  submit.resume = [this, node, task, page, pte_ptr = &pte,
+                   home](net::CallOutcome&& out) -> Step {
+    Step step;
+    if (out.status != Status::kOk) {
+      // Best-effort, like the blocking catch: an unreachable home leaves
+      // the lease to the patrol or death recovery.
+      return step;
+    }
+    const auto ack = out.reply.payload_prefix_as<net::LeaseRenewAckPayload>();
+    pte_ptr->lock.lock();
+    // Apply only if this node still holds the page under the same home —
+    // a recall or re-grant may have raced the background renewal.
+    const bool still_ours =
+        pte_ptr->state.load(std::memory_order_acquire) ==
+            PageState::kExclusive &&
+        pte_ptr->lease_home.load(std::memory_order_acquire) == home;
+    if (still_ours) {
+      if (ack.renewed != 0) {
+        pte_ptr->lease_until.store(vclock::now() + config_.lease_ns,
+                                   std::memory_order_release);
+      } else {
+        pte_ptr->lease_until.store(0, std::memory_order_release);
+        pte_ptr->lease_home.store(kInvalidNode, std::memory_order_release);
+      }
+    }
+    pte_ptr->lock.unlock();
+    if (ack.renewed != 0) {
+      record_fault(node, task, page, prof::FaultKind::kLease, "renew");
+    }
+    return step;
+  };
+  engine_->submit_background(std::move(submit));
 }
 
 Message Dsm::handle_lease_renew(const Message& msg) {
@@ -1928,8 +2403,191 @@ void Dsm::frame_patrol() {
     const std::size_t batch =
         static_cast<std::size_t>(std::max(1, config_.evict_batch_pages)) *
         kPageSize;
-    evict_frames(node, used - pool.budget_bytes() + batch);
+    const std::size_t target = used - pool.budget_bytes() + batch;
+    if (engine_on()) {
+      patrol_evict_via_engine(node, target);
+    } else {
+      evict_frames(node, target);
+    }
   }
+}
+
+void Dsm::patrol_evict_via_engine(NodeId node, std::size_t target_bytes) {
+  using Step = core::ProtocolEngine::Step;
+  using Status = core::ProtocolEngine::Status;
+  FramePool& pool = frame_pool(node);
+
+  // Same CLOCK sweep as evict_frames; only the kEvictPage round-trip
+  // changes shape — each remote candidate becomes a background engine
+  // transaction, so writebacks to the same home leave in one doorbell
+  // batch when the queue drains below. Local frees and home-frame spills
+  // stay synchronous (no wire work). Submissions count optimistically
+  // toward the target; a stale/busy ack just leaves the frame for the
+  // next patrol round.
+  std::vector<std::pair<GAddr, Pte*>> candidates;
+  page_table(node).for_each([&](GAddr page, Pte& pte) {
+    if (pte.data() != nullptr) candidates.emplace_back(page, &pte);
+  });
+  if (candidates.empty()) return;
+  std::sort(candidates.begin(), candidates.end());
+  const GAddr hand = pool.clock_hand();
+  const auto pivot = std::upper_bound(
+      candidates.begin(), candidates.end(), hand,
+      [](GAddr h, const std::pair<GAddr, Pte*>& c) { return h < c.first; });
+  std::rotate(candidates.begin(), pivot, candidates.end());
+
+  // Classify + snapshot one candidate and submit its eviction; returns the
+  // bytes this candidate is expected to free (0 = skipped).
+  auto submit_candidate = [&](GAddr page, Pte& pte) -> std::size_t {
+    DirEntry* entry = directory_.find(page);
+    bool local_free = false;
+    bool exclusive = false;
+    NodeId home = config_.origin;
+    if (entry == nullptr) {
+      local_free = true;
+    } else {
+      if (!entry->latch.try_lock()) {
+        stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+      std::lock_guard<HybridLatch> lock(entry->latch, std::adopt_lock);
+      home = home_of(*entry);
+      if (!entry->materialized) {
+        local_free = true;
+      } else if (home == node) {
+        return evict_home_frame(node, page, pte, *entry);
+      } else {
+        const PageState s = pte.state.load(std::memory_order_acquire);
+        if (s == PageState::kInvalid) {
+          local_free = true;
+        } else {
+          exclusive = s == PageState::kExclusive;
+        }
+      }
+    }
+
+    if (local_free) {
+      pte.lock.lock();
+      if (pte.state.load(std::memory_order_acquire) != PageState::kInvalid ||
+          pte.data() == nullptr) {
+        pte.lock.unlock();
+        return 0;
+      }
+      pte.seq.fetch_add(1, std::memory_order_release);
+      pte.version = kNoVersion;
+      pte.drop_spill();
+      pte.drop_frame();
+      pte.seq.fetch_add(1, std::memory_order_release);
+      pte.lock.unlock();
+      stats_.evictions_local.fetch_add(1, std::memory_order_relaxed);
+      return kPageSize;
+    }
+
+    // Remote copy: snapshot under the PTE lock, then let the engine carry
+    // the kEvictPage notification. The home re-validates under its entry
+    // lock, so a raced eviction fails closed exactly as in the
+    // synchronous path.
+    net::EvictPagePayload payload{};
+    payload.process_id = config_.process_id;
+    payload.page = page;
+    payload.node = node;
+    std::uint8_t image[kPageSize];
+    pte.lock.lock();
+    const PageState s = pte.state.load(std::memory_order_acquire);
+    if (pte.data() == nullptr ||
+        (s == PageState::kExclusive) != exclusive ||
+        (!exclusive && s != PageState::kShared)) {
+      pte.lock.unlock();
+      return 0;
+    }
+    payload.version = pte.version;
+    payload.exclusive = exclusive ? 1 : 0;
+    if (exclusive) std::memcpy(image, pte.data(), kPageSize);
+    pte.lock.unlock();
+
+    Message msg;
+    msg.type = MsgType::kEvictPage;
+    msg.dst = home;
+    if (exclusive) {
+      msg.payload.resize(sizeof(payload) + kPageSize);
+      std::memcpy(msg.payload.data(), &payload, sizeof(payload));
+      std::memcpy(msg.payload.data() + sizeof(payload), image, kPageSize);
+    } else {
+      msg.set_payload(payload);
+    }
+
+    core::ProtocolEngine::Submit submit;
+    submit.node = node;
+    submit.request = std::move(msg);
+    if (exclusive) {
+      // A dirty writeback may materialize the home frame in the pump's
+      // thread; the pump's batch admission replaces the synchronous
+      // reserve-or-skip dance.
+      Pte* home_pte = page_table(home).find(page);
+      bool resident = false;
+      if (home_pte != nullptr) {
+        home_pte->lock.lock();
+        resident = home_pte->data() != nullptr;
+        home_pte->lock.unlock();
+      }
+      if (!resident) submit.needs.emplace_back(home, 1);
+    }
+    submit.resume = [this, node, page,
+                     exclusive](net::CallOutcome&& out) -> Step {
+      Step step;  // always done: eviction is best-effort, never resent
+      if (out.status != Status::kOk) {
+        stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
+        return step;
+      }
+      const auto ack = out.reply.payload_as<net::EvictPageAckPayload>();
+      switch (static_cast<net::EvictResult>(ack.result)) {
+        case net::EvictResult::kEvicted:
+          if (exclusive) {
+            stats_.evictions_exclusive.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          } else {
+            stats_.evictions_shared.fetch_add(1, std::memory_order_relaxed);
+          }
+          record_fault(node, /*task=*/-1, page, prof::FaultKind::kEvict,
+                       nullptr);
+          break;
+        case net::EvictResult::kStale:
+          stats_.eviction_stale.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case net::EvictResult::kBusy:
+        case net::EvictResult::kWrongHome:
+          stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+      return step;
+    };
+    engine_->submit_background(std::move(submit));
+    return kPageSize;
+  };
+
+  std::size_t expected = 0;
+  for (int pass = 0; pass < 2 && expected < target_bytes; ++pass) {
+    for (auto& [page, pte] : candidates) {
+      if (expected >= target_bytes) break;
+      if (pte->data() == nullptr) continue;
+      if (pte->pinned()) {
+        stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (pte->referenced.exchange(0, std::memory_order_relaxed) != 0) {
+        stats_.eviction_skips.fetch_add(1, std::memory_order_relaxed);
+        continue;  // second chance
+      }
+      const std::size_t got = submit_candidate(page, *pte);
+      if (got != 0) {
+        expected += got;
+        pool.set_clock_hand(page);
+      }
+    }
+  }
+  // Drive the submissions now — same-home writebacks coalesce into
+  // doorbell batches here.
+  engine_->drain(node);
 }
 
 // ---------------------------------------------------------------------------
@@ -2037,6 +2695,7 @@ void Dsm::install_copy(NodeId node, GAddr page, const std::uint8_t* src,
   std::memcpy(pte.ensure_frame(), bounce, kPageSize);
   pte.version = version;
   pte.prefetched.store(0, std::memory_order_relaxed);  // a demand install
+  pte.install_ts.store(vclock::now(), std::memory_order_relaxed);
   pte.state.store(state, std::memory_order_release);
   pte.seq.fetch_add(1, std::memory_order_release);
   pte.lock.unlock();

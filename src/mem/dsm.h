@@ -36,6 +36,10 @@
 #include "net/fabric.h"
 #include "prof/trace.h"
 
+namespace dex::core {
+class ProtocolEngine;
+}
+
 namespace dex::mem {
 
 /// Thrown when an access hits no VMA or violates VMA protection — the
@@ -132,6 +136,15 @@ struct DsmConfig {
   /// Off reproduces the seed pessimistic protocol bit-for-bit (every
   /// access takes its mutex, one global fault table per node).
   bool optimistic_latching = true;
+  /// Async protocol engine (core::ProtocolEngine): leader faults become
+  /// resumable transactions driven by a cooperative per-node pump that
+  /// coalesces adjacent same-destination sends into doorbell batches and
+  /// completes parked faulters through a futex wake; lease renewals and
+  /// patrol eviction writebacks ride the same queue instead of detouring
+  /// synchronously. Off reproduces the blocking protocol bit-for-bit.
+  bool async_engine = false;
+  /// Transactions one pump keeps in flight per node (engine window depth).
+  int max_inflight_transactions = 16;
 };
 
 /// Bounce budget for chasing stale home hints: after this many kWrongHome
@@ -255,6 +268,25 @@ struct DsmStats {
   /// nodes at snapshot time); with one global table per node this is the
   /// per-node fault serialization the sharding removes.
   std::atomic<std::uint64_t> fault_table_contention{0};
+  // ---- Async protocol engine (DsmConfig::async_engine) ----
+  /// Transactions submitted to the engine (foreground + background);
+  /// mirrored from EngineStats at stats() snapshot, like the pool gauges.
+  std::atomic<std::uint64_t> engine_submitted{0};
+  /// Resume-closure invocations (one per completed doorbell-batch leg).
+  std::atomic<std::uint64_t> engine_resumes{0};
+  /// Transactions retired through the engine (futex-wake completions for
+  /// parked faulters, silent retirement for background work).
+  std::atomic<std::uint64_t> async_completions{0};
+  /// Outstanding-transaction depth: peak, and sum/samples for the mean.
+  std::atomic<std::uint64_t> engine_depth_peak{0};
+  std::atomic<std::uint64_t> engine_depth_sum{0};
+  std::atomic<std::uint64_t> engine_depth_samples{0};
+  /// Pump-role hand-offs to a parked submitter.
+  std::atomic<std::uint64_t> engine_pump_handoffs{0};
+  /// Doorbell batches posted (Fabric::post_batch with >1 leg charged one
+  /// posting gap) and the legs they carried; mirrored from the fabric.
+  std::atomic<std::uint64_t> doorbell_batches{0};
+  std::atomic<std::uint64_t> batched_posts{0};
   /// Granted (non-retry) page transactions by serving home node — the
   /// per-home fault distribution the analysis report surfaces.
   std::array<std::atomic<std::uint64_t>, kMaxNodes> faults_by_home{};
@@ -356,11 +388,20 @@ class Dsm {
                                 std::memory_order_relaxed);
     stats_.fault_table_contention.store(ft_contention,
                                         std::memory_order_relaxed);
+    mirror_engine_stats();
     return stats_;
   }
   FailureStats& failure_stats() { return failure_stats_; }
   prof::FaultTrace* trace() { return trace_; }
   net::Fabric& fabric() { return fabric_; }
+
+  /// Wires the async protocol engine in (Process owns it). Installs the
+  /// frame-admission hooks — the pump thread admits each doorbell batch's
+  /// summed frame needs before posting it — and routes leader faults,
+  /// lease renewals and patrol eviction writebacks through the engine when
+  /// DsmConfig::async_engine is set. Pass nullptr to detach.
+  void set_engine(core::ProtocolEngine* engine);
+  core::ProtocolEngine* engine() { return engine_; }
 
   void set_stream_intensity(double intensity) {
     config_.stream_intensity = intensity;
@@ -597,6 +638,64 @@ class Dsm {
   void handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
                               Access access, Pte& pte);
 
+  /// Whether the async engine drives this fault/renewal/eviction.
+  bool engine_on() const {
+    return config_.async_engine && engine_ != nullptr;
+  }
+
+  // ---- Async protocol engine (DsmConfig::async_engine) ----
+  /// The leader fault's retry loop as an engine transaction: the same
+  /// protocol decisions as the blocking loop (wrong-home chase, retry
+  /// backoff + blocking escalation, dead-target fallback to the origin),
+  /// expressed as a resume closure over a heap-held state struct so the
+  /// transaction survives suspension while siblings share the pump's
+  /// doorbell batches. Any stride-prefetch extras are split off as a
+  /// fire-and-forget background batch transaction rather than riding the
+  /// primary (they are opportunistic either way). Throws the blocking
+  /// path's exceptions (NodeDeadError / RpcError) on terminal failure.
+  void fault_via_engine(NodeId node, TaskId task, GAddr page, Access access,
+                        Pte& pte, int extras, const Vma& vma);
+
+  /// Arms a prefetch stream at `first_page`: submits the first
+  /// kPrefetchStreamInflight ladder windows at once, so the stream's wire
+  /// legs overlap from the start instead of chaining serially. Engine
+  /// mode only; the blocking path keeps extras on the primary.
+  void arm_prefetch_stream(NodeId node, TaskId task, GAddr first_page,
+                           NodeId target, GAddr limit,
+                           const std::string& tag);
+
+  /// One stride-prefetch window [start_page, start_page + count) as a
+  /// fire-and-forget background batch transaction — one rung of a
+  /// stream's ladder. When the whole window is granted, the resume
+  /// submits the window kPrefetchStreamInflight rungs ahead (fixed
+  /// spacing, clamped to `ladder_end`), keeping that many round trips of
+  /// one stream in flight at once; a tail rung parks the stride detector
+  /// at `ladder_end` so the consumer's demand fault there re-arms the
+  /// stream. The software analogue of a runahead streamer.
+  void submit_prefetch_window(NodeId node, TaskId task, GAddr start_page,
+                              int count, NodeId target, GAddr ladder_end,
+                              std::string tag);
+
+  /// maybe_renew_lease's RPC leg as a background engine transaction: the
+  /// snapshot happens synchronously under the PTE lock, the renewal rides
+  /// the engine, and the ack (renewed or stale) is applied in the resume —
+  /// the write that triggered the renewal proceeds without waiting.
+  void renew_lease_via_engine(NodeId node, TaskId task, GAddr page, Pte& pte,
+                              std::uint64_t version,
+                              const std::uint8_t* image);
+
+  /// Patrol eviction via the engine: one CLOCK sweep that classifies and
+  /// snapshots candidates synchronously (local frees stay synchronous) but
+  /// submits the kEvictPage writebacks as background transactions, then
+  /// drains the node's queue — evictions to the same home coalesce into
+  /// doorbell batches. Only used by the patrol; the allocation-pressure
+  /// path keeps the synchronous evict_frames (its caller owns the credit).
+  void patrol_evict_via_engine(NodeId node, std::size_t target_bytes);
+
+  /// Mirrors EngineStats + the fabric's doorbell counters into DsmStats
+  /// (stats() snapshot idiom).
+  void mirror_engine_stats();
+
   /// Known-version probe for an outgoing fault request: with optimistic
   /// latching, a seqcount-validated read that skips the PTE spinlock
   /// (restarts counted); otherwise the seed locked read. A stale value is
@@ -618,6 +717,8 @@ class Dsm {
   DsmConfig config_;
   NodeLoad* node_load_;
   prof::FaultTrace* trace_;
+  /// Owned by the Process (constructed only when async_engine is on).
+  core::ProtocolEngine* engine_ = nullptr;
 
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
   /// Declared before tables_: PTE teardown returns frames to the pools.

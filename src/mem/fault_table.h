@@ -99,6 +99,28 @@ class FaultTable {
                 .token = nullptr};
   }
 
+  /// Non-blocking leader attempt for the background prefetch streamer: if
+  /// no round is in flight for (page, access), start one and return
+  /// is_leader=true (the caller must later `complete` it); if a round IS
+  /// in flight, return is_leader=false WITHOUT waiting. The streamer uses
+  /// this to register every page of a window it is about to fetch, so a
+  /// demand fault on such a page coalesces as a follower of the in-flight
+  /// window instead of duplicating the wire transfer — and to truncate
+  /// the window at the first page some other round is already fetching.
+  Join try_lead(GAddr page, Access access) {
+    const Key key = make_key(page, access);
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto [it, inserted] = shard.table.try_emplace(key);
+    std::shared_ptr<Entry>& slot = it->second;
+    if (inserted) in_flight_.fetch_add(1, std::memory_order_relaxed);
+    if (!slot || slot->done) {
+      slot = std::make_shared<Entry>();
+      return Join{.is_leader = true, .completion_ts = 0, .token = slot};
+    }
+    return Join{.is_leader = false, .completion_ts = 0, .token = nullptr};
+  }
+
   /// Called by the leader once the PTE is updated. Wakes this round's
   /// followers and retires the entry.
   void complete(const Join& lead, GAddr page, Access access,

@@ -69,6 +69,13 @@ struct Pte {
   /// prefetcher and not yet touched; the fault fast path clears it and
   /// counts a prefetch hit, a revocation of a still-set flag counts waste.
   std::atomic<std::uint8_t> prefetched{0};
+  /// Virtual arrival time of the last data install, observed (and cleared)
+  /// by the first demand access: a consumer cannot read bytes before the
+  /// wire delivered them. A no-op for the blocking path (the faulter's
+  /// clock already passed the install when it resumes), it is what
+  /// throttles a scan consuming engine-prefetched pages to the pipeline's
+  /// real delivery schedule rather than racing ahead of physics.
+  std::atomic<VirtNs> install_ts{0};
   /// CLOCK reference bit: stamped on access when the node has a frame
   /// budget, cleared (second chance) by the eviction scan.
   std::atomic<std::uint8_t> referenced{0};

@@ -48,6 +48,19 @@ class StridePrefetcher {
     return extras;
   }
 
+  /// A chained engine stream parked at `page`, its next unfetched address
+  /// (it reached its runahead distance): prime the detector so the demand
+  /// fault that lands there resumes batching immediately instead of
+  /// re-proving the stride over kTriggerRun faults.
+  void park(TaskId task, GAddr page) {
+    Shard& shard = shard_for(task);
+    shard.lock.lock();
+    Stream& stream = shard.streams[task];
+    stream.next_expected = page;
+    stream.run = kTriggerRun;
+    shard.lock.unlock();
+  }
+
   /// Forgets every stream whose next expected page falls in [start, end).
   /// Wired from Dsm::munmap: stride state learned on a region must not
   /// survive its unmapping, or a future mapping of the same addresses

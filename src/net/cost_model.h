@@ -128,6 +128,14 @@ struct CostModel {
   VirtNs spill_write_ns = 10000;
   VirtNs spill_read_ns = 12000;
 
+  // ---- Async protocol engine (DsmConfig::async_engine) ----
+  /// Handing a prepared transaction to the engine's run queue (enqueue +
+  /// completion-word setup) on the submitting thread.
+  VirtNs engine_submit_ns = 400;
+  /// Resuming one suspended transaction when its reply arrives: popping the
+  /// run queue and re-entering the state machine.
+  VirtNs engine_resume_ns = 300;
+
   // ---- Local machine ----
   /// Fast-path software-MMU access check (amortized; real HW does this in
   /// the TLB for free, we keep it tiny so local runs aren't penalized).

@@ -437,6 +437,67 @@ std::vector<CallOutcome> Fabric::call_many(
   return outcomes;
 }
 
+std::vector<CallOutcome> Fabric::post_batch(
+    NodeId src, const std::vector<Message>& requests,
+    std::vector<VirtNs>* leg_done, const std::vector<VirtNs>* leg_floor) {
+  std::vector<CallOutcome> outcomes(requests.size());
+  if (leg_done != nullptr) leg_done->assign(requests.size(), 0);
+  if (requests.empty()) return outcomes;
+  const NodeId dst = requests.front().dst;
+  for (const Message& request : requests) {
+    DEX_CHECK_MSG(request.dst == dst,
+                  "post_batch legs must share a destination");
+  }
+  // Unlike call_one(), a dead source is captured per-leg too: the posting
+  // thread is the engine's pump, not the transaction's submitter, and the
+  // engine decides who unwinds.
+  auto leg = [this, src](const Message& request, CallOutcome& out) {
+    try {
+      out.reply = call(src, request);
+      out.status = CallOutcome::Status::kOk;
+    } catch (const NodeDeadError&) {
+      out.status = CallOutcome::Status::kNodeDead;
+    } catch (const RpcError&) {
+      out.status = CallOutcome::Status::kFailed;
+    }
+  };
+  if (requests.size() <= 1 || !options_.mode.overlapped_fanout) {
+    // Serial fallback (and the ablation): one post gap per leg, like a
+    // driver that rings the doorbell per work request.
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (leg_floor != nullptr) vclock::observe((*leg_floor)[i]);
+      leg(requests[i], outcomes[i]);
+      if (leg_done != nullptr) (*leg_done)[i] = vclock::now();
+    }
+    return outcomes;
+  }
+  doorbell_batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_posts_.fetch_add(requests.size(), std::memory_order_relaxed);
+  // The sender chains all work requests and rings the doorbell ONCE
+  // (SMART's read_batches_sync): every leg's scratch clock starts after a
+  // single posting gap, not call_many's i-th multiple, and the caller
+  // observes the latest leg finish.
+  const VirtNs t0 = vclock::now();
+  VirtNs latest = t0;
+  {
+    ScopedGateBlock parked("doorbell_wait");
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      VirtNs start = t0 + options_.cost.fanout_post_gap_ns;
+      if (leg_floor != nullptr) start = std::max(start, (*leg_floor)[i]);
+      VirtualClock leg_clock(start);
+      {
+        ScopedClockBinding bind(&leg_clock);
+        leg(requests[i], outcomes[i]);
+      }
+      if (vclock::coupling_enabled()) TimeGate::instance().leave(&leg_clock);
+      if (leg_done != nullptr) (*leg_done)[i] = leg_clock.now();
+      latest = std::max(latest, leg_clock.now());
+    }
+  }
+  vclock::observe(latest);
+  return outcomes;
+}
+
 void Fabric::post_many(NodeId src, const std::vector<Message>& requests) {
   if (requests.size() <= 1 || !options_.mode.overlapped_fanout) {
     for (const Message& request : requests) post(src, request);

@@ -175,6 +175,28 @@ class Fabric {
   std::vector<CallOutcome> call_many(NodeId src,
                                      const std::vector<Message>& requests);
 
+  /// Doorbell batch: `requests` all target the SAME destination and are
+  /// posted as one work-request chain with a single doorbell ring (SMART's
+  /// read_batches_sync) — the caller is charged ONE posting gap for the
+  /// whole batch instead of one per leg, and the legs' round trips overlap
+  /// like call_many(). Each leg keeps call()'s full semantics (retry,
+  /// backoff, dedup, error capture); unlike call_many(), a dead *source* is
+  /// also reported per-leg (kNodeDead) instead of thrown — the async engine
+  /// owns the unwind policy, not the posting thread. With
+  /// FabricMode::overlapped_fanout off, legs run serially (ablation).
+  /// When `leg_done` is non-null it receives each leg's completion time, so
+  /// the engine can wake a transaction at its own leg's finish instead of
+  /// the batch's max — a short demand leg is not delayed by a long
+  /// prefetch-payload leg sharing its doorbell. When `leg_floor` is
+  /// non-null, leg i may not start before (*leg_floor)[i]: the engine
+  /// passes the finish times of the legs posted max_inflight earlier, so a
+  /// depth-D NIC queue never has more than D transfers virtually in flight
+  /// no matter how fast the pump posts.
+  std::vector<CallOutcome> post_batch(
+      NodeId src, const std::vector<Message>& requests,
+      std::vector<VirtNs>* leg_done = nullptr,
+      const std::vector<VirtNs>* leg_floor = nullptr);
+
   /// Fan-out of one-way posts (eager VMA broadcasts, reclaim sweeps) with
   /// the same overlap accounting as call_many(). Posts to dead nodes are
   /// discarded and counted, matching post().
@@ -245,6 +267,12 @@ class Fabric {
   std::uint64_t fanout_legs() const {
     return fanout_legs_.load(std::memory_order_relaxed);
   }
+  std::uint64_t doorbell_batches() const {
+    return doorbell_batches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t batched_posts() const {
+    return batched_posts_.load(std::memory_order_relaxed);
+  }
   void reset_counters();
 
  private:
@@ -305,6 +333,8 @@ class Fabric {
   std::atomic<std::uint64_t> posts_to_dead_{0};
   std::atomic<std::uint64_t> fanout_calls_{0};
   std::atomic<std::uint64_t> fanout_legs_{0};
+  std::atomic<std::uint64_t> doorbell_batches_{0};
+  std::atomic<std::uint64_t> batched_posts_{0};
 };
 
 }  // namespace dex::net

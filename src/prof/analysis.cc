@@ -214,6 +214,28 @@ std::string TraceAnalysis::format_report(std::size_t limit) const {
       os << "  lease journal: " << counters_.journal_bytes
          << " B live, " << counters_.journal_gcs << " entries GCed\n";
     }
+    if (counters_.engine_submitted > 0) {
+      const double mean_depth =
+          counters_.engine_depth_samples > 0
+              ? static_cast<double>(counters_.engine_depth_sum) /
+                    static_cast<double>(counters_.engine_depth_samples)
+              : 0.0;
+      os << "  async engine: " << counters_.engine_submitted
+         << " transactions, " << counters_.async_completions
+         << " completions, " << counters_.engine_resumes << " resumes, "
+         << counters_.engine_pump_handoffs << " pump handoffs\n";
+      os << "  engine depth: peak " << counters_.engine_depth_peak
+         << ", mean " << mean_depth << "\n";
+      os << "  doorbell batching: " << counters_.doorbell_batches
+         << " batches carrying " << counters_.batched_posts << " posts";
+      if (counters_.doorbell_batches > 0) {
+        os << " ("
+           << static_cast<double>(counters_.batched_posts) /
+                  static_cast<double>(counters_.doorbell_batches)
+           << " legs/doorbell)";
+      }
+      os << "\n";
+    }
   }
   return os.str();
 }

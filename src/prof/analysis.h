@@ -99,6 +99,16 @@ struct ProtocolCounters {
   std::uint64_t backpressure_overshoots = 0;
   std::uint64_t journal_bytes = 0;
   std::uint64_t journal_gcs = 0;
+  // ---- Async protocol engine (async_engine; DsmStats/Fabric) ----
+  std::uint64_t engine_submitted = 0;
+  std::uint64_t engine_resumes = 0;
+  std::uint64_t async_completions = 0;
+  std::uint64_t engine_depth_peak = 0;
+  std::uint64_t engine_depth_sum = 0;
+  std::uint64_t engine_depth_samples = 0;
+  std::uint64_t engine_pump_handoffs = 0;
+  std::uint64_t doorbell_batches = 0;
+  std::uint64_t batched_posts = 0;
 };
 
 class TraceAnalysis {

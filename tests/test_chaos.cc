@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/api.h"
+#include "core/engine.h"
 #include "net/rpc_error.h"
 
 namespace dex {
@@ -993,6 +994,144 @@ TEST_F(ForwardChaosTest, OwnerDeathMidForwardReclaimsToOriginFrame) {
   reader.join();
   EXPECT_FALSE(reader.failed());
   EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+// ---------------------------------------------------------------------------
+// Async protocol engine under chaos
+// ---------------------------------------------------------------------------
+
+class ChaosEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_nodes = 3;
+    config.retry.max_attempts = 6;
+    cluster_ = std::make_unique<Cluster>(config);
+    ProcessOptions options;
+    options.async_engine = true;
+    options.max_inflight_transactions = 8;
+    options.prefetch_max_pages = 4;
+    process_ = cluster_->create_process(options);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Process> process_;
+};
+
+// A dropped doorbell-batch leg is retried by the fabric's post-retransmit
+// machinery for that leg alone: every transaction sharing the doorbell
+// still completes, the memory image is exact, and no engine slot leaks.
+TEST_F(ChaosEngineTest, DroppedDoorbellLegRetriesIndependently) {
+  Watchdog dog(60);
+  constexpr std::size_t kPages = 24;
+  GArray<std::uint64_t> data(*process_, kPages * kPageSize / 8, "scan");
+  for (std::size_t p = 0; p < kPages; ++p) data.set(p * 512, p + 1);
+
+  FaultPolicy policy;
+  policy.seed = 11;
+  FaultRule rule;
+  rule.type = MsgType::kPageRequestBatch;
+  rule.src = 1;
+  rule.dst = 0;
+  rule.drop_prob = 1.0;
+  rule.max_faults = 1;
+  policy.rules.push_back(rule);
+  cluster_->fabric().injector().configure(policy);
+
+  // Two scanners on one node: their demand faults and prefetch windows
+  // share doorbells, so the dropped leg rides next to healthy ones.
+  std::vector<DexThread> scanners;
+  for (int t = 0; t < 2; ++t) {
+    scanners.push_back(process_->spawn([&, t] {
+      migrate(1);
+      const std::size_t begin = t == 0 ? 0 : kPages / 2;
+      const std::size_t end = t == 0 ? kPages / 2 : kPages;
+      for (std::size_t p = begin; p < end; ++p) {
+        EXPECT_EQ(data.get(p * 512), p + 1);
+      }
+      migrate_back();
+    }));
+  }
+  for (auto& s : scanners) {
+    s.join();
+    EXPECT_FALSE(s.failed());
+  }
+
+  EXPECT_EQ(cluster_->fabric().injector().drops(), 1u);
+  auto& stats = process_->dsm().stats();
+  EXPECT_GT(stats.engine_submitted.load(), 0u);
+  EXPECT_GT(stats.doorbell_batches.load(), 0u);
+  // No parked transaction survived the workload: every submitted
+  // transaction completed and woke its faulter.
+  EXPECT_EQ(process_->dsm().engine()->outstanding(), 0u);
+  EXPECT_TRUE(process_->dsm().check_invariants());
+}
+
+// A transaction whose destination dies mid-flight completes with a
+// kNodeDead leg outcome instead of leaving the faulter parked forever:
+// the resume falls back to the origin (which reclaims dead homes), the
+// faulter wakes with good data, and neither engine slots nor FramePool
+// credit leak.
+TEST_F(ChaosEngineTest, NodeDeathCompletesParkedTransactions) {
+  Watchdog dog(60);
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.retry.max_attempts = 6;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.async_engine = true;
+  options.max_inflight_transactions = 8;
+  options.prefetch_max_pages = 4;
+  options.home_migration = true;  // homes can sit on a killable node
+  options.frame_budget_bytes = 64 * kPageSize;  // admission credit in play
+  auto process = cluster.create_process(options);
+
+  constexpr std::size_t kPages = 8;
+  GArray<std::uint64_t> data(*process, kPages * kPageSize / 8, "hostage");
+
+  // Node 2 rewrites the range until every entry homes there.
+  DexThread adopter = process->spawn([&] {
+    migrate(2);
+    for (int round = 0; round < 6; ++round) {
+      for (std::size_t p = 0; p < kPages; ++p) {
+        data.set(p * 512, static_cast<std::uint64_t>(p) * 10 + 1);
+      }
+    }
+    migrate_back();
+  });
+  adopter.join();
+  EXPECT_FALSE(adopter.failed());
+
+  // Replicate the values to the origin first: node 2's dirty frames die
+  // with it, and the origin's shared copies become authoritative.
+  for (std::size_t p = 0; p < kPages; ++p) {
+    EXPECT_EQ(data.get(p * 512), p * 10 + 1);
+  }
+
+  // Kill the adopted home. Every engine leg node 1 sends there — demand
+  // faults and the scan's prefetch windows alike — lands kNodeDead; the
+  // resume falls back to the origin and wakes the faulter instead of
+  // leaving it parked on a slot that can never complete.
+  cluster.fail_node(2);
+  DexThread faulter = process->spawn([&] {
+    migrate(1);
+    for (std::size_t p = 0; p < kPages; ++p) {
+      EXPECT_EQ(data.get(p * 512), p * 10 + 1);
+    }
+    migrate_back();
+  });
+  faulter.join();
+  EXPECT_FALSE(faulter.failed());
+
+  auto& stats = process->dsm().stats();
+  EXPECT_GT(stats.engine_submitted.load(), 0u);
+  EXPECT_EQ(process->dsm().engine()->outstanding(), 0u);
+  // Admission credit reserved for in-flight doorbells was fully returned.
+  for (NodeId n = 0; n < 4; ++n) {
+    if (n == 2) continue;
+    EXPECT_EQ(process->dsm().frame_pool(n).credit_bytes(), 0u) << n;
+  }
+  EXPECT_TRUE(process->dsm().check_invariants());
 }
 
 }  // namespace

@@ -1,0 +1,216 @@
+// ProtocolEngine unit tests: doorbell batching, window bounding by the
+// depth knob, pump-role handoff, background drain, and the pump's
+// CPU-cost accounting — all against a bare Fabric, no DSM above.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/virtual_clock.h"
+#include "core/engine.h"
+#include "core/futex.h"
+#include "net/fabric.h"
+
+namespace dex::core {
+namespace {
+
+using net::Message;
+using net::MsgType;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static net::FabricOptions make_options() {
+    net::FabricOptions options;
+    options.num_nodes = 3;
+    return options;
+  }
+
+  EngineTest() : fabric_(make_options()) {
+    fabric_.register_handler(MsgType::kVmaUpdate, [this](const Message& msg) {
+      handler_runs_.fetch_add(1, std::memory_order_relaxed);
+      Message reply;
+      reply.type = MsgType::kVmaUpdate;
+      reply.set_payload(msg.payload_as<std::uint64_t>() + 1);
+      return reply;
+    });
+  }
+
+  /// A one-leg transaction: echo request to `dst`, done on first reply.
+  ProtocolEngine::Submit echo(NodeId src, NodeId dst, std::uint64_t value,
+                              std::atomic<int>* completed = nullptr) {
+    ProtocolEngine::Submit submit;
+    submit.node = src;
+    submit.request.type = MsgType::kVmaUpdate;
+    submit.request.dst = dst;
+    submit.request.set_payload(value);
+    submit.resume = [value, completed](net::CallOutcome&& out) {
+      ProtocolEngine::Step step;
+      if (out.status == net::CallOutcome::Status::kOk) {
+        EXPECT_EQ(out.reply.payload_as<std::uint64_t>(), value + 1);
+        if (completed != nullptr) {
+          completed->fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        step.status = out.status;
+      }
+      return step;
+    };
+    return submit;
+  }
+
+  net::Fabric fabric_;
+  FutexTable futex_;
+  std::atomic<int> handler_runs_{0};
+};
+
+// Background transactions submitted back-to-back to one destination leave
+// in doorbell batches, not single posts: drain() must retire them all in
+// far fewer doorbells than transactions.
+TEST_F(EngineTest, BackgroundDrainBatchesDoorbells) {
+  ProtocolEngine engine(fabric_, 3, /*max_inflight=*/8);
+  engine.bind_futex(futex_);
+
+  std::atomic<int> completed{0};
+  constexpr int kTxns = 8;
+  for (int i = 0; i < kTxns; ++i) {
+    engine.submit_background(
+        echo(0, 1, static_cast<std::uint64_t>(i), &completed));
+  }
+  engine.drain(0);
+
+  EXPECT_EQ(completed.load(), kTxns);
+  EXPECT_EQ(handler_runs_.load(), kTxns);
+  EXPECT_EQ(engine.outstanding(), 0u);
+  EXPECT_EQ(engine.stats().submitted.load(),
+            static_cast<std::uint64_t>(kTxns));
+  EXPECT_EQ(engine.stats().completions.load(),
+            static_cast<std::uint64_t>(kTxns));
+  // One pump pass takes the whole backlog: one doorbell, kTxns legs.
+  EXPECT_EQ(fabric_.doorbell_batches(), 1u);
+  EXPECT_EQ(fabric_.batched_posts(), static_cast<std::uint64_t>(kTxns));
+}
+
+// The depth knob bounds every doorbell window: 6 transactions through a
+// depth-2 engine need at least 3 doorbells, never one wide one.
+TEST_F(EngineTest, WindowNeverExceedsMaxInflight) {
+  ProtocolEngine engine(fabric_, 3, /*max_inflight=*/2);
+  engine.bind_futex(futex_);
+
+  std::atomic<int> completed{0};
+  constexpr int kTxns = 6;
+  for (int i = 0; i < kTxns; ++i) {
+    engine.submit_background(
+        echo(0, 1, static_cast<std::uint64_t>(i), &completed));
+  }
+  engine.drain(0);
+
+  EXPECT_EQ(completed.load(), kTxns);
+  EXPECT_GE(fabric_.doorbell_batches(), 3u);
+  EXPECT_EQ(fabric_.batched_posts(), static_cast<std::uint64_t>(kTxns));
+  EXPECT_EQ(engine.outstanding(), 0u);
+}
+
+// Transactions from one node to different destinations split into
+// per-destination doorbells within a single pump pass.
+TEST_F(EngineTest, DoorbellsGroupByDestination) {
+  ProtocolEngine engine(fabric_, 3, /*max_inflight=*/8);
+  engine.bind_futex(futex_);
+
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 4; ++i) {
+    engine.submit_background(
+        echo(0, 1 + i % 2, static_cast<std::uint64_t>(i), &completed));
+  }
+  engine.drain(0);
+
+  EXPECT_EQ(completed.load(), 4);
+  EXPECT_GE(fabric_.doorbell_batches(), 2u);  // one per destination
+  EXPECT_EQ(fabric_.batched_posts(), 4u);
+}
+
+// A foreground submitter that finds the pump role taken parks; when the
+// pump's own transaction completes, the role is handed off with a poke
+// and the parked submitter elects itself. Forced deterministically: the
+// first transaction's handler stalls in real time until the second
+// submitter has had ample time to enqueue and park.
+TEST_F(EngineTest, PumpHandoffPokesParkedSubmitter) {
+  ProtocolEngine engine(fabric_, 3, /*max_inflight=*/8);
+  engine.bind_futex(futex_);
+
+  std::atomic<bool> second_submitted{false};
+  fabric_.register_handler(MsgType::kAck, [&](const Message& msg) {
+    // Hold the pump inside its own leg until the second submitter queued.
+    for (int spin = 0; spin < 2000 && !second_submitted.load(); ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Message reply;
+    reply.type = MsgType::kAck;
+    reply.set_payload(msg.payload_as<std::uint64_t>() + 1);
+    return reply;
+  });
+
+  std::thread first([&] {
+    VirtualClock clock(0);
+    ScopedClockBinding bind(&clock);
+    ProtocolEngine::Submit submit;
+    submit.node = 0;
+    submit.request.type = MsgType::kAck;
+    submit.request.dst = 1;
+    submit.request.set_payload(std::uint64_t{7});
+    submit.resume = [](net::CallOutcome&& out) {
+      EXPECT_EQ(out.reply.payload_as<std::uint64_t>(), 8u);
+      return ProtocolEngine::Step{};
+    };
+    EXPECT_EQ(engine.run(std::move(submit)),
+              net::CallOutcome::Status::kOk);
+  });
+
+  std::thread second([&] {
+    VirtualClock clock(0);
+    ScopedClockBinding bind(&clock);
+    // Give the first submitter time to take the pump role and post.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::atomic<int> completed{0};
+    auto submit = echo(0, 1, 21, &completed);
+    second_submitted.store(true);
+    EXPECT_EQ(engine.run(std::move(submit)),
+              net::CallOutcome::Status::kOk);
+    EXPECT_EQ(completed.load(), 1);
+  });
+
+  first.join();
+  second.join();
+  EXPECT_EQ(engine.outstanding(), 0u);
+  // The handoff fired iff the second submitter was still parked when the
+  // first released the role; the stalling handler makes that the common
+  // case, but a slow first thread may complete the second's transaction
+  // in its own pump window instead — both end with everything retired.
+  EXPECT_LE(engine.stats().pump_handoffs.load(), 1u);
+}
+
+// The pump charges its own clock per-leg CPU costs only (submit charge on
+// the caller, posting gap and resume per leg): a foreground run()'s caller
+// clock must advance by at least those plus one wire round trip.
+TEST_F(EngineTest, RunChargesSubmitPostGapAndResume) {
+  ProtocolEngine engine(fabric_, 3, /*max_inflight=*/8);
+  engine.bind_futex(futex_);
+
+  VirtualClock clock(0);
+  ScopedClockBinding bind(&clock);
+  std::atomic<int> completed{0};
+  EXPECT_EQ(engine.run(echo(0, 1, 3, &completed)),
+            net::CallOutcome::Status::kOk);
+  EXPECT_EQ(completed.load(), 1);
+
+  const net::CostModel& cost = fabric_.cost();
+  // Lower bound: the engine's own CPU charges plus a nonzero wire leg.
+  EXPECT_GE(clock.now(), cost.engine_submit_ns + cost.fanout_post_gap_ns +
+                             cost.engine_resume_ns);
+  EXPECT_EQ(engine.stats().resumes.load(), 1u);
+  EXPECT_EQ(engine.stats().completions.load(), 1u);
+}
+
+}  // namespace
+}  // namespace dex::core

@@ -286,6 +286,74 @@ TEST_P(ProtocolProperty, BudgetedRunPreservesTheMemoryImage) {
   EXPECT_EQ(image[0], image[1]);
 }
 
+// Property: the async protocol engine is invisible to the memory image.
+// The same randomized workload — contended strided writers plus a
+// sequential read scan that arms prefetch streams — must end bit-identical
+// with the engine off (blocking seed protocol, every engine counter
+// provably zero) and on (transactions actually flowing through doorbell
+// batches on multi-node shapes), with directory invariants throughout.
+TEST_P(ProtocolProperty, AsyncEnginePreservesTheMemoryImage) {
+  const Shape shape = GetParam();
+  constexpr std::size_t kSlots = 4096;  // 8 pages of strided slots
+
+  std::vector<std::uint64_t> image[2];
+  for (int on = 0; on <= 1; ++on) {
+    ClusterConfig config;
+    config.num_nodes = shape.nodes;
+    Cluster cluster(config);
+    ProcessOptions options;
+    options.coalesce_faults = shape.coalesce;
+    options.async_engine = on != 0;
+    options.max_inflight_transactions = 8;
+    options.prefetch_max_pages = 4;  // scans arm engine-ridden streams
+    auto process = cluster.create_process(options);
+
+    GArray<std::uint64_t> slots(*process, kSlots, "slots");
+    std::vector<DexThread> threads;
+    for (int t = 0; t < shape.threads; ++t) {
+      threads.push_back(process->spawn([&, t] {
+        Xoshiro256 rng(static_cast<std::uint64_t>(t) * 613 + 11);
+        migrate(static_cast<NodeId>(t % shape.nodes));
+        for (int round = 0; round < 80; ++round) {
+          const std::size_t slot =
+              static_cast<std::size_t>(t) +
+              static_cast<std::size_t>(rng.next_below(
+                  kSlots / static_cast<std::size_t>(shape.threads))) *
+                  static_cast<std::size_t>(shape.threads);
+          slots.set(slot, (static_cast<std::uint64_t>(t) << 32) |
+                              static_cast<std::uint64_t>(round));
+        }
+        // Sequential sweep: the stride detector proves a stream and the
+        // engine (when on) runs the chained prefetch windows.
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < kSlots; i += 64) sum += slots.get(i);
+        (void)sum;
+        migrate_back();
+      }));
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_TRUE(process->dsm().check_invariants());
+
+    auto& stats = process->dsm().stats();
+    if (on == 0) {
+      // Engine off is the blocking seed protocol bit-for-bit: no
+      // transaction ever touches the engine, no doorbell ever posts.
+      EXPECT_EQ(stats.engine_submitted.load(), 0u);
+      EXPECT_EQ(stats.engine_resumes.load(), 0u);
+      EXPECT_EQ(stats.doorbell_batches.load(), 0u);
+      EXPECT_EQ(stats.batched_posts.load(), 0u);
+      EXPECT_EQ(stats.engine_pump_handoffs.load(), 0u);
+    } else if (shape.nodes > 1) {
+      // Remote faults existed, so they rode the engine.
+      EXPECT_GT(stats.engine_submitted.load(), 0u);
+    }
+
+    image[on].resize(kSlots);
+    slots.read_block(0, kSlots, image[on].data());
+  }
+  EXPECT_EQ(image[0], image[1]);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, ProtocolProperty,
     ::testing::Values(Shape{1, 4, true}, Shape{2, 4, true},
