@@ -554,6 +554,142 @@ SaturationResult run_saturation(bool async_engine, int depth) {
   return result;
 }
 
+/// Host-side generation barrier for lock-stepping bench threads without
+/// riding the DSM (same rationale as mode 8's release gate): arrivals
+/// CAS-max their virtual timestamps into a shared word, spin gate-excluded
+/// until the generation flips, then observe the max so every participant
+/// leaves the barrier at the same virtual time.
+class HostBarrier {
+ public:
+  explicit HostBarrier(int n) : n_(n) {}
+
+  void arrive_and_wait() {
+    const dex::VirtNs me = dex::vclock::now();
+    dex::VirtNs seen = vts_.load();
+    while (me > seen && !vts_.compare_exchange_weak(seen, me)) {
+    }
+    const std::uint64_t gen = gen_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1) + 1 == n_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      gen_.fetch_add(1, std::memory_order_release);
+    } else {
+      dex::ScopedGateBlock gate_block("bench_barrier");
+      while (gen_.load(std::memory_order_acquire) == gen) {
+        std::this_thread::yield();
+      }
+    }
+    dex::vclock::observe(vts_.load());
+  }
+
+ private:
+  const int n_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<dex::VirtNs> vts_{0};
+};
+
+/// Misplaced-thread convergence (the joint thread<->page placement
+/// ablation): four writer threads are parked on nodes 1/2 while their
+/// disjoint 32-page partitions stay homed at node 0 (home migration off,
+/// so pages cannot chase them), and a node-0 anchor re-reads every
+/// partition between write rounds so each round's writes fault remotely
+/// again. Off, every one of the ~24x32 write upgrades per thread pays the
+/// full wire round trip to node 0 forever. On, the advisor sees each
+/// thread's fault mass pinned at node 0 within a few 16-fault windows and
+/// migrates the thread there; writers and anchor then share node 0's copy
+/// and the fault stream dries up. Rounds are lock-stepped with a host
+/// barrier so the writer/anchor interleaving — and thus the fault counts —
+/// are host-scheduling independent.
+struct MisplacedResult {
+  dex::VirtNs elapsed_ns = 0;
+  std::uint64_t faults = 0;          // demand faults during measured rounds
+  std::uint64_t remote_faults = 0;
+  double mean_fault_ns = 0;
+  std::uint64_t thread_migrations = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t vetoes = 0;
+  std::uint64_t deferrals = 0;
+  std::uint64_t hints_warmed = 0;
+};
+
+MisplacedResult run_misplaced(bool auto_migration) {
+  using namespace dex;
+  ClusterConfig cluster_config;
+  cluster_config.num_nodes = 3;  // data home + 2 misplaced-thread nodes
+  Cluster cluster(cluster_config);
+  ProcessOptions options;
+  options.home_migration = false;  // pages stay pinned: threads must move
+  options.prefetch_max_pages = 0;
+  options.auto_thread_migration = auto_migration;
+  auto process = cluster.create_process(options);
+
+  constexpr int kWorkers = 4;
+  constexpr std::size_t kPartPages = 32;
+  constexpr int kRounds = 24;
+  constexpr std::size_t kPages = kWorkers * kPartPages;
+  GArray<std::uint64_t> data(*process, kPages * kPageSize / 8, "parts");
+  for (std::size_t p = 0; p < kPages; ++p) data.set(p * 512, p);
+
+  fault_histogram(*process)->reset();
+  auto& stats = process->dsm().stats();
+  const std::uint64_t remote_before = stats.remote_faults.load();
+
+  HostBarrier bar(kWorkers + 1);
+  std::atomic<VirtNs> span_start{std::numeric_limits<VirtNs>::max()};
+  std::atomic<VirtNs> span_end{0};
+  std::vector<DexThread> workers;
+  workers.reserve(kWorkers);
+  for (int t = 0; t < kWorkers; ++t) {
+    workers.push_back(process->spawn([&, t] {
+      migrate(1 + t % 2);  // the misplaced starting position
+      bar.arrive_and_wait();
+      const VirtNs start = now();
+      const std::size_t base = static_cast<std::size_t>(t) * kPartPages;
+      for (int r = 1; r <= kRounds; ++r) {
+        for (std::size_t p = 0; p < kPartPages; ++p) {
+          data.set((base + p) * 512,
+                   static_cast<std::uint64_t>(r) * 1000 + p);
+          compute(200);
+        }
+        bar.arrive_and_wait();  // writes visible; anchor sweeps...
+        bar.arrive_and_wait();  // ...and the next round may begin
+      }
+      const VirtNs end = now();
+      VirtNs cur = span_start.load();
+      while (start < cur && !span_start.compare_exchange_weak(cur, start)) {
+      }
+      cur = span_end.load();
+      while (end > cur && !span_end.compare_exchange_weak(cur, end)) {
+      }
+      migrate_back();
+    }));
+  }
+  DexThread anchor = process->spawn([&] {
+    bar.arrive_and_wait();
+    for (int r = 1; r <= kRounds; ++r) {
+      bar.arrive_and_wait();  // workers finished writing round r
+      std::uint64_t sum = 0;
+      for (std::size_t p = 0; p < kPages; ++p) sum += data.get(p * 512);
+      (void)sum;
+      bar.arrive_and_wait();  // sweep done: copies downgraded to shared
+    }
+  });
+  for (auto& w : workers) w.join();
+  anchor.join();
+
+  MisplacedResult result;
+  result.elapsed_ns = span_end.load() - span_start.load();
+  result.faults = fault_histogram(*process)->count();
+  result.remote_faults = stats.remote_faults.load() - remote_before;
+  result.mean_fault_ns = fault_histogram(*process)->mean();
+  result.thread_migrations = stats.thread_migrations_auto.load();
+  result.windows = stats.placement_windows.load();
+  result.vetoes = stats.placement_vetoes.load();
+  result.deferrals = stats.placement_deferrals.load();
+  result.hints_warmed = stats.placement_hints_warmed.load();
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -1005,6 +1141,63 @@ int main() {
     json.set("async_engine", "speedup_saturated", speedup_saturated);
     json.set("async_engine", "depth_saturated",
              static_cast<double>(depth_saturated));
+  }
+
+  // ---- mode 9: misplaced-thread convergence — joint thread<->page
+  // placement against the application-directed ablation ----
+  {
+    const MisplacedResult off = run_misplaced(/*auto_migration=*/false);
+    const MisplacedResult on = run_misplaced(/*auto_migration=*/true);
+    const double speedup = on.elapsed_ns > 0
+                               ? static_cast<double>(off.elapsed_ns) /
+                                     static_cast<double>(on.elapsed_ns)
+                               : 0.0;
+    std::printf(
+        "\nthread placement (4 misplaced writers, 32 pages x 24 rounds): "
+        "auto %s us vs pinned %s us wall  -> %.2fx\n",
+        us(on.elapsed_ns).c_str(), us(off.elapsed_ns).c_str(), speedup);
+    std::printf(
+        "             %llu threads migrated over %llu windows; remote "
+        "faults %llu vs %llu pinned; %llu vetoes, %llu hints warmed\n",
+        static_cast<unsigned long long>(on.thread_migrations),
+        static_cast<unsigned long long>(on.windows),
+        static_cast<unsigned long long>(on.remote_faults),
+        static_cast<unsigned long long>(off.remote_faults),
+        static_cast<unsigned long long>(on.vetoes),
+        static_cast<unsigned long long>(on.hints_warmed));
+    json.set("thread_migration", "speedup", speedup);
+    json.set("thread_migration", "migrations",
+             static_cast<double>(on.thread_migrations));
+
+    JsonDoc tm;
+    tm.set("misplaced", "workers", 4.0);
+    tm.set("misplaced", "partition_pages", 32.0);
+    tm.set("misplaced", "rounds", 24.0);
+    tm.set("misplaced", "elapsed_ns_auto", static_cast<double>(on.elapsed_ns));
+    tm.set("misplaced", "elapsed_ns_pinned",
+           static_cast<double>(off.elapsed_ns));
+    tm.set("misplaced", "speedup", speedup);
+    tm.set("misplaced", "faults_auto", static_cast<double>(on.faults));
+    tm.set("misplaced", "faults_pinned", static_cast<double>(off.faults));
+    tm.set("misplaced", "remote_faults_auto",
+           static_cast<double>(on.remote_faults));
+    tm.set("misplaced", "remote_faults_pinned",
+           static_cast<double>(off.remote_faults));
+    tm.set("misplaced", "mean_fault_ns_auto", on.mean_fault_ns);
+    tm.set("misplaced", "mean_fault_ns_pinned", off.mean_fault_ns);
+    tm.set("misplaced", "thread_migrations",
+           static_cast<double>(on.thread_migrations));
+    tm.set("misplaced", "placement_windows",
+           static_cast<double>(on.windows));
+    tm.set("misplaced", "placement_vetoes", static_cast<double>(on.vetoes));
+    tm.set("misplaced", "placement_deferrals",
+           static_cast<double>(on.deferrals));
+    tm.set("misplaced", "hints_warmed",
+           static_cast<double>(on.hints_warmed));
+    tm.set("misplaced", "placement_counters_pinned",
+           static_cast<double>(off.thread_migrations + off.windows +
+                               off.vetoes + off.deferrals));
+    tm.write("BENCH_thread_migration.json");
   }
 
   json.write("BENCH_pagefault.json");

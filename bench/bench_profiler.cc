@@ -70,6 +70,12 @@ int main() {
       counters.engine_pump_handoffs = result.engine_pump_handoffs;
       counters.doorbell_batches = result.doorbell_batches;
       counters.batched_posts = result.batched_posts;
+      counters.thread_migrations_auto = result.thread_migrations_auto;
+      counters.placement_windows = result.placement_windows;
+      counters.placement_vetoes = result.placement_vetoes;
+      counters.placement_deferrals = result.placement_deferrals;
+      counters.placement_arbitrations = result.placement_arbitrations;
+      counters.placement_hints_warmed = result.placement_hints_warmed;
       analysis.set_protocol_counters(counters);
       std::printf("%s\n", analysis.format_report(6).c_str());
     }

@@ -84,6 +84,12 @@ void snapshot_stats(core::Process& process, RunResult& result) {
   result.engine_pump_handoffs = stats.engine_pump_handoffs.load();
   result.doorbell_batches = stats.doorbell_batches.load();
   result.batched_posts = stats.batched_posts.load();
+  result.thread_migrations_auto = stats.thread_migrations_auto.load();
+  result.placement_windows = stats.placement_windows.load();
+  result.placement_vetoes = stats.placement_vetoes.load();
+  result.placement_deferrals = stats.placement_deferrals.load();
+  result.placement_arbitrations = stats.placement_arbitrations.load();
+  result.placement_hints_warmed = stats.placement_hints_warmed.load();
   if (process.trace().enabled()) {
     result.trace = process.trace().snapshot();
   }

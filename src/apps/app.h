@@ -67,6 +67,12 @@ struct RunConfig {
   bool async_engine = false;
   /// Engine window depth (transactions one pump keeps in flight per node).
   int max_inflight_transactions = 16;
+  /// Joint thread<->page placement: threads whose fault mass dominates on
+  /// one remote node transparently migrate there (off = application-
+  /// directed placement only, the seed behavior).
+  bool auto_thread_migration = false;
+  /// Consecutive dominant decision windows before a thread moves.
+  int thread_migrate_run = 3;
 };
 
 struct RunResult {
@@ -123,6 +129,13 @@ struct RunResult {
   std::uint64_t engine_pump_handoffs = 0;
   std::uint64_t doorbell_batches = 0;
   std::uint64_t batched_posts = 0;
+  /// Placement counters (zero unless auto_thread_migration was on).
+  std::uint64_t thread_migrations_auto = 0;
+  std::uint64_t placement_windows = 0;
+  std::uint64_t placement_vetoes = 0;
+  std::uint64_t placement_deferrals = 0;
+  std::uint64_t placement_arbitrations = 0;
+  std::uint64_t placement_hints_warmed = 0;
   std::vector<prof::FaultEvent> trace;  // when trace_faults was set
 };
 
@@ -169,6 +182,8 @@ class App {
     popt.optimistic_latching = config.optimistic_latching;
     popt.async_engine = config.async_engine;
     popt.max_inflight_transactions = config.max_inflight_transactions;
+    popt.auto_thread_migration = config.auto_thread_migration;
+    popt.thread_migrate_run = config.thread_migrate_run;
     return popt;
   }
 };

@@ -1,0 +1,190 @@
+#include "core/placement.h"
+
+#include <algorithm>
+
+namespace dex::core {
+namespace {
+
+/// Thread-local decision channel between note_fault (which runs deep in the
+/// fault path) and the Process's data-access boundary. A DeX thread never
+/// serves two advisors at once, but twin-run tests create several processes
+/// per test, so the slot is tagged with its advisor and cross-advisor reads
+/// miss cleanly.
+struct PendingSlot {
+  const PlacementAdvisor* advisor = nullptr;
+  NodeId target = kInvalidNode;
+};
+thread_local PendingSlot tls_pending;
+
+struct StateSlot {
+  const PlacementAdvisor* advisor = nullptr;
+  TaskId task = -1;
+  void* state = nullptr;
+};
+thread_local StateSlot tls_state;
+
+/// Page-index hash for the 64-bit distinct-page signature
+/// (splitmix64 finalizer — cheap and well mixed).
+std::uint64_t mix_page(GAddr page) {
+  std::uint64_t x = page_index(page) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PlacementAdvisor::PlacementAdvisor(const PlacementConfig& config)
+    : config_(config) {
+  config_.migrate_run = std::max(1, config_.migrate_run);
+  config_.window_faults = std::max(1, config_.window_faults);
+  config_.min_distinct_pages =
+      std::min(config_.min_distinct_pages, config_.window_faults);
+}
+
+PlacementAdvisor::~PlacementAdvisor() = default;
+
+PlacementAdvisor::TaskState& PlacementAdvisor::state_for(TaskId task) {
+  if (tls_state.advisor == this && tls_state.task == task) {
+    return *static_cast<TaskState*>(tls_state.state);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = tasks_[task];
+  if (!slot) slot = std::make_unique<TaskState>();
+  tls_state = StateSlot{this, task, slot.get()};
+  return *slot;
+}
+
+void PlacementAdvisor::note_fault(NodeId node, TaskId task, GAddr page,
+                                  NodeId home) {
+  if (task <= 0) return;  // host-side callers carry no placement
+  if (home < 0 || home >= static_cast<NodeId>(mem::kMaxNodes)) return;
+  TaskState& state = state_for(task);
+  state.window_count[static_cast<std::size_t>(home)]++;
+  state.page_sig[static_cast<std::size_t>(home)] |=
+      1ull << (mix_page(page) & 63);
+  state.recent[static_cast<std::size_t>(state.recent_pos)] = page_base(page);
+  state.recent_pos = (state.recent_pos + 1) % kRecentPages;
+  state.recent_fill = std::min(state.recent_fill + 1, kRecentPages);
+  if (++state.window_fill < config_.window_faults) return;
+  finish_window(node, state);
+}
+
+void PlacementAdvisor::finish_window(NodeId node, TaskState& state) {
+  stats_.windows.fetch_add(1, std::memory_order_relaxed);
+
+  // Fold the window into the EWMA mass and find the dominant node.
+  double total = 0.0;
+  double best_mass = 0.0;
+  NodeId dominant = kInvalidNode;
+  for (std::size_t n = 0; n < mem::kMaxNodes; ++n) {
+    const double window = static_cast<double>(state.window_count[n]);
+    double& mass = state.ewma[n];
+    if (window == 0.0 && mass == 0.0) continue;
+    mass = config_.ewma_alpha * window + (1.0 - config_.ewma_alpha) * mass;
+    total += mass;
+    if (mass > best_mass) {
+      best_mass = mass;
+      dominant = static_cast<NodeId>(n);
+    }
+  }
+  const int distinct =
+      dominant == kInvalidNode
+          ? 0
+          : __builtin_popcountll(
+                state.page_sig[static_cast<std::size_t>(dominant)]);
+  state.window_count.fill(0);
+  state.page_sig.fill(0);
+  state.window_fill = 0;
+
+  if (state.cooldown > 0) {
+    --state.cooldown;
+    state.run = 0;
+    state.last_dominant = kInvalidNode;
+    return;
+  }
+  if (dominant == kInvalidNode || dominant == node ||
+      best_mass < config_.dominance * total) {
+    // Local mass (or no clear winner) anchors the thread where it is.
+    state.run = 0;
+    state.last_dominant = kInvalidNode;
+    return;
+  }
+  if (distinct < config_.min_distinct_pages) {
+    // Single-hot-page dominance: home migration moves that page to this
+    // thread instead — moving the thread too would have them chase each
+    // other. Cede the window.
+    stats_.arbitration_skips.fetch_add(1, std::memory_order_relaxed);
+    state.run = 0;
+    state.last_dominant = kInvalidNode;
+    return;
+  }
+  if (dominant == state.last_dominant) {
+    ++state.run;
+  } else {
+    state.last_dominant = dominant;
+    state.run = 1;
+  }
+  if (state.run < config_.migrate_run) return;
+  if (state.migrations >= config_.migration_budget) return;
+  // Arm the move; the thread applies the load veto and the engine check at
+  // its next data-access boundary. The run is left saturated so a vetoed
+  // or deferred arming re-fires after the next dominant window.
+  tls_pending = PendingSlot{this, dominant};
+}
+
+NodeId PlacementAdvisor::take_pending() {
+  if (tls_pending.advisor != this) return kInvalidNode;
+  const NodeId target = tls_pending.target;
+  tls_pending = PendingSlot{};
+  return target;
+}
+
+void PlacementAdvisor::on_migrated(TaskId task) {
+  TaskState& state = state_for(task);
+  state.cooldown = config_.cooldown_windows;
+  state.run = 0;
+  state.last_dominant = kInvalidNode;
+  state.migrations++;
+  state.ewma.fill(0.0);
+  state.window_count.fill(0);
+  state.page_sig.fill(0);
+  state.window_fill = 0;
+  stats_.migrations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PlacementAdvisor::on_vetoed(TaskId task) {
+  TaskState& state = state_for(task);
+  // One quiet window before re-arming, so a full target is not hammered
+  // on every subsequent window while the imbalance persists.
+  state.cooldown = std::max(state.cooldown, 1);
+  state.run = 0;
+  stats_.vetoes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PlacementAdvisor::on_deferred(TaskId task) {
+  TaskState& state = state_for(task);
+  // Keep the run saturated: the next completed window re-arms immediately
+  // once the engine queue drains.
+  state.run = config_.migrate_run;
+  stats_.deferrals.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<GAddr> PlacementAdvisor::recent_pages(TaskId task) {
+  std::vector<GAddr> pages;
+  if (task <= 0) return pages;
+  TaskState& state = state_for(task);
+  pages.reserve(static_cast<std::size_t>(state.recent_fill));
+  for (int i = 0; i < state.recent_fill; ++i) {
+    const int idx =
+        (state.recent_pos - state.recent_fill + i + 2 * kRecentPages) %
+        kRecentPages;
+    const GAddr page = state.recent[static_cast<std::size_t>(idx)];
+    if (std::find(pages.begin(), pages.end(), page) == pages.end()) {
+      pages.push_back(page);
+    }
+  }
+  return pages;
+}
+
+}  // namespace dex::core

@@ -1,0 +1,157 @@
+// Joint thread<->page placement (ROADMAP item 2, Phoenix-style).
+//
+// Home migration (mem/directory.h, DsmConfig::home_migration) moves a *page*
+// to its dominant faulter; the PlacementAdvisor closes the loop from the
+// other side and moves the *thread* to its data. It consumes the same
+// requester-side fault stream the six-tuple trace records — every granted
+// leader fault reports (thread, page, serving home) via note_fault() — and
+// maintains, per DeX thread, a per-node fault-mass EWMA over fixed-size
+// fault-count windows. When one remote node's mass dominates for
+// `thread_migrate_run` consecutive windows (the same anti-ping-pong
+// hysteresis shape as home_migrate_run), the advisor arms a pending
+// migration target; the thread picks it up at its next data-access boundary
+// (Process::maybe_auto_migrate) and transparently migrate()s itself there.
+//
+// Guard rails, in decision order:
+//   - arbitration vs home migration: a window whose dominant mass sits on
+//     fewer than `min_distinct_pages` distinct pages is a single-hot-page
+//     pattern — that page's entry will migrate *here* instead (pages follow
+//     a single dominant faulter; threads follow multi-page fault mass), so
+//     the run is reset and the skip counted;
+//   - hysteresis: `migrate_run` consecutive windows must agree on the same
+//     dominant node, a post-migration cooldown of `cooldown_windows` keeps a
+//     freshly moved thread from bouncing straight back, and a per-thread
+//     `migration_budget` bounds lifetime auto-moves outright;
+//   - load veto (applied by the Process, counted here): a target already
+//     running a full complement of threads is rejected, so fault mass on one
+//     node never stampedes every thread onto it;
+//   - engine deferral (applied by the Process): a node with parked async
+//     transactions defers the move until the engine queue is empty.
+//
+// Threading: note_fault() and the pending-target exchange run in the
+// faulting thread itself (the fault path's requester side), so all per-task
+// decision state has a single writer and is cached behind a thread_local;
+// only map creation takes the registry mutex. The advisor exists only when
+// DsmConfig::auto_thread_migration is on — off-path cost is one null check.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/directory.h"
+
+namespace dex::core {
+
+struct PlacementConfig {
+  /// Consecutive dominant windows before a migration is armed (mirrors
+  /// DsmConfig::home_migrate_run; ProcessOptions::thread_migrate_run).
+  int migrate_run = 3;
+  /// Granted leader faults per decision window.
+  int window_faults = 16;
+  /// EWMA smoothing: mass = alpha * window + (1 - alpha) * mass.
+  double ewma_alpha = 0.5;
+  /// Dominance threshold: the top remote node's EWMA mass must be at least
+  /// this fraction of the thread's total mass.
+  double dominance = 0.625;
+  /// Quiet windows after a migration before the run counter may grow again.
+  int cooldown_windows = 4;
+  /// Lifetime automatic migrations per thread (storm guard).
+  int migration_budget = 8;
+  /// Distinct faulted pages the dominant node must contribute within the
+  /// deciding window — fewer means home migration owns the pattern.
+  int min_distinct_pages = 4;
+};
+
+/// Placement counters, mirrored into DsmStats at stats() snapshot time
+/// (the engine/pool idiom) and surfaced through prof::ProtocolCounters.
+struct PlacementStats {
+  /// Completed decision windows across all threads.
+  std::atomic<std::uint64_t> windows{0};
+  /// Automatic Process::migrate calls the advisor triggered.
+  std::atomic<std::uint64_t> migrations{0};
+  /// Armed targets rejected by the load veto (target at capacity or dead).
+  std::atomic<std::uint64_t> vetoes{0};
+  /// Armed targets postponed behind a non-empty engine queue.
+  std::atomic<std::uint64_t> deferrals{0};
+  /// Dominant windows ceded to home migration (single-hot-page pattern).
+  std::atomic<std::uint64_t> arbitration_skips{0};
+  /// Home hints seeded into the destination's cache on arrival.
+  std::atomic<std::uint64_t> hints_warmed{0};
+};
+
+class PlacementAdvisor {
+ public:
+  explicit PlacementAdvisor(const PlacementConfig& config);
+  ~PlacementAdvisor();
+  PlacementAdvisor(const PlacementAdvisor&) = delete;
+  PlacementAdvisor& operator=(const PlacementAdvisor&) = delete;
+
+  const PlacementConfig& config() const { return config_; }
+
+  /// Requester-side fault accounting: `task` running on `node` took a
+  /// granted (non-retry) leader fault on `page` served by `home`. Local
+  /// faults (home == node) count as local mass — they anchor the thread
+  /// where it is. Runs in the faulting thread; host callers (task <= 0,
+  /// e.g. test harness reads) are ignored. When the decision fires, the
+  /// target is parked in a thread_local for take_pending().
+  void note_fault(NodeId node, TaskId task, GAddr page, NodeId home);
+
+  /// The armed migration target for the calling thread, or kInvalidNode.
+  /// Consumes the pending state (one migrate attempt per arming).
+  NodeId take_pending();
+
+  /// Outcome callbacks from the Process, from the migrating thread itself.
+  void on_migrated(TaskId task);
+  void on_vetoed(TaskId task);
+  void on_deferred(TaskId task);
+
+  /// The calling thread's most recently faulted pages, newest last —
+  /// the working set whose home hints are worth warming on arrival.
+  std::vector<GAddr> recent_pages(TaskId task);
+
+  PlacementStats& stats() { return stats_; }
+
+  /// Ring capacity of the per-thread recent-page set.
+  static constexpr int kRecentPages = 16;
+
+ private:
+  struct TaskState {
+    // ---- Window accumulators (reset every window_faults faults) ----
+    std::array<std::uint32_t, mem::kMaxNodes> window_count{};
+    /// Per-home 64-bit distinct-page signature (hashed page bits); its
+    /// popcount lower-bounds the distinct pages faulted against that home.
+    std::array<std::uint64_t, mem::kMaxNodes> page_sig{};
+    int window_fill = 0;
+    // ---- Smoothed mass and hysteresis ----
+    std::array<double, mem::kMaxNodes> ewma{};
+    NodeId last_dominant = kInvalidNode;
+    int run = 0;
+    int cooldown = 0;
+    int migrations = 0;
+    // ---- Arrival-warming working set ----
+    std::array<GAddr, kRecentPages> recent{};
+    int recent_fill = 0;
+    int recent_pos = 0;
+  };
+
+  /// The calling thread's state, created on first use. Cached in a
+  /// thread_local keyed by (advisor, task) so the registry mutex is only
+  /// taken once per thread lifetime.
+  TaskState& state_for(TaskId task);
+
+  void finish_window(NodeId node, TaskState& state);
+
+  PlacementConfig config_;
+  PlacementStats stats_;
+
+  std::mutex mu_;
+  std::unordered_map<TaskId, std::unique_ptr<TaskState>> tasks_;
+};
+
+}  // namespace dex::core

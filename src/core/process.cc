@@ -9,6 +9,7 @@
 #include "common/time_gate.h"
 #include "core/cluster.h"
 #include "core/engine.h"
+#include "core/placement.h"
 #include "net/rpc_error.h"
 
 namespace dex::core {
@@ -62,8 +63,16 @@ Process::Process(Cluster& cluster, std::uint64_t id,
   dsm_config.optimistic_latching = options.optimistic_latching;
   dsm_config.async_engine = options.async_engine;
   dsm_config.max_inflight_transactions = options.max_inflight_transactions;
+  dsm_config.auto_thread_migration = options.auto_thread_migration;
+  dsm_config.thread_migrate_run = options.thread_migrate_run;
   dsm_ = std::make_unique<mem::Dsm>(cluster.fabric(), dsm_config,
                                     &cluster.node_load(), &trace_);
+  if (options.auto_thread_migration) {
+    PlacementConfig placement_config;
+    placement_config.migrate_run = options.thread_migrate_run;
+    placement_ = std::make_unique<PlacementAdvisor>(placement_config);
+    dsm_->set_placement(placement_.get());
+  }
   if (options.async_engine) {
     engine_ = std::make_unique<ProtocolEngine>(
         cluster.fabric(), cluster.num_nodes(),
@@ -104,6 +113,9 @@ Process::~Process() {
     engine_->stop();
     dsm_->set_engine(nullptr);
   }
+  // Same for the advisor: its per-task state outlives no DeX thread, but
+  // the Dsm must not feed a destroyed advisor.
+  if (placement_ != nullptr) dsm_->set_placement(nullptr);
   cluster_.unregister_process(id_);
 }
 
@@ -150,20 +162,28 @@ DexThread Process::spawn(std::function<void()> body) {
           } catch (const net::RpcError& error) {
             // The thread hit an unrecoverable fabric failure (typically its
             // node died under it). NodeDeadError is an RpcError; both land
-            // here. If restarts are enabled, re-home the thread at the
-            // origin and re-run its entry closure from the top — the stack
-            // died with the node, but the closure did not.
+            // here. If restarts are enabled, re-home the thread and re-run
+            // its entry closure from the top — the stack died with the
+            // failure, but the closure did not. A migrated thread restarts
+            // at its last placement when that node is still alive (the
+            // failure was elsewhere in the fabric); only a thread whose own
+            // node died falls back to the origin.
             if (options_.restart_lost_threads && !restarted &&
                 restart_budget_.fetch_sub(1, std::memory_order_acq_rel) > 0) {
               restarted = true;
               const NodeId lost_on = tls_context().node;
-              cluster_.node_load()
-                  .active[static_cast<std::size_t>(lost_on)]
-                  .fetch_sub(1, std::memory_order_relaxed);
-              cluster_.node_load()
-                  .active[static_cast<std::size_t>(options_.origin)]
-                  .fetch_add(1, std::memory_order_relaxed);
-              tls_context().node = options_.origin;
+              const NodeId restart_at = cluster_.node_dead(lost_on)
+                                            ? options_.origin
+                                            : lost_on;
+              if (restart_at != lost_on) {
+                cluster_.node_load()
+                    .active[static_cast<std::size_t>(lost_on)]
+                    .fetch_sub(1, std::memory_order_relaxed);
+                cluster_.node_load()
+                    .active[static_cast<std::size_t>(restart_at)]
+                    .fetch_add(1, std::memory_order_relaxed);
+                tls_context().node = restart_at;
+              }
               dsm_->failure_stats().threads_restarted.fetch_add(
                   1, std::memory_order_relaxed);
               prof::ChaosCounters::instance().threads_restarted.fetch_add(
@@ -171,14 +191,14 @@ DexThread Process::spawn(std::function<void()> body) {
               if (trace_.enabled()) {
                 prof::FaultEvent event;
                 event.time = vclock::now();
-                event.node = options_.origin;
+                event.node = restart_at;
                 event.task = child_ctx.task;
                 event.kind = prof::FaultKind::kNodeDead;
                 trace_.record(event);
               }
               std::fprintf(stderr,
-                           "dex: thread %d restarting at origin: %s\n",
-                           child_ctx.task, error.what());
+                           "dex: thread %d restarting at node %d: %s\n",
+                           child_ctx.task, restart_at, error.what());
               continue;
             }
             // Report it as failed and unwind cleanly instead of
@@ -281,6 +301,19 @@ void Process::migrate(NodeId destination) {
       .fetch_add(1, std::memory_order_relaxed);
   ctx.node = destination;
 
+  // With placement on, seed the destination's home-hint cache from the
+  // directory for this thread's recent working set — a migrated thread's
+  // old hints live in the node it left, and cold slots would send its
+  // first faults on kWrongHome chases.
+  if (placement_ != nullptr && ctx.task > 0) {
+    const int warmed =
+        dsm_->warm_hints(destination, placement_->recent_pages(ctx.task));
+    if (warmed > 0) {
+      placement_->stats().hints_warmed.fetch_add(
+          static_cast<std::uint64_t>(warmed), std::memory_order_relaxed);
+    }
+  }
+
   MigrationRecord record;
   record.task = ctx.task;
   record.from = from;
@@ -332,6 +365,41 @@ NodeId Process::migrate_to_data(GAddr addr) {
   const NodeId target = probe_data_location(addr);
   migrate(target);
   return target;
+}
+
+void Process::auto_migrate_checkpoint() {
+  ThreadContext& ctx = tls_context();
+  if (ctx.process != this || ctx.task <= 0) return;
+  const NodeId target = placement_->take_pending();
+  if (target == kInvalidNode || target == ctx.node) return;
+  if (cluster_.node_dead(target)) {
+    placement_->on_vetoed(ctx.task);
+    return;
+  }
+  // Engine deferral: relocating a thread while its node still has queued
+  // or parked transactions would interleave the move with in-flight
+  // protocol work; wait for the queue to drain and re-arm.
+  if (engine_ != nullptr && engine_->pending(ctx.node) > 0) {
+    placement_->on_deferred(ctx.task);
+    return;
+  }
+  // Load veto: fault mass on one node must not stampede every thread onto
+  // it — a destination already running a full complement of cores keeps
+  // its threads, and this one stays put.
+  if (cluster_.node_load().on(target) >= cluster_.cores_per_node()) {
+    placement_->on_vetoed(ctx.task);
+    return;
+  }
+  migrate(target);
+  placement_->on_migrated(ctx.task);
+  if (trace_.enabled()) {
+    prof::FaultEvent event;
+    event.time = vclock::now();
+    event.node = target;
+    event.task = ctx.task;
+    event.kind = prof::FaultKind::kThreadMigrate;
+    trace_.record(event);
+  }
 }
 
 Message Process::handle_migrate(const Message& msg) {
@@ -673,40 +741,58 @@ Message Process::handle_delegate_futex(const Message& msg) {
 // Context-aware data access
 // ---------------------------------------------------------------------------
 
+// Every wrapper ends at a placement safe point: the access has fully
+// completed on the node it started on (the Dsm captured `node` by value),
+// so an armed automatic migration never splits an operation across nodes.
+
 void Process::read(GAddr addr, void* dst, std::size_t len) {
   auto [node, task] = caller_of(this, options_.origin);
   dsm_->read(node, task, addr, dst, len);
+  maybe_auto_migrate();
 }
 
 void Process::write(GAddr addr, const void* src, std::size_t len) {
   auto [node, task] = caller_of(this, options_.origin);
   dsm_->write(node, task, addr, src, len);
+  maybe_auto_migrate();
 }
 
 std::uint64_t Process::atomic_fetch_add(GAddr addr, std::uint64_t delta) {
   auto [node, task] = caller_of(this, options_.origin);
-  return dsm_->atomic_fetch_add_u64(node, task, addr, delta);
+  const std::uint64_t result =
+      dsm_->atomic_fetch_add_u64(node, task, addr, delta);
+  maybe_auto_migrate();
+  return result;
 }
 
 std::uint64_t Process::atomic_exchange(GAddr addr, std::uint64_t desired) {
   auto [node, task] = caller_of(this, options_.origin);
-  return dsm_->atomic_exchange_u64(node, task, addr, desired);
+  const std::uint64_t result =
+      dsm_->atomic_exchange_u64(node, task, addr, desired);
+  maybe_auto_migrate();
+  return result;
 }
 
 bool Process::atomic_cas(GAddr addr, std::uint64_t expected,
                          std::uint64_t desired) {
   auto [node, task] = caller_of(this, options_.origin);
-  return dsm_->atomic_cas_u64(node, task, addr, expected, desired);
+  const bool result =
+      dsm_->atomic_cas_u64(node, task, addr, expected, desired);
+  maybe_auto_migrate();
+  return result;
 }
 
 std::uint64_t Process::atomic_load(GAddr addr) {
   auto [node, task] = caller_of(this, options_.origin);
-  return dsm_->atomic_load_u64(node, task, addr);
+  const std::uint64_t result = dsm_->atomic_load_u64(node, task, addr);
+  maybe_auto_migrate();
+  return result;
 }
 
 void Process::atomic_store(GAddr addr, std::uint64_t value) {
   auto [node, task] = caller_of(this, options_.origin);
   dsm_->atomic_store_u64(node, task, addr, value);
+  maybe_auto_migrate();
 }
 
 }  // namespace dex::core

@@ -32,6 +32,7 @@
 namespace dex::core {
 
 class Cluster;
+class PlacementAdvisor;
 class ProtocolEngine;
 
 /// Handle to a spawned DeX thread. Joining observes the thread's final
@@ -123,6 +124,15 @@ struct ProcessOptions {
   /// Engine window depth (DsmConfig::max_inflight_transactions
   /// passthrough).
   int max_inflight_transactions = 16;
+  /// Joint thread<->page placement (DsmConfig::auto_thread_migration
+  /// passthrough): threads whose fault mass dominates on one remote node
+  /// transparently migrate() themselves there, with anti-ping-pong
+  /// hysteresis, a load veto, and arbitration against home migration. Off
+  /// reproduces application-directed placement bit-for-bit.
+  bool auto_thread_migration = false;
+  /// Consecutive dominant decision windows before the thread moves
+  /// (DsmConfig::thread_migrate_run passthrough).
+  int thread_migrate_run = 3;
 };
 
 /// One entry of the migration log (Table II / Figure 3 raw data).
@@ -156,6 +166,9 @@ class Process {
   /// The async protocol engine, or nullptr when ProcessOptions::
   /// async_engine is off.
   ProtocolEngine* engine() { return engine_.get(); }
+  /// The thread-placement advisor, or nullptr when ProcessOptions::
+  /// auto_thread_migration is off.
+  PlacementAdvisor* placement() { return placement_.get(); }
 
   // ---- Threads ----
   /// Spawns a DeX thread at the creator's current node. The body runs with
@@ -243,6 +256,15 @@ class Process {
 
   void record_migration(const MigrationRecord& record);
 
+  /// Placement safe point, called after every data-access wrapper: when the
+  /// advisor armed a migration for the calling thread, apply the load veto
+  /// and the engine-queue deferral, then transparently migrate() there.
+  /// A single null check when auto_thread_migration is off.
+  void maybe_auto_migrate() {
+    if (placement_) auto_migrate_checkpoint();
+  }
+  void auto_migrate_checkpoint();
+
   Cluster& cluster_;
   const std::uint64_t id_;
   ProcessOptions options_;
@@ -257,6 +279,9 @@ class Process {
   /// Constructed only when options.async_engine; the Dsm holds a raw
   /// pointer (detached in ~Process before the Dsm goes).
   std::unique_ptr<ProtocolEngine> engine_;
+  /// Constructed only when options.auto_thread_migration; the Dsm holds a
+  /// raw pointer (detached in ~Process before the Dsm goes).
+  std::unique_ptr<PlacementAdvisor> placement_;
 
   std::atomic<TaskId> next_task_{0};
   std::atomic<std::uint64_t> delegations_{0};

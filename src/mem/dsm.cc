@@ -10,6 +10,7 @@
 #include "common/time_gate.h"
 #include "common/virtual_clock.h"
 #include "core/engine.h"
+#include "core/placement.h"
 #include "net/rpc_error.h"
 
 namespace dex::mem {
@@ -460,6 +461,9 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
           stats_.home_hint_hits.fetch_add(1, std::memory_order_relaxed);
         }
       }
+      // Requester-side placement feed: this thread took a granted fault
+      // served by `target` (no-op without an advisor).
+      note_placement_fault(node, task, page, target);
       break;
     }
     // Lost a race on a busy directory entry: back off and refault. This is
@@ -518,6 +522,59 @@ void Dsm::mirror_engine_stats() {
   stats_.engine_pump_handoffs.store(
       es.pump_handoffs.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Joint thread<->page placement (DsmConfig::auto_thread_migration)
+// ---------------------------------------------------------------------------
+
+void Dsm::set_placement(core::PlacementAdvisor* placement) {
+  placement_ = placement;
+}
+
+void Dsm::note_placement_fault(NodeId node, TaskId task, GAddr page,
+                               NodeId home) {
+  if (placement_ == nullptr) return;
+  placement_->note_fault(node, task, page, home);
+}
+
+void Dsm::mirror_placement_stats() {
+  if (placement_ == nullptr) return;
+  const core::PlacementStats& ps = placement_->stats();
+  stats_.thread_migrations_auto.store(
+      ps.migrations.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  stats_.placement_windows.store(ps.windows.load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+  stats_.placement_vetoes.store(ps.vetoes.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+  stats_.placement_deferrals.store(
+      ps.deferrals.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  stats_.placement_arbitrations.store(
+      ps.arbitration_skips.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  stats_.placement_hints_warmed.store(
+      ps.hints_warmed.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+int Dsm::warm_hints(NodeId node, const std::vector<GAddr>& pages) {
+  int warmed = 0;
+  for (const GAddr page : pages) {
+    DirEntry* entry = directory_.find(page_base(page));
+    if (entry == nullptr) continue;
+    // Plain atomic reads, no latch: a torn (home, epoch) pair at worst
+    // seeds a hint one kWrongHome redirect corrects, and the epoch fence
+    // in update() keeps a stale pair from clobbering a newer hint.
+    const NodeId home = entry->home.load(std::memory_order_acquire);
+    const std::uint64_t epoch =
+        entry->home_epoch.load(std::memory_order_acquire);
+    if (home == kInvalidNode) continue;
+    home_cache(node).update(page_base(page), home, epoch);
+    ++warmed;
+  }
+  return warmed;
 }
 
 /// Total ladder windows per armed stream: the runahead distance, after
@@ -833,6 +890,9 @@ void Dsm::fault_via_engine(NodeId node, TaskId task, GAddr page,
   const Status status = engine_->run(std::move(submit));
   if (status == Status::kOk) {
     vclock::observe(st.last_writer_ts);
+    // Placement feed runs here — after run() returns in the faulting
+    // thread — not in the resume closure, which the pump thread executes.
+    note_placement_fault(node, task, page, st.target);
     return;
   }
   // Translate the terminal status back into the blocking path's exception

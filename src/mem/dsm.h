@@ -37,6 +37,7 @@
 #include "prof/trace.h"
 
 namespace dex::core {
+class PlacementAdvisor;
 class ProtocolEngine;
 }
 
@@ -145,6 +146,17 @@ struct DsmConfig {
   bool async_engine = false;
   /// Transactions one pump keeps in flight per node (engine window depth).
   int max_inflight_transactions = 16;
+  /// Joint thread<->page placement (core::PlacementAdvisor): every granted
+  /// leader fault also feeds a per-thread per-home fault-mass EWMA, and a
+  /// thread whose mass dominates on one remote node for thread_migrate_run
+  /// consecutive windows transparently migrates itself there (with load
+  /// veto, cooldown, budget, and single-hot-page arbitration against home
+  /// migration). Off spawns no advisor and reproduces the application-
+  /// directed placement bit-for-bit.
+  bool auto_thread_migration = false;
+  /// Consecutive dominant decision windows before the thread moves
+  /// (mirrors home_migrate_run's anti-ping-pong hysteresis).
+  int thread_migrate_run = 3;
 };
 
 /// Bounce budget for chasing stale home hints: after this many kWrongHome
@@ -287,6 +299,20 @@ struct DsmStats {
   /// posting gap) and the legs they carried; mirrored from the fabric.
   std::atomic<std::uint64_t> doorbell_batches{0};
   std::atomic<std::uint64_t> batched_posts{0};
+  // ---- Joint thread<->page placement (DsmConfig::auto_thread_migration) --
+  /// Advisor-triggered transparent Process::migrate calls (the manual
+  /// migration log records them too, but these are the automatic ones).
+  std::atomic<std::uint64_t> thread_migrations_auto{0};
+  /// Completed per-thread decision windows.
+  std::atomic<std::uint64_t> placement_windows{0};
+  /// Armed migrations rejected by the load veto (target full or dead).
+  std::atomic<std::uint64_t> placement_vetoes{0};
+  /// Armed migrations postponed behind a non-empty engine queue.
+  std::atomic<std::uint64_t> placement_deferrals{0};
+  /// Dominant windows ceded to home migration (single-hot-page pattern).
+  std::atomic<std::uint64_t> placement_arbitrations{0};
+  /// Home hints warmed into a migrating thread's destination cache.
+  std::atomic<std::uint64_t> placement_hints_warmed{0};
   /// Granted (non-retry) page transactions by serving home node — the
   /// per-home fault distribution the analysis report surfaces.
   std::array<std::atomic<std::uint64_t>, kMaxNodes> faults_by_home{};
@@ -389,6 +415,7 @@ class Dsm {
     stats_.fault_table_contention.store(ft_contention,
                                         std::memory_order_relaxed);
     mirror_engine_stats();
+    mirror_placement_stats();
     return stats_;
   }
   FailureStats& failure_stats() { return failure_stats_; }
@@ -402,6 +429,20 @@ class Dsm {
   /// DsmConfig::async_engine is set. Pass nullptr to detach.
   void set_engine(core::ProtocolEngine* engine);
   core::ProtocolEngine* engine() { return engine_; }
+
+  /// Wires the thread-placement advisor in (Process owns it; nullptr when
+  /// DsmConfig::auto_thread_migration is off). Every granted leader fault
+  /// then also reports (thread, page, serving home) to the advisor from
+  /// the requester side. Pass nullptr to detach.
+  void set_placement(core::PlacementAdvisor* placement);
+  core::PlacementAdvisor* placement() { return placement_; }
+
+  /// Seeds `node`'s home-hint cache from the directory for `pages` (a
+  /// migrating thread's recent working set), so the first post-arrival
+  /// faults aim at the right homes instead of chasing kWrongHome redirects
+  /// from cold slots. Epoch-fenced like any hint update. Returns the
+  /// number of hints actually written.
+  int warm_hints(NodeId node, const std::vector<GAddr>& pages);
 
   void set_stream_intensity(double intensity) {
     config_.stream_intensity = intensity;
@@ -696,6 +737,13 @@ class Dsm {
   /// (stats() snapshot idiom).
   void mirror_engine_stats();
 
+  /// Mirrors PlacementStats into DsmStats (same snapshot idiom).
+  void mirror_placement_stats();
+
+  /// Requester-side placement feed: no-op unless an advisor is attached.
+  void note_placement_fault(NodeId node, TaskId task, GAddr page,
+                            NodeId home);
+
   /// Known-version probe for an outgoing fault request: with optimistic
   /// latching, a seqcount-validated read that skips the PTE spinlock
   /// (restarts counted); otherwise the seed locked read. A stale value is
@@ -719,6 +767,9 @@ class Dsm {
   prof::FaultTrace* trace_;
   /// Owned by the Process (constructed only when async_engine is on).
   core::ProtocolEngine* engine_ = nullptr;
+  /// Owned by the Process (constructed only when auto_thread_migration is
+  /// on); fed from the leader-fault success paths.
+  core::PlacementAdvisor* placement_ = nullptr;
 
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
   /// Declared before tables_: PTE teardown returns frames to the pools.

@@ -69,6 +69,13 @@ TraceAnalysis::TraceAnalysis(std::vector<FaultEvent> events)
         ++pr.evictions;
         ++sr.evictions;
         break;
+      case FaultKind::kThreadMigrate:
+        // The placement advisor moved a thread to its fault mass. Not a
+        // demand fault; the event's addr is unset (the move is per-thread,
+        // not per-page), so it lands on the zero page's report.
+        ++pr.thread_migrations;
+        ++sr.thread_migrations;
+        break;
     }
     if (e.node != kInvalidNode) pr.nodes.insert(e.node);
     if (e.task >= 0) pr.tasks.insert(e.task);
@@ -192,6 +199,16 @@ std::string TraceAnalysis::format_report(std::size_t limit) const {
       os << " n" << n << "=" << counters_.faults_by_home[n];
     }
     os << "\n";
+    if (counters_.placement_windows > 0 ||
+        counters_.thread_migrations_auto > 0) {
+      os << "  thread placement: " << counters_.thread_migrations_auto
+         << " auto migrations over " << counters_.placement_windows
+         << " windows; " << counters_.placement_vetoes << " load vetoes, "
+         << counters_.placement_deferrals << " engine deferrals, "
+         << counters_.placement_arbitrations
+         << " ceded to home migration, "
+         << counters_.placement_hints_warmed << " hints warmed\n";
+    }
     os << "  writeback leases: " << counters_.lease_renewals
        << " renewals (" << counters_.writebacks_piggybacked
        << " piggybacked writebacks), " << counters_.lease_recalls

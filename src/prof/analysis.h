@@ -33,6 +33,7 @@ struct SiteReport {
   std::uint64_t home_migrations = 0;  // entry handed to the dominant faulter
   std::uint64_t leases = 0;  // lease renewals / recalls / recoveries
   std::uint64_t evictions = 0;  // copies retired under frame-budget pressure
+  std::uint64_t thread_migrations = 0;  // advisor moved a thread to its data
   std::uint64_t total() const { return reads + writes + retries; }
 };
 
@@ -49,6 +50,7 @@ struct PageReport {
   std::uint64_t home_migrations = 0;  // entry handed to the dominant faulter
   std::uint64_t leases = 0;  // lease renewals / recalls / recoveries
   std::uint64_t evictions = 0;  // copies retired under frame-budget pressure
+  std::uint64_t thread_migrations = 0;  // advisor moved a thread to its data
   std::set<NodeId> nodes;
   std::set<std::uint32_t> sites;
   std::set<TaskId> tasks;
@@ -109,6 +111,13 @@ struct ProtocolCounters {
   std::uint64_t engine_pump_handoffs = 0;
   std::uint64_t doorbell_batches = 0;
   std::uint64_t batched_posts = 0;
+  // ---- Joint thread<->page placement (auto_thread_migration; DsmStats) --
+  std::uint64_t thread_migrations_auto = 0;
+  std::uint64_t placement_windows = 0;
+  std::uint64_t placement_vetoes = 0;
+  std::uint64_t placement_deferrals = 0;
+  std::uint64_t placement_arbitrations = 0;
+  std::uint64_t placement_hints_warmed = 0;
 };
 
 class TraceAnalysis {

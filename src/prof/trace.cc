@@ -17,6 +17,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kHomeMigrate: return "home_migrate";
     case FaultKind::kLease: return "lease";
     case FaultKind::kEvict: return "evict";
+    case FaultKind::kThreadMigrate: return "thread_migrate";
   }
   return "?";
 }

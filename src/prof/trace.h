@@ -32,6 +32,7 @@ enum class FaultKind : std::uint8_t {
   kHomeMigrate = 8, // directory entry handed off to the dominant faulter
   kLease = 9,       // writeback-lease event: renewal, patrol recall, recovery
   kEvict = 10,      // copy retired under frame-budget pressure
+  kThreadMigrate = 11,  // placement advisor moved the thread to its data
 };
 
 const char* to_string(FaultKind kind);

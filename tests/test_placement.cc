@@ -1,0 +1,535 @@
+// Joint thread<->page placement tests: the PlacementAdvisor's decision
+// model in isolation (dominance windows, hysteresis runs, single-hot-page
+// arbitration, cooldown + budget bounds under adversarial alternation), and
+// the end-to-end loop — a misplaced thread's fault mass pulls it to its
+// data, the load veto stops stampedes, hint warming keeps a migrated
+// thread's first faults off the chase path, and the async engine's parked
+// transactions defer moves without leaking frame credits.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/time_gate.h"
+#include "common/virtual_clock.h"
+#include "core/api.h"
+#include "core/engine.h"
+#include "core/placement.h"
+#include "mem/directory.h"
+#include "mem/frame_pool.h"
+#include "mem/home_cache.h"
+#include "prof/trace.h"
+
+namespace dex {
+namespace {
+
+constexpr std::size_t kWordsPerPage = kPageSize / sizeof(std::uint64_t);
+
+// Same contract as the recovery suite: a wedged placement test must abort
+// loudly instead of eating the CI timeout.
+class Watchdog {
+ public:
+  explicit Watchdog(int seconds)
+      : thread_([this, seconds] {
+          std::unique_lock<std::mutex> lock(mu_);
+          if (!cv_.wait_for(lock, std::chrono::seconds(seconds),
+                            [this] { return done_; })) {
+            std::fprintf(stderr,
+                         "placement watchdog: test exceeded %d s, aborting\n",
+                         seconds);
+            std::abort();
+          }
+        }) {}
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------------------------
+// PlacementAdvisor unit behavior (synthetic fault feeds, no cluster)
+// ---------------------------------------------------------------------------
+
+/// Feeds one full decision window: `window_faults` granted faults for
+/// `task`, all served by `home`, across distinct pages (page addresses are
+/// salted by `salt` so consecutive windows do not collapse the distinct-
+/// page signature).
+void feed_window(core::PlacementAdvisor& advisor, NodeId node, TaskId task,
+                 NodeId home, int window_faults, int salt) {
+  for (int i = 0; i < window_faults; ++i) {
+    const GAddr page =
+        static_cast<GAddr>(salt * window_faults + i + 1) * kPageSize;
+    advisor.note_fault(node, task, page, home);
+  }
+}
+
+TEST(PlacementAdvisorTest, DominantRemoteMassArmsAfterTheRun) {
+  core::PlacementConfig config;
+  core::PlacementAdvisor advisor(config);
+  constexpr TaskId kTask = 7;
+
+  // Windows 1..migrate_run-1 agree on node 1 but the run is still short.
+  for (int w = 0; w < config.migrate_run - 1; ++w) {
+    feed_window(advisor, /*node=*/0, kTask, /*home=*/1, config.window_faults,
+                w);
+    EXPECT_EQ(advisor.take_pending(), kInvalidNode) << "window " << w;
+  }
+  // The run-completing window arms the pending target.
+  feed_window(advisor, /*node=*/0, kTask, /*home=*/1, config.window_faults,
+              config.migrate_run);
+  EXPECT_EQ(advisor.take_pending(), 1);
+  // take_pending is one-shot.
+  EXPECT_EQ(advisor.take_pending(), kInvalidNode);
+  EXPECT_EQ(advisor.stats().windows.load(),
+            static_cast<std::uint64_t>(config.migrate_run));
+}
+
+TEST(PlacementAdvisorTest, LocalMassAnchorsTheThread) {
+  core::PlacementConfig config;
+  core::PlacementAdvisor advisor(config);
+  // All mass on the thread's own node: never a reason to move.
+  for (int w = 0; w < 4 * config.migrate_run; ++w) {
+    feed_window(advisor, /*node=*/2, /*task=*/3, /*home=*/2,
+                config.window_faults, w);
+  }
+  EXPECT_EQ(advisor.take_pending(), kInvalidNode);
+  EXPECT_EQ(advisor.stats().migrations.load(), 0u);
+}
+
+TEST(PlacementAdvisorTest, SingleHotPageCedesToHomeMigration) {
+  core::PlacementConfig config;
+  core::PlacementAdvisor advisor(config);
+  constexpr TaskId kTask = 9;
+  // Every fault lands on ONE page: that page's entry migrates to this
+  // thread (PR-4 home migration); moving the thread too would have the
+  // two chasing each other. The advisor must cede every window.
+  for (int w = 0; w < 4 * config.migrate_run; ++w) {
+    for (int i = 0; i < config.window_faults; ++i) {
+      advisor.note_fault(/*node=*/0, kTask, /*page=*/kPageSize, /*home=*/1);
+    }
+  }
+  EXPECT_EQ(advisor.take_pending(), kInvalidNode);
+  EXPECT_GT(advisor.stats().arbitration_skips.load(), 0u);
+  EXPECT_EQ(advisor.stats().migrations.load(), 0u);
+}
+
+TEST(PlacementAdvisorTest, AlternatingMassNeverArms) {
+  // The two-node adversarial pattern: fault mass flips between node 1 and
+  // node 2 every window, so no dominant node ever survives `migrate_run`
+  // consecutive windows. The hysteresis must hold: zero armed migrations
+  // over an arbitrarily long alternation.
+  core::PlacementConfig config;
+  core::PlacementAdvisor advisor(config);
+  constexpr TaskId kTask = 11;
+  for (int w = 0; w < 20; ++w) {
+    feed_window(advisor, /*node=*/0, kTask, /*home=*/1 + w % 2,
+                config.window_faults, w);
+    EXPECT_EQ(advisor.take_pending(), kInvalidNode) << "window " << w;
+  }
+  EXPECT_EQ(advisor.stats().migrations.load(), 0u);
+  EXPECT_EQ(advisor.stats().windows.load(), 20u);
+}
+
+TEST(PlacementAdvisorTest, CooldownAndBudgetBoundSlowPingPong) {
+  // A slow adversary that holds each side exactly long enough to trip the
+  // run threshold. Cooldown absorbs the windows right after each move and
+  // the per-thread budget caps lifetime moves outright, so even this
+  // worst case is bounded.
+  core::PlacementConfig config;
+  core::PlacementAdvisor advisor(config);
+  constexpr TaskId kTask = 13;
+  std::uint64_t moves = 0;
+  for (int stint = 0; stint < 40; ++stint) {
+    const NodeId side = 1 + stint % 2;
+    for (int w = 0; w < config.migrate_run; ++w) {
+      feed_window(advisor, /*node=*/0, kTask, side, config.window_faults,
+                  stint * config.migrate_run + w);
+      if (advisor.take_pending() != kInvalidNode) {
+        advisor.on_migrated(kTask);
+        ++moves;
+      }
+    }
+  }
+  EXPECT_GT(moves, 0u);  // the adversary is genuinely adversarial...
+  EXPECT_LE(moves,
+            static_cast<std::uint64_t>(config.migration_budget));  // ...bounded
+  EXPECT_EQ(advisor.stats().migrations.load(), moves);
+}
+
+TEST(PlacementAdvisorTest, VetoForcesAQuietWindowThenRearms) {
+  core::PlacementConfig config;
+  core::PlacementAdvisor advisor(config);
+  constexpr TaskId kTask = 17;
+  for (int w = 0; w < config.migrate_run; ++w) {
+    feed_window(advisor, /*node=*/0, kTask, /*home=*/1, config.window_faults,
+                w);
+  }
+  ASSERT_EQ(advisor.take_pending(), 1);
+  advisor.on_vetoed(kTask);
+  // The cooldown window right after a veto must not re-arm.
+  feed_window(advisor, /*node=*/0, kTask, /*home=*/1, config.window_faults,
+              100);
+  EXPECT_EQ(advisor.take_pending(), kInvalidNode);
+  // With the imbalance persisting, the run rebuilds and re-fires.
+  for (int w = 0; w < config.migrate_run; ++w) {
+    feed_window(advisor, /*node=*/0, kTask, /*home=*/1, config.window_faults,
+                200 + w);
+  }
+  EXPECT_EQ(advisor.take_pending(), 1);
+  EXPECT_EQ(advisor.stats().vetoes.load(), 1u);
+}
+
+TEST(PlacementAdvisorTest, RecentPagesDedupesOldestToNewest) {
+  core::PlacementConfig config;
+  core::PlacementAdvisor advisor(config);
+  constexpr TaskId kTask = 19;
+  advisor.note_fault(0, kTask, 1 * kPageSize, 1);
+  advisor.note_fault(0, kTask, 2 * kPageSize, 1);
+  advisor.note_fault(0, kTask, 1 * kPageSize, 1);
+  advisor.note_fault(0, kTask, 3 * kPageSize, 1);
+  const std::vector<GAddr> pages = advisor.recent_pages(kTask);
+  ASSERT_EQ(pages.size(), 3u);
+  EXPECT_EQ(pages[0], 1 * kPageSize);
+  EXPECT_EQ(pages[1], 2 * kPageSize);
+  EXPECT_EQ(pages[2], 3 * kPageSize);
+  EXPECT_TRUE(advisor.recent_pages(/*task=*/0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the thread follows its fault mass
+// ---------------------------------------------------------------------------
+
+/// The misplaced-thread pattern every integration test below uses: the
+/// worker churns `pages` of `arr` from wherever it stands (checkpoint-style
+/// mprotect downgrade + rewrite, so every round re-faults every page), and
+/// its fault mass points at whatever node serves those faults.
+void churn_rounds(Process& process, GArray<std::uint64_t>& arr,
+                  std::size_t pages, int rounds) {
+  for (int r = 1; r <= rounds; ++r) {
+    process.mprotect(arr.addr(0), pages * kPageSize, mem::kProtRead);
+    process.mprotect(arr.addr(0), pages * kPageSize, mem::kProtReadWrite);
+    for (std::size_t p = 0; p < pages; ++p) {
+      arr.set(p * kWordsPerPage, static_cast<std::uint64_t>(r) * 100 + p);
+    }
+  }
+}
+
+TEST(PlacementTest, MisplacedThreadConvergesToItsData) {
+  Watchdog dog(60);
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.auto_thread_migration = true;
+  options.home_migration = false;  // pages stay pinned: the thread must move
+  options.prefetch_max_pages = 0;
+  auto process = cluster.create_process(options);
+  process->trace().enable();
+
+  constexpr std::size_t kPages = 8;
+  constexpr int kRounds = 14;
+  GArray<std::uint64_t> arr(*process, kPages * kWordsPerPage, "parts");
+  for (std::size_t p = 0; p < kPages; ++p) arr.set(p * kWordsPerPage, p);
+
+  std::atomic<NodeId> final_node{kInvalidNode};
+  DexThread worker = process->spawn([&] {
+    migrate(1);  // the misplaced starting position; data is homed at 0
+    churn_rounds(*process, arr, kPages, kRounds);
+    final_node.store(current_node(), std::memory_order_release);
+  });
+  worker.join();
+  EXPECT_FALSE(worker.failed());
+
+  // The advisor pulled the thread to its fault mass and anchored it there.
+  EXPECT_EQ(final_node.load(), 0);
+  auto& stats = process->dsm().stats();
+  EXPECT_EQ(stats.thread_migrations_auto.load(), 1u);
+  EXPECT_GT(stats.placement_windows.load(), 0u);
+  for (std::size_t p = 0; p < kPages; ++p) {
+    EXPECT_EQ(arr.get(p * kWordsPerPage),
+              static_cast<std::uint64_t>(kRounds) * 100 + p);
+  }
+  bool traced = false;
+  for (const auto& e : process->trace().snapshot()) {
+    if (e.kind == prof::FaultKind::kThreadMigrate) traced = true;
+  }
+  EXPECT_TRUE(traced);
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+TEST(PlacementTest, LoadVetoStopsTheStampede) {
+  Watchdog dog(60);
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.cores_per_node = 1;  // one core per node: a squatter fills node 0
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.auto_thread_migration = true;
+  options.home_migration = false;
+  options.prefetch_max_pages = 0;
+  auto process = cluster.create_process(options);
+
+  constexpr std::size_t kPages = 8;
+  GArray<std::uint64_t> arr(*process, kPages * kWordsPerPage, "veto");
+  for (std::size_t p = 0; p < kPages; ++p) arr.set(p * kWordsPerPage, p);
+
+  // Load accounting tracks DeX threads, not the host harness — park a
+  // spawned thread on node 0 for the whole run so its single core is
+  // genuinely occupied when the worker's armed moves reach the veto.
+  std::atomic<bool> release{false};
+  DexThread squatter = process->spawn([&] {
+    ScopedGateBlock gate_block("veto squatter");
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+
+  std::atomic<NodeId> final_node{kInvalidNode};
+  DexThread worker = process->spawn([&] {
+    migrate(1);
+    churn_rounds(*process, arr, kPages, /*rounds=*/14);
+    final_node.store(current_node(), std::memory_order_release);
+  });
+  worker.join();
+  release.store(true, std::memory_order_release);
+  squatter.join();
+  EXPECT_FALSE(worker.failed());
+  EXPECT_FALSE(squatter.failed());
+
+  // Node 0 was full (the squatter occupied its one core): the armed
+  // moves are vetoed and the worker stays put.
+  EXPECT_EQ(final_node.load(), 1);
+  auto& stats = process->dsm().stats();
+  EXPECT_EQ(stats.thread_migrations_auto.load(), 0u);
+  EXPECT_GT(stats.placement_vetoes.load(), 0u);
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+// Satellite regression: a freshly migrated thread's HomeHintCache context
+// is whatever its destination node last learned — stale or cold for the
+// working set the thread brings along. Arrival must warm the destination's
+// hints from the local directory so the thread's first faults go straight
+// to the serving home instead of bouncing off the origin (kWrongHome).
+TEST(PlacementTest, ArrivalWarmsHomeHintsFromTheDirectory) {
+  Watchdog dog(60);
+  ClusterConfig config;
+  config.num_nodes = 3;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.auto_thread_migration = true;
+  options.home_migration = true;  // hints only matter with migrated homes
+  options.prefetch_max_pages = 0;
+  auto process = cluster.create_process(options);
+
+  constexpr std::size_t kPages = 8;
+  GArray<std::uint64_t> arr(*process, kPages * kWordsPerPage, "warm");
+  for (std::size_t p = 0; p < kPages; ++p) arr.set(p * kWordsPerPage, p);
+
+  // Hand the region's homes to node 1 the PR-4 way: a resident single
+  // faulter churns until every entry follows it.
+  DexThread resident = process->spawn([&] {
+    migrate(1);
+    churn_rounds(*process, arr, kPages, /*rounds=*/5);
+    migrate_back();
+  });
+  resident.join();
+  ASSERT_FALSE(resident.failed());
+  for (std::size_t p = 0; p < kPages; ++p) {
+    ASSERT_EQ(process->dsm().home_of_page(arr.addr(p * kWordsPerPage)), 1);
+  }
+
+  // The misplaced worker on node 2 keeps faulting against home 1 until the
+  // advisor moves it there. A second resident churns the same region from
+  // node 1 in strict alternation (host-side turn passing, gate-excluded
+  // spins): its home-local faults reset every entry's hot_run each round,
+  // so PR-4 home migration deterministically never fires and the pages
+  // stay pinned at node 1 — the thread, not the data, has to move. The
+  // worker's recent working set rides along: arrival warms node 1's hint
+  // slots for exactly those pages.
+  constexpr int kRounds = 16;
+  std::atomic<int> turn{0};  // 0 = worker writes, 1 = resident churns
+  std::atomic<VirtNs> turn_vts{0};
+  auto await_turn = [&](int who) {
+    {
+      ScopedGateBlock gate_block("placement_turn");
+      while (turn.load(std::memory_order_acquire) != who) {
+        std::this_thread::yield();
+      }
+    }
+    vclock::observe(turn_vts.load());
+  };
+  auto pass_turn = [&](int next) {
+    const VirtNs me = vclock::now();
+    VirtNs seen = turn_vts.load();
+    while (me > seen && !turn_vts.compare_exchange_weak(seen, me)) {
+    }
+    turn.store(next, std::memory_order_release);
+  };
+  std::atomic<NodeId> final_node{kInvalidNode};
+  DexThread worker = process->spawn([&] {
+    migrate(2);
+    for (int r = 1; r <= kRounds; ++r) {
+      await_turn(0);
+      churn_rounds(*process, arr, kPages, /*rounds=*/1);
+      pass_turn(1);
+    }
+    final_node.store(current_node(), std::memory_order_release);
+  });
+  DexThread keeper = process->spawn([&] {
+    migrate(1);
+    for (int r = 1; r <= kRounds; ++r) {
+      await_turn(1);
+      churn_rounds(*process, arr, kPages, /*rounds=*/1);
+      pass_turn(0);
+    }
+  });
+  worker.join();
+  keeper.join();
+  EXPECT_FALSE(worker.failed());
+  EXPECT_FALSE(keeper.failed());
+
+  EXPECT_EQ(final_node.load(), 1);
+  // The keeper's resets really did pin the pages: the data never moved.
+  for (std::size_t p = 0; p < kPages; ++p) {
+    EXPECT_EQ(process->dsm().home_of_page(arr.addr(p * kWordsPerPage)), 1);
+  }
+  auto& stats = process->dsm().stats();
+  EXPECT_GE(stats.thread_migrations_auto.load(), 1u);
+  EXPECT_GT(stats.placement_hints_warmed.load(), 0u);
+  // The warmed slots resolve the thread's working set at its new node.
+  for (std::size_t p = 0; p < kPages; ++p) {
+    const auto hint = process->dsm().home_cache(1).lookup(
+        page_base(arr.addr(p * kWordsPerPage)));
+    EXPECT_TRUE(hint.valid) << "page " << p;
+    EXPECT_EQ(hint.home, 1) << "page " << p;
+  }
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+// Satellite regression: migration x async engine. The advisor must never
+// move a thread over a node with parked engine transactions (it defers
+// instead), and a completed run leaves zero engine transactions
+// outstanding and zero frame-admission credits held by any worker.
+TEST(PlacementTest, EngineInterplayLeavesNoParkedWorkOrCredits) {
+  Watchdog dog(120);
+  ClusterConfig config;
+  config.num_nodes = 3;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.auto_thread_migration = true;
+  options.home_migration = false;
+  options.async_engine = true;
+  options.max_inflight_transactions = 8;
+  options.prefetch_max_pages = 4;  // streams keep the engine busy
+  // A real (generous) budget so admission credits actually flow — the
+  // leak audit below would be vacuous against the budget-0 no-op path.
+  options.frame_budget_bytes = 64 * kPageSize;
+  auto process = cluster.create_process(options);
+
+  constexpr int kWorkers = 2;
+  constexpr int kRounds = 24;
+  constexpr std::size_t kPages = 8;
+  GArray<std::uint64_t> arr(*process, kWorkers * kPages * kWordsPerPage,
+                            "engine");
+  for (std::size_t p = 0; p < kWorkers * kPages; ++p) {
+    arr.set(p * kWordsPerPage, p);
+  }
+
+  std::atomic<int> leaked_credits{0};
+  std::vector<DexThread> workers;
+  for (int t = 0; t < kWorkers; ++t) {
+    workers.push_back(process->spawn([&, t] {
+      migrate(1 + t);  // misplaced: both partitions are homed at node 0
+      const std::size_t base = static_cast<std::size_t>(t) * kPages;
+      for (int r = 1; r <= kRounds; ++r) {
+        process->mprotect(arr.addr(base * kWordsPerPage), kPages * kPageSize,
+                          mem::kProtRead);
+        process->mprotect(arr.addr(base * kWordsPerPage), kPages * kPageSize,
+                          mem::kProtReadWrite);
+        for (std::size_t p = 0; p < kPages; ++p) {
+          arr.set((base + p) * kWordsPerPage,
+                  static_cast<std::uint64_t>(r) * 100 + p);
+        }
+      }
+      // Credits are per-(thread, pool): only the owning thread can see a
+      // leak, so each worker audits its own before exiting.
+      for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+        if (process->dsm().frame_pool(n).credit_bytes() != 0) {
+          leaked_credits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }));
+  }
+  for (auto& w : workers) w.join();
+  for (auto& w : workers) EXPECT_FALSE(w.failed());
+
+  EXPECT_EQ(leaked_credits.load(), 0);
+  ASSERT_NE(process->engine(), nullptr);
+  EXPECT_EQ(process->engine()->outstanding(), 0u);
+  auto& stats = process->dsm().stats();
+  EXPECT_GE(stats.thread_migrations_auto.load(),
+            static_cast<std::uint64_t>(kWorkers));
+  EXPECT_GT(stats.engine_submitted.load(), 0u);
+  for (std::size_t p = 0; p < kWorkers * kPages; ++p) {
+    EXPECT_EQ(arr.get(p * kWordsPerPage),
+              static_cast<std::uint64_t>(kRounds) * 100 + p % kPages);
+  }
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+// The ablation: auto_thread_migration=false must be the seed protocol to
+// the counter — no advisor, no placement traffic, zero new messages.
+TEST(PlacementTest, KnobOffKeepsEveryPlacementCounterZero)  {
+  Watchdog dog(60);
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.auto_thread_migration = false;
+  options.home_migration = false;
+  options.prefetch_max_pages = 0;
+  auto process = cluster.create_process(options);
+
+  constexpr std::size_t kPages = 8;
+  GArray<std::uint64_t> arr(*process, kPages * kWordsPerPage, "off");
+  for (std::size_t p = 0; p < kPages; ++p) arr.set(p * kWordsPerPage, p);
+
+  std::atomic<NodeId> final_node{kInvalidNode};
+  DexThread worker = process->spawn([&] {
+    migrate(1);
+    churn_rounds(*process, arr, kPages, /*rounds=*/14);
+    final_node.store(current_node(), std::memory_order_release);
+  });
+  worker.join();
+  EXPECT_FALSE(worker.failed());
+
+  EXPECT_EQ(final_node.load(), 1);  // nobody moved it
+  EXPECT_EQ(process->placement(), nullptr);
+  auto& stats = process->dsm().stats();
+  EXPECT_EQ(stats.thread_migrations_auto.load(), 0u);
+  EXPECT_EQ(stats.placement_windows.load(), 0u);
+  EXPECT_EQ(stats.placement_vetoes.load(), 0u);
+  EXPECT_EQ(stats.placement_deferrals.load(), 0u);
+  EXPECT_EQ(stats.placement_arbitrations.load(), 0u);
+  EXPECT_EQ(stats.placement_hints_warmed.load(), 0u);
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
+}  // namespace
+}  // namespace dex

@@ -354,6 +354,98 @@ TEST_P(ProtocolProperty, AsyncEnginePreservesTheMemoryImage) {
   EXPECT_EQ(image[0], image[1]);
 }
 
+// Property: joint thread<->page placement is invisible to the memory
+// image. The same workload — contended strided writers plus a misplaced
+// checkpoint churner whose sustained remote fault mass actually trips
+// thread migration — must end bit-identical with the knob off (seed
+// placement, every advisor counter provably zero) and on (threads really
+// moving on multi-node shapes), with directory invariants throughout.
+TEST_P(ProtocolProperty, AutoThreadMigrationPreservesTheMemoryImage) {
+  const Shape shape = GetParam();
+  constexpr std::size_t kSlots = 2048;       // 4 pages of strided slots
+  constexpr std::size_t kHotPages = 8;
+  constexpr std::size_t kHotWords = kHotPages * kPageSize / 8;
+  const NodeId misplaced = shape.nodes > 1 ? 1 : 0;
+
+  std::vector<std::uint64_t> image[2];
+  std::uint64_t migrations[2] = {0, 0};
+  for (int on = 0; on <= 1; ++on) {
+    ClusterConfig config;
+    config.num_nodes = shape.nodes;
+    Cluster cluster(config);
+    ProcessOptions options;
+    options.coalesce_faults = shape.coalesce;
+    // Pin the homes: with pages unable to chase their faulter, a
+    // misplaced thread's only path to locality is moving itself.
+    options.home_migration = false;
+    options.auto_thread_migration = on != 0;
+    auto process = cluster.create_process(options);
+
+    GArray<std::uint64_t> slots(*process, kSlots, "slots");
+    GArray<std::uint64_t> hot(*process, kHotWords, "hot");
+
+    std::vector<DexThread> threads;
+    for (int t = 0; t < shape.threads; ++t) {
+      threads.push_back(process->spawn([&, t] {
+        Xoshiro256 rng(static_cast<std::uint64_t>(t) * 947 + 3);
+        migrate(static_cast<NodeId>(t % shape.nodes));
+        for (int round = 0; round < 40; ++round) {
+          const std::size_t slot =
+              static_cast<std::size_t>(t) +
+              static_cast<std::size_t>(rng.next_below(
+                  kSlots / static_cast<std::size_t>(shape.threads))) *
+                  static_cast<std::size_t>(shape.threads);
+          slots.set(slot, (static_cast<std::uint64_t>(t) << 32) |
+                              static_cast<std::uint64_t>(round));
+        }
+        migrate_back();
+      }));
+    }
+    // The misplaced thread: parked away from its origin-homed hot region,
+    // checkpoint churn re-faults every hot page against home 0 each round
+    // — the sustained multi-page remote mass the advisor migrates for.
+    threads.push_back(process->spawn([&] {
+      migrate(misplaced);
+      for (int r = 1; r <= 12; ++r) {
+        process->mprotect(hot.addr(0), kHotPages * kPageSize,
+                          mem::kProtRead);
+        process->mprotect(hot.addr(0), kHotPages * kPageSize,
+                          mem::kProtReadWrite);
+        for (std::size_t p = 0; p < kHotPages; ++p) {
+          hot.set(p * kPageSize / 8,
+                  static_cast<std::uint64_t>(r) * 10 + p);
+        }
+      }
+      migrate_back();
+    }));
+    for (auto& t : threads) t.join();
+    EXPECT_TRUE(process->dsm().check_invariants());
+
+    auto& stats = process->dsm().stats();
+    migrations[on] = stats.thread_migrations_auto.load();
+    if (on == 0) {
+      // Knob off is the seed placement bit-for-bit: no advisor exists, no
+      // placement counter can tick.
+      EXPECT_EQ(process->placement(), nullptr);
+      EXPECT_EQ(stats.thread_migrations_auto.load(), 0u);
+      EXPECT_EQ(stats.placement_windows.load(), 0u);
+      EXPECT_EQ(stats.placement_vetoes.load(), 0u);
+      EXPECT_EQ(stats.placement_deferrals.load(), 0u);
+      EXPECT_EQ(stats.placement_arbitrations.load(), 0u);
+      EXPECT_EQ(stats.placement_hints_warmed.load(), 0u);
+    }
+
+    image[on].resize(kSlots + kHotWords);
+    slots.read_block(0, kSlots, image[on].data());
+    hot.read_block(0, kHotWords, image[on].data() + kSlots);
+  }
+  EXPECT_EQ(image[0], image[1]);
+  EXPECT_EQ(migrations[0], 0u);
+  if (shape.nodes > 1) {
+    EXPECT_GT(migrations[1], 0u);  // the misplaced thread really moved
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, ProtocolProperty,
     ::testing::Values(Shape{1, 4, true}, Shape{2, 4, true},

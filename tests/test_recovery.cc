@@ -480,6 +480,61 @@ TEST(RecoveryTest, LostThreadRestartsAtOriginAndCompletes) {
   EXPECT_TRUE(process->dsm().check_invariants());
 }
 
+TEST(RecoveryTest, LostThreadRestartsInPlaceWhenItsNodeSurvives) {
+  Watchdog dog(60);
+  ClusterConfig config;
+  config.num_nodes = 3;
+  // Chaos schedule: the first write-fault RPC issued from node 1 loses
+  // every wire traversal until the retry budget (4 attempts) is spent,
+  // then the rule disarms. The thread dies to RpcError while its node is
+  // perfectly healthy — the restart must happen *in place* at node 1, not
+  // back at the origin.
+  net::FaultRule rule;
+  rule.type = MsgType::kPageRequestWrite;
+  rule.src = 1;
+  rule.drop_prob = 1.0;
+  rule.max_faults = 4;
+  config.faults.seed = 17;
+  config.faults.rules.push_back(rule);
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.restart_lost_threads = true;
+  auto process = cluster.create_process(options);
+
+  constexpr std::size_t kWords = 2 * kWordsPerPage;
+  auto expected = [](std::size_t i) {
+    return 7000007u * (static_cast<std::uint64_t>(i) + 1);
+  };
+  GArray<std::uint64_t> arr(*process, kWords, "restart_in_place");
+  std::atomic<int> attempts{0};
+  std::array<NodeId, 2> placement_at_entry = {kInvalidNode, kInvalidNode};
+
+  DexThread worker = process->spawn([&] {
+    const int attempt = attempts.fetch_add(1, std::memory_order_relaxed);
+    if (attempt < 2) placement_at_entry[static_cast<std::size_t>(attempt)] =
+        current_node();
+    migrate(1);
+    for (std::size_t i = 0; i < kWords; ++i) arr.set(i, expected(i));
+  });
+  worker.join();
+
+  // Attempt 1 entered at the origin and died mid-write on node 1; attempt
+  // 2 entered *already on node 1* (restart at last placement — its node
+  // never failed), the chaos rule had disarmed, and the job completed.
+  EXPECT_FALSE(worker.failed());
+  EXPECT_EQ(attempts.load(), 2);
+  EXPECT_EQ(placement_at_entry[0], 0);
+  EXPECT_EQ(placement_at_entry[1], 1);
+  auto& failure = process->dsm().failure_stats();
+  EXPECT_EQ(failure.threads_restarted.load(), 1u);
+  EXPECT_EQ(failure.threads_lost.load(), 0u);
+  EXPECT_FALSE(cluster.node_dead(1));
+  for (std::size_t i = 0; i < kWords; ++i) {
+    ASSERT_EQ(arr.get(i), expected(i)) << "slot " << i;
+  }
+  EXPECT_TRUE(process->dsm().check_invariants());
+}
+
 TEST(RecoveryTest, HealThenRemigrateRecreatesTheRemoteWorker) {
   Watchdog dog(60);
   ClusterConfig config;
