@@ -76,6 +76,12 @@ int main() {
       counters.placement_deferrals = result.placement_deferrals;
       counters.placement_arbitrations = result.placement_arbitrations;
       counters.placement_hints_warmed = result.placement_hints_warmed;
+      counters.origin_failovers = result.origin_failovers;
+      counters.dir_mutations_replicated = result.dir_mutations_replicated;
+      counters.replication_batches = result.replication_batches;
+      counters.replica_journal_pages = result.replica_journal_pages;
+      counters.scavenge_pages_rebuilt = result.scavenge_pages_rebuilt;
+      counters.replication_lag = result.replication_lag;
       analysis.set_protocol_counters(counters);
       std::printf("%s\n", analysis.format_report(6).c_str());
     }

@@ -1,20 +1,39 @@
 // Self-healing recovery bench (DESIGN.md "Self-healing").
 //
-// Measures the two costs the robustness layer introduces and the one it
-// removes: how long the accrual detector takes to declare a silently
-// failed node dead (detection latency, in heartbeat rounds and virtual
-// time), what the recovery path salvages (journaled pages recovered vs
-// dirty pages lost, threads restarted), and the steady-state lease traffic
-// that buys the bounded dirty-loss window. Emits BENCH_recovery.json.
+// Two modes, selected by DEX_RECOVERY_ORIGIN:
+//
+//   (default)              Silent *member* failure: measures how long the
+//                          accrual detector takes to declare a silently
+//                          failed node dead, what the recovery path salvages
+//                          (journaled pages recovered vs dirty pages lost,
+//                          threads restarted), and the steady-state lease
+//                          traffic that buys the bounded dirty-loss window.
+//                          Emits BENCH_recovery.json.
+//
+//   DEX_RECOVERY_ORIGIN=1  Double failure with origin_failover on: a writer
+//                          node dies first (classic journal recovery pulls
+//                          its pages back to the origin), then node 0 —
+//                          origin, coordinator, every home, and the journal
+//                          — goes silently dark. The survivors elect a
+//                          successor and the deputy promotes, restoring the
+//                          recovered pages from its replicated journal
+//                          images. Measures detection and rebuild latency,
+//                          pages recovered vs lost, and the replication lag
+//                          at the moment of death. Emits
+//                          BENCH_origin_failover.json.
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "common/virtual_clock.h"
 #include "core/api.h"
 #include "prof/trace.h"
 
-int main() {
+namespace {
+
+int run_silent_member_failure() {
   using namespace dex;
   using namespace dex::bench;
 
@@ -155,4 +174,211 @@ int main() {
   doc.set("leases", "recalls", static_cast<double>(stats.lease_recalls));
   doc.write("BENCH_recovery.json");
   return 0;
+}
+
+int run_origin_failover() {
+  using namespace dex;
+  using namespace dex::bench;
+
+  prof::ChaosCounters::instance().reset();
+
+  core::ClusterConfig cluster_config;
+  cluster_config.num_nodes = 4;
+  cluster_config.retry.max_attempts = 16;
+  cluster_config.detector.enabled = true;
+  cluster_config.detector.succession = true;
+  cluster_config.detector.heartbeat_interval_ns = 50'000;
+
+  core::Cluster cluster(cluster_config);
+
+  core::ProcessOptions options;
+  options.origin_failover = true;
+  options.lease_ns = 20'000;
+  // Homes stay at the origin so its death takes out every home AND the
+  // journal at once — the worst case the replica + scavenge rebuild covers.
+  options.home_migration = false;
+  auto process = cluster.create_process(options);
+
+  constexpr int kPages = 32;
+  constexpr std::uint64_t kStamp = 0xBEEF0000u;
+  const GAddr base =
+      process->mmap(kPages * kPageSize, mem::kProtReadWrite, "failover");
+  for (int p = 0; p < kPages; ++p) {
+    process->store<std::uint64_t>(base + p * kPageSize, 0);
+  }
+
+  // The writer dirties the working set from node 3 (neither the origin nor
+  // its deputy, node 1). After warm-up it writes one lease-expired stamped
+  // sweep — every store renews, journaling the final image at the origin
+  // and replicating it to the deputy — then parks across both failures.
+  const NodeId victim = 3;
+  std::atomic<bool> warm_done{false};
+  std::atomic<bool> do_final{false};
+  std::atomic<bool> final_done{false};
+  std::atomic<bool> released{false};
+  std::atomic<std::uint64_t> writes{0};
+
+  auto writer = process->spawn([&] {
+    if (!cluster.node_dead(victim)) process->migrate(victim);
+    std::uint64_t value = 1;
+    while (!warm_done.load(std::memory_order_acquire)) {
+      for (int p = 0; p < kPages; ++p) {
+        process->store<std::uint64_t>(base + p * kPageSize,
+                                      value + static_cast<std::uint64_t>(p));
+      }
+      ++value;
+      writes.fetch_add(kPages, std::memory_order_relaxed);
+    }
+    while (!do_final.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    // Stamp, expire every lease, then restamp: the second sweep's renewals
+    // piggyback the (already stamped) dirty image into the origin journal,
+    // so the stamp itself — not a stale warm-up image — is what recovery
+    // must reproduce.
+    for (int p = 0; p < kPages; ++p) {
+      process->store<std::uint64_t>(base + p * kPageSize,
+                                    kStamp + static_cast<std::uint64_t>(p));
+    }
+    vclock::advance(options.lease_ns + 1);
+    for (int p = 0; p < kPages; ++p) {
+      process->store<std::uint64_t>(base + p * kPageSize,
+                                    kStamp + static_cast<std::uint64_t>(p));
+    }
+    final_done.store(true, std::memory_order_release);
+    while (!released.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+
+  auto& stats = process->dsm().stats();
+  auto& failure = process->dsm().failure_stats();
+  auto& chaos = prof::ChaosCounters::instance();
+
+  // Warm-up: detector history, a dirtied working set, and at least one lease
+  // renewal so the journal path is exercised before the stamped sweep.
+  int warmup = 0;
+  while (writes.load(std::memory_order_relaxed) <
+             static_cast<std::uint64_t>(kPages) * 64 ||
+         stats.lease_renewals.load() == 0 || warmup < 12) {
+    cluster.run_membership_round();
+    if (++warmup > 100'000) break;
+  }
+  warm_done.store(true, std::memory_order_release);
+
+  // Run the stamped sweeps, then flush so the deputy's replica is current.
+  do_final.store(true, std::memory_order_release);
+  while (!final_done.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  process->dsm().flush_replication();
+  const std::uint64_t replicated_at_death =
+      stats.dir_mutations_replicated.load();
+
+  // First failure: the oracle kills the writer's node. Classic journal
+  // recovery restores the stamped pages at the origin.
+  cluster.fail_node(victim);
+  const std::uint64_t journal_recovered = failure.pages_recovered.load();
+  released.store(true, std::memory_order_release);
+  writer.join();
+
+  // Re-warm the detector: the free-running writer and the quiesce+reclaim
+  // advanced the virtual clock far between heartbeats, leaving inflated
+  // inter-arrival samples that would stretch the detection horizon. Enough
+  // quiet rounds to cycle the full 16-sample history re-baselines the mean
+  // to the configured cadence before the origin's death is scored.
+  for (int i = 0; i < 24; ++i) cluster.run_membership_round();
+
+  // Second failure, silent: node 0 — origin, coordinator, every home, and
+  // the journal — goes dark. Only heartbeat silence reveals it; succession
+  // elects node 1, which promotes and rebuilds from its replica.
+  const VirtNs isolated_at = vclock::now();
+  cluster.fabric().injector().isolate_node(0);
+  int rounds = 1;
+  while (cluster.run_membership_round() == 0 && rounds < 64) ++rounds;
+  const VirtNs detected_at = vclock::now();
+  const VirtNs detection_ns = detected_at - isolated_at;
+
+  // The declaration round ran promotion + rebuild synchronously; a checker
+  // at the promoted origin now verifies every stamped page survived both
+  // failures, timing the first post-failover reads.
+  std::atomic<std::uint64_t> intact{0};
+  auto checker = process->spawn([&] {
+    for (int p = 0; p < kPages; ++p) {
+      if (process->load<std::uint64_t>(base + p * kPageSize) ==
+          kStamp + static_cast<std::uint64_t>(p)) {
+        intact.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  checker.join();
+  const VirtNs recovered_at = vclock::now();
+
+  print_header("Origin failover: writer death, then silent origin death");
+  std::printf("  detection: %d heartbeat rounds, %s us of silence\n", rounds,
+              us(detection_ns).c_str());
+  std::printf(
+      "  succession: epoch=%llu coordinator=%d origin=%d failovers=%llu\n",
+      static_cast<unsigned long long>(cluster.membership_epoch()),
+      static_cast<int>(cluster.coordinator()),
+      static_cast<int>(process->origin()),
+      static_cast<unsigned long long>(failure.origin_failovers.load()));
+  std::printf(
+      "  replication: %llu mutations in %llu batches, %llu lagged at death\n",
+      static_cast<unsigned long long>(replicated_at_death),
+      static_cast<unsigned long long>(stats.replication_batches.load()),
+      static_cast<unsigned long long>(stats.replication_lag.load()));
+  std::printf(
+      "  rebuild: %llu journal-recovered, %llu from the replica journal, "
+      "%llu scavenged, %llu dirty lost\n",
+      static_cast<unsigned long long>(journal_recovered),
+      static_cast<unsigned long long>(stats.replica_journal_pages.load()),
+      static_cast<unsigned long long>(stats.scavenge_pages_rebuilt.load()),
+      static_cast<unsigned long long>(failure.dirty_pages_lost.load()));
+  std::printf("  image: %llu/%d stamped pages intact after both failures\n",
+              static_cast<unsigned long long>(intact.load()), kPages);
+
+  JsonDoc doc;
+  doc.set("config", "nodes", cluster_config.num_nodes);
+  doc.set("config", "heartbeat_interval_ns",
+          static_cast<double>(cluster_config.detector.heartbeat_interval_ns));
+  doc.set("config", "lease_ns", static_cast<double>(options.lease_ns));
+  doc.set("detection", "rounds", rounds);
+  doc.set("detection", "latency_ns", static_cast<double>(detection_ns));
+  doc.set("detection", "heartbeats",
+          static_cast<double>(chaos.heartbeats.load()));
+  doc.set("failover", "origin_failovers",
+          static_cast<double>(failure.origin_failovers.load()));
+  doc.set("failover", "promoted_origin",
+          static_cast<double>(process->origin()));
+  doc.set("failover", "recovery_window_ns",
+          static_cast<double>(recovered_at - detected_at));
+  doc.set("replication", "dir_mutations_replicated",
+          static_cast<double>(replicated_at_death));
+  doc.set("replication", "batches",
+          static_cast<double>(stats.replication_batches.load()));
+  doc.set("replication", "lag",
+          static_cast<double>(stats.replication_lag.load()));
+  doc.set("rebuild", "journal_recovered",
+          static_cast<double>(journal_recovered));
+  doc.set("rebuild", "replica_journal_pages",
+          static_cast<double>(stats.replica_journal_pages.load()));
+  doc.set("rebuild", "scavenge_pages_rebuilt",
+          static_cast<double>(stats.scavenge_pages_rebuilt.load()));
+  doc.set("rebuild", "dirty_pages_lost",
+          static_cast<double>(failure.dirty_pages_lost.load()));
+  doc.set("rebuild", "pages_intact",
+          static_cast<double>(intact.load()));
+  doc.write("BENCH_origin_failover.json");
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  const char* origin_mode = std::getenv("DEX_RECOVERY_ORIGIN");
+  if (origin_mode != nullptr && origin_mode[0] == '1') {
+    return run_origin_failover();
+  }
+  return run_silent_member_failure();
 }

@@ -90,6 +90,12 @@ void snapshot_stats(core::Process& process, RunResult& result) {
   result.placement_deferrals = stats.placement_deferrals.load();
   result.placement_arbitrations = stats.placement_arbitrations.load();
   result.placement_hints_warmed = stats.placement_hints_warmed.load();
+  result.origin_failovers = failure.origin_failovers.load();
+  result.dir_mutations_replicated = stats.dir_mutations_replicated.load();
+  result.replication_batches = stats.replication_batches.load();
+  result.replica_journal_pages = stats.replica_journal_pages.load();
+  result.scavenge_pages_rebuilt = stats.scavenge_pages_rebuilt.load();
+  result.replication_lag = stats.replication_lag.load();
   if (process.trace().enabled()) {
     result.trace = process.trace().snapshot();
   }

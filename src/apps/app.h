@@ -73,6 +73,10 @@ struct RunConfig {
   bool auto_thread_migration = false;
   /// Consecutive dominant decision windows before a thread moves.
   int thread_migrate_run = 3;
+  /// Origin failover: directory metadata replicates to a deputy that
+  /// promotes itself when the origin dies (off = the seed protocol, origin
+  /// death unsurvivable).
+  bool origin_failover = false;
 };
 
 struct RunResult {
@@ -136,6 +140,13 @@ struct RunResult {
   std::uint64_t placement_deferrals = 0;
   std::uint64_t placement_arbitrations = 0;
   std::uint64_t placement_hints_warmed = 0;
+  /// Origin-failover counters (zero unless origin_failover was on).
+  std::uint64_t origin_failovers = 0;
+  std::uint64_t dir_mutations_replicated = 0;
+  std::uint64_t replication_batches = 0;
+  std::uint64_t replica_journal_pages = 0;
+  std::uint64_t scavenge_pages_rebuilt = 0;
+  std::uint64_t replication_lag = 0;
   std::vector<prof::FaultEvent> trace;  // when trace_faults was set
 };
 
@@ -184,6 +195,7 @@ class App {
     popt.max_inflight_transactions = config.max_inflight_transactions;
     popt.auto_thread_migration = config.auto_thread_migration;
     popt.thread_migrate_run = config.thread_migrate_run;
+    popt.origin_failover = config.origin_failover;
     return popt;
   }
 };

@@ -107,7 +107,7 @@ void Cluster::heal_node(NodeId node) {
     }
   }
   if (detector_) detector_->reset_node(node, vclock::now());
-  if (rejoined) broadcast_membership(epoch, mask);
+  if (rejoined) broadcast_membership(epoch, mask, coordinator_of(mask));
 }
 
 // ---------------------------------------------------------------------------
@@ -116,26 +116,28 @@ void Cluster::heal_node(NodeId node) {
 
 int Cluster::run_membership_round() {
   if (!detector_) return 0;
-  constexpr NodeId kCoordinator = 0;
 
   // 1. Heartbeats: every node not yet *declared* dead pings the
   //    coordinator. Oracle-killed and isolated nodes go silent here — the
   //    post either throws (dead source), is discarded (dead destination)
   //    or is dropped by the injector; silence is exactly the signal the
-  //    detector scores.
+  //    detector scores. With succession off the coordinator is the seed's
+  //    pinned node 0 and the loop below is the seed loop verbatim.
   std::uint64_t declared;
   {
     std::lock_guard<std::mutex> lock(membership_mu_);
     declared = dead_mask_;
   }
-  for (NodeId n = 1; n < config_.num_nodes; ++n) {
+  const NodeId coord = coordinator_of(declared);
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    if (n == coord) continue;
     if ((declared >> n) & 1u) continue;
     net::HeartbeatPayload payload{};
     payload.node = n;
     payload.sequence = ++heartbeat_seq_[static_cast<std::size_t>(n)];
     Message msg;
     msg.type = MsgType::kHeartbeat;
-    msg.dst = kCoordinator;
+    msg.dst = coord;
     msg.set_payload(payload);
     try {
       (void)fabric_->post_datagram(n, msg);
@@ -143,14 +145,47 @@ int Cluster::run_membership_round() {
       // Dead source: stays silent; the detector notices below.
     }
   }
+  if (config_.detector.succession && !((declared >> coord) & 1u)) {
+    // The coordinator heartbeats its standby so its own silence can be
+    // scored: the heartbeat handler records every arrival regardless of
+    // destination, so the shared detector has coordinator history the
+    // moment a successor needs it.
+    const NodeId standby = next_survivor(declared, coord);
+    if (standby != kInvalidNode) {
+      net::HeartbeatPayload payload{};
+      payload.node = coord;
+      payload.sequence = ++heartbeat_seq_[static_cast<std::size_t>(coord)];
+      Message msg;
+      msg.type = MsgType::kHeartbeat;
+      msg.dst = standby;
+      msg.set_payload(payload);
+      try {
+        (void)fabric_->post_datagram(coord, msg);
+      } catch (const net::NodeDeadError&) {
+        // Dead coordinator: stays silent; succession fires below.
+      }
+    }
+  }
 
   // 2. One heartbeat interval elapses on the pump's clock.
   vclock::advance(config_.detector.heartbeat_interval_ns);
   const VirtNs now = vclock::now();
 
-  // 3. Score silence and transition the membership state machine.
+  // 3. Score silence and transition the membership state machine. The
+  //    observations are the coordinator's (heartbeats are addressed to
+  //    it), so when succession is on and the coordinator itself has gone
+  //    quiet — its standby-bound heartbeats score as suspect — a cut
+  //    coordinator eats everyone's heartbeats and would have the sick
+  //    observer declare the whole healthy cluster dead. Don't trust a
+  //    suspect observer: skip ordinary declarations until succession
+  //    resolves (3b) and arrivals resume at the successor.
   int newly_dead = 0;
-  for (NodeId n = 1; n < config_.num_nodes; ++n) {
+  const bool observer_suspect =
+      config_.detector.succession && !((declared >> coord) & 1u) &&
+      detector_->phi(coord, now) >= config_.detector.phi_suspect;
+  const NodeId score_limit = observer_suspect ? 0 : config_.num_nodes;
+  for (NodeId n = 0; n < score_limit; ++n) {
+    if (n == coord) continue;
     const double phi = detector_->phi(n, now);
     bool declare = false;
     std::uint64_t epoch = 0;
@@ -181,11 +216,57 @@ int Cluster::run_membership_round() {
         1, std::memory_order_relaxed);
     // Everyone agrees before anyone recovers: broadcast the epoch-stamped
     // verdict, then fence + reclaim (unless the oracle already did).
-    broadcast_membership(epoch, mask);
+    broadcast_membership(epoch, mask, coord);
     if (!fabric_->injector().node_dead(n)) {
       fail_node(n);
     }
     ++newly_dead;
+  }
+
+  // 3b. Coordinator succession: the standby scores the coordinator's own
+  //     silence, and on phi_dead the lowest-id survivor self-elects by
+  //     declaring the old coordinator under a fresh epoch. Adoption stays
+  //     monotonic, so survivors converge on exactly one successor view.
+  if (config_.detector.succession && !((declared >> coord) & 1u)) {
+    const double phi = detector_->phi(coord, now);
+    bool declare = false;
+    std::uint64_t epoch = 0;
+    std::uint64_t mask = 0;
+    {
+      std::lock_guard<std::mutex> lock(membership_mu_);
+      auto& state = member_state_[static_cast<std::size_t>(coord)];
+      if (state != MemberState::kDead && phi >= config_.detector.phi_dead) {
+        state = MemberState::kDead;
+        dead_mask_ |= std::uint64_t{1} << coord;
+        epoch = ++membership_epoch_;
+        mask = dead_mask_;
+        declare = true;
+      }
+    }
+    if (declare) {
+      prof::ChaosCounters::instance().nodes_declared_dead.fetch_add(
+          1, std::memory_order_relaxed);
+      const NodeId successor = coordinator_of(mask);
+      broadcast_membership(epoch, mask, successor);
+      // The successor opens a fresh observation epoch: the dead
+      // coordinator's final window starved every heartbeat stream (they
+      // were all addressed to it), so survivors' histories are uniformly
+      // stale. Each gets a full detection window — and a clean slate —
+      // before suspicion accrues at the new observer.
+      {
+        std::lock_guard<std::mutex> lock(membership_mu_);
+        for (NodeId n = 0; n < config_.num_nodes; ++n) {
+          if ((mask >> n) & 1u) continue;
+          detector_->reset_node(n, now);
+          auto& state = member_state_[static_cast<std::size_t>(n)];
+          if (state == MemberState::kSuspect) state = MemberState::kAlive;
+        }
+      }
+      if (!fabric_->injector().node_dead(coord)) {
+        fail_node(coord);
+      }
+      ++newly_dead;
+    }
   }
 
   // 4. Lease patrol: recall expired writeback leases so dirty exposure
@@ -234,35 +315,57 @@ std::uint64_t Cluster::view_dead_mask(NodeId node) const {
 }
 
 void Cluster::broadcast_membership(std::uint64_t epoch,
-                                   std::uint64_t dead_mask) {
-  constexpr NodeId kCoordinator = 0;
+                                   std::uint64_t dead_mask, NodeId src) {
   net::MembershipUpdatePayload payload{};
   payload.epoch = epoch;
   payload.dead_mask = dead_mask;
-  // The coordinator adopts its own verdict directly...
+  // The announcing coordinator adopts its own verdict directly...
   {
     std::lock_guard<std::mutex> lock(membership_mu_);
-    if (epoch > view_epoch_[kCoordinator]) {
-      view_epoch_[kCoordinator] = epoch;
-      view_dead_mask_[kCoordinator] = dead_mask;
+    auto& self_epoch = view_epoch_[static_cast<std::size_t>(src)];
+    if (epoch > self_epoch) {
+      self_epoch = epoch;
+      view_dead_mask_[static_cast<std::size_t>(src)] = dead_mask;
     }
   }
   // ...and announces it to every node not in the mask. Unreliable
   // datagrams suffice: a dropped update is superseded by the next higher
   // epoch, and adoption is monotonic, so views never diverge permanently.
-  for (NodeId n = 1; n < config_.num_nodes; ++n) {
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    if (n == src) continue;
     if ((dead_mask >> n) & 1u) continue;
     Message msg;
     msg.type = MsgType::kMembershipUpdate;
     msg.dst = n;
     msg.set_payload(payload);
     try {
-      (void)fabric_->post_datagram(kCoordinator, msg);
+      (void)fabric_->post_datagram(src, msg);
     } catch (const net::NodeDeadError&) {
       // Coordinator fenced mid-broadcast; nothing to announce to.
       return;
     }
   }
+}
+
+NodeId Cluster::coordinator() const {
+  std::lock_guard<std::mutex> lock(membership_mu_);
+  return coordinator_of(dead_mask_);
+}
+
+NodeId Cluster::coordinator_of(std::uint64_t dead_mask) const {
+  if (!config_.detector.succession) return 0;  // the seed's pinned node 0
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    if (!((dead_mask >> n) & 1u)) return n;
+  }
+  return 0;
+}
+
+NodeId Cluster::next_survivor(std::uint64_t dead_mask, NodeId after) const {
+  for (NodeId n = static_cast<NodeId>(after + 1); n < config_.num_nodes;
+       ++n) {
+    if (!((dead_mask >> n) & 1u)) return n;
+  }
+  return kInvalidNode;
 }
 
 Message Cluster::handle_heartbeat(const Message& msg) {
@@ -382,6 +485,17 @@ void Cluster::install_handlers() {
       MsgType::kEvictPage, [route](const Message& msg) {
         return route(
             msg, [&](Process& p) { return p.dsm().handle_evict_page(msg); });
+      });
+  fabric_->register_handler(
+      MsgType::kDirReplicate, [route](const Message& msg) {
+        return route(msg, [&](Process& p) {
+          return p.dsm().handle_dir_replicate(msg);
+        });
+      });
+  fabric_->register_handler(
+      MsgType::kScavengeRequest, [route](const Message& msg) {
+        return route(
+            msg, [&](Process& p) { return p.dsm().handle_scavenge(msg); });
       });
   // Heartbeats and membership updates are cluster-level (no process-id
   // prefix); they bypass the process router.

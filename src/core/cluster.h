@@ -33,6 +33,12 @@ struct DetectorConfig {
   /// phi >= phi_dead declares the node dead cluster-wide (~7 silent
   /// intervals at the default; see net/failure_detector.h).
   double phi_dead = 3.0;
+  /// Coordinator succession (off = the seed's pinned node-0 coordinator).
+  /// On: the lowest-id survivor coordinates, the coordinator heartbeats its
+  /// standby (the next-lowest survivor) so its own silence is scored, and a
+  /// dead coordinator is succeeded by the standby under the same
+  /// epoch-stamped monotonic-adoption rule — no split-brain.
+  bool succession = false;
 };
 
 /// Membership state of one node as seen by the coordinator.
@@ -77,7 +83,9 @@ class Cluster {
   /// Declares `node` dead: in-flight and future RPCs touching it raise
   /// NodeDeadError, and every registered process reclaims the pages and
   /// threads it loses (graceful degradation; see DESIGN.md "Failure
-  /// model"). Failing a process's origin node is unsupported.
+  /// model"). Failing a process's origin node promotes its deputy when
+  /// DsmConfig::origin_failover is on; otherwise the process reports the
+  /// unsupported death (mem::OriginDeadError) and degrades.
   void fail_node(NodeId node);
   /// Re-admits a previously failed node after sweeping any state that
   /// raced the failure; the node rejoins empty and refaults everything.
@@ -107,6 +115,11 @@ class Cluster {
   std::uint64_t view_dead_mask(NodeId node) const;
   net::AccrualDetector* detector() { return detector_.get(); }
 
+  /// The current membership coordinator: node 0 with succession off (the
+  /// seed's pinned coordinator), otherwise the lowest-id node not yet
+  /// declared dead.
+  NodeId coordinator() const;
+
   /// The node currently running the fewest DeX threads — the target the
   /// §III-A "scheduler-initiated migration" extension balances toward.
   NodeId least_loaded_node() const {
@@ -130,10 +143,15 @@ class Cluster {
   void install_handlers();
   net::Message handle_heartbeat(const net::Message& msg);
   net::Message handle_membership_update(const net::Message& msg);
-  /// Broadcasts the current (epoch, dead-mask) from the coordinator to
-  /// every node not in the mask. Must NOT be called holding membership_mu_
-  /// (the update handler takes it).
-  void broadcast_membership(std::uint64_t epoch, std::uint64_t dead_mask);
+  /// Broadcasts the current (epoch, dead-mask) from `src` (the announcing
+  /// coordinator) to every node not in the mask. Must NOT be called holding
+  /// membership_mu_ (the update handler takes it).
+  void broadcast_membership(std::uint64_t epoch, std::uint64_t dead_mask,
+                            NodeId src);
+  /// The coordinator implied by `dead_mask`: 0 unless succession is on.
+  NodeId coordinator_of(std::uint64_t dead_mask) const;
+  /// The lowest-id survivor strictly above `after`, or kInvalidNode.
+  NodeId next_survivor(std::uint64_t dead_mask, NodeId after) const;
 
   ClusterConfig config_;
   std::unique_ptr<net::Fabric> fabric_;

@@ -65,6 +65,7 @@ Process::Process(Cluster& cluster, std::uint64_t id,
   dsm_config.max_inflight_transactions = options.max_inflight_transactions;
   dsm_config.auto_thread_migration = options.auto_thread_migration;
   dsm_config.thread_migrate_run = options.thread_migrate_run;
+  dsm_config.origin_failover = options.origin_failover;
   dsm_ = std::make_unique<mem::Dsm>(cluster.fabric(), dsm_config,
                                     &cluster.node_load(), &trace_);
   if (options.auto_thread_migration) {
@@ -126,7 +127,7 @@ Process::~Process() {
 DexThread Process::spawn(std::function<void()> body) {
   ThreadContext& parent = tls_context();
   const NodeId start_node =
-      parent.process == this ? parent.node : options_.origin;
+      parent.process == this ? parent.node : origin();
 
   vclock::advance(cluster_.cost().thread_spawn_ns);
 
@@ -173,7 +174,7 @@ DexThread Process::spawn(std::function<void()> body) {
               restarted = true;
               const NodeId lost_on = tls_context().node;
               const NodeId restart_at = cluster_.node_dead(lost_on)
-                                            ? options_.origin
+                                            ? origin()
                                             : lost_on;
               if (restart_at != lost_on) {
                 cluster_.node_load()
@@ -234,8 +235,6 @@ DexThread Process::spawn(std::function<void()> body) {
 }
 
 void Process::on_node_failure(NodeId node) {
-  DEX_CHECK_MSG(node != options_.origin,
-                "origin-node death kills the process; unsupported");
   dsm_->failure_stats().node_failures.fetch_add(1, std::memory_order_relaxed);
   {
     // The remote worker died with its node: the next migration there (after
@@ -243,7 +242,22 @@ void Process::on_node_failure(NodeId node) {
     std::lock_guard<std::mutex> lock(mig_mu_);
     worker_exists_[static_cast<std::size_t>(node)] = false;
   }
-  dsm_->reclaim_node(node);
+  try {
+    dsm_->reclaim_node(node);
+  } catch (const mem::OriginDeadError& error) {
+    // Origin death without a failover path: degrade gracefully instead of
+    // the old process-killing assert. Threads touching the fabric unwind
+    // with NodeDeadError and are restarted or reported lost; chaos soaks
+    // see the condition in their stats rather than a crash.
+    std::fprintf(stderr, "dex: process %llu: %s\n",
+                 static_cast<unsigned long long>(id_), error.what());
+  }
+  {
+    // A promoted deputy now plays the origin: delegated VMA/futex work is
+    // routed to it, so it needs a resident worker.
+    std::lock_guard<std::mutex> lock(mig_mu_);
+    worker_exists_[static_cast<std::size_t>(dsm_->current_origin())] = true;
+  }
   // Robust-futex sweep: waiters whose waker may have died with the node
   // unblock with kOwnerDied instead of sleeping forever (a barrier with a
   // dead participant must not hang the survivors).
@@ -352,13 +366,13 @@ NodeId Process::migrate_to_least_loaded() {
 
 NodeId Process::probe_data_location(GAddr addr) {
   mem::DirEntry* entry = dsm_->directory().find(page_base(addr));
-  if (entry == nullptr) return options_.origin;
+  if (entry == nullptr) return origin();
   std::lock_guard<HybridLatch> lock(entry->latch);
   if (entry->exclusive_owner != kInvalidNode) return entry->exclusive_owner;
   // Shared pages live with whichever node homes the entry (the origin
   // unless adaptive home migration moved it).
   const NodeId home = entry->home.load(std::memory_order_relaxed);
-  return home == kInvalidNode ? options_.origin : home;
+  return home == kInvalidNode ? origin() : home;
 }
 
 NodeId Process::migrate_to_data(GAddr addr) {
@@ -436,7 +450,7 @@ Message Process::handle_migrate(const Message& msg) {
 void Process::migrate_back() {
   ThreadContext& ctx = tls_context();
   DEX_CHECK_MSG(ctx.process == this, "migrate_back() outside a DeX thread");
-  if (ctx.node == options_.origin) return;
+  if (ctx.node == origin()) return;
 
   const net::CostModel& cost = cluster_.cost();
   const VirtNs start_ts = vclock::now();
@@ -452,21 +466,21 @@ void Process::migrate_back() {
 
   Message msg;
   msg.type = MsgType::kMigrateBack;
-  msg.dst = options_.origin;
+  msg.dst = origin();
   msg.set_payload(payload);
   (void)cluster_.fabric().call(from, msg);
 
   cluster_.node_load().active[static_cast<std::size_t>(from)].fetch_sub(
       1, std::memory_order_relaxed);
   cluster_.node_load()
-      .active[static_cast<std::size_t>(options_.origin)]
+      .active[static_cast<std::size_t>(origin())]
       .fetch_add(1, std::memory_order_relaxed);
-  ctx.node = options_.origin;
+  ctx.node = origin();
 
   MigrationRecord record;
   record.task = ctx.task;
   record.from = from;
-  record.to = options_.origin;
+  record.to = origin();
   record.backward = true;
   record.origin_side_ns = cost.backmigrate_origin_ns;
   record.transfer_ns =
@@ -522,9 +536,9 @@ std::pair<NodeId, TaskId> caller_of(const Process* process, NodeId origin) {
 
 GAddr Process::mmap(std::uint64_t length, std::uint8_t prot, std::string tag,
                     GAddr hint) {
-  auto [node, task] = caller_of(this, options_.origin);
+  auto [node, task] = caller_of(this, origin());
   (void)task;
-  if (node == options_.origin) {
+  if (node == origin()) {
     return dsm_->mmap(length, prot, std::move(tag), hint);
   }
   // Work delegation: the paired origin thread performs the stateful VMA
@@ -539,16 +553,16 @@ GAddr Process::mmap(std::uint64_t length, std::uint8_t prot, std::string tag,
   std::strncpy(payload.tag, tag.c_str(), sizeof(payload.tag) - 1);
   Message msg;
   msg.type = MsgType::kDelegateVmaOp;
-  msg.dst = options_.origin;
+  msg.dst = origin();
   msg.set_payload(payload);
   const Message reply = cluster_.fabric().call(node, msg);
   return reply.payload_as<net::VmaOpReplyPayload>().result;
 }
 
 bool Process::munmap(GAddr start, std::uint64_t length) {
-  auto [node, task] = caller_of(this, options_.origin);
+  auto [node, task] = caller_of(this, origin());
   (void)task;
-  if (node == options_.origin) return dsm_->munmap(start, length);
+  if (node == origin()) return dsm_->munmap(start, length);
   delegations_.fetch_add(1, std::memory_order_relaxed);
   net::VmaOpPayload payload{};
   payload.process_id = id_;
@@ -557,16 +571,16 @@ bool Process::munmap(GAddr start, std::uint64_t length) {
   payload.length = length;
   Message msg;
   msg.type = MsgType::kDelegateVmaOp;
-  msg.dst = options_.origin;
+  msg.dst = origin();
   msg.set_payload(payload);
   const Message reply = cluster_.fabric().call(node, msg);
   return reply.payload_as<net::VmaOpReplyPayload>().ok != 0;
 }
 
 bool Process::mprotect(GAddr start, std::uint64_t length, std::uint8_t prot) {
-  auto [node, task] = caller_of(this, options_.origin);
+  auto [node, task] = caller_of(this, origin());
   (void)task;
-  if (node == options_.origin) return dsm_->mprotect(start, length, prot);
+  if (node == origin()) return dsm_->mprotect(start, length, prot);
   delegations_.fetch_add(1, std::memory_order_relaxed);
   net::VmaOpPayload payload{};
   payload.process_id = id_;
@@ -576,7 +590,7 @@ bool Process::mprotect(GAddr start, std::uint64_t length, std::uint8_t prot) {
   payload.prot = prot;
   Message msg;
   msg.type = MsgType::kDelegateVmaOp;
-  msg.dst = options_.origin;
+  msg.dst = origin();
   msg.set_payload(payload);
   const Message reply = cluster_.fabric().call(node, msg);
   return reply.payload_as<net::VmaOpReplyPayload>().ok != 0;
@@ -678,9 +692,9 @@ void Process::g_free(GAddr addr) {
 // ---------------------------------------------------------------------------
 
 void Process::futex_wait(GAddr addr, std::uint64_t expected) {
-  auto [node, task] = caller_of(this, options_.origin);
-  if (node == options_.origin) {
-    (void)futex_.wait(*dsm_, options_.origin, task, addr, expected);
+  auto [node, task] = caller_of(this, origin());
+  if (node == origin()) {
+    (void)futex_.wait(*dsm_, origin(), task, addr, expected);
     return;
   }
   delegations_.fetch_add(1, std::memory_order_relaxed);
@@ -692,14 +706,14 @@ void Process::futex_wait(GAddr addr, std::uint64_t expected) {
   payload.task = task;
   Message msg;
   msg.type = MsgType::kDelegateFutex;
-  msg.dst = options_.origin;
+  msg.dst = origin();
   msg.set_payload(payload);
   (void)cluster_.fabric().call(node, msg);
 }
 
 int Process::futex_wake(GAddr addr, int count) {
-  auto [node, task] = caller_of(this, options_.origin);
-  if (node == options_.origin) {
+  auto [node, task] = caller_of(this, origin());
+  if (node == origin()) {
     return futex_.wake(addr, count, vclock::now());
   }
   delegations_.fetch_add(1, std::memory_order_relaxed);
@@ -711,7 +725,7 @@ int Process::futex_wake(GAddr addr, int count) {
   payload.task = task;
   Message msg;
   msg.type = MsgType::kDelegateFutex;
-  msg.dst = options_.origin;
+  msg.dst = origin();
   msg.set_payload(payload);
   const Message reply = cluster_.fabric().call(node, msg);
   return reply.payload_as<net::FutexReplyPayload>().result;
@@ -724,7 +738,7 @@ Message Process::handle_delegate_futex(const Message& msg) {
 
   net::FutexReplyPayload result{};
   if (payload.op == 0) {
-    (void)futex_.wait(*dsm_, options_.origin, payload.task, payload.addr,
+    (void)futex_.wait(*dsm_, origin(), payload.task, payload.addr,
                       payload.val);
     result.result = 0;
   } else {
@@ -746,19 +760,19 @@ Message Process::handle_delegate_futex(const Message& msg) {
 // so an armed automatic migration never splits an operation across nodes.
 
 void Process::read(GAddr addr, void* dst, std::size_t len) {
-  auto [node, task] = caller_of(this, options_.origin);
+  auto [node, task] = caller_of(this, origin());
   dsm_->read(node, task, addr, dst, len);
   maybe_auto_migrate();
 }
 
 void Process::write(GAddr addr, const void* src, std::size_t len) {
-  auto [node, task] = caller_of(this, options_.origin);
+  auto [node, task] = caller_of(this, origin());
   dsm_->write(node, task, addr, src, len);
   maybe_auto_migrate();
 }
 
 std::uint64_t Process::atomic_fetch_add(GAddr addr, std::uint64_t delta) {
-  auto [node, task] = caller_of(this, options_.origin);
+  auto [node, task] = caller_of(this, origin());
   const std::uint64_t result =
       dsm_->atomic_fetch_add_u64(node, task, addr, delta);
   maybe_auto_migrate();
@@ -766,7 +780,7 @@ std::uint64_t Process::atomic_fetch_add(GAddr addr, std::uint64_t delta) {
 }
 
 std::uint64_t Process::atomic_exchange(GAddr addr, std::uint64_t desired) {
-  auto [node, task] = caller_of(this, options_.origin);
+  auto [node, task] = caller_of(this, origin());
   const std::uint64_t result =
       dsm_->atomic_exchange_u64(node, task, addr, desired);
   maybe_auto_migrate();
@@ -775,7 +789,7 @@ std::uint64_t Process::atomic_exchange(GAddr addr, std::uint64_t desired) {
 
 bool Process::atomic_cas(GAddr addr, std::uint64_t expected,
                          std::uint64_t desired) {
-  auto [node, task] = caller_of(this, options_.origin);
+  auto [node, task] = caller_of(this, origin());
   const bool result =
       dsm_->atomic_cas_u64(node, task, addr, expected, desired);
   maybe_auto_migrate();
@@ -783,14 +797,14 @@ bool Process::atomic_cas(GAddr addr, std::uint64_t expected,
 }
 
 std::uint64_t Process::atomic_load(GAddr addr) {
-  auto [node, task] = caller_of(this, options_.origin);
+  auto [node, task] = caller_of(this, origin());
   const std::uint64_t result = dsm_->atomic_load_u64(node, task, addr);
   maybe_auto_migrate();
   return result;
 }
 
 void Process::atomic_store(GAddr addr, std::uint64_t value) {
-  auto [node, task] = caller_of(this, options_.origin);
+  auto [node, task] = caller_of(this, origin());
   dsm_->atomic_store_u64(node, task, addr, value);
   maybe_auto_migrate();
 }

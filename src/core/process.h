@@ -133,6 +133,11 @@ struct ProcessOptions {
   /// Consecutive dominant decision windows before the thread moves
   /// (DsmConfig::thread_migrate_run passthrough).
   int thread_migrate_run = 3;
+  /// Origin failover (DsmConfig::origin_failover passthrough): directory
+  /// mutations replicate to a deterministic deputy that promotes itself
+  /// when the origin dies. Off reproduces the seed protocol bit-for-bit
+  /// (origin death reported as mem::OriginDeadError, not survived).
+  bool origin_failover = false;
 };
 
 /// One entry of the migration log (Table II / Figure 3 raw data).
@@ -158,7 +163,10 @@ class Process {
   Process& operator=(const Process&) = delete;
 
   std::uint64_t id() const { return id_; }
-  NodeId origin() const { return options_.origin; }
+  /// The node currently playing the origin role. options_.origin until an
+  /// origin failover promotes the deputy (DsmConfig::origin_failover); every
+  /// delegation ladder and origin fallback resolves this dynamically.
+  NodeId origin() const { return dsm_->current_origin(); }
   Cluster& cluster() { return cluster_; }
   mem::Dsm& dsm() { return *dsm_; }
   FutexTable& futex_table() { return futex_; }

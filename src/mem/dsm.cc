@@ -26,6 +26,13 @@ std::string SegfaultError::describe(GAddr addr, Access access) {
   return os.str();
 }
 
+std::string OriginDeadError::describe(NodeId dead) {
+  std::ostringstream os;
+  os << "origin node " << static_cast<int>(dead)
+     << " died with no failover path (origin_failover off or no survivor)";
+  return os.str();
+}
+
 Dsm::Dsm(net::Fabric& fabric, const DsmConfig& config, NodeLoad* node_load,
          prof::FaultTrace* trace)
     : fabric_(fabric),
@@ -36,6 +43,13 @@ Dsm::Dsm(net::Fabric& fabric, const DsmConfig& config, NodeLoad* node_load,
   DEX_CHECK(config.num_nodes >= 1 && config.num_nodes <= kMaxNodes);
   DEX_CHECK(config.origin >= 0 && config.origin < config.num_nodes);
   DEX_CHECK(config.dir_shards >= 1);
+  current_origin_.store(config.origin, std::memory_order_relaxed);
+  if (config.origin_failover) {
+    replica_stores_.reserve(static_cast<std::size_t>(config.num_nodes));
+    for (int i = 0; i < config.num_nodes; ++i) {
+      replica_stores_.push_back(std::make_unique<ReplicaStore>());
+    }
+  }
   spaces_.reserve(static_cast<std::size_t>(config.num_nodes));
   pools_.reserve(static_cast<std::size_t>(config.num_nodes));
   tables_.reserve(static_cast<std::size_t>(config.num_nodes));
@@ -67,7 +81,7 @@ std::uint64_t Dsm::frame_high_water_bytes() const {
 
 NodeId Dsm::home_of_page(GAddr page) {
   DirEntry* entry = directory_.find(page_base(page));
-  if (entry == nullptr) return config_.origin;
+  if (entry == nullptr) return current_origin();
   if (config_.optimistic_latching) {
     // Optimistic probe: `home` is atomic and validated against the entry
     // latch version, so placement queries never queue behind an in-flight
@@ -79,7 +93,7 @@ NodeId Dsm::home_of_page(GAddr page) {
       if (!guard.engaged()) break;
       const NodeId home = entry->home.load(std::memory_order_relaxed);
       if (guard.validate()) {
-        return home == kInvalidNode ? config_.origin : home;
+        return home == kInvalidNode ? current_origin() : home;
       }
       latch_restarts_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -97,8 +111,12 @@ NodeId Dsm::home_of_page(GAddr page) {
 GAddr Dsm::mmap(std::uint64_t length, std::uint8_t prot, std::string tag,
                 GAddr hint) {
   // Permissive operation: no eager synchronization; remotes pull the VMA on
-  // demand at fault time.
-  return origin_space().mmap(length, prot, std::move(tag), hint);
+  // demand at fault time. The deputy is the exception: a promoted deputy
+  // must serve VMA lookups with the origin dead, so the mapping itself is
+  // replicated (batched, off the fault path).
+  const GAddr addr = origin_space().mmap(length, prot, std::move(tag), hint);
+  if (addr != kNullGAddr) record_vma_replication(addr, length, prot);
+  return addr;
 }
 
 bool Dsm::munmap(GAddr start, std::uint64_t length) {
@@ -111,7 +129,7 @@ bool Dsm::munmap(GAddr start, std::uint64_t length) {
   net::VmaUpdatePayload update{config_.process_id, start, end, 0, /*op=*/0};
   std::vector<Message> broadcast;
   for (NodeId node = 0; node < config_.num_nodes; ++node) {
-    if (node == config_.origin) continue;
+    if (node == current_origin()) continue;
     replica_space(node).munmap(start, length);
     Message msg;
     msg.type = MsgType::kVmaUpdate;
@@ -119,7 +137,7 @@ bool Dsm::munmap(GAddr start, std::uint64_t length) {
     msg.set_payload(update);
     broadcast.push_back(std::move(msg));
   }
-  fabric_.post_many(config_.origin, broadcast);
+  fabric_.post_many(current_origin(), broadcast);
 
   // Retire every page in the range: invalidate all copies — returning
   // every node's frame (and cold-tier image) to its pool; a dead range
@@ -155,6 +173,9 @@ bool Dsm::munmap(GAddr start, std::uint64_t length) {
     ++entry->home_epoch;
     entry->hot_node = kInvalidNode;
     entry->hot_run = 0;
+    // A replica record for the old mapping must not alias a future mapping
+    // of the same address: the erase is a staleness fence at the deputy.
+    record_erase_replication(page);
   }
 
   // Stride state learned on the dead range must not survive into a future
@@ -174,7 +195,7 @@ bool Dsm::mprotect(GAddr start, std::uint64_t length, std::uint8_t prot) {
                                /*op=*/1};
   std::vector<Message> broadcast;
   for (NodeId node = 0; node < config_.num_nodes; ++node) {
-    if (node == config_.origin) continue;
+    if (node == current_origin()) continue;
     if (!downgrade_write) continue;  // permissive changes sync on demand
     Message msg;
     msg.type = MsgType::kVmaUpdate;
@@ -182,7 +203,7 @@ bool Dsm::mprotect(GAddr start, std::uint64_t length, std::uint8_t prot) {
     msg.set_payload(update);
     broadcast.push_back(std::move(msg));
   }
-  fabric_.post_many(config_.origin, broadcast);
+  fabric_.post_many(current_origin(), broadcast);
 
   if (downgrade_write) {
     // Demote exclusive copies so future writes re-fault and hit the VMA
@@ -301,7 +322,7 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
                access == Access::kRead ? prof::FaultKind::kRead
                                        : prof::FaultKind::kWrite,
                vma.tag.c_str());
-  if (node != config_.origin) {
+  if (node != current_origin()) {
     stats_.remote_faults.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -310,7 +331,7 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
   // scan, widen the request to `extras` contiguous pages, clamped to the
   // VMA so the batch cannot cross into unmapped space.
   int extras = 0;
-  if (access == Access::kRead && node != config_.origin &&
+  if (access == Access::kRead && node != current_origin() &&
       config_.prefetch_max_pages > 0) {
     int max_extras =
         std::min(config_.prefetch_max_pages, net::kMaxBatchPages - 1);
@@ -332,6 +353,7 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
     fault_via_engine(node, task, page, access, pte, extras, vma);
     vclock::advance(cost.pte_update_ns);
     stats_.fault_latency.record(vclock::now() - start);
+    maybe_flush_replication();
     return;
   }
 
@@ -353,7 +375,7 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
   // the origin). A stale hint is corrected by kWrongHome redirects, chased
   // up to kMaxHomeChase hops before falling back to the origin — whose
   // redirect is authoritative, so the chain is bounded.
-  NodeId target = config_.origin;
+  NodeId target = current_origin();
   if (config_.home_migration) {
     const HomeHintCache::Hint hint = home_cache(node).lookup(page);
     if (hint.valid) target = hint.home;
@@ -392,7 +414,7 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
     try {
       reply = fabric_.call(node, msg);
     } catch (const net::NodeDeadError&) {
-      if (target == config_.origin) throw;
+      if (target == current_origin()) throw;
       // The hinted home died. The origin reclaims dead homes, so fall
       // back to it; the stale hint dies here rather than via a redirect.
       home_cache(node).invalidate_range(page, page + kPageSize);
@@ -400,12 +422,12 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
       if (++bounces == 1) {
         stats_.home_chases.fetch_add(1, std::memory_order_relaxed);
       }
-      target = config_.origin;
+      target = current_origin();
       continue;
     }
     GrantKind kind;
     VirtNs last_writer_ts;
-    NodeId grant_home = config_.origin;
+    NodeId grant_home = current_origin();
     std::uint64_t grant_epoch = 0;
     if (extras > 0) {
       const auto grant = reply.payload_as<net::PageBatchGrantPayload>();
@@ -445,9 +467,9 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
         stats_.home_chases.fetch_add(1, std::memory_order_relaxed);
       }
       home_cache(node).update(page, grant_home, grant_epoch);
-      const bool authoritative = target == config_.origin;
+      const bool authoritative = target == current_origin();
       if (!authoritative && bounces >= kMaxHomeChase) {
-        target = config_.origin;
+        target = current_origin();
       } else {
         target = grant_home;
       }
@@ -457,7 +479,7 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
       vclock::observe(last_writer_ts);
       if (config_.home_migration) {
         home_cache(node).update(page, grant_home, grant_epoch);
-        if (node != config_.origin && bounces == 0) {
+        if (node != current_origin() && bounces == 0) {
           stats_.home_hint_hits.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -480,6 +502,10 @@ void Dsm::handle_fault_as_leader(NodeId node, TaskId task, GAddr page,
 
   vclock::advance(cost.pte_update_ns);
   stats_.fault_latency.record(vclock::now() - start);
+  // Push accumulated directory-mutation records to the deputy once the
+  // batch threshold is reached. Runs with no locks held; a no-op (one
+  // relaxed load) when origin failover is off.
+  maybe_flush_replication();
 }
 
 // ---------------------------------------------------------------------------
@@ -767,7 +793,7 @@ void Dsm::fault_via_engine(NodeId node, TaskId task, GAddr page,
                                : MsgType::kPageRequestWrite;
 
   // Hint-directed routing, exactly as the blocking loop.
-  NodeId target0 = config_.origin;
+  NodeId target0 = current_origin();
   if (config_.home_migration) {
     const HomeHintCache::Hint hint = home_cache(node).lookup(page);
     if (hint.valid) target0 = hint.home;
@@ -825,7 +851,7 @@ void Dsm::fault_via_engine(NodeId node, TaskId task, GAddr page,
                  &resend](net::CallOutcome&& out) -> Step {
     Step step;
     if (out.status == Status::kNodeDead) {
-      if (st.target == config_.origin) {
+      if (st.target == current_origin()) {
         step.status = Status::kNodeDead;
         return step;
       }
@@ -836,7 +862,7 @@ void Dsm::fault_via_engine(NodeId node, TaskId task, GAddr page,
       if (++st.bounces == 1) {
         stats_.home_chases.fetch_add(1, std::memory_order_relaxed);
       }
-      st.target = config_.origin;
+      st.target = current_origin();
       resend(step);
       return step;
     }
@@ -851,9 +877,9 @@ void Dsm::fault_via_engine(NodeId node, TaskId task, GAddr page,
         stats_.home_chases.fetch_add(1, std::memory_order_relaxed);
       }
       home_cache(node).update(page, grant.home, grant.home_epoch);
-      const bool authoritative = st.target == config_.origin;
+      const bool authoritative = st.target == current_origin();
       if (!authoritative && st.bounces >= kMaxHomeChase) {
-        st.target = config_.origin;
+        st.target = current_origin();
       } else {
         st.target = grant.home;
       }
@@ -865,7 +891,7 @@ void Dsm::fault_via_engine(NodeId node, TaskId task, GAddr page,
       vclock::observe(grant.last_writer_ts);
       if (config_.home_migration) {
         home_cache(node).update(page, grant.home, grant.home_epoch);
-        if (node != config_.origin && st.bounces == 0) {
+        if (node != current_origin() && st.bounces == 0) {
           stats_.home_hint_hits.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -898,7 +924,7 @@ void Dsm::fault_via_engine(NodeId node, TaskId task, GAddr page,
   // Translate the terminal status back into the blocking path's exception
   // discipline (the ensure() loop and the thread runtime own the policy).
   if (status == Status::kNodeDead) {
-    throw net::NodeDeadError(config_.origin, req_type, node, config_.origin);
+    throw net::NodeDeadError(current_origin(), req_type, node, current_origin());
   }
   throw net::RpcError(req_type, node, st.target, /*attempts=*/0,
                       net::MsgStatus::kError,
@@ -915,7 +941,7 @@ Vma Dsm::check_vma(NodeId node, GAddr addr, Access access) {
     return vma;
   };
 
-  if (node == config_.origin) {
+  if (node == current_origin()) {
     auto vma = origin_space().find(addr);
     return vma ? validate(*vma) : segv();
   }
@@ -937,7 +963,7 @@ Vma Dsm::check_vma(NodeId node, GAddr addr, Access access) {
   net::VmaRequestPayload request{config_.process_id, addr};
   Message msg;
   msg.type = MsgType::kVmaInfoRequest;
-  msg.dst = config_.origin;
+  msg.dst = current_origin();
   msg.set_payload(request);
   const Message reply = fabric_.call(node, msg);
   const auto record = reply.payload_as<VmaRecord>();
@@ -996,13 +1022,13 @@ Message Dsm::handle_page_request(const Message& msg, Access access) {
     reply.type = MsgType::kPageGrant;
     net::PageGrantPayload grant{};
     grant.kind = GrantKind::kWrongHome;
-    if (msg.dst == config_.origin) {
+    if (msg.dst == current_origin()) {
       grant.home = home_of(entry);
       grant.home_epoch = entry.home_epoch;
     } else {
       const HomeHintCache::Hint hint = home_cache(msg.dst).lookup(
           request.page);
-      grant.home = hint.valid ? hint.home : config_.origin;
+      grant.home = hint.valid ? hint.home : current_origin();
       grant.home_epoch = hint.valid ? hint.epoch : 0;
     }
     lock.unlock();
@@ -1118,12 +1144,12 @@ Message Dsm::handle_page_request_batch(const Message& msg) {
     // single-page path. Extras are not attempted — the requester refaults
     // at the right home and the batch reforms there.
     grant.kind = GrantKind::kWrongHome;
-    if (at == config_.origin) {
+    if (at == current_origin()) {
       grant.home = home_of(entry);
       grant.home_epoch = entry.home_epoch;
     } else {
       const HomeHintCache::Hint hint = home_cache(at).lookup(primary);
-      grant.home = hint.valid ? hint.home : config_.origin;
+      grant.home = hint.valid ? hint.home : current_origin();
       grant.home_epoch = hint.valid ? hint.epoch : 0;
     }
     lock.unlock();
@@ -1320,6 +1346,7 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
       entry.sharers.add(requester);
       outcome.kind = GrantKind::kDataAndOwnership;
       outcome.forwarded = true;
+      if (replicating(home)) record_entry_replication(entry, page);
       return outcome;
     }
     // Now: no exclusive owner; home frame holds the current version.
@@ -1347,6 +1374,7 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
       outcome.kind = GrantKind::kDataAndOwnership;
     }
     entry.sharers.add(requester);
+    if (replicating(home)) record_entry_replication(entry, page);
     return outcome;
   }
 
@@ -1428,6 +1456,7 @@ Dsm::TransactOutcome Dsm::transact(NodeId requester, TaskId task, GAddr page,
       entry.lease_until = 0;  // home writes land in the home frame already
     }
   }
+  if (replicating(home)) record_entry_replication(entry, page);
   return outcome;
 }
 
@@ -1986,6 +2015,11 @@ Message Dsm::handle_lease_renew(const Message& msg) {
       home_pte.seq.fetch_add(1, std::memory_order_release);
       home_pte.lock.unlock();
       set_journal(entry);
+      if (replicating(at)) {
+        record_journal_replication(
+            entry, payload.page,
+            msg.payload.data() + sizeof(net::LeaseRenewPayload));
+      }
       entry.lease_until = vclock::now() + config_.lease_ns;
       ack.renewed = 1;
       stats_.lease_renewals.fetch_add(1, std::memory_order_relaxed);
@@ -2000,6 +2034,10 @@ Message Dsm::handle_lease_renew(const Message& msg) {
 }
 
 void Dsm::lease_patrol() {
+  // The patrol runs off the fault path on a periodic cadence — exactly the
+  // place to drain any directory-replication records a quiet workload has
+  // not pushed past the batching threshold.
+  flush_replication();
   if (config_.lease_ns <= 0) return;
   // Snapshot entries first — same ABBA avoidance as reclaim_node.
   std::vector<std::pair<GAddr, DirEntry*>> entries;
@@ -2176,7 +2214,7 @@ std::size_t Dsm::evict_candidate(NodeId node, GAddr page, Pte& pte) {
   // so a raced eviction fails closed home-side.
   bool local_free = false;
   bool exclusive = false;
-  NodeId home = config_.origin;
+  NodeId home = current_origin();
   if (entry == nullptr) {
     local_free = true;  // never materialized: a leftover invalid frame
   } else {
@@ -2502,7 +2540,7 @@ void Dsm::patrol_evict_via_engine(NodeId node, std::size_t target_bytes) {
     DirEntry* entry = directory_.find(page);
     bool local_free = false;
     bool exclusive = false;
-    NodeId home = config_.origin;
+    NodeId home = current_origin();
     if (entry == nullptr) {
       local_free = true;
     } else {
@@ -2716,6 +2754,11 @@ void Dsm::maybe_migrate_home(DirEntry& entry, GAddr page, NodeId requester,
   // The old home remembers where it sent the entry, so requests landing
   // here out of inertia get a correct (not merely probable) redirect.
   home_cache(home).update(page, requester, entry.home_epoch);
+  // A home move in either direction changes what the deputy must know:
+  // away from the origin (the page stops being origin-homed) or back to it.
+  if (replicating(home) || replicating(requester)) {
+    record_entry_replication(entry, page);
+  }
   stats_.home_migrations.fetch_add(1, std::memory_order_relaxed);
   record_fault(requester, task, page, prof::FaultKind::kHomeMigrate,
                nullptr);
@@ -3052,9 +3095,13 @@ void Dsm::atomic_store_u64(NodeId node, TaskId task, GAddr addr,
 // ---------------------------------------------------------------------------
 
 void Dsm::reclaim_node(NodeId dead) {
-  DEX_CHECK_MSG(dead != config_.origin,
-                "origin-node death kills the process; unsupported");
-  const NodeId origin = config_.origin;
+  if (dead == current_origin() && !promote_origin(dead)) {
+    // Origin death without a failover path (knob off, or no survivor to
+    // promote): surface a typed error instead of the old hard abort, so
+    // chaos soaks report the unsupported death and keep running.
+    throw OriginDeadError(dead);
+  }
+  const NodeId origin = current_origin();
 
   // Snapshot entry pointers first: transact() re-enters the directory
   // (tree lock) while holding an entry mutex, so locking entries inside
@@ -3121,15 +3168,21 @@ void Dsm::reclaim_node(NodeId dead) {
           dst.seq.fetch_add(1, std::memory_order_release);
           dst.lock.unlock();
         } else if (!origin_current) {
-          failure_stats_.dirty_pages_lost.fetch_add(
-              1, std::memory_order_relaxed);
-          chaos.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
-          // Drop every surviving stale copy: versions can restart only
-          // from the (now authoritative) origin frame.
-          entry->sharers.for_each([&](NodeId n) {
-            if (n != origin) fence_copy(n, page);
-          });
-          entry->sharers.clear();
+          // Last resort before declaring loss: the deputy's replicated
+          // journal may hold the page image at exactly this version (the
+          // dead home was the old origin and a lease writeback was
+          // replicated before the death).
+          if (!restore_from_replica(origin, page, entry->version)) {
+            failure_stats_.dirty_pages_lost.fetch_add(
+                1, std::memory_order_relaxed);
+            chaos.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
+            // Drop every surviving stale copy: versions can restart only
+            // from the (now authoritative) origin frame.
+            entry->sharers.for_each([&](NodeId n) {
+              if (n != origin) fence_copy(n, page);
+            });
+            entry->sharers.clear();
+          }
         }
         set_state(origin, page, PageState::kShared, entry->version);
         entry->sharers.add(origin);
@@ -3140,9 +3193,26 @@ void Dsm::reclaim_node(NodeId dead) {
       // writeback the home frame is at most one lease window stale and the
       // page *recovers*; otherwise the last full writeback becomes
       // authoritative again and the loss is reported.
-      account_owner_loss(*entry, page);
       const NodeId authoritative =
           home_of(*entry) == dead ? origin : home_of(*entry);
+      if (home_of(*entry) == dead) {
+        // The journal frame died *with* the home: journal_ts alone proves
+        // nothing. Recovery is real only when the deputy's replica holds
+        // the journaled image at the grant version.
+        if (restore_from_replica(authoritative, page, entry->version)) {
+          failure_stats_.pages_recovered.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          chaos.pages_recovered.fetch_add(1, std::memory_order_relaxed);
+          record_fault(entry->exclusive_owner, /*task=*/-1, page,
+                       prof::FaultKind::kLease, "recover");
+        } else {
+          failure_stats_.dirty_pages_lost.fetch_add(
+              1, std::memory_order_relaxed);
+          chaos.dirty_pages_lost.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        account_owner_loss(*entry, page);
+      }
       entry->exclusive_owner = kInvalidNode;
       entry->lease_until = 0;
       clear_journal(*entry);
@@ -3182,9 +3252,381 @@ void Dsm::reclaim_node(NodeId dead) {
 
   // A healed node must not trust VMA replicas from its previous life; it
   // re-syncs on demand like a fresh node (§III-D). Same for its home
-  // hints: they reflect a cluster the node is no longer part of.
+  // hints: they reflect a cluster the node is no longer part of — and for
+  // any directory replica it held as deputy.
   replica_space(dead).clear();
   home_cache(dead).clear();
+  if (!replica_stores_.empty()) {
+    auto& store = *replica_stores_[dead];
+    std::lock_guard<std::mutex> lock(store.mu);
+    store.pages.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Origin failover (DsmConfig::origin_failover)
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Pending directory-mutation records are pushed to the deputy once this
+/// many have accumulated (or at the next patrol tick, whichever is first).
+constexpr std::size_t kReplicationFlushThreshold = 8;
+}  // namespace
+
+NodeId Dsm::replication_deputy() const {
+  // Deterministic: the next surviving node id after the current origin,
+  // wrapping. Every node computes the same answer from the same liveness
+  // view, so there is never a question of *which* replica is authoritative.
+  const NodeId origin = current_origin();
+  for (int step = 1; step < config_.num_nodes; ++step) {
+    const NodeId n = static_cast<NodeId>(
+        (static_cast<int>(origin) + step) % config_.num_nodes);
+    if (!fabric_.injector().node_dead(n)) return n;
+  }
+  return kInvalidNode;
+}
+
+void Dsm::record_entry_replication(const DirEntry& entry, GAddr page) {
+  if (!config_.origin_failover || config_.num_nodes <= 1) return;
+  net::DirReplicateRecord rec{};
+  rec.page = page;
+  rec.version = entry.version;
+  rec.sharers = entry.sharers.raw();
+  rec.home_epoch = entry.home_epoch;
+  rec.owner = entry.exclusive_owner;
+  rec.home = entry.home;
+  rec.op = net::DirReplicateOp::kEntry;
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  repl_pending_.push_back(PendingReplication{rec, {}});
+}
+
+void Dsm::record_erase_replication(GAddr page) {
+  if (!config_.origin_failover || config_.num_nodes <= 1) return;
+  net::DirReplicateRecord rec{};
+  rec.page = page;
+  rec.op = net::DirReplicateOp::kErase;
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  repl_pending_.push_back(PendingReplication{rec, {}});
+}
+
+void Dsm::record_vma_replication(GAddr start, std::uint64_t length,
+                                 std::uint8_t prot) {
+  if (!config_.origin_failover || config_.num_nodes <= 1) return;
+  net::DirReplicateRecord rec{};
+  rec.page = start;
+  rec.version = length;  // kVma reuses the version field for the byte length
+  rec.prot = prot;
+  rec.op = net::DirReplicateOp::kVma;
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  repl_pending_.push_back(PendingReplication{rec, {}});
+}
+
+void Dsm::record_journal_replication(const DirEntry& entry, GAddr page,
+                                     const std::uint8_t* image) {
+  if (!config_.origin_failover || config_.num_nodes <= 1) return;
+  net::DirReplicateRecord rec{};
+  rec.page = page;
+  rec.version = entry.version;
+  rec.sharers = entry.sharers.raw();
+  rec.home_epoch = entry.home_epoch;
+  rec.owner = entry.exclusive_owner;
+  rec.home = entry.home;
+  rec.op = net::DirReplicateOp::kJournal;
+  PendingReplication pending{rec, {}};
+  pending.image.assign(image, image + kPageSize);
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  repl_pending_.push_back(std::move(pending));
+}
+
+void Dsm::maybe_flush_replication() {
+  if (!config_.origin_failover) return;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    if (repl_pending_.size() < kReplicationFlushThreshold) return;
+  }
+  flush_replication();
+}
+
+void Dsm::flush_replication() {
+  if (!config_.origin_failover || config_.num_nodes <= 1) return;
+  std::vector<PendingReplication> pending;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    if (repl_pending_.empty()) return;
+    pending.swap(repl_pending_);
+  }
+  const NodeId origin = current_origin();
+  const NodeId deputy = replication_deputy();
+  if (deputy == kInvalidNode) {
+    // No survivor to replicate to: the records describe state only this
+    // node holds anyway. Account the drop so the bench can see it.
+    stats_.replication_lag.fetch_add(pending.size(),
+                                     std::memory_order_relaxed);
+    return;
+  }
+  std::size_t i = 0;
+  while (i < pending.size()) {
+    net::DirReplicatePayload payload{};
+    payload.process_id = config_.process_id;
+    payload.origin = origin;
+    std::vector<const std::vector<std::uint8_t>*> images;
+    while (i < pending.size() &&
+           payload.count <
+               static_cast<std::uint32_t>(net::kMaxDirReplicateRecords)) {
+      payload.records[payload.count] = pending[i].record;
+      if (pending[i].record.op == net::DirReplicateOp::kJournal) {
+        images.push_back(&pending[i].image);
+      }
+      ++payload.count;
+      ++i;
+    }
+    Message msg;
+    msg.type = MsgType::kDirReplicate;
+    msg.dst = deputy;
+    msg.payload.resize(sizeof(payload) + images.size() * kPageSize);
+    std::memcpy(msg.payload.data(), &payload, sizeof(payload));
+    std::uint8_t* cursor = msg.payload.data() + sizeof(payload);
+    for (const auto* img : images) {
+      std::memcpy(cursor, img->data(), kPageSize);
+      cursor += kPageSize;
+    }
+    stats_.replication_batches.fetch_add(1, std::memory_order_relaxed);
+    stats_.dir_mutations_replicated.fetch_add(payload.count,
+                                              std::memory_order_relaxed);
+    if (engine_on()) {
+      // Ride the background engine like lease renewals: the pump owns the
+      // wire round trip, the mutating thread pays nothing.
+      core::ProtocolEngine::Submit submit;
+      submit.node = origin;
+      submit.request = std::move(msg);
+      submit.resume = [](net::CallOutcome&&) -> core::ProtocolEngine::Step {
+        // Fire-and-forget: a lost batch surfaces as replication lag at
+        // failover time, exactly like an unflushed one.
+        return core::ProtocolEngine::Step{};
+      };
+      engine_->submit_background(std::move(submit));
+    } else {
+      try {
+        fabric_.post_datagram(origin, msg);
+      } catch (const net::NodeDeadError&) {
+        return;  // this node is dying; its pending records die with it
+      }
+    }
+  }
+}
+
+Message Dsm::handle_dir_replicate(const Message& msg) {
+  const auto payload = msg.payload_prefix_as<net::DirReplicatePayload>();
+  DEX_CHECK(payload.process_id == config_.process_id);
+  Message reply;
+  reply.type = MsgType::kDirReplicate;
+  if (replica_stores_.empty()) return reply;  // knob off at the receiver
+  const NodeId at = msg.dst;
+  const std::uint8_t* image_cursor =
+      msg.payload.data() + sizeof(net::DirReplicatePayload);
+  const std::uint8_t* payload_end = msg.payload.data() + msg.payload.size();
+  auto& store = *replica_stores_[at];
+  std::lock_guard<std::mutex> lock(store.mu);
+  const std::uint32_t count = std::min<std::uint32_t>(
+      payload.count, static_cast<std::uint32_t>(net::kMaxDirReplicateRecords));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const net::DirReplicateRecord& rec = payload.records[i];
+    switch (rec.op) {
+      case net::DirReplicateOp::kErase:
+        // Staleness fence: the mapping (and any journal image) for this
+        // page is gone; a future mapping of the address starts clean.
+        store.pages.erase(rec.page);
+        break;
+      case net::DirReplicateOp::kVma: {
+        const GAddr end = page_base(rec.page + rec.version + kPageSize - 1);
+        replica_space(at).install_replica(
+            Vma{rec.page, end, rec.prot, std::string()});
+        break;
+      }
+      case net::DirReplicateOp::kJournal: {
+        if (image_cursor + kPageSize > payload_end) break;  // malformed
+        ReplicaRecord& r = store.pages[rec.page];
+        r.version = rec.version;
+        r.owner = rec.owner;
+        r.home = rec.home;
+        r.home_epoch = rec.home_epoch;
+        r.sharers = rec.sharers;
+        r.image.assign(image_cursor, image_cursor + kPageSize);
+        r.image_version = rec.version;
+        image_cursor += kPageSize;
+        break;
+      }
+      case net::DirReplicateOp::kEntry: {
+        ReplicaRecord& r = store.pages[rec.page];
+        // Monotonic adoption: replication batches can reorder across the
+        // engine, so an older version must never clobber a newer record.
+        if (rec.version >= r.version) {
+          r.version = rec.version;
+          r.owner = rec.owner;
+          r.home = rec.home;
+          r.home_epoch = std::max(r.home_epoch, rec.home_epoch);
+          r.sharers = rec.sharers;
+        }
+        break;
+      }
+    }
+  }
+  return reply;
+}
+
+Message Dsm::handle_scavenge(const Message& msg) {
+  const auto req = msg.payload_as<net::ScavengeRequestPayload>();
+  DEX_CHECK(req.process_id == config_.process_id);
+  const NodeId at = msg.dst;
+  // Report this node's resident copies (page, version, state) above the
+  // cursor — the re-registration half of the rebuild: the new origin
+  // reconciles these against its replica so survivor state the replication
+  // stream missed is still represented.
+  std::vector<net::ScavengeRecord> found;
+  page_table(at).for_each([&](GAddr page, Pte& pte) {
+    if (page < req.cursor) return;
+    const PageState s = pte.state.load(std::memory_order_acquire);
+    if (s == PageState::kInvalid) return;
+    net::ScavengeRecord rec{};
+    rec.page = page;
+    rec.version = pte.version.load(std::memory_order_relaxed);
+    rec.state = static_cast<std::uint8_t>(s);
+    found.push_back(rec);
+  });
+  std::sort(found.begin(), found.end(),
+            [](const net::ScavengeRecord& a, const net::ScavengeRecord& b) {
+              return a.page < b.page;
+            });
+  net::ScavengeReplyPayload rep{};
+  const std::size_t take = std::min<std::size_t>(
+      found.size(), static_cast<std::size_t>(net::kMaxScavengeRecords));
+  for (std::size_t i = 0; i < take; ++i) rep.records[i] = found[i];
+  rep.count = static_cast<std::uint32_t>(take);
+  rep.done = take == found.size() ? 1 : 0;
+  rep.next_cursor = take > 0 ? found[take - 1].page + kPageSize : req.cursor;
+  Message reply;
+  reply.type = MsgType::kScavengeRequest;
+  reply.set_payload(rep);
+  return reply;
+}
+
+void Dsm::scavenge_survivors(NodeId dead, NodeId deputy) {
+  if (replica_stores_.empty()) return;
+  auto& store = *replica_stores_[deputy];
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    if (n == deputy || n == dead) continue;
+    if (fabric_.injector().node_dead(n)) continue;
+    GAddr cursor = 0;
+    for (;;) {
+      net::ScavengeRequestPayload req{};
+      req.process_id = config_.process_id;
+      req.dead = dead;
+      req.cursor = cursor;
+      Message msg;
+      msg.type = MsgType::kScavengeRequest;
+      msg.dst = n;
+      msg.set_payload(req);
+      Message reply;
+      try {
+        reply = fabric_.call(deputy, msg);
+      } catch (const net::NodeDeadError&) {
+        break;  // the survivor died mid-round; its loss is reclaimed later
+      } catch (const net::RpcError&) {
+        break;  // best effort: an unreachable survivor re-registers on fault
+      }
+      const auto rep = reply.payload_prefix_as<net::ScavengeReplyPayload>();
+      {
+        std::lock_guard<std::mutex> lock(store.mu);
+        const std::uint32_t count = std::min<std::uint32_t>(
+            rep.count, static_cast<std::uint32_t>(net::kMaxScavengeRecords));
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const net::ScavengeRecord& rec = rep.records[i];
+          if (rec.version == kNoVersion) continue;
+          auto [it, inserted] = store.pages.try_emplace(rec.page);
+          ReplicaRecord& r = it->second;
+          if (inserted || rec.version > r.version) {
+            r.version = rec.version;
+            r.owner =
+                rec.state == static_cast<std::uint8_t>(PageState::kExclusive)
+                    ? n
+                    : r.owner;
+            stats_.scavenge_pages_rebuilt.fetch_add(
+                1, std::memory_order_relaxed);
+          }
+        }
+      }
+      if (rep.done != 0) break;
+      cursor = rep.next_cursor;
+    }
+  }
+}
+
+bool Dsm::restore_from_replica(NodeId at, GAddr page, std::uint64_t version) {
+  if (replica_stores_.empty()) return false;
+  auto& store = *replica_stores_[at];
+  std::lock_guard<std::mutex> lock(store.mu);
+  auto it = store.pages.find(page);
+  if (it == store.pages.end()) return false;
+  const ReplicaRecord& rec = it->second;
+  if (rec.image.empty() || rec.image_version != version) return false;
+  Pte& dst = page_table(at).get_or_create(page);
+  dst.lock.lock();
+  dst.seq.fetch_add(1, std::memory_order_release);
+  std::memcpy(dst.ensure_frame(), rec.image.data(), kPageSize);
+  dst.version = version;
+  dst.state.store(PageState::kShared, std::memory_order_release);
+  dst.seq.fetch_add(1, std::memory_order_release);
+  dst.lock.unlock();
+  stats_.replica_journal_pages.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Dsm::promote_origin(NodeId dead) {
+  if (!config_.origin_failover) return false;
+  if (dead != current_origin()) return true;  // already promoted: no-op
+
+  // Pin implicit homes to the dead origin BEFORE the swap: entries homed
+  // "at the origin" (home == kInvalidNode) must keep resolving to the dead
+  // node so the reclaim pass can see and rebuild them — after the swap,
+  // kInvalidNode would resolve to the deputy and the dead frames would
+  // silently leak out of recovery.
+  std::vector<std::pair<GAddr, DirEntry*>> entries;
+  directory_.for_each([&](std::uint64_t page_idx, DirEntry& entry) {
+    entries.emplace_back(static_cast<GAddr>(page_idx) << kPageShift, &entry);
+  });
+  for (auto& [page, entry] : entries) {
+    (void)page;
+    ScopedGateBlock gate_block("promote_entry_lock");
+    std::lock_guard<HybridLatch> lock(entry->latch);
+    if (entry->home == kInvalidNode) {
+      entry->home = dead;
+      ++entry->home_epoch;
+    }
+  }
+
+  const NodeId deputy = replication_deputy();
+  if (deputy == kInvalidNode) return false;  // last node standing died
+
+  // Records captured but never flushed die with the origin; account them
+  // as lag so the bench (and post-mortems) can see the replication debt.
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    stats_.replication_lag.fetch_add(repl_pending_.size(),
+                                     std::memory_order_relaxed);
+    repl_pending_.clear();
+  }
+
+  current_origin_.store(deputy, std::memory_order_release);
+  failure_stats_.origin_failovers.fetch_add(1, std::memory_order_relaxed);
+  prof::ChaosCounters::instance().origin_failovers.fetch_add(
+      1, std::memory_order_relaxed);
+  record_fault(deputy, /*task=*/-1, 0, prof::FaultKind::kFailover,
+               "promote");
+
+  // Owner re-registration round: every survivor reports its resident
+  // copies so the deputy's replica covers state the batched stream missed.
+  scavenge_survivors(dead, deputy);
+  return true;
 }
 
 // ---------------------------------------------------------------------------

@@ -22,7 +22,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
@@ -58,6 +60,22 @@ class SegfaultError : public std::runtime_error {
   static std::string describe(GAddr addr, Access access);
   GAddr addr_;
   Access access_;
+};
+
+/// Thrown when the origin node dies and no failover path exists — either
+/// DsmConfig::origin_failover is off (the seed posture: origin death is
+/// unsupported) or no survivor remains to promote. NodeDeadError-style:
+/// callers report the condition and keep running instead of the old
+/// process-killing assert, so chaos soaks surface the loss in their stats.
+class OriginDeadError : public std::runtime_error {
+ public:
+  explicit OriginDeadError(NodeId dead)
+      : std::runtime_error(describe(dead)), dead_(dead) {}
+  NodeId dead() const { return dead_; }
+
+ private:
+  static std::string describe(NodeId dead);
+  NodeId dead_;
 };
 
 /// Per-node count of runnable application threads; feeds the per-node
@@ -157,6 +175,16 @@ struct DsmConfig {
   /// Consecutive dominant decision windows before the thread moves
   /// (mirrors home_migrate_run's anti-ping-pong hysteresis).
   int thread_migrate_run = 3;
+  /// Origin failover: the origin streams epoch-stamped directory-mutation
+  /// records (owner/sharer/version changes, home moves, lease-journal
+  /// images, mmap VMAs) to a deterministic deputy — the next surviving
+  /// node id — and on origin death the deputy promotes, re-registers
+  /// survivor page state through a scavenge round, and serves as the new
+  /// origin for every origin-fallback ladder. Off reproduces the seed
+  /// protocol bit-for-bit: origin death remains fatal to the process
+  /// (reported gracefully, not aborted) and zero replication traffic
+  /// exists on the wire.
+  bool origin_failover = false;
 };
 
 /// Bounce budget for chasing stale home hints: after this many kWrongHome
@@ -182,6 +210,8 @@ struct FailureStats {
   /// Threads lost to node death and re-spawned at the origin
   /// (ProcessOptions::restart_lost_threads).
   std::atomic<std::uint64_t> threads_restarted{0};
+  /// Origin deaths survived by deputy promotion (DsmConfig::origin_failover).
+  std::atomic<std::uint64_t> origin_failovers{0};
 };
 
 struct DsmStats {
@@ -313,6 +343,19 @@ struct DsmStats {
   std::atomic<std::uint64_t> placement_arbitrations{0};
   /// Home hints warmed into a migrating thread's destination cache.
   std::atomic<std::uint64_t> placement_hints_warmed{0};
+  // ---- Origin failover (DsmConfig::origin_failover) ----
+  /// Directory-mutation records shipped to the deputy (kDirReplicate).
+  std::atomic<std::uint64_t> dir_mutations_replicated{0};
+  /// kDirReplicate batches posted (records coalesce up to 16 per message).
+  std::atomic<std::uint64_t> replication_batches{0};
+  /// Pages whose only recoverable image was the deputy's replicated
+  /// lease-journal copy, installed during the post-promotion rebuild.
+  std::atomic<std::uint64_t> replica_journal_pages{0};
+  /// Survivor page registrations confirmed by the promotion scavenge round.
+  std::atomic<std::uint64_t> scavenge_pages_rebuilt{0};
+  /// Mutation records still unflushed when the origin died — the
+  /// replication lag the failover window exposed (those records are lost).
+  std::atomic<std::uint64_t> replication_lag{0};
   /// Granted (non-retry) page transactions by serving home node — the
   /// per-home fault distribution the analysis report surfaces.
   std::array<std::atomic<std::uint64_t>, kMaxNodes> faults_by_home{};
@@ -331,6 +374,15 @@ class Dsm {
   Dsm& operator=(const Dsm&) = delete;
 
   const DsmConfig& config() const { return config_; }
+
+  /// The node currently playing the origin role. Equals config().origin
+  /// until an origin_failover promotion installs the deputy; every
+  /// origin-fallback ladder (hint-chase exhaustion, dead-target engine
+  /// fallback, reclaim, lease recovery, VMA delegation) resolves through
+  /// this instead of the static config value.
+  NodeId current_origin() const {
+    return current_origin_.load(std::memory_order_relaxed);
+  }
 
   // ---- Address-space management (performed at origin; §III-D) ----
   /// Maps fresh zero pages; returns the global address.
@@ -485,6 +537,33 @@ class Dsm {
   /// lock, so eviction serializes against recalls, forwarded grants and
   /// batch installs; a raced (stale) eviction fails closed.
   net::Message handle_evict_page(const net::Message& msg);
+  /// Deputy-side half of directory replication: installs each record into
+  /// the per-node replica store (version-monotonic, so a delayed duplicate
+  /// cannot regress fresher state), erases replicas dropped by munmap, and
+  /// mirrors mmap VMAs into the deputy's replica address space so a
+  /// promoted deputy can serve VMA lookups without the dead origin.
+  net::Message handle_dir_replicate(const net::Message& msg);
+  /// Survivor-side half of the promotion rebuild: reports the PTE state
+  /// this node holds for pages of the dead origin (cursor-paged), so the
+  /// new origin can reconcile its replica against live copies.
+  net::Message handle_scavenge(const net::Message& msg);
+
+  /// Ships every pending directory-mutation record to the deputy in
+  /// batched kDirReplicate messages (background engine transactions when
+  /// the engine is on, single-attempt datagrams otherwise — a lost batch
+  /// widens the replication lag, never blocks the protocol). Called from
+  /// the membership pump via lease_patrol and from the fault-path tail;
+  /// no-op when origin_failover is off or nothing is pending.
+  void flush_replication();
+
+  /// Origin-death promotion: pins implicitly-origin-homed entries to the
+  /// dead node (so reclaim still finds them), elects the deputy (next
+  /// surviving node id), swaps current_origin(), and runs the scavenge
+  /// re-registration round against the survivors. Returns false when the
+  /// knob is off or no survivor exists — the caller degrades gracefully
+  /// instead of reclaiming. Idempotent: a second call for the same dead
+  /// node is a no-op returning true.
+  bool promote_origin(NodeId dead);
 
   /// Lease patrol (home-side sweep): recalls any expired remote-exclusive
   /// lease via a shared downgrade, so an idle owner's final writes reach
@@ -516,7 +595,7 @@ class Dsm {
 
  private:
   std::size_t origin_index() const {
-    return static_cast<std::size_t>(config_.origin);
+    return static_cast<std::size_t>(current_origin());
   }
 
   /// How a home transaction was resolved, beyond the grant kind the
@@ -587,10 +666,11 @@ class Dsm {
   void set_state(NodeId node, GAddr page, PageState state,
                  std::uint64_t version);
 
-  /// Resolves the entry's home: kInvalidNode (the default) means origin.
+  /// Resolves the entry's home: kInvalidNode (the default) means the
+  /// current origin (the deputy after an origin_failover promotion).
   NodeId home_of(const DirEntry& entry) const {
     const NodeId home = entry.home.load(std::memory_order_relaxed);
-    return home == kInvalidNode ? config_.origin : home;
+    return home == kInvalidNode ? current_origin() : home;
   }
 
   /// Fault-locality bookkeeping + the hand-off itself. Called by the
@@ -744,6 +824,69 @@ class Dsm {
   void note_placement_fault(NodeId node, TaskId task, GAddr page,
                             NodeId home);
 
+  // ---- Origin failover (DsmConfig::origin_failover) ----
+  /// One queued directory-mutation record; kJournal records carry the
+  /// kPageSize lease-writeback image alongside.
+  struct PendingReplication {
+    net::DirReplicateRecord record;
+    std::vector<std::uint8_t> image;
+  };
+
+  /// Deputy-side replica of one directory entry: version-monotonic
+  /// metadata plus (when a kJournal record arrived) the last replicated
+  /// lease-writeback image and the exclusive-grant version it is good for.
+  struct ReplicaRecord {
+    std::uint64_t version = 0;
+    NodeId owner = kInvalidNode;
+    NodeId home = kInvalidNode;
+    std::uint64_t home_epoch = 0;
+    std::uint64_t sharers = 0;
+    std::uint64_t image_version = 0;
+    std::vector<std::uint8_t> image;  // empty = no journal image held
+  };
+
+  struct ReplicaStore {
+    std::mutex mu;
+    std::unordered_map<GAddr, ReplicaRecord> pages;
+  };
+
+  /// Whether a mutation performed at `at` must be captured for the deputy:
+  /// knob on, a deputy can exist, and the mutation happened at the node
+  /// currently playing the origin.
+  bool replicating(NodeId at) const {
+    return config_.origin_failover && config_.num_nodes > 1 &&
+           at == current_origin();
+  }
+
+  /// Capture helpers: enqueue-only (the caller typically holds the entry
+  /// latch; the actual send happens in flush_replication with no protocol
+  /// locks held). Entry must be locked for the entry/journal variants.
+  void record_entry_replication(const DirEntry& entry, GAddr page);
+  void record_erase_replication(GAddr page);
+  void record_vma_replication(GAddr start, std::uint64_t length,
+                              std::uint8_t prot);
+  void record_journal_replication(const DirEntry& entry, GAddr page,
+                                  const std::uint8_t* image);
+
+  /// Flushes when the pending buffer crossed the batching threshold
+  /// (called from the fault-path tail; cheap relaxed check when idle).
+  void maybe_flush_replication();
+
+  /// The deterministic deputy: the next surviving node id after the
+  /// current origin (wrapping), or kInvalidNode when no survivor exists.
+  NodeId replication_deputy() const;
+
+  /// Owner re-registration round of the rebuild: the promoted deputy asks
+  /// every survivor for its resident (page, version, state) tuples and
+  /// folds anything newer than the replica into the store. Best effort —
+  /// an unreachable survivor re-registers through its next fault.
+  void scavenge_survivors(NodeId dead, NodeId deputy);
+
+  /// Installs the replica's journal image for `page` into `at`'s frame iff
+  /// the store holds one at exactly `version`. Returns false (and touches
+  /// nothing) otherwise; counts replica_journal_pages on success.
+  bool restore_from_replica(NodeId at, GAddr page, std::uint64_t version);
+
   /// Known-version probe for an outgoing fault request: with optimistic
   /// latching, a seqcount-validated read that skips the PTE spinlock
   /// (restarts counted); otherwise the seed locked read. A stale value is
@@ -787,6 +930,16 @@ class Dsm {
   std::atomic<std::uint64_t> latch_restarts_{0};
   DsmStats stats_;
   FailureStats failure_stats_;
+  /// The node currently playing the origin role; config_.origin until an
+  /// origin_failover promotion swaps in the deputy. Atomic because const
+  /// probe paths (home_of, origin_index) read it concurrently with the
+  /// (rare, failure-time) promotion store.
+  std::atomic<NodeId> current_origin_{0};
+  /// Pending directory-mutation records awaiting a kDirReplicate flush.
+  std::mutex repl_mu_;
+  std::vector<PendingReplication> repl_pending_;
+  /// Per-node replica stores (indexed by the node acting as deputy).
+  std::vector<std::unique_ptr<ReplicaStore>> replica_stores_;
 };
 
 }  // namespace dex::mem

@@ -53,6 +53,8 @@ const char* to_string(MsgType type) {
     case MsgType::kMembershipUpdate: return "membership_update";
     case MsgType::kLeaseRenew: return "lease_renew";
     case MsgType::kEvictPage: return "evict_page";
+    case MsgType::kDirReplicate: return "dir_replicate";
+    case MsgType::kScavengeRequest: return "scavenge_request";
     case MsgType::kMaxType: return "max_type";
   }
   return "?";

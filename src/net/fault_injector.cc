@@ -37,12 +37,19 @@ FaultDecision FaultInjector::decide(MsgType type, NodeId src, NodeId dst) {
   FaultDecision decision;
   const std::uint64_t isolated =
       isolated_mask_.load(std::memory_order_acquire);
-  if (isolated != 0 &&
-      (((isolated >> static_cast<unsigned>(src)) |
-        (isolated >> static_cast<unsigned>(dst))) &
-       1u)) {
-    // A partitioned endpoint: the wire eats the message, deterministically,
-    // regardless of any probabilistic rules.
+  const std::uint64_t out_cut =
+      outbound_cut_mask_.load(std::memory_order_acquire);
+  const std::uint64_t in_cut =
+      inbound_cut_mask_.load(std::memory_order_acquire);
+  if ((isolated != 0 &&
+       (((isolated >> static_cast<unsigned>(src)) |
+         (isolated >> static_cast<unsigned>(dst))) &
+        1u)) ||
+      ((out_cut >> static_cast<unsigned>(src)) & 1u) ||
+      ((in_cut >> static_cast<unsigned>(dst)) & 1u)) {
+    // A partitioned endpoint (full cut, or the one-way leg of a gray
+    // failure): the wire eats the message, deterministically, regardless
+    // of any probabilistic rules.
     decision.drop = true;
     drops_.fetch_add(1, std::memory_order_relaxed);
     prof::ChaosCounters::instance().messages_dropped.fetch_add(
@@ -122,9 +129,23 @@ void FaultInjector::isolate_node(NodeId node) {
 
 void FaultInjector::rejoin_node(NodeId node) {
   DEX_CHECK(node >= 0 && node < num_nodes_);
-  isolated_mask_.fetch_and(
-      ~(std::uint64_t{1} << static_cast<unsigned>(node)),
-      std::memory_order_acq_rel);
+  const std::uint64_t clear =
+      ~(std::uint64_t{1} << static_cast<unsigned>(node));
+  isolated_mask_.fetch_and(clear, std::memory_order_acq_rel);
+  outbound_cut_mask_.fetch_and(clear, std::memory_order_acq_rel);
+  inbound_cut_mask_.fetch_and(clear, std::memory_order_acq_rel);
+}
+
+void FaultInjector::isolate_outbound(NodeId node) {
+  DEX_CHECK(node >= 0 && node < num_nodes_);
+  outbound_cut_mask_.fetch_or(std::uint64_t{1} << static_cast<unsigned>(node),
+                              std::memory_order_acq_rel);
+}
+
+void FaultInjector::isolate_inbound(NodeId node) {
+  DEX_CHECK(node >= 0 && node < num_nodes_);
+  inbound_cut_mask_.fetch_or(std::uint64_t{1} << static_cast<unsigned>(node),
+                             std::memory_order_acq_rel);
 }
 
 void FaultInjector::reset_stats() {

@@ -82,9 +82,31 @@ class FaultInjector {
   /// catch — as opposed to fail_node, whose death is visible to callers as
   /// NodeDeadError right at the send.
   void isolate_node(NodeId node);
+  /// Heals every partition touching `node` — the full cut and both one-way
+  /// cuts (isolate_outbound / isolate_inbound).
   void rejoin_node(NodeId node);
   bool node_isolated(NodeId node) const {
     return (isolated_mask_.load(std::memory_order_acquire) >>
+            static_cast<unsigned>(node)) &
+           1u;
+  }
+
+  // ---- Asymmetric (one-way) partition ----
+  /// Gray failure: cuts only the messages `node` *sends* — peers' traffic
+  /// still reaches it, so it keeps processing requests while its replies
+  /// and heartbeats vanish. To the accrual detector the node is
+  /// indistinguishable from a crash; the detector test proves a gray-failed
+  /// origin is still declared dead and succeeded.
+  void isolate_outbound(NodeId node);
+  /// The mirror image: cuts only the messages `node` *receives*.
+  void isolate_inbound(NodeId node);
+  bool outbound_cut(NodeId node) const {
+    return (outbound_cut_mask_.load(std::memory_order_acquire) >>
+            static_cast<unsigned>(node)) &
+           1u;
+  }
+  bool inbound_cut(NodeId node) const {
+    return (inbound_cut_mask_.load(std::memory_order_acquire) >>
             static_cast<unsigned>(node)) &
            1u;
   }
@@ -118,6 +140,8 @@ class FaultInjector {
   std::vector<std::atomic<std::uint64_t>> stream_counts_;
   std::atomic<std::uint64_t> dead_mask_{0};
   std::atomic<std::uint64_t> isolated_mask_{0};
+  std::atomic<std::uint64_t> outbound_cut_mask_{0};
+  std::atomic<std::uint64_t> inbound_cut_mask_{0};
 
   std::atomic<std::uint64_t> drops_{0};
   std::atomic<std::uint64_t> duplicates_{0};

@@ -58,6 +58,10 @@ enum class MsgType : std::uint16_t {
   // --- Bounded frames (DsmConfig::frame_budget_bytes) ---
   kEvictPage,  // pressured node -> home: retire my copy (+ writeback if dirty)
 
+  // --- Origin failover (DsmConfig::origin_failover) ---
+  kDirReplicate,     // origin -> deputy: batched directory-mutation records
+  kScavengeRequest,  // new origin -> survivor: report your PTE/frame state
+
   kMaxType,
 };
 
@@ -418,6 +422,68 @@ struct EvictPageAckPayload {
   std::uint8_t result;  // EvictResult
   std::uint8_t pad[3];
   NodeId home;  // redirect target when result == kWrongHome
+};
+
+/// One replicated directory mutation (kDirReplicate). The origin streams
+/// these to its deputy so a promoted deputy can serve directory lookups
+/// without the dead origin's radix tree.
+enum class DirReplicateOp : std::uint8_t {
+  kEntry = 0,    // owner/sharer/version/home snapshot for `page`
+  kErase = 1,    // munmap dropped the entry; forget any replica (staleness
+                 // fence: a re-mmapped generation restarts versions)
+  kJournal = 2,  // lease-journal writeback: kPageSize of image data rides
+                 // in the message body after all records
+  kVma = 3,      // mmap at the origin: page = start, version = length
+};
+
+struct DirReplicateRecord {
+  GAddr page;
+  std::uint64_t version;
+  std::uint64_t sharers;     // NodeSet::raw()
+  std::uint64_t home_epoch;
+  NodeId owner;              // exclusive owner (kInvalidNode = none)
+  NodeId home;               // serving home (kInvalidNode = the origin)
+  DirReplicateOp op;
+  std::uint8_t prot;         // kVma only
+  std::uint8_t pad[6];
+};
+
+inline constexpr int kMaxDirReplicateRecords = 16;
+
+/// Batched replication: `count` records follow the header fields inside the
+/// fixed struct; every kJournal record contributes kPageSize image bytes
+/// appended after the struct, in record order.
+struct DirReplicatePayload {
+  std::uint64_t process_id;
+  NodeId origin;  // replicating origin; the deputy ignores stale senders
+  std::uint32_t count;
+  DirReplicateRecord records[kMaxDirReplicateRecords];
+};
+
+/// kScavengeRequest: the promoted deputy asks a survivor to re-register the
+/// origin-homed pages it holds. Cursor-paged so one reply stays bounded.
+struct ScavengeRequestPayload {
+  std::uint64_t process_id;
+  NodeId dead;  // the dead origin whose pages we are rebuilding
+  std::uint8_t pad[4];
+  GAddr cursor;  // report pages strictly above this address
+};
+
+struct ScavengeRecord {
+  GAddr page;
+  std::uint64_t version;
+  std::uint8_t state;  // mem::PageState of the survivor's copy
+  std::uint8_t pad[7];
+};
+
+inline constexpr int kMaxScavengeRecords = 32;
+
+struct ScavengeReplyPayload {
+  std::uint32_t count;
+  std::uint8_t done;  // 1: no pages above next_cursor remain
+  std::uint8_t pad[3];
+  GAddr next_cursor;
+  ScavengeRecord records[kMaxScavengeRecords];
 };
 
 }  // namespace dex::net

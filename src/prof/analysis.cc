@@ -76,6 +76,13 @@ TraceAnalysis::TraceAnalysis(std::vector<FaultEvent> events)
         ++pr.thread_migrations;
         ++sr.thread_migrations;
         break;
+      case FaultKind::kFailover:
+        // The origin died and its deputy promoted; accounted with the
+        // other failure events (the event's addr is unset — the promotion
+        // is per-node, not per-page).
+        ++pr.failures;
+        ++sr.failures;
+        break;
     }
     if (e.node != kInvalidNode) pr.nodes.insert(e.node);
     if (e.task >= 0) pr.tasks.insert(e.task);
@@ -217,6 +224,18 @@ std::string TraceAnalysis::format_report(std::size_t limit) const {
        << " pages recovered from journal, " << counters_.dirty_pages_lost
        << " dirty pages lost, " << counters_.threads_restarted
        << " threads restarted\n";
+    if (counters_.origin_failovers > 0 ||
+        counters_.dir_mutations_replicated > 0) {
+      os << "  origin failover: " << counters_.origin_failovers
+         << " promotions; " << counters_.dir_mutations_replicated
+         << " directory mutations replicated in "
+         << counters_.replication_batches << " batches, "
+         << counters_.replication_lag << " lagged\n";
+      os << "  deputy rebuild: " << counters_.scavenge_pages_rebuilt
+         << " pages scavenged from survivors, "
+         << counters_.replica_journal_pages
+         << " images restored from the replica journal\n";
+    }
     if (counters_.frame_budget_bytes > 0) {
       os << "  frame budget: " << counters_.frame_budget_bytes
          << " B/node, peak " << counters_.frame_high_water_bytes << " B\n";

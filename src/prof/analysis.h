@@ -118,6 +118,13 @@ struct ProtocolCounters {
   std::uint64_t placement_deferrals = 0;
   std::uint64_t placement_arbitrations = 0;
   std::uint64_t placement_hints_warmed = 0;
+  // ---- Origin failover (origin_failover; DsmStats/FailureStats) ----
+  std::uint64_t origin_failovers = 0;
+  std::uint64_t dir_mutations_replicated = 0;
+  std::uint64_t replication_batches = 0;
+  std::uint64_t replica_journal_pages = 0;
+  std::uint64_t scavenge_pages_rebuilt = 0;
+  std::uint64_t replication_lag = 0;
 };
 
 class TraceAnalysis {

@@ -18,6 +18,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kLease: return "lease";
     case FaultKind::kEvict: return "evict";
     case FaultKind::kThreadMigrate: return "thread_migrate";
+    case FaultKind::kFailover: return "failover";
   }
   return "?";
 }
@@ -45,6 +46,7 @@ void ChaosCounters::reset() {
   writebacks_piggybacked.store(0, std::memory_order_relaxed);
   pages_recovered.store(0, std::memory_order_relaxed);
   threads_restarted.store(0, std::memory_order_relaxed);
+  origin_failovers.store(0, std::memory_order_relaxed);
 }
 
 std::string ChaosCounters::report() const {
@@ -65,7 +67,8 @@ std::string ChaosCounters::report() const {
      << " lease_renewals=" << lease_renewals.load()
      << " writebacks_piggybacked=" << writebacks_piggybacked.load()
      << " pages_recovered=" << pages_recovered.load()
-     << " threads_restarted=" << threads_restarted.load();
+     << " threads_restarted=" << threads_restarted.load()
+     << " origin_failovers=" << origin_failovers.load();
   return os.str();
 }
 

@@ -33,6 +33,7 @@ enum class FaultKind : std::uint8_t {
   kLease = 9,       // writeback-lease event: renewal, patrol recall, recovery
   kEvict = 10,      // copy retired under frame-budget pressure
   kThreadMigrate = 11,  // placement advisor moved the thread to its data
+  kFailover = 12,       // origin died; the deputy promoted and rebuilt
 };
 
 const char* to_string(FaultKind kind);
@@ -98,6 +99,8 @@ struct ChaosCounters {
   std::atomic<std::uint64_t> pages_recovered{0};
   /// Threads lost to node death and re-spawned at the origin.
   std::atomic<std::uint64_t> threads_restarted{0};
+  /// Origin deaths survived by deputy promotion (DsmConfig::origin_failover).
+  std::atomic<std::uint64_t> origin_failovers{0};
 
   static ChaosCounters& instance();
   void reset();

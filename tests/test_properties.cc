@@ -446,6 +446,76 @@ TEST_P(ProtocolProperty, AutoThreadMigrationPreservesTheMemoryImage) {
   }
 }
 
+// Property: origin-failover replication is invisible to the memory image.
+// The same randomized workload — contended strided writers whose faults at
+// origin-homed pages feed the capture queue — must end bit-identical with
+// the knob off (seed protocol, every replication counter provably zero)
+// and on (directory mutations really streaming to the deputy on
+// multi-node shapes), with directory invariants throughout. No failure is
+// injected here; the recovery path is exercised in test_recovery.cc.
+TEST_P(ProtocolProperty, OriginFailoverPreservesTheMemoryImage) {
+  const Shape shape = GetParam();
+  constexpr std::size_t kSlots = 4096;  // 8 pages of strided slots
+
+  std::vector<std::uint64_t> image[2];
+  std::uint64_t replicated[2] = {0, 0};
+  for (int on = 0; on <= 1; ++on) {
+    ClusterConfig config;
+    config.num_nodes = shape.nodes;
+    Cluster cluster(config);
+    ProcessOptions options;
+    options.coalesce_faults = shape.coalesce;
+    options.origin_failover = on != 0;
+    auto process = cluster.create_process(options);
+
+    GArray<std::uint64_t> slots(*process, kSlots, "slots");
+    std::vector<DexThread> threads;
+    for (int t = 0; t < shape.threads; ++t) {
+      threads.push_back(process->spawn([&, t] {
+        Xoshiro256 rng(static_cast<std::uint64_t>(t) * 389 + 17);
+        migrate(static_cast<NodeId>(t % shape.nodes));
+        for (int round = 0; round < 80; ++round) {
+          const std::size_t slot =
+              static_cast<std::size_t>(t) +
+              static_cast<std::size_t>(rng.next_below(
+                  kSlots / static_cast<std::size_t>(shape.threads))) *
+                  static_cast<std::size_t>(shape.threads);
+          slots.set(slot, (static_cast<std::uint64_t>(t) << 32) |
+                              static_cast<std::uint64_t>(round));
+        }
+        migrate_back();
+      }));
+    }
+    for (auto& t : threads) t.join();
+    process->dsm().flush_replication();  // drain the capture tail
+    EXPECT_TRUE(process->dsm().check_invariants());
+
+    auto& stats = process->dsm().stats();
+    replicated[on] = stats.dir_mutations_replicated.load();
+    if (on == 0) {
+      // Knob off is the seed protocol bit-for-bit: no capture queue, no
+      // replication traffic, no deputy store, no failover.
+      EXPECT_EQ(stats.dir_mutations_replicated.load(), 0u);
+      EXPECT_EQ(stats.replication_batches.load(), 0u);
+      EXPECT_EQ(stats.replica_journal_pages.load(), 0u);
+      EXPECT_EQ(stats.scavenge_pages_rebuilt.load(), 0u);
+      EXPECT_EQ(stats.replication_lag.load(), 0u);
+      EXPECT_EQ(process->dsm().failure_stats().origin_failovers.load(), 0u);
+    }
+    // The origin never died, so no run promotes a deputy.
+    EXPECT_EQ(process->dsm().failure_stats().origin_failovers.load(), 0u);
+    EXPECT_EQ(process->origin(), NodeId{0});
+
+    image[on].resize(kSlots);
+    slots.read_block(0, kSlots, image[on].data());
+  }
+  EXPECT_EQ(image[0], image[1]);
+  EXPECT_EQ(replicated[0], 0u);
+  if (shape.nodes > 1) {
+    EXPECT_GT(replicated[1], 0u);  // mutations really reached the deputy
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, ProtocolProperty,
     ::testing::Values(Shape{1, 4, true}, Shape{2, 4, true},

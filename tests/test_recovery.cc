@@ -535,6 +535,249 @@ TEST(RecoveryTest, LostThreadRestartsInPlaceWhenItsNodeSurvives) {
   EXPECT_TRUE(process->dsm().check_invariants());
 }
 
+// ---------------------------------------------------------------------------
+// Origin failover (ProcessOptions::origin_failover)
+// ---------------------------------------------------------------------------
+
+// Knob off is the seed failure model with one improvement: origin death is
+// reported as a typed error and the process degrades instead of the old
+// hard abort, so chaos soaks keep running and keep their statistics.
+TEST(OriginFailoverTest, OriginDeathWithKnobOffDegradesInsteadOfAborting) {
+  Watchdog dog(60);
+  ClusterConfig config;
+  config.num_nodes = 3;
+  Cluster cluster(config);
+  auto process = cluster.create_process(ProcessOptions{});  // knob off
+
+  GArray<std::uint64_t> arr(*process, kWordsPerPage, "knob_off");
+  DexThread worker = process->spawn([&] {
+    migrate(1);
+    arr.set(0, 99);
+    migrate_back();
+  });
+  worker.join();
+  EXPECT_FALSE(worker.failed());
+
+  // The unsupported death: no deputy exists, so nothing can promote. The
+  // process reports mem::OriginDeadError internally and stays alive.
+  cluster.fail_node(0);
+  EXPECT_EQ(process->origin(), NodeId{0});
+  auto& failure = process->dsm().failure_stats();
+  EXPECT_EQ(failure.origin_failovers.load(), 0u);
+  EXPECT_EQ(failure.node_failures.load(), 1u);
+  EXPECT_EQ(process->dsm().stats().dir_mutations_replicated.load(), 0u);
+}
+
+// The tentpole acceptance scenario: a double failure. The writer's node
+// dies first (classic journal recovery installs the leased images at the
+// origin), then the origin itself dies — taking the journal frames with
+// it. The deputy promotes, rebuilds from its replicated directory
+// metadata, and every journal-covered page survives with the image equal
+// to the fault-free run's.
+TEST(OriginFailoverTest, OriginDeathPromotesDeputyAndRecoversJournaledPages) {
+  Watchdog dog(90);
+  constexpr int kNodes = 4;
+  const NodeId victim = 3;  // the writer's node; deputy of origin 0 is 1
+  constexpr std::size_t kPages = 8;
+  constexpr VirtNs kLease = 20'000;
+  auto pattern = [](std::size_t p) {
+    return 0xFA170000u + static_cast<std::uint64_t>(p);
+  };
+
+  std::array<std::vector<std::uint64_t>, 2> images;
+  for (int inject = 0; inject <= 1; ++inject) {
+    ClusterConfig config;
+    config.num_nodes = kNodes;
+    Cluster cluster(config);
+    ProcessOptions options;
+    options.origin_failover = true;
+    options.lease_ns = kLease;
+    options.prefetch_max_pages = 0;
+    options.home_migration = false;
+    auto process = cluster.create_process(options);
+
+    GArray<std::uint64_t> arr(*process, kPages * kWordsPerPage, "failover");
+    std::atomic<bool> parked{false};
+    std::atomic<bool> release{false};
+    DexThread writer = process->spawn([&] {
+      migrate(victim);
+      for (std::size_t p = 0; p < kPages; ++p) {
+        arr.set(p * kWordsPerPage, pattern(p));
+      }
+      // Outlive the lease, then rewrite: each write renews its lease
+      // first, journaling the final image at the home (the origin) — and,
+      // with the knob on, replicating that journal image to the deputy.
+      vclock::advance(kLease + 1);
+      for (std::size_t p = 0; p < kPages; ++p) {
+        arr.set(p * kWordsPerPage, pattern(p));
+      }
+      parked.store(true, std::memory_order_release);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+    while (!parked.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    // Push the captured journal records to the deputy before any failure.
+    process->dsm().flush_replication();
+
+    if (inject != 0) {
+      // First death: the dirty owner. Classic journal recovery installs
+      // the leased images into the origin's frames.
+      cluster.fail_node(victim);
+    }
+    release.store(true, std::memory_order_release);
+    writer.join();
+    EXPECT_FALSE(writer.failed());
+
+    auto& failure = process->dsm().failure_stats();
+    auto& stats = process->dsm().stats();
+    if (inject != 0) {
+      EXPECT_EQ(failure.pages_recovered.load(), kPages);
+      EXPECT_EQ(failure.dirty_pages_lost.load(), 0u);
+
+      // Second death: the origin itself — its directory and journal
+      // frames die with it. The deputy self-promotes and serves.
+      cluster.fail_node(0);
+      EXPECT_EQ(failure.origin_failovers.load(), 1u);
+      EXPECT_EQ(process->origin(), NodeId{1});
+      EXPECT_EQ(failure.dirty_pages_lost.load(), 0u);
+      // Every journal-covered page was rescued from the deputy's replica.
+      EXPECT_EQ(stats.replica_journal_pages.load(), kPages);
+
+      // The promoted deputy serves directory lookups: a fresh thread
+      // (spawned at the *current* origin) reads every page through it.
+      std::vector<std::uint64_t> seen(kPages, 0);
+      DexThread checker = process->spawn([&] {
+        for (std::size_t p = 0; p < kPages; ++p) {
+          seen[p] = arr.get(p * kWordsPerPage);
+        }
+      });
+      checker.join();
+      EXPECT_FALSE(checker.failed());
+      images[1] = seen;
+    } else {
+      EXPECT_EQ(failure.origin_failovers.load(), 0u);
+      images[0].clear();
+      for (std::size_t p = 0; p < kPages; ++p) {
+        images[0].push_back(arr.get(p * kWordsPerPage));
+      }
+    }
+    EXPECT_TRUE(process->dsm().check_invariants());
+  }
+
+  // Image equality vs the fault-free run: the double failure is invisible
+  // to the surviving readers.
+  EXPECT_EQ(images[0], images[1]);
+  for (std::size_t p = 0; p < kPages; ++p) {
+    EXPECT_EQ(images[1][p], pattern(p)) << "page " << p;
+  }
+}
+
+// Coordinator succession under chaos: node 0 — membership coordinator AND
+// origin — is silently killed mid-soak while a lossy wire drops
+// heartbeats. Across 8 chaos seeds, every survivor adopts the successor's
+// epoch-stamped view (zero split-brain) and the deputy is promoted.
+TEST(OriginFailoverTest, CoordinatorDeathElectsSuccessorWithoutSplitBrain) {
+  Watchdog dog(120);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    ClusterConfig config;
+    config.num_nodes = 4;
+    config.detector.enabled = true;
+    config.detector.succession = true;
+    net::FaultRule lossy;
+    lossy.type = MsgType::kHeartbeat;
+    lossy.drop_prob = 0.15;  // lossy but far from 7 consecutive silences
+    config.faults.seed = seed;
+    config.faults.rules.push_back(lossy);
+    Cluster cluster(config);
+    ProcessOptions options;
+    options.origin_failover = true;
+    auto process = cluster.create_process(options);
+
+    // Warm-up soak: heartbeat history accrues through the drops.
+    for (int r = 0; r < 10; ++r) cluster.run_membership_round();
+    ASSERT_EQ(cluster.coordinator(), NodeId{0}) << "seed " << seed;
+
+    // Kill the coordinator silently: only its missing heartbeats tell.
+    cluster.fabric().injector().isolate_node(0);
+    int rounds = 0;
+    while (cluster.member_state(0) != MemberState::kDead && rounds < 24) {
+      cluster.run_membership_round();
+      ++rounds;
+    }
+    ASSERT_EQ(cluster.member_state(0), MemberState::kDead)
+        << "seed " << seed;
+    // Drop-inflated inter-arrival history stretches the phi=3 horizon
+    // past the clean ~8 rounds (a doubled interval in the 16-sample
+    // window scales the mean); still bounded.
+    EXPECT_LE(rounds, 20) << "seed " << seed;
+
+    // The lowest-id survivor self-elected...
+    EXPECT_EQ(cluster.coordinator(), NodeId{1}) << "seed " << seed;
+    // ...and the origin role failed over with it.
+    EXPECT_EQ(process->origin(), NodeId{1}) << "seed " << seed;
+    EXPECT_EQ(process->dsm().failure_stats().origin_failovers.load(), 1u)
+        << "seed " << seed;
+
+    // Zero split-brain: all survivors hold the identical adopted view.
+    const std::uint64_t epoch = cluster.membership_epoch();
+    for (NodeId n : {NodeId{1}, NodeId{2}, NodeId{3}}) {
+      EXPECT_EQ(cluster.view_epoch(n), epoch) << "seed " << seed << " n" << n;
+      EXPECT_EQ(cluster.view_dead_mask(n), std::uint64_t{1})
+          << "seed " << seed << " n" << n;
+    }
+
+    // The successor coordinates cleanly: no cascade among survivors.
+    for (int r = 0; r < 4; ++r) EXPECT_EQ(cluster.run_membership_round(), 0);
+    EXPECT_EQ(cluster.coordinator(), NodeId{1}) << "seed " << seed;
+  }
+}
+
+// Gray failure: the origin's *outbound* links die while inbound traffic
+// still reaches it — it keeps serving requests but its heartbeats vanish.
+// The detector must not be fooled: the origin is declared dead and
+// succeeded exactly as if it had crashed.
+TEST(OriginFailoverTest, GrayFailedOriginIsDeclaredDeadAndSucceeded) {
+  Watchdog dog(90);
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.detector.enabled = true;
+  config.detector.succession = true;
+  Cluster cluster(config);
+  ProcessOptions options;
+  options.origin_failover = true;
+  auto process = cluster.create_process(options);
+
+  for (int r = 0; r < 8; ++r) cluster.run_membership_round();
+
+  // One-way cut: node 0 can hear but cannot speak.
+  cluster.fabric().injector().isolate_outbound(0);
+  EXPECT_TRUE(cluster.fabric().injector().outbound_cut(0));
+  EXPECT_FALSE(cluster.fabric().injector().inbound_cut(0));
+  EXPECT_FALSE(cluster.fabric().injector().node_isolated(0));
+
+  int rounds = 0;
+  while (cluster.member_state(0) != MemberState::kDead && rounds < 16) {
+    cluster.run_membership_round();
+    ++rounds;
+  }
+  // Indistinguishable from a crash to the accrual detector: declared dead
+  // within the same bounded horizon and succeeded by the standby.
+  ASSERT_EQ(cluster.member_state(0), MemberState::kDead);
+  EXPECT_LE(rounds, 12);
+  EXPECT_TRUE(cluster.node_dead(0));
+  EXPECT_EQ(cluster.coordinator(), NodeId{1});
+  EXPECT_EQ(process->origin(), NodeId{1});
+  EXPECT_EQ(process->dsm().failure_stats().origin_failovers.load(), 1u);
+  const std::uint64_t epoch = cluster.membership_epoch();
+  for (NodeId n : {NodeId{1}, NodeId{2}, NodeId{3}}) {
+    EXPECT_EQ(cluster.view_epoch(n), epoch) << n;
+    EXPECT_EQ((cluster.view_dead_mask(n) >> 0) & 1u, 1u) << n;
+  }
+}
+
 TEST(RecoveryTest, HealThenRemigrateRecreatesTheRemoteWorker) {
   Watchdog dog(60);
   ClusterConfig config;
